@@ -1,0 +1,83 @@
+// ABL-STRAT — influential-user blocking strategies (paper §I surveys
+// blocking at users ranked by Degree, Betweenness, or Core; "rumor ends
+// with sage"). Agent-based simulation on a scale-free graph: pre-block
+// a budget of users with each strategy, then measure the attack rate.
+#include <cstdio>
+#include <iostream>
+
+#include "graph/generators.hpp"
+#include "sim/ensemble.hpp"
+#include "sim/strategies.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rumor;
+  util::Xoshiro256 rng(7);
+  const auto g = graph::barabasi_albert(5000, 3, rng);
+
+  std::printf("ABL-STRAT | blocking strategies on a Barabasi-Albert "
+              "graph (n=%zu, m=%zu, <k>=%.2f)\n",
+              g.num_nodes(), g.num_edges(), g.average_degree());
+  std::printf("  rumor: lambda(k)=k, w(k)=sqrt(k)/(1+sqrt(k)), eps2=0.3; 10 random "
+              "seeds; 12 replicas per cell\n\n");
+
+  const sim::BlockingStrategy strategies[] = {
+      sim::BlockingStrategy::kRandom, sim::BlockingStrategy::kDegree,
+      sim::BlockingStrategy::kCore, sim::BlockingStrategy::kBetweenness};
+  const double budgets[] = {0.0, 0.01, 0.02, 0.05, 0.10};
+
+  util::TablePrinter table({"blocked fraction", "random", "degree",
+                            "core", "betweenness"});
+  table.set_precision(4);
+
+  std::vector<std::vector<double>> attack(
+      std::size(budgets), std::vector<double>(std::size(strategies), 0.0));
+
+  for (std::size_t b = 0; b < std::size(budgets); ++b) {
+    const auto budget = static_cast<std::size_t>(
+        budgets[b] * static_cast<double>(g.num_nodes()));
+    for (std::size_t s = 0; s < std::size(strategies); ++s) {
+      util::Xoshiro256 select_rng(100 + s);
+      const auto blocked = select_nodes_to_block(
+          g, strategies[s], budget, select_rng, /*betweenness_sources=*/48);
+      double total = 0.0;
+      const int replicas = 12;
+      for (int r = 0; r < replicas; ++r) {
+        // Near-critical epidemic: strategy differences are largest when
+        // removing hubs can actually push the process subcritical.
+        sim::AgentParams params;
+        params.lambda = core::Acceptance::linear(1.0);
+        params.omega = core::Infectivity::saturating(0.5, 0.5);
+        params.epsilon2 = 0.3;
+        params.dt = 0.1;
+        sim::AgentSimulation simulation(g, params,
+                                        9000 + 37 * b + 7 * s + r);
+        simulation.block_nodes(blocked);
+        simulation.seed_random_infections(10);
+        simulation.run_until(80.0);
+        total += static_cast<double>(simulation.ever_infected()) /
+                 static_cast<double>(g.num_nodes());
+      }
+      attack[b][s] = total / replicas;
+    }
+    table.add_row({budgets[b], attack[b][0], attack[b][1], attack[b][2],
+                   attack[b][3]});
+  }
+  table.print(std::cout);
+
+  // Verdict: targeted strategies beat random at every positive budget.
+  bool targeted_wins = true;
+  for (std::size_t b = 1; b < std::size(budgets); ++b) {
+    for (std::size_t s = 1; s < std::size(strategies); ++s) {
+      if (attack[b][s] >= attack[b][0]) targeted_wins = false;
+    }
+  }
+  std::printf("\nABL-STRAT verdict: %s\n",
+              targeted_wins
+                  ? "every centrality-targeted strategy suppresses the "
+                    "outbreak more than random blocking at every budget "
+                    "— the premise of the paper's countermeasure model."
+                  : "targeted blocking did not dominate random at every "
+                    "cell (inspect the table).");
+  return 0;
+}

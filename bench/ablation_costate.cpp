@@ -1,0 +1,75 @@
+// ABL-COSTATE — full adjoint vs the paper's printed Eq. (16).
+//
+// The paper's costate equation for φ keeps only the diagonal term of
+// ∂Θ/∂I_j coupling (see src/control/costate.hpp). This ablation runs
+// the sweep both ways on the same problem and compares the resulting
+// policies and achieved objective. The diagonal truncation is exact for
+// n = 1 and an approximation for heterogeneous profiles.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "control/objective.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rumor;
+  const double tf = 60.0;
+  auto model = bench::fig4_model(/*max_groups=*/20);
+  const auto cost = bench::fig4_cost();
+  auto options = bench::fig4_sweep_options(tf);
+  options.max_iterations = 800;
+
+  std::printf("ABL-COSTATE | full adjoint vs paper's diagonal Eq. (16)\n");
+  std::printf("  groups=%zu  horizon=(0,%g]  c1=%g c2=%g\n\n",
+              model.num_groups(), tf, cost.c1, cost.c2);
+
+  const auto y0 = model.initial_state(bench::fig4_initial_infected());
+
+  auto diagonal_options = options;
+  diagonal_options.diagonal_costate = true;
+  const auto full =
+      control::solve_optimal_control(model, y0, tf, cost, options);
+  const auto diagonal = control::solve_optimal_control(model, y0, tf,
+                                                       cost,
+                                                       diagonal_options);
+
+  util::TablePrinter table({"variant", "converged", "iterations",
+                            "J total", "J running", "I(tf)"});
+  table.set_precision(5);
+  auto add = [&](const char* name, const control::SweepResult& result) {
+    table.add_text_row(
+        {name, result.converged ? "yes" : "no",
+         std::to_string(result.iterations),
+         util::format_significant(result.cost.total(), 5),
+         util::format_significant(result.cost.running, 5),
+         util::format_significant(
+             model.total_infected(result.state.back_state()), 4)});
+  };
+  add("full adjoint", full);
+  add("diagonal (paper Eq. 16)", diagonal);
+  table.print(std::cout);
+
+  // How different are the policies themselves?
+  double max_gap_e1 = 0.0, max_gap_e2 = 0.0;
+  for (std::size_t k = 0; k < full.grid.size(); ++k) {
+    max_gap_e1 = std::max(max_gap_e1,
+                          std::abs(full.epsilon1[k] - diagonal.epsilon1[k]));
+    max_gap_e2 = std::max(max_gap_e2,
+                          std::abs(full.epsilon2[k] - diagonal.epsilon2[k]));
+  }
+  std::printf("\n  policy gap: max|eps1_full - eps1_diag| = %.4f, "
+              "max|eps2_full - eps2_diag| = %.4f\n",
+              max_gap_e1, max_gap_e2);
+
+  const double penalty =
+      (diagonal.cost.total() - full.cost.total()) /
+      std::max(full.cost.total(), 1e-12);
+  std::printf("\nABL-COSTATE verdict: dropping the cross-group adjoint "
+              "coupling changes the policy (gaps above) and costs %+.2f%% "
+              "in J on this heterogeneous profile; the truncation is "
+              "harmless only for homogeneous (n=1) networks.\n",
+              100.0 * penalty);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// ABL-OMEGA — ablation over the infectivity family ω(k) (paper
+// Section III discusses constant [16], linear [17], and saturating [18]
+// forms and argues the saturating one is the right model for rumors).
+//
+// We fix everything else at the Fig. 2 setting and show how the choice
+// of ω changes the threshold r0 and the outbreak trajectory.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rumor;
+  const auto profile = bench::digg_profile();
+  const double e1 = 0.2, e2 = 0.05;
+
+  // Match E[w(k)] across the three families so the comparison isolates
+  // the *shape* of the infectivity curve.
+  const auto saturating = core::Infectivity::saturating(0.5, 0.5);
+  double target_mean = 0.0;
+  for (std::size_t i = 0; i < profile.num_groups(); ++i) {
+    target_mean += saturating(profile.degree(i)) * profile.probability(i);
+  }
+  struct Variant {
+    std::string name;
+    core::Infectivity omega;
+  };
+  const Variant variants[] = {
+      {"constant   w(k)=" + util::format_significant(target_mean, 3),
+       core::Infectivity::constant(target_mean)},
+      {"linear     w(k)=" +
+           util::format_significant(target_mean / profile.mean_degree(),
+                                    3) +
+           "*k",
+       core::Infectivity::linear(target_mean / profile.mean_degree())},
+      {"saturating w(k)=sqrt(k)/(1+sqrt(k))", saturating},
+  };
+
+  std::printf("ABL-OMEGA | infectivity-family ablation on the Digg "
+              "surrogate (alpha=0.01, eps1=%g, eps2=%g)\n\n", e1, e2);
+
+  util::TablePrinter table({"omega family", "E[w(k)]", "r0",
+                            "I_tot peak", "I_tot(150)"});
+  table.set_precision(4);
+
+  for (const auto& variant : variants) {
+    core::ModelParams params;
+    params.alpha = 0.01;
+    params.lambda = core::Acceptance::linear(
+        bench::fig2_lambda_scale(profile));
+    params.omega = variant.omega;
+
+    double mean_omega = 0.0;
+    for (std::size_t i = 0; i < profile.num_groups(); ++i) {
+      mean_omega += variant.omega(profile.degree(i)) *
+                    profile.probability(i);
+    }
+    const double r0 =
+        core::basic_reproduction_number(profile, params, e1, e2);
+
+    core::SirNetworkModel model(profile, params,
+                                core::make_constant_control(e1, e2));
+    core::SimulationOptions options;
+    options.t1 = 150.0;
+    options.dt = 0.05;
+    options.record_every = 20;
+    const auto result =
+        core::run_simulation(model, model.initial_state(0.01), options);
+    double peak = 0.0;
+    for (const double total : result.total_infected) {
+      peak = std::max(peak, total);
+    }
+    table.add_text_row({variant.name,
+                        util::format_significant(mean_omega, 4),
+                        util::format_significant(r0, 4),
+                        util::format_significant(peak, 4),
+                        util::format_significant(
+                            result.total_infected.back(), 4)});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nABL-OMEGA verdict: at matched E[w(k)], linear infectivity "
+      "pushes weight onto hubs (largest r0); the saturating family "
+      "caps hub infectivity, sitting between constant and linear — "
+      "the paper's argument for using it on rumor dynamics.\n");
+  return 0;
+}

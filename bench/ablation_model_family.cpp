@@ -1,0 +1,71 @@
+// ABL-FAMILY — the paper's countermeasure-SIR vs the classic
+// Maki–Thompson self-stifling dynamics on the same degree profile.
+//
+// The two families answer "why do rumors stop?" differently: MT rumors
+// stop by themselves (spreaders stifle on contact with the informed),
+// the paper's SIR stops only if countermeasures push r0 below 1. This
+// bench quantifies the difference and shows what each mechanism implies
+// for intervention policy.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/maki_thompson.hpp"
+#include "ode/integrate.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rumor;
+  const auto profile = bench::digg_profile().coarsened(60);
+  const double lambda_scale =
+      bench::fig2_lambda_scale(bench::digg_profile());
+
+  std::printf("ABL-FAMILY | countermeasure-SIR (paper) vs Maki-Thompson "
+              "self-stifling\n");
+  std::printf("  profile: %zu groups, <k>=%.2f; lambda(k)=%.3f*k, "
+              "omega saturating\n\n",
+              profile.num_groups(), profile.mean_degree(), lambda_scale);
+
+  util::TablePrinter table({"eps2 (blocking)", "SIR spreaders @ t=200",
+                            "MT spreaders @ t=200", "MT ever-informed"});
+  table.set_precision(4);
+
+  for (const double e2 : {0.0, 0.05, 0.2, 0.5}) {
+    // Paper's SIR (alpha = 0 for comparability with the closed MT
+    // population; eps1 = 0 isolates the blocking channel).
+    core::ModelParams sir_params;
+    sir_params.alpha = 0.0;
+    sir_params.lambda = core::Acceptance::linear(lambda_scale);
+    sir_params.omega = core::Infectivity::saturating(0.5, 0.5);
+    core::SirNetworkModel sir(profile, sir_params,
+                              core::make_constant_control(0.0, e2));
+    const auto sir_traj =
+        ode::integrate_rk4(sir, sir.initial_state(0.01), 0.0, 200.0,
+                           0.005);
+    const double sir_spreaders = sir.infected_density(
+        sir_traj.back_state());
+
+    core::MakiThompsonParams mt_params;
+    mt_params.lambda = core::Acceptance::linear(lambda_scale);
+    mt_params.omega = core::Infectivity::saturating(0.5, 0.5);
+    mt_params.stifling_scale = 1.0;
+    mt_params.epsilon2 = e2;
+    core::MakiThompsonModel mt(profile, mt_params);
+    const auto mt_traj =
+        ode::integrate_rk4(mt, mt.initial_state(0.01), 0.0, 200.0, 0.005);
+
+    table.add_row({e2, sir_spreaders,
+                   mt.spreader_density(mt_traj.back_state()),
+                   mt.informed_density(mt_traj.back_state())});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nABL-FAMILY verdict: with no blocking the SIR spreaders persist "
+      "(no self-limiting channel: with alpha=0 and eps2=0 infected stay "
+      "infected) while MT spreaders vanish on their own; blocking "
+      "shrinks the MT audience but is *existential* for the SIR rumor — "
+      "exactly why the paper's model needs the r0 countermeasure "
+      "threshold.\n");
+  return 0;
+}

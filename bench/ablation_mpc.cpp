@@ -1,0 +1,82 @@
+// ABL-MPC — open-loop optimal control vs receding-horizon (MPC)
+// re-planning under model-reality mismatch (extension of Section IV).
+//
+// The disturbance: periodic reinfection bursts (e.g. the rumor
+// resurfacing through an outside channel) that the planning model does
+// not know about. The open-loop policy, computed once at t = 0, winds
+// its controls down as the *predicted* infection dies; MPC re-measures
+// and re-treats.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "control/mpc.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rumor;
+  auto model = bench::fig4_model(/*max_groups=*/12);
+  const std::size_t n = model.num_groups();
+  auto cost = bench::fig4_cost();
+  // The platform must have the rumor practically dead by the deadline:
+  // a heavy terminal weight makes "wind down early and miss the burst"
+  // expensive, which is where re-planning earns its keep.
+  cost.terminal_weight = 50.0;
+  const double tf = 60.0;
+
+  control::MpcOptions options;
+  options.replan_interval = 10.0;
+  options.plant_dt = 0.01;
+  options.sweep = bench::fig4_sweep_options(tf);
+  options.sweep.max_iterations = 400;
+  options.sweep.j_tolerance = 1e-5;
+
+  const auto y0 = model.initial_state(bench::fig4_initial_infected());
+
+  std::printf("ABL-MPC | open-loop vs receding-horizon countermeasures\n");
+  std::printf("  groups=%zu  horizon=(0,%g]  replan every %g\n\n", n, tf,
+              options.replan_interval);
+
+  util::TablePrinter table({"scenario", "policy", "running cost",
+                            "terminal cost", "total J"});
+  table.set_precision(4);
+
+  auto add_rows = [&](const char* scenario,
+                      const control::Disturbance& disturbance) {
+    const auto open = control::run_open_loop(model, y0, tf, cost, options,
+                                             disturbance);
+    const auto closed =
+        control::run_mpc(model, y0, tf, cost, options, disturbance);
+    table.add_text_row({scenario, "open-loop",
+                        util::format_significant(open.cost.running, 4),
+                        util::format_significant(open.cost.terminal, 4),
+                        util::format_significant(open.cost.total(), 4)});
+    table.add_text_row({scenario, "MPC",
+                        util::format_significant(closed.cost.running, 4),
+                        util::format_significant(closed.cost.terminal, 4),
+                        util::format_significant(closed.cost.total(), 4)});
+    return std::pair<double, double>(open.cost.total(),
+                                     closed.cost.total());
+  };
+
+  const auto [open_clean, mpc_clean] = add_rows("no disturbance", nullptr);
+
+  const control::Disturbance bursts = [n](double, std::span<double> y) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double moved = std::min(0.12, y[i]);
+      y[i] -= moved;
+      y[n + i] += moved;
+    }
+  };
+  const auto [open_burst, mpc_burst] =
+      add_rows("reinfection bursts", bursts);
+  table.print(std::cout);
+
+  std::printf("\nABL-MPC verdict: without disturbance the two coincide "
+              "(Bellman consistency, gap %.1f%%); under bursts MPC "
+              "achieves %.1f%% of the open-loop cost.\n",
+              100.0 * std::abs(mpc_clean - open_clean) /
+                  std::max(open_clean, 1e-12),
+              100.0 * mpc_burst / std::max(open_burst, 1e-12));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// EXT-BIFURCATION — the transcritical bifurcation at r0 = 1 (extension).
+//
+// Sweep the blocking rate ε2 across the critical value ε2* (where
+// r0 = 1) and record both the theoretical endemic level (the positive
+// equilibrium of Theorem 1) and the level an actual long simulation
+// settles at. Theorem 5 in one picture: below ε2* the rumor persists at
+// a level growing with (r0 − 1); above it, extinction — and the two
+// columns agree everywhere.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/equilibrium.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rumor;
+  const auto profile = bench::digg_profile().coarsened(60);
+  core::ModelParams params;
+  params.alpha = 0.05;
+  params.lambda = core::Acceptance::linear(
+      bench::fig2_lambda_scale(bench::digg_profile()));
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  const double e1 = 0.05;
+
+  // Critical blocking rate from the closed form: r0(ε2*) = 1.
+  const double critical = params.alpha *
+                          core::lambda_phi_sum(profile, params) /
+                          (profile.mean_degree() * e1);
+  std::printf("EXT-BIFURCATION | endemic level vs blocking rate "
+              "(eps1=%g, critical eps2* = %.4f)\n\n", e1, critical);
+
+  util::TablePrinter table({"eps2/eps2*", "r0", "theory I+ density",
+                            "simulated I density (t=2000)"});
+  table.set_precision(4);
+
+  bool all_match = true;
+  for (const double ratio : {0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.5, 2.0,
+                             3.0}) {
+    const double e2 = ratio * critical;
+    const double r0 =
+        core::basic_reproduction_number(profile, params, e1, e2);
+
+    double theory = 0.0;
+    if (const auto eq =
+            core::positive_equilibrium(profile, params, e1, e2)) {
+      const std::size_t n = profile.num_groups();
+      for (std::size_t i = 0; i < n; ++i) {
+        theory += profile.probability(i) * eq->state[n + i];
+      }
+    }
+
+    core::SirNetworkModel model(profile, params,
+                                core::make_constant_control(e1, e2));
+    core::SimulationOptions options;
+    options.t1 = 2000.0;
+    options.dt = 0.05;
+    options.record_every = 4000;
+    const auto result =
+        core::run_simulation(model, model.initial_state(0.05), options);
+    const double simulated = result.infected_density.back();
+
+    if (std::abs(simulated - theory) > 0.02 * std::max(theory, 0.05)) {
+      all_match = false;
+    }
+    table.add_row({ratio, r0, theory, simulated});
+  }
+  table.print(std::cout);
+
+  std::printf("\nEXT-BIFURCATION verdict: %s — the endemic branch "
+              "switches on exactly at r0 = 1 (transcritical "
+              "bifurcation), and simulations land on the theoretical "
+              "branch on both sides.\n",
+              all_match ? "theory and simulation agree at every point"
+                        : "mismatch at some sweep point (inspect table)");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Shared experiment configuration for the figure-reproduction benches.
+//
+// Parameter provenance (see EXPERIMENTS.md for the full discussion):
+//   * Fig. 2 (extinct regime): the paper's α = 0.01, ε1 = 0.2, ε2 = 0.05,
+//     λ(k) = k (scaled so r0 matches the printed 0.7220 on the surrogate
+//     profile), ω(k) = √k/(1+√k).
+//   * Fig. 3 (endemic regime): the paper's printed parameters are
+//     inconsistent with its own r0 formula (they give r0 = 7220, not
+//     2.1661); we use α = 0.05, ε1 = 0.05, ε2 = 1/3, which lands r0 at
+//     the printed 2.1661 with clearly visible endemic levels.
+//   * Fig. 4 (optimal control): c1 = 5, c2 = 10, horizon (0, 100],
+//     box bound 0.7 on both controls, uncontrolled-regime α = 0.05.
+#pragma once
+
+#include <memory>
+
+#include "control/fbsweep.hpp"
+#include "core/simulation.hpp"
+#include "core/threshold.hpp"
+#include "data/digg.hpp"
+
+namespace rumor::bench {
+
+/// The calibrated Digg2009 surrogate profile (847 degree groups).
+inline core::NetworkProfile digg_profile() {
+  return core::NetworkProfile::from_histogram(
+      data::digg_surrogate_histogram());
+}
+
+/// λ-scale that pins r0 = 0.7220 under the Fig. 2 countermeasures.
+inline double fig2_lambda_scale(const core::NetworkProfile& profile) {
+  core::ModelParams params;
+  params.alpha = 0.01;
+  params.lambda = core::Acceptance::linear(1.0);
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  return core::calibrate_lambda_scale(profile, params, 0.2, 0.05, 0.7220);
+}
+
+struct Experiment {
+  core::NetworkProfile profile;
+  core::ModelParams params;
+  double epsilon1;
+  double epsilon2;
+  double r0;
+};
+
+/// Fig. 2 setting: r0 = 0.7220 < 1 (extinct regime).
+inline Experiment fig2_experiment() {
+  auto profile = digg_profile();
+  core::ModelParams params;
+  params.alpha = 0.01;
+  params.lambda = core::Acceptance::linear(fig2_lambda_scale(profile));
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  const double e1 = 0.2, e2 = 0.05;
+  const double r0 =
+      core::basic_reproduction_number(profile, params, e1, e2);
+  return Experiment{std::move(profile), params, e1, e2, r0};
+}
+
+/// Fig. 3 setting: r0 = 2.1661 > 1 (endemic regime).
+inline Experiment fig3_experiment() {
+  auto profile = digg_profile();
+  core::ModelParams params;
+  params.alpha = 0.05;
+  params.lambda = core::Acceptance::linear(fig2_lambda_scale(profile));
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  const double e1 = 0.05, e2 = 1.0 / 3.0;
+  const double r0 =
+      core::basic_reproduction_number(profile, params, e1, e2);
+  return Experiment{std::move(profile), params, e1, e2, r0};
+}
+
+/// Fig. 4 problem: the Fig. 3 dynamics (uncontrolled rumor spreads) on a
+/// coarsened profile that keeps the optimal-control sweeps tractable
+/// (the coarsening preserves ⟨k⟩ exactly; see NetworkProfile::coarsened).
+inline core::SirNetworkModel fig4_model(std::size_t max_groups = 60) {
+  auto profile = digg_profile().coarsened(max_groups);
+  core::ModelParams params;
+  params.alpha = 0.05;
+  params.lambda = core::Acceptance::linear(
+      fig2_lambda_scale(digg_profile()));
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  return core::SirNetworkModel(std::move(profile), params,
+                               core::make_constant_control(0.0, 0.0));
+}
+
+/// Fig. 4 initial infected density per group. The paper does not print
+/// its Fig. 4 initial condition; a sizable initial outbreak (20%) is
+/// what reproduces the published policy shape — truth-spreading
+/// dominant early, blocking dominant late. With a near-zero I(0) the
+/// optimum is blocking-only throughout (see EXPERIMENTS.md).
+inline double fig4_initial_infected() { return 0.2; }
+
+/// The Fig. 4 cost setting: blocking is twice as expensive as truth.
+inline control::CostParams fig4_cost() {
+  control::CostParams cost;
+  cost.c1 = 5.0;
+  cost.c2 = 10.0;
+  return cost;
+}
+
+/// Solver settings that converge in a few seconds on the coarsened
+/// profile.
+inline control::SweepOptions fig4_sweep_options(double tf) {
+  control::SweepOptions options;
+  options.grid_points =
+      static_cast<std::size_t>(tf * 5.0) + 1;  // knot every 0.2 time units
+  options.substeps = 20;                       // RK4 step 0.01
+  options.epsilon1_max = 0.7;
+  options.epsilon2_max = 0.7;
+  options.max_iterations = 1500;
+  options.j_tolerance = 1e-6;
+  return options;
+}
+
+}  // namespace rumor::bench

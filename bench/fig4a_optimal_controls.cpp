@@ -1,0 +1,72 @@
+// FIG4a — optimized countermeasures ε1*(t), ε2*(t) on (0, 100] with
+// c1 = 5, c2 = 10 (paper Fig. 4(a)).
+//
+// Expected shape (paper): spreading truth dominates the early phase
+// (ε1 > ε2), blocking intensifies toward the deadline (ε1 < ε2).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rumor;
+  const double tf = 100.0;
+  auto model = bench::fig4_model();
+  const auto cost = bench::fig4_cost();
+  const auto options = bench::fig4_sweep_options(tf);
+
+  std::printf("FIG4a | optimal countermeasures via Pontryagin + "
+              "forward-backward sweep\n");
+  std::printf("  groups=%zu (coarsened surrogate)  c1=%g  c2=%g  "
+              "eps_max=%g  horizon=(0,%g]\n\n",
+              model.num_groups(), cost.c1, cost.c2, options.epsilon1_max,
+              tf);
+
+  const auto y0 = model.initial_state(bench::fig4_initial_infected());
+  const auto result =
+      control::solve_optimal_control(model, y0, tf, cost, options);
+
+  std::printf("  solver: converged=%s  iterations=%zu  final update=%.2e\n",
+              result.converged ? "yes" : "no", result.iterations,
+              result.final_update);
+  std::printf("  J* = %.4f (terminal %.4f + running %.4f)\n",
+              result.cost.total(), result.cost.terminal,
+              result.cost.running);
+  std::printf("  Sum_i I_i(tf) = %.6f\n\n",
+              model.total_infected(result.state.back_state()));
+
+  util::TablePrinter table({"t", "eps1*(t)", "eps2*(t)", "dominant"});
+  table.set_precision(4);
+  // The ε1-dominant window: first and last knots where truth-spreading
+  // out-weighs blocking.
+  double window_start = -1.0, window_end = -1.0;
+  for (std::size_t k = 0; k < result.grid.size(); ++k) {
+    const bool e1_dominant = result.epsilon1[k] > result.epsilon2[k];
+    if (e1_dominant) {
+      if (window_start < 0.0) window_start = result.grid[k];
+      window_end = result.grid[k];
+    }
+    if (k % 25 == 0 || k + 1 == result.grid.size()) {
+      table.add_text_row({util::format_significant(result.grid[k], 4),
+                          util::format_significant(result.epsilon1[k], 4),
+                          util::format_significant(result.epsilon2[k], 4),
+                          e1_dominant ? "truth (eps1)" : "blocking (eps2)"});
+    }
+  }
+  table.print(std::cout);
+
+  std::printf("\nFIG4a verdict: ");
+  const bool ends_blocking =
+      result.epsilon2.back() > result.epsilon1.back();
+  if (window_start >= 0.0 && window_end < tf && ends_blocking) {
+    std::printf("truth-spreading dominates over t in [%.1f, %.1f], then "
+                "blocking takes over through the deadline — the paper's "
+                "qualitative policy shape.\n",
+                window_start, window_end);
+  } else {
+    std::printf("no truth-dominant early window followed by a blocking "
+                "phase was detected (check parameters).\n");
+  }
+  return 0;
+}

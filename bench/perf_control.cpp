@@ -1,0 +1,81 @@
+// PERF-CTRL — forward-backward sweep scaling in the number of degree
+// groups (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace rumor;
+
+void BM_SweepIterationCost(benchmark::State& state) {
+  // One forward + one backward pass at a fixed grid; measures how the
+  // per-iteration cost scales with the group count.
+  auto model = bench::fig4_model(static_cast<std::size_t>(state.range(0)));
+  const auto cost = bench::fig4_cost();
+  control::SweepOptions options;
+  options.grid_points = 101;
+  options.substeps = 20;
+  options.max_iterations = 1;  // exactly one sweep iteration
+  options.j_tolerance = 0.0;
+  options.tolerance = 0.0;
+  const auto y0 = model.initial_state(0.01);
+  for (auto _ : state) {
+    auto result =
+        control::solve_optimal_control(model, y0, 20.0, cost, options);
+    benchmark::DoNotOptimize(result.cost.running);
+  }
+  state.SetLabel(std::to_string(model.num_groups()) + " groups");
+}
+BENCHMARK(BM_SweepIterationCost)->Arg(5)->Arg(20)->Arg(60)->Arg(200);
+
+void BM_FullSolveSmall(benchmark::State& state) {
+  auto model = bench::fig4_model(10);
+  const auto cost = bench::fig4_cost();
+  control::SweepOptions options;
+  options.grid_points = 101;
+  options.substeps = 10;
+  options.max_iterations = 200;
+  options.j_tolerance = 1e-5;
+  const auto y0 = model.initial_state(0.01);
+  for (auto _ : state) {
+    auto result =
+        control::solve_optimal_control(model, y0, 20.0, cost, options);
+    benchmark::DoNotOptimize(result.iterations);
+  }
+}
+BENCHMARK(BM_FullSolveSmall)->Unit(benchmark::kMillisecond);
+
+void BM_CostateRhs(benchmark::State& state) {
+  auto model = bench::fig4_model(static_cast<std::size_t>(state.range(0)));
+  const auto cost = bench::fig4_cost();
+  const auto y0 = model.initial_state(0.01);
+  const auto schedule = core::make_constant_control(0.1, 0.1);
+  core::SirNetworkModel forward_model(model.profile(), model.params(),
+                                      schedule);
+  const auto traj =
+      ode::integrate_rk4(forward_model, y0, 0.0, 10.0, 0.01);
+  control::BackwardCostateSystem adjoint(forward_model, traj, *schedule,
+                                         cost, 10.0);
+  ode::State w = adjoint.terminal_costate();
+  ode::State dwds(w.size());
+  for (auto _ : state) {
+    adjoint.rhs(1.0, w, dwds);
+    benchmark::DoNotOptimize(dwds.data());
+  }
+}
+BENCHMARK(BM_CostateRhs)->Arg(20)->Arg(200);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // BM_SweepIterationCost intentionally runs single sweep iterations;
+  // suppress the library's non-convergence warnings for this binary.
+  rumor::util::set_log_level(rumor::util::LogLevel::kError);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// PERF-GRAPH — generator and metric micro-benchmarks (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "data/digg.hpp"
+#include "graph/degree.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "sim/agent_sim.hpp"
+
+namespace {
+
+using namespace rumor;
+
+void BM_BarabasiAlbert(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    util::Xoshiro256 rng(1);
+    auto g = graph::barabasi_albert(n, 3, rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BarabasiAlbert)->Arg(10'000)->Arg(50'000);
+
+void BM_ConfigurationModel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 seq_rng(2);
+  const auto degrees =
+      graph::powerlaw_degree_sequence(n, 2.2, 1, 200, seq_rng);
+  for (auto _ : state) {
+    util::Xoshiro256 rng(3);
+    auto g = graph::configuration_model(degrees, rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_ConfigurationModel)->Arg(10'000)->Arg(50'000);
+
+void BM_DiggSurrogateCalibration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto calibration = data::calibrate();
+    benchmark::DoNotOptimize(calibration.gamma);
+  }
+}
+BENCHMARK(BM_DiggSurrogateCalibration);
+
+void BM_CoreDecomposition(benchmark::State& state) {
+  util::Xoshiro256 rng(4);
+  const auto g = graph::barabasi_albert(
+      static_cast<std::size_t>(state.range(0)), 3, rng);
+  for (auto _ : state) {
+    auto cores = graph::core_numbers(g);
+    benchmark::DoNotOptimize(cores.data());
+  }
+}
+BENCHMARK(BM_CoreDecomposition)->Arg(10'000)->Arg(100'000);
+
+void BM_SampledBetweenness(benchmark::State& state) {
+  util::Xoshiro256 rng(5);
+  const auto g = graph::barabasi_albert(10'000, 3, rng);
+  for (auto _ : state) {
+    util::Xoshiro256 pivot_rng(6);
+    auto bc = graph::betweenness_sampled(
+        g, static_cast<std::size_t>(state.range(0)), pivot_rng);
+    benchmark::DoNotOptimize(bc.data());
+  }
+}
+BENCHMARK(BM_SampledBetweenness)->Arg(8)->Arg(32);
+
+void BM_DegreeHistogram(benchmark::State& state) {
+  util::Xoshiro256 rng(7);
+  const auto g = graph::barabasi_albert(100'000, 3, rng);
+  for (auto _ : state) {
+    auto hist = graph::DegreeHistogram::from_graph(g);
+    benchmark::DoNotOptimize(hist.num_groups());
+  }
+}
+BENCHMARK(BM_DegreeHistogram);
+
+void BM_AgentSimStep(benchmark::State& state) {
+  util::Xoshiro256 rng(8);
+  const auto g = graph::barabasi_albert(
+      static_cast<std::size_t>(state.range(0)), 3, rng);
+  sim::AgentParams params;
+  params.lambda = core::Acceptance::linear(1.0);
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  params.epsilon2 = 0.01;
+  params.dt = 0.1;
+  sim::AgentSimulation simulation(g, params, 9);
+  simulation.seed_random_infections(g.num_nodes() / 20);
+  for (auto _ : state) {
+    simulation.step();
+    benchmark::DoNotOptimize(simulation.time());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AgentSimStep)->Arg(10'000)->Arg(100'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// PERF-ODE — integrator micro-benchmarks (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "ode/dopri5.hpp"
+#include "core/jacobian.hpp"
+#include "ode/implicit.hpp"
+#include "ode/integrate.hpp"
+#include "util/eigen.hpp"
+
+namespace {
+
+using namespace rumor;
+
+// The full 847-group Digg model in the Fig. 2 setting.
+const core::SirNetworkModel& fig2_model() {
+  static const auto* model = [] {
+    const auto experiment = bench::fig2_experiment();
+    return new core::SirNetworkModel(
+        experiment.profile, experiment.params,
+        core::make_constant_control(experiment.epsilon1,
+                                    experiment.epsilon2));
+  }();
+  return *model;
+}
+
+void BM_SirRhs(benchmark::State& state) {
+  const auto& model = fig2_model();
+  const auto y = model.initial_state(0.01);
+  ode::State dydt(model.dimension());
+  for (auto _ : state) {
+    model.rhs(0.0, y, dydt);
+    benchmark::DoNotOptimize(dydt.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(model.dimension()));
+}
+BENCHMARK(BM_SirRhs);
+
+void BM_FixedStepIntegration(benchmark::State& state) {
+  const auto& model = fig2_model();
+  const auto y0 = model.initial_state(0.01);
+  const auto stepper = ode::make_stepper(
+      state.range(0) == 0 ? "euler" : state.range(0) == 1 ? "heun" : "rk4");
+  for (auto _ : state) {
+    auto result =
+        ode::integrate_to_end(model, *stepper, y0, 0.0, 10.0, 0.05);
+    benchmark::DoNotOptimize(result.data());
+  }
+}
+BENCHMARK(BM_FixedStepIntegration)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Dopri5Integration(benchmark::State& state) {
+  const auto& model = fig2_model();
+  const auto y0 = model.initial_state(0.01);
+  ode::Dopri5Options options;
+  options.rel_tol = std::pow(10.0, -static_cast<double>(state.range(0)));
+  options.abs_tol = options.rel_tol * 1e-2;
+  for (auto _ : state) {
+    auto traj = ode::integrate_dopri5(model, y0, 0.0, 10.0, options);
+    benchmark::DoNotOptimize(traj.size());
+  }
+}
+BENCHMARK(BM_Dopri5Integration)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_ImplicitTrapezoidWithAnalyticJacobian(benchmark::State& state) {
+  // Stiff-capable integration of a coarsened Digg model: one LU of a
+  // (2n)x(2n) Newton matrix per step dominates.
+  const auto profile = bench::digg_profile().coarsened(
+      static_cast<std::size_t>(state.range(0)));
+  const auto base = bench::fig2_experiment();
+  const core::SirNetworkModel model(
+      profile, base.params,
+      core::make_constant_control(base.epsilon1, base.epsilon2));
+  const core::SirJacobianProvider provider(model);
+  const auto y0 = model.initial_state(0.01);
+  for (auto _ : state) {
+    ode::TrapezoidalStepper stepper(&provider);
+    auto y = ode::integrate_to_end(model, stepper, y0, 0.0, 5.0, 0.1);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetLabel(std::to_string(profile.num_groups()) + " groups");
+}
+BENCHMARK(BM_ImplicitTrapezoidWithAnalyticJacobian)->Arg(10)->Arg(40);
+
+void BM_EigenSolveJacobian(benchmark::State& state) {
+  const auto profile = bench::digg_profile().coarsened(
+      static_cast<std::size_t>(state.range(0)));
+  const auto base = bench::fig2_experiment();
+  const core::SirNetworkModel model(
+      profile, base.params,
+      core::make_constant_control(base.epsilon1, base.epsilon2));
+  const auto y = model.initial_state(0.01);
+  const auto j = core::system_jacobian(model, 0.0, y);
+  for (auto _ : state) {
+    auto spectrum = util::eigenvalues(j);
+    benchmark::DoNotOptimize(spectrum.data());
+  }
+  state.SetLabel(std::to_string(2 * profile.num_groups()) + " dims");
+}
+BENCHMARK(BM_EigenSolveJacobian)->Arg(20)->Arg(60);
+
+void BM_TrajectoryInterpolation(benchmark::State& state) {
+  const auto& model = fig2_model();
+  const auto traj =
+      ode::integrate_rk4(model, model.initial_state(0.01), 0.0, 10.0, 0.05);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.37;
+    if (t > 10.0) t -= 10.0;
+    auto y = traj.at(t);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_TrajectoryInterpolation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

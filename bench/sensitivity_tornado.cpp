@@ -1,0 +1,65 @@
+// SENS — tornado table: which knob moves the outcome most (extension).
+//
+// Closed-form elasticities of r0 (all ±1 — structural) plus
+// finite-difference elasticities of three trajectory outcomes in the
+// Fig. 2 (extinct) setting: peak infected density, terminal infected
+// density at t = 150, and the extinction time.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/sensitivity.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rumor;
+  const auto experiment = bench::fig2_experiment();
+  const auto profile = experiment.profile.coarsened(60);
+
+  std::printf("SENS | elasticities d(log F)/d(log p) in the Fig. 2 "
+              "setting (r0 = %.4f)\n\n", experiment.r0);
+
+  const auto analytic = core::threshold_sensitivity();
+  std::printf("threshold r0 (closed form): alpha %+g, eps1 %+g, eps2 %+g, "
+              "lambda-scale %+g\n\n",
+              analytic.alpha, analytic.epsilon1, analytic.epsilon2,
+              analytic.lambda_scale);
+
+  core::ElasticityOptions options;
+  options.simulation.t1 = 400.0;
+  options.simulation.dt = 0.02;
+  options.simulation.record_every = 10;
+
+  struct Row {
+    const char* name;
+    core::TrajectoryFunctional functional;
+  };
+  const Row rows[] = {
+      {"peak infected density", core::peak_infected_density()},
+      {"infected density at t=400", core::terminal_infected_density()},
+      {"extinction time (Sum I < 0.02)", core::extinction_time(0.02)},
+  };
+
+  util::TablePrinter table({"outcome", "alpha", "eps1", "eps2",
+                            "lambda-scale"});
+  table.set_precision(3);
+  for (const auto& row : rows) {
+    const auto elasticities = core::elasticity_table(
+        profile, experiment.params, experiment.epsilon1,
+        experiment.epsilon2, 0.01, row.functional, options);
+    table.add_text_row(
+        {row.name,
+         util::format_significant(elasticities[0].elasticity, 3),
+         util::format_significant(elasticities[1].elasticity, 3),
+         util::format_significant(elasticities[2].elasticity, 3),
+         util::format_significant(elasticities[3].elasticity, 3)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nSENS reading: r0's elasticities are exactly ±1, but the "
+              "*transient* outcomes weight the knobs unevenly — the "
+              "quantities a platform actually observes (peak, clearing "
+              "time) respond most strongly to the blocking rate in this "
+              "regime.\n");
+  return 0;
+}

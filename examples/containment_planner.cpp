@@ -1,0 +1,103 @@
+// Containment planner: the paper's "real-time decision reference".
+//
+// Scenario: a rumor is detected with some of the population already
+// infected, and the platform wants it practically extinct within a
+// deadline, spending as little as possible on the two countermeasures
+// (spreading truth at unit cost c1, blocking users at unit cost c2).
+//
+// The planner solves the Pontryagin optimal-control problem
+// (Section IV) and prints the week-by-week mix of the two levers, plus
+// the cost it saves against a reactive proportional-feedback policy
+// tuned to the same terminal target.
+//
+// Usage: ./build/examples/containment_planner [initial_infected] [deadline]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "control/fbsweep.hpp"
+#include "control/heuristic.hpp"
+#include "core/threshold.hpp"
+#include "data/digg.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rumor;
+  const double initial_infected = argc > 1 ? std::atof(argv[1]) : 0.2;
+  const double deadline = argc > 2 ? std::atof(argv[2]) : 60.0;
+
+  // Degree profile coarsened for interactive latency (the coarsening
+  // preserves ⟨k⟩; rerun with more groups for production planning).
+  const auto profile =
+      core::NetworkProfile::from_histogram(data::digg_surrogate_histogram())
+          .coarsened(20);
+  core::ModelParams params;
+  params.alpha = 0.05;
+  params.lambda = core::Acceptance::linear(0.807);
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  core::SirNetworkModel model(profile, params,
+                              core::make_constant_control(0.0, 0.0));
+  const auto y0 = model.initial_state(initial_infected);
+
+  control::CostParams cost;
+  cost.c1 = 5.0;   // unit cost of a truth campaign
+  cost.c2 = 10.0;  // unit cost of blocking users (backfire risk etc.)
+
+  std::printf("Containment planner\n");
+  std::printf("  detected outbreak: %.0f%% of every degree group "
+              "infected\n", 100.0 * initial_infected);
+  std::printf("  deadline: t = %g    costs: truth c1=%g, blocking c2=%g\n",
+              deadline, cost.c1, cost.c2);
+  const double target =
+      1e-3 * static_cast<double>(profile.num_groups());
+  std::printf("  target: Sum_i I_i(deadline) <= %.3g\n\n", target);
+
+  control::SweepOptions options;
+  options.grid_points = static_cast<std::size_t>(deadline * 5) + 1;
+  options.substeps = 20;
+  options.max_iterations = 800;
+  options.j_tolerance = 1e-6;
+
+  const auto plan = control::solve_with_terminal_target(
+      model, y0, deadline, cost, target, options);
+
+  std::printf("Optimized plan (solver %s in %zu iterations):\n",
+              plan.converged ? "converged" : "stopped",
+              plan.iterations);
+  util::TablePrinter table(
+      {"t", "truth effort eps1", "blocking effort eps2", "infected mass"});
+  table.set_precision(3);
+  const std::size_t stride =
+      std::max<std::size_t>(1, plan.grid.size() / 12);
+  for (std::size_t k = 0; k < plan.grid.size(); k += stride) {
+    table.add_row({plan.grid[k], plan.epsilon1[k], plan.epsilon2[k],
+                   model.total_infected(plan.state.at(plan.grid[k]))});
+  }
+  table.print(std::cout);
+  std::printf("  achieved Sum_i I_i(%g) = %.5f\n", deadline,
+              model.total_infected(plan.state.back_state()));
+  std::printf("  running cost of the plan: %.3f\n\n", plan.cost.running);
+
+  // Baseline: reactive proportional feedback tuned to the same target.
+  try {
+    control::FeedbackPolicy policy;
+    policy.epsilon1_max = options.epsilon1_max;
+    policy.epsilon2_max = options.epsilon2_max;
+    policy.gain = control::tune_feedback_gain(model, policy, y0, deadline,
+                                              target);
+    const auto reactive = control::run_feedback_policy(
+        model, policy, y0, deadline, cost, 0.01);
+    std::printf("Reactive baseline (gain %.1f tuned to the same target): "
+                "running cost %.3f\n",
+                policy.gain, reactive.cost.running);
+    std::printf("→ the optimized plan spends %.0f%% of the reactive "
+                "policy's budget.\n",
+                100.0 * plan.cost.running / reactive.cost.running);
+  } catch (const util::InvalidArgument&) {
+    std::printf("Reactive baseline cannot reach the target by the "
+                "deadline at all — only the anticipatory optimized plan "
+                "can.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Network cross-validation: trust-but-verify the mean-field model.
+//
+// The paper's analysis lives entirely in the degree-grouped ODE. This
+// example builds an actual scale-free graph, runs the *microscopic*
+// agent-based simulation on its edges, and overlays the ODE prediction
+// computed from nothing but the graph's degree histogram. It finishes
+// with the influential-user blocking comparison (degree / core /
+// betweenness / random) on the same graph.
+//
+// Usage: ./build/examples/network_cross_validation [nodes]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/simulation.hpp"
+#include "core/threshold.hpp"
+#include "graph/generators.hpp"
+#include "sim/ensemble.hpp"
+#include "sim/strategies.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rumor;
+  const std::size_t nodes =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 5000;
+
+  util::Xoshiro256 rng(99);
+  const auto g = graph::barabasi_albert(nodes, 3, rng);
+  std::printf("graph: Barabasi-Albert, %zu nodes, %zu edges, <k>=%.2f, "
+              "max degree %zu\n\n",
+              g.num_nodes(), g.num_edges(), g.average_degree(),
+              g.max_degree());
+
+  core::ModelParams params;
+  params.alpha = 0.0;
+  params.lambda = core::Acceptance::linear(1.0);
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  const double eps1 = 0.02, eps2 = 0.3;
+
+  // ODE side: consumes only the degree histogram.
+  const auto profile = core::NetworkProfile::from_graph(g);
+  core::SirNetworkModel model(profile, params,
+                              core::make_constant_control(eps1, eps2));
+  core::SimulationOptions ode_options;
+  ode_options.t1 = 20.0;
+  ode_options.dt = 0.01;
+  const auto ode =
+      core::run_simulation(model, model.initial_state(0.02), ode_options);
+
+  // Microscopic side: 16 stochastic replicas on the real edges.
+  sim::AgentParams agent;
+  agent.lambda = params.lambda;
+  agent.omega = params.omega;
+  agent.epsilon1 = eps1;
+  agent.epsilon2 = eps2;
+  agent.dt = 0.05;
+  sim::EnsembleOptions ensemble;
+  ensemble.replicas = 16;
+  ensemble.t_end = 20.0;
+  ensemble.initial_fraction = 0.02;
+  ensemble.seed = 5;
+  const auto mc = sim::run_ensemble(g, agent, ensemble);
+
+  std::printf("infected density: mean-field ODE vs agent-based ensemble "
+              "(16 replicas)\n");
+  util::TablePrinter table({"t", "ODE", "agents (mean±std)"});
+  table.set_precision(4);
+  const std::size_t stride = std::max<std::size_t>(1, mc.series.size() / 10);
+  for (std::size_t k = 0; k < mc.series.size(); k += stride) {
+    const auto& point = mc.series[k];
+    const double i_ode = util::interp_linear(
+        ode.trajectory.times(), ode.infected_density, point.t);
+    table.add_text_row(
+        {util::format_significant(point.t, 4),
+         util::format_significant(i_ode, 4),
+         util::format_significant(point.mean_infected_fraction, 4) +
+             " ± " +
+             util::format_significant(point.std_infected_fraction, 2)});
+  }
+  table.print(std::cout);
+
+  // Influential-user blocking on the same graph.
+  std::printf("\nwho to block? attack rate after pre-blocking 2%% of "
+              "users by strategy:\n");
+  util::TablePrinter who({"strategy", "attack rate"});
+  who.set_precision(4);
+  const auto budget = g.num_nodes() / 50;
+  for (const auto strategy :
+       {sim::BlockingStrategy::kRandom, sim::BlockingStrategy::kDegree,
+        sim::BlockingStrategy::kCore,
+        sim::BlockingStrategy::kBetweenness}) {
+    util::Xoshiro256 select_rng(17);
+    const auto blocked =
+        sim::select_nodes_to_block(g, strategy, budget, select_rng, 32);
+    double attack = 0.0;
+    const int replicas = 8;
+    for (int r = 0; r < replicas; ++r) {
+      sim::AgentSimulation simulation(g, agent, 700 + r);
+      simulation.block_nodes(blocked);
+      simulation.seed_random_infections(g.num_nodes() / 50);
+      simulation.run_until(40.0);
+      attack += static_cast<double>(simulation.ever_infected()) /
+                static_cast<double>(g.num_nodes());
+    }
+    who.add_text_row({sim::to_string(strategy),
+                      util::format_significant(attack / replicas, 4)});
+  }
+  who.print(std::cout);
+
+  std::printf("\nTakeaway: the degree histogram alone (what the paper's "
+              "ODE uses) predicts the macroscopic curve on the real "
+              "graph, and centrality-targeted blocking beats random — "
+              "both pillars of the paper, checked microscopically.\n");
+  return 0;
+}

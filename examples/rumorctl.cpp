@@ -1,0 +1,301 @@
+// rumorctl — command-line front end to the rumor-dynamics library.
+//
+//   rumorctl stats                         dataset statistics
+//   rumorctl threshold [opts]              r0 + regime + equilibria
+//   rumorctl spectrum [opts]               eigenvalues at the equilibrium
+//   rumorctl simulate [opts]               CSV time series to stdout
+//   rumorctl plan [opts]                   optimized countermeasure CSV
+//   rumorctl fit --cascade FILE [opts]     estimate parameters from data
+//
+// Common options (defaults in brackets):
+//   --edges FILE      load a real edge list instead of the surrogate
+//   --groups N        coarsen the degree profile to N groups [848]
+//   --alpha A         arrival rate [0.01]
+//   --lambda-scale S  λ(k) = S·k [1.0]
+//   --eps1 E --eps2 E constant countermeasure rates [0.2 / 0.05]
+//   --i0 F            initial infected fraction [0.01]
+//   --tf T            horizon / deadline [100]
+// plan-specific: --c1 [5] --c2 [10] --target [1e-3·n] --eps-max [0.7]
+// fit-specific:  --cascade FILE (CSV with columns t,infected_density)
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "control/fbsweep.hpp"
+#include "core/equilibrium.hpp"
+#include "core/fitting.hpp"
+#include "core/jacobian.hpp"
+#include "core/simulation.hpp"
+#include "core/threshold.hpp"
+#include "data/digg.hpp"
+#include "graph/io.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rumor;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  double number(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+  std::optional<std::string> text(const std::string& key) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    util::require(key.rfind("--", 0) == 0,
+                  "expected --option value pairs after the command");
+    args.options[key.substr(2)] = argv[i + 1];
+  }
+  return args;
+}
+
+core::NetworkProfile load_profile(const Args& args) {
+  core::NetworkProfile profile = [&] {
+    if (const auto edges = args.text("edges")) {
+      const auto g = graph::read_edge_list_file(*edges, /*directed=*/true);
+      std::fprintf(stderr, "loaded %zu nodes / %zu links from %s\n",
+                   g.num_nodes(), g.num_edges(), edges->c_str());
+      return core::NetworkProfile::from_graph(g);
+    }
+    return core::NetworkProfile::from_histogram(
+        data::digg_surrogate_histogram());
+  }();
+  const auto groups = static_cast<std::size_t>(
+      args.number("groups", static_cast<double>(profile.num_groups())));
+  return profile.coarsened(std::max<std::size_t>(groups, 1));
+}
+
+core::ModelParams load_params(const Args& args) {
+  core::ModelParams params;
+  params.alpha = args.number("alpha", 0.01);
+  params.lambda =
+      core::Acceptance::linear(args.number("lambda-scale", 1.0));
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  return params;
+}
+
+int cmd_stats(const Args& args) {
+  const auto profile = load_profile(args);
+  util::TablePrinter table({"statistic", "value"});
+  table.add_text_row({"degree groups",
+                      std::to_string(profile.num_groups())});
+  table.add_text_row({"mean degree",
+                      util::format_significant(profile.mean_degree(), 6)});
+  table.add_text_row(
+      {"min degree", util::format_significant(profile.degree(0), 6)});
+  table.add_text_row(
+      {"max degree",
+       util::format_significant(profile.degree(profile.num_groups() - 1),
+                                6)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_threshold(const Args& args) {
+  const auto profile = load_profile(args);
+  const auto params = load_params(args);
+  const double e1 = args.number("eps1", 0.2);
+  const double e2 = args.number("eps2", 0.05);
+  const double r0 =
+      core::basic_reproduction_number(profile, params, e1, e2);
+  std::printf("r0 = %.6f → %s\n", r0,
+              r0 <= 1.0 ? "rumor becomes extinct (E0 stable)"
+                        : "rumor persists (E+ stable)");
+  if (r0 > 1.0) {
+    const auto eq = core::positive_equilibrium(profile, params, e1, e2);
+    if (eq) {
+      double density = 0.0;
+      const std::size_t n = profile.num_groups();
+      for (std::size_t i = 0; i < n; ++i) {
+        density += profile.probability(i) * eq->state[n + i];
+      }
+      std::printf("endemic infected density at E+: %.6f (theta+ = %.3g)\n",
+                  density, eq->theta);
+    }
+  } else {
+    std::printf("equilibrium S* = alpha/eps1 = %.6f per group\n",
+                params.alpha / e1);
+  }
+  return 0;
+}
+
+int cmd_spectrum(const Args& args) {
+  // Eigenvalues of the Jacobian at the relevant equilibrium (E+ when
+  // r0 > 1, E0 otherwise), on a coarsened profile (dense QR is O(n³)).
+  const auto profile = load_profile(args).coarsened(
+      static_cast<std::size_t>(args.number("groups", 40.0)));
+  const auto params = load_params(args);
+  const double e1 = args.number("eps1", 0.2);
+  const double e2 = args.number("eps2", 0.05);
+  const double r0 =
+      core::basic_reproduction_number(profile, params, e1, e2);
+  core::SirNetworkModel model(profile, params,
+                              core::make_constant_control(e1, e2));
+  core::Equilibrium equilibrium =
+      core::zero_equilibrium(profile, params, e1, e2);
+  if (r0 > 1.0) {
+    if (auto eq = core::positive_equilibrium(profile, params, e1, e2)) {
+      equilibrium = std::move(*eq);
+    }
+  }
+  const auto spectrum =
+      core::stability_spectrum(model, 0.0, equilibrium.state);
+  std::printf("r0 = %.4f → analyzing %s (%zu groups)\n", r0,
+              equilibrium.positive ? "E+" : "E0", profile.num_groups());
+  std::printf("stable: %s  |  spectral abscissa: %.6f\n",
+              spectrum.stable ? "yes" : "no", spectrum.abscissa);
+  util::TablePrinter table({"Re", "Im"});
+  table.set_precision(5);
+  auto sorted = spectrum.eigenvalues;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.real() > b.real(); });
+  const std::size_t shown = std::min<std::size_t>(sorted.size(), 12);
+  for (std::size_t i = 0; i < shown; ++i) {
+    table.add_row({sorted[i].real(), sorted[i].imag()});
+  }
+  table.print(std::cout);
+  if (sorted.size() > shown) {
+    std::printf("(%zu further eigenvalues omitted)\n",
+                sorted.size() - shown);
+  }
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const auto profile = load_profile(args);
+  const auto params = load_params(args);
+  const double e1 = args.number("eps1", 0.2);
+  const double e2 = args.number("eps2", 0.05);
+  core::SirNetworkModel model(profile, params,
+                              core::make_constant_control(e1, e2));
+  core::SimulationOptions options;
+  options.t1 = args.number("tf", 100.0);
+  options.dt = args.number("dt", 0.05);
+  options.record_every =
+      std::max<std::size_t>(1, static_cast<std::size_t>(args.number(
+                                   "record-every", 20.0)));
+  const auto result = core::run_simulation(
+      model, model.initial_state(args.number("i0", 0.01)), options);
+
+  util::CsvWriter csv({"t", "infected_density", "total_infected",
+                       "theta"});
+  for (std::size_t k = 0; k < result.trajectory.size(); ++k) {
+    csv.add_row({result.trajectory.times()[k],
+                 result.infected_density[k], result.total_infected[k],
+                 result.theta[k]});
+  }
+  csv.write(std::cout);
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  const auto profile = load_profile(args).coarsened(
+      static_cast<std::size_t>(args.number("groups", 20.0)));
+  auto params = load_params(args);
+  params.alpha = args.number("alpha", 0.05);
+  core::SirNetworkModel model(profile, params,
+                              core::make_constant_control(0.0, 0.0));
+  const double tf = args.number("tf", 60.0);
+  const auto y0 = model.initial_state(args.number("i0", 0.2));
+
+  control::CostParams cost;
+  cost.c1 = args.number("c1", 5.0);
+  cost.c2 = args.number("c2", 10.0);
+  control::SweepOptions sweep;
+  sweep.grid_points = static_cast<std::size_t>(tf * 5.0) + 1;
+  sweep.substeps = 20;
+  sweep.epsilon1_max = args.number("eps-max", 0.7);
+  sweep.epsilon2_max = sweep.epsilon1_max;
+  sweep.max_iterations = 800;
+  sweep.j_tolerance = 1e-6;
+
+  const double target = args.number(
+      "target", 1e-3 * static_cast<double>(profile.num_groups()));
+  const auto plan = control::solve_with_terminal_target(
+      model, y0, tf, cost, target, sweep);
+  std::fprintf(stderr,
+               "plan: %s after %zu iterations, running cost %.4f, "
+               "terminal infected %.5f\n",
+               plan.converged ? "converged" : "stopped", plan.iterations,
+               plan.cost.running,
+               model.total_infected(plan.state.back_state()));
+
+  util::CsvWriter csv({"t", "eps1", "eps2"});
+  for (std::size_t k = 0; k < plan.grid.size(); ++k) {
+    csv.add_row({plan.grid[k], plan.epsilon1[k], plan.epsilon2[k]});
+  }
+  csv.write(std::cout);
+  return 0;
+}
+
+int cmd_fit(const Args& args) {
+  const auto cascade_file = args.text("cascade");
+  util::require(cascade_file.has_value(),
+                "fit: --cascade FILE is required");
+  const auto doc = util::read_csv_file(*cascade_file);
+  core::CascadeObservations observations;
+  observations.t = doc.numeric_column("t");
+  observations.infected_density = doc.numeric_column("infected_density");
+
+  const auto profile = load_profile(args).coarsened(
+      static_cast<std::size_t>(args.number("groups", 30.0)));
+  const auto guess = load_params(args);
+  const auto fit = core::fit_to_cascade(
+      profile, guess, args.number("eps1", 0.1), args.number("eps2", 0.1),
+      observations);
+  util::TablePrinter table({"parameter", "estimate"});
+  table.add_text_row({"lambda scale",
+                      util::format_significant(fit.params.lambda.scale(),
+                                               5)});
+  table.add_text_row({"eps1", util::format_significant(fit.epsilon1, 5)});
+  table.add_text_row({"eps2", util::format_significant(fit.epsilon2, 5)});
+  table.add_text_row({"rss", util::format_significant(fit.rss, 4)});
+  table.print(std::cout);
+  return 0;
+}
+
+int usage() {
+  std::printf(
+      "rumorctl — rumor propagation dynamics & optimized countermeasures\n"
+      "usage: rumorctl {stats|threshold|spectrum|simulate|plan|fit} [--opt value]\n"
+      "see the header of examples/rumorctl.cpp for the full option list\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.command == "stats") return cmd_stats(args);
+    if (args.command == "threshold") return cmd_threshold(args);
+    if (args.command == "spectrum") return cmd_spectrum(args);
+    if (args.command == "simulate") return cmd_simulate(args);
+    if (args.command == "plan") return cmd_plan(args);
+    if (args.command == "fit") return cmd_fit(args);
+    return usage();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "rumorctl: %s\n", error.what());
+    return 1;
+  }
+}

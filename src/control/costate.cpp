@@ -1,0 +1,99 @@
+#include "control/costate.hpp"
+
+#include "util/error.hpp"
+
+namespace rumor::control {
+
+BackwardCostateSystem::BackwardCostateSystem(
+    const core::SirNetworkModel& model, const ode::Trajectory& state,
+    const core::ControlSchedule& schedule, const CostParams& cost, double tf,
+    bool diagonal_coupling)
+    : model_(model),
+      state_(state),
+      schedule_(schedule),
+      cost_(cost),
+      tf_(tf),
+      diagonal_(diagonal_coupling) {
+  cost_.validate();
+  util::require(!state_.empty(), "BackwardCostateSystem: empty trajectory");
+  util::require(state_.dimension() == model_.dimension(),
+                "BackwardCostateSystem: trajectory dimension mismatch");
+  util::require(tf_ > state_.front_time(),
+                "BackwardCostateSystem: tf before trajectory start");
+}
+
+void BackwardCostateSystem::rhs(double s, std::span<const double> w,
+                                std::span<double> dwds) const {
+  const std::size_t n = model_.num_groups();
+  const double t = tf_ - s;
+  const ode::State y = state_.at(t);
+  const auto S = std::span<const double>(y).subspan(0, n);
+  const auto I = std::span<const double>(y).subspan(n, n);
+  const auto psi = w.subspan(0, n);
+  const auto phi_costate = w.subspan(n, n);
+
+  const double e1 = schedule_.epsilon1(t);
+  const double e2 = schedule_.epsilon2(t);
+  const auto lambda = model_.lambdas();
+  const auto phi = model_.phis();  // ϕ_i = ω(k_i) P(k_i)
+  const double mean_k = model_.profile().mean_degree();
+
+  double theta = 0.0;
+  for (std::size_t i = 0; i < n; ++i) theta += phi[i] * I[i];
+  theta /= mean_k;
+
+  // Cross-group factor Σ_i (ψ_i − φ_i) λ_i S_i of the full adjoint.
+  double coupling = 0.0;
+  if (!diagonal_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      coupling += (psi[i] - phi_costate[i]) * lambda[i] * S[i];
+    }
+  }
+
+  for (std::size_t j = 0; j < n; ++j) {
+    const double dpsi_dt = -2.0 * cost_.c1 * e1 * e1 * S[j] +
+                           psi[j] * (lambda[j] * theta + e1) -
+                           phi_costate[j] * lambda[j] * theta;
+    const double group_coupling =
+        diagonal_ ? (psi[j] - phi_costate[j]) * lambda[j] * S[j] : coupling;
+    const double dphi_dt = -2.0 * cost_.c2 * e2 * e2 * I[j] +
+                           (phi[j] / mean_k) * group_coupling +
+                           phi_costate[j] * e2;
+    // Reversed clock: dw/ds = −dw/dt.
+    dwds[j] = -dpsi_dt;
+    dwds[n + j] = -dphi_dt;
+  }
+}
+
+ode::State BackwardCostateSystem::terminal_costate() const {
+  const std::size_t n = model_.num_groups();
+  ode::State w(2 * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) w[n + j] = cost_.terminal_weight;
+  return w;
+}
+
+StationaryControls stationary_controls(std::span<const double> y,
+                                       std::span<const double> w,
+                                       std::size_t num_groups,
+                                       const CostParams& cost) {
+  const auto S = y.subspan(0, num_groups);
+  const auto I = y.subspan(num_groups, num_groups);
+  const auto psi = w.subspan(0, num_groups);
+  const auto phi = w.subspan(num_groups, num_groups);
+
+  double psi_s = 0.0, s2 = 0.0, phi_i = 0.0, i2 = 0.0;
+  for (std::size_t i = 0; i < num_groups; ++i) {
+    psi_s += psi[i] * S[i];
+    s2 += S[i] * S[i];
+    phi_i += phi[i] * I[i];
+    i2 += I[i] * I[i];
+  }
+  StationaryControls out;
+  // Degenerate denominators (all-zero S or I) mean the control has no
+  // effect; zero effort is then optimal for the quadratic cost.
+  out.epsilon1 = s2 > 0.0 ? psi_s / (2.0 * cost.c1 * s2) : 0.0;
+  out.epsilon2 = i2 > 0.0 ? phi_i / (2.0 * cost.c2 * i2) : 0.0;
+  return out;
+}
+
+}  // namespace rumor::control

@@ -1,0 +1,397 @@
+#include "control/fbsweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ode/integrate.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/math.hpp"
+
+namespace rumor::control {
+
+namespace {
+
+// The forward integration is explicit; on stiff profiles an oversized
+// step produces finite-but-meaningless states (e.g. negative infected
+// densities), which would silently corrupt the optimization. Reject
+// such passes loudly.
+void check_forward_pass(const ode::Trajectory& state, std::size_t n) {
+  const auto y = state.back_state();
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    if (!std::isfinite(y[i]) || (i >= n && y[i] < -1e-6)) {
+      throw util::InternalError(
+          "solve_optimal_control: forward pass produced an invalid state "
+          "(non-finite or negative infected density) — the explicit "
+          "integrator is unstable at this step size; increase substeps "
+          "or grid_points");
+    }
+  }
+}
+
+std::shared_ptr<core::PiecewiseLinearControl> make_schedule(
+    const std::vector<double>& grid, const std::vector<double>& e1,
+    const std::vector<double>& e2) {
+  return std::make_shared<core::PiecewiseLinearControl>(grid, e1, e2);
+}
+
+// Forward-time view of the backward costate solution: sample k of the
+// backward run is at s_k = tf − t, so reverse it into a Trajectory
+// indexed by t for reporting and interpolation.
+ode::Trajectory reverse_costate(const ode::Trajectory& backward, double tf) {
+  ode::Trajectory forward(backward.dimension());
+  for (std::size_t k = backward.size(); k-- > 0;) {
+    const double t = tf - backward.times()[k];
+    // Guard against duplicate knots from floating-point endpoints.
+    if (!forward.empty() && t <= forward.back_time()) continue;
+    forward.push_back(t, backward.state(k));
+  }
+  return forward;
+}
+
+// Monotone alternative to the FBSM fixed point: projected gradient with
+// Armijo backtracking. ∇J(ε1)(t) = ∂H/∂ε1 = 2 c1 ε1 ΣS² − Σψ_i S_i and
+// symmetrically for ε2 (evaluated at the grid knots).
+SweepResult solve_projected_gradient(const core::SirNetworkModel& model,
+                                     const ode::State& y0, double tf,
+                                     const CostParams& cost,
+                                     const SweepOptions& options) {
+  const std::size_t m = options.grid_points;
+  const std::vector<double> grid = util::linspace(0.0, tf, m);
+  const double dt = grid[1] - grid[0];
+  const std::size_t n = model.num_groups();
+
+  core::SirNetworkModel work(model.profile(), model.params(),
+                             make_schedule(grid, std::vector<double>(m, 0.0),
+                                           std::vector<double>(m, 0.0)));
+  ode::Rk4Stepper stepper;
+  ode::FixedStepOptions fixed;
+  fixed.dt = dt / static_cast<double>(options.substeps);
+  fixed.record_every = options.substeps;
+
+  std::vector<double> e1(m, util::clamp(options.initial_guess, 0.0,
+                                        options.epsilon1_max));
+  std::vector<double> e2(m, util::clamp(options.initial_guess, 0.0,
+                                        options.epsilon2_max));
+
+  auto forward = [&](const std::vector<double>& c1v,
+                     const std::vector<double>& c2v) {
+    auto schedule = make_schedule(grid, c1v, c2v);
+    work.set_control(schedule);
+    ode::Trajectory state =
+        ode::integrate_fixed(work, stepper, y0, 0.0, tf, fixed);
+    check_forward_pass(state, n);
+    const double j = evaluate_cost(work, state, *schedule, cost).total();
+    return std::pair<ode::Trajectory, double>(std::move(state), j);
+  };
+
+  SweepResult result;
+  result.grid = grid;
+
+  auto [state, objective] = forward(e1, e2);
+  ode::Trajectory costate;
+  double step = options.gradient_initial_step;
+
+  for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    result.iterations = iter;
+    result.objective_history.push_back(objective);
+
+    auto schedule = make_schedule(grid, e1, e2);
+    BackwardCostateSystem adjoint(work, state, *schedule, cost, tf,
+                                  options.diagonal_costate);
+    ode::Trajectory backward = ode::integrate_fixed(
+        adjoint, stepper, adjoint.terminal_costate(), 0.0, tf, fixed);
+    costate = reverse_costate(backward, tf);
+
+    // Gradient at the knots.
+    std::vector<double> g1(m), g2(m);
+    double stationarity = 0.0;
+    for (std::size_t k = 0; k < m; ++k) {
+      const double t = grid[k];
+      const ode::State y = state.at(t);
+      const ode::State w = costate.at(t);
+      double psi_s = 0.0, s2 = 0.0, phi_i = 0.0, i2 = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        psi_s += w[i] * y[i];
+        s2 += y[i] * y[i];
+        phi_i += w[n + i] * y[n + i];
+        i2 += y[n + i] * y[n + i];
+      }
+      g1[k] = 2.0 * cost.c1 * e1[k] * s2 - psi_s;
+      g2[k] = 2.0 * cost.c2 * e2[k] * i2 - phi_i;
+      stationarity = std::max(
+          stationarity,
+          std::abs(e1[k] - util::clamp(e1[k] - g1[k], 0.0,
+                                       options.epsilon1_max)));
+      stationarity = std::max(
+          stationarity,
+          std::abs(e2[k] - util::clamp(e2[k] - g2[k], 0.0,
+                                       options.epsilon2_max)));
+    }
+    result.final_update = stationarity;
+    if (stationarity < options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+    // Diminishing returns on the monotone J sequence.
+    const auto& history = result.objective_history;
+    if (history.size() >= options.j_window) {
+      const double early = history[history.size() - options.j_window];
+      const double late = history.back();
+      if (early - late <=
+          options.j_tolerance * std::max(std::abs(late), 1.0)) {
+        result.converged = true;
+        break;
+      }
+    }
+
+    // Armijo backtracking on the projected step.
+    bool accepted = false;
+    for (std::size_t bt = 0; bt <= options.gradient_max_backtracks; ++bt) {
+      std::vector<double> t1(m), t2(m);
+      double decrease_model = 0.0;
+      for (std::size_t k = 0; k < m; ++k) {
+        t1[k] = util::clamp(e1[k] - step * g1[k], 0.0, options.epsilon1_max);
+        t2[k] = util::clamp(e2[k] - step * g2[k], 0.0, options.epsilon2_max);
+        decrease_model += g1[k] * (e1[k] - t1[k]) + g2[k] * (e2[k] - t2[k]);
+      }
+      auto [trial_state, trial_j] = forward(t1, t2);
+      if (trial_j <= objective - options.gradient_armijo * decrease_model) {
+        e1 = std::move(t1);
+        e2 = std::move(t2);
+        state = std::move(trial_state);
+        objective = trial_j;
+        step *= 2.0;  // optimistic growth for the next iteration
+        accepted = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!accepted) {
+      // Line search exhausted: numerically stationary.
+      result.converged = true;
+      break;
+    }
+  }
+  if (!result.converged) {
+    util::log_warn() << "solve_projected_gradient: no convergence after "
+                     << result.iterations << " iterations (stationarity "
+                     << result.final_update << ")";
+  }
+
+  result.epsilon1 = e1;
+  result.epsilon2 = e2;
+  result.control = make_schedule(grid, e1, e2);
+  work.set_control(result.control);
+  result.state = ode::integrate_fixed(work, stepper, y0, 0.0, tf, fixed);
+  result.costate = std::move(costate);
+  result.cost = evaluate_cost(work, result.state, *result.control, cost);
+  return result;
+}
+
+}  // namespace
+
+SweepResult solve_optimal_control(const core::SirNetworkModel& model,
+                                  const ode::State& y0, double tf,
+                                  const CostParams& cost,
+                                  const SweepOptions& options) {
+  cost.validate();
+  util::require(tf > 0.0, "solve_optimal_control: tf must be positive");
+  util::require(options.grid_points >= 3,
+                "solve_optimal_control: need at least 3 grid points");
+  util::require(options.relaxation >= 0.0 && options.relaxation < 1.0,
+                "solve_optimal_control: relaxation must be in [0, 1)");
+  util::require(options.substeps >= 1,
+                "solve_optimal_control: substeps must be >= 1");
+  util::require(options.epsilon1_max > 0.0 && options.epsilon2_max > 0.0,
+                "solve_optimal_control: box bounds must be positive");
+  util::require(y0.size() == model.dimension(),
+                "solve_optimal_control: initial state dimension mismatch");
+
+  if (options.algorithm == SweepAlgorithm::kProjectedGradient) {
+    return solve_projected_gradient(model, y0, tf, cost, options);
+  }
+
+  const std::size_t m = options.grid_points;
+  const std::vector<double> grid = util::linspace(0.0, tf, m);
+  const double dt = grid[1] - grid[0];
+  const std::size_t n = model.num_groups();
+
+  std::vector<double> e1(m, util::clamp(options.initial_guess, 0.0,
+                                        options.epsilon1_max));
+  std::vector<double> e2(m, util::clamp(options.initial_guess, 0.0,
+                                        options.epsilon2_max));
+
+  // The sweep mutates the model's schedule; work on a copy so the
+  // caller's model is untouched.
+  core::SirNetworkModel work(model.profile(), model.params(),
+                             make_schedule(grid, e1, e2));
+
+  SweepResult result;
+  result.grid = grid;
+
+  ode::Rk4Stepper stepper;
+  ode::FixedStepOptions fixed;
+  fixed.dt = dt / static_cast<double>(options.substeps);
+  fixed.record_every = options.substeps;  // samples land on the knots
+
+  // FBSM is a fixed-point iteration, not a descent method; keep the best
+  // iterate seen so a late limit cycle cannot degrade the answer.
+  std::vector<double> best_e1 = e1, best_e2 = e2;
+  double best_j = std::numeric_limits<double>::infinity();
+  // Adaptive damping: when the iteration falls into a limit cycle
+  // (detected through an exactly repeating objective), raise the
+  // relaxation toward 1 — heavier damping turns a repelling fixed point
+  // attracting (standard FBSM stabilization).
+  double relaxation = options.relaxation;
+  std::size_t descent_streak = 0;
+
+  for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    result.iterations = iter;
+
+    // (2) forward state pass under the current controls.
+    auto schedule = make_schedule(grid, e1, e2);
+    work.set_control(schedule);
+    ode::Trajectory state =
+        ode::integrate_fixed(work, stepper, y0, 0.0, tf, fixed);
+    check_forward_pass(state, n);
+
+    // (3) backward costate pass.
+    BackwardCostateSystem adjoint(work, state, *schedule, cost, tf,
+                                  options.diagonal_costate);
+    ode::Trajectory backward = ode::integrate_fixed(
+        adjoint, stepper, adjoint.terminal_costate(), 0.0, tf, fixed);
+    ode::Trajectory costate = reverse_costate(backward, tf);
+
+    const double objective =
+        evaluate_cost(work, state, *schedule, cost).total();
+    result.objective_history.push_back(objective);
+    if (objective < best_j) {
+      best_j = objective;
+      best_e1 = e1;
+      best_e2 = e2;
+    }
+
+    // Stabilization: a fixed-point step that *raised* J signals the
+    // iteration is orbiting rather than contracting — damp harder. The
+    // damping only ever increases, so the map eventually contracts and
+    // the sup-norm test below fires.
+    const auto& hist = result.objective_history;
+    if (hist.size() >= 2 && hist.back() > hist[hist.size() - 2]) {
+      relaxation = 0.5 * (1.0 + relaxation);
+      descent_streak = 0;
+    } else if (++descent_streak >= 10 && relaxation > options.relaxation) {
+      // Sustained descent: cautiously undo some damping so the iteration
+      // does not freeze at a heavily-damped crawl.
+      relaxation = std::max(options.relaxation,
+                            1.0 - 1.5 * (1.0 - relaxation));
+      descent_streak = 0;
+    }
+
+    // (4) stationary controls, projected and relaxed.
+    double update = 0.0;
+    for (std::size_t k = 0; k < m; ++k) {
+      const double t = grid[k];
+      const ode::State y = state.at(t);
+      const ode::State w = costate.at(t);
+      const StationaryControls stat = stationary_controls(y, w, n, cost);
+      if (!std::isfinite(stat.epsilon1) || !std::isfinite(stat.epsilon2)) {
+        throw util::InternalError(
+            "solve_optimal_control: non-finite stationary control — the "
+            "forward or backward pass diverged; increase substeps or "
+            "grid_points");
+      }
+      const double new_e1 = util::clamp(stat.epsilon1, 0.0,
+                                        options.epsilon1_max);
+      const double new_e2 = util::clamp(stat.epsilon2, 0.0,
+                                        options.epsilon2_max);
+      const double relaxed_e1 =
+          relaxation * e1[k] + (1.0 - relaxation) * new_e1;
+      const double relaxed_e2 =
+          relaxation * e2[k] + (1.0 - relaxation) * new_e2;
+      update = std::max(update, std::abs(relaxed_e1 - e1[k]));
+      update = std::max(update, std::abs(relaxed_e2 - e2[k]));
+      e1[k] = relaxed_e1;
+      e2[k] = relaxed_e2;
+    }
+    result.final_update = update;
+
+    // Primary test: the controls stopped moving. Secondary test: J has
+    // plateaued (its range over the last j_window iterations is tiny) —
+    // this covers the one-knot bang-bang dither that keeps the sup-norm
+    // test alive forever without changing the objective.
+    bool j_settled = false;
+    const auto& history = result.objective_history;
+    if (history.size() >= options.j_window) {
+      double j_lo = history.back(), j_hi = history.back();
+      for (std::size_t w = 0; w < options.j_window; ++w) {
+        const double j = history[history.size() - 1 - w];
+        j_lo = std::min(j_lo, j);
+        j_hi = std::max(j_hi, j);
+      }
+      j_settled = (j_hi - j_lo) <=
+                  options.j_tolerance * std::max(std::abs(j_hi), 1.0);
+    }
+    if (update < options.tolerance || j_settled) {
+      result.converged = true;
+      break;
+    }
+    if (iter == options.max_iterations) {
+      util::log_warn() << "solve_optimal_control: no convergence after "
+                       << iter << " iterations (last update " << update
+                       << ", best J " << best_j << ")";
+    }
+  }
+
+  // Final forward/backward pass under the best controls seen so the
+  // reported state/costate/cost correspond exactly to the returned
+  // schedule.
+  result.epsilon1 = std::move(best_e1);
+  result.epsilon2 = std::move(best_e2);
+  result.control = make_schedule(grid, result.epsilon1, result.epsilon2);
+  work.set_control(result.control);
+  result.state = ode::integrate_fixed(work, stepper, y0, 0.0, tf, fixed);
+  BackwardCostateSystem adjoint(work, result.state, *result.control, cost, tf,
+                                options.diagonal_costate);
+  ode::Trajectory backward = ode::integrate_fixed(
+      adjoint, stepper, adjoint.terminal_costate(), 0.0, tf, fixed);
+  result.costate = reverse_costate(backward, tf);
+  result.cost = evaluate_cost(work, result.state, *result.control, cost);
+  return result;
+}
+
+SweepResult solve_with_terminal_target(const core::SirNetworkModel& model,
+                                       const ode::State& y0, double tf,
+                                       const CostParams& cost,
+                                       double terminal_target,
+                                       const SweepOptions& options,
+                                       double weight_factor,
+                                       std::size_t max_escalations) {
+  util::require(terminal_target > 0.0,
+                "solve_with_terminal_target: target must be positive");
+  util::require(weight_factor > 1.0,
+                "solve_with_terminal_target: weight factor must exceed 1");
+
+  CostParams escalated = cost;
+  for (std::size_t attempt = 0; attempt <= max_escalations; ++attempt) {
+    SweepResult result =
+        solve_optimal_control(model, y0, tf, escalated, options);
+    const double terminal =
+        model.total_infected(result.state.back_state());
+    if (terminal <= terminal_target) {
+      // Report the cost under the caller's weight so costs are
+      // comparable across different escalation depths.
+      result.cost = evaluate_cost(
+          core::SirNetworkModel(model.profile(), model.params(),
+                                result.control),
+          result.state, *result.control, cost);
+      return result;
+    }
+    escalated.terminal_weight *= weight_factor;
+  }
+  throw util::InvalidArgument(
+      "solve_with_terminal_target: terminal infection target unreachable "
+      "within the admissible control box");
+}
+
+}  // namespace rumor::control

@@ -1,0 +1,114 @@
+// Forward–backward sweep solver for the optimal countermeasure problem
+// (paper Section IV).
+//
+// The standard FBSM loop (Lenhart & Workman, "Optimal Control Applied to
+// Biological Models"):
+//   1. guess controls on a time grid;
+//   2. integrate the state forward under them;
+//   3. integrate the costate backward from the transversality condition;
+//   4. recompute controls from the stationary condition (18), project
+//      onto the admissible box (19), and relax toward the previous
+//      iterate;
+//   5. repeat until the controls stop changing.
+#pragma once
+
+#include <memory>
+
+#include "control/costate.hpp"
+#include "control/objective.hpp"
+#include "core/simulation.hpp"
+
+namespace rumor::control {
+
+/// Which optimizer drives the Pontryagin system.
+///
+/// kForwardBackward is the textbook FBSM (fast, but a fixed-point
+/// iteration with no descent guarantee — it can limit-cycle on strongly
+/// unstable dynamics). kProjectedGradient uses the same costate to form
+/// ∇J(ε)(t) = ∂H/∂ε(t) and takes Armijo-backtracked projected gradient
+/// steps — monotone in J, so it always terminates at a stationary point,
+/// at the price of extra forward passes during the line search.
+enum class SweepAlgorithm { kForwardBackward, kProjectedGradient };
+
+struct SweepOptions {
+  SweepAlgorithm algorithm = SweepAlgorithm::kForwardBackward;
+  /// Number of grid knots on [0, tf] (controls, state, and costate all
+  /// live on this grid).
+  std::size_t grid_points = 1001;
+  /// RK4 sub-steps per grid interval. The uncontrolled dynamics of the
+  /// highest-degree groups are fast (rates ~ λ(k_max) Θ), so the
+  /// integration step must be finer than the control grid.
+  std::size_t substeps = 4;
+  /// Admissible box U (paper Section IV): 0 <= ε_j(t) <= ε_j^max.
+  double epsilon1_max = 0.7;
+  double epsilon2_max = 0.7;
+  /// Relaxation: next = relaxation·previous + (1−relaxation)·stationary.
+  double relaxation = 0.5;
+  std::size_t max_iterations = 300;
+  /// Convergence: max_t |Δε| below this for both controls.
+  double tolerance = 1e-6;
+  /// Secondary convergence: the range of J over the last `j_window`
+  /// iterations is below j_tolerance·max(|J|, 1). Near bang-bang
+  /// switches the stationary control flips across one grid knot forever,
+  /// so the sup-norm test alone can fail while the objective is settled.
+  /// For the projected-gradient algorithm this is a diminishing-returns
+  /// stop on its (monotone) J sequence. The returned controls are always
+  /// the best-J iterate seen, not the last one.
+  double j_tolerance = 1e-6;
+  std::size_t j_window = 8;
+  /// Use the paper's printed diagonal Eq. (16) instead of the full
+  /// adjoint coupling.
+  bool diagonal_costate = false;
+  /// Initial guess for both controls (constant across the grid).
+  double initial_guess = 0.0;
+
+  // --- projected-gradient specific ---
+  double gradient_initial_step = 1.0;
+  double gradient_armijo = 1e-4;       ///< sufficient-decrease constant
+  std::size_t gradient_max_backtracks = 40;
+  /// Stationarity: ||ε − proj(ε − ∇J)||_∞ below this.
+  double gradient_tolerance = 1e-6;
+};
+
+struct SweepResult {
+  std::vector<double> grid;      ///< time knots
+  std::vector<double> epsilon1;  ///< optimized ε1 at the knots
+  std::vector<double> epsilon2;  ///< optimized ε2 at the knots
+  /// The optimized schedule (piecewise-linear through the knots).
+  std::shared_ptr<const core::PiecewiseLinearControl> control;
+  /// Forward state trajectory under the optimized controls.
+  ode::Trajectory state;
+  /// Backward costate trajectory (in forward time order).
+  ode::Trajectory costate;
+  CostBreakdown cost;
+  std::size_t iterations = 0;
+  bool converged = false;
+  /// max_t |Δε| at the final iteration.
+  double final_update = 0.0;
+  /// J at every iteration (diagnostic; also what the j-test watches).
+  std::vector<double> objective_history;
+};
+
+/// Solve for the cost-minimizing ε1(t), ε2(t) on (0, tf]. `model`'s own
+/// control schedule is ignored (the sweep supplies its own); profile and
+/// parameters are read from it.
+SweepResult solve_optimal_control(const core::SirNetworkModel& model,
+                                  const ode::State& y0, double tf,
+                                  const CostParams& cost,
+                                  const SweepOptions& options = {});
+
+/// Repeatedly raise the terminal weight W (×`weight_factor`) until the
+/// optimized policy drives Σ_i I_i(tf) at or below `terminal_target`
+/// (used for the Fig. 4(c) comparison, which fixes the achieved level
+/// before comparing costs). Returns the first satisfying result; throws
+/// InvalidArgument if the target is unreachable even at the box maximum
+/// after `max_escalations` escalations.
+SweepResult solve_with_terminal_target(const core::SirNetworkModel& model,
+                                       const ode::State& y0, double tf,
+                                       const CostParams& cost,
+                                       double terminal_target,
+                                       const SweepOptions& options = {},
+                                       double weight_factor = 10.0,
+                                       std::size_t max_escalations = 12);
+
+}  // namespace rumor::control

@@ -1,0 +1,177 @@
+#include "control/heuristic.hpp"
+
+#include <cmath>
+
+#include "ode/integrate.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace rumor::control {
+
+namespace {
+
+// Shared plumbing for closed-loop policies: integrate the SIR dynamics
+// with controls computed from the instantaneous state, then price the
+// realized control series.
+template <typename ControlFn>
+FeedbackRun run_closed_loop(const core::SirNetworkModel& model,
+                            const ControlFn& controls_of_state,
+                            const ode::State& y0, double tf,
+                            const CostParams& cost, double dt) {
+  util::require(tf > 0.0, "run_closed_loop: tf must be positive");
+  const std::size_t n = model.num_groups();
+
+  class ClosedLoop final : public ode::OdeSystem {
+   public:
+    ClosedLoop(const core::SirNetworkModel& model, const ControlFn& fn)
+        : model_(model), fn_(fn) {}
+    std::size_t dimension() const override { return model_.dimension(); }
+    void rhs(double, std::span<const double> y,
+             std::span<double> dydt) const override {
+      const std::size_t n = model_.num_groups();
+      const auto S = y.subspan(0, n);
+      const auto I = y.subspan(n, n);
+      const auto [e1, e2] = fn_(y);
+      const auto lambda = model_.lambdas();
+      const auto phi = model_.phis();
+      double theta = 0.0;
+      for (std::size_t i = 0; i < n; ++i) theta += phi[i] * I[i];
+      theta /= model_.profile().mean_degree();
+      const double alpha = model_.params().alpha;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double infection = lambda[i] * S[i] * theta;
+        dydt[i] = alpha - infection - e1 * S[i];
+        dydt[n + i] = infection - e2 * I[i];
+      }
+    }
+
+   private:
+    const core::SirNetworkModel& model_;
+    const ControlFn& fn_;
+  };
+
+  ClosedLoop system(model, controls_of_state);
+  ode::Rk4Stepper stepper;
+  ode::FixedStepOptions fixed;
+  fixed.dt = dt;
+  FeedbackRun run;
+  run.state = ode::integrate_fixed(system, stepper, y0, 0.0, tf, fixed);
+
+  std::vector<double> integrand;
+  integrand.reserve(run.state.size());
+  run.epsilon1.reserve(run.state.size());
+  run.epsilon2.reserve(run.state.size());
+  for (std::size_t k = 0; k < run.state.size(); ++k) {
+    const auto y = run.state.state(k);
+    const auto [e1, e2] = controls_of_state(y);
+    run.epsilon1.push_back(e1);
+    run.epsilon2.push_back(e2);
+    integrand.push_back(running_cost(cost, y, n, e1, e2));
+  }
+  run.cost.running = util::trapezoid(run.state.times(), integrand);
+  run.terminal_infected = model.total_infected(run.state.back_state());
+  run.cost.terminal = cost.terminal_weight * run.terminal_infected;
+  return run;
+}
+
+}  // namespace
+
+double FeedbackPolicy::epsilon1(double infected_density) const {
+  return util::clamp(gain * weight1 * infected_density, 0.0, epsilon1_max);
+}
+
+double FeedbackPolicy::epsilon2(double infected_density) const {
+  return util::clamp(gain * weight2 * infected_density, 0.0, epsilon2_max);
+}
+
+FeedbackSirSystem::FeedbackSirSystem(const core::SirNetworkModel& model,
+                                     FeedbackPolicy policy)
+    : model_(model), policy_(policy) {
+  util::require(policy_.gain >= 0.0 && policy_.weight1 >= 0.0 &&
+                    policy_.weight2 >= 0.0,
+                "FeedbackSirSystem: gains/weights must be non-negative");
+}
+
+void FeedbackSirSystem::rhs(double, std::span<const double> y,
+                            std::span<double> dydt) const {
+  const std::size_t n = model_.num_groups();
+  const auto S = y.subspan(0, n);
+  const auto I = y.subspan(n, n);
+  const double density = model_.infected_density(y);
+  const double e1 = policy_.epsilon1(density);
+  const double e2 = policy_.epsilon2(density);
+  const auto lambda = model_.lambdas();
+  const auto phi = model_.phis();
+  double theta = 0.0;
+  for (std::size_t i = 0; i < n; ++i) theta += phi[i] * I[i];
+  theta /= model_.profile().mean_degree();
+  const double alpha = model_.params().alpha;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double infection = lambda[i] * S[i] * theta;
+    dydt[i] = alpha - infection - e1 * S[i];
+    dydt[n + i] = infection - e2 * I[i];
+  }
+}
+
+FeedbackRun run_feedback_policy(const core::SirNetworkModel& model,
+                                const FeedbackPolicy& policy,
+                                const ode::State& y0, double tf,
+                                const CostParams& cost, double dt) {
+  auto controls = [&model, &policy](std::span<const double> y) {
+    const double density = model.infected_density(y);
+    return std::pair<double, double>(policy.epsilon1(density),
+                                     policy.epsilon2(density));
+  };
+  return run_closed_loop(model, controls, y0, tf, cost, dt);
+}
+
+double tune_feedback_gain(const core::SirNetworkModel& model,
+                          FeedbackPolicy policy, const ode::State& y0,
+                          double tf, double terminal_target, double gain_hi,
+                          double rel_tol, double dt) {
+  util::require(terminal_target > 0.0,
+                "tune_feedback_gain: target must be positive");
+  const CostParams dummy;  // cost values do not affect the dynamics
+
+  auto terminal_at = [&](double gain) {
+    FeedbackPolicy p = policy;
+    p.gain = gain;
+    return run_feedback_policy(model, p, y0, tf, dummy, dt)
+        .terminal_infected;
+  };
+
+  util::require(terminal_at(gain_hi) <= terminal_target,
+                "tune_feedback_gain: target unreachable even at gain_hi "
+                "(raise the control bounds or the horizon)");
+  double lo = 0.0, hi = gain_hi;
+  // Terminal infection decreases monotonically in the gain: bisect.
+  while (hi - lo > rel_tol * hi) {
+    const double mid = 0.5 * (lo + hi);
+    if (terminal_at(mid) <= terminal_target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+FeedbackRun run_bang_bang_policy(const core::SirNetworkModel& model,
+                                 double epsilon1_max, double epsilon2_max,
+                                 double off_threshold, const ode::State& y0,
+                                 double tf, const CostParams& cost,
+                                 double dt) {
+  util::require(epsilon1_max >= 0.0 && epsilon2_max >= 0.0,
+                "run_bang_bang_policy: bounds must be non-negative");
+  util::require(off_threshold >= 0.0,
+                "run_bang_bang_policy: threshold must be non-negative");
+  auto controls = [&model, epsilon1_max, epsilon2_max,
+                   off_threshold](std::span<const double> y) {
+    const bool on = model.total_infected(y) >= off_threshold;
+    return std::pair<double, double>(on ? epsilon1_max : 0.0,
+                                     on ? epsilon2_max : 0.0);
+  };
+  return run_closed_loop(model, controls, y0, tf, cost, dt);
+}
+
+}  // namespace rumor::control

@@ -1,0 +1,89 @@
+// Baseline countermeasure policies the optimized controls are compared
+// against (paper Fig. 4(c)).
+//
+// The paper describes the heuristic as reacting to "the current
+// infection state ... without a global control". We realize that as a
+// proportional feedback law
+//
+//   ε1(t) = clamp(gain · w1 · p(t), [0, ε1max]),
+//   ε2(t) = clamp(gain · w2 · p(t), [0, ε2max]),
+//
+// where p(t) = Σ_i P(k_i) I_i(t) is the population infected density.
+// `tune_feedback_gain` bisects the scalar gain until the policy reaches
+// the same terminal infection level as the optimized policy, making the
+// Fig. 4(c) cost comparison like-for-like. A bang-bang (full effort
+// until extinction, then off) baseline is also provided.
+#pragma once
+
+#include <memory>
+
+#include "control/objective.hpp"
+#include "core/simulation.hpp"
+#include "ode/system.hpp"
+
+namespace rumor::control {
+
+struct FeedbackPolicy {
+  double gain = 1.0;
+  double weight1 = 1.0;       ///< relative effort on spreading truth
+  double weight2 = 1.0;       ///< relative effort on blocking
+  double epsilon1_max = 0.7;
+  double epsilon2_max = 0.7;
+
+  double epsilon1(double infected_density) const;
+  double epsilon2(double infected_density) const;
+};
+
+/// Closed-loop system: the SIR dynamics with ε1/ε2 computed from the
+/// instantaneous state through `policy` (the schedule inside `model` is
+/// ignored).
+class FeedbackSirSystem final : public ode::OdeSystem {
+ public:
+  FeedbackSirSystem(const core::SirNetworkModel& model,
+                    FeedbackPolicy policy);
+
+  std::size_t dimension() const override { return model_.dimension(); }
+  void rhs(double t, std::span<const double> y,
+           std::span<double> dydt) const override;
+
+  const FeedbackPolicy& policy() const { return policy_; }
+
+ private:
+  const core::SirNetworkModel& model_;
+  FeedbackPolicy policy_;
+};
+
+/// Result of simulating a feedback policy.
+struct FeedbackRun {
+  ode::Trajectory state;
+  /// Realized control levels at the recorded samples.
+  std::vector<double> epsilon1;
+  std::vector<double> epsilon2;
+  double terminal_infected = 0.0;  ///< Σ_i I_i(tf)
+  CostBreakdown cost;
+};
+
+/// Integrate the closed loop on [0, tf] (fixed-step RK4) and price it
+/// with the same cost functional as the optimizer.
+FeedbackRun run_feedback_policy(const core::SirNetworkModel& model,
+                                const FeedbackPolicy& policy,
+                                const ode::State& y0, double tf,
+                                const CostParams& cost, double dt = 0.05);
+
+/// Smallest gain (bisection) for which Σ_i I_i(tf) <= terminal_target.
+/// Throws InvalidArgument if even `gain_hi` cannot reach the target.
+double tune_feedback_gain(const core::SirNetworkModel& model,
+                          FeedbackPolicy policy, const ode::State& y0,
+                          double tf, double terminal_target,
+                          double gain_hi = 1e4, double rel_tol = 1e-3,
+                          double dt = 0.05);
+
+/// Bang-bang baseline: both controls at their box maximum until
+/// Σ_i I_i(t) first drops below `off_threshold`, then both zero.
+FeedbackRun run_bang_bang_policy(const core::SirNetworkModel& model,
+                                 double epsilon1_max, double epsilon2_max,
+                                 double off_threshold, const ode::State& y0,
+                                 double tf, const CostParams& cost,
+                                 double dt = 0.05);
+
+}  // namespace rumor::control

@@ -1,0 +1,148 @@
+#include "control/mpc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ode/integrate.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace rumor::control {
+
+namespace {
+
+// A schedule solved on a local clock [0, T] re-based to plant time.
+class ShiftedControl final : public core::ControlSchedule {
+ public:
+  ShiftedControl(std::shared_ptr<const core::ControlSchedule> inner,
+                 double offset)
+      : inner_(std::move(inner)), offset_(offset) {}
+  double epsilon1(double t) const override {
+    return inner_->epsilon1(t - offset_);
+  }
+  double epsilon2(double t) const override {
+    return inner_->epsilon2(t - offset_);
+  }
+
+ private:
+  std::shared_ptr<const core::ControlSchedule> inner_;
+  double offset_;
+};
+
+void clamp_to_simplex(std::span<double> y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = util::clamp(y[i], 0.0, 1.0);
+    y[n + i] = util::clamp(y[n + i], 0.0, 1.0 - y[i]);
+  }
+}
+
+MpcResult run_loop(const core::SirNetworkModel& model, const ode::State& y0,
+                   double tf, const CostParams& cost,
+                   const MpcOptions& options,
+                   const Disturbance& disturbance, bool replan) {
+  cost.validate();
+  util::require(tf > 0.0, "run_mpc: tf must be positive");
+  util::require(options.replan_interval > 0.0,
+                "run_mpc: replan interval must be positive");
+  util::require(options.plant_dt > 0.0,
+                "run_mpc: plant step must be positive");
+  util::require(y0.size() == model.dimension(),
+                "run_mpc: initial state dimension mismatch");
+
+  const std::size_t n = model.num_groups();
+  MpcResult result;
+  result.state = ode::Trajectory(model.dimension());
+
+  core::SirNetworkModel plant(model.profile(), model.params(),
+                              core::make_constant_control(0.0, 0.0));
+  ode::Rk4Stepper stepper;
+
+  std::shared_ptr<const core::ControlSchedule> policy;
+  if (!replan) {
+    const auto plan =
+        solve_optimal_control(model, y0, tf, cost, options.sweep);
+    policy = plan.control;  // already on the global clock (t0 = 0)
+  }
+
+  std::vector<double> integrand;  // running cost at the recorded samples
+  ode::State y = y0;
+  double t = 0.0;
+  const double eps = 1e-9 * options.replan_interval;
+
+  auto record = [&](double time, std::span<const double> state) {
+    const double e1 = policy->epsilon1(time);
+    const double e2 = policy->epsilon2(time);
+    result.state.push_back(time, state);
+    result.times.push_back(time);
+    result.epsilon1.push_back(e1);
+    result.epsilon2.push_back(e2);
+    integrand.push_back(running_cost(cost, state, n, e1, e2));
+  };
+
+  bool first_segment = true;
+  while (t < tf - eps) {
+    const double remaining = tf - t;
+    const double segment =
+        std::min(options.replan_interval, remaining);
+
+    if (replan) {
+      // Fresh plan on the remaining horizon from the measured state.
+      const auto plan =
+          solve_optimal_control(model, y, remaining, cost, options.sweep);
+      policy = std::make_shared<ShiftedControl>(plan.control, t);
+      ++result.replans;
+    }
+    if (first_segment) {
+      record(0.0, y);
+      first_segment = false;
+    }
+
+    plant.set_control(policy);
+    ode::FixedStepOptions fixed;
+    fixed.dt = options.plant_dt;
+    const auto piece =
+        ode::integrate_fixed(plant, stepper, y, t, t + segment, fixed);
+    for (std::size_t k = 1; k < piece.size(); ++k) {
+      record(piece.times()[k], piece.state(k));
+    }
+    y.assign(piece.back_state().begin(), piece.back_state().end());
+    t = piece.back_time();
+
+    if (disturbance && t < tf - eps) {
+      disturbance(t, y);
+      clamp_to_simplex(y, n);
+      // The recorded trajectory keeps the pre-disturbance sample at t;
+      // the post-disturbance state is what the next segment starts
+      // from (an instantaneous jump).
+    }
+  }
+
+  result.cost.running = util::trapezoid(result.times, integrand);
+  result.cost.terminal = cost.terminal_weight * [&] {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) total += y[n + i];
+    return total;
+  }();
+  if (!replan) result.replans = 1;
+  return result;
+}
+
+}  // namespace
+
+MpcResult run_mpc(const core::SirNetworkModel& model, const ode::State& y0,
+                  double tf, const CostParams& cost,
+                  const MpcOptions& options,
+                  const Disturbance& disturbance) {
+  return run_loop(model, y0, tf, cost, options, disturbance,
+                  /*replan=*/true);
+}
+
+MpcResult run_open_loop(const core::SirNetworkModel& model,
+                        const ode::State& y0, double tf,
+                        const CostParams& cost, const MpcOptions& options,
+                        const Disturbance& disturbance) {
+  return run_loop(model, y0, tf, cost, options, disturbance,
+                  /*replan=*/false);
+}
+
+}  // namespace rumor::control

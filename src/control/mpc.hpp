@@ -1,0 +1,62 @@
+// Receding-horizon (model-predictive) countermeasure control.
+//
+// The paper's Section IV computes one open-loop policy for the whole
+// period (0, tf]. A real platform re-observes the outbreak as it acts —
+// and reality drifts from the model (reinfection bursts, new user
+// waves, parameter misestimates). The MPC loop closes the gap: every
+// `replan_interval` it re-solves the Pontryagin problem on the
+// remaining horizon from the *measured* state and applies only the
+// first segment of the fresh policy.
+//
+// Without disturbances MPC reproduces the open-loop optimum (Bellman
+// consistency, verified in the tests); under disturbances it recovers
+// while the open-loop policy silently under-treats (quantified in
+// bench/ablation_mpc).
+#pragma once
+
+#include <functional>
+
+#include "control/fbsweep.hpp"
+
+namespace rumor::control {
+
+/// State disturbance applied to the plant at a replan boundary:
+/// receives (t, y) and may modify y in place (the harness clamps the
+/// result back into the density simplex).
+using Disturbance = std::function<void(double, std::span<double>)>;
+
+struct MpcOptions {
+  /// Time between re-solves (also the applied segment length).
+  double replan_interval = 10.0;
+  /// Inner Pontryagin solver configuration (grid density is reused on
+  /// every shrinking horizon).
+  SweepOptions sweep;
+  /// Plant integration step (the "true" system between replans).
+  double plant_dt = 0.01;
+};
+
+struct MpcResult {
+  ode::Trajectory state;          ///< realized closed-loop trajectory
+  std::vector<double> times;      ///< control sample times
+  std::vector<double> epsilon1;   ///< realized ε1 at `times`
+  std::vector<double> epsilon2;   ///< realized ε2 at `times`
+  CostBreakdown cost;             ///< realized cost of the whole run
+  std::size_t replans = 0;
+};
+
+/// Run the closed loop over (0, tf]. The model's own schedule is
+/// ignored; `disturbance`, if given, fires after each applied segment
+/// (not at t = 0, not after the final one).
+MpcResult run_mpc(const core::SirNetworkModel& model, const ode::State& y0,
+                  double tf, const CostParams& cost,
+                  const MpcOptions& options,
+                  const Disturbance& disturbance = nullptr);
+
+/// Baseline for comparisons: solve once at t = 0 and apply the policy
+/// open-loop to a plant subject to the same disturbances.
+MpcResult run_open_loop(const core::SirNetworkModel& model,
+                        const ode::State& y0, double tf,
+                        const CostParams& cost, const MpcOptions& options,
+                        const Disturbance& disturbance = nullptr);
+
+}  // namespace rumor::control

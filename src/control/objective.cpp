@@ -1,0 +1,54 @@
+#include "control/objective.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace rumor::control {
+
+void CostParams::validate() const {
+  util::require(c1 > 0.0 && c2 > 0.0,
+                "CostParams: unit costs must be positive");
+  util::require(terminal_weight >= 0.0,
+                "CostParams: terminal weight must be non-negative");
+}
+
+double running_cost(const CostParams& cost, std::span<const double> y,
+                    std::size_t num_groups, double epsilon1, double epsilon2) {
+  const auto S = y.subspan(0, num_groups);
+  const auto I = y.subspan(num_groups, num_groups);
+  double s2 = 0.0, i2 = 0.0;
+  for (std::size_t i = 0; i < num_groups; ++i) {
+    s2 += S[i] * S[i];
+    i2 += I[i] * I[i];
+  }
+  return cost.c1 * epsilon1 * epsilon1 * s2 +
+         cost.c2 * epsilon2 * epsilon2 * i2;
+}
+
+CostBreakdown evaluate_cost(const core::SirNetworkModel& model,
+                            const ode::Trajectory& trajectory,
+                            const core::ControlSchedule& schedule,
+                            const CostParams& cost) {
+  cost.validate();
+  util::require(!trajectory.empty(), "evaluate_cost: empty trajectory");
+  const std::size_t n = model.num_groups();
+
+  std::vector<double> integrand;
+  integrand.reserve(trajectory.size());
+  for (std::size_t k = 0; k < trajectory.size(); ++k) {
+    const double t = trajectory.times()[k];
+    integrand.push_back(running_cost(cost, trajectory.state(k), n,
+                                     schedule.epsilon1(t),
+                                     schedule.epsilon2(t)));
+  }
+
+  CostBreakdown breakdown;
+  breakdown.running = util::trapezoid(trajectory.times(), integrand);
+  breakdown.terminal =
+      cost.terminal_weight * model.total_infected(trajectory.back_state());
+  return breakdown;
+}
+
+}  // namespace rumor::control

@@ -1,0 +1,41 @@
+// The optimization objective (paper Eq. (13)):
+//
+//   J(ε1, ε2) = W Σ_i I_i(tf)
+//             + ∫_0^tf Σ_i [ c1 ε1(t)² S_i(t)² + c2 ε2(t)² I_i(t)² ] dt
+//
+// c1 is the unit cost of spreading truth (immunizing susceptibles), c2
+// the unit cost of blocking infected users; the paper's experiments use
+// c1 = 5, c2 = 10 ("blocking is costlier than clarifying"). W is a
+// terminal weight (the paper's form has W = 1); solve_with_terminal_target
+// raises it to enforce a hard extinction level.
+#pragma once
+
+#include "core/simulation.hpp"
+
+namespace rumor::control {
+
+struct CostParams {
+  double c1 = 5.0;               ///< unit cost of spreading truth (ε1)
+  double c2 = 10.0;              ///< unit cost of blocking rumors (ε2)
+  double terminal_weight = 1.0;  ///< W on Σ I_i(tf)
+
+  void validate() const;
+};
+
+/// Σ_i c1 ε1² S_i² + c2 ε2² I_i² for one state sample.
+double running_cost(const CostParams& cost, std::span<const double> y,
+                    std::size_t num_groups, double epsilon1, double epsilon2);
+
+struct CostBreakdown {
+  double terminal = 0.0;  ///< W Σ I_i(tf)
+  double running = 0.0;   ///< the integral term (trapezoid on the samples)
+  double total() const { return terminal + running; }
+};
+
+/// Evaluate J along a recorded trajectory under `schedule`.
+CostBreakdown evaluate_cost(const core::SirNetworkModel& model,
+                            const ode::Trajectory& trajectory,
+                            const core::ControlSchedule& schedule,
+                            const CostParams& cost);
+
+}  // namespace rumor::control

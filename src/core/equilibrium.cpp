@@ -1,0 +1,123 @@
+#include "core/equilibrium.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/threshold.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/rootfind.hpp"
+
+namespace rumor::core {
+
+Equilibrium zero_equilibrium(const NetworkProfile& profile,
+                             const ModelParams& params, double epsilon1,
+                             double epsilon2) {
+  util::require(epsilon1 > 0.0, "zero_equilibrium: epsilon1 must be > 0");
+  util::require(epsilon2 >= 0.0, "zero_equilibrium: epsilon2 must be >= 0");
+  params.validate();
+  const double s_star = params.alpha / epsilon1;
+  if (s_star > 1.0) {
+    util::log_warn() << "zero_equilibrium: alpha/epsilon1 = " << s_star
+                     << " > 1; S* leaves the density simplex";
+  }
+  const std::size_t n = profile.num_groups();
+  Equilibrium eq;
+  eq.state.assign(2 * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) eq.state[i] = s_star;
+  eq.theta = 0.0;
+  eq.positive = false;
+  return eq;
+}
+
+double equilibrium_indicator(const NetworkProfile& profile,
+                             const ModelParams& params, double epsilon1,
+                             double epsilon2, double theta) {
+  util::require(epsilon1 > 0.0 && epsilon2 > 0.0,
+                "equilibrium_indicator: rates must be positive");
+  util::require(theta >= 0.0, "equilibrium_indicator: theta must be >= 0");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < profile.num_groups(); ++i) {
+    const double k = profile.degree(i);
+    const double lambda = params.lambda(k);
+    const double phi = params.omega(k) * profile.probability(i);
+    sum += params.alpha * lambda * phi /
+           (epsilon2 * (lambda * theta + epsilon1));
+  }
+  return 1.0 - sum / profile.mean_degree();
+}
+
+std::optional<Equilibrium> positive_equilibrium(const NetworkProfile& profile,
+                                                const ModelParams& params,
+                                                double epsilon1,
+                                                double epsilon2) {
+  const double r0 =
+      basic_reproduction_number(profile, params, epsilon1, epsilon2);
+  if (r0 <= 1.0) return std::nullopt;  // Theorem 1, Case 1
+
+  // F(0+) = 1 - r0 < 0 and F -> 1 as Θ* -> ∞, so a root exists; F is
+  // strictly increasing, so it is unique. Bracket-expand from a Θ* upper
+  // bound seed of max φ (Θ is a φ-weighted average of densities <= 1).
+  auto F = [&](double theta) {
+    return equilibrium_indicator(profile, params, epsilon1, epsilon2, theta);
+  };
+  double seed = 0.0;
+  for (std::size_t i = 0; i < profile.num_groups(); ++i) {
+    const double k = profile.degree(i);
+    seed += params.omega(k) * profile.probability(i);
+  }
+  seed = std::max(seed / profile.mean_degree(), 1e-6);
+  const auto root = util::brent_expanding(F, 0.0, seed, 80, 1e-14, 1e-13);
+  util::require(root.converged,
+                "positive_equilibrium: root search failed to converge");
+
+  const double theta_star = root.root;
+  const std::size_t n = profile.num_groups();
+  Equilibrium eq;
+  eq.state.assign(2 * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double k = profile.degree(i);
+    const double lambda = params.lambda(k);
+    const double infected = params.alpha * lambda * theta_star /
+                            (epsilon2 * (lambda * theta_star + epsilon1));
+    eq.state[n + i] = infected;
+    eq.state[i] = epsilon2 * infected / (lambda * theta_star);
+  }
+  eq.theta = theta_star;
+  eq.positive = true;
+  return eq;
+}
+
+double equilibrium_residual(const NetworkProfile& profile,
+                            const ModelParams& params, double epsilon1,
+                            double epsilon2, const Equilibrium& equilibrium) {
+  SirNetworkModel model(profile, params,
+                        make_constant_control(epsilon1, epsilon2));
+  ode::State dydt(model.dimension(), 0.0);
+  model.rhs(0.0, equilibrium.state, dydt);
+  double worst = 0.0;
+  for (const double d : dydt) worst = std::max(worst, std::abs(d));
+  return worst;
+}
+
+double distance_to_equilibrium(const SirNetworkModel& model,
+                               std::span<const double> y,
+                               const Equilibrium& equilibrium) {
+  const std::size_t n = model.num_groups();
+  util::require(y.size() == 2 * n && equilibrium.state.size() == 2 * n,
+                "distance_to_equilibrium: dimension mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    worst = std::max(worst, std::abs(y[i] - equilibrium.state[i]));
+  }
+  // Include the implied R coordinates: R = 1 - S - I on both sides, so
+  // the R difference is |ΔS + ΔI|.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dr = (y[i] - equilibrium.state[i]) +
+                      (y[n + i] - equilibrium.state[n + i]);
+    worst = std::max(worst, std::abs(dr));
+  }
+  return worst;
+}
+
+}  // namespace rumor::core

@@ -1,0 +1,56 @@
+// Equilibrium solutions of System (1) — paper Theorem 1.
+//
+// Zero equilibrium (always exists):
+//   E0: S_i = α/ε1, I_i = 0, R_i = 1 − α/ε1.
+//
+// Positive equilibrium (exists iff r0 > 1): solves
+//   F(Θ*) = 1 − (1/⟨k⟩) Σ_i α λ(k_i) φ(k_i) / (ε2 (λ(k_i)Θ* + ε1)) = 0
+// and then
+//   I_i = α λ(k_i) Θ* / (ε2 (λ(k_i)Θ* + ε1)),  S_i = ε2 I_i / (λ(k_i)Θ*).
+#pragma once
+
+#include <optional>
+
+#include "core/sir_model.hpp"
+
+namespace rumor::core {
+
+/// An equilibrium point in the model's (S, I) coordinates.
+struct Equilibrium {
+  ode::State state;     ///< layout [S_1..S_n, I_1..I_n]
+  double theta = 0.0;   ///< Θ* at the equilibrium
+  bool positive = false;  ///< true for E+, false for E0
+};
+
+/// E0 for constant controls. Requires ε1 > 0 (so S* = α/ε1 is defined)
+/// and warns via log if α > ε1, which would put S* outside [0,1].
+Equilibrium zero_equilibrium(const NetworkProfile& profile,
+                             const ModelParams& params, double epsilon1,
+                             double epsilon2);
+
+/// E+ for constant controls, or nullopt when r0 <= 1 (Theorem 1 Case 1).
+/// The root of F is located with Brent's method on an expanding bracket.
+std::optional<Equilibrium> positive_equilibrium(const NetworkProfile& profile,
+                                                const ModelParams& params,
+                                                double epsilon1,
+                                                double epsilon2);
+
+/// F(Θ*) itself (paper Eq. (5) divided by Θ*); exposed for tests and the
+/// existence analysis in EXPERIMENTS.md.
+double equilibrium_indicator(const NetworkProfile& profile,
+                             const ModelParams& params, double epsilon1,
+                             double epsilon2, double theta);
+
+/// max_i |rhs_i| of System (1) evaluated at the equilibrium — a direct
+/// residual check that the returned point is stationary.
+double equilibrium_residual(const NetworkProfile& profile,
+                            const ModelParams& params, double epsilon1,
+                            double epsilon2, const Equilibrium& equilibrium);
+
+/// Sup-norm distance between a state y and an equilibrium across all
+/// 3n S/I/R coordinates — the paper's Dist0(t) / Dist+(t).
+double distance_to_equilibrium(const SirNetworkModel& model,
+                               std::span<const double> y,
+                               const Equilibrium& equilibrium);
+
+}  // namespace rumor::core

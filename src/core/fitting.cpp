@@ -1,0 +1,107 @@
+#include "core/fitting.hpp"
+
+#include <cmath>
+
+#include "core/simulation.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+#include "util/optimize.hpp"
+
+namespace rumor::core {
+
+namespace {
+
+void validate_observations(const CascadeObservations& observations) {
+  util::require(observations.t.size() >= 3,
+                "fit_to_cascade: need at least 3 observations");
+  util::require(observations.t.size() == observations.infected_density.size(),
+                "fit_to_cascade: time/value size mismatch");
+  for (std::size_t i = 1; i < observations.t.size(); ++i) {
+    util::require(observations.t[i] > observations.t[i - 1],
+                  "fit_to_cascade: times must be strictly increasing");
+  }
+}
+
+}  // namespace
+
+double cascade_rss(const NetworkProfile& profile, const ModelParams& params,
+                   double epsilon1, double epsilon2,
+                   const CascadeObservations& observations,
+                   const FitSpec& spec) {
+  validate_observations(observations);
+  SirNetworkModel model(profile, params,
+                        make_constant_control(epsilon1, epsilon2));
+  SimulationOptions options;
+  options.t0 = observations.t.front();
+  options.t1 = observations.t.back();
+  options.dt = spec.simulation_dt;
+  const auto result = run_simulation(
+      model, model.initial_state(spec.initial_fraction), options);
+
+  double rss = 0.0;
+  for (std::size_t i = 0; i < observations.t.size(); ++i) {
+    const double predicted = util::interp_linear(
+        result.trajectory.times(), result.infected_density,
+        observations.t[i]);
+    const double residual = predicted - observations.infected_density[i];
+    rss += residual * residual;
+  }
+  return rss;
+}
+
+FitResult fit_to_cascade(const NetworkProfile& profile,
+                         const ModelParams& guess, double epsilon1_guess,
+                         double epsilon2_guess,
+                         const CascadeObservations& observations,
+                         const FitSpec& spec) {
+  validate_observations(observations);
+  util::require(epsilon1_guess > 0.0 && epsilon2_guess > 0.0,
+                "fit_to_cascade: control guesses must be positive");
+  util::require(spec.fit_lambda_scale || spec.fit_epsilon1 ||
+                    spec.fit_epsilon2,
+                "fit_to_cascade: nothing to fit");
+  guess.validate();
+
+  // Pack the active parameters as logs (positivity + scale evening).
+  std::vector<double> start;
+  if (spec.fit_lambda_scale) start.push_back(std::log(guess.lambda.scale()));
+  if (spec.fit_epsilon1) start.push_back(std::log(epsilon1_guess));
+  if (spec.fit_epsilon2) start.push_back(std::log(epsilon2_guess));
+
+  auto unpack = [&](const std::vector<double>& x) {
+    std::size_t cursor = 0;
+    ModelParams params = guess;
+    double e1 = epsilon1_guess, e2 = epsilon2_guess;
+    if (spec.fit_lambda_scale) {
+      params.lambda = guess.lambda.with_scale(std::exp(x[cursor++]));
+    }
+    if (spec.fit_epsilon1) e1 = std::exp(x[cursor++]);
+    if (spec.fit_epsilon2) e2 = std::exp(x[cursor++]);
+    return std::tuple<ModelParams, double, double>(params, e1, e2);
+  };
+
+  util::NelderMeadOptions nm;
+  nm.initial_step = 0.3;  // log space: ±35% parameter perturbations
+  nm.max_evaluations = spec.max_evaluations;
+  nm.x_tolerance = 1e-7;
+  nm.f_tolerance = 1e-16;
+
+  const auto outcome = util::nelder_mead(
+      [&](const std::vector<double>& x) {
+        const auto [params, e1, e2] = unpack(x);
+        return cascade_rss(profile, params, e1, e2, observations, spec);
+      },
+      start, nm);
+
+  const auto [params, e1, e2] = unpack(outcome.x);
+  FitResult result;
+  result.params = params;
+  result.epsilon1 = e1;
+  result.epsilon2 = e2;
+  result.rss = outcome.value;
+  result.evaluations = outcome.evaluations;
+  result.converged = outcome.converged;
+  return result;
+}
+
+}  // namespace rumor::core

@@ -1,0 +1,60 @@
+// Parameter estimation: fit the model to an observed cascade.
+//
+// Given a population-level infected-density series (see
+// data/trace.hpp), estimate any subset of {λ scale, ε1, ε2} by
+// least squares over simulated trajectories (Nelder–Mead on
+// log-transformed parameters, which enforces positivity and evens out
+// the scales). This operationalizes the paper's "validation against
+// the Digg2009 dataset": observe a cascade, recover the dynamics, then
+// predict and plan countermeasures with the calibrated model.
+#pragma once
+
+#include <vector>
+
+#include "core/profile.hpp"
+#include "core/params.hpp"
+
+namespace rumor::core {
+
+/// Which parameters to estimate; the rest stay at the initial guess.
+struct FitSpec {
+  bool fit_lambda_scale = true;
+  bool fit_epsilon1 = true;
+  bool fit_epsilon2 = true;
+  double simulation_dt = 0.05;  ///< integration step per candidate
+  double initial_fraction = 0.01;
+  std::size_t max_evaluations = 2000;
+};
+
+struct FitResult {
+  ModelParams params;      ///< with the fitted λ scale
+  double epsilon1 = 0.0;
+  double epsilon2 = 0.0;
+  double rss = 0.0;        ///< residual sum of squares at the optimum
+  std::size_t evaluations = 0;
+  bool converged = false;
+};
+
+/// Observation series; `t` strictly increasing, values the population
+/// infected density Σ_i P(k_i) I_i.
+struct CascadeObservations {
+  std::vector<double> t;
+  std::vector<double> infected_density;
+};
+
+/// Least-squares fit starting from (guess, epsilon1_guess,
+/// epsilon2_guess).
+FitResult fit_to_cascade(const NetworkProfile& profile,
+                         const ModelParams& guess, double epsilon1_guess,
+                         double epsilon2_guess,
+                         const CascadeObservations& observations,
+                         const FitSpec& spec = {});
+
+/// RSS of a specific parameterization against the observations —
+/// exposed so callers can compare models (e.g. fitted vs true).
+double cascade_rss(const NetworkProfile& profile, const ModelParams& params,
+                   double epsilon1, double epsilon2,
+                   const CascadeObservations& observations,
+                   const FitSpec& spec = {});
+
+}  // namespace rumor::core

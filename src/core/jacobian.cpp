@@ -1,0 +1,80 @@
+#include "core/jacobian.hpp"
+
+#include <cmath>
+
+#include <limits>
+
+#include "ode/integrate.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace rumor::core {
+
+util::Matrix system_jacobian(const SirNetworkModel& model, double t,
+                             std::span<const double> y) {
+  const std::size_t n = model.num_groups();
+  util::require(y.size() == 2 * n, "system_jacobian: dimension mismatch");
+  const auto S = y.subspan(0, n);
+  const auto lambda = model.lambdas();
+  const auto phi = model.phis();
+  const double mean_k = model.profile().mean_degree();
+  const double e1 = model.control().epsilon1(t);
+  const double e2 = model.control().epsilon2(t);
+  const double theta = model.theta(y);
+
+  util::Matrix j(2 * n, 2 * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    j(i, i) = -(lambda[i] * theta + e1);
+    j(n + i, i) = lambda[i] * theta;
+    const double coupling = lambda[i] * S[i] / mean_k;
+    for (std::size_t col = 0; col < n; ++col) {
+      j(i, n + col) = -coupling * phi[col];
+      j(n + i, n + col) = coupling * phi[col];
+    }
+    j(n + i, n + i) -= e2;
+  }
+  return j;
+}
+
+util::Matrix system_jacobian_fd(const SirNetworkModel& model, double t,
+                                std::span<const double> y, double step) {
+  const std::size_t dim = model.dimension();
+  util::require(y.size() == dim, "system_jacobian_fd: dimension mismatch");
+  util::require(step > 0.0, "system_jacobian_fd: step must be positive");
+  util::Matrix j(dim, dim, 0.0);
+  ode::State plus(y.begin(), y.end());
+  ode::State minus(y.begin(), y.end());
+  ode::State f_plus(dim), f_minus(dim);
+  for (std::size_t col = 0; col < dim; ++col) {
+    const double original = y[col];
+    plus[col] = original + step;
+    minus[col] = original - step;
+    model.rhs(t, plus, f_plus);
+    model.rhs(t, minus, f_minus);
+    for (std::size_t row = 0; row < dim; ++row) {
+      j(row, col) = (f_plus[row] - f_minus[row]) / (2.0 * step);
+    }
+    plus[col] = original;
+    minus[col] = original;
+  }
+  return j;
+}
+
+StabilitySpectrum stability_spectrum(const SirNetworkModel& model, double t,
+                                     std::span<const double> y) {
+  StabilitySpectrum result;
+  result.eigenvalues = util::eigenvalues(system_jacobian(model, t, y));
+  result.abscissa = -std::numeric_limits<double>::infinity();
+  for (const auto& ev : result.eigenvalues) {
+    result.abscissa = std::max(result.abscissa, ev.real());
+  }
+  result.stable = result.abscissa < 0.0;
+  return result;
+}
+
+void SirJacobianProvider::jacobian(double t, std::span<const double> y,
+                                   util::Matrix& out) const {
+  out = system_jacobian(model_, t, y);
+}
+
+}  // namespace rumor::core

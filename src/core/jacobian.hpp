@@ -1,0 +1,64 @@
+// Analytic Jacobian of System (2) — the (S, I) dynamics — and a
+// propagator-based spectral stability test.
+//
+// With x = [S_1..S_n, I_1..I_n] and Θ = (1/⟨k⟩) Σ φ_j I_j:
+//
+//   ∂(dS_i)/∂S_j = −(λ_i Θ + ε1) δ_ij
+//   ∂(dS_i)/∂I_j = −λ_i S_i φ_j / ⟨k⟩
+//   ∂(dI_i)/∂S_j = +λ_i Θ δ_ij
+//   ∂(dI_i)/∂I_j = +λ_i S_i φ_j / ⟨k⟩ − ε2 δ_ij
+//
+// The proof of Theorem 2 computes the eigenvalues of this matrix at E0
+// analytically ({−ε1, −ε2, Γ − ε2}). `stability_spectrum` verifies the
+// result numerically for any point via the dense QR eigensolver
+// (util/eigen.hpp) — necessary because the Jacobian at E+ typically has
+// a complex-conjugate dominant pair, which simpler iterative schemes
+// cannot resolve.
+#pragma once
+
+#include <complex>
+
+#include "core/sir_model.hpp"
+#include "ode/implicit.hpp"
+#include "util/eigen.hpp"
+#include "util/matrix.hpp"
+
+namespace rumor::core {
+
+/// Jacobian of the (S, I) right-hand side at state y and time t (the
+/// controls are read from the model's schedule at t).
+util::Matrix system_jacobian(const SirNetworkModel& model, double t,
+                             std::span<const double> y);
+
+/// Finite-difference Jacobian (central differences); test oracle for
+/// the analytic one.
+util::Matrix system_jacobian_fd(const SirNetworkModel& model, double t,
+                                std::span<const double> y,
+                                double step = 1e-7);
+
+struct StabilitySpectrum {
+  std::vector<std::complex<double>> eigenvalues;
+  double abscissa = 0.0;  ///< largest real part — the decisive growth rate
+  bool stable = false;    ///< abscissa < 0
+};
+
+/// Full eigenvalue spectrum of the Jacobian at (t, y), with the
+/// stability verdict (linearized; compare Theorems 2-4).
+StabilitySpectrum stability_spectrum(const SirNetworkModel& model, double t,
+                                     std::span<const double> y);
+
+/// Adapter feeding the analytic Jacobian to the implicit steppers
+/// (ode/implicit.hpp). The model must outlive the provider.
+class SirJacobianProvider final : public ode::JacobianProvider {
+ public:
+  explicit SirJacobianProvider(const SirNetworkModel& model)
+      : model_(model) {}
+
+  void jacobian(double t, std::span<const double> y,
+                util::Matrix& out) const override;
+
+ private:
+  const SirNetworkModel& model_;
+};
+
+}  // namespace rumor::core

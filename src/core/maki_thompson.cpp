@@ -1,0 +1,102 @@
+#include "core/maki_thompson.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rumor::core {
+
+void MakiThompsonParams::validate() const {
+  util::require(stifling_scale >= 0.0,
+                "MakiThompsonParams: stifling scale must be >= 0");
+  util::require(epsilon1 >= 0.0 && epsilon2 >= 0.0,
+                "MakiThompsonParams: countermeasure rates must be >= 0");
+}
+
+MakiThompsonModel::MakiThompsonModel(NetworkProfile profile,
+                                     MakiThompsonParams params)
+    : profile_(std::move(profile)), params_(params) {
+  params_.validate();
+  const std::size_t n = profile_.num_groups();
+  lambda_.resize(n);
+  sigma_.resize(n);
+  phi_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double k = profile_.degree(i);
+    lambda_[i] = params_.lambda(k);
+    sigma_[i] = params_.stifling_scale * lambda_[i];
+    phi_[i] = params_.omega(k) * profile_.probability(i);
+  }
+}
+
+void MakiThompsonModel::rhs(double, std::span<const double> y,
+                            std::span<double> dydt) const {
+  const std::size_t n = num_groups();
+  const auto X = y.subspan(0, n);
+  const auto Y = y.subspan(n, n);
+  const double mean_k = profile_.mean_degree();
+
+  double theta_y = 0.0;
+  double theta_z = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    theta_y += phi_[i] * Y[i];
+    theta_z += phi_[i] * (1.0 - X[i] - Y[i]);
+  }
+  theta_y /= mean_k;
+  theta_z /= mean_k;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double spreading = lambda_[i] * X[i] * theta_y;
+    const double stifling = sigma_[i] * Y[i] * (theta_y + theta_z);
+    dydt[i] = -spreading - params_.epsilon1 * X[i];
+    dydt[n + i] = spreading - stifling - params_.epsilon2 * Y[i];
+  }
+}
+
+double MakiThompsonModel::theta_spreaders(std::span<const double> y) const {
+  const std::size_t n = num_groups();
+  double theta = 0.0;
+  for (std::size_t i = 0; i < n; ++i) theta += phi_[i] * y[n + i];
+  return theta / profile_.mean_degree();
+}
+
+double MakiThompsonModel::theta_stiflers(std::span<const double> y) const {
+  const std::size_t n = num_groups();
+  double theta = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    theta += phi_[i] * (1.0 - y[i] - y[n + i]);
+  }
+  return theta / profile_.mean_degree();
+}
+
+double MakiThompsonModel::spreader_density(std::span<const double> y) const {
+  const std::size_t n = num_groups();
+  double density = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    density += profile_.probability(i) * y[n + i];
+  }
+  return density;
+}
+
+double MakiThompsonModel::informed_density(std::span<const double> y) const {
+  const std::size_t n = num_groups();
+  double density = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    density += profile_.probability(i) * (1.0 - y[i]);
+  }
+  return density;
+}
+
+ode::State MakiThompsonModel::initial_state(double spreader_fraction) const {
+  util::require(spreader_fraction > 0.0 && spreader_fraction < 1.0,
+                "MakiThompsonModel::initial_state: fraction in (0,1)");
+  const std::size_t n = num_groups();
+  ode::State y(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = 1.0 - spreader_fraction;
+    y[n + i] = spreader_fraction;
+  }
+  return y;
+}
+
+}  // namespace rumor::core

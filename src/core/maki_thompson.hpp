@@ -1,0 +1,77 @@
+// Degree-heterogeneous Maki–Thompson rumor model (comparison family).
+//
+// The paper builds on the Daley–Kendall / Maki–Thompson tradition
+// (Section III cites both) but replaces self-stifling with external
+// countermeasures. This module implements the MT dynamics proper on
+// the same degree-grouped substrate so the two mechanisms can be
+// compared head-to-head (ABL-FAMILY bench):
+//
+//   ignorant X_k   — has not heard the rumor,
+//   spreader Y_k   — actively spreads it,
+//   stifler  Z_k   — knows it but no longer spreads.
+//
+//   dX_k/dt = −λ(k) X_k Θ_Y − ε1 X_k
+//   dY_k/dt =  λ(k) X_k Θ_Y − σ(k) Y_k (Θ_Y + Θ_Z) − ε2 Y_k
+//   (Z_k = 1 − X_k − Y_k)
+//
+// with Θ_C = (1/⟨k⟩) Σ_j ω(k_j) P(k_j) C_j. The σ term is the MT
+// signature: a spreader contacting someone who already knows the rumor
+// (spreader or stifler) stops spreading — the rumor self-limits even
+// with ε1 = ε2 = 0, unlike the paper's SIR variant whose fate is set
+// by r0.
+#pragma once
+
+#include "core/params.hpp"
+#include "core/profile.hpp"
+#include "ode/system.hpp"
+
+namespace rumor::core {
+
+struct MakiThompsonParams {
+  Acceptance lambda = Acceptance::linear();     ///< acceptance λ(k)
+  Infectivity omega = Infectivity::saturating();///< infectivity ω(k)
+  /// Stifling rate σ(k) = stifling_scale · λ(k) (contacts that stifle
+  /// happen through the same social fabric as contacts that spread).
+  double stifling_scale = 1.0;
+  double epsilon1 = 0.0;  ///< truth immunization on ignorants
+  double epsilon2 = 0.0;  ///< blocking of spreaders
+
+  void validate() const;
+};
+
+/// State layout: y = [X_1..X_n, Y_1..Y_n]; Z implied by conservation.
+class MakiThompsonModel final : public ode::OdeSystem {
+ public:
+  MakiThompsonModel(NetworkProfile profile, MakiThompsonParams params);
+
+  std::size_t dimension() const override { return 2 * num_groups(); }
+  void rhs(double t, std::span<const double> y,
+           std::span<double> dydt) const override;
+
+  std::size_t num_groups() const { return profile_.num_groups(); }
+  const NetworkProfile& profile() const { return profile_; }
+  const MakiThompsonParams& params() const { return params_; }
+
+  /// Θ_Y for a state.
+  double theta_spreaders(std::span<const double> y) const;
+  /// Θ_Z (stiflers) for a state.
+  double theta_stiflers(std::span<const double> y) const;
+
+  /// Population spreader density Σ P(k_i) Y_i.
+  double spreader_density(std::span<const double> y) const;
+  /// Population density of people who ever heard the rumor
+  /// (spreaders + stiflers): the MT "final size" observable.
+  double informed_density(std::span<const double> y) const;
+
+  /// X_i(0) = 1 − fraction, Y_i(0) = fraction, Z_i(0) = 0.
+  ode::State initial_state(double spreader_fraction) const;
+
+ private:
+  NetworkProfile profile_;
+  MakiThompsonParams params_;
+  std::vector<double> lambda_;
+  std::vector<double> sigma_;
+  std::vector<double> phi_;
+};
+
+}  // namespace rumor::core

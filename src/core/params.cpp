@@ -1,0 +1,100 @@
+#include "core/params.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rumor::core {
+
+Infectivity Infectivity::constant(double c) {
+  util::require(c > 0.0, "Infectivity::constant: c must be positive");
+  return Infectivity(Kind::kConstant, c, 0.0);
+}
+
+Infectivity Infectivity::linear(double scale) {
+  util::require(scale > 0.0, "Infectivity::linear: scale must be positive");
+  return Infectivity(Kind::kLinear, scale, 0.0);
+}
+
+Infectivity Infectivity::saturating(double beta, double gamma) {
+  util::require(beta > 0.0 && gamma > 0.0,
+                "Infectivity::saturating: beta and gamma must be positive");
+  return Infectivity(Kind::kSaturating, beta, gamma);
+}
+
+double Infectivity::operator()(double k) const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return a_;
+    case Kind::kLinear:
+      return a_ * k;
+    case Kind::kSaturating:
+      return std::pow(k, a_) / (1.0 + std::pow(k, b_));
+  }
+  return 0.0;
+}
+
+std::string Infectivity::description() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kConstant:
+      os << a_;
+      break;
+    case Kind::kLinear:
+      if (a_ != 1.0) os << a_ << "*";
+      os << "k";
+      break;
+    case Kind::kSaturating:
+      os << "k^" << a_ << "/(1+k^" << b_ << ")";
+      break;
+  }
+  return os.str();
+}
+
+Acceptance Acceptance::constant(double value) {
+  util::require(value > 0.0, "Acceptance::constant: value must be positive");
+  return Acceptance(value, 0.0);
+}
+
+Acceptance Acceptance::linear(double scale) {
+  util::require(scale > 0.0, "Acceptance::linear: scale must be positive");
+  return Acceptance(scale, 1.0);
+}
+
+Acceptance Acceptance::power(double scale, double exponent) {
+  util::require(scale > 0.0, "Acceptance::power: scale must be positive");
+  util::require(exponent >= 0.0,
+                "Acceptance::power: exponent must be non-negative");
+  return Acceptance(scale, exponent);
+}
+
+double Acceptance::operator()(double k) const {
+  if (exponent_ == 0.0) return scale_;
+  if (exponent_ == 1.0) return scale_ * k;
+  return scale_ * std::pow(k, exponent_);
+}
+
+Acceptance Acceptance::with_scale(double scale) const {
+  util::require(scale > 0.0, "Acceptance::with_scale: scale must be positive");
+  return Acceptance(scale, exponent_);
+}
+
+std::string Acceptance::description() const {
+  std::ostringstream os;
+  if (exponent_ == 0.0) {
+    os << scale_;
+  } else {
+    if (scale_ != 1.0) os << scale_ << "*";
+    os << "k";
+    if (exponent_ != 1.0) os << "^" << exponent_;
+  }
+  return os.str();
+}
+
+void ModelParams::validate() const {
+  util::require(std::isfinite(alpha) && alpha >= 0.0,
+                "ModelParams: alpha must be finite and non-negative");
+}
+
+}  // namespace rumor::core

@@ -1,0 +1,85 @@
+// Model parameter families (paper Table I).
+//
+// λ(k): rumor acceptance rate of a susceptible with connectivity k.
+// ω(k): infectivity of an infected with connectivity k.
+// α:    arrival rate of fresh susceptible individuals.
+//
+// Section III of the paper discusses three infectivity families —
+// constant ω(k)=C [Yang et al.], linear ω(k)=k [Moreno et al.], and the
+// saturating ω(k)=k^β/(1+k^γ) [Zhu et al.] that the experiments use with
+// β=γ=0.5. All three are provided (and compared in the ABL-OMEGA bench).
+#pragma once
+
+#include <string>
+
+namespace rumor::core {
+
+/// Infectivity ω(k) of an infected individual with degree k.
+class Infectivity {
+ public:
+  /// ω(k) = c.
+  static Infectivity constant(double c);
+  /// ω(k) = scale · k.
+  static Infectivity linear(double scale = 1.0);
+  /// ω(k) = k^beta / (1 + k^gamma). The paper's experiments use
+  /// beta = gamma = 0.5.
+  static Infectivity saturating(double beta = 0.5, double gamma = 0.5);
+
+  double operator()(double k) const;
+
+  /// Human-readable form, e.g. "k^0.5/(1+k^0.5)".
+  std::string description() const;
+
+ private:
+  enum class Kind { kConstant, kLinear, kSaturating };
+  Infectivity(Kind kind, double a, double b) : kind_(kind), a_(a), b_(b) {}
+  Kind kind_;
+  double a_;
+  double b_;
+};
+
+/// Acceptance rate λ(k) of a susceptible individual with degree k.
+///
+/// The paper's experiments take λ(k) = k ("acceptance grows linearly with
+/// connectivity"); a `scale` knob supports calibrating r0 to a target
+/// (see threshold.hpp), and constant/power variants support homogeneous
+/// baselines and sensitivity studies. Note the ODE treats λ(k)Θ as a
+/// *rate*, so values above 1 are meaningful here (unlike in the
+/// agent-based simulator, which derives a bounded per-contact probability).
+class Acceptance {
+ public:
+  /// λ(k) = value, independent of degree.
+  static Acceptance constant(double value);
+  /// λ(k) = scale · k (the paper's choice with scale = 1).
+  static Acceptance linear(double scale = 1.0);
+  /// λ(k) = scale · k^exponent.
+  static Acceptance power(double scale, double exponent);
+
+  double operator()(double k) const;
+
+  /// A copy with the multiplicative scale replaced. Used by r0
+  /// calibration.
+  Acceptance with_scale(double scale) const;
+  double scale() const { return scale_; }
+
+  std::string description() const;
+
+ private:
+  Acceptance(double scale, double exponent)
+      : scale_(scale), exponent_(exponent) {}
+  double scale_;
+  double exponent_;
+};
+
+/// Full static parameter set of System (1), minus the controls ε1/ε2
+/// (those live in ControlSchedule so they can vary in time).
+struct ModelParams {
+  double alpha = 0.01;  ///< arrival rate of new susceptibles
+  Acceptance lambda = Acceptance::linear();
+  Infectivity omega = Infectivity::saturating();
+
+  /// Throws InvalidArgument on non-finite or negative alpha.
+  void validate() const;
+};
+
+}  // namespace rumor::core

@@ -1,0 +1,95 @@
+#include "core/profile.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rumor::core {
+
+NetworkProfile::NetworkProfile(std::vector<double> degrees,
+                               std::vector<double> pmf)
+    : degrees_(std::move(degrees)), pmf_(std::move(pmf)) {
+  util::require(!degrees_.empty(), "NetworkProfile: empty profile");
+  util::require(degrees_.size() == pmf_.size(),
+                "NetworkProfile: degrees/pmf size mismatch");
+  double prev = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < degrees_.size(); ++i) {
+    util::require(std::isfinite(degrees_[i]) && degrees_[i] > 0.0,
+                  "NetworkProfile: degrees must be positive");
+    util::require(i == 0 || degrees_[i] > prev,
+                  "NetworkProfile: degrees must be strictly increasing");
+    util::require(std::isfinite(pmf_[i]) && pmf_[i] > 0.0,
+                  "NetworkProfile: probabilities must be positive");
+    prev = degrees_[i];
+    total += pmf_[i];
+  }
+  util::require(total > 0.0, "NetworkProfile: zero total probability");
+  mean_degree_ = 0.0;
+  for (std::size_t i = 0; i < degrees_.size(); ++i) {
+    pmf_[i] /= total;
+    mean_degree_ += degrees_[i] * pmf_[i];
+  }
+}
+
+NetworkProfile NetworkProfile::from_histogram(
+    const graph::DegreeHistogram& hist) {
+  std::vector<double> degrees;
+  std::vector<double> pmf;
+  degrees.reserve(hist.num_groups());
+  pmf.reserve(hist.num_groups());
+  const auto& ks = hist.degrees();
+  const auto& counts = hist.counts();
+  for (std::size_t i = 0; i < hist.num_groups(); ++i) {
+    if (ks[i] == 0) continue;  // isolated nodes play no role in spreading
+    degrees.push_back(static_cast<double>(ks[i]));
+    pmf.push_back(static_cast<double>(counts[i]));
+  }
+  return NetworkProfile(std::move(degrees), std::move(pmf));
+}
+
+NetworkProfile NetworkProfile::from_graph(const graph::Graph& g) {
+  return from_histogram(graph::DegreeHistogram::from_graph(g));
+}
+
+NetworkProfile NetworkProfile::from_pmf(std::vector<double> degrees,
+                                        std::vector<double> pmf) {
+  return NetworkProfile(std::move(degrees), std::move(pmf));
+}
+
+NetworkProfile NetworkProfile::homogeneous(double degree) {
+  return NetworkProfile({degree}, {1.0});
+}
+
+NetworkProfile NetworkProfile::coarsened(std::size_t max_groups) const {
+  util::require(max_groups >= 1, "coarsened: need at least one group");
+  if (num_groups() <= max_groups) return *this;
+
+  // Merge adjacent buckets so each merged bucket carries roughly equal
+  // probability mass; represent it by its probability-weighted mean
+  // degree, which preserves ⟨k⟩ exactly.
+  const double mass_per_bucket = 1.0 / static_cast<double>(max_groups);
+  std::vector<double> degrees;
+  std::vector<double> pmf;
+  double bucket_mass = 0.0;
+  double bucket_first_moment = 0.0;
+  std::size_t buckets_done = 0;
+  for (std::size_t i = 0; i < num_groups(); ++i) {
+    bucket_mass += pmf_[i];
+    bucket_first_moment += pmf_[i] * degrees_[i];
+    const bool last_group = (i + 1 == num_groups());
+    const bool bucket_full =
+        bucket_mass >= mass_per_bucket &&
+        buckets_done + 1 < max_groups;
+    if (bucket_full || last_group) {
+      degrees.push_back(bucket_first_moment / bucket_mass);
+      pmf.push_back(bucket_mass);
+      bucket_mass = 0.0;
+      bucket_first_moment = 0.0;
+      ++buckets_done;
+    }
+  }
+  return NetworkProfile(std::move(degrees), std::move(pmf));
+}
+
+}  // namespace rumor::core

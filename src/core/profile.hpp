@@ -1,0 +1,53 @@
+// NetworkProfile: the degree-grouped view of an OSN that System (1)
+// consumes — group degrees k_i, group probabilities P(k_i), and ⟨k⟩.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/degree.hpp"
+#include "graph/graph.hpp"
+
+namespace rumor::core {
+
+/// Immutable degree profile {k_i, P(k_i)} with i = 1..n, Σ P(k_i) = 1.
+class NetworkProfile {
+ public:
+  /// From a degree histogram (e.g. the Digg surrogate or a real graph's
+  /// empirical histogram).
+  static NetworkProfile from_histogram(const graph::DegreeHistogram& hist);
+
+  /// Shortcut: histogram of a concrete graph.
+  static NetworkProfile from_graph(const graph::Graph& g);
+
+  /// From explicit degrees and probabilities. Degrees must be positive
+  /// and strictly increasing; probabilities positive. The pmf is
+  /// renormalized to sum to 1.
+  static NetworkProfile from_pmf(std::vector<double> degrees,
+                                 std::vector<double> pmf);
+
+  /// A single-group (homogeneous) profile — the classic well-mixed SIR
+  /// special case used as a baseline and in closed-form tests.
+  static NetworkProfile homogeneous(double degree);
+
+  /// Coarsen to at most `max_groups` groups by merging adjacent degree
+  /// buckets (probability-weighted mean degree per merged bucket).
+  /// Used to shrink the 848-group Digg profile for the O(iterations)
+  /// optimal-control sweeps without changing ⟨k⟩.
+  NetworkProfile coarsened(std::size_t max_groups) const;
+
+  std::size_t num_groups() const { return degrees_.size(); }
+  std::span<const double> degrees() const { return degrees_; }
+  std::span<const double> pmf() const { return pmf_; }
+  double degree(std::size_t i) const { return degrees_[i]; }
+  double probability(std::size_t i) const { return pmf_[i]; }
+  double mean_degree() const { return mean_degree_; }
+
+ private:
+  NetworkProfile(std::vector<double> degrees, std::vector<double> pmf);
+  std::vector<double> degrees_;
+  std::vector<double> pmf_;
+  double mean_degree_ = 0.0;
+};
+
+}  // namespace rumor::core

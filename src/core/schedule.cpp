@@ -1,0 +1,58 @@
+#include "core/schedule.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace rumor::core {
+
+ConstantControl::ConstantControl(double epsilon1, double epsilon2)
+    : epsilon1_(epsilon1), epsilon2_(epsilon2) {
+  util::require(std::isfinite(epsilon1) && epsilon1 >= 0.0,
+                "ConstantControl: epsilon1 must be finite and >= 0");
+  util::require(std::isfinite(epsilon2) && epsilon2 >= 0.0,
+                "ConstantControl: epsilon2 must be finite and >= 0");
+}
+
+PiecewiseLinearControl::PiecewiseLinearControl(
+    std::vector<double> grid, std::vector<double> epsilon1_values,
+    std::vector<double> epsilon2_values)
+    : grid_(std::move(grid)),
+      e1_(std::move(epsilon1_values)),
+      e2_(std::move(epsilon2_values)) {
+  util::require(grid_.size() >= 2,
+                "PiecewiseLinearControl: need at least two knots");
+  util::require(grid_.size() == e1_.size() && grid_.size() == e2_.size(),
+                "PiecewiseLinearControl: grid/value size mismatch");
+  for (std::size_t i = 1; i < grid_.size(); ++i) {
+    util::require(grid_[i] > grid_[i - 1],
+                  "PiecewiseLinearControl: grid must be strictly increasing");
+  }
+  for (std::size_t i = 0; i < grid_.size(); ++i) {
+    util::require(std::isfinite(e1_[i]) && e1_[i] >= 0.0 &&
+                      std::isfinite(e2_[i]) && e2_[i] >= 0.0,
+                  "PiecewiseLinearControl: values must be finite and >= 0");
+  }
+}
+
+double PiecewiseLinearControl::epsilon1(double t) const {
+  return util::interp_linear(grid_, e1_, t);
+}
+
+double PiecewiseLinearControl::epsilon2(double t) const {
+  return util::interp_linear(grid_, e2_, t);
+}
+
+FunctionControl::FunctionControl(Fn epsilon1, Fn epsilon2)
+    : e1_(std::move(epsilon1)), e2_(std::move(epsilon2)) {
+  util::require(static_cast<bool>(e1_) && static_cast<bool>(e2_),
+                "FunctionControl: callables must be non-empty");
+}
+
+std::shared_ptr<const ControlSchedule> make_constant_control(
+    double epsilon1, double epsilon2) {
+  return std::make_shared<ConstantControl>(epsilon1, epsilon2);
+}
+
+}  // namespace rumor::core

@@ -1,0 +1,81 @@
+// Countermeasure schedules: ε1(t) (truth-spreading / immunization of
+// susceptibles) and ε2(t) (blocking of infected users).
+//
+// The SIR model reads controls through this interface so that constant
+// levels (Section III experiments), optimizer-produced piecewise-linear
+// policies (Section IV), and state-feedback heuristics can be swapped
+// without touching the dynamics.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace rumor::core {
+
+/// Time-varying countermeasure pair. Implementations must be pure in t.
+class ControlSchedule {
+ public:
+  virtual ~ControlSchedule() = default;
+
+  /// Immunization rate ε1(t) applied to susceptible individuals.
+  virtual double epsilon1(double t) const = 0;
+
+  /// Blocking rate ε2(t) applied to infected individuals.
+  virtual double epsilon2(double t) const = 0;
+};
+
+/// Constant countermeasure levels (the Section III setting).
+class ConstantControl final : public ControlSchedule {
+ public:
+  ConstantControl(double epsilon1, double epsilon2);
+  double epsilon1(double) const override { return epsilon1_; }
+  double epsilon2(double) const override { return epsilon2_; }
+
+ private:
+  double epsilon1_;
+  double epsilon2_;
+};
+
+/// Controls tabulated on a time grid with linear interpolation between
+/// knots and clamping outside the grid. This is the representation the
+/// forward–backward sweep optimizer produces.
+class PiecewiseLinearControl final : public ControlSchedule {
+ public:
+  /// `grid` strictly increasing; value vectors sized like the grid.
+  PiecewiseLinearControl(std::vector<double> grid,
+                         std::vector<double> epsilon1_values,
+                         std::vector<double> epsilon2_values);
+
+  double epsilon1(double t) const override;
+  double epsilon2(double t) const override;
+
+  const std::vector<double>& grid() const { return grid_; }
+  const std::vector<double>& epsilon1_values() const { return e1_; }
+  const std::vector<double>& epsilon2_values() const { return e2_; }
+
+ private:
+  std::vector<double> grid_;
+  std::vector<double> e1_;
+  std::vector<double> e2_;
+};
+
+/// Controls given as callables of t; used in tests and for hand-written
+/// policies (e.g. bang-bang baselines).
+class FunctionControl final : public ControlSchedule {
+ public:
+  using Fn = std::function<double(double)>;
+  FunctionControl(Fn epsilon1, Fn epsilon2);
+  double epsilon1(double t) const override { return e1_(t); }
+  double epsilon2(double t) const override { return e2_(t); }
+
+ private:
+  Fn e1_;
+  Fn e2_;
+};
+
+/// Convenience factory for shared constant controls.
+std::shared_ptr<const ControlSchedule> make_constant_control(double epsilon1,
+                                                             double epsilon2);
+
+}  // namespace rumor::core

@@ -1,0 +1,134 @@
+#include "core/sensitivity.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rumor::core {
+
+std::string to_string(Knob knob) {
+  switch (knob) {
+    case Knob::kAlpha:
+      return "alpha";
+    case Knob::kEpsilon1:
+      return "eps1";
+    case Knob::kEpsilon2:
+      return "eps2";
+    case Knob::kLambdaScale:
+      return "lambda-scale";
+  }
+  return "?";
+}
+
+ThresholdSensitivity threshold_sensitivity() { return {}; }
+
+TrajectoryFunctional peak_infected_density() {
+  return [](const SirNetworkModel&, const SimulationResult& result) {
+    double peak = 0.0;
+    for (const double v : result.infected_density) {
+      peak = std::max(peak, v);
+    }
+    return peak;
+  };
+}
+
+TrajectoryFunctional terminal_infected_density() {
+  return [](const SirNetworkModel&, const SimulationResult& result) {
+    return result.infected_density.back();
+  };
+}
+
+TrajectoryFunctional extinction_time(double threshold) {
+  util::require(threshold > 0.0,
+                "extinction_time: threshold must be positive");
+  return [threshold](const SirNetworkModel&,
+                     const SimulationResult& result) {
+    for (std::size_t k = 0; k < result.total_infected.size(); ++k) {
+      if (result.total_infected[k] < threshold) {
+        return result.trajectory.times()[k];
+      }
+    }
+    return result.trajectory.back_time();
+  };
+}
+
+namespace {
+
+double evaluate(const NetworkProfile& profile, const ModelParams& params,
+                double epsilon1, double epsilon2, double initial_infected,
+                const TrajectoryFunctional& functional,
+                const SimulationOptions& simulation) {
+  SirNetworkModel model(profile, params,
+                        make_constant_control(epsilon1, epsilon2));
+  const auto result =
+      run_simulation(model, model.initial_state(initial_infected),
+                     simulation);
+  return functional(model, result);
+}
+
+}  // namespace
+
+double trajectory_elasticity(const NetworkProfile& profile,
+                             const ModelParams& params, double epsilon1,
+                             double epsilon2, double initial_infected,
+                             Knob knob,
+                             const TrajectoryFunctional& functional,
+                             const ElasticityOptions& options) {
+  util::require(options.relative_step > 0.0 && options.relative_step < 1.0,
+                "trajectory_elasticity: step must be in (0,1)");
+  const double base = evaluate(profile, params, epsilon1, epsilon2,
+                               initial_infected, functional,
+                               options.simulation);
+  util::require(base > 0.0,
+                "trajectory_elasticity: functional must be positive at "
+                "the base point for a log-elasticity");
+
+  auto perturbed = [&](double factor) {
+    ModelParams p = params;
+    double e1 = epsilon1, e2 = epsilon2;
+    switch (knob) {
+      case Knob::kAlpha:
+        p.alpha = params.alpha * factor;
+        break;
+      case Knob::kEpsilon1:
+        e1 = epsilon1 * factor;
+        break;
+      case Knob::kEpsilon2:
+        e2 = epsilon2 * factor;
+        break;
+      case Knob::kLambdaScale:
+        p.lambda = params.lambda.with_scale(params.lambda.scale() * factor);
+        break;
+    }
+    return evaluate(profile, p, e1, e2, initial_infected, functional,
+                    options.simulation);
+  };
+
+  const double h = options.relative_step;
+  const double up = perturbed(1.0 + h);
+  const double down = perturbed(1.0 - h);
+  util::require(up > 0.0 && down > 0.0,
+                "trajectory_elasticity: functional vanished at a "
+                "perturbed point");
+  // Central difference on the log-log scale.
+  return (std::log(up) - std::log(down)) /
+         (std::log(1.0 + h) - std::log(1.0 - h));
+}
+
+std::vector<ElasticityRow> elasticity_table(
+    const NetworkProfile& profile, const ModelParams& params,
+    double epsilon1, double epsilon2, double initial_infected,
+    const TrajectoryFunctional& functional,
+    const ElasticityOptions& options) {
+  std::vector<ElasticityRow> rows;
+  for (const Knob knob : {Knob::kAlpha, Knob::kEpsilon1, Knob::kEpsilon2,
+                          Knob::kLambdaScale}) {
+    rows.push_back({knob, trajectory_elasticity(
+                              profile, params, epsilon1, epsilon2,
+                              initial_infected, knob, functional,
+                              options)});
+  }
+  return rows;
+}
+
+}  // namespace rumor::core

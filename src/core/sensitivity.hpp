@@ -1,0 +1,77 @@
+// Sensitivity analysis: how strongly each model/countermeasure knob
+// moves the threshold r0 and trajectory-level outcomes.
+//
+// For r0 = α Σ λ(k)φ(k) / (⟨k⟩ ε1 ε2) the elasticities
+// (∂log r0 / ∂log p) are closed-form: +1 for α and the λ scale, −1 for
+// ε1 and ε2 — countermeasure effort and rumor virality trade one-for-
+// one on the log scale. Trajectory functionals (peak infection,
+// terminal infection, extinction time) have no closed form; their
+// elasticities are estimated by central differences over full
+// simulations. The SENS bench prints the tornado table.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+
+namespace rumor::core {
+
+/// The tunable scalar knobs of the (constant-control) model.
+enum class Knob { kAlpha, kEpsilon1, kEpsilon2, kLambdaScale };
+
+std::string to_string(Knob knob);
+
+/// Closed-form elasticities of r0 with respect to every knob.
+struct ThresholdSensitivity {
+  double alpha = 1.0;         ///< ∂log r0/∂log α
+  double epsilon1 = -1.0;     ///< ∂log r0/∂log ε1
+  double epsilon2 = -1.0;     ///< ∂log r0/∂log ε2
+  double lambda_scale = 1.0;  ///< ∂log r0/∂log λ-scale
+};
+
+/// The analytic result (independent of parameter values — a structural
+/// property of the threshold formula). Provided as a function for
+/// symmetry and for documentation through the test suite, which checks
+/// it against finite differences of basic_reproduction_number.
+ThresholdSensitivity threshold_sensitivity();
+
+/// A scalar functional of a simulation run (e.g. peak infected density).
+using TrajectoryFunctional =
+    std::function<double(const SirNetworkModel&, const SimulationResult&)>;
+
+/// Common functionals.
+TrajectoryFunctional peak_infected_density();
+TrajectoryFunctional terminal_infected_density();
+/// First time Σ_i I_i drops below `threshold` (returns t1 when never).
+TrajectoryFunctional extinction_time(double threshold);
+
+struct ElasticityOptions {
+  double relative_step = 0.05;  ///< central-difference step on log scale
+  SimulationOptions simulation;
+};
+
+/// Central-difference elasticity ∂log F / ∂log p of `functional` with
+/// respect to `knob` around (params, ε1, ε2). Throws InvalidArgument if
+/// the functional is non-positive at the base point (log-elasticity
+/// undefined).
+double trajectory_elasticity(const NetworkProfile& profile,
+                             const ModelParams& params, double epsilon1,
+                             double epsilon2, double initial_infected,
+                             Knob knob,
+                             const TrajectoryFunctional& functional,
+                             const ElasticityOptions& options = {});
+
+/// One row per knob: the full tornado table for a functional.
+struct ElasticityRow {
+  Knob knob;
+  double elasticity;
+};
+std::vector<ElasticityRow> elasticity_table(
+    const NetworkProfile& profile, const ModelParams& params,
+    double epsilon1, double epsilon2, double initial_infected,
+    const TrajectoryFunctional& functional,
+    const ElasticityOptions& options = {});
+
+}  // namespace rumor::core

@@ -1,0 +1,111 @@
+#include "core/sir_model.hpp"
+
+#include "util/error.hpp"
+
+namespace rumor::core {
+
+SirNetworkModel::SirNetworkModel(NetworkProfile profile, ModelParams params,
+                                 std::shared_ptr<const ControlSchedule> control)
+    : profile_(std::move(profile)),
+      params_(std::move(params)),
+      control_(std::move(control)) {
+  params_.validate();
+  util::require(control_ != nullptr, "SirNetworkModel: control is null");
+  const std::size_t n = profile_.num_groups();
+  lambda_.resize(n);
+  phi_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double k = profile_.degree(i);
+    lambda_[i] = params_.lambda(k);
+    phi_[i] = params_.omega(k) * profile_.probability(i);
+  }
+}
+
+void SirNetworkModel::set_control(
+    std::shared_ptr<const ControlSchedule> control) {
+  util::require(control != nullptr, "SirNetworkModel::set_control: null");
+  control_ = std::move(control);
+}
+
+void SirNetworkModel::rhs(double t, std::span<const double> y,
+                          std::span<double> dydt) const {
+  const std::size_t n = num_groups();
+  const auto S = y.subspan(0, n);
+  const auto I = y.subspan(n, n);
+  auto dS = dydt.subspan(0, n);
+  auto dI = dydt.subspan(n, n);
+
+  const double e1 = control_->epsilon1(t);
+  const double e2 = control_->epsilon2(t);
+  const double alpha = params_.alpha;
+
+  double th = 0.0;
+  for (std::size_t i = 0; i < n; ++i) th += phi_[i] * I[i];
+  th /= profile_.mean_degree();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double infection = lambda_[i] * S[i] * th;
+    dS[i] = alpha - infection - e1 * S[i];
+    dI[i] = infection - e2 * I[i];
+  }
+}
+
+double SirNetworkModel::recovered(std::span<const double> y,
+                                  std::size_t i) const {
+  const std::size_t n = num_groups();
+  util::require(i < n, "SirNetworkModel::recovered: group index out of range");
+  return 1.0 - y[i] - y[n + i];
+}
+
+double SirNetworkModel::theta(std::span<const double> y) const {
+  const std::size_t n = num_groups();
+  const auto I = y.subspan(n, n);
+  double th = 0.0;
+  for (std::size_t i = 0; i < n; ++i) th += phi_[i] * I[i];
+  return th / profile_.mean_degree();
+}
+
+double SirNetworkModel::total_infected(std::span<const double> y) const {
+  const std::size_t n = num_groups();
+  const auto I = y.subspan(n, n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += I[i];
+  return sum;
+}
+
+double SirNetworkModel::infected_density(std::span<const double> y) const {
+  const std::size_t n = num_groups();
+  const auto I = y.subspan(n, n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += profile_.probability(i) * I[i];
+  return sum;
+}
+
+ode::State SirNetworkModel::initial_state(double infected_fraction) const {
+  util::require(infected_fraction > 0.0 && infected_fraction < 1.0,
+                "SirNetworkModel::initial_state: fraction must be in (0,1)");
+  const std::size_t n = num_groups();
+  ode::State y(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = 1.0 - infected_fraction;
+    y[n + i] = infected_fraction;
+  }
+  return y;
+}
+
+ode::State SirNetworkModel::initial_state(
+    std::span<const double> infected0) const {
+  const std::size_t n = num_groups();
+  util::require(infected0.size() == n,
+                "SirNetworkModel::initial_state: group count mismatch");
+  ode::State y(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    util::require(infected0[i] >= 0.0 && infected0[i] <= 1.0,
+                  "SirNetworkModel::initial_state: I0 out of [0,1]");
+    y[i] = 1.0 - infected0[i];
+    y[n + i] = infected0[i];
+  }
+  return y;
+}
+
+}  // namespace rumor::core

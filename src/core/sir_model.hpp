@@ -1,0 +1,93 @@
+// The heterogeneous-network SIR model — System (1) of the paper.
+//
+// Dynamical state: y = [S_1..S_n, I_1..I_n]. The recovered densities are
+// defined by conservation, R_i = 1 − S_i − I_i; the paper notes the
+// first two equations are independent of the third and derives R from
+// them, which is also the only reading under which E0 = (α/ε1, 0,
+// 1−α/ε1) is actually stationary.
+//
+//   dS_i/dt = α − λ(k_i) S_i Θ(t) − ε1(t) S_i
+//   dI_i/dt = λ(k_i) S_i Θ(t) − ε2(t) I_i
+//   Θ(t)    = (1/⟨k⟩) Σ_j φ(k_j) I_j(t),   φ(k) = ω(k) P(k)
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/params.hpp"
+#include "core/profile.hpp"
+#include "core/schedule.hpp"
+#include "ode/system.hpp"
+
+namespace rumor::core {
+
+class SirNetworkModel final : public ode::OdeSystem {
+ public:
+  /// `control` supplies ε1(t), ε2(t); it must outlive the model (shared
+  /// ownership enforces that).
+  SirNetworkModel(NetworkProfile profile, ModelParams params,
+                  std::shared_ptr<const ControlSchedule> control);
+
+  // --- OdeSystem ---
+  std::size_t dimension() const override { return 2 * num_groups(); }
+  void rhs(double t, std::span<const double> y,
+           std::span<double> dydt) const override;
+
+  // --- structure ---
+  std::size_t num_groups() const { return profile_.num_groups(); }
+  const NetworkProfile& profile() const { return profile_; }
+  const ModelParams& params() const { return params_; }
+  const ControlSchedule& control() const { return *control_; }
+
+  /// Swap the control schedule (e.g. between optimizer iterations).
+  void set_control(std::shared_ptr<const ControlSchedule> control);
+
+  /// Precomputed λ(k_i).
+  std::span<const double> lambdas() const { return lambda_; }
+  /// Precomputed φ(k_i) = ω(k_i) P(k_i).
+  std::span<const double> phis() const { return phi_; }
+
+  // --- state accessors ---
+  static std::span<const double> susceptible(std::span<const double> y,
+                                             std::size_t n) {
+    return y.subspan(0, n);
+  }
+  static std::span<const double> infected(std::span<const double> y,
+                                          std::size_t n) {
+    return y.subspan(n, n);
+  }
+  std::span<const double> susceptible(std::span<const double> y) const {
+    return susceptible(y, num_groups());
+  }
+  std::span<const double> infected(std::span<const double> y) const {
+    return infected(y, num_groups());
+  }
+  /// R_i = 1 − S_i − I_i for group i.
+  double recovered(std::span<const double> y, std::size_t i) const;
+
+  /// Θ for a given state (paper Eq. below System (1)).
+  double theta(std::span<const double> y) const;
+
+  /// Σ_i I_i — the paper's terminal objective term.
+  double total_infected(std::span<const double> y) const;
+
+  /// Population-level infected density Σ_i P(k_i) I_i — the fraction of
+  /// all users currently spreading the rumor.
+  double infected_density(std::span<const double> y) const;
+
+  /// Initial condition of Section II: I_i(0) = infected_fraction,
+  /// S_i(0) = 1 − infected_fraction, R_i(0) = 0, identical across groups.
+  ode::State initial_state(double infected_fraction) const;
+
+  /// Per-group initial infected densities (S_i(0) = 1 − I_i(0)).
+  ode::State initial_state(std::span<const double> infected0) const;
+
+ private:
+  NetworkProfile profile_;
+  ModelParams params_;
+  std::shared_ptr<const ControlSchedule> control_;
+  std::vector<double> lambda_;  // λ(k_i)
+  std::vector<double> phi_;     // ω(k_i) P(k_i)
+};
+
+}  // namespace rumor::core

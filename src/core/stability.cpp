@@ -1,0 +1,110 @@
+#include "core/stability.hpp"
+
+#include <cmath>
+
+#include "core/threshold.hpp"
+#include "util/error.hpp"
+
+namespace rumor::core {
+
+double gamma_factor(const NetworkProfile& profile, const ModelParams& params,
+                    double epsilon1) {
+  util::require(epsilon1 > 0.0, "gamma_factor: epsilon1 must be > 0");
+  return params.alpha * lambda_phi_sum(profile, params) /
+         (profile.mean_degree() * epsilon1);
+}
+
+double dominant_eigenvalue_at_zero(const NetworkProfile& profile,
+                                   const ModelParams& params, double epsilon1,
+                                   double epsilon2) {
+  return gamma_factor(profile, params, epsilon1) - epsilon2;
+}
+
+StabilityVerdict zero_equilibrium_stability(const NetworkProfile& profile,
+                                            const ModelParams& params,
+                                            double epsilon1, double epsilon2,
+                                            double tol) {
+  const double chi =
+      dominant_eigenvalue_at_zero(profile, params, epsilon1, epsilon2);
+  if (std::abs(chi) <= tol) return StabilityVerdict::kMarginal;
+  return chi < 0.0 ? StabilityVerdict::kAsymptoticallyStable
+                   : StabilityVerdict::kUnstable;
+}
+
+double lyapunov_v0(const SirNetworkModel& model, std::span<const double> y,
+                   double epsilon2) {
+  util::require(epsilon2 > 0.0, "lyapunov_v0: epsilon2 must be > 0");
+  return model.theta(y) / epsilon2;
+}
+
+double lyapunov_v0_derivative(const SirNetworkModel& model, double t,
+                              std::span<const double> y, double epsilon2) {
+  util::require(epsilon2 > 0.0, "lyapunov_v0_derivative: epsilon2 must be > 0");
+  const std::size_t n = model.num_groups();
+  ode::State dydt(model.dimension(), 0.0);
+  model.rhs(t, y, dydt);
+  // Θ'(t) = (1/⟨k⟩) Σ φ_i I_i'(t)
+  double theta_dot = 0.0;
+  const auto phi = model.phis();
+  for (std::size_t i = 0; i < n; ++i) theta_dot += phi[i] * dydt[n + i];
+  theta_dot /= model.profile().mean_degree();
+  return theta_dot / epsilon2;
+}
+
+double lyapunov_vplus(const SirNetworkModel& model, std::span<const double> y,
+                      const Equilibrium& positive) {
+  util::require(positive.positive, "lyapunov_vplus: need a positive "
+                                   "equilibrium");
+  const std::size_t n = model.num_groups();
+  util::require(y.size() == 2 * n && positive.state.size() == 2 * n,
+                "lyapunov_vplus: dimension mismatch");
+  const double theta = model.theta(y);
+  const double theta_plus = positive.theta;
+  util::require(theta > 0.0 && theta_plus > 0.0,
+                "lyapunov_vplus: Θ must be strictly positive");
+
+  const auto phi = model.phis();
+  const double mean_k = model.profile().mean_degree();
+  double quad = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double s_plus = positive.state[i];
+    const double ds = y[i] - s_plus;
+    quad += phi[i] * ds * ds / s_plus;
+  }
+  quad *= 0.5 / mean_k;
+  const double entropy =
+      theta - theta_plus - theta_plus * std::log(theta / theta_plus);
+  return quad + entropy;
+}
+
+double lyapunov_vplus_derivative(const SirNetworkModel& model, double t,
+                                 std::span<const double> y,
+                                 const Equilibrium& positive) {
+  util::require(positive.positive,
+                "lyapunov_vplus_derivative: need a positive equilibrium");
+  const std::size_t n = model.num_groups();
+  ode::State dydt(model.dimension(), 0.0);
+  model.rhs(t, y, dydt);
+
+  const double theta = model.theta(y);
+  util::require(theta > 0.0,
+                "lyapunov_vplus_derivative: Θ must be strictly positive");
+  const auto phi = model.phis();
+  const double mean_k = model.profile().mean_degree();
+
+  double theta_dot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) theta_dot += phi[i] * dydt[n + i];
+  theta_dot /= mean_k;
+
+  double quad_dot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double s_plus = positive.state[i];
+    quad_dot += phi[i] * (y[i] - s_plus) / s_plus * dydt[i];
+  }
+  quad_dot /= mean_k;
+
+  const double entropy_dot = (1.0 - positive.theta / theta) * theta_dot;
+  return quad_dot + entropy_dot;
+}
+
+}  // namespace rumor::core

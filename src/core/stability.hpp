@@ -1,0 +1,59 @@
+// Stability analysis of the equilibria — paper Theorems 2-4.
+//
+// Local stability of E0 reduces to the sign of Γ − ε2, where
+//   Γ = (α/⟨k⟩) Σ_i λ(k_i) φ(k_i) / ε1
+// (the only possibly-positive eigenvalue of the Jacobian at E0); note
+// Γ/ε2 = r0, so the criterion is exactly r0 < 1. Global stability is
+// certified along trajectories through the paper's Lyapunov functions:
+//   V0(t) = Θ(t)/ε2                        for E0 (Theorem 3), and
+//   V+(t) = (1/2⟨k⟩) Σ φ_i (S_i − S_i^+)²/S_i^+ +
+//           Θ − Θ^+ − Θ^+ ln(Θ/Θ^+)        for E+ (Theorem 4).
+#pragma once
+
+#include "core/equilibrium.hpp"
+#include "core/sir_model.hpp"
+
+namespace rumor::core {
+
+enum class StabilityVerdict { kAsymptoticallyStable, kUnstable, kMarginal };
+
+/// Γ as defined above.
+double gamma_factor(const NetworkProfile& profile, const ModelParams& params,
+                    double epsilon1);
+
+/// Largest real eigenvalue part of the Jacobian of the (S, I) system at
+/// E0. The eigenvalues are {−ε1, −ε2, Γ − ε2} (paper proof of Thm 2);
+/// this returns Γ − ε2.
+double dominant_eigenvalue_at_zero(const NetworkProfile& profile,
+                                   const ModelParams& params, double epsilon1,
+                                   double epsilon2);
+
+/// Theorem 2 verdict for E0 (kMarginal when |Γ − ε2| is within `tol`).
+StabilityVerdict zero_equilibrium_stability(const NetworkProfile& profile,
+                                            const ModelParams& params,
+                                            double epsilon1, double epsilon2,
+                                            double tol = 1e-12);
+
+/// Lyapunov function for E0: V0 = Θ(y)/ε2. Non-negative; zero iff no
+/// infection.
+double lyapunov_v0(const SirNetworkModel& model, std::span<const double> y,
+                   double epsilon2);
+
+/// Time derivative of V0 along the flow: (1/ε2) Θ'(t) evaluated via the
+/// model rhs. Theorem 3 proves this is <= Θ (r0 − 1), i.e. negative for
+/// r0 < 1; tests verify the bound numerically.
+double lyapunov_v0_derivative(const SirNetworkModel& model, double t,
+                              std::span<const double> y, double epsilon2);
+
+/// Lyapunov function for E+ (Theorem 4). Requires a positive equilibrium
+/// and strictly positive Θ(y).
+double lyapunov_vplus(const SirNetworkModel& model, std::span<const double> y,
+                      const Equilibrium& positive);
+
+/// Time derivative of V+ along the flow (via the model rhs and the chain
+/// rule). Theorem 4 proves this is <= 0 everywhere.
+double lyapunov_vplus_derivative(const SirNetworkModel& model, double t,
+                                 std::span<const double> y,
+                                 const Equilibrium& positive);
+
+}  // namespace rumor::core

@@ -1,0 +1,47 @@
+#include "core/threshold.hpp"
+
+#include "util/error.hpp"
+
+namespace rumor::core {
+
+double lambda_phi_sum(const NetworkProfile& profile,
+                      const ModelParams& params) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < profile.num_groups(); ++i) {
+    const double k = profile.degree(i);
+    sum += params.lambda(k) * params.omega(k) * profile.probability(i);
+  }
+  return sum;
+}
+
+double basic_reproduction_number(const NetworkProfile& profile,
+                                 const ModelParams& params, double epsilon1,
+                                 double epsilon2) {
+  util::require(epsilon1 > 0.0 && epsilon2 > 0.0,
+                "basic_reproduction_number: countermeasure rates must be "
+                "positive (r0 diverges as they vanish)");
+  params.validate();
+  return params.alpha * lambda_phi_sum(profile, params) /
+         (profile.mean_degree() * epsilon1 * epsilon2);
+}
+
+double reproduction_number_at(const NetworkProfile& profile,
+                              const ModelParams& params,
+                              const ControlSchedule& control, double t) {
+  return basic_reproduction_number(profile, params, control.epsilon1(t),
+                                   control.epsilon2(t));
+}
+
+double calibrate_lambda_scale(const NetworkProfile& profile,
+                              const ModelParams& params, double epsilon1,
+                              double epsilon2, double target) {
+  util::require(target > 0.0, "calibrate_lambda_scale: target must be > 0");
+  const double base =
+      basic_reproduction_number(profile, params, epsilon1, epsilon2);
+  util::require(base > 0.0,
+                "calibrate_lambda_scale: r0 is zero under these parameters "
+                "(alpha == 0?)");
+  return params.lambda.scale() * target / base;
+}
+
+}  // namespace rumor::core

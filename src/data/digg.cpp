@@ -1,0 +1,234 @@
+#include "data/digg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace rumor::data {
+
+namespace {
+
+// Unnormalized bucket weight of degree k.
+double weight(double k, double gamma, double kappa) {
+  return std::pow(k, -gamma) * std::exp(-k / kappa);
+}
+
+std::vector<double> pmf_impl(double gamma, double kappa,
+                             const DiggTargets& targets) {
+  util::require(targets.min_degree >= 1 &&
+                    targets.min_degree <= targets.max_degree,
+                "digg pmf: bad degree range");
+  std::vector<double> p;
+  p.reserve(targets.max_degree - targets.min_degree + 1);
+  double total = 0.0;
+  for (std::size_t k = targets.min_degree; k <= targets.max_degree; ++k) {
+    const double w = weight(static_cast<double>(k), gamma, kappa);
+    p.push_back(w);
+    total += w;
+  }
+  for (double& v : p) v /= total;
+  return p;
+}
+
+// Largest-remainder allocation of `num_nodes` across the pmf buckets,
+// then force the top bucket non-empty so the realized maximum degree
+// matches the published one (the real crawl has a 995-degree hub).
+std::vector<std::size_t> allocate_counts(const std::vector<double>& pmf,
+                                         const DiggTargets& targets) {
+  const std::size_t buckets = pmf.size();
+  std::vector<std::size_t> count(buckets, 0);
+  std::vector<std::pair<double, std::size_t>> remainder;
+  remainder.reserve(buckets);
+  std::size_t assigned = 0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const double quota = pmf[b] * static_cast<double>(targets.num_nodes);
+    count[b] = static_cast<std::size_t>(std::floor(quota));
+    assigned += count[b];
+    remainder.emplace_back(quota - std::floor(quota), b);
+  }
+  util::require(assigned <= targets.num_nodes,
+                "digg allocate_counts: floor allocation exceeded node count");
+  std::size_t leftover = targets.num_nodes - assigned;
+  // Highest remainder first; ties resolved toward lower degree for
+  // determinism.
+  std::sort(remainder.begin(), remainder.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (std::size_t i = 0; i < remainder.size() && leftover > 0; ++i) {
+    ++count[remainder[i].second];
+    --leftover;
+  }
+  // Guarantee the hub bucket: move one node from the largest bucket.
+  if (count.back() == 0) {
+    const auto biggest = static_cast<std::size_t>(
+        std::max_element(count.begin(), count.end()) - count.begin());
+    util::require(count[biggest] > 1,
+                  "digg allocate_counts: cannot seed the hub bucket");
+    --count[biggest];
+    ++count.back();
+  }
+  return count;
+}
+
+graph::DegreeHistogram histogram_from_counts(
+    const std::vector<std::size_t>& count, const DiggTargets& targets) {
+  std::vector<std::pair<std::size_t, std::size_t>> buckets;
+  for (std::size_t b = 0; b < count.size(); ++b) {
+    if (count[b] > 0) {
+      buckets.emplace_back(targets.min_degree + b, count[b]);
+    }
+  }
+  return graph::DegreeHistogram::from_counts(std::move(buckets));
+}
+
+struct Realized {
+  double mean = 0.0;
+  std::size_t groups = 0;
+};
+
+Realized realize(double gamma, double kappa, const DiggTargets& targets) {
+  const auto pmf = pmf_impl(gamma, kappa, targets);
+  const auto count = allocate_counts(pmf, targets);
+  const auto hist = histogram_from_counts(count, targets);
+  return {hist.mean_degree(), hist.num_groups()};
+}
+
+}  // namespace
+
+DiggCalibration calibrate(const DiggTargets& targets) {
+  util::require(targets.num_nodes > targets.num_groups,
+                "calibrate: more groups than nodes");
+  DiggCalibration cal;
+  cal.gamma = 1.5;
+  cal.kappa = 500.0;
+
+  // Coordinate descent: the realized mean degree is monotone decreasing
+  // in gamma (heavier small-degree mass), and the realized group count is
+  // monotone nondecreasing in kappa (a later cutoff keeps more tail
+  // buckets populated). Each 1-D solve is a bisection.
+  const std::size_t kOuter = 12;
+  for (std::size_t outer = 0; outer < kOuter; ++outer) {
+    ++cal.iterations;
+
+    // --- gamma | kappa fixed: match mean degree.
+    {
+      double lo = 0.05, hi = 4.0;
+      // realize().mean decreases in gamma; find bracket values.
+      for (std::size_t it = 0; it < 60; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        const double mean = realize(mid, cal.kappa, targets).mean;
+        if (mean > targets.mean_degree) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      cal.gamma = 0.5 * (lo + hi);
+    }
+
+    // --- kappa | gamma fixed: match group count (log-scale bisection).
+    {
+      double lo = std::log(10.0), hi = std::log(2e6);
+      for (std::size_t it = 0; it < 60; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        const std::size_t groups =
+            realize(cal.gamma, std::exp(mid), targets).groups;
+        if (groups < targets.num_groups) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      cal.kappa = std::exp(0.5 * (lo + hi));
+    }
+
+    const Realized now = realize(cal.gamma, cal.kappa, targets);
+    cal.achieved_mean_degree = now.mean;
+    cal.achieved_groups = now.groups;
+    const bool mean_ok =
+        std::abs(now.mean - targets.mean_degree) < 0.05;
+    const bool groups_ok =
+        now.groups >= targets.num_groups - 2 &&
+        now.groups <= targets.num_groups + 2;
+    if (mean_ok && groups_ok) {
+      cal.converged = true;
+      break;
+    }
+  }
+  if (!cal.converged) {
+    util::log_warn() << "digg calibrate: did not fully converge (mean="
+                     << cal.achieved_mean_degree
+                     << ", groups=" << cal.achieved_groups << ")";
+  }
+  return cal;
+}
+
+std::vector<double> degree_pmf(const DiggCalibration& calibration,
+                               const DiggTargets& targets) {
+  return pmf_impl(calibration.gamma, calibration.kappa, targets);
+}
+
+graph::DegreeHistogram surrogate_histogram(const DiggCalibration& calibration,
+                                           const DiggTargets& targets) {
+  const auto pmf = pmf_impl(calibration.gamma, calibration.kappa, targets);
+  const auto count = allocate_counts(pmf, targets);
+  return histogram_from_counts(count, targets);
+}
+
+graph::DegreeHistogram digg_surrogate_histogram(const DiggTargets& targets) {
+  return surrogate_histogram(calibrate(targets), targets);
+}
+
+graph::Graph digg_surrogate_graph(const DiggCalibration& calibration,
+                                  util::Xoshiro256& rng, double scale,
+                                  const DiggTargets& targets) {
+  util::require(scale > 0.0 && scale <= 1.0,
+                "digg_surrogate_graph: scale must be in (0, 1]");
+  const auto num_nodes = static_cast<std::size_t>(
+      std::llround(scale * static_cast<double>(targets.num_nodes)));
+  util::require(num_nodes > targets.max_degree,
+                "digg_surrogate_graph: scale too small for the max degree");
+
+  const auto pmf = pmf_impl(calibration.gamma, calibration.kappa, targets);
+  std::vector<double> cdf(pmf.size());
+  std::partial_sum(pmf.begin(), pmf.end(), cdf.begin());
+
+  std::vector<std::size_t> degrees(num_nodes);
+  for (auto& d : degrees) {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    d = targets.min_degree +
+        static_cast<std::size_t>(std::min<std::ptrdiff_t>(
+            it - cdf.begin(),
+            static_cast<std::ptrdiff_t>(cdf.size()) - 1));
+  }
+  std::size_t stub_sum = std::accumulate(degrees.begin(), degrees.end(),
+                                         std::size_t{0});
+  if (stub_sum % 2 == 1) ++degrees.front();
+  return graph::configuration_model(degrees, rng);
+}
+
+DatasetStats describe(const graph::DegreeHistogram& histogram) {
+  DatasetStats stats;
+  stats.num_nodes = histogram.num_nodes();
+  stats.num_groups = histogram.num_groups();
+  stats.min_degree = histogram.min_degree();
+  stats.max_degree = histogram.max_degree();
+  stats.mean_degree = histogram.mean_degree();
+  stats.second_moment = histogram.raw_moment(2);
+  double links = 0.0;
+  for (std::size_t i = 0; i < histogram.num_groups(); ++i) {
+    links += static_cast<double>(histogram.degrees()[i]) *
+             static_cast<double>(histogram.counts()[i]);
+  }
+  stats.implied_directed_links = static_cast<std::size_t>(std::llround(links));
+  return stats;
+}
+
+}  // namespace rumor::data

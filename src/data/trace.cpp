@@ -1,0 +1,42 @@
+#include "data/trace.hpp"
+
+#include <cmath>
+
+#include "core/simulation.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+#include "util/random.hpp"
+
+namespace rumor::data {
+
+ObservedCascade generate_cascade(const core::NetworkProfile& profile,
+                                 const core::ModelParams& params,
+                                 double epsilon1, double epsilon2,
+                                 const TraceOptions& options) {
+  util::require(options.t_end > 0.0 && options.sample_dt > 0.0,
+                "generate_cascade: horizon and cadence must be positive");
+  util::require(options.noise >= 0.0,
+                "generate_cascade: noise must be non-negative");
+
+  core::SirNetworkModel model(
+      profile, params, core::make_constant_control(epsilon1, epsilon2));
+  core::SimulationOptions sim;
+  sim.t1 = options.t_end;
+  sim.dt = options.dt;
+  const auto result = core::run_simulation(
+      model, model.initial_state(options.initial_fraction), sim);
+
+  util::Xoshiro256 rng(options.seed);
+  ObservedCascade cascade;
+  for (double t = 0.0; t <= options.t_end + 1e-9; t += options.sample_dt) {
+    const double clean = util::interp_linear(
+        result.trajectory.times(), result.infected_density, t);
+    const double factor =
+        options.noise > 0.0 ? std::exp(options.noise * rng.normal()) : 1.0;
+    cascade.t.push_back(t);
+    cascade.infected_density.push_back(clean * factor);
+  }
+  return cascade;
+}
+
+}  // namespace rumor::data

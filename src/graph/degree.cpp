@@ -1,0 +1,67 @@
+#include "graph/degree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace rumor::graph {
+
+DegreeHistogram DegreeHistogram::from_graph(const Graph& g) {
+  std::map<std::size_t, std::size_t> hist;
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    ++hist[g.degree(static_cast<NodeId>(v))];
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> counts(hist.begin(),
+                                                          hist.end());
+  return from_counts(std::move(counts));
+}
+
+DegreeHistogram DegreeHistogram::from_counts(
+    std::vector<std::pair<std::size_t, std::size_t>> counts) {
+  util::require(!counts.empty(), "DegreeHistogram: empty histogram");
+  std::sort(counts.begin(), counts.end());
+  DegreeHistogram out;
+  out.degrees_.reserve(counts.size());
+  out.counts_.reserve(counts.size());
+  std::size_t prev_degree = 0;
+  bool first = true;
+  for (const auto& [degree, count] : counts) {
+    util::require(count > 0, "DegreeHistogram: zero count bucket");
+    util::require(first || degree > prev_degree,
+                  "DegreeHistogram: duplicate degree bucket");
+    first = false;
+    prev_degree = degree;
+    out.degrees_.push_back(degree);
+    out.counts_.push_back(count);
+    out.total_ += count;
+  }
+  return out;
+}
+
+std::vector<double> DegreeHistogram::pmf() const {
+  std::vector<double> p(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    p[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return p;
+}
+
+std::size_t DegreeHistogram::min_degree() const { return degrees_.front(); }
+
+std::size_t DegreeHistogram::max_degree() const { return degrees_.back(); }
+
+double DegreeHistogram::mean_degree() const { return raw_moment(1); }
+
+double DegreeHistogram::raw_moment(int p) const {
+  util::require(p >= 1, "DegreeHistogram::raw_moment: p must be >= 1");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < degrees_.size(); ++i) {
+    sum += std::pow(static_cast<double>(degrees_[i]), p) *
+           static_cast<double>(counts_[i]);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+}  // namespace rumor::graph

@@ -1,0 +1,54 @@
+// Degree statistics: the bridge between a concrete graph and the
+// degree-grouped quantities the ODE model consumes (k_i, P(k_i), ⟨k⟩).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rumor::graph {
+
+/// Histogram of node degrees. The paper's "848 groups" are exactly the
+/// distinct degrees of the Digg graph; `distinct_degrees()` reproduces
+/// that grouping.
+class DegreeHistogram {
+ public:
+  /// Count `degree(v)` for every node of `g`.
+  static DegreeHistogram from_graph(const Graph& g);
+
+  /// Build from explicit (degree, count) pairs; counts must be positive
+  /// and degrees distinct.
+  static DegreeHistogram from_counts(
+      std::vector<std::pair<std::size_t, std::size_t>> counts);
+
+  std::size_t num_nodes() const { return total_; }
+
+  /// Sorted distinct degrees (the paper's "groups").
+  const std::vector<std::size_t>& degrees() const { return degrees_; }
+
+  /// Node counts aligned with `degrees()`.
+  const std::vector<std::size_t>& counts() const { return counts_; }
+
+  /// Number of distinct degrees.
+  std::size_t num_groups() const { return degrees_.size(); }
+
+  /// Empirical pmf P(k_i) aligned with `degrees()`.
+  std::vector<double> pmf() const;
+
+  std::size_t min_degree() const;
+  std::size_t max_degree() const;
+
+  /// First moment ⟨k⟩.
+  double mean_degree() const;
+
+  /// Raw moment E[k^p] for p >= 1 (E[k^2] feeds heterogeneity measures).
+  double raw_moment(int p) const;
+
+ private:
+  std::vector<std::size_t> degrees_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace rumor::graph

@@ -1,0 +1,208 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace rumor::graph {
+
+Graph erdos_renyi(std::size_t num_nodes, double edge_probability,
+                  util::Xoshiro256& rng) {
+  util::require(num_nodes > 0, "erdos_renyi: need at least one node");
+  util::require(edge_probability >= 0.0 && edge_probability <= 1.0,
+                "erdos_renyi: probability out of [0,1]");
+  GraphBuilder builder(num_nodes, /*directed=*/false);
+  if (edge_probability > 0.0) {
+    // Iterate candidate pairs (v, w), w < v, skipping ahead by geometric
+    // gaps so that work is proportional to realized edges.
+    const double log_q = std::log1p(-edge_probability);
+    std::size_t v = 1, w = static_cast<std::size_t>(-1);
+    while (v < num_nodes) {
+      double u = rng.uniform();
+      while (u <= 0.0) u = rng.uniform();
+      const double gap =
+          edge_probability >= 1.0 ? 1.0 : 1.0 + std::floor(std::log(u) / log_q);
+      w += static_cast<std::size_t>(gap);
+      while (w >= v && v < num_nodes) {
+        w -= v;
+        ++v;
+      }
+      if (v < num_nodes) {
+        builder.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(w));
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph barabasi_albert(std::size_t num_nodes, std::size_t edges_per_node,
+                      util::Xoshiro256& rng) {
+  util::require(edges_per_node >= 1, "barabasi_albert: need m >= 1");
+  util::require(num_nodes > edges_per_node,
+                "barabasi_albert: need more nodes than edges per node");
+  GraphBuilder builder(num_nodes, /*directed=*/false);
+
+  // `endpoints` holds every arc endpoint seen so far; sampling an index
+  // uniformly from it is exactly degree-proportional sampling.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * edges_per_node * num_nodes);
+
+  // Seed: a clique on m+1 nodes, so every early node has degree >= m.
+  const std::size_t seed = edges_per_node + 1;
+  for (std::size_t v = 0; v < seed; ++v) {
+    for (std::size_t w = 0; w < v; ++w) {
+      builder.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(w));
+      endpoints.push_back(static_cast<NodeId>(v));
+      endpoints.push_back(static_cast<NodeId>(w));
+    }
+  }
+
+  std::unordered_set<NodeId> chosen;
+  for (std::size_t v = seed; v < num_nodes; ++v) {
+    chosen.clear();
+    while (chosen.size() < edges_per_node) {
+      const std::size_t idx =
+          static_cast<std::size_t>(rng.uniform_index(endpoints.size()));
+      chosen.insert(endpoints[idx]);
+    }
+    for (const NodeId target : chosen) {
+      builder.add_edge(static_cast<NodeId>(v), target);
+      endpoints.push_back(static_cast<NodeId>(v));
+      endpoints.push_back(target);
+    }
+  }
+  return std::move(builder).build();
+}
+
+std::vector<std::size_t> powerlaw_degree_sequence(std::size_t num_nodes,
+                                                  double exponent,
+                                                  std::size_t min_degree,
+                                                  std::size_t max_degree,
+                                                  util::Xoshiro256& rng) {
+  util::require(num_nodes > 0, "powerlaw_degree_sequence: empty graph");
+  util::require(exponent > 1.0, "powerlaw_degree_sequence: exponent <= 1");
+  util::require(min_degree >= 1 && min_degree <= max_degree,
+                "powerlaw_degree_sequence: bad degree range");
+
+  // Build the discrete CDF over [min_degree, max_degree] once, then
+  // invert it with binary search per sample.
+  std::vector<double> cdf;
+  cdf.reserve(max_degree - min_degree + 1);
+  double total = 0.0;
+  for (std::size_t k = min_degree; k <= max_degree; ++k) {
+    total += std::pow(static_cast<double>(k), -exponent);
+    cdf.push_back(total);
+  }
+  std::vector<std::size_t> degrees(num_nodes);
+  for (auto& d : degrees) {
+    const double u = rng.uniform() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    d = min_degree + static_cast<std::size_t>(it - cdf.begin());
+    d = std::min(d, max_degree);
+  }
+  // The configuration model needs an even stub count.
+  std::size_t stub_sum = 0;
+  for (const auto d : degrees) stub_sum += d;
+  if (stub_sum % 2 == 1) {
+    for (auto& d : degrees) {
+      if (d < max_degree) {
+        ++d;
+        break;
+      }
+    }
+  }
+  return degrees;
+}
+
+Graph configuration_model(const std::vector<std::size_t>& degrees,
+                          util::Xoshiro256& rng) {
+  util::require(!degrees.empty(), "configuration_model: empty sequence");
+  std::size_t stub_sum = 0;
+  for (const auto d : degrees) stub_sum += d;
+  util::require(stub_sum % 2 == 0,
+                "configuration_model: degree sum must be even");
+  util::require(*std::max_element(degrees.begin(), degrees.end()) <
+                    degrees.size(),
+                "configuration_model: a degree exceeds n-1");
+
+  std::vector<NodeId> stubs;
+  stubs.reserve(stub_sum);
+  for (std::size_t v = 0; v < degrees.size(); ++v) {
+    for (std::size_t s = 0; s < degrees[v]; ++s) {
+      stubs.push_back(static_cast<NodeId>(v));
+    }
+  }
+  util::shuffle(stubs, rng);
+
+  GraphBuilder builder(degrees.size(), /*directed=*/false);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] == stubs[i + 1]) continue;  // erase self-loops
+    builder.add_edge(stubs[i], stubs[i + 1]);
+  }
+  // Deduplicate to erase parallel edges.
+  return std::move(builder).build(/*deduplicate=*/true);
+}
+
+Graph watts_strogatz(std::size_t num_nodes,
+                     std::size_t neighbors_each_side, double rewire,
+                     util::Xoshiro256& rng) {
+  util::require(neighbors_each_side >= 1,
+                "watts_strogatz: need at least one neighbor per side");
+  util::require(num_nodes > 2 * neighbors_each_side,
+                "watts_strogatz: ring too small for the neighborhood");
+  util::require(rewire >= 0.0 && rewire <= 1.0,
+                "watts_strogatz: rewire probability out of [0,1]");
+
+  // Adjacency sets to keep the graph simple while rewiring.
+  std::vector<std::unordered_set<NodeId>> adjacency(num_nodes);
+  auto connected = [&](NodeId a, NodeId b) {
+    return adjacency[a].count(b) > 0;
+  };
+  auto connect = [&](NodeId a, NodeId b) {
+    adjacency[a].insert(b);
+    adjacency[b].insert(a);
+  };
+  auto disconnect = [&](NodeId a, NodeId b) {
+    adjacency[a].erase(b);
+    adjacency[b].erase(a);
+  };
+
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    for (std::size_t offset = 1; offset <= neighbors_each_side; ++offset) {
+      connect(static_cast<NodeId>(v),
+              static_cast<NodeId>((v + offset) % num_nodes));
+    }
+  }
+
+  // Watts–Strogatz pass: each original lattice edge (v, v+offset) is
+  // rewired (keeping endpoint v) with probability `rewire`.
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    for (std::size_t offset = 1; offset <= neighbors_each_side; ++offset) {
+      if (!rng.bernoulli(rewire)) continue;
+      const auto old_target =
+          static_cast<NodeId>((v + offset) % num_nodes);
+      if (!connected(static_cast<NodeId>(v), old_target)) continue;
+      // A node adjacent to everything cannot be rewired.
+      if (adjacency[v].size() >= num_nodes - 1) continue;
+      NodeId new_target;
+      do {
+        new_target = static_cast<NodeId>(rng.uniform_index(num_nodes));
+      } while (new_target == static_cast<NodeId>(v) ||
+               connected(static_cast<NodeId>(v), new_target));
+      disconnect(static_cast<NodeId>(v), old_target);
+      connect(static_cast<NodeId>(v), new_target);
+    }
+  }
+
+  GraphBuilder builder(num_nodes, /*directed=*/false);
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    for (const NodeId w : adjacency[v]) {
+      if (w > v) builder.add_edge(static_cast<NodeId>(v), w);
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace rumor::graph

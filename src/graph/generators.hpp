@@ -1,0 +1,54 @@
+// Random graph generators.
+//
+// The paper evaluates on a scale-free OSN (Digg2009). We provide three
+// generators: Erdős–Rényi (homogeneous control case), Barabási–Albert
+// (canonical scale-free growth), and a power-law configuration model
+// whose exponent/min/max can be calibrated to the published Digg
+// statistics (see src/data/digg.hpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace rumor::graph {
+
+/// G(n, p) by geometric edge skipping — O(n + m) expected, so sparse
+/// million-node graphs are cheap. Undirected, simple.
+Graph erdos_renyi(std::size_t num_nodes, double edge_probability,
+                  util::Xoshiro256& rng);
+
+/// Barabási–Albert preferential attachment: starts from a small clique,
+/// each new node attaches to `edges_per_node` distinct existing nodes
+/// with probability proportional to degree (repeated-endpoint trick).
+/// Undirected, simple; degree exponent ≈ 3.
+Graph barabasi_albert(std::size_t num_nodes, std::size_t edges_per_node,
+                      util::Xoshiro256& rng);
+
+/// Draw a degree sequence from a truncated discrete power law
+/// P(k) ∝ k^-exponent on [min_degree, max_degree], then fix parity by
+/// bumping one node. Exponent > 1 required.
+std::vector<std::size_t> powerlaw_degree_sequence(std::size_t num_nodes,
+                                                  double exponent,
+                                                  std::size_t min_degree,
+                                                  std::size_t max_degree,
+                                                  util::Xoshiro256& rng);
+
+/// Configuration model: random matching of degree stubs. Self-loops and
+/// parallel edges are dropped (the "erased" variant), so realized degrees
+/// can undershoot slightly for heavy-tailed sequences. Undirected.
+Graph configuration_model(const std::vector<std::size_t>& degrees,
+                          util::Xoshiro256& rng);
+
+/// Watts–Strogatz small world: ring lattice with `neighbors_each_side`
+/// links per side, each endpoint rewired with probability `rewire`.
+/// `rewire` = 0 gives the regular lattice (homogeneous, highly
+/// clustered — the opposite regime of the scale-free graphs the paper
+/// targets); `rewire` = 1 approaches a random graph. Undirected, simple.
+Graph watts_strogatz(std::size_t num_nodes,
+                     std::size_t neighbors_each_side, double rewire,
+                     util::Xoshiro256& rng);
+
+}  // namespace rumor::graph

@@ -1,0 +1,80 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rumor::graph {
+
+GraphBuilder::GraphBuilder(std::size_t num_nodes, bool directed)
+    : num_nodes_(num_nodes), directed_(directed) {
+  util::require(num_nodes > 0, "GraphBuilder: need at least one node");
+}
+
+void GraphBuilder::add_edge(NodeId from, NodeId to) {
+  util::require(from < num_nodes_ && to < num_nodes_,
+                "GraphBuilder::add_edge: node id out of range");
+  util::require(from != to, "GraphBuilder::add_edge: self-loops not allowed");
+  edges_.push_back({from, to});
+}
+
+Graph GraphBuilder::build(bool deduplicate) && {
+  // Expand undirected edges into arcs.
+  std::vector<Edge> arcs;
+  arcs.reserve(directed_ ? edges_.size() : edges_.size() * 2);
+  for (const Edge& e : edges_) {
+    arcs.push_back(e);
+    if (!directed_) arcs.push_back({e.to, e.from});
+  }
+
+  if (deduplicate) {
+    std::sort(arcs.begin(), arcs.end(), [](const Edge& a, const Edge& b) {
+      return a.from != b.from ? a.from < b.from : a.to < b.to;
+    });
+    arcs.erase(std::unique(arcs.begin(), arcs.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.from == b.from && a.to == b.to;
+                           }),
+               arcs.end());
+  }
+
+  // Counting sort into CSR.
+  std::vector<std::size_t> offsets(num_nodes_ + 1, 0);
+  for (const Edge& e : arcs) ++offsets[e.from + 1];
+  for (std::size_t v = 0; v < num_nodes_; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<NodeId> targets(arcs.size());
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : arcs) targets[cursor[e.from]++] = e.to;
+
+  // Keep each neighbor list sorted for deterministic iteration.
+  for (std::size_t v = 0; v < num_nodes_; ++v) {
+    std::sort(targets.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              targets.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+
+  std::vector<std::uint32_t> in_degree(num_nodes_, 0);
+  for (const NodeId t : targets) ++in_degree[t];
+
+  return Graph(std::move(offsets), std::move(targets), std::move(in_degree),
+               directed_);
+}
+
+double Graph::average_degree() const {
+  if (num_nodes() == 0) return 0.0;
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    total += degree(static_cast<NodeId>(v));
+  }
+  return static_cast<double>(total) / static_cast<double>(num_nodes());
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    best = std::max(best, degree(static_cast<NodeId>(v)));
+  }
+  return best;
+}
+
+}  // namespace rumor::graph

@@ -1,0 +1,99 @@
+// Compressed-sparse-row graph.
+//
+// The agent-based simulator iterates neighbor lists of ~1.7M-edge graphs
+// every time step, so adjacency is stored as two flat arrays (offsets +
+// targets) rather than per-node vectors. Graphs are immutable once built;
+// construction goes through GraphBuilder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rumor::graph {
+
+using NodeId = std::uint32_t;
+
+/// An edge in builder form.
+struct Edge {
+  NodeId from;
+  NodeId to;
+};
+
+class Graph;
+
+/// Accumulates edges, then freezes them into a CSR Graph.
+class GraphBuilder {
+ public:
+  /// `directed`: if false, every added edge is stored in both directions.
+  explicit GraphBuilder(std::size_t num_nodes, bool directed = false);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  bool directed() const { return directed_; }
+
+  /// Add an edge. Self-loops are rejected; duplicate edges are kept
+  /// unless `deduplicate` is requested at build time.
+  void add_edge(NodeId from, NodeId to);
+
+  /// Freeze into a Graph. If `deduplicate`, parallel edges are collapsed.
+  Graph build(bool deduplicate = false) &&;
+
+ private:
+  std::size_t num_nodes_;
+  bool directed_;
+  std::vector<Edge> edges_;
+};
+
+/// Immutable CSR graph. For directed graphs, adjacency is the *out*
+/// adjacency; `in_degree` is also precomputed (the rumor model reads
+/// follower counts, i.e. in-degree, as "social connectivity").
+class Graph {
+ public:
+  std::size_t num_nodes() const { return offsets_.size() - 1; }
+  /// Stored arcs: for undirected graphs this is twice the edge count.
+  std::size_t num_arcs() const { return targets_.size(); }
+  /// Logical edge count (arcs for directed, arcs/2 for undirected).
+  std::size_t num_edges() const {
+    return directed_ ? num_arcs() : num_arcs() / 2;
+  }
+  bool directed() const { return directed_; }
+
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {targets_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  std::size_t out_degree(NodeId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::size_t in_degree(NodeId v) const { return in_degree_[v]; }
+
+  /// Total degree used by the rumor model: out-degree for undirected
+  /// graphs, in+out for directed ones (a follow link lets the rumor flow
+  /// both ways in Digg-style vote propagation studies).
+  std::size_t degree(NodeId v) const {
+    return directed_ ? out_degree(v) + in_degree(v) : out_degree(v);
+  }
+
+  /// Mean of `degree(v)` over all nodes.
+  double average_degree() const;
+
+  /// Maximum of `degree(v)`; 0 for an empty graph.
+  std::size_t max_degree() const;
+
+ private:
+  friend class GraphBuilder;
+  Graph(std::vector<std::size_t> offsets, std::vector<NodeId> targets,
+        std::vector<std::uint32_t> in_degree, bool directed)
+      : offsets_(std::move(offsets)),
+        targets_(std::move(targets)),
+        in_degree_(std::move(in_degree)),
+        directed_(directed) {}
+
+  std::vector<std::size_t> offsets_;  // num_nodes + 1
+  std::vector<NodeId> targets_;
+  std::vector<std::uint32_t> in_degree_;
+  bool directed_;
+};
+
+}  // namespace rumor::graph

@@ -1,0 +1,73 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rumor::graph {
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << "# nodes " << g.num_nodes() << " directed "
+      << (g.directed() ? 1 : 0) << "\n";
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    for (const NodeId w : g.neighbors(static_cast<NodeId>(v))) {
+      if (!g.directed() && w < v) continue;  // emit each edge once
+      out << v << ' ' << w << '\n';
+    }
+  }
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) throw util::IoError("write_edge_list_file: cannot open " + path);
+  write_edge_list(g, file);
+  if (!file) throw util::IoError("write_edge_list_file: write failed " + path);
+}
+
+Graph read_edge_list(std::istream& in, bool directed) {
+  std::vector<std::pair<long long, long long>> raw;
+  std::unordered_map<long long, NodeId> remap;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    long long from = 0, to = 0;
+    if (!(fields >> from >> to)) {
+      throw util::IoError("read_edge_list: malformed line '" + line + "'");
+    }
+    util::require(from >= 0 && to >= 0,
+                  "read_edge_list: negative node id");
+    raw.emplace_back(from, to);
+    remap.emplace(from, 0);
+    remap.emplace(to, 0);
+  }
+  util::require(!remap.empty(), "read_edge_list: no edges found");
+
+  // Compact ids in ascending original order for determinism.
+  std::vector<long long> ids;
+  ids.reserve(remap.size());
+  for (const auto& [id, unused] : remap) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    remap[ids[i]] = static_cast<NodeId>(i);
+  }
+
+  GraphBuilder builder(ids.size(), directed);
+  for (const auto& [from, to] : raw) {
+    if (from == to) continue;
+    builder.add_edge(remap[from], remap[to]);
+  }
+  return std::move(builder).build(/*deduplicate=*/true);
+}
+
+Graph read_edge_list_file(const std::string& path, bool directed) {
+  std::ifstream file(path);
+  if (!file) throw util::IoError("read_edge_list_file: cannot open " + path);
+  return read_edge_list(file, directed);
+}
+
+}  // namespace rumor::graph

@@ -1,0 +1,24 @@
+// Edge-list serialization. The format matches the common OSN-crawl
+// convention (one "from to" pair per line, '#' comments), so a user who
+// has the original Digg2009 file can load it directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace rumor::graph {
+
+/// Write "from to" lines (arcs as stored; undirected graphs emit each
+/// edge once, smaller endpoint first).
+void write_edge_list(const Graph& g, std::ostream& out);
+void write_edge_list_file(const Graph& g, const std::string& path);
+
+/// Parse an edge list. Node ids may be arbitrary non-negative integers;
+/// they are compacted to [0, n). Lines starting with '#' or '%' and blank
+/// lines are skipped. Self-loops are dropped; duplicates deduplicated.
+Graph read_edge_list(std::istream& in, bool directed);
+Graph read_edge_list_file(const std::string& path, bool directed);
+
+}  // namespace rumor::graph

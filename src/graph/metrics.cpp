@@ -1,0 +1,284 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stack>
+
+#include "util/error.hpp"
+
+namespace rumor::graph {
+
+namespace {
+
+// Undirected neighbor visitation: for directed graphs we need both
+// out-neighbors and in-neighbors. We precompute a symmetrized CSR once
+// when the graph is directed.
+struct UndirectedView {
+  explicit UndirectedView(const Graph& g) : graph(g) {
+    if (!g.directed()) return;
+    // Build reverse adjacency and merge with forward.
+    const std::size_t n = g.num_nodes();
+    std::vector<std::size_t> counts(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      counts[v] += g.out_degree(static_cast<NodeId>(v));
+      for (const NodeId w : g.neighbors(static_cast<NodeId>(v))) ++counts[w];
+    }
+    offsets.assign(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v) offsets[v + 1] = offsets[v] + counts[v];
+    targets.resize(offsets[n]);
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const NodeId w : g.neighbors(static_cast<NodeId>(v))) {
+        targets[cursor[v]++] = w;
+        targets[cursor[w]++] = static_cast<NodeId>(v);
+      }
+    }
+    symmetrized = true;
+  }
+
+  std::span<const NodeId> neighbors(NodeId v) const {
+    if (!symmetrized) return graph.neighbors(v);
+    return {targets.data() + offsets[v], offsets[v + 1] - offsets[v]};
+  }
+
+  const Graph& graph;
+  bool symmetrized = false;
+  std::vector<std::size_t> offsets;
+  std::vector<NodeId> targets;
+};
+
+// One Brandes accumulation pass from `source`, adding dependencies into
+// `centrality`.
+void brandes_from_source(const UndirectedView& view, NodeId source,
+                         std::vector<double>& centrality) {
+  const std::size_t n = view.graph.num_nodes();
+  std::vector<std::vector<NodeId>> predecessors(n);
+  std::vector<double> sigma(n, 0.0);
+  std::vector<std::ptrdiff_t> dist(n, -1);
+  std::vector<double> delta(n, 0.0);
+  std::stack<NodeId> order;
+
+  sigma[source] = 1.0;
+  dist[source] = 0;
+  std::queue<NodeId> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    order.push(v);
+    for (const NodeId w : view.neighbors(v)) {
+      if (dist[w] < 0) {
+        dist[w] = dist[v] + 1;
+        frontier.push(w);
+      }
+      if (dist[w] == dist[v] + 1) {
+        sigma[w] += sigma[v];
+        predecessors[w].push_back(v);
+      }
+    }
+  }
+  while (!order.empty()) {
+    const NodeId w = order.top();
+    order.pop();
+    for (const NodeId v : predecessors[w]) {
+      delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w]);
+    }
+    if (w != source) centrality[w] += delta[w];
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> core_numbers(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  const UndirectedView view(g);
+
+  std::vector<std::size_t> deg(n);
+  std::size_t max_deg = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    deg[v] = view.symmetrized
+                 ? view.offsets[v + 1] - view.offsets[v]
+                 : g.out_degree(static_cast<NodeId>(v));
+    max_deg = std::max(max_deg, deg[v]);
+  }
+
+  // Bucket sort nodes by degree (Batagelj–Zaveršnik).
+  std::vector<std::size_t> bin(max_deg + 2, 0);
+  for (std::size_t v = 0; v < n; ++v) ++bin[deg[v]];
+  std::size_t start = 0;
+  for (std::size_t d = 0; d <= max_deg; ++d) {
+    const std::size_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<std::size_t> pos(n), vert(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    pos[v] = bin[deg[v]];
+    vert[pos[v]] = v;
+    ++bin[deg[v]];
+  }
+  for (std::size_t d = max_deg + 1; d > 0; --d) bin[d] = bin[d - 1];
+  bin[0] = 0;
+
+  std::vector<std::size_t> core = deg;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t v = vert[i];
+    for (const NodeId u : view.neighbors(static_cast<NodeId>(v))) {
+      if (core[u] > core[v]) {
+        const std::size_t du = core[u];
+        const std::size_t pu = pos[u];
+        const std::size_t pw = bin[du];
+        const std::size_t w = vert[pw];
+        if (u != w) {
+          std::swap(vert[pu], vert[pw]);
+          pos[u] = pw;
+          pos[w] = pu;
+        }
+        ++bin[du];
+        --core[u];
+      }
+    }
+  }
+  return core;
+}
+
+std::vector<double> betweenness_exact(const Graph& g) {
+  const UndirectedView view(g);
+  std::vector<double> centrality(g.num_nodes(), 0.0);
+  for (std::size_t s = 0; s < g.num_nodes(); ++s) {
+    brandes_from_source(view, static_cast<NodeId>(s), centrality);
+  }
+  // Each undirected shortest path is counted from both endpoints.
+  for (double& c : centrality) c *= 0.5;
+  return centrality;
+}
+
+std::vector<double> betweenness_sampled(const Graph& g,
+                                        std::size_t num_sources,
+                                        util::Xoshiro256& rng) {
+  util::require(num_sources > 0, "betweenness_sampled: need >= 1 source");
+  const std::size_t n = g.num_nodes();
+  const UndirectedView view(g);
+  std::vector<double> centrality(n, 0.0);
+  const auto sources = util::sample_without_replacement(
+      n, std::min(num_sources, n), rng);
+  for (const std::size_t s : sources) {
+    brandes_from_source(view, static_cast<NodeId>(s), centrality);
+  }
+  const double scale = 0.5 * static_cast<double>(n) /
+                       static_cast<double>(sources.size());
+  for (double& c : centrality) c *= scale;
+  return centrality;
+}
+
+std::vector<std::size_t> connected_components(const Graph& g,
+                                              std::size_t* num_components) {
+  const std::size_t n = g.num_nodes();
+  const UndirectedView view(g);
+  std::vector<std::size_t> component(n, static_cast<std::size_t>(-1));
+  std::size_t next_id = 0;
+  std::vector<NodeId> stack;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (component[s] != static_cast<std::size_t>(-1)) continue;
+    component[s] = next_id;
+    stack.push_back(static_cast<NodeId>(s));
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const NodeId w : view.neighbors(v)) {
+        if (component[w] == static_cast<std::size_t>(-1)) {
+          component[w] = next_id;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++next_id;
+  }
+  if (num_components) *num_components = next_id;
+  return component;
+}
+
+std::size_t largest_component_size(const Graph& g) {
+  std::size_t count = 0;
+  const auto component = connected_components(g, &count);
+  std::vector<std::size_t> sizes(count, 0);
+  for (const std::size_t c : component) ++sizes[c];
+  return sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+}
+
+double global_clustering_coefficient(const Graph& g) {
+  const UndirectedView view(g);
+  const std::size_t n = g.num_nodes();
+  // Count closed wedges via sorted-neighbor intersection.
+  double triangles_times_3 = 0.0;
+  double wedges = 0.0;
+  std::vector<NodeId> sorted;
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto nbrs = view.neighbors(static_cast<NodeId>(v));
+    sorted.assign(nbrs.begin(), nbrs.end());
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    const double d = static_cast<double>(sorted.size());
+    wedges += d * (d - 1.0) / 2.0;
+    for (const NodeId w : sorted) {
+      if (w <= static_cast<NodeId>(v)) continue;
+      const auto wn = view.neighbors(w);
+      std::vector<NodeId> wsorted(wn.begin(), wn.end());
+      std::sort(wsorted.begin(), wsorted.end());
+      std::vector<NodeId> common;
+      std::set_intersection(sorted.begin(), sorted.end(), wsorted.begin(),
+                            wsorted.end(), std::back_inserter(common));
+      // Every common neighbor closes a triangle {v, w, x}; each triangle
+      // is found once per edge, i.e. three times total.
+      triangles_times_3 += static_cast<double>(common.size());
+    }
+  }
+  if (wedges == 0.0) return 0.0;
+  return triangles_times_3 / wedges;
+}
+
+double degree_assortativity(const Graph& g) {
+  // Newman (2002), Eq. (4): Pearson correlation over edges of the
+  // remaining degrees of the endpoints. Computed over the undirected
+  // view; each edge contributes both orientations (the symmetric form).
+  const UndirectedView view(g);
+  double m = 0.0;          // number of (oriented) edge ends / 2
+  double sum_prod = 0.0;   // Σ j·k over edges
+  double sum_half = 0.0;   // Σ (j + k)/2
+  double sum_sq = 0.0;     // Σ (j² + k²)/2
+  const std::size_t n = g.num_nodes();
+  std::vector<double> deg(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    deg[v] = static_cast<double>(
+        view.symmetrized ? view.offsets[v + 1] - view.offsets[v]
+                         : g.out_degree(static_cast<NodeId>(v)));
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const NodeId w : view.neighbors(static_cast<NodeId>(v))) {
+      if (w < v) continue;  // each undirected edge once
+      m += 1.0;
+      sum_prod += deg[v] * deg[w];
+      sum_half += 0.5 * (deg[v] + deg[w]);
+      sum_sq += 0.5 * (deg[v] * deg[v] + deg[w] * deg[w]);
+    }
+  }
+  if (m == 0.0) return 0.0;
+  const double mean_half = sum_half / m;
+  const double numerator = sum_prod / m - mean_half * mean_half;
+  const double denominator = sum_sq / m - mean_half * mean_half;
+  if (denominator <= 0.0) return 0.0;  // degree-regular graph
+  return numerator / denominator;
+}
+
+std::vector<NodeId> top_nodes_by_score(const std::vector<double>& score) {
+  std::vector<NodeId> order(score.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace rumor::graph

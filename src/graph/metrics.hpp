@@ -1,0 +1,52 @@
+// Structural metrics used by the influential-user blocking strategies
+// the paper's introduction surveys (Degree, Betweenness, Core).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace rumor::graph {
+
+/// k-core number of every node (Batagelj–Zaveršnik peeling, O(n + m)).
+/// Treats the graph as undirected (uses `degree`).
+std::vector<std::size_t> core_numbers(const Graph& g);
+
+/// Exact betweenness centrality (Brandes, unweighted BFS). O(n·m) — fine
+/// for test graphs; for large graphs use the sampled variant below.
+std::vector<double> betweenness_exact(const Graph& g);
+
+/// Sampled betweenness: Brandes accumulation from `num_sources` random
+/// pivots, scaled by n / num_sources. Converges to the exact values as
+/// the sample grows.
+std::vector<double> betweenness_sampled(const Graph& g,
+                                        std::size_t num_sources,
+                                        util::Xoshiro256& rng);
+
+/// Connected components (undirected view); returns per-node component id
+/// in [0, num_components).
+std::vector<std::size_t> connected_components(const Graph& g,
+                                              std::size_t* num_components);
+
+/// Size of the largest connected component.
+std::size_t largest_component_size(const Graph& g);
+
+/// Global clustering coefficient (3 × triangles / wedges) on the
+/// undirected view. O(Σ d²) — intended for test-sized graphs.
+double global_clustering_coefficient(const Graph& g);
+
+/// Node ids sorted by a score vector, highest first (ties by id for
+/// determinism). Used to pick "influential users".
+std::vector<NodeId> top_nodes_by_score(const std::vector<double>& score);
+
+/// Degree assortativity (Newman's r): the Pearson correlation of the
+/// degrees at the two ends of an edge, in [-1, 1]. Real OSNs are often
+/// disassortative; the configuration model is ~0. Strong correlations
+/// are exactly what the paper's degree-block mean field ignores, so
+/// this quantifies how far a graph is from the model's assumptions.
+/// Returns 0 for degree-regular graphs (undefined correlation).
+double degree_assortativity(const Graph& g);
+
+}  // namespace rumor::graph

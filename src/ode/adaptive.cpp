@@ -1,0 +1,95 @@
+#include "ode/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rumor::ode {
+
+Trajectory integrate_step_doubling(const OdeSystem& system, Stepper& stepper,
+                                   const State& y0, double t0, double t1,
+                                   const StepDoublingOptions& options,
+                                   StepDoublingStats* stats) {
+  const std::size_t n = system.dimension();
+  util::require(y0.size() == n,
+                "integrate_step_doubling: y0 dimension mismatch");
+  util::require(t1 > t0, "integrate_step_doubling: need t1 > t0");
+  util::require(options.abs_tol > 0.0 && options.rel_tol > 0.0,
+                "integrate_step_doubling: tolerances must be positive");
+
+  StepDoublingStats local;
+  Trajectory out(n);
+  out.push_back(t0, y0);
+
+  const double interval = t1 - t0;
+  const double max_step =
+      options.max_step > 0.0 ? options.max_step : interval;
+  double h = options.initial_step > 0.0 ? options.initial_step
+                                        : 1e-3 * interval;
+  h = std::min(h, max_step);
+
+  const int order = stepper.order();
+  // The h vs two-h/2 difference underestimates the h/2-pair error by
+  // the Richardson factor 2^p − 1.
+  const double richardson = std::pow(2.0, order) - 1.0;
+
+  State y = y0;
+  State y_big(n), y_half(n), y_small(n);
+  double t = t0;
+
+  while (t < t1 - 1e-14 * interval) {
+    if (local.accepted + local.rejected >= options.max_steps) {
+      if (stats) *stats = local;
+      return out;
+    }
+    h = std::min(h, t1 - t);
+
+    stepper.step(system, t, y, h, y_big);
+    stepper.step(system, t, y, 0.5 * h, y_half);
+    stepper.step(system, t + 0.5 * h, y_half, 0.5 * h, y_small);
+
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double diff = (y_small[i] - y_big[i]) / richardson;
+      const double scale =
+          options.abs_tol +
+          options.rel_tol *
+              std::max(std::abs(y[i]), std::abs(y_small[i]));
+      const double ratio = diff / scale;
+      err += ratio * ratio;
+    }
+    err = std::sqrt(err / static_cast<double>(n));
+
+    if (err <= 1.0) {
+      t += h;
+      // Local extrapolation: one order higher than the base method.
+      for (std::size_t i = 0; i < n; ++i) {
+        y[i] = y_small[i] + (y_small[i] - y_big[i]) / richardson;
+      }
+      out.push_back(t, y);
+      ++local.accepted;
+      const double grow =
+          options.safety *
+          std::pow(std::max(err, 1e-12),
+                   -1.0 / static_cast<double>(order + 1));
+      h = std::min(h * std::clamp(grow, options.min_scale,
+                                  options.max_scale),
+                   max_step);
+    } else {
+      ++local.rejected;
+      const double shrink =
+          options.safety *
+          std::pow(err, -1.0 / static_cast<double>(order + 1));
+      h *= std::clamp(shrink, options.min_scale, 1.0);
+      util::require(h > 1e-14 * interval,
+                    "integrate_step_doubling: step size underflow");
+    }
+  }
+
+  local.reached_end = true;
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace rumor::ode

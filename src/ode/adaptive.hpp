@@ -1,0 +1,46 @@
+// Generic adaptive driver: step doubling with Richardson extrapolation.
+//
+// Works with ANY one-step method (explicit or implicit): each step is
+// taken once at size h and twice at h/2; the difference estimates the
+// local error (the method's order is taken from Stepper::order()), the
+// step is accepted/rejected against a mixed tolerance, and the accepted
+// value is the extrapolated (order p+1) combination. This is how the
+// library gets *adaptive implicit* integration — e.g. BackwardEuler on
+// a stiff rumor model with large steps through the slow phases — without
+// a bespoke embedded pair per method. For non-stiff work the dedicated
+// DOPRI5 pair (dopri5.hpp) is cheaper per step.
+#pragma once
+
+#include "ode/steppers.hpp"
+#include "ode/trajectory.hpp"
+
+namespace rumor::ode {
+
+struct StepDoublingOptions {
+  double abs_tol = 1e-8;
+  double rel_tol = 1e-6;
+  double initial_step = 0.0;  ///< 0 = 1e-3 of the interval
+  double max_step = 0.0;      ///< 0 = the interval length
+  double safety = 0.9;
+  double min_scale = 0.2;
+  double max_scale = 5.0;
+  std::size_t max_steps = 1'000'000;
+};
+
+struct StepDoublingStats {
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  bool reached_end = false;
+};
+
+/// Integrate y' = f(t, y) from (t0, y0) to t1 with `stepper` under
+/// adaptive step control. Records every accepted step. The stepper's
+/// `order()` drives both the error weighting (the h vs h/2 difference
+/// under-estimates the h-step error by 2^p − 1) and the step-size
+/// exponent.
+Trajectory integrate_step_doubling(const OdeSystem& system, Stepper& stepper,
+                                   const State& y0, double t0, double t1,
+                                   const StepDoublingOptions& options = {},
+                                   StepDoublingStats* stats = nullptr);
+
+}  // namespace rumor::ode

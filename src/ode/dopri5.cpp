@@ -1,0 +1,157 @@
+#include "ode/dopri5.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rumor::ode {
+
+namespace {
+
+// Dormand–Prince 5(4) Butcher tableau (FSAL: k7 at the new point reuses
+// as k1 of the next step).
+constexpr double c2 = 1.0 / 5.0, c3 = 3.0 / 10.0, c4 = 4.0 / 5.0,
+                 c5 = 8.0 / 9.0;
+
+constexpr double a21 = 1.0 / 5.0;
+constexpr double a31 = 3.0 / 40.0, a32 = 9.0 / 40.0;
+constexpr double a41 = 44.0 / 45.0, a42 = -56.0 / 15.0, a43 = 32.0 / 9.0;
+constexpr double a51 = 19372.0 / 6561.0, a52 = -25360.0 / 2187.0,
+                 a53 = 64448.0 / 6561.0, a54 = -212.0 / 729.0;
+constexpr double a61 = 9017.0 / 3168.0, a62 = -355.0 / 33.0,
+                 a63 = 46732.0 / 5247.0, a64 = 49.0 / 176.0,
+                 a65 = -5103.0 / 18656.0;
+// 5th-order solution weights (row 7 of A equals b, giving FSAL).
+constexpr double b1 = 35.0 / 384.0, b3 = 500.0 / 1113.0, b4 = 125.0 / 192.0,
+                 b5 = -2187.0 / 6784.0, b6 = 11.0 / 84.0;
+// Error weights: b - b_hat (difference of 5th and embedded 4th order).
+constexpr double e1 = 71.0 / 57600.0, e3 = -71.0 / 16695.0,
+                 e4 = 71.0 / 1920.0, e5 = -17253.0 / 339200.0,
+                 e6 = 22.0 / 525.0, e7 = -1.0 / 40.0;
+
+}  // namespace
+
+Trajectory integrate_dopri5(const OdeSystem& system, const State& y0,
+                            double t0, double t1,
+                            const Dopri5Options& options, Dopri5Stats* stats) {
+  const std::size_t n = system.dimension();
+  util::require(y0.size() == n, "integrate_dopri5: y0 dimension mismatch");
+  util::require(t1 > t0, "integrate_dopri5: need t1 > t0");
+  util::require(options.abs_tol > 0.0 && options.rel_tol > 0.0,
+                "integrate_dopri5: tolerances must be positive");
+
+  Dopri5Stats local;
+  Trajectory out(n);
+  out.push_back(t0, y0);
+
+  State y = y0;
+  State k1(n), k2(n), k3(n), k4(n), k5(n), k6(n), k7(n);
+  State trial(n), y_new(n);
+
+  system.rhs(t0, y, k1);
+  ++local.rhs_evaluations;
+
+  const double interval = t1 - t0;
+  const double max_step =
+      options.max_step > 0.0 ? options.max_step : interval;
+
+  // Initial step: HNW heuristic based on the size of y and f(t0, y).
+  double h = options.initial_step;
+  if (h <= 0.0) {
+    double ynorm = 0.0, fnorm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ynorm = std::max(ynorm, std::abs(y[i]));
+      fnorm = std::max(fnorm, std::abs(k1[i]));
+    }
+    h = (fnorm > 1e-12) ? 0.01 * std::max(ynorm, 1e-6) / fnorm
+                        : 1e-3 * interval;
+    h = std::min(h, interval);
+  }
+  h = std::min(h, max_step);
+
+  // PI controller memory: weighted error of the previous accepted step.
+  double err_prev = 1.0;
+  double t = t0;
+
+  while (t < t1) {
+    if (local.accepted + local.rejected >= options.max_steps) {
+      if (stats) *stats = local;
+      return out;  // reached_end stays false
+    }
+    h = std::min(h, t1 - t);
+
+    // Stage evaluations.
+    for (std::size_t i = 0; i < n; ++i) trial[i] = y[i] + h * a21 * k1[i];
+    system.rhs(t + c2 * h, trial, k2);
+    for (std::size_t i = 0; i < n; ++i) {
+      trial[i] = y[i] + h * (a31 * k1[i] + a32 * k2[i]);
+    }
+    system.rhs(t + c3 * h, trial, k3);
+    for (std::size_t i = 0; i < n; ++i) {
+      trial[i] = y[i] + h * (a41 * k1[i] + a42 * k2[i] + a43 * k3[i]);
+    }
+    system.rhs(t + c4 * h, trial, k4);
+    for (std::size_t i = 0; i < n; ++i) {
+      trial[i] =
+          y[i] + h * (a51 * k1[i] + a52 * k2[i] + a53 * k3[i] + a54 * k4[i]);
+    }
+    system.rhs(t + c5 * h, trial, k5);
+    for (std::size_t i = 0; i < n; ++i) {
+      trial[i] = y[i] + h * (a61 * k1[i] + a62 * k2[i] + a63 * k3[i] +
+                             a64 * k4[i] + a65 * k5[i]);
+    }
+    system.rhs(t + h, trial, k6);
+    for (std::size_t i = 0; i < n; ++i) {
+      y_new[i] = y[i] + h * (b1 * k1[i] + b3 * k3[i] + b4 * k4[i] +
+                             b5 * k5[i] + b6 * k6[i]);
+    }
+    system.rhs(t + h, y_new, k7);
+    local.rhs_evaluations += 6;
+
+    // Weighted RMS error of the embedded difference.
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double diff = h * (e1 * k1[i] + e3 * k3[i] + e4 * k4[i] +
+                               e5 * k5[i] + e6 * k6[i] + e7 * k7[i]);
+      const double scale =
+          options.abs_tol +
+          options.rel_tol * std::max(std::abs(y[i]), std::abs(y_new[i]));
+      const double ratio = diff / scale;
+      err += ratio * ratio;
+    }
+    err = std::sqrt(err / static_cast<double>(n));
+
+    if (err <= 1.0) {
+      // Accept.
+      t += h;
+      y.swap(y_new);
+      k1.swap(k7);  // FSAL
+      out.push_back(t, y);
+      ++local.accepted;
+
+      // PI controller (Gustafsson): exponents 0.7/5 and 0.4/5.
+      const double safe_err = std::max(err, 1e-10);
+      double scale = options.safety * std::pow(safe_err, -0.7 / 5.0) *
+                     std::pow(std::max(err_prev, 1e-10), 0.4 / 5.0);
+      scale = std::clamp(scale, options.min_scale, options.max_scale);
+      h = std::min(h * scale, max_step);
+      err_prev = safe_err;
+    } else {
+      // Reject: shrink and retry from the same point.
+      ++local.rejected;
+      const double scale = std::clamp(
+          options.safety * std::pow(err, -1.0 / 5.0), options.min_scale, 1.0);
+      h *= scale;
+      util::require(h > 1e-14 * interval,
+                    "integrate_dopri5: step size underflow (stiff system or "
+                    "tolerance too tight)");
+    }
+  }
+
+  local.reached_end = true;
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace rumor::ode

@@ -1,0 +1,47 @@
+// Adaptive Dormand–Prince 5(4) — the embedded pair behind MATLAB's ode45,
+// which is what the paper's figures appear to be produced with.
+//
+// Error control follows Hairer–Nørsett–Wanner (Solving ODEs I, §II.4):
+// mixed absolute/relative tolerance, step acceptance when the weighted
+// error norm is <= 1, and a PI step-size controller with safety factor
+// and growth clamps.
+#pragma once
+
+#include <cstddef>
+
+#include "ode/system.hpp"
+#include "ode/trajectory.hpp"
+
+namespace rumor::ode {
+
+/// Tuning knobs for the adaptive integrator; the defaults match common
+/// ode45 settings.
+struct Dopri5Options {
+  double abs_tol = 1e-8;
+  double rel_tol = 1e-6;
+  double initial_step = 0.0;  ///< 0 = choose automatically (HNW heuristic)
+  double max_step = 0.0;      ///< 0 = no cap beyond the interval length
+  double safety = 0.9;
+  double min_scale = 0.2;     ///< max shrink per rejected step
+  double max_scale = 5.0;     ///< max growth per accepted step
+  std::size_t max_steps = 1'000'000;  ///< hard iteration cap
+};
+
+/// Outcome of an adaptive run.
+struct Dopri5Stats {
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t rhs_evaluations = 0;
+  bool reached_end = false;  ///< false iff max_steps was exhausted
+};
+
+/// Integrate y' = f(t, y) from (t0, y0) to t1 > t0, recording every
+/// accepted step into the returned trajectory (first sample is (t0, y0),
+/// last is exactly t1 when `reached_end`). `stats`, if non-null, receives
+/// the step/evaluation counters.
+Trajectory integrate_dopri5(const OdeSystem& system, const State& y0,
+                            double t0, double t1,
+                            const Dopri5Options& options = {},
+                            Dopri5Stats* stats = nullptr);
+
+}  // namespace rumor::ode

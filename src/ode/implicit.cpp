@@ -1,0 +1,123 @@
+#include "ode/implicit.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace rumor::ode {
+
+ImplicitStepperBase::ImplicitStepperBase(const JacobianProvider* jacobian,
+                                         NewtonOptions options)
+    : jacobian_provider_(jacobian), options_(options) {
+  util::require(options_.max_iterations >= 1,
+                "ImplicitStepperBase: need at least one Newton iteration");
+  util::require(options_.tolerance > 0.0 && options_.fd_step > 0.0,
+                "ImplicitStepperBase: tolerances must be positive");
+}
+
+void ImplicitStepperBase::fill_jacobian(const OdeSystem& system, double t,
+                                        std::span<const double> y) {
+  const std::size_t n = system.dimension();
+  if (jacobian_.rows() != n) jacobian_ = util::Matrix(n, n, 0.0);
+  if (jacobian_provider_) {
+    jacobian_provider_->jacobian(t, y, jacobian_);
+    return;
+  }
+  // Central finite differences.
+  State plus(y.begin(), y.end());
+  State minus(y.begin(), y.end());
+  State f_plus(n), f_minus(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    const double original = y[col];
+    const double step =
+        options_.fd_step * std::max(1.0, std::abs(original));
+    plus[col] = original + step;
+    minus[col] = original - step;
+    system.rhs(t, plus, f_plus);
+    system.rhs(t, minus, f_minus);
+    for (std::size_t row = 0; row < n; ++row) {
+      jacobian_(row, col) = (f_plus[row] - f_minus[row]) / (2.0 * step);
+    }
+    plus[col] = original;
+    minus[col] = original;
+  }
+}
+
+void ImplicitStepperBase::step(const OdeSystem& system, double t,
+                               std::span<const double> y, double h,
+                               std::span<double> y_next) {
+  const std::size_t n = system.dimension();
+  const double c = implicit_weight();
+
+  if (f0_.size() != n) {
+    f0_.assign(n, 0.0);
+    f1_.assign(n, 0.0);
+    residual_.assign(n, 0.0);
+    trial_.assign(n, 0.0);
+  }
+
+  // Explicit part of the trapezoid residual.
+  double explicit_weight = 0.0;
+  if (uses_explicit_half()) {
+    system.rhs(t, y, f0_);
+    explicit_weight = h * (1.0 - c);
+  }
+
+  // Predictor: forward Euler.
+  if (!uses_explicit_half()) system.rhs(t, y, f0_);
+  for (std::size_t i = 0; i < n; ++i) trial_[i] = y[i] + h * f0_[i];
+
+  // Newton matrix M = I − c·h·J, evaluated at the predictor (modified
+  // Newton) or refreshed each iteration.
+  fill_jacobian(system, t + h, trial_);
+  auto newton_matrix = [&] {
+    util::Matrix m(n, n, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t col = 0; col < n; ++col) {
+        m(r, col) = -c * h * jacobian_(r, col);
+      }
+      m(r, r) += 1.0;
+    }
+    return util::LuFactorization(std::move(m));
+  };
+  util::LuFactorization lu = newton_matrix();
+  if (lu.singular()) {
+    throw util::InternalError(
+        "implicit step: Newton matrix is singular (step size too large "
+        "relative to the dynamics)");
+  }
+
+  last_newton_ = 0;
+  for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
+    last_newton_ = iter;
+    system.rhs(t + h, trial_, f1_);
+    for (std::size_t i = 0; i < n; ++i) {
+      residual_[i] = trial_[i] - y[i] - c * h * f1_[i] -
+                     explicit_weight * f0_[i];
+    }
+    const auto delta = lu.solve(residual_);
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      trial_[i] -= delta[i];
+      max_delta = std::max(max_delta, std::abs(delta[i]));
+    }
+    if (max_delta < options_.tolerance) break;
+    if (!options_.modified_newton) {
+      fill_jacobian(system, t + h, trial_);
+      lu = newton_matrix();
+      if (lu.singular()) {
+        throw util::InternalError(
+            "implicit step: refreshed Newton matrix is singular");
+      }
+    }
+    if (iter == options_.max_iterations) {
+      util::log_warn() << "implicit step: Newton did not converge in "
+                       << iter << " iterations (last delta " << max_delta
+                       << ")";
+    }
+  }
+  std::copy(trial_.begin(), trial_.end(), y_next.begin());
+}
+
+}  // namespace rumor::ode

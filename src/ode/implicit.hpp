@@ -1,0 +1,95 @@
+// Implicit one-step methods for stiff systems.
+//
+// The heterogeneous SIR system is stiff when high-degree groups carry
+// rates λ(k_max)Θ orders of magnitude above the countermeasure rates;
+// explicit RK4 then needs steps ~1/λ(k_max) while the solution itself
+// changes slowly. Backward Euler (L-stable, order 1) and the implicit
+// trapezoid (A-stable, order 2) solve each step with Newton iteration.
+//
+// The Newton matrix is (I − c·h·J); J comes from a JacobianProvider
+// when available (the rumor model has an analytic one — see
+// core/jacobian.hpp) and from central finite differences otherwise.
+#pragma once
+
+#include "ode/steppers.hpp"
+#include "util/matrix.hpp"
+
+namespace rumor::ode {
+
+/// Supplies ∂f/∂y for the Newton iteration.
+class JacobianProvider {
+ public:
+  virtual ~JacobianProvider() = default;
+  /// Fill `jacobian` (dimension × dimension) with ∂f/∂y at (t, y).
+  virtual void jacobian(double t, std::span<const double> y,
+                        util::Matrix& jacobian) const = 0;
+};
+
+struct NewtonOptions {
+  std::size_t max_iterations = 25;
+  double tolerance = 1e-12;  ///< on the step increment (sup-norm)
+  /// Reuse one Jacobian per step (modified Newton) instead of
+  /// refreshing it every iteration.
+  bool modified_newton = true;
+  double fd_step = 1e-7;  ///< finite-difference step when no provider
+};
+
+/// Shared implementation of the two implicit methods.
+class ImplicitStepperBase : public Stepper {
+ public:
+  explicit ImplicitStepperBase(const JacobianProvider* jacobian,
+                               NewtonOptions options);
+
+  void step(const OdeSystem& system, double t, std::span<const double> y,
+            double h, std::span<double> y_next) override;
+
+  /// Newton iterations spent in the most recent step.
+  std::size_t last_newton_iterations() const { return last_newton_; }
+
+ protected:
+  /// Implicit weight c and the residual definition:
+  ///   backward Euler:  y1 − y0 − h f(t+h, y1)            (c = 1)
+  ///   trapezoid:       y1 − y0 − h/2 (f0 + f(t+h, y1))   (c = 1/2)
+  virtual double implicit_weight() const = 0;
+  virtual bool uses_explicit_half() const = 0;
+
+ private:
+  void fill_jacobian(const OdeSystem& system, double t,
+                     std::span<const double> y);
+
+  const JacobianProvider* jacobian_provider_;
+  NewtonOptions options_;
+  util::Matrix jacobian_;
+  State f0_, f1_, residual_, trial_;
+  std::size_t last_newton_ = 0;
+};
+
+/// Backward (implicit) Euler: order 1, L-stable.
+class BackwardEulerStepper final : public ImplicitStepperBase {
+ public:
+  explicit BackwardEulerStepper(const JacobianProvider* jacobian = nullptr,
+                                NewtonOptions options = {})
+      : ImplicitStepperBase(jacobian, options) {}
+  std::string name() const override { return "backward_euler"; }
+  int order() const override { return 1; }
+
+ protected:
+  double implicit_weight() const override { return 1.0; }
+  bool uses_explicit_half() const override { return false; }
+};
+
+/// Implicit trapezoid (Crank–Nicolson): order 2, A-stable.
+class TrapezoidalStepper final : public ImplicitStepperBase {
+ public:
+  explicit TrapezoidalStepper(const JacobianProvider* jacobian = nullptr,
+                              NewtonOptions options = {})
+      : ImplicitStepperBase(jacobian, options) {}
+  std::string name() const override { return "trapezoid"; }
+  int order() const override { return 2; }
+
+ protected:
+  double implicit_weight() const override { return 0.5; }
+  bool uses_explicit_half() const override { return true; }
+};
+
+}  // namespace rumor::ode

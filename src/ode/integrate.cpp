@@ -1,0 +1,74 @@
+#include "ode/integrate.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rumor::ode {
+
+Trajectory integrate_fixed(const OdeSystem& system, Stepper& stepper,
+                           const State& y0, double t0, double t1,
+                           const FixedStepOptions& options) {
+  const std::size_t n = system.dimension();
+  util::require(y0.size() == n, "integrate_fixed: y0 dimension mismatch");
+  util::require(t1 > t0, "integrate_fixed: need t1 > t0");
+  util::require(options.dt > 0.0, "integrate_fixed: dt must be positive");
+  util::require(options.record_every >= 1,
+                "integrate_fixed: record_every must be >= 1");
+
+  Trajectory out(n);
+  out.push_back(t0, y0);
+  if (options.stop_when && options.stop_when(t0, y0)) return out;
+
+  State y = y0;
+  State y_next(n);
+  double t = t0;
+  std::size_t step_index = 0;
+  // Tolerance for "t has effectively reached t1" that scales with dt.
+  const double t_eps = 1e-9 * options.dt;
+
+  while (t < t1 - t_eps) {
+    const double h = std::min(options.dt, t1 - t);
+    stepper.step(system, t, y, h, y_next);
+    t += h;
+    y.swap(y_next);
+    ++step_index;
+
+    const bool is_last = t >= t1 - t_eps;
+    if (is_last || step_index % options.record_every == 0) {
+      out.push_back(t, y);
+      if (options.stop_when && options.stop_when(t, y)) return out;
+    }
+  }
+  return out;
+}
+
+Trajectory integrate_rk4(const OdeSystem& system, const State& y0, double t0,
+                         double t1, double dt) {
+  Rk4Stepper stepper;
+  FixedStepOptions options;
+  options.dt = dt;
+  return integrate_fixed(system, stepper, y0, t0, t1, options);
+}
+
+State integrate_to_end(const OdeSystem& system, Stepper& stepper,
+                       const State& y0, double t0, double t1, double dt) {
+  const std::size_t n = system.dimension();
+  util::require(y0.size() == n, "integrate_to_end: y0 dimension mismatch");
+  util::require(t1 > t0, "integrate_to_end: need t1 > t0");
+  util::require(dt > 0.0, "integrate_to_end: dt must be positive");
+
+  State y = y0;
+  State y_next(n);
+  double t = t0;
+  const double t_eps = 1e-9 * dt;
+  while (t < t1 - t_eps) {
+    const double h = std::min(dt, t1 - t);
+    stepper.step(system, t, y, h, y_next);
+    t += h;
+    y.swap(y_next);
+  }
+  return y;
+}
+
+}  // namespace rumor::ode

@@ -1,0 +1,44 @@
+// Fixed-step integration drivers with observation and terminal events.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "ode/steppers.hpp"
+#include "ode/system.hpp"
+#include "ode/trajectory.hpp"
+
+namespace rumor::ode {
+
+/// Called after every recorded sample; return false to stop early.
+using Observer = std::function<bool(double t, std::span<const double> y)>;
+
+/// Terminal event: integration stops at the first recorded sample where
+/// this returns true (the triggering sample is kept).
+using EventPredicate =
+    std::function<bool(double t, std::span<const double> y)>;
+
+struct FixedStepOptions {
+  double dt = 0.01;               ///< step size; must be > 0
+  std::size_t record_every = 1;   ///< record every k-th step (>= 1)
+  EventPredicate stop_when;       ///< optional terminal event
+};
+
+/// Integrate from (t0, y0) to t1 with constant step `dt` (the final step
+/// is shortened to land exactly on t1). Records (t0, y0), then every
+/// `record_every`-th accepted step, then the final point.
+Trajectory integrate_fixed(const OdeSystem& system, Stepper& stepper,
+                           const State& y0, double t0, double t1,
+                           const FixedStepOptions& options);
+
+/// Convenience: RK4 with the given dt, recording every step.
+Trajectory integrate_rk4(const OdeSystem& system, const State& y0, double t0,
+                         double t1, double dt);
+
+/// Integrate without recording intermediate samples; returns only the
+/// final state. Used by hot loops (parameter sweeps, controller tuning).
+State integrate_to_end(const OdeSystem& system, Stepper& stepper,
+                       const State& y0, double t0, double t1, double dt);
+
+}  // namespace rumor::ode

@@ -1,0 +1,67 @@
+#include "ode/steppers.hpp"
+
+#include "util/error.hpp"
+
+namespace rumor::ode {
+
+namespace {
+void resize_if_needed(State& buffer, std::size_t n) {
+  if (buffer.size() != n) buffer.assign(n, 0.0);
+}
+}  // namespace
+
+void EulerStepper::step(const OdeSystem& system, double t,
+                        std::span<const double> y, double h,
+                        std::span<double> y_next) {
+  const std::size_t n = system.dimension();
+  resize_if_needed(k1_, n);
+  system.rhs(t, y, k1_);
+  for (std::size_t i = 0; i < n; ++i) y_next[i] = y[i] + h * k1_[i];
+}
+
+void HeunStepper::step(const OdeSystem& system, double t,
+                       std::span<const double> y, double h,
+                       std::span<double> y_next) {
+  const std::size_t n = system.dimension();
+  resize_if_needed(k1_, n);
+  resize_if_needed(k2_, n);
+  resize_if_needed(mid_, n);
+  system.rhs(t, y, k1_);
+  for (std::size_t i = 0; i < n; ++i) mid_[i] = y[i] + h * k1_[i];
+  system.rhs(t + h, mid_, k2_);
+  for (std::size_t i = 0; i < n; ++i) {
+    y_next[i] = y[i] + 0.5 * h * (k1_[i] + k2_[i]);
+  }
+}
+
+void Rk4Stepper::step(const OdeSystem& system, double t,
+                      std::span<const double> y, double h,
+                      std::span<double> y_next) {
+  const std::size_t n = system.dimension();
+  resize_if_needed(k1_, n);
+  resize_if_needed(k2_, n);
+  resize_if_needed(k3_, n);
+  resize_if_needed(k4_, n);
+  resize_if_needed(tmp_, n);
+
+  system.rhs(t, y, k1_);
+  for (std::size_t i = 0; i < n; ++i) tmp_[i] = y[i] + 0.5 * h * k1_[i];
+  system.rhs(t + 0.5 * h, tmp_, k2_);
+  for (std::size_t i = 0; i < n; ++i) tmp_[i] = y[i] + 0.5 * h * k2_[i];
+  system.rhs(t + 0.5 * h, tmp_, k3_);
+  for (std::size_t i = 0; i < n; ++i) tmp_[i] = y[i] + h * k3_[i];
+  system.rhs(t + h, tmp_, k4_);
+  for (std::size_t i = 0; i < n; ++i) {
+    y_next[i] =
+        y[i] + (h / 6.0) * (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]);
+  }
+}
+
+std::unique_ptr<Stepper> make_stepper(const std::string& name) {
+  if (name == "euler") return std::make_unique<EulerStepper>();
+  if (name == "heun") return std::make_unique<HeunStepper>();
+  if (name == "rk4") return std::make_unique<Rk4Stepper>();
+  throw util::InvalidArgument("make_stepper: unknown method '" + name + "'");
+}
+
+}  // namespace rumor::ode

@@ -1,0 +1,78 @@
+// Fixed-step explicit one-step methods.
+//
+// All steppers advance y(t) -> y(t+h) in place of `y_next` without
+// modifying `y`. They own scratch buffers sized on first use, so a stepper
+// instance is cheap to reuse across a whole integration but is not
+// thread-safe; use one instance per thread.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ode/system.hpp"
+
+namespace rumor::ode {
+
+/// Interface of an explicit fixed-step method.
+class Stepper {
+ public:
+  virtual ~Stepper() = default;
+
+  /// Method name for reports ("euler", "heun", "rk4").
+  virtual std::string name() const = 0;
+
+  /// Classical order of accuracy (global error ~ h^order).
+  virtual int order() const = 0;
+
+  /// One step of size h from (t, y) into y_next. Spans must have the
+  /// system dimension; y and y_next must not alias.
+  virtual void step(const OdeSystem& system, double t,
+                    std::span<const double> y, double h,
+                    std::span<double> y_next) = 0;
+};
+
+/// Explicit Euler: order 1. Included as the textbook baseline and for
+/// convergence-order property tests.
+class EulerStepper final : public Stepper {
+ public:
+  std::string name() const override { return "euler"; }
+  int order() const override { return 1; }
+  void step(const OdeSystem& system, double t, std::span<const double> y,
+            double h, std::span<double> y_next) override;
+
+ private:
+  State k1_;
+};
+
+/// Heun (explicit trapezoid): order 2.
+class HeunStepper final : public Stepper {
+ public:
+  std::string name() const override { return "heun"; }
+  int order() const override { return 2; }
+  void step(const OdeSystem& system, double t, std::span<const double> y,
+            double h, std::span<double> y_next) override;
+
+ private:
+  State k1_, k2_, mid_;
+};
+
+/// Classic Runge–Kutta 4: order 4. The workhorse for the forward–backward
+/// sweep in src/control (fixed grid keeps state and costate aligned).
+class Rk4Stepper final : public Stepper {
+ public:
+  std::string name() const override { return "rk4"; }
+  int order() const override { return 4; }
+  void step(const OdeSystem& system, double t, std::span<const double> y,
+            double h, std::span<double> y_next) override;
+
+ private:
+  State k1_, k2_, k3_, k4_, tmp_;
+};
+
+/// Factory by name ("euler" | "heun" | "rk4"); throws InvalidArgument on
+/// unknown names.
+std::unique_ptr<Stepper> make_stepper(const std::string& name);
+
+}  // namespace rumor::ode

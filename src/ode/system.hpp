@@ -1,0 +1,54 @@
+// The right-hand-side abstraction every integrator in this library consumes.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace rumor::ode {
+
+/// State vectors are plain contiguous doubles; the dimension is fixed for
+/// the lifetime of a system.
+using State = std::vector<double>;
+
+/// A first-order ODE system y' = f(t, y).
+///
+/// Implementations must be pure with respect to (t, y): integrators call
+/// `rhs` several times per step at trial points and rely on repeatable
+/// values. `dydt` is preallocated by the caller to `dimension()` entries.
+class OdeSystem {
+ public:
+  virtual ~OdeSystem() = default;
+
+  /// Number of state components.
+  virtual std::size_t dimension() const = 0;
+
+  /// Evaluate f(t, y) into dydt. Both spans have `dimension()` entries.
+  virtual void rhs(double t, std::span<const double> y,
+                   std::span<double> dydt) const = 0;
+};
+
+/// Adapts a callable (t, y, dydt) into an OdeSystem; handy in tests and
+/// for classic scalar benchmarks (logistic, harmonic oscillator, ...).
+class FunctionSystem final : public OdeSystem {
+ public:
+  using Rhs =
+      std::function<void(double, std::span<const double>, std::span<double>)>;
+
+  FunctionSystem(std::size_t dimension, Rhs rhs)
+      : dimension_(dimension), rhs_(std::move(rhs)) {}
+
+  std::size_t dimension() const override { return dimension_; }
+
+  void rhs(double t, std::span<const double> y,
+           std::span<double> dydt) const override {
+    rhs_(t, y, dydt);
+  }
+
+ private:
+  std::size_t dimension_;
+  Rhs rhs_;
+};
+
+}  // namespace rumor::ode

@@ -1,0 +1,73 @@
+#include "ode/trajectory.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rumor::ode {
+
+std::span<const double> Trajectory::state(std::size_t k) const {
+  util::require(k < size(), "Trajectory::state: index out of range");
+  return {flat_.data() + k * dimension_, dimension_};
+}
+
+double Trajectory::front_time() const {
+  util::require(!empty(), "Trajectory::front_time: empty trajectory");
+  return times_.front();
+}
+
+double Trajectory::back_time() const {
+  util::require(!empty(), "Trajectory::back_time: empty trajectory");
+  return times_.back();
+}
+
+void Trajectory::push_back(double t, std::span<const double> y) {
+  util::require(y.size() == dimension_,
+                "Trajectory::push_back: state dimension mismatch");
+  util::require(times_.empty() || t > times_.back(),
+                "Trajectory::push_back: times must be strictly increasing");
+  times_.push_back(t);
+  flat_.insert(flat_.end(), y.begin(), y.end());
+}
+
+std::vector<double> Trajectory::component(std::size_t i) const {
+  util::require(i < dimension_, "Trajectory::component: index out of range");
+  std::vector<double> out;
+  out.reserve(size());
+  for (std::size_t k = 0; k < size(); ++k) out.push_back(state(k)[i]);
+  return out;
+}
+
+State Trajectory::at(double t) const {
+  util::require(!empty(), "Trajectory::at: empty trajectory");
+  if (t <= times_.front()) return State(front_state().begin(),
+                                        front_state().end());
+  if (t >= times_.back()) return State(back_state().begin(),
+                                       back_state().end());
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double w = (t - times_[lo]) / (times_[hi] - times_[lo]);
+  State out(dimension_);
+  const auto a = state(lo);
+  const auto b = state(hi);
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    out[i] = (1.0 - w) * a[i] + w * b[i];
+  }
+  return out;
+}
+
+double Trajectory::component_at(std::size_t i, double t) const {
+  util::require(i < dimension_,
+                "Trajectory::component_at: index out of range");
+  util::require(!empty(), "Trajectory::component_at: empty trajectory");
+  if (t <= times_.front()) return front_state()[i];
+  if (t >= times_.back()) return back_state()[i];
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double w = (t - times_[lo]) / (times_[hi] - times_[lo]);
+  return (1.0 - w) * state(lo)[i] + w * state(hi)[i];
+}
+
+}  // namespace rumor::ode

@@ -1,0 +1,60 @@
+// A recorded solution: sample times plus the full state at each sample.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ode/system.hpp"
+
+namespace rumor::ode {
+
+/// Time-ordered samples of an ODE solution. `states[k]` is the state at
+/// `times[k]`; all states share one dimension.
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(std::size_t dimension) : dimension_(dimension) {}
+
+  std::size_t dimension() const { return dimension_; }
+  std::size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+
+  const std::vector<double>& times() const { return times_; }
+  std::span<const double> state(std::size_t k) const;
+
+  double front_time() const;
+  double back_time() const;
+  std::span<const double> front_state() const { return state(0); }
+  std::span<const double> back_state() const { return state(size() - 1); }
+
+  /// Append a sample. Time must be strictly greater than the previous
+  /// sample's; the state must match the trajectory dimension.
+  void push_back(double t, std::span<const double> y);
+
+  /// Component `i` across all samples (a copy, for plotting/quadrature).
+  std::vector<double> component(std::size_t i) const;
+
+  /// Linear interpolation of the full state at time t (clamped to the
+  /// recorded range). Requires a non-empty trajectory.
+  State at(double t) const;
+
+  /// Linear interpolation of one component at time t.
+  double component_at(std::size_t i, double t) const;
+
+  /// Per-sample reduction: applies `f(state)` at each sample, returning
+  /// one value per time point.
+  template <typename F>
+  std::vector<double> map(F&& f) const {
+    std::vector<double> out;
+    out.reserve(size());
+    for (std::size_t k = 0; k < size(); ++k) out.push_back(f(state(k)));
+    return out;
+  }
+
+ private:
+  std::size_t dimension_ = 0;
+  std::vector<double> times_;
+  std::vector<double> flat_;  // size() * dimension_, row-major
+};
+
+}  // namespace rumor::ode

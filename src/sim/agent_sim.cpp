@@ -1,0 +1,233 @@
+#include "sim/agent_sim.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace rumor::sim {
+
+void AgentParams::validate() const {
+  util::require(epsilon1 >= 0.0 && epsilon2 >= 0.0,
+                "AgentParams: rates must be non-negative");
+  util::require(dt > 0.0, "AgentParams: dt must be positive");
+}
+
+AgentSimulation::AgentSimulation(const graph::Graph& g, AgentParams params,
+                                 std::uint64_t seed)
+    : graph_(g), params_(params), rng_(seed) {
+  params_.validate();
+  const std::size_t n = g.num_nodes();
+  util::require(n > 0, "AgentSimulation: empty graph");
+  state_.assign(n, Compartment::kSusceptible);
+  next_state_.assign(n, Compartment::kSusceptible);
+  lambda_over_k_.resize(n);
+  omega_over_k_.resize(n);
+  hazard_.assign(n, 0.0);
+  std::map<std::size_t, std::size_t> degree_counts;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t degree = graph_.degree(static_cast<graph::NodeId>(v));
+    const auto k = static_cast<double>(degree);
+    if (k > 0.0) {
+      lambda_over_k_[v] = params_.lambda(k) / k;
+      omega_over_k_[v] = params_.omega(k) / k;
+    } else {
+      lambda_over_k_[v] = 0.0;  // isolated nodes cannot catch or spread
+      omega_over_k_[v] = 0.0;
+    }
+    ++degree_counts[degree];
+  }
+  group_degrees_.reserve(degree_counts.size());
+  group_sizes_.reserve(degree_counts.size());
+  std::map<std::size_t, std::size_t> group_index;
+  for (const auto& [degree, count] : degree_counts) {
+    group_index[degree] = group_degrees_.size();
+    group_degrees_.push_back(degree);
+    group_sizes_.push_back(count);
+  }
+  group_of_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    group_of_[v] =
+        group_index[graph_.degree(static_cast<graph::NodeId>(v))];
+  }
+}
+
+AgentSimulation::GroupDensities AgentSimulation::group_densities() const {
+  GroupDensities out;
+  out.degrees = group_degrees_;
+  out.susceptible.assign(group_degrees_.size(), 0.0);
+  out.infected.assign(group_degrees_.size(), 0.0);
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    if (state_[v] == Compartment::kSusceptible) {
+      out.susceptible[group_of_[v]] += 1.0;
+    } else if (state_[v] == Compartment::kInfected) {
+      out.infected[group_of_[v]] += 1.0;
+    }
+  }
+  for (std::size_t gi = 0; gi < group_degrees_.size(); ++gi) {
+    const auto size = static_cast<double>(group_sizes_[gi]);
+    out.susceptible[gi] /= size;
+    out.infected[gi] /= size;
+  }
+  return out;
+}
+
+void AgentSimulation::seed_random_infections(std::size_t count) {
+  util::require(count <= num_nodes(),
+                "seed_infections: more seeds than nodes");
+  std::vector<graph::NodeId> susceptible;
+  susceptible.reserve(num_nodes());
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    if (state_[v] == Compartment::kSusceptible) {
+      susceptible.push_back(static_cast<graph::NodeId>(v));
+    }
+  }
+  util::require(count <= susceptible.size(),
+                "seed_infections: not enough susceptible nodes");
+  const auto picks =
+      util::sample_without_replacement(susceptible.size(), count, rng_);
+  std::vector<graph::NodeId> nodes;
+  nodes.reserve(picks.size());
+  for (const std::size_t p : picks) nodes.push_back(susceptible[p]);
+  seed_infections(nodes);
+}
+
+void AgentSimulation::seed_infections(
+    const std::vector<graph::NodeId>& nodes) {
+  for (const graph::NodeId v : nodes) {
+    util::require(v < num_nodes(), "seed_infections: node out of range");
+    if (state_[v] != Compartment::kInfected) {
+      ++ever_infected_;
+      state_[v] = Compartment::kInfected;
+      ++infected_count_;
+    }
+  }
+}
+
+void AgentSimulation::block_nodes(const std::vector<graph::NodeId>& nodes) {
+  for (const graph::NodeId v : nodes) {
+    util::require(v < num_nodes(), "block_nodes: node out of range");
+    if (state_[v] == Compartment::kInfected) --infected_count_;
+    state_[v] = Compartment::kRecovered;
+  }
+}
+
+void AgentSimulation::set_control_schedule(
+    std::shared_ptr<const core::ControlSchedule> schedule) {
+  control_ = std::move(schedule);
+}
+
+void AgentSimulation::step() {
+  const std::size_t n = num_nodes();
+  const double dt = params_.dt;
+  const double e1 =
+      control_ ? control_->epsilon1(time_) : params_.epsilon1;
+  const double e2 =
+      control_ ? control_->epsilon2(time_) : params_.epsilon2;
+  const double p_immunize = 1.0 - std::exp(-e1 * dt);
+  const double p_block = 1.0 - std::exp(-e2 * dt);
+
+  // Pass 1: infected nodes deposit exposure on susceptible neighbors.
+  std::fill(hazard_.begin(), hazard_.end(), 0.0);
+  for (std::size_t u = 0; u < n; ++u) {
+    if (state_[u] != Compartment::kInfected) continue;
+    const double w = omega_over_k_[u];
+    for (const graph::NodeId v :
+         graph_.neighbors(static_cast<graph::NodeId>(u))) {
+      if (state_[v] == Compartment::kSusceptible) hazard_[v] += w;
+    }
+  }
+
+  // Pass 2: synchronous transitions.
+  for (std::size_t v = 0; v < n; ++v) {
+    Compartment next = state_[v];
+    switch (state_[v]) {
+      case Compartment::kSusceptible: {
+        // Truth wins ties: test immunization first.
+        if (rng_.bernoulli(p_immunize)) {
+          next = Compartment::kRecovered;
+        } else if (hazard_[v] > 0.0) {
+          const double rate = lambda_over_k_[v] * hazard_[v];
+          if (rng_.bernoulli(1.0 - std::exp(-rate * dt))) {
+            next = Compartment::kInfected;
+            ++ever_infected_;
+            ++infected_count_;
+          }
+        }
+        break;
+      }
+      case Compartment::kInfected:
+        if (rng_.bernoulli(p_block)) {
+          next = Compartment::kRecovered;
+          --infected_count_;
+        }
+        break;
+      case Compartment::kRecovered:
+        break;
+    }
+    next_state_[v] = next;
+  }
+  state_.swap(next_state_);
+  time_ += dt;
+}
+
+std::vector<Census> AgentSimulation::run_until(double t_end) {
+  util::require(t_end >= time_, "run_until: t_end is in the past");
+  std::vector<Census> history;
+  history.push_back(census());
+  while (time_ < t_end && infected_count_ > 0) {
+    step();
+    history.push_back(census());
+  }
+  return history;
+}
+
+Census AgentSimulation::census() const {
+  Census c;
+  c.t = time_;
+  for (const Compartment s : state_) {
+    switch (s) {
+      case Compartment::kSusceptible:
+        ++c.susceptible;
+        break;
+      case Compartment::kInfected:
+        ++c.infected;
+        break;
+      case Compartment::kRecovered:
+        ++c.recovered;
+        break;
+    }
+  }
+  return c;
+}
+
+double AgentSimulation::infected_density_for_degree(std::size_t k) const {
+  std::size_t with_degree = 0;
+  std::size_t infected = 0;
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    if (graph_.degree(static_cast<graph::NodeId>(v)) != k) continue;
+    ++with_degree;
+    if (state_[v] == Compartment::kInfected) ++infected;
+  }
+  if (with_degree == 0) return 0.0;
+  return static_cast<double>(infected) / static_cast<double>(with_degree);
+}
+
+double AgentSimulation::theta_estimate() const {
+  // Θ̂ = (1/⟨k⟩) Σ_k ω(k) P̂(k) Î_k = (1/(N⟨k⟩)) Σ_{v infected} ω(k_v).
+  double sum = 0.0;
+  double degree_total = 0.0;
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    const auto k = static_cast<double>(
+        graph_.degree(static_cast<graph::NodeId>(v)));
+    degree_total += k;
+    if (state_[v] == Compartment::kInfected && k > 0.0) {
+      sum += params_.omega(k);
+    }
+  }
+  const double mean_k = degree_total / static_cast<double>(num_nodes());
+  if (mean_k == 0.0) return 0.0;
+  return sum / (static_cast<double>(num_nodes()) * mean_k);
+}
+
+}  // namespace rumor::sim

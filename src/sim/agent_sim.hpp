@@ -1,0 +1,135 @@
+// Agent-based (microscopic) rumor simulation on a concrete graph.
+//
+// Cross-validates the mean-field ODE: on an uncorrelated network, the
+// expected per-edge exposure of a susceptible v from an infected
+// neighbor u is ω(k_u)/k_u, and summing over v's neighbors recovers the
+// annealed coupling k_v·Θ. The microscopic infection hazard used here,
+//
+//   hazard(v) = (λ(k_v)/k_v) Σ_{u ∈ N(v), u infected} ω(k_u)/k_u,
+//
+// therefore has expectation λ(k_v)·Θ — exactly the ODE's group-i
+// infection rate — so ensemble averages of the simulation should track
+// System (1) whenever the mean-field assumptions (no degree
+// correlations, no clustering) hold. The XVAL bench quantifies this.
+//
+// Per step of length dt (synchronous update, double-buffered):
+//   S → I  with prob 1 − exp(−hazard(v)·dt)
+//   S → R  with prob 1 − exp(−ε1·dt)      (truth immunization)
+//   I → R  with prob 1 − exp(−ε2·dt)      (blocking)
+// A node that would both become infected and be immunized in the same
+// step is immunized (truth wins the tie, matching Fig. 1 where both
+// arrows leave S).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/schedule.hpp"
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace rumor::sim {
+
+enum class Compartment : std::uint8_t {
+  kSusceptible = 0,
+  kInfected = 1,
+  kRecovered = 2,
+};
+
+struct AgentParams {
+  core::Acceptance lambda = core::Acceptance::linear();
+  core::Infectivity omega = core::Infectivity::saturating();
+  double epsilon1 = 0.0;  ///< immunization rate on susceptibles
+  double epsilon2 = 0.0;  ///< blocking rate on infected
+  double dt = 0.1;        ///< synchronous step length
+
+  void validate() const;
+};
+
+/// Aggregate counts at one time point.
+struct Census {
+  double t = 0.0;
+  std::size_t susceptible = 0;
+  std::size_t infected = 0;
+  std::size_t recovered = 0;
+};
+
+class AgentSimulation {
+ public:
+  /// The graph must outlive the simulation.
+  AgentSimulation(const graph::Graph& g, AgentParams params,
+                  std::uint64_t seed);
+
+  std::size_t num_nodes() const { return state_.size(); }
+  double time() const { return time_; }
+  Compartment state(graph::NodeId v) const { return state_[v]; }
+
+  /// Infect `count` uniformly random susceptible nodes.
+  void seed_random_infections(std::size_t count);
+
+  /// Infect the given nodes (any current state becomes infected).
+  void seed_infections(const std::vector<graph::NodeId>& nodes);
+
+  /// Immunize the given nodes up front (state := recovered) — the
+  /// "blocking influential users" strategies from the paper's intro.
+  void block_nodes(const std::vector<graph::NodeId>& nodes);
+
+  /// Drive ε1/ε2 from a time-varying schedule (e.g. an optimized policy
+  /// from control::solve_optimal_control) instead of the constant rates
+  /// in AgentParams. Evaluated at the current simulation time each
+  /// step. Pass nullptr to revert to the constants.
+  void set_control_schedule(
+      std::shared_ptr<const core::ControlSchedule> schedule);
+
+  /// Advance one synchronous step of length dt.
+  void step();
+
+  /// Run until `t_end` (or until no infected remain, whichever first);
+  /// returns the census after every step, starting with the current one.
+  std::vector<Census> run_until(double t_end);
+
+  Census census() const;
+
+  /// Infected density restricted to nodes of exact degree k.
+  double infected_density_for_degree(std::size_t k) const;
+
+  /// Microscopic estimate of Θ: (1/⟨k⟩) Σ_k ω(k) P̂(k) Î_k, computed from
+  /// the current node states. Comparable to SirNetworkModel::theta.
+  double theta_estimate() const;
+
+  /// Per-degree-group densities, aligned with the graph's sorted
+  /// distinct degrees — the microscopic counterpart of the ODE state,
+  /// e.g. for evaluating the paper's group-quadratic cost J on an agent
+  /// trajectory. O(n) per call.
+  struct GroupDensities {
+    std::vector<std::size_t> degrees;     ///< sorted distinct degrees
+    std::vector<double> susceptible;      ///< Ŝ_k per group
+    std::vector<double> infected;         ///< Î_k per group
+  };
+  GroupDensities group_densities() const;
+
+  /// Nodes ever infected (cumulative attack count, including currently
+  /// infected and those later blocked from I).
+  std::size_t ever_infected() const { return ever_infected_; }
+
+ private:
+  const graph::Graph& graph_;
+  AgentParams params_;
+  std::shared_ptr<const core::ControlSchedule> control_;
+  util::Xoshiro256 rng_;
+  double time_ = 0.0;
+  std::vector<Compartment> state_;
+  std::vector<Compartment> next_state_;
+  std::vector<double> lambda_over_k_;  // λ(k_v)/k_v per node
+  std::vector<double> omega_over_k_;   // ω(k_u)/k_u per node
+  std::vector<std::size_t> group_of_;  // node → distinct-degree group
+  std::vector<std::size_t> group_degrees_;  // sorted distinct degrees
+  std::vector<std::size_t> group_sizes_;    // nodes per group
+  std::vector<double> hazard_;         // scratch: per-node exposure
+  std::size_t infected_count_ = 0;
+  std::size_t ever_infected_ = 0;
+};
+
+}  // namespace rumor::sim

@@ -1,0 +1,65 @@
+#include "sim/ensemble.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rumor::sim {
+
+EnsembleResult run_ensemble(const graph::Graph& g, const AgentParams& params,
+                            const EnsembleOptions& options) {
+  util::require(options.replicas > 0, "run_ensemble: need >= 1 replica");
+  util::require(options.t_end > 0.0, "run_ensemble: t_end must be positive");
+  params.validate();
+
+  const auto steps =
+      static_cast<std::size_t>(std::ceil(options.t_end / params.dt));
+  const auto n = static_cast<double>(g.num_nodes());
+
+  std::vector<double> sum_i(steps + 1, 0.0);
+  std::vector<double> sum_i2(steps + 1, 0.0);
+  std::vector<double> sum_r(steps + 1, 0.0);
+  double attack_sum = 0.0;
+
+  for (std::size_t r = 0; r < options.replicas; ++r) {
+    AgentSimulation simulation(g, params, options.seed + r);
+    const std::size_t seeds =
+        options.initial_infected > 0
+            ? options.initial_infected
+            : std::max<std::size_t>(
+                  1, static_cast<std::size_t>(std::llround(
+                         options.initial_fraction * n)));
+    simulation.seed_random_infections(seeds);
+
+    for (std::size_t s = 0; s <= steps; ++s) {
+      const Census c = simulation.census();
+      const double fi = static_cast<double>(c.infected) / n;
+      sum_i[s] += fi;
+      sum_i2[s] += fi * fi;
+      sum_r[s] += static_cast<double>(c.recovered) / n;
+      if (s < steps) simulation.step();
+    }
+    attack_sum += static_cast<double>(simulation.ever_infected()) / n;
+  }
+
+  EnsembleResult result;
+  const auto reps = static_cast<double>(options.replicas);
+  result.series.reserve(steps + 1);
+  for (std::size_t s = 0; s <= steps; ++s) {
+    EnsemblePoint point;
+    point.t = static_cast<double>(s) * params.dt;
+    point.mean_infected_fraction = sum_i[s] / reps;
+    const double var =
+        options.replicas > 1
+            ? std::max(0.0, (sum_i2[s] - sum_i[s] * sum_i[s] / reps) /
+                                (reps - 1.0))
+            : 0.0;
+    point.std_infected_fraction = std::sqrt(var);
+    point.mean_recovered_fraction = sum_r[s] / reps;
+    result.series.push_back(point);
+  }
+  result.mean_attack_rate = attack_sum / reps;
+  return result;
+}
+
+}  // namespace rumor::sim

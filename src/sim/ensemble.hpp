@@ -1,0 +1,40 @@
+// Monte-Carlo ensembles of the agent-based simulation, aggregated onto a
+// common time grid for comparison with the mean-field ODE (XVAL bench).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/agent_sim.hpp"
+
+namespace rumor::sim {
+
+struct EnsembleOptions {
+  std::size_t replicas = 16;
+  double t_end = 30.0;
+  std::size_t initial_infected = 0;  ///< 0 = use initial_fraction instead
+  double initial_fraction = 0.01;
+  std::uint64_t seed = 42;
+};
+
+/// Per-time-point ensemble statistics of the infected fraction.
+struct EnsemblePoint {
+  double t = 0.0;
+  double mean_infected_fraction = 0.0;
+  double std_infected_fraction = 0.0;
+  double mean_recovered_fraction = 0.0;
+};
+
+struct EnsembleResult {
+  std::vector<EnsemblePoint> series;
+  double mean_attack_rate = 0.0;  ///< ever-infected fraction, averaged
+};
+
+/// Run `replicas` independent simulations (replica r uses seed + r) and
+/// aggregate. Every replica runs the same number of steps so the time
+/// grids align; replicas whose epidemic dies early simply contribute
+/// zeros from then on.
+EnsembleResult run_ensemble(const graph::Graph& g, const AgentParams& params,
+                            const EnsembleOptions& options);
+
+}  // namespace rumor::sim

@@ -1,0 +1,226 @@
+#include "sim/gillespie.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rumor::sim {
+
+namespace {
+
+// Acceptance probability of an Ogata-thinned event. A schedule value
+// above its declared bound would make the algorithm silently wrong, so
+// it is a hard error.
+double thinning_acceptance(double rate, double bound) {
+  if (bound <= 0.0) return 0.0;
+  util::require(rate <= bound * (1.0 + 1e-12),
+                "GillespieSimulation: control schedule exceeds its "
+                "thinning bound");
+  return rate / bound;
+}
+
+}  // namespace
+
+void GillespieParams::validate() const {
+  util::require(epsilon1 >= 0.0 && epsilon2 >= 0.0,
+                "GillespieParams: rates must be non-negative");
+}
+
+GillespieSimulation::GillespieSimulation(const graph::Graph& g,
+                                         GillespieParams params,
+                                         std::uint64_t seed)
+    : graph_(g), params_(params), rng_(seed), rates_(g.num_nodes()) {
+  params_.validate();
+  const std::size_t n = g.num_nodes();
+  util::require(n > 0, "GillespieSimulation: empty graph");
+  state_.assign(n, Compartment::kSusceptible);
+  lambda_over_k_.resize(n);
+  omega_over_k_.resize(n);
+  exposure_.assign(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto k = static_cast<double>(
+        graph_.degree(static_cast<graph::NodeId>(v)));
+    lambda_over_k_[v] = k > 0.0 ? params_.lambda(k) / k : 0.0;
+    omega_over_k_[v] = k > 0.0 ? params_.omega(k) / k : 0.0;
+    set_node_rate(static_cast<graph::NodeId>(v));
+  }
+}
+
+double GillespieSimulation::epsilon1_bound() const {
+  return control_ ? e1_bound_ : params_.epsilon1;
+}
+
+double GillespieSimulation::epsilon2_bound() const {
+  return control_ ? e2_bound_ : params_.epsilon2;
+}
+
+void GillespieSimulation::set_node_rate(graph::NodeId v) {
+  double rate = 0.0;
+  switch (state_[v]) {
+    case Compartment::kSusceptible:
+      rate = lambda_over_k_[v] * exposure_[v] + epsilon1_bound();
+      break;
+    case Compartment::kInfected:
+      rate = epsilon2_bound();
+      break;
+    case Compartment::kRecovered:
+      rate = 0.0;
+      break;
+  }
+  rates_.set(v, rate);
+}
+
+void GillespieSimulation::set_control_schedule(
+    std::shared_ptr<const core::ControlSchedule> schedule,
+    double epsilon1_bound, double epsilon2_bound) {
+  if (schedule) {
+    util::require(epsilon1_bound >= 0.0 && epsilon2_bound >= 0.0,
+                  "set_control_schedule: bounds must be non-negative");
+  }
+  control_ = std::move(schedule);
+  e1_bound_ = epsilon1_bound;
+  e2_bound_ = epsilon2_bound;
+  // Channel bounds changed: refresh every node's total rate.
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    set_node_rate(static_cast<graph::NodeId>(v));
+  }
+}
+
+void GillespieSimulation::flip_to(graph::NodeId v, Compartment to) {
+  const Compartment from = state_[v];
+  if (from == to) return;
+  if (from == Compartment::kInfected) --infected_count_;
+  if (to == Compartment::kInfected) {
+    ++infected_count_;
+    ++ever_infected_;
+  }
+  state_[v] = to;
+
+  // Infectiousness changes ripple to the exposure of susceptible
+  // neighbors.
+  const double w = omega_over_k_[v];
+  const bool was_infectious = from == Compartment::kInfected;
+  const bool now_infectious = to == Compartment::kInfected;
+  if (was_infectious != now_infectious && w > 0.0) {
+    const double delta = now_infectious ? w : -w;
+    for (const graph::NodeId u : graph_.neighbors(v)) {
+      exposure_[u] += delta;
+      if (exposure_[u] < 0.0) exposure_[u] = 0.0;  // rounding guard
+      if (state_[u] == Compartment::kSusceptible) set_node_rate(u);
+    }
+  }
+  set_node_rate(v);
+}
+
+void GillespieSimulation::seed_random_infections(std::size_t count) {
+  std::vector<graph::NodeId> susceptible;
+  susceptible.reserve(num_nodes());
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    if (state_[v] == Compartment::kSusceptible) {
+      susceptible.push_back(static_cast<graph::NodeId>(v));
+    }
+  }
+  util::require(count <= susceptible.size(),
+                "seed_infections: not enough susceptible nodes");
+  const auto picks =
+      util::sample_without_replacement(susceptible.size(), count, rng_);
+  for (const std::size_t p : picks) {
+    flip_to(susceptible[p], Compartment::kInfected);
+  }
+}
+
+void GillespieSimulation::seed_infections(
+    const std::vector<graph::NodeId>& nodes) {
+  for (const graph::NodeId v : nodes) {
+    util::require(v < num_nodes(), "seed_infections: node out of range");
+    flip_to(v, Compartment::kInfected);
+  }
+}
+
+void GillespieSimulation::block_nodes(
+    const std::vector<graph::NodeId>& nodes) {
+  for (const graph::NodeId v : nodes) {
+    util::require(v < num_nodes(), "block_nodes: node out of range");
+    flip_to(v, Compartment::kRecovered);
+  }
+}
+
+bool GillespieSimulation::step() {
+  const double total = rates_.total();
+  if (total <= 0.0) return false;
+
+  time_ += rng_.exponential(total);
+  const auto v = static_cast<graph::NodeId>(
+      rates_.sample(rng_.uniform() * total));
+
+  switch (state_[v]) {
+    case Compartment::kSusceptible: {
+      // Which of the two competing channels fired?
+      const double infection_rate = lambda_over_k_[v] * exposure_[v];
+      const double channel = rng_.uniform() *
+                             (infection_rate + epsilon1_bound());
+      if (channel < infection_rate) {
+        flip_to(v, Compartment::kInfected);
+      } else if (!control_ ||
+                 rng_.bernoulli(thinning_acceptance(
+                     control_->epsilon1(time_), e1_bound_))) {
+        // Thinning acceptance (always accepted for constant rates);
+        // a rejected draw is a null event: time already advanced.
+        flip_to(v, Compartment::kRecovered);
+      }
+      break;
+    }
+    case Compartment::kInfected:
+      if (!control_ ||
+          rng_.bernoulli(thinning_acceptance(control_->epsilon2(time_),
+                                             e2_bound_))) {
+        flip_to(v, Compartment::kRecovered);
+      }
+      break;
+    case Compartment::kRecovered:
+      // Rate should be zero; numerically stale entries are repaired.
+      set_node_rate(v);
+      break;
+  }
+  return true;
+}
+
+std::vector<Census> GillespieSimulation::run_until(double t_end,
+                                                   double sample_dt) {
+  util::require(sample_dt > 0.0, "run_until: sample_dt must be positive");
+  util::require(t_end >= time_, "run_until: t_end is in the past");
+  std::vector<Census> history;
+  history.push_back(census());
+  double next_sample = time_ + sample_dt;
+  while (time_ < t_end) {
+    if (!step()) break;
+    while (time_ >= next_sample && next_sample <= t_end) {
+      Census c = census();
+      c.t = next_sample;
+      history.push_back(c);
+      next_sample += sample_dt;
+    }
+  }
+  return history;
+}
+
+Census GillespieSimulation::census() const {
+  Census c;
+  c.t = time_;
+  for (const Compartment s : state_) {
+    switch (s) {
+      case Compartment::kSusceptible:
+        ++c.susceptible;
+        break;
+      case Compartment::kInfected:
+        ++c.infected;
+        break;
+      case Compartment::kRecovered:
+        ++c.recovered;
+        break;
+    }
+  }
+  return c;
+}
+
+}  // namespace rumor::sim

@@ -1,0 +1,63 @@
+#include "sim/strategies.hpp"
+
+#include "graph/metrics.hpp"
+#include "util/error.hpp"
+
+namespace rumor::sim {
+
+std::string to_string(BlockingStrategy strategy) {
+  switch (strategy) {
+    case BlockingStrategy::kRandom:
+      return "random";
+    case BlockingStrategy::kDegree:
+      return "degree";
+    case BlockingStrategy::kCore:
+      return "core";
+    case BlockingStrategy::kBetweenness:
+      return "betweenness";
+  }
+  return "?";
+}
+
+std::vector<graph::NodeId> select_nodes_to_block(
+    const graph::Graph& g, BlockingStrategy strategy, std::size_t count,
+    util::Xoshiro256& rng, std::size_t betweenness_sources) {
+  util::require(count <= g.num_nodes(),
+                "select_nodes_to_block: count exceeds node count");
+  if (count == 0) return {};
+
+  std::vector<double> score;
+  switch (strategy) {
+    case BlockingStrategy::kRandom: {
+      const auto picks =
+          util::sample_without_replacement(g.num_nodes(), count, rng);
+      std::vector<graph::NodeId> nodes;
+      nodes.reserve(count);
+      for (const std::size_t p : picks) {
+        nodes.push_back(static_cast<graph::NodeId>(p));
+      }
+      return nodes;
+    }
+    case BlockingStrategy::kDegree: {
+      score.resize(g.num_nodes());
+      for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+        score[v] = static_cast<double>(
+            g.degree(static_cast<graph::NodeId>(v)));
+      }
+      break;
+    }
+    case BlockingStrategy::kCore: {
+      const auto cores = graph::core_numbers(g);
+      score.assign(cores.begin(), cores.end());
+      break;
+    }
+    case BlockingStrategy::kBetweenness: {
+      score = graph::betweenness_sampled(g, betweenness_sources, rng);
+      break;
+    }
+  }
+  const auto order = graph::top_nodes_by_score(score);
+  return {order.begin(), order.begin() + static_cast<std::ptrdiff_t>(count)};
+}
+
+}  // namespace rumor::sim

@@ -1,0 +1,34 @@
+// Influential-user selection strategies.
+//
+// The paper's introduction surveys blocking rumors "at influential
+// users identified by their Degree, Betweenness or Core". These
+// selectors return the node sets those strategies would immunize; the
+// ABL-STRAT bench compares their effect on outbreak size against a
+// random-selection baseline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace rumor::sim {
+
+enum class BlockingStrategy {
+  kRandom,       ///< uniformly random users (null model)
+  kDegree,       ///< highest-degree users first
+  kCore,         ///< highest k-core users first
+  kBetweenness,  ///< highest (sampled) betweenness users first
+};
+
+std::string to_string(BlockingStrategy strategy);
+
+/// The `count` nodes the strategy would block. Deterministic given the
+/// rng state (rng is used by kRandom and by the betweenness pivot
+/// sample; `betweenness_sources` bounds that sample size).
+std::vector<graph::NodeId> select_nodes_to_block(
+    const graph::Graph& g, BlockingStrategy strategy, std::size_t count,
+    util::Xoshiro256& rng, std::size_t betweenness_sources = 64);
+
+}  // namespace rumor::sim

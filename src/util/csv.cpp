@@ -1,0 +1,173 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rumor::util {
+
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& cell) {
+  if (!needs_quoting(cell)) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_double(double value) {
+  std::ostringstream os;
+  os.precision(12);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  require(!header_.empty(), "CsvWriter: header must not be empty");
+}
+
+void CsvWriter::add_row(const std::vector<double>& cells) {
+  require(cells.size() == header_.size(), "CsvWriter: row width mismatch");
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) text.push_back(format_double(v));
+  rows_.push_back(std::move(text));
+}
+
+void CsvWriter::add_text_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(), "CsvWriter: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::write(std::ostream& out) const {
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) out << ',';
+    out << quote(header_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << quote(row[c]);
+    }
+    out << '\n';
+  }
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw IoError("CsvWriter: cannot open " + path);
+  write(file);
+  if (!file) throw IoError("CsvWriter: write failed for " + path);
+}
+
+std::size_t CsvDocument::column(const std::string& name) const {
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (header[c] == name) return c;
+  }
+  throw InvalidArgument("CsvDocument: no column named '" + name + "'");
+}
+
+std::vector<double> CsvDocument::numeric_column(const std::string& name) const {
+  const std::size_t c = column(name);
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    require(c < row.size(), "CsvDocument: ragged row");
+    const std::string& cell = row[c];
+    double value = 0.0;
+    const auto* begin = cell.data();
+    const auto* end = cell.data() + cell.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    require(ec == std::errc() && ptr == end,
+            "CsvDocument: non-numeric cell '" + cell + "'");
+    out.push_back(value);
+  }
+  return out;
+}
+
+CsvDocument parse_csv(const std::string& text) {
+  CsvDocument doc;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool any_cell = false;
+  bool header_done = false;
+
+  auto end_cell = [&] {
+    row.push_back(cell);
+    cell.clear();
+    any_cell = true;
+  };
+  auto end_row = [&] {
+    row.push_back(cell);
+    cell.clear();
+    if (!header_done) {
+      doc.header = row;
+      header_done = true;
+    } else {
+      doc.rows.push_back(row);
+    }
+    row.clear();
+    any_cell = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        break;
+      case ',':
+        end_cell();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        if (any_cell || !cell.empty()) end_row();
+        break;
+      default:
+        cell += c;
+        break;
+    }
+  }
+  if (any_cell || !cell.empty()) end_row();
+  require(!doc.header.empty(), "parse_csv: document has no header");
+  return doc;
+}
+
+CsvDocument read_csv_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw IoError("read_csv_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+}  // namespace rumor::util

@@ -1,0 +1,56 @@
+// Tiny CSV writer/reader used by benches to dump figure series and by
+// tests to round-trip them. Values are doubles or strings; strings
+// containing commas/quotes/newlines are quoted per RFC 4180.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rumor::util {
+
+/// Accumulates a rectangular table and serializes it as CSV.
+class CsvWriter {
+ public:
+  /// Column headers; fixes the expected width of every later row.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  std::size_t columns() const { return header_.size(); }
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Append one row of numeric cells. Requires row width == columns().
+  void add_row(const std::vector<double>& cells);
+
+  /// Append one row of already-formatted cells. Requires matching width.
+  void add_text_row(std::vector<std::string> cells);
+
+  /// Serialize to a stream.
+  void write(std::ostream& out) const;
+
+  /// Serialize to a file. Throws IoError on failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A fully parsed CSV document.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column. Throws InvalidArgument if absent.
+  std::size_t column(const std::string& name) const;
+
+  /// Column `name` parsed as doubles. Throws on non-numeric cells.
+  std::vector<double> numeric_column(const std::string& name) const;
+};
+
+/// Parse CSV text (first line = header). Handles quoted fields.
+CsvDocument parse_csv(const std::string& text);
+
+/// Read and parse a CSV file. Throws IoError if unreadable.
+CsvDocument read_csv_file(const std::string& path);
+
+}  // namespace rumor::util

@@ -1,0 +1,271 @@
+#include "util/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rumor::util {
+
+namespace {
+
+inline double sign_of(double magnitude, double sign) {
+  return sign >= 0.0 ? std::abs(magnitude) : -std::abs(magnitude);
+}
+
+// Diagonal similarity scaling (Osborne balancing, radix 2) — reduces
+// the norm imbalance between rows and columns, improving the accuracy
+// of the QR iteration. Eigenvalues are invariant under the transform.
+void balance(Matrix& a) {
+  const std::size_t n = a.rows();
+  const double radix = 2.0;
+  bool done = false;
+  while (!done) {
+    done = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      double r = 0.0, c = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) {
+          c += std::abs(a(j, i));
+          r += std::abs(a(i, j));
+        }
+      }
+      if (c != 0.0 && r != 0.0) {
+        double g = r / radix;
+        double f = 1.0;
+        const double s = c + r;
+        while (c < g) {
+          f *= radix;
+          c *= radix * radix;
+        }
+        g = r * radix;
+        while (c > g) {
+          f /= radix;
+          c /= radix * radix;
+        }
+        if ((c + r) / f < 0.95 * s) {
+          done = false;
+          g = 1.0 / f;
+          for (std::size_t j = 0; j < n; ++j) a(i, j) *= g;
+          for (std::size_t j = 0; j < n; ++j) a(j, i) *= f;
+        }
+      }
+    }
+  }
+}
+
+// Reduction to upper Hessenberg form by stabilized elementary
+// similarity transformations (elmhes).
+void to_hessenberg(Matrix& a) {
+  const std::size_t n = a.rows();
+  if (n < 3) return;
+  for (std::size_t m = 1; m + 1 < n; ++m) {
+    double x = 0.0;
+    std::size_t pivot_row = m;
+    for (std::size_t j = m; j < n; ++j) {
+      if (std::abs(a(j, m - 1)) > std::abs(x)) {
+        x = a(j, m - 1);
+        pivot_row = j;
+      }
+    }
+    if (pivot_row != m) {
+      for (std::size_t j = m - 1; j < n; ++j) {
+        std::swap(a(pivot_row, j), a(m, j));
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a(j, pivot_row), a(j, m));
+      }
+    }
+    if (x != 0.0) {
+      for (std::size_t i = m + 1; i < n; ++i) {
+        double y = a(i, m - 1);
+        if (y != 0.0) {
+          y /= x;
+          a(i, m - 1) = 0.0;  // eliminated (NR stores the multiplier;
+                              // we do not need eigenvectors)
+          for (std::size_t j = m; j < n; ++j) a(i, j) -= y * a(m, j);
+          for (std::size_t j = 0; j < n; ++j) a(j, m) += y * a(j, i);
+        }
+      }
+    }
+  }
+  for (std::size_t r = 2; r < n; ++r) {
+    for (std::size_t c = 0; c + 1 < r; ++c) a(r, c) = 0.0;
+  }
+}
+
+// Francis double-shift QR iteration with deflation on an upper
+// Hessenberg matrix (EISPACK hqr). Returns all eigenvalues.
+std::vector<std::complex<double>> hqr(Matrix& a) {
+  const int n = static_cast<int>(a.rows());
+  std::vector<std::complex<double>> wri(static_cast<std::size_t>(n));
+
+  double anorm = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = std::max(i - 1, 0); j < n; ++j) {
+      anorm += std::abs(a(i, j));
+    }
+  }
+  if (anorm == 0.0) return wri;  // zero matrix: all eigenvalues 0
+
+  int nn = n - 1;
+  double t = 0.0;
+  while (nn >= 0) {
+    int its = 0;
+    int l = 0;
+    do {
+      for (l = nn; l > 0; --l) {
+        double s = std::abs(a(l - 1, l - 1)) + std::abs(a(l, l));
+        if (s == 0.0) s = anorm;
+        if (std::abs(a(l, l - 1)) <= 1e-300 ||
+            std::abs(a(l, l - 1)) + s == s) {
+          a(l, l - 1) = 0.0;
+          break;
+        }
+      }
+      double x = a(nn, nn);
+      if (l == nn) {
+        // One real eigenvalue isolated.
+        wri[static_cast<std::size_t>(nn--)] = x + t;
+      } else {
+        double y = a(nn - 1, nn - 1);
+        double w = a(nn, nn - 1) * a(nn - 1, nn);
+        if (l == nn - 1) {
+          // A 2x2 block isolated: two eigenvalues.
+          const double p = 0.5 * (y - x);
+          const double q = p * p + w;
+          double z = std::sqrt(std::abs(q));
+          x += t;
+          if (q >= 0.0) {
+            z = p + sign_of(z, p);
+            wri[static_cast<std::size_t>(nn - 1)] = x + z;
+            wri[static_cast<std::size_t>(nn)] =
+                z != 0.0 ? x - w / z : x + z;
+          } else {
+            wri[static_cast<std::size_t>(nn)] =
+                std::complex<double>(x + p, -z);
+            wri[static_cast<std::size_t>(nn - 1)] =
+                std::conj(wri[static_cast<std::size_t>(nn)]);
+          }
+          nn -= 2;
+        } else {
+          // No eigenvalue isolated yet: one double-shift QR sweep.
+          if (its == 60) {
+            throw InternalError(
+                "eigenvalues: QR iteration failed to converge");
+          }
+          if (its == 10 || its == 20 || its == 30 || its == 40 ||
+              its == 50) {
+            // Exceptional shift to break (near-)cyclic behavior.
+            t += x;
+            for (int i = 0; i <= nn; ++i) a(i, i) -= x;
+            const double s =
+                std::abs(a(nn, nn - 1)) + std::abs(a(nn - 1, nn - 2));
+            y = x = 0.75 * s;
+            w = -0.4375 * s * s;
+          }
+          ++its;
+          double p = 0.0, q = 0.0, r = 0.0, z = 0.0;
+          int m;
+          for (m = nn - 2; m >= l; --m) {
+            z = a(m, m);
+            const double rr = x - z;
+            const double ss = y - z;
+            p = (rr * ss - w) / a(m + 1, m) + a(m, m + 1);
+            q = a(m + 1, m + 1) - z - rr - ss;
+            r = a(m + 2, m + 1);
+            const double scale = std::abs(p) + std::abs(q) + std::abs(r);
+            p /= scale;
+            q /= scale;
+            r /= scale;
+            if (m == l) break;
+            const double u =
+                std::abs(a(m, m - 1)) * (std::abs(q) + std::abs(r));
+            const double v = std::abs(p) * (std::abs(a(m - 1, m - 1)) +
+                                            std::abs(z) +
+                                            std::abs(a(m + 1, m + 1)));
+            if (u + v == v) break;
+          }
+          for (int i = m + 2; i <= nn; ++i) {
+            a(i, i - 2) = 0.0;
+            if (i != m + 2) a(i, i - 3) = 0.0;
+          }
+          for (int k = m; k <= nn - 1; ++k) {
+            if (k != m) {
+              p = a(k, k - 1);
+              q = a(k + 1, k - 1);
+              r = 0.0;
+              if (k + 1 != nn) r = a(k + 2, k - 1);
+              x = std::abs(p) + std::abs(q) + std::abs(r);
+              if (x != 0.0) {
+                p /= x;
+                q /= x;
+                r /= x;
+              }
+            }
+            const double s = sign_of(std::sqrt(p * p + q * q + r * r), p);
+            if (s != 0.0) {
+              if (k == m) {
+                if (l != m) a(k, k - 1) = -a(k, k - 1);
+              } else {
+                a(k, k - 1) = -s * x;
+              }
+              p += s;
+              x = p / s;
+              y = q / s;
+              z = r / s;
+              q /= p;
+              r /= p;
+              for (int j = k; j <= nn; ++j) {
+                p = a(k, j) + q * a(k + 1, j);
+                if (k + 1 != nn) {
+                  p += r * a(k + 2, j);
+                  a(k + 2, j) -= p * z;
+                }
+                a(k + 1, j) -= p * y;
+                a(k, j) -= p * x;
+              }
+              const int mmin = nn < k + 3 ? nn : k + 3;
+              for (int i = l; i <= mmin; ++i) {
+                p = x * a(i, k) + y * a(i, k + 1);
+                if (k + 1 != nn) {
+                  p += z * a(i, k + 2);
+                  a(i, k + 2) -= p * r;
+                }
+                a(i, k + 1) -= p * q;
+                a(i, k) -= p;
+              }
+            }
+          }
+        }
+      }
+    } while (l + 1 < nn);
+  }
+  return wri;
+}
+
+}  // namespace
+
+std::vector<std::complex<double>> eigenvalues(Matrix a) {
+  require(a.rows() == a.cols(), "eigenvalues: matrix must be square");
+  if (a.rows() == 1) return {std::complex<double>(a(0, 0), 0.0)};
+  balance(a);
+  to_hessenberg(a);
+  return hqr(a);
+}
+
+double spectral_abscissa_exact(const Matrix& a) {
+  const auto spectrum = eigenvalues(a);
+  double best = -std::numeric_limits<double>::infinity();
+  for (const auto& ev : spectrum) best = std::max(best, ev.real());
+  return best;
+}
+
+double spectral_radius(const Matrix& a) {
+  const auto spectrum = eigenvalues(a);
+  double best = 0.0;
+  for (const auto& ev : spectrum) best = std::max(best, std::abs(ev));
+  return best;
+}
+
+}  // namespace rumor::util

@@ -1,0 +1,36 @@
+// Dense nonsymmetric eigenvalue computation.
+//
+// Classic three-stage pipeline (EISPACK/Numerical-Recipes lineage):
+//   1. balance the matrix (diagonal similarity scaling) to reduce the
+//      norm imbalance that hurts QR accuracy;
+//   2. reduce to upper Hessenberg form by Householder similarity;
+//   3. shifted Francis double-step QR iteration with deflation on the
+//      Hessenberg matrix, yielding all eigenvalues (real or complex-
+//      conjugate pairs) without accumulating eigenvectors.
+//
+// Used by core/jacobian.hpp to verify the stability theorems spectrally
+// (the rumor model's Jacobians routinely have complex-conjugate
+// dominant pairs at E+, which propagator power iteration cannot
+// resolve).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace rumor::util {
+
+/// All eigenvalues of a square matrix. Throws InvalidArgument on a
+/// non-square input and InternalError if the QR iteration fails to
+/// converge (does not happen for finite well-scaled inputs in practice).
+std::vector<std::complex<double>> eigenvalues(Matrix a);
+
+/// Largest real part among the eigenvalues — the growth rate that
+/// decides linear stability.
+double spectral_abscissa_exact(const Matrix& a);
+
+/// Largest modulus among the eigenvalues (spectral radius).
+double spectral_radius(const Matrix& a);
+
+}  // namespace rumor::util

@@ -1,0 +1,41 @@
+// Error types shared across the rumor-dynamics libraries.
+//
+// Policy (see DESIGN.md §6): exceptions signal precondition violations and
+// unrecoverable environment failures only. Numerical non-convergence that a
+// caller can reasonably react to is reported through status fields on result
+// structs instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rumor::util {
+
+/// Thrown when a caller violates a documented precondition
+/// (e.g. a negative rate, an empty degree profile, a non-bracketing
+/// interval handed to a root finder).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Thrown when an I/O operation (dataset file, CSV dump) fails.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an internal invariant is broken. Indicates a library bug,
+/// not a usage error.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Require `cond`; otherwise throw InvalidArgument with `message`.
+inline void require(bool cond, const std::string& message) {
+  if (!cond) throw InvalidArgument(message);
+}
+
+}  // namespace rumor::util

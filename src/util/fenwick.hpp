@@ -1,0 +1,81 @@
+// Fenwick (binary-indexed) tree over non-negative weights, supporting
+// point updates, prefix sums, and sampling an index proportional to its
+// weight in O(log n). Backs the Gillespie simulator's event selection.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rumor::util {
+
+class FenwickTree {
+ public:
+  explicit FenwickTree(std::size_t size) : tree_(size + 1, 0.0),
+                                           values_(size, 0.0) {}
+
+  std::size_t size() const { return values_.size(); }
+
+  /// Current weight at `index`.
+  double value(std::size_t index) const {
+    require(index < size(), "FenwickTree::value: index out of range");
+    return values_[index];
+  }
+
+  /// Set the weight at `index` to `weight` (>= 0).
+  void set(std::size_t index, double weight) {
+    require(index < size(), "FenwickTree::set: index out of range");
+    require(weight >= 0.0, "FenwickTree::set: weight must be >= 0");
+    const double delta = weight - values_[index];
+    if (delta == 0.0) return;
+    values_[index] = weight;
+    for (std::size_t i = index + 1; i <= size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  /// Sum of weights over [0, count).
+  double prefix_sum(std::size_t count) const {
+    require(count <= size(), "FenwickTree::prefix_sum: count out of range");
+    double sum = 0.0;
+    for (std::size_t i = count; i > 0; i -= i & (~i + 1)) sum += tree_[i];
+    return sum;
+  }
+
+  /// Total weight.
+  double total() const { return prefix_sum(size()); }
+
+  /// Smallest index such that the prefix sum through it exceeds `target`
+  /// (i.e. weight-proportional selection for target in [0, total())).
+  /// Accumulated floating-point drift can make `target` overshoot the
+  /// stored total slightly; the result is clamped to the last index.
+  std::size_t sample(double target) const {
+    require(size() > 0, "FenwickTree::sample: empty tree");
+    require(target >= 0.0, "FenwickTree::sample: target must be >= 0");
+    std::size_t index = 0;
+    std::size_t mask = highest_power_of_two(size());
+    double remaining = target;
+    while (mask > 0) {
+      const std::size_t next = index + mask;
+      if (next <= size() && tree_[next] <= remaining) {
+        remaining -= tree_[next];
+        index = next;
+      }
+      mask >>= 1;
+    }
+    return index < size() ? index : size() - 1;
+  }
+
+ private:
+  static std::size_t highest_power_of_two(std::size_t n) {
+    std::size_t p = 1;
+    while (p * 2 <= n) p *= 2;
+    return p;
+  }
+
+  std::vector<double> tree_;    // 1-based internal array
+  std::vector<double> values_;  // mirrored point values
+};
+
+}  // namespace rumor::util

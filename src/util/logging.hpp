@@ -1,0 +1,58 @@
+// Minimal leveled logger.
+//
+// The libraries are quiet by default (level = kWarn); benches and examples
+// raise the level when narrating progress. Not thread-safe by design: all
+// call sites in this project log from a single thread, and the agent-based
+// ensembles log only from the coordinating thread.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rumor::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one formatted line ("[level] message") to stderr if enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LineBuilder log_debug() {
+  return detail::LineBuilder(LogLevel::kDebug);
+}
+inline detail::LineBuilder log_info() {
+  return detail::LineBuilder(LogLevel::kInfo);
+}
+inline detail::LineBuilder log_warn() {
+  return detail::LineBuilder(LogLevel::kWarn);
+}
+inline detail::LineBuilder log_error() {
+  return detail::LineBuilder(LogLevel::kError);
+}
+
+}  // namespace rumor::util

@@ -1,0 +1,100 @@
+#include "util/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rumor::util {
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  require(count >= 2, "linspace: need at least two points");
+  std::vector<double> out(count);
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = lo + step * static_cast<double>(i);
+  }
+  out.back() = hi;  // avoid accumulated rounding at the right endpoint
+  return out;
+}
+
+double max_abs(std::span<const double> values) {
+  double best = 0.0;
+  for (double v : values) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double l2_norm(std::span<const double> values) {
+  double sum = 0.0;
+  for (double v : values) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "max_abs_diff: size mismatch");
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    best = std::max(best, std::abs(a[i] - b[i]));
+  }
+  return best;
+}
+
+double trapezoid(std::span<const double> t, std::span<const double> y) {
+  require(t.size() == y.size(), "trapezoid: size mismatch");
+  if (t.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    const double dt = t[i] - t[i - 1];
+    require(dt > 0.0, "trapezoid: grid must be strictly increasing");
+    sum += 0.5 * dt * (y[i] + y[i - 1]);
+  }
+  return sum;
+}
+
+double interp_linear(std::span<const double> t, std::span<const double> y,
+                     double tq) {
+  require(!t.empty() && t.size() == y.size(),
+          "interp_linear: need a non-empty grid with matching values");
+  if (tq <= t.front()) return y.front();
+  if (tq >= t.back()) return y.back();
+  // First grid point strictly greater than tq; predecessor is the
+  // left endpoint of the bracketing interval.
+  const auto it = std::upper_bound(t.begin(), t.end(), tq);
+  const std::size_t hi = static_cast<std::size_t>(it - t.begin());
+  const std::size_t lo = hi - 1;
+  const double span = t[hi] - t[lo];
+  require(span > 0.0, "interp_linear: grid must be strictly increasing");
+  const double w = (tq - t[lo]) / span;
+  return (1.0 - w) * y[lo] + w * y[hi];
+}
+
+double clamp(double x, double lo, double hi) {
+  require(lo <= hi, "clamp: lo must be <= hi");
+  return std::min(std::max(x, lo), hi);
+}
+
+bool approx_equal(double a, double b, double rtol, double atol) {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double sum = 0.0;
+  for (double v : values) sum += (v - m) * (v - m);
+  return sum / static_cast<double>(values.size() - 1);
+}
+
+void axpy(double scale, std::span<const double> x, std::span<double> y) {
+  require(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += scale * x[i];
+}
+
+}  // namespace rumor::util

@@ -1,0 +1,48 @@
+// Small numerical helpers shared by the ODE, core, and control libraries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rumor::util {
+
+/// `count` evenly spaced points from `lo` to `hi` inclusive.
+/// Requires count >= 2 (a single point has no defined spacing).
+std::vector<double> linspace(double lo, double hi, std::size_t count);
+
+/// Infinity norm (maximum absolute entry); 0 for an empty span.
+double max_abs(std::span<const double> values);
+
+/// Euclidean norm.
+double l2_norm(std::span<const double> values);
+
+/// Infinity norm of the difference a - b. Requires equal sizes.
+double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+/// Trapezoidal quadrature of samples `y` on the (possibly non-uniform)
+/// grid `t`. Requires t.size() == y.size() and t strictly increasing.
+double trapezoid(std::span<const double> t, std::span<const double> y);
+
+/// Linear interpolation of tabulated (t, y) at query point `tq`,
+/// clamping outside the table range. Requires a non-empty, strictly
+/// increasing grid.
+double interp_linear(std::span<const double> t, std::span<const double> y,
+                     double tq);
+
+/// Clamp `x` into [lo, hi]. Requires lo <= hi.
+double clamp(double x, double lo, double hi);
+
+/// True when |a - b| <= atol + rtol * max(|a|, |b|).
+bool approx_equal(double a, double b, double rtol = 1e-9, double atol = 1e-12);
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> values);
+
+/// Sample variance (divides by n-1); 0 when fewer than two samples.
+double variance(std::span<const double> values);
+
+/// In-place y := y + scale * x. Requires equal sizes.
+void axpy(double scale, std::span<const double> x, std::span<double> y);
+
+}  // namespace rumor::util

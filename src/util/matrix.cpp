@@ -1,0 +1,178 @@
+#include "util/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rumor::util {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  require(rows > 0 && cols > 0, "Matrix: dimensions must be positive");
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void Matrix::multiply(std::span<const double> x, std::span<double> y) const {
+  require(x.size() == cols_ && y.size() == rows_,
+          "Matrix::multiply: dimension mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    const double* row_ptr = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) sum += row_ptr[c] * x[c];
+    y[r] = sum;
+  }
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  require(cols_ == other.rows_, "Matrix::multiply: dimension mismatch");
+  Matrix out(rows_, other.cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+double Matrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (const double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::max_abs() const {
+  double best = 0.0;
+  for (const double v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  require(rows_ == other.rows_ && cols_ == other.cols_,
+          "Matrix::operator+=: dimension mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scale) {
+  for (double& v : data_) v *= scale;
+  return *this;
+}
+
+LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
+  require(lu_.rows() == lu_.cols(),
+          "LuFactorization: matrix must be square");
+  const std::size_t n = lu_.rows();
+  pivot_.resize(n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: largest magnitude in this column at or below the
+    // diagonal.
+    std::size_t best = col;
+    double best_abs = std::abs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, col));
+      if (v > best_abs) {
+        best = r;
+        best_abs = v;
+      }
+    }
+    pivot_[col] = best;
+    if (best != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(col, c), lu_(best, c));
+      }
+      pivot_sign_ = -pivot_sign_;
+    }
+    const double diag = lu_(col, col);
+    if (best_abs < 1e-300) {
+      singular_ = true;
+      continue;
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu_(r, col) / diag;
+      lu_(r, col) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        lu_(r, c) -= factor * lu_(col, c);
+      }
+    }
+  }
+}
+
+std::vector<double> LuFactorization::solve(std::span<const double> b) const {
+  require(!singular_, "LuFactorization::solve: matrix is singular");
+  const std::size_t n = dimension();
+  require(b.size() == n, "LuFactorization::solve: rhs dimension mismatch");
+  std::vector<double> x(b.begin(), b.end());
+  // Apply the row permutation.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pivot_[i] != i) std::swap(x[i], x[pivot_[i]]);
+  }
+  // Forward substitution (L has implicit unit diagonal).
+  for (std::size_t r = 1; r < n; ++r) {
+    double sum = x[r];
+    for (std::size_t c = 0; c < r; ++c) sum -= lu_(r, c) * x[c];
+    x[r] = sum;
+  }
+  // Back substitution.
+  for (std::size_t r = n; r-- > 0;) {
+    double sum = x[r];
+    for (std::size_t c = r + 1; c < n; ++c) sum -= lu_(r, c) * x[c];
+    x[r] = sum / lu_(r, r);
+  }
+  return x;
+}
+
+Matrix LuFactorization::solve(const Matrix& b) const {
+  require(b.rows() == dimension(),
+          "LuFactorization::solve: rhs dimension mismatch");
+  Matrix out(b.rows(), b.cols());
+  std::vector<double> column(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) column[r] = b(r, c);
+    const auto x = solve(column);
+    for (std::size_t r = 0; r < b.rows(); ++r) out(r, c) = x[r];
+  }
+  return out;
+}
+
+double LuFactorization::determinant() const {
+  if (singular_) return 0.0;
+  double det = static_cast<double>(pivot_sign_);
+  for (std::size_t i = 0; i < dimension(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+std::vector<double> solve_linear_system(Matrix a,
+                                        std::span<const double> b) {
+  const LuFactorization lu(std::move(a));
+  require(!lu.singular(), "solve_linear_system: matrix is singular");
+  return lu.solve(b);
+}
+
+Matrix inverse(Matrix a) {
+  const std::size_t n = a.rows();
+  const LuFactorization lu(std::move(a));
+  require(!lu.singular(), "inverse: matrix is singular");
+  return lu.solve(Matrix::identity(n));
+}
+
+}  // namespace rumor::util

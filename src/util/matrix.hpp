@@ -1,0 +1,94 @@
+// Small dense linear algebra: row-major matrix, LU factorization with
+// partial pivoting, linear solves, determinant, inverse.
+//
+// Scope: the Jacobians of System (1) are 2n×2n with n up to ~850, and
+// the implicit ODE steppers solve one such system per Newton step. A
+// straightforward O(n³) LU with partial pivoting is exactly right at
+// this scale; no BLAS dependency.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rumor::util {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// y = A x. Requires x.size() == cols; y.size() == rows.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// C = A B. Requires this->cols == other.rows.
+  Matrix multiply(const Matrix& other) const;
+
+  Matrix transposed() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Max absolute entry.
+  double max_abs() const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator*=(double scale);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting (PA = LU), reusable for many
+/// right-hand sides.
+class LuFactorization {
+ public:
+  /// Factorize a square matrix. `singular()` reports a (numerically)
+  /// singular pivot; solves on a singular factorization throw.
+  explicit LuFactorization(Matrix a);
+
+  std::size_t dimension() const { return lu_.rows(); }
+  bool singular() const { return singular_; }
+
+  /// Solve A x = b. Requires b.size() == dimension().
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Solve for a matrix right-hand side (column-by-column).
+  Matrix solve(const Matrix& b) const;
+
+  /// det(A) from the factorization (0 if singular).
+  double determinant() const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> pivot_;
+  bool singular_ = false;
+  int pivot_sign_ = 1;
+};
+
+/// Convenience: solve A x = b once.
+std::vector<double> solve_linear_system(Matrix a,
+                                        std::span<const double> b);
+
+/// Inverse via LU. Throws InvalidArgument if singular.
+Matrix inverse(Matrix a);
+
+}  // namespace rumor::util

@@ -1,0 +1,134 @@
+#include "util/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rumor::util {
+
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> start, const NelderMeadOptions& options) {
+  require(!start.empty(), "nelder_mead: empty start point");
+  require(options.max_evaluations > 0, "nelder_mead: no budget");
+  const std::size_t d = start.size();
+
+  NelderMeadResult result;
+  auto evaluate = [&](const std::vector<double>& x) {
+    ++result.evaluations;
+    return f(x);
+  };
+
+  // Initial simplex: start plus one vertex per axis.
+  std::vector<std::vector<double>> simplex;
+  std::vector<double> values;
+  simplex.reserve(d + 1);
+  simplex.push_back(start);
+  values.push_back(evaluate(start));
+  for (std::size_t i = 0; i < d; ++i) {
+    auto vertex = start;
+    const double step =
+        options.initial_step * std::max(std::abs(vertex[i]), 1.0);
+    vertex[i] += step;
+    simplex.push_back(vertex);
+    values.push_back(evaluate(vertex));
+  }
+
+  std::vector<std::size_t> order(d + 1);
+  auto sort_simplex = [&] {
+    for (std::size_t i = 0; i <= d; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return values[a] < values[b];
+              });
+  };
+
+  std::vector<double> centroid(d), trial(d), trial2(d);
+  while (result.evaluations < options.max_evaluations) {
+    sort_simplex();
+    const std::size_t best = order[0];
+    const std::size_t worst = order[d];
+    const std::size_t second_worst = order[d - 1];
+
+    // Convergence: simplex diameter and value spread.
+    double diameter = 0.0;
+    for (std::size_t i = 1; i <= d; ++i) {
+      for (std::size_t c = 0; c < d; ++c) {
+        diameter = std::max(
+            diameter, std::abs(simplex[order[i]][c] - simplex[best][c]));
+      }
+    }
+    const double spread = values[worst] - values[best];
+    if (diameter < options.x_tolerance && spread < options.f_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::fill(centroid.begin(), centroid.end(), 0.0);
+    for (std::size_t i = 0; i <= d; ++i) {
+      if (i == worst) continue;
+      for (std::size_t c = 0; c < d; ++c) centroid[c] += simplex[i][c];
+    }
+    for (double& c : centroid) c /= static_cast<double>(d);
+
+    // Reflection.
+    for (std::size_t c = 0; c < d; ++c) {
+      trial[c] = centroid[c] +
+                 options.reflection * (centroid[c] - simplex[worst][c]);
+    }
+    const double f_reflect = evaluate(trial);
+
+    if (f_reflect < values[best]) {
+      // Expansion.
+      for (std::size_t c = 0; c < d; ++c) {
+        trial2[c] = centroid[c] +
+                    options.expansion * (trial[c] - centroid[c]);
+      }
+      const double f_expand = evaluate(trial2);
+      if (f_expand < f_reflect) {
+        simplex[worst] = trial2;
+        values[worst] = f_expand;
+      } else {
+        simplex[worst] = trial;
+        values[worst] = f_reflect;
+      }
+    } else if (f_reflect < values[second_worst]) {
+      simplex[worst] = trial;
+      values[worst] = f_reflect;
+    } else {
+      // Contraction (outside if the reflected point improved on the
+      // worst, inside otherwise).
+      const bool outside = f_reflect < values[worst];
+      const auto& toward = outside ? trial : simplex[worst];
+      for (std::size_t c = 0; c < d; ++c) {
+        trial2[c] = centroid[c] +
+                    options.contraction * (toward[c] - centroid[c]);
+      }
+      const double f_contract = evaluate(trial2);
+      if (f_contract < std::min(f_reflect, values[worst])) {
+        simplex[worst] = trial2;
+        values[worst] = f_contract;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 0; i <= d; ++i) {
+          if (i == best) continue;
+          for (std::size_t c = 0; c < d; ++c) {
+            simplex[i][c] = simplex[best][c] +
+                            options.shrink *
+                                (simplex[i][c] - simplex[best][c]);
+          }
+          values[i] = evaluate(simplex[i]);
+        }
+      }
+    }
+  }
+
+  sort_simplex();
+  result.x = simplex[order[0]];
+  result.value = values[order[0]];
+  return result;
+}
+
+}  // namespace rumor::util

@@ -1,0 +1,40 @@
+// Derivative-free minimization: Nelder–Mead downhill simplex.
+//
+// Used by core/fitting.hpp to estimate model parameters from observed
+// cascade data (nonsmooth least-squares objectives where gradients are
+// unavailable or unreliable).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace rumor::util {
+
+struct NelderMeadOptions {
+  double initial_step = 0.1;     ///< simplex edge relative to the start
+  double x_tolerance = 1e-8;     ///< simplex diameter stopping rule
+  double f_tolerance = 1e-12;    ///< spread of f over the simplex
+  /// Budget check happens between iterations, so a run can overshoot by
+  /// one iteration's evaluations (at most dim + 2).
+  std::size_t max_evaluations = 5000;
+  // Standard coefficients.
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double value = 0.0;
+  std::size_t evaluations = 0;
+  bool converged = false;
+};
+
+/// Minimize f over R^d starting from `start`. For box-constrained
+/// problems, clamp (or penalize) inside f.
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> start, const NelderMeadOptions& options = {});
+
+}  // namespace rumor::util

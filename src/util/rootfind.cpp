@@ -1,0 +1,164 @@
+#include "util/rootfind.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rumor::util {
+
+RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                 double x_tol, double f_tol, std::size_t max_iterations) {
+  require(lo < hi, "brent: need lo < hi");
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+  require(fa * fb < 0.0, "brent: interval does not bracket a root");
+
+  // Classic Brent: inverse quadratic interpolation with bisection
+  // fallback (Numerical Recipes formulation).
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  RootResult result;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol1 =
+        2.0 * 1e-16 * std::abs(b) + 0.5 * x_tol;
+    const double xm = 0.5 * (c - b);
+    if (std::abs(xm) <= tol1 || std::abs(fb) <= f_tol) {
+      result.root = b;
+      result.residual = fb;
+      result.converged = true;
+      return result;
+    }
+    if (std::abs(e) >= tol1 && std::abs(fa) > std::abs(fb)) {
+      double p, q, r;
+      const double s = fb / fa;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        q = fa / fc;
+        r = fb / fc;
+        p = s * (2.0 * xm * q * (q - r) - (b - a) * (r - 1.0));
+        q = (q - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::abs(p);
+      if (2.0 * p < std::min(3.0 * xm * q - std::abs(tol1 * q),
+                             std::abs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    if (std::abs(d) > tol1) {
+      b += d;
+    } else {
+      b += (xm > 0.0 ? tol1 : -tol1);
+    }
+    fb = f(b);
+  }
+  result.root = b;
+  result.residual = fb;
+  result.converged = false;
+  return result;
+}
+
+RootResult bisect(const std::function<double(double)>& f, double lo,
+                  double hi, double x_tol, std::size_t max_iterations) {
+  require(lo < hi, "bisect: need lo < hi");
+  double fa = f(lo), fb = f(hi);
+  if (fa == 0.0) return {lo, 0.0, 0, true};
+  if (fb == 0.0) return {hi, 0.0, 0, true};
+  require(fa * fb < 0.0, "bisect: interval does not bracket a root");
+  RootResult result;
+  double a = lo, b = hi;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    const double mid = 0.5 * (a + b);
+    const double fm = f(mid);
+    if (fm == 0.0 || (b - a) < x_tol) {
+      result.root = mid;
+      result.residual = fm;
+      result.converged = true;
+      return result;
+    }
+    if ((fm > 0.0) == (fa > 0.0)) {
+      a = mid;
+      fa = fm;
+    } else {
+      b = mid;
+    }
+  }
+  result.root = 0.5 * (a + b);
+  result.residual = f(result.root);
+  result.converged = false;
+  return result;
+}
+
+RootResult brent_expanding(const std::function<double(double)>& f, double lo,
+                           double hi, std::size_t max_expansions,
+                           double x_tol, double f_tol) {
+  require(lo < hi, "brent_expanding: need lo < hi");
+  const double f_lo = f(lo);
+  if (f_lo == 0.0) return {lo, 0.0, 0, true};
+  double right = hi;
+  for (std::size_t i = 0; i <= max_expansions; ++i) {
+    const double f_right = f(right);
+    if (f_right == 0.0) return {right, 0.0, 0, true};
+    if (f_lo * f_right < 0.0) {
+      return brent(f, lo, right, x_tol, f_tol);
+    }
+    right *= 2.0;
+  }
+  throw InvalidArgument(
+      "brent_expanding: no sign change found while expanding the bracket");
+}
+
+double golden_minimize(const std::function<double(double)>& f, double lo,
+                       double hi, double x_tol, std::size_t max_iterations) {
+  require(lo < hi, "golden_minimize: need lo < hi");
+  constexpr double inv_phi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double x1 = b - inv_phi * (b - a);
+  double x2 = a + inv_phi * (b - a);
+  double f1 = f(x1), f2 = f(x2);
+  for (std::size_t iter = 0; iter < max_iterations && (b - a) > x_tol;
+       ++iter) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - inv_phi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + inv_phi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace rumor::util

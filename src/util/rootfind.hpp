@@ -1,0 +1,46 @@
+// Scalar root finding and 1-D minimization.
+//
+// Used for: the positive-equilibrium equation F(Θ*) = 0 (paper Eq. (5)),
+// calibrating the Digg surrogate's power-law exponent/cutoff to the
+// published dataset statistics, and tuning baseline controller gains to a
+// terminal infection target.
+#pragma once
+
+#include <functional>
+
+namespace rumor::util {
+
+/// Result of a root search.
+struct RootResult {
+  double root = 0.0;
+  double residual = 0.0;     ///< f(root)
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Brent's method on [lo, hi]. Requires f(lo) and f(hi) of opposite sign
+/// (or one of them zero); throws InvalidArgument otherwise. Stops when
+/// the bracket is below `x_tol` or |f| below `f_tol`.
+RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                 double x_tol = 1e-12, double f_tol = 1e-14,
+                 std::size_t max_iterations = 200);
+
+/// Plain bisection, same contract as `brent`. Kept for cross-checking
+/// Brent in tests and for very cheap monotone targets.
+RootResult bisect(const std::function<double(double)>& f, double lo,
+                  double hi, double x_tol = 1e-12,
+                  std::size_t max_iterations = 200);
+
+/// Expand [lo, hi] geometrically to the right until f changes sign, then
+/// run Brent. Requires f(lo) of known sign; throws if no sign change is
+/// found within `max_expansions` doublings.
+RootResult brent_expanding(const std::function<double(double)>& f, double lo,
+                           double hi, std::size_t max_expansions = 60,
+                           double x_tol = 1e-12, double f_tol = 1e-14);
+
+/// Golden-section minimization of a unimodal f on [lo, hi].
+double golden_minimize(const std::function<double(double)>& f, double lo,
+                       double hi, double x_tol = 1e-9,
+                       std::size_t max_iterations = 200);
+
+}  // namespace rumor::util

@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rumor::util {
+
+std::string format_significant(double value, int digits) {
+  std::ostringstream os;
+  os << std::setprecision(digits) << value;
+  return os.str();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  require(!header_.empty(), "TablePrinter: header must not be empty");
+}
+
+void TablePrinter::set_precision(int digits) {
+  require(digits >= 1 && digits <= 17, "TablePrinter: precision out of range");
+  precision_ = digits;
+}
+
+void TablePrinter::add_row(const std::vector<double>& cells) {
+  require(cells.size() == header_.size(), "TablePrinter: row width mismatch");
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) text.push_back(format_significant(v, precision_));
+  rows_.push_back(std::move(text));
+}
+
+void TablePrinter::add_text_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(), "TablePrinter: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      if (c + 1 < row.size()) out << "  ";
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  std::vector<std::string> rule;
+  rule.reserve(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    rule.push_back(std::string(widths[c], '-'));
+  }
+  print_row(rule);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace rumor::util

@@ -1,0 +1,40 @@
+// Fixed-width ASCII table printer. The figure-reproduction benches use it
+// to emit the same rows/series the paper plots, in a form that is easy to
+// eyeball in a terminal and easy to scrape into a plotting script.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rumor::util {
+
+/// Accumulates rows and prints them with aligned columns:
+///
+///   t        Dist0      ...
+///   -------- ---------- ...
+///   0.0      0.4213     ...
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Number formatting for numeric cells (default: 6 significant digits).
+  void set_precision(int digits);
+
+  void add_row(const std::vector<double>& cells);
+  void add_text_row(std::vector<std::string> cells);
+
+  /// Render with a separator line under the header.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  int precision_ = 6;
+};
+
+/// Format `value` with `digits` significant digits (shortest of fixed /
+/// scientific that round-trips the precision; same rule TablePrinter uses).
+std::string format_significant(double value, int digits);
+
+}  // namespace rumor::util

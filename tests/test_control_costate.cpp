@@ -1,0 +1,200 @@
+#include "control/costate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ode/integrate.hpp"
+#include "util/error.hpp"
+
+namespace rumor::control {
+namespace {
+
+core::SirNetworkModel make_model(std::size_t groups) {
+  core::ModelParams params;
+  params.alpha = 0.01;
+  params.lambda = core::Acceptance::linear(1.0);
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  if (groups == 1) {
+    return core::SirNetworkModel(core::NetworkProfile::homogeneous(3.0),
+                                 params,
+                                 core::make_constant_control(0.1, 0.2));
+  }
+  return core::SirNetworkModel(
+      core::NetworkProfile::from_pmf({1.0, 3.0, 8.0}, {0.6, 0.3, 0.1}),
+      params, core::make_constant_control(0.1, 0.2));
+}
+
+ode::Trajectory forward_state(const core::SirNetworkModel& model,
+                              double tf) {
+  return ode::integrate_rk4(model, model.initial_state(0.05), 0.0, tf,
+                            0.01);
+}
+
+TEST(Costate, TerminalConditionMatchesTransversality) {
+  const auto model = make_model(3);
+  const auto state = forward_state(model, 5.0);
+  CostParams cost;
+  cost.terminal_weight = 2.5;
+  const BackwardCostateSystem adjoint(model, state, model.control(), cost,
+                                      5.0);
+  const auto terminal = adjoint.terminal_costate();
+  ASSERT_EQ(terminal.size(), 6u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(terminal[i], 0.0);       // ψ_i(tf) = 0
+    EXPECT_DOUBLE_EQ(terminal[3 + i], 2.5);   // φ_i(tf) = W
+  }
+}
+
+TEST(Costate, DiagonalEqualsFullForSingleGroup) {
+  // With n = 1 the cross-group sum collapses to the diagonal term, so
+  // the paper's printed (16) and the full adjoint coincide exactly.
+  const auto model = make_model(1);
+  const auto state = forward_state(model, 4.0);
+  const CostParams cost;
+  const BackwardCostateSystem full(model, state, model.control(), cost,
+                                   4.0, false);
+  const BackwardCostateSystem diagonal(model, state, model.control(), cost,
+                                       4.0, true);
+  const ode::State w{0.3, 1.2};
+  ode::State dw_full(2), dw_diag(2);
+  for (double s : {0.0, 1.0, 2.5, 4.0}) {
+    full.rhs(s, w, dw_full);
+    diagonal.rhs(s, w, dw_diag);
+    EXPECT_NEAR(dw_full[0], dw_diag[0], 1e-15) << "s=" << s;
+    EXPECT_NEAR(dw_full[1], dw_diag[1], 1e-15) << "s=" << s;
+  }
+}
+
+TEST(Costate, DiagonalDiffersFromFullForMultipleGroups) {
+  // For n > 1 the truncation is a real approximation.
+  const auto model = make_model(3);
+  const auto state = forward_state(model, 4.0);
+  const CostParams cost;
+  const BackwardCostateSystem full(model, state, model.control(), cost,
+                                   4.0, false);
+  const BackwardCostateSystem diagonal(model, state, model.control(), cost,
+                                       4.0, true);
+  const ode::State w{0.1, 0.4, 0.2, 1.0, 0.8, 1.3};
+  ode::State dw_full(6), dw_diag(6);
+  full.rhs(1.0, w, dw_full);
+  diagonal.rhs(1.0, w, dw_diag);
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    max_diff = std::max(max_diff, std::abs(dw_full[i] - dw_diag[i]));
+  }
+  EXPECT_GT(max_diff, 1e-8);
+}
+
+TEST(Costate, PsiEquationMatchesHandDerivative) {
+  // Check dψ_j/dt = −2c1ε1²S_j + ψ_j(λ_jΘ + ε1) − φ_jλ_jΘ at one point.
+  const auto model = make_model(3);
+  const double tf = 4.0;
+  const auto state = forward_state(model, tf);
+  CostParams cost;
+  cost.c1 = 5.0;
+  cost.c2 = 10.0;
+  const BackwardCostateSystem adjoint(model, state, model.control(), cost,
+                                      tf);
+  const ode::State w{0.1, 0.4, 0.2, 1.0, 0.8, 1.3};
+  ode::State dwds(6);
+  const double s = 1.5;
+  adjoint.rhs(s, w, dwds);
+
+  const double t = tf - s;
+  const auto y = state.at(t);
+  const double theta = model.theta(y);
+  const double e1 = 0.1;
+  for (std::size_t j = 0; j < 3; ++j) {
+    const double lambda = model.lambdas()[j];
+    const double dpsi_dt = -2.0 * cost.c1 * e1 * e1 * y[j] +
+                           w[j] * (lambda * theta + e1) -
+                           w[3 + j] * lambda * theta;
+    EXPECT_NEAR(dwds[j], -dpsi_dt, 1e-12) << "j=" << j;
+  }
+}
+
+TEST(Costate, PhiEquationMatchesHandDerivative) {
+  const auto model = make_model(3);
+  const double tf = 4.0;
+  const auto state = forward_state(model, tf);
+  CostParams cost;
+  const BackwardCostateSystem adjoint(model, state, model.control(), cost,
+                                      tf);
+  const ode::State w{0.1, 0.4, 0.2, 1.0, 0.8, 1.3};
+  ode::State dwds(6);
+  const double s = 0.5;
+  adjoint.rhs(s, w, dwds);
+
+  const double t = tf - s;
+  const auto y = state.at(t);
+  const double e2 = 0.2;
+  const double mean_k = model.profile().mean_degree();
+  double coupling = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    coupling += (w[i] - w[3 + i]) * model.lambdas()[i] * y[i];
+  }
+  for (std::size_t j = 0; j < 3; ++j) {
+    const double dphi_dt = -2.0 * cost.c2 * e2 * e2 * y[3 + j] +
+                           (model.phis()[j] / mean_k) * coupling +
+                           w[3 + j] * e2;
+    EXPECT_NEAR(dwds[3 + j], -dphi_dt, 1e-12) << "j=" << j;
+  }
+}
+
+TEST(Costate, ZeroCostZeroCostateIsStationary) {
+  // With no running cost and w ≡ 0, the adjoint RHS vanishes.
+  const auto model = make_model(3);
+  const auto state = forward_state(model, 3.0);
+  CostParams cost;
+  cost.terminal_weight = 0.0;
+  const BackwardCostateSystem adjoint(model, state, model.control(), cost,
+                                      3.0);
+  ode::State w(6, 0.0);
+  ode::State dwds(6, 1.0);
+  // ε1, ε2 > 0 in the schedule, but the cost gradient terms are scaled
+  // by c·ε² which multiplies S/I — nonzero. Use zero controls instead.
+  core::ConstantControl no_control(0.0, 0.0);
+  const BackwardCostateSystem free_adjoint(model, state, no_control, cost,
+                                           3.0);
+  free_adjoint.rhs(1.0, w, dwds);
+  for (const double d : dwds) EXPECT_NEAR(d, 0.0, 1e-15);
+}
+
+TEST(Costate, ValidatesConstruction) {
+  const auto model = make_model(3);
+  const CostParams cost;
+  ode::Trajectory empty(6);
+  EXPECT_THROW(BackwardCostateSystem(model, empty, model.control(), cost,
+                                     5.0),
+               util::InvalidArgument);
+  const auto state = forward_state(model, 5.0);
+  EXPECT_THROW(BackwardCostateSystem(model, state, model.control(), cost,
+                                     -1.0),
+               util::InvalidArgument);
+}
+
+TEST(StationaryControls, MatchesPaperEq18) {
+  // ε1 = Σψ_iS_i / (2c1 ΣS_i²), ε2 = Σφ_iI_i / (2c2 ΣI_i²).
+  const ode::State y{0.5, 0.4, 0.2, 0.1};
+  const ode::State w{1.0, 2.0, 3.0, 4.0};
+  CostParams cost;
+  cost.c1 = 5.0;
+  cost.c2 = 10.0;
+  const auto controls = stationary_controls(y, w, 2, cost);
+  const double e1 = (1.0 * 0.5 + 2.0 * 0.4) / (2.0 * 5.0 * (0.25 + 0.16));
+  const double e2 = (3.0 * 0.2 + 4.0 * 0.1) / (2.0 * 10.0 * (0.04 + 0.01));
+  EXPECT_NEAR(controls.epsilon1, e1, 1e-12);
+  EXPECT_NEAR(controls.epsilon2, e2, 1e-12);
+}
+
+TEST(StationaryControls, DegenerateStateGivesZeroEffort) {
+  const ode::State y{0.0, 0.0, 0.0, 0.0};
+  const ode::State w{1.0, 1.0, 1.0, 1.0};
+  const auto controls = stationary_controls(y, w, 2, CostParams{});
+  EXPECT_DOUBLE_EQ(controls.epsilon1, 0.0);
+  EXPECT_DOUBLE_EQ(controls.epsilon2, 0.0);
+}
+
+}  // namespace
+}  // namespace rumor::control

@@ -1,0 +1,176 @@
+#include "control/heuristic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/threshold.hpp"
+#include "util/error.hpp"
+
+namespace rumor::control {
+namespace {
+
+core::SirNetworkModel small_model(double alpha = 0.05) {
+  core::ModelParams params;
+  params.alpha = alpha;
+  params.lambda = core::Acceptance::linear(1.0);
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  return core::SirNetworkModel(
+      core::NetworkProfile::from_pmf({1.0, 3.0, 8.0}, {0.6, 0.3, 0.1}),
+      params, core::make_constant_control(0.0, 0.0));
+}
+
+TEST(FeedbackPolicy, ScalesWithInfectionAndClamps) {
+  FeedbackPolicy policy;
+  policy.gain = 10.0;
+  policy.weight1 = 1.0;
+  policy.weight2 = 2.0;
+  policy.epsilon1_max = 0.5;
+  policy.epsilon2_max = 0.6;
+  EXPECT_DOUBLE_EQ(policy.epsilon1(0.01), 0.1);
+  EXPECT_DOUBLE_EQ(policy.epsilon2(0.01), 0.2);
+  EXPECT_DOUBLE_EQ(policy.epsilon1(1.0), 0.5);   // clamped
+  EXPECT_DOUBLE_EQ(policy.epsilon2(1.0), 0.6);   // clamped
+  EXPECT_DOUBLE_EQ(policy.epsilon1(0.0), 0.0);
+}
+
+TEST(FeedbackRun, RealizedControlsMatchPolicyOnStates) {
+  const auto model = small_model();
+  FeedbackPolicy policy;
+  policy.gain = 5.0;
+  const auto run = run_feedback_policy(model, policy,
+                                       model.initial_state(0.05), 10.0,
+                                       CostParams{});
+  ASSERT_EQ(run.epsilon1.size(), run.state.size());
+  for (std::size_t k = 0; k < run.state.size(); ++k) {
+    const double density = model.infected_density(run.state.state(k));
+    EXPECT_NEAR(run.epsilon1[k], policy.epsilon1(density), 1e-12);
+    EXPECT_NEAR(run.epsilon2[k], policy.epsilon2(density), 1e-12);
+  }
+}
+
+TEST(FeedbackRun, ZeroGainMeansNoIntervention) {
+  const auto model = small_model();
+  FeedbackPolicy idle;
+  idle.gain = 0.0;
+  const auto run = run_feedback_policy(model, idle,
+                                       model.initial_state(0.05), 10.0,
+                                       CostParams{});
+  EXPECT_DOUBLE_EQ(run.cost.running, 0.0);
+  // Epidemic grows unchecked in this regime.
+  EXPECT_GT(run.terminal_infected, 3 * 0.05);
+}
+
+TEST(FeedbackRun, HigherGainLowersTerminalInfection) {
+  const auto model = small_model();
+  const auto y0 = model.initial_state(0.05);
+  double prev = std::numeric_limits<double>::infinity();
+  for (double gain : {0.0, 2.0, 10.0, 50.0}) {
+    FeedbackPolicy policy;
+    policy.gain = gain;
+    const auto run =
+        run_feedback_policy(model, policy, y0, 30.0, CostParams{});
+    EXPECT_LT(run.terminal_infected, prev + 1e-12) << "gain=" << gain;
+    prev = run.terminal_infected;
+  }
+}
+
+TEST(TuneFeedbackGain, MeetsTerminalTargetTightly) {
+  const auto model = small_model();
+  const auto y0 = model.initial_state(0.05);
+  const double target = 0.05;
+  const double gain =
+      tune_feedback_gain(model, FeedbackPolicy{}, y0, 30.0, target);
+  FeedbackPolicy tuned;
+  tuned.gain = gain;
+  const auto run = run_feedback_policy(model, tuned, y0, 30.0,
+                                       CostParams{});
+  EXPECT_LE(run.terminal_infected, target);
+  // Tightness: 2% less gain should miss the target.
+  FeedbackPolicy slack;
+  slack.gain = gain * 0.98;
+  const auto run_slack = run_feedback_policy(model, slack, y0, 30.0,
+                                             CostParams{});
+  EXPECT_GT(run_slack.terminal_infected, target * 0.95);
+}
+
+TEST(TuneFeedbackGain, ThrowsWhenTargetUnreachable) {
+  const auto model = small_model();
+  const auto y0 = model.initial_state(0.05);
+  FeedbackPolicy weak;
+  weak.epsilon1_max = 1e-4;
+  weak.epsilon2_max = 1e-4;
+  EXPECT_THROW(
+      tune_feedback_gain(model, weak, y0, 5.0, 1e-8),
+      util::InvalidArgument);
+}
+
+TEST(BangBang, SwitchesOffBelowThreshold) {
+  const auto model = small_model(0.0);  // no new arrivals: extinction sticks
+  const auto y0 = model.initial_state(0.2);
+  const auto run = run_bang_bang_policy(model, 0.7, 0.7, 0.05, y0, 40.0,
+                                        CostParams{});
+  // Early samples: full effort; once total infected < 0.05 both zero.
+  bool saw_on = false, saw_off = false;
+  for (std::size_t k = 0; k < run.state.size(); ++k) {
+    const double total = model.total_infected(run.state.state(k));
+    if (total >= 0.05) {
+      EXPECT_DOUBLE_EQ(run.epsilon1[k], 0.7);
+      saw_on = true;
+    } else {
+      EXPECT_DOUBLE_EQ(run.epsilon1[k], 0.0);
+      saw_off = true;
+    }
+  }
+  EXPECT_TRUE(saw_on);
+  EXPECT_TRUE(saw_off);
+}
+
+TEST(BangBang, CostReflectsOnPhaseOnly) {
+  const auto model = small_model(0.0);
+  const auto y0 = model.initial_state(0.2);
+  const auto run = run_bang_bang_policy(model, 0.7, 0.7, 0.05, y0, 40.0,
+                                        CostParams{});
+  EXPECT_GT(run.cost.running, 0.0);
+  // An always-on policy must cost strictly more.
+  const auto always_on = run_bang_bang_policy(model, 0.7, 0.7, 0.0, y0,
+                                              40.0, CostParams{});
+  EXPECT_GT(always_on.cost.running, run.cost.running);
+}
+
+TEST(FeedbackSirSystem, RhsMatchesOpenLoopWithSameControls) {
+  const auto model = small_model();
+  FeedbackPolicy policy;
+  policy.gain = 4.0;
+  const FeedbackSirSystem closed(model, policy);
+  const auto y = model.initial_state(0.1);
+  const double density = model.infected_density(y);
+
+  core::SirNetworkModel open(
+      model.profile(), model.params(),
+      core::make_constant_control(policy.epsilon1(density),
+                                  policy.epsilon2(density)));
+  ode::State d_closed(6), d_open(6);
+  closed.rhs(0.0, y, d_closed);
+  open.rhs(0.0, y, d_open);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(d_closed[i], d_open[i], 1e-15) << "i=" << i;
+  }
+}
+
+TEST(Validation, GuardsAreEnforced) {
+  const auto model = small_model();
+  const auto y0 = model.initial_state(0.1);
+  EXPECT_THROW(run_bang_bang_policy(model, -0.1, 0.1, 0.0, y0, 5.0,
+                                    CostParams{}),
+               util::InvalidArgument);
+  EXPECT_THROW(
+      tune_feedback_gain(model, FeedbackPolicy{}, y0, 5.0, 0.0),
+      util::InvalidArgument);
+  FeedbackPolicy bad;
+  bad.gain = -1.0;
+  EXPECT_THROW(FeedbackSirSystem(model, bad), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rumor::control

@@ -1,0 +1,141 @@
+#include "control/mpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rumor::control {
+namespace {
+
+core::SirNetworkModel small_model() {
+  core::ModelParams params;
+  params.alpha = 0.05;
+  params.lambda = core::Acceptance::linear(1.0);
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  return core::SirNetworkModel(
+      core::NetworkProfile::from_pmf({1.0, 3.0, 8.0}, {0.6, 0.3, 0.1}),
+      params, core::make_constant_control(0.0, 0.0));
+}
+
+MpcOptions fast_options() {
+  MpcOptions options;
+  options.replan_interval = 10.0;
+  options.plant_dt = 0.02;
+  options.sweep.grid_points = 101;
+  options.sweep.substeps = 4;
+  options.sweep.max_iterations = 300;
+  options.sweep.j_tolerance = 1e-6;
+  return options;
+}
+
+TEST(Mpc, CoversTheFullHorizon) {
+  const auto model = small_model();
+  const auto result = run_mpc(model, model.initial_state(0.05), 30.0,
+                              CostParams{}, fast_options());
+  EXPECT_DOUBLE_EQ(result.state.front_time(), 0.0);
+  EXPECT_NEAR(result.state.back_time(), 30.0, 1e-9);
+  EXPECT_EQ(result.replans, 3u);
+  EXPECT_EQ(result.times.size(), result.epsilon1.size());
+}
+
+TEST(Mpc, ControlsStayInTheBox) {
+  const auto model = small_model();
+  auto options = fast_options();
+  options.sweep.epsilon1_max = 0.4;
+  options.sweep.epsilon2_max = 0.6;
+  const auto result = run_mpc(model, model.initial_state(0.05), 20.0,
+                              CostParams{}, options);
+  for (std::size_t k = 0; k < result.times.size(); ++k) {
+    EXPECT_GE(result.epsilon1[k], 0.0);
+    EXPECT_LE(result.epsilon1[k], 0.4 + 1e-12);
+    EXPECT_GE(result.epsilon2[k], 0.0);
+    EXPECT_LE(result.epsilon2[k], 0.6 + 1e-12);
+  }
+}
+
+TEST(Mpc, MatchesOpenLoopWithoutDisturbance) {
+  // Bellman consistency: with a perfect model and no disturbance,
+  // re-planning cannot do (meaningfully) better or worse.
+  const auto model = small_model();
+  const auto y0 = model.initial_state(0.05);
+  const CostParams cost;
+  const auto options = fast_options();
+  const auto closed = run_mpc(model, y0, 30.0, cost, options);
+  const auto open = run_open_loop(model, y0, 30.0, cost, options);
+  EXPECT_NEAR(closed.cost.total(), open.cost.total(),
+              0.08 * open.cost.total());
+}
+
+TEST(Mpc, RecoversFromReinfectionBurstBetterThanOpenLoop) {
+  const auto model = small_model();
+  const auto y0 = model.initial_state(0.05);
+  const CostParams cost;
+  const auto options = fast_options();
+  const std::size_t n = model.num_groups();
+
+  // A burst at each replan boundary: 15% of every group flips S → I.
+  const Disturbance burst = [n](double, std::span<double> y) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double moved = std::min(0.15, y[i]);
+      y[i] -= moved;
+      y[n + i] += moved;
+    }
+  };
+  const auto closed = run_mpc(model, y0, 40.0, cost, options, burst);
+  const auto open = run_open_loop(model, y0, 40.0, cost, options, burst);
+  // MPC sees the bursts and re-treats; the open-loop policy has wound
+  // its controls down and lets the late bursts spread.
+  EXPECT_LT(closed.cost.terminal, open.cost.terminal);
+  EXPECT_LT(closed.cost.total(), open.cost.total());
+}
+
+TEST(Mpc, DisturbanceIsClampedToSimplex) {
+  const auto model = small_model();
+  const std::size_t n = model.num_groups();
+  const Disturbance extreme = [n](double, std::span<double> y) {
+    for (std::size_t i = 0; i < 2 * n; ++i) y[i] = 5.0;  // nonsense
+  };
+  const double tf = 20.0;
+  const auto result = run_mpc(model, model.initial_state(0.05), tf,
+                              CostParams{}, fast_options(), extreme);
+  // The clamp puts the state back on the simplex at each boundary; in
+  // between, the exogenous arrival term α can push S+I above 1 by at
+  // most α·Δt (a property of the paper's model, not of the clamp).
+  const double alpha = model.params().alpha;
+  const double slack = alpha * fast_options().replan_interval + 1e-6;
+  for (std::size_t k = 0; k < result.state.size(); ++k) {
+    const auto y = result.state.state(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GE(y[i], -1e-9);
+      EXPECT_LE(y[i] + y[n + i], 1.0 + slack);
+    }
+  }
+}
+
+TEST(Mpc, ValidatesArguments) {
+  const auto model = small_model();
+  const auto y0 = model.initial_state(0.05);
+  auto options = fast_options();
+  EXPECT_THROW(run_mpc(model, y0, -1.0, CostParams{}, options),
+               util::InvalidArgument);
+  options.replan_interval = 0.0;
+  EXPECT_THROW(run_mpc(model, y0, 10.0, CostParams{}, options),
+               util::InvalidArgument);
+  options = fast_options();
+  options.plant_dt = 0.0;
+  EXPECT_THROW(run_mpc(model, y0, 10.0, CostParams{}, options),
+               util::InvalidArgument);
+}
+
+TEST(OpenLoop, SingleSolveReported) {
+  const auto model = small_model();
+  const auto result = run_open_loop(model, model.initial_state(0.05),
+                                    20.0, CostParams{}, fast_options());
+  EXPECT_EQ(result.replans, 1u);
+  EXPECT_NEAR(result.state.back_time(), 20.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rumor::control

@@ -1,0 +1,113 @@
+#include "control/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace rumor::control {
+namespace {
+
+core::SirNetworkModel make_model() {
+  core::ModelParams params;
+  params.alpha = 0.0;
+  params.lambda = core::Acceptance::linear(1.0);
+  params.omega = core::Infectivity::constant(1.0);
+  return core::SirNetworkModel(
+      core::NetworkProfile::from_pmf({1.0, 2.0}, {0.5, 0.5}), params,
+      core::make_constant_control(0.0, 0.0));
+}
+
+TEST(CostParams, Validation) {
+  CostParams cost;
+  EXPECT_NO_THROW(cost.validate());
+  cost.c1 = 0.0;
+  EXPECT_THROW(cost.validate(), util::InvalidArgument);
+  cost = CostParams{};
+  cost.c2 = -1.0;
+  EXPECT_THROW(cost.validate(), util::InvalidArgument);
+  cost = CostParams{};
+  cost.terminal_weight = -0.5;
+  EXPECT_THROW(cost.validate(), util::InvalidArgument);
+}
+
+TEST(RunningCost, MatchesPaperQuadraticForm) {
+  CostParams cost;
+  cost.c1 = 5.0;
+  cost.c2 = 10.0;
+  // S = (0.5, 0.3), I = (0.2, 0.1), ε1 = 0.4, ε2 = 0.6.
+  const ode::State y{0.5, 0.3, 0.2, 0.1};
+  const double expected =
+      5.0 * 0.16 * (0.25 + 0.09) + 10.0 * 0.36 * (0.04 + 0.01);
+  EXPECT_NEAR(running_cost(cost, y, 2, 0.4, 0.6), expected, 1e-12);
+}
+
+TEST(RunningCost, ZeroControlsCostNothing) {
+  const ode::State y{0.5, 0.3, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(running_cost(CostParams{}, y, 2, 0.0, 0.0), 0.0);
+}
+
+TEST(EvaluateCost, ConstantTrajectoryHasClosedFormIntegral) {
+  const auto model = make_model();
+  // Constant state over [0, 2]: integral = running_cost · 2.
+  ode::Trajectory traj(4);
+  const ode::State y{0.5, 0.3, 0.2, 0.1};
+  traj.push_back(0.0, y);
+  traj.push_back(1.0, y);
+  traj.push_back(2.0, y);
+  CostParams cost;
+  cost.c1 = 5.0;
+  cost.c2 = 10.0;
+  const core::ConstantControl schedule(0.4, 0.6);
+  const auto breakdown = evaluate_cost(model, traj, schedule, cost);
+  EXPECT_NEAR(breakdown.running, 2.0 * running_cost(cost, y, 2, 0.4, 0.6),
+              1e-12);
+  // Terminal: W Σ I_i(tf) = 1 · 0.3.
+  EXPECT_NEAR(breakdown.terminal, 0.3, 1e-12);
+  EXPECT_NEAR(breakdown.total(), breakdown.running + breakdown.terminal,
+              1e-15);
+}
+
+TEST(EvaluateCost, TerminalWeightScalesTerminalTermOnly) {
+  const auto model = make_model();
+  ode::Trajectory traj(4);
+  const ode::State y{0.5, 0.3, 0.2, 0.1};
+  traj.push_back(0.0, y);
+  traj.push_back(1.0, y);
+  const core::ConstantControl schedule(0.1, 0.1);
+  CostParams base;
+  CostParams weighted = base;
+  weighted.terminal_weight = 50.0;
+  const auto a = evaluate_cost(model, traj, schedule, base);
+  const auto b = evaluate_cost(model, traj, schedule, weighted);
+  EXPECT_NEAR(b.terminal, 50.0 * a.terminal, 1e-12);
+  EXPECT_NEAR(b.running, a.running, 1e-15);
+}
+
+TEST(EvaluateCost, TimeVaryingScheduleIsSampledPerKnot) {
+  const auto model = make_model();
+  ode::Trajectory traj(4);
+  const ode::State y{1.0, 1.0, 0.0, 0.0};
+  traj.push_back(0.0, y);
+  traj.push_back(1.0, y);
+  // ε1 ramps 0 → 1, ε2 = 0; running integrand is c1 ε1(t)² ΣS² = 10 ε1².
+  const core::PiecewiseLinearControl schedule({0.0, 1.0}, {0.0, 1.0},
+                                              {0.0, 0.0});
+  CostParams cost;
+  cost.c1 = 5.0;
+  cost.c2 = 10.0;
+  const auto breakdown = evaluate_cost(model, traj, schedule, cost);
+  // Trapezoid on two samples of 10 t²: (0 + 10)/2 = 5 (exact ∫ is 10/3;
+  // the quadrature sees only the endpoints, which is what we assert).
+  EXPECT_NEAR(breakdown.running, 5.0, 1e-12);
+}
+
+TEST(EvaluateCost, RejectsEmptyTrajectory) {
+  const auto model = make_model();
+  ode::Trajectory traj(4);
+  const core::ConstantControl schedule(0.1, 0.1);
+  EXPECT_THROW(evaluate_cost(model, traj, schedule, CostParams{}),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rumor::control

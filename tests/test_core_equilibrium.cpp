@@ -1,0 +1,179 @@
+#include "core/equilibrium.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/threshold.hpp"
+#include "data/digg.hpp"
+#include "util/error.hpp"
+
+namespace rumor::core {
+namespace {
+
+ModelParams paper_params(double alpha, double lambda_scale = 1.0) {
+  ModelParams params;
+  params.alpha = alpha;
+  params.lambda = Acceptance::linear(lambda_scale);
+  params.omega = Infectivity::saturating(0.5, 0.5);
+  return params;
+}
+
+NetworkProfile small_profile() {
+  return NetworkProfile::from_pmf({1.0, 3.0, 8.0}, {0.6, 0.3, 0.1});
+}
+
+TEST(ZeroEquilibrium, MatchesTheoremOneCaseOne) {
+  const auto profile = small_profile();
+  const auto eq = zero_equilibrium(profile, paper_params(0.02), 0.1, 0.05);
+  ASSERT_EQ(eq.state.size(), 6u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(eq.state[i], 0.2);      // S* = α/ε1
+    EXPECT_DOUBLE_EQ(eq.state[3 + i], 0.0);  // I* = 0
+  }
+  EXPECT_DOUBLE_EQ(eq.theta, 0.0);
+  EXPECT_FALSE(eq.positive);
+}
+
+TEST(ZeroEquilibrium, IsStationaryPointOfTheOde) {
+  const auto profile = small_profile();
+  const auto params = paper_params(0.02);
+  const auto eq = zero_equilibrium(profile, params, 0.1, 0.05);
+  EXPECT_LT(equilibrium_residual(profile, params, 0.1, 0.05, eq), 1e-14);
+}
+
+TEST(ZeroEquilibrium, RequiresPositiveEpsilon1) {
+  EXPECT_THROW(zero_equilibrium(small_profile(), paper_params(0.02), 0.0,
+                                0.05),
+               util::InvalidArgument);
+}
+
+TEST(PositiveEquilibrium, AbsentWhenR0BelowOne) {
+  const auto profile = small_profile();
+  const auto params = paper_params(0.001);
+  const double r0 = basic_reproduction_number(profile, params, 0.3, 0.3);
+  ASSERT_LT(r0, 1.0);
+  EXPECT_FALSE(positive_equilibrium(profile, params, 0.3, 0.3).has_value());
+}
+
+TEST(PositiveEquilibrium, ExistsWhenR0AboveOne) {
+  const auto profile = small_profile();
+  const auto params = paper_params(0.05);
+  const double r0 = basic_reproduction_number(profile, params, 0.05, 0.3);
+  ASSERT_GT(r0, 1.0);
+  const auto eq = positive_equilibrium(profile, params, 0.05, 0.3);
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_TRUE(eq->positive);
+  EXPECT_GT(eq->theta, 0.0);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_GT(eq->state[i], 0.0);
+}
+
+TEST(PositiveEquilibrium, IsStationaryPointOfTheOde) {
+  const auto profile = small_profile();
+  const auto params = paper_params(0.05);
+  const auto eq = positive_equilibrium(profile, params, 0.05, 0.3);
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_LT(equilibrium_residual(profile, params, 0.05, 0.3, *eq), 1e-12);
+}
+
+TEST(PositiveEquilibrium, SatisfiesTheoremOneClosedForms) {
+  const auto profile = small_profile();
+  const auto params = paper_params(0.05);
+  const double e1 = 0.05, e2 = 0.3;
+  const auto eq = positive_equilibrium(profile, params, e1, e2);
+  ASSERT_TRUE(eq.has_value());
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double k = profile.degree(i);
+    const double lambda = params.lambda(k);
+    const double expected_i = params.alpha * lambda * eq->theta /
+                              (e2 * (lambda * eq->theta + e1));
+    EXPECT_NEAR(eq->state[3 + i], expected_i, 1e-12);
+    // S+ = ε2 I+ / (λ Θ+).
+    EXPECT_NEAR(eq->state[i], e2 * eq->state[3 + i] / (lambda * eq->theta),
+                1e-12);
+  }
+}
+
+TEST(PositiveEquilibrium, ThetaIsSelfConsistent) {
+  const auto profile = small_profile();
+  const auto params = paper_params(0.05);
+  const auto eq = positive_equilibrium(profile, params, 0.05, 0.3);
+  ASSERT_TRUE(eq.has_value());
+  // Θ+ recomputed from I+ must equal the root the solver returned.
+  double theta = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double k = profile.degree(i);
+    theta += params.omega(k) * profile.probability(i) * eq->state[3 + i];
+  }
+  theta /= profile.mean_degree();
+  EXPECT_NEAR(theta, eq->theta, 1e-12);
+}
+
+TEST(EquilibriumIndicator, NegativeAtZeroIffR0AboveOne) {
+  const auto profile = small_profile();
+  for (double alpha : {0.001, 0.02, 0.05, 0.2}) {
+    const auto params = paper_params(alpha);
+    const double r0 =
+        basic_reproduction_number(profile, params, 0.05, 0.3);
+    const double f0 =
+        equilibrium_indicator(profile, params, 0.05, 0.3, 0.0);
+    EXPECT_NEAR(f0, 1.0 - r0, 1e-12) << "alpha=" << alpha;
+  }
+}
+
+TEST(EquilibriumIndicator, IsIncreasingInTheta) {
+  const auto profile = small_profile();
+  const auto params = paper_params(0.05);
+  double prev =
+      equilibrium_indicator(profile, params, 0.05, 0.3, 0.0);
+  for (double theta = 0.01; theta < 1.0; theta += 0.01) {
+    const double f =
+        equilibrium_indicator(profile, params, 0.05, 0.3, theta);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(DistanceToEquilibrium, ZeroAtTheEquilibriumItself) {
+  const auto profile = small_profile();
+  const auto params = paper_params(0.05);
+  SirNetworkModel model(profile, params, make_constant_control(0.05, 0.3));
+  const auto eq = positive_equilibrium(profile, params, 0.05, 0.3);
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_DOUBLE_EQ(distance_to_equilibrium(model, eq->state, *eq), 0.0);
+}
+
+TEST(DistanceToEquilibrium, IncludesImpliedRecoveredCoordinate) {
+  // ΔS = +0.1 and ΔI = +0.1 individually, but ΔR = −0.2 dominates the
+  // sup norm.
+  const auto profile = NetworkProfile::homogeneous(2.0);
+  const auto params = paper_params(0.05);
+  SirNetworkModel model(profile, params, make_constant_control(0.1, 0.1));
+  Equilibrium eq;
+  eq.state = {0.4, 0.2};
+  const ode::State y{0.5, 0.3};
+  EXPECT_DOUBLE_EQ(distance_to_equilibrium(model, y, eq), 0.2);
+}
+
+TEST(PositiveEquilibrium, DiggSurrogateEndemicSetting) {
+  // The endemic experiment of EXPERIMENTS.md: r0 ≈ 2.166 on the full
+  // 847-group surrogate profile.
+  const auto profile =
+      NetworkProfile::from_histogram(data::digg_surrogate_histogram());
+  const auto params = paper_params(0.05, 0.806981);
+  const double e1 = 0.05, e2 = 1.0 / 3.0;
+  ASSERT_GT(basic_reproduction_number(profile, params, e1, e2), 1.0);
+  const auto eq = positive_equilibrium(profile, params, e1, e2);
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_LT(equilibrium_residual(profile, params, e1, e2, *eq), 1e-12);
+  // Everything stays inside the density simplex.
+  const std::size_t n = profile.num_groups();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_GT(eq->state[i], 0.0);
+    EXPECT_GT(eq->state[n + i], 0.0);
+    EXPECT_LT(eq->state[i] + eq->state[n + i], 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace rumor::core

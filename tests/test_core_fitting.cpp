@@ -1,0 +1,202 @@
+#include "core/fitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/trace.hpp"
+#include "util/error.hpp"
+
+namespace rumor::core {
+namespace {
+
+NetworkProfile small_profile() {
+  return NetworkProfile::from_pmf({1.0, 3.0, 8.0, 20.0},
+                                  {0.55, 0.3, 0.1, 0.05});
+}
+
+ModelParams true_params() {
+  ModelParams params;
+  params.alpha = 0.03;
+  params.lambda = Acceptance::linear(0.8);
+  params.omega = Infectivity::saturating(0.5, 0.5);
+  return params;
+}
+
+CascadeObservations to_observations(const data::ObservedCascade& cascade) {
+  return {cascade.t, cascade.infected_density};
+}
+
+TEST(CascadeRss, ZeroAtTheGeneratingParameters) {
+  const auto profile = small_profile();
+  const auto params = true_params();
+  data::TraceOptions trace;
+  trace.noise = 0.0;
+  trace.t_end = 40.0;
+  const auto cascade =
+      data::generate_cascade(profile, params, 0.05, 0.2, trace);
+  FitSpec spec;
+  spec.simulation_dt = trace.dt;
+  const double rss = cascade_rss(profile, params, 0.05, 0.2,
+                                 to_observations(cascade), spec);
+  EXPECT_LT(rss, 1e-12);
+}
+
+TEST(CascadeRss, GrowsWithParameterError) {
+  const auto profile = small_profile();
+  const auto params = true_params();
+  data::TraceOptions trace;
+  trace.noise = 0.0;
+  const auto cascade =
+      data::generate_cascade(profile, params, 0.05, 0.2, trace);
+  const auto obs = to_observations(cascade);
+  const double at_truth = cascade_rss(profile, params, 0.05, 0.2, obs);
+  const double near = cascade_rss(profile, params, 0.055, 0.2, obs);
+  const double far = cascade_rss(profile, params, 0.15, 0.2, obs);
+  EXPECT_LT(at_truth, near);
+  EXPECT_LT(near, far);
+}
+
+TEST(Fitting, RecoversControlsFromCleanData) {
+  const auto profile = small_profile();
+  const auto params = true_params();
+  data::TraceOptions trace;
+  trace.noise = 0.0;
+  trace.t_end = 50.0;
+  const auto cascade =
+      data::generate_cascade(profile, params, 0.05, 0.2, trace);
+
+  // Start 2x off on both controls; λ held at the truth.
+  FitSpec spec;
+  spec.fit_lambda_scale = false;
+  const auto fit = fit_to_cascade(profile, params, 0.1, 0.1,
+                                  to_observations(cascade), spec);
+  EXPECT_NEAR(fit.epsilon1, 0.05, 0.005);
+  EXPECT_NEAR(fit.epsilon2, 0.2, 0.02);
+  EXPECT_LT(fit.rss, 1e-8);
+}
+
+TEST(Fitting, RecoversAllThreeParametersFromNoisyData) {
+  const auto profile = small_profile();
+  const auto params = true_params();
+  data::TraceOptions trace;
+  trace.noise = 0.02;
+  trace.t_end = 50.0;
+  trace.seed = 7;
+  const auto cascade =
+      data::generate_cascade(profile, params, 0.05, 0.2, trace);
+
+  ModelParams guess = params;
+  guess.lambda = params.lambda.with_scale(1.3);  // ~60% off
+  FitSpec spec;
+  spec.max_evaluations = 3000;
+  const auto fit = fit_to_cascade(profile, guess, 0.08, 0.3,
+                                  to_observations(cascade), spec);
+  EXPECT_NEAR(fit.params.lambda.scale(), 0.8, 0.15);
+  EXPECT_NEAR(fit.epsilon1, 0.05, 0.015);
+  EXPECT_NEAR(fit.epsilon2, 0.2, 0.05);
+  // The fit must beat the (wrong) initial guess by a wide margin.
+  const double guess_rss = cascade_rss(profile, guess, 0.08, 0.3,
+                                       to_observations(cascade), spec);
+  EXPECT_LT(fit.rss, 0.05 * guess_rss);
+}
+
+TEST(Fitting, FittedModelBeatsTruthOnNoisyDataOnlySlightly) {
+  // Sanity against overfitting: with 3 parameters and ~50 points, the
+  // fitted RSS should be at or below the truth's RSS, but the truth
+  // must remain competitive (same order of magnitude).
+  const auto profile = small_profile();
+  const auto params = true_params();
+  data::TraceOptions trace;
+  trace.noise = 0.05;
+  trace.seed = 21;
+  const auto cascade =
+      data::generate_cascade(profile, params, 0.05, 0.2, trace);
+  const auto obs = to_observations(cascade);
+  const auto fit = fit_to_cascade(profile, params, 0.05, 0.2, obs);
+  const double truth_rss = cascade_rss(profile, params, 0.05, 0.2, obs);
+  EXPECT_LE(fit.rss, truth_rss * 1.0001);
+  EXPECT_GT(fit.rss, 0.2 * truth_rss);
+}
+
+TEST(Fitting, ValidatesInputs) {
+  const auto profile = small_profile();
+  const auto params = true_params();
+  CascadeObservations too_short;
+  too_short.t = {0.0, 1.0};
+  too_short.infected_density = {0.1, 0.2};
+  EXPECT_THROW(fit_to_cascade(profile, params, 0.1, 0.1, too_short),
+               util::InvalidArgument);
+
+  CascadeObservations bad_order;
+  bad_order.t = {0.0, 2.0, 1.0};
+  bad_order.infected_density = {0.1, 0.2, 0.3};
+  EXPECT_THROW(fit_to_cascade(profile, params, 0.1, 0.1, bad_order),
+               util::InvalidArgument);
+
+  CascadeObservations ok;
+  ok.t = {0.0, 1.0, 2.0};
+  ok.infected_density = {0.1, 0.2, 0.3};
+  EXPECT_THROW(fit_to_cascade(profile, params, 0.0, 0.1, ok),
+               util::InvalidArgument);
+  FitSpec nothing;
+  nothing.fit_lambda_scale = false;
+  nothing.fit_epsilon1 = false;
+  nothing.fit_epsilon2 = false;
+  EXPECT_THROW(fit_to_cascade(profile, params, 0.1, 0.1, ok, nothing),
+               util::InvalidArgument);
+}
+
+TEST(GenerateCascade, NoiseZeroIsDeterministic) {
+  const auto profile = small_profile();
+  const auto params = true_params();
+  data::TraceOptions trace;
+  trace.noise = 0.0;
+  const auto a = data::generate_cascade(profile, params, 0.05, 0.2, trace);
+  const auto b = data::generate_cascade(profile, params, 0.05, 0.2, trace);
+  ASSERT_EQ(a.t.size(), b.t.size());
+  for (std::size_t i = 0; i < a.t.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.infected_density[i], b.infected_density[i]);
+  }
+}
+
+TEST(GenerateCascade, NoiseIsMultiplicativeAndSeedDependent) {
+  const auto profile = small_profile();
+  const auto params = true_params();
+  data::TraceOptions clean;
+  clean.noise = 0.0;
+  data::TraceOptions noisy = clean;
+  noisy.noise = 0.1;
+  noisy.seed = 3;
+  const auto base = data::generate_cascade(profile, params, 0.05, 0.2,
+                                           clean);
+  const auto with_noise =
+      data::generate_cascade(profile, params, 0.05, 0.2, noisy);
+  double max_rel = 0.0;
+  bool any_diff = false;
+  for (std::size_t i = 0; i < base.t.size(); ++i) {
+    if (base.infected_density[i] <= 0.0) continue;
+    const double rel = std::abs(with_noise.infected_density[i] /
+                                    base.infected_density[i] -
+                                1.0);
+    max_rel = std::max(max_rel, rel);
+    if (rel > 1e-12) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+  EXPECT_LT(max_rel, 0.6);  // 0.1 log-sigma stays well under ±60%
+
+  data::TraceOptions other_seed = noisy;
+  other_seed.seed = 4;
+  const auto different =
+      data::generate_cascade(profile, params, 0.05, 0.2, other_seed);
+  bool seed_matters = false;
+  for (std::size_t i = 0; i < base.t.size(); ++i) {
+    if (with_noise.infected_density[i] != different.infected_density[i]) {
+      seed_matters = true;
+    }
+  }
+  EXPECT_TRUE(seed_matters);
+}
+
+}  // namespace
+}  // namespace rumor::core

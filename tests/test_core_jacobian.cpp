@@ -1,0 +1,168 @@
+#include "core/jacobian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/equilibrium.hpp"
+#include "core/stability.hpp"
+#include "core/threshold.hpp"
+#include "ode/integrate.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace rumor::core {
+namespace {
+
+ModelParams paper_params(double alpha) {
+  ModelParams params;
+  params.alpha = alpha;
+  params.lambda = Acceptance::linear(1.0);
+  params.omega = Infectivity::saturating(0.5, 0.5);
+  return params;
+}
+
+SirNetworkModel make_model(double alpha, double e1, double e2) {
+  return SirNetworkModel(
+      NetworkProfile::from_pmf({1.0, 3.0, 8.0}, {0.6, 0.3, 0.1}),
+      paper_params(alpha), make_constant_control(e1, e2));
+}
+
+TEST(Jacobian, AnalyticMatchesFiniteDifference) {
+  const auto model = make_model(0.03, 0.1, 0.2);
+  const auto y = model.initial_state(0.07);
+  const auto analytic = system_jacobian(model, 0.0, y);
+  const auto numeric = system_jacobian_fd(model, 0.0, y);
+  ASSERT_EQ(analytic.rows(), 6u);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) {
+      EXPECT_NEAR(analytic(r, c), numeric(r, c), 1e-6)
+          << "r=" << r << " c=" << c;
+    }
+  }
+}
+
+TEST(Jacobian, MatchesAtGenericInteriorPoints) {
+  const auto model = make_model(0.05, 0.07, 0.15);
+  util::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    ode::State y(6);
+    for (std::size_t i = 0; i < 3; ++i) {
+      y[i] = rng.uniform(0.1, 0.8);
+      y[3 + i] = rng.uniform(0.01, 0.2);
+    }
+    const auto analytic = system_jacobian(model, 1.0, y);
+    const auto numeric = system_jacobian_fd(model, 1.0, y);
+    for (std::size_t r = 0; r < 6; ++r) {
+      for (std::size_t c = 0; c < 6; ++c) {
+        EXPECT_NEAR(analytic(r, c), numeric(r, c), 1e-6);
+      }
+    }
+  }
+}
+
+TEST(Jacobian, TimeVaryingControlsEnterThroughT) {
+  ModelParams params = paper_params(0.0);
+  SirNetworkModel model(
+      NetworkProfile::homogeneous(2.0), params,
+      std::make_shared<FunctionControl>([](double t) { return t; },
+                                        [](double) { return 0.3; }));
+  const ode::State y{0.5, 0.1};
+  const auto early = system_jacobian(model, 0.0, y);
+  const auto late = system_jacobian(model, 2.0, y);
+  // ∂(dS)/∂S = −(λΘ + ε1); only ε1 = t changed between the two.
+  EXPECT_NEAR(late(0, 0) - early(0, 0), -2.0, 1e-12);
+}
+
+TEST(StabilitySpectrum, ConfirmsTheoremTwoAtE0) {
+  // The closed form says the spectrum at E0 contains {−ε1, −ε2, Γ−ε2}
+  // with Γ−ε2 the decisive eigenvalue. Verify for both signs.
+  const auto profile = NetworkProfile::from_pmf({1.0, 3.0, 8.0},
+                                                {0.6, 0.3, 0.1});
+  for (const double e2 : {0.4, 0.02}) {
+    const auto params = paper_params(0.03);
+    const double e1 = 0.3;
+    SirNetworkModel model(profile, params, make_constant_control(e1, e2));
+    const auto e0 = zero_equilibrium(profile, params, e1, e2);
+    const auto spectrum = stability_spectrum(model, 0.0, e0.state);
+    const double expected = std::max(
+        dominant_eigenvalue_at_zero(profile, params, e1, e2),
+        std::max(-e1, -e2));  // the analytic spectrum {−ε1, −ε2, Γ−ε2}
+    EXPECT_NEAR(spectrum.abscissa, expected, 1e-10) << "e2=" << e2;
+    EXPECT_EQ(spectrum.stable, expected < 0.0);
+    // Every eigenvalue of the closed form appears in the computed set.
+    for (const double analytic :
+         {-e1, -e2, dominant_eigenvalue_at_zero(profile, params, e1, e2)}) {
+      double best = 1e9;
+      for (const auto& ev : spectrum.eigenvalues) {
+        best = std::min(best, std::abs(ev - std::complex<double>(analytic)));
+      }
+      EXPECT_LT(best, 1e-9) << "missing eigenvalue " << analytic;
+    }
+  }
+}
+
+TEST(StabilitySpectrum, NegativeAbscissaAtEPlusWhenEndemic) {
+  // Theorem 4 implies E+ is attracting for r0 > 1; its Jacobian must
+  // have all eigenvalue real parts negative. (The dominant pair is
+  // complex — the approach to E+ is a damped oscillation.)
+  const auto profile = NetworkProfile::from_pmf({1.0, 3.0, 8.0},
+                                                {0.6, 0.3, 0.1});
+  const auto params = paper_params(0.05);
+  const double e1 = 0.05, e2 = 0.3;
+  ASSERT_GT(basic_reproduction_number(profile, params, e1, e2), 1.0);
+  const auto eq = positive_equilibrium(profile, params, e1, e2);
+  ASSERT_TRUE(eq.has_value());
+  SirNetworkModel model(profile, params, make_constant_control(e1, e2));
+  const auto spectrum = stability_spectrum(model, 0.0, eq->state);
+  EXPECT_TRUE(spectrum.stable);
+  EXPECT_LT(spectrum.abscissa, 0.0);
+  bool has_complex = false;
+  for (const auto& ev : spectrum.eigenvalues) {
+    EXPECT_LT(ev.real(), 0.0);
+    if (std::abs(ev.imag()) > 1e-12) has_complex = true;
+  }
+  EXPECT_TRUE(has_complex);
+}
+
+TEST(StabilitySpectrum, UnstableAtE0WhenEndemic) {
+  // When r0 > 1, E0 is a saddle (Theorem 2, unstable case).
+  const auto profile = NetworkProfile::from_pmf({1.0, 3.0, 8.0},
+                                                {0.6, 0.3, 0.1});
+  const auto params = paper_params(0.05);
+  const double e1 = 0.05, e2 = 0.3;
+  ASSERT_GT(basic_reproduction_number(profile, params, e1, e2), 1.0);
+  SirNetworkModel model(profile, params, make_constant_control(e1, e2));
+  const auto e0 = zero_equilibrium(profile, params, e1, e2);
+  const auto spectrum = stability_spectrum(model, 0.0, e0.state);
+  EXPECT_FALSE(spectrum.stable);
+  EXPECT_GT(spectrum.abscissa, 0.0);
+}
+
+TEST(SirJacobianProvider, FeedsImplicitStepper) {
+  // Integrate the SIR system with backward Euler + analytic Jacobian
+  // and compare against fine-step RK4.
+  const auto model = make_model(0.03, 0.2, 0.3);
+  const SirJacobianProvider provider(model);
+  ode::BackwardEulerStepper implicit_stepper(&provider);
+  const auto y0 = model.initial_state(0.05);
+  const auto coarse =
+      ode::integrate_to_end(model, implicit_stepper, y0, 0.0, 10.0, 0.1);
+  ode::Rk4Stepper rk4;
+  const auto reference =
+      ode::integrate_to_end(model, rk4, y0, 0.0, 10.0, 0.001);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(coarse[i], reference[i], 5e-3) << "i=" << i;
+  }
+}
+
+TEST(Jacobian, ValidatesInput) {
+  const auto model = make_model(0.03, 0.1, 0.2);
+  const ode::State wrong(3, 0.1);
+  EXPECT_THROW(system_jacobian(model, 0.0, wrong), util::InvalidArgument);
+  util::Matrix rect(2, 3);
+  EXPECT_THROW(util::eigenvalues(rect), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rumor::core

@@ -1,0 +1,101 @@
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rumor::core {
+namespace {
+
+TEST(Infectivity, ConstantIgnoresDegree) {
+  const auto omega = Infectivity::constant(0.4);
+  EXPECT_DOUBLE_EQ(omega(1.0), 0.4);
+  EXPECT_DOUBLE_EQ(omega(995.0), 0.4);
+}
+
+TEST(Infectivity, LinearScalesWithDegree) {
+  const auto omega = Infectivity::linear(2.0);
+  EXPECT_DOUBLE_EQ(omega(3.0), 6.0);
+}
+
+TEST(Infectivity, SaturatingMatchesPaperFormAtHalfExponents) {
+  // ω(k) = √k / (1 + √k) with β = γ = 0.5 (the paper's experiments).
+  const auto omega = Infectivity::saturating(0.5, 0.5);
+  EXPECT_DOUBLE_EQ(omega(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(omega(4.0), 2.0 / 3.0);
+  EXPECT_NEAR(omega(1e8), 1.0, 1e-3);  // saturates toward 1
+}
+
+TEST(Infectivity, SaturatingIsMonotoneForPaperExponents) {
+  const auto omega = Infectivity::saturating(0.5, 0.5);
+  double prev = 0.0;
+  for (double k = 1.0; k <= 995.0; k += 1.0) {
+    const double w = omega(k);
+    EXPECT_GT(w, prev) << "k=" << k;
+    prev = w;
+  }
+}
+
+TEST(Infectivity, ValidatesParameters) {
+  EXPECT_THROW(Infectivity::constant(0.0), util::InvalidArgument);
+  EXPECT_THROW(Infectivity::linear(-1.0), util::InvalidArgument);
+  EXPECT_THROW(Infectivity::saturating(0.0, 0.5), util::InvalidArgument);
+  EXPECT_THROW(Infectivity::saturating(0.5, -0.5), util::InvalidArgument);
+}
+
+TEST(Infectivity, DescriptionsAreReadable) {
+  EXPECT_EQ(Infectivity::constant(2.0).description(), "2");
+  EXPECT_EQ(Infectivity::linear(1.0).description(), "k");
+  EXPECT_EQ(Infectivity::saturating(0.5, 0.5).description(),
+            "k^0.5/(1+k^0.5)");
+}
+
+TEST(Acceptance, LinearIsThePaperChoice) {
+  const auto lambda = Acceptance::linear();
+  EXPECT_DOUBLE_EQ(lambda(7.0), 7.0);
+  EXPECT_EQ(lambda.description(), "k");
+}
+
+TEST(Acceptance, ConstantIgnoresDegree) {
+  const auto lambda = Acceptance::constant(0.3);
+  EXPECT_DOUBLE_EQ(lambda(1.0), 0.3);
+  EXPECT_DOUBLE_EQ(lambda(100.0), 0.3);
+}
+
+TEST(Acceptance, PowerForm) {
+  const auto lambda = Acceptance::power(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(lambda(4.0), 4.0);
+  EXPECT_DOUBLE_EQ(lambda(9.0), 6.0);
+}
+
+TEST(Acceptance, WithScaleReplacesOnlyTheScale) {
+  const auto lambda = Acceptance::power(2.0, 0.5).with_scale(4.0);
+  EXPECT_DOUBLE_EQ(lambda.scale(), 4.0);
+  EXPECT_DOUBLE_EQ(lambda(9.0), 12.0);  // exponent preserved
+}
+
+TEST(Acceptance, ValidatesParameters) {
+  EXPECT_THROW(Acceptance::constant(0.0), util::InvalidArgument);
+  EXPECT_THROW(Acceptance::linear(-2.0), util::InvalidArgument);
+  EXPECT_THROW(Acceptance::power(1.0, -1.0), util::InvalidArgument);
+  EXPECT_THROW(Acceptance::linear(1.0).with_scale(0.0),
+               util::InvalidArgument);
+}
+
+TEST(ModelParams, DefaultsAreValid) {
+  ModelParams params;
+  EXPECT_NO_THROW(params.validate());
+}
+
+TEST(ModelParams, RejectsNegativeOrNonFiniteAlpha) {
+  ModelParams params;
+  params.alpha = -0.1;
+  EXPECT_THROW(params.validate(), util::InvalidArgument);
+  params.alpha = std::nan("");
+  EXPECT_THROW(params.validate(), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rumor::core

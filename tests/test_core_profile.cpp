@@ -1,0 +1,110 @@
+#include "core/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/digg.hpp"
+#include "util/error.hpp"
+
+namespace rumor::core {
+namespace {
+
+TEST(NetworkProfile, FromPmfNormalizes) {
+  const auto profile = NetworkProfile::from_pmf({1.0, 2.0}, {3.0, 1.0});
+  EXPECT_DOUBLE_EQ(profile.probability(0), 0.75);
+  EXPECT_DOUBLE_EQ(profile.probability(1), 0.25);
+  EXPECT_DOUBLE_EQ(profile.mean_degree(), 1.25);
+}
+
+TEST(NetworkProfile, HomogeneousSingleGroup) {
+  const auto profile = NetworkProfile::homogeneous(24.0);
+  EXPECT_EQ(profile.num_groups(), 1u);
+  EXPECT_DOUBLE_EQ(profile.probability(0), 1.0);
+  EXPECT_DOUBLE_EQ(profile.mean_degree(), 24.0);
+}
+
+TEST(NetworkProfile, ValidatesInputs) {
+  EXPECT_THROW(NetworkProfile::from_pmf({}, {}), util::InvalidArgument);
+  EXPECT_THROW(NetworkProfile::from_pmf({1.0}, {1.0, 2.0}),
+               util::InvalidArgument);
+  EXPECT_THROW(NetworkProfile::from_pmf({2.0, 1.0}, {0.5, 0.5}),
+               util::InvalidArgument);  // not increasing
+  EXPECT_THROW(NetworkProfile::from_pmf({1.0, 1.0}, {0.5, 0.5}),
+               util::InvalidArgument);  // duplicate degree
+  EXPECT_THROW(NetworkProfile::from_pmf({0.0}, {1.0}),
+               util::InvalidArgument);  // non-positive degree
+  EXPECT_THROW(NetworkProfile::from_pmf({1.0}, {0.0}),
+               util::InvalidArgument);  // non-positive probability
+}
+
+TEST(NetworkProfile, FromHistogramMatchesCounts) {
+  const auto hist = graph::DegreeHistogram::from_counts({{1, 3}, {4, 1}});
+  const auto profile = NetworkProfile::from_histogram(hist);
+  ASSERT_EQ(profile.num_groups(), 2u);
+  EXPECT_DOUBLE_EQ(profile.probability(0), 0.75);
+  EXPECT_DOUBLE_EQ(profile.degree(1), 4.0);
+  EXPECT_DOUBLE_EQ(profile.mean_degree(), hist.mean_degree());
+}
+
+TEST(NetworkProfile, FromHistogramDropsIsolatedNodes) {
+  const auto hist =
+      graph::DegreeHistogram::from_counts({{0, 5}, {2, 5}});
+  const auto profile = NetworkProfile::from_histogram(hist);
+  EXPECT_EQ(profile.num_groups(), 1u);
+  EXPECT_DOUBLE_EQ(profile.degree(0), 2.0);
+}
+
+TEST(Coarsen, NoOpWhenAlreadySmall) {
+  const auto profile = NetworkProfile::from_pmf({1.0, 2.0}, {0.5, 0.5});
+  const auto coarse = profile.coarsened(10);
+  EXPECT_EQ(coarse.num_groups(), 2u);
+}
+
+TEST(Coarsen, PreservesMeanDegreeExactly) {
+  const auto full = NetworkProfile::from_histogram(
+      data::digg_surrogate_histogram());
+  for (std::size_t target : {200u, 60u, 20u, 5u, 1u}) {
+    const auto coarse = full.coarsened(target);
+    EXPECT_LE(coarse.num_groups(), std::max<std::size_t>(target, 1));
+    EXPECT_NEAR(coarse.mean_degree(), full.mean_degree(),
+                1e-9 * full.mean_degree())
+        << "target=" << target;
+  }
+}
+
+TEST(Coarsen, ProbabilitiesStillSumToOne) {
+  const auto full = NetworkProfile::from_histogram(
+      data::digg_surrogate_histogram());
+  const auto coarse = full.coarsened(40);
+  double total = 0.0;
+  for (std::size_t i = 0; i < coarse.num_groups(); ++i) {
+    total += coarse.probability(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Coarsen, DegreesRemainStrictlyIncreasing) {
+  const auto full = NetworkProfile::from_histogram(
+      data::digg_surrogate_histogram());
+  const auto coarse = full.coarsened(30);
+  for (std::size_t i = 1; i < coarse.num_groups(); ++i) {
+    EXPECT_GT(coarse.degree(i), coarse.degree(i - 1));
+  }
+}
+
+TEST(Coarsen, SingleBucketIsMeanDegree) {
+  const auto profile =
+      NetworkProfile::from_pmf({1.0, 10.0}, {0.9, 0.1});
+  const auto coarse = profile.coarsened(1);
+  ASSERT_EQ(coarse.num_groups(), 1u);
+  EXPECT_NEAR(coarse.degree(0), 0.9 * 1.0 + 0.1 * 10.0, 1e-12);
+}
+
+TEST(Coarsen, RejectsZeroGroups) {
+  const auto profile = NetworkProfile::homogeneous(5.0);
+  EXPECT_THROW(profile.coarsened(0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rumor::core

@@ -1,0 +1,146 @@
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/threshold.hpp"
+#include "util/error.hpp"
+
+namespace rumor::core {
+namespace {
+
+NetworkProfile small_profile() {
+  return NetworkProfile::from_pmf({1.0, 3.0, 8.0}, {0.6, 0.3, 0.1});
+}
+
+ModelParams base_params(double alpha = 0.03) {
+  ModelParams params;
+  params.alpha = alpha;
+  params.lambda = Acceptance::linear(0.9);
+  params.omega = Infectivity::saturating(0.5, 0.5);
+  return params;
+}
+
+TEST(ThresholdSensitivity, ClosedFormMatchesFiniteDifferences) {
+  // The analytic elasticities of r0 are ±1; verify against central
+  // differences of the actual formula.
+  const auto profile = small_profile();
+  const auto params = base_params();
+  const double e1 = 0.1, e2 = 0.2, h = 1e-5;
+  const auto analytic = threshold_sensitivity();
+
+  auto r0_at = [&](double fa, double f1, double f2, double fl) {
+    ModelParams p = params;
+    p.alpha = params.alpha * fa;
+    p.lambda = params.lambda.with_scale(params.lambda.scale() * fl);
+    return basic_reproduction_number(profile, p, e1 * f1, e2 * f2);
+  };
+  auto elasticity = [&](auto perturb) {
+    const double up = perturb(1.0 + h);
+    const double down = perturb(1.0 - h);
+    return (std::log(up) - std::log(down)) /
+           (std::log(1.0 + h) - std::log(1.0 - h));
+  };
+
+  EXPECT_NEAR(elasticity([&](double f) { return r0_at(f, 1, 1, 1); }),
+              analytic.alpha, 1e-8);
+  EXPECT_NEAR(elasticity([&](double f) { return r0_at(1, f, 1, 1); }),
+              analytic.epsilon1, 1e-8);
+  EXPECT_NEAR(elasticity([&](double f) { return r0_at(1, 1, f, 1); }),
+              analytic.epsilon2, 1e-8);
+  EXPECT_NEAR(elasticity([&](double f) { return r0_at(1, 1, 1, f); }),
+              analytic.lambda_scale, 1e-8);
+}
+
+TEST(TrajectoryElasticity, PeakRespondsPositivelyToVirality) {
+  const auto profile = small_profile();
+  const auto params = base_params(0.05);
+  ElasticityOptions options;
+  options.simulation.t1 = 60.0;
+  options.simulation.dt = 0.02;
+  const double e = trajectory_elasticity(profile, params, 0.05, 0.3, 0.01,
+                                         Knob::kLambdaScale,
+                                         peak_infected_density(), options);
+  EXPECT_GT(e, 0.0);
+}
+
+TEST(TrajectoryElasticity, PeakRespondsNegativelyToBlocking) {
+  const auto profile = small_profile();
+  const auto params = base_params(0.05);
+  ElasticityOptions options;
+  options.simulation.t1 = 60.0;
+  options.simulation.dt = 0.02;
+  const double e = trajectory_elasticity(profile, params, 0.05, 0.3, 0.01,
+                                         Knob::kEpsilon2,
+                                         peak_infected_density(), options);
+  EXPECT_LT(e, 0.0);
+}
+
+TEST(TrajectoryElasticity, ExtinctionTimeLengthensWithVirality) {
+  // Extinct regime: more virality → slower die-out.
+  const auto profile = small_profile();
+  const auto params = base_params(0.01);
+  ElasticityOptions options;
+  options.simulation.t1 = 300.0;
+  options.simulation.dt = 0.02;
+  options.simulation.record_every = 10;
+  const double e = trajectory_elasticity(
+      profile, params, 0.3, 0.4, 0.1, Knob::kLambdaScale,
+      extinction_time(1e-3), options);
+  EXPECT_GT(e, 0.0);
+}
+
+TEST(TrajectoryElasticity, ConvergesAsStepShrinks) {
+  const auto profile = small_profile();
+  const auto params = base_params(0.05);
+  ElasticityOptions coarse;
+  coarse.simulation.t1 = 40.0;
+  coarse.simulation.dt = 0.02;
+  coarse.relative_step = 0.2;
+  ElasticityOptions fine = coarse;
+  fine.relative_step = 0.02;
+  const double e_coarse = trajectory_elasticity(
+      profile, params, 0.05, 0.3, 0.01, Knob::kEpsilon2,
+      peak_infected_density(), coarse);
+  const double e_fine = trajectory_elasticity(
+      profile, params, 0.05, 0.3, 0.01, Knob::kEpsilon2,
+      peak_infected_density(), fine);
+  // Same sign, within ~10% of each other: the estimate is stable.
+  EXPECT_NEAR(e_fine, e_coarse, 0.1 * std::abs(e_fine) + 1e-3);
+}
+
+TEST(ElasticityTable, OneRowPerKnobInOrder) {
+  const auto profile = small_profile();
+  const auto params = base_params(0.05);
+  ElasticityOptions options;
+  options.simulation.t1 = 40.0;
+  options.simulation.dt = 0.02;
+  const auto table = elasticity_table(profile, params, 0.05, 0.3, 0.01,
+                                      peak_infected_density(), options);
+  ASSERT_EQ(table.size(), 4u);
+  EXPECT_EQ(table[0].knob, Knob::kAlpha);
+  EXPECT_EQ(table[3].knob, Knob::kLambdaScale);
+  EXPECT_EQ(to_string(table[1].knob), "eps1");
+}
+
+TEST(TrajectoryElasticity, ValidatesInputs) {
+  const auto profile = small_profile();
+  const auto params = base_params();
+  ElasticityOptions bad;
+  bad.relative_step = 0.0;
+  EXPECT_THROW(trajectory_elasticity(profile, params, 0.1, 0.1, 0.01,
+                                     Knob::kAlpha,
+                                     peak_infected_density(), bad),
+               util::InvalidArgument);
+  // A functional that is zero at the base point is rejected.
+  const TrajectoryFunctional zero =
+      [](const SirNetworkModel&, const SimulationResult&) { return 0.0; };
+  EXPECT_THROW(trajectory_elasticity(profile, params, 0.1, 0.1, 0.01,
+                                     Knob::kAlpha, zero),
+               util::InvalidArgument);
+  EXPECT_THROW(extinction_time(0.0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rumor::core

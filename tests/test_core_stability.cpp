@@ -1,0 +1,234 @@
+#include "core/stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulation.hpp"
+#include "core/threshold.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace rumor::core {
+namespace {
+
+ModelParams paper_params(double alpha) {
+  ModelParams params;
+  params.alpha = alpha;
+  params.lambda = Acceptance::linear(1.0);
+  params.omega = Infectivity::saturating(0.5, 0.5);
+  return params;
+}
+
+NetworkProfile small_profile() {
+  return NetworkProfile::from_pmf({1.0, 3.0, 8.0}, {0.6, 0.3, 0.1});
+}
+
+TEST(GammaFactor, RelatesToR0ByEpsilon2) {
+  // Γ/ε2 = r0 by construction — the paper's two criteria coincide.
+  const auto profile = small_profile();
+  const auto params = paper_params(0.03);
+  const double e1 = 0.07, e2 = 0.2;
+  EXPECT_NEAR(gamma_factor(profile, params, e1) / e2,
+              basic_reproduction_number(profile, params, e1, e2), 1e-12);
+}
+
+TEST(DominantEigenvalue, SignFlipsExactlyAtR0EqualsOne) {
+  const auto profile = small_profile();
+  const auto params = paper_params(0.03);
+  const double e1 = 0.07;
+  // Choose ε2 = Γ so the eigenvalue is exactly zero.
+  const double gamma = gamma_factor(profile, params, e1);
+  EXPECT_NEAR(dominant_eigenvalue_at_zero(profile, params, e1, gamma), 0.0,
+              1e-15);
+  EXPECT_LT(dominant_eigenvalue_at_zero(profile, params, e1, gamma * 1.01),
+            0.0);
+  EXPECT_GT(dominant_eigenvalue_at_zero(profile, params, e1, gamma * 0.99),
+            0.0);
+}
+
+TEST(ZeroStability, VerdictFollowsTheoremTwo) {
+  const auto profile = small_profile();
+  const auto params = paper_params(0.03);
+  const double e1 = 0.07;
+  const double gamma = gamma_factor(profile, params, e1);
+  EXPECT_EQ(zero_equilibrium_stability(profile, params, e1, 2.0 * gamma),
+            StabilityVerdict::kAsymptoticallyStable);
+  EXPECT_EQ(zero_equilibrium_stability(profile, params, e1, 0.5 * gamma),
+            StabilityVerdict::kUnstable);
+  EXPECT_EQ(zero_equilibrium_stability(profile, params, e1, gamma),
+            StabilityVerdict::kMarginal);
+}
+
+TEST(LyapunovV0, ProportionalToTheta) {
+  const auto profile = small_profile();
+  const auto params = paper_params(0.03);
+  SirNetworkModel model(profile, params, make_constant_control(0.1, 0.2));
+  const auto y = model.initial_state(0.05);
+  EXPECT_NEAR(lyapunov_v0(model, y, 0.2), model.theta(y) / 0.2, 1e-15);
+  EXPECT_GE(lyapunov_v0(model, y, 0.2), 0.0);
+}
+
+// Theorem 3's bound: dV0/dt <= Θ (r0 − 1) holds on the invariant region
+// S <= α/ε1. (The transient from S(0) ≈ 1 > α/ε1 is outside the bound's
+// hypothesis, so we check along the trajectory after S has fallen
+// below the equilibrium level.)
+TEST(LyapunovV0, DerivativeRespectsTheoremThreeBoundOnInvariantRegion) {
+  const auto profile = small_profile();
+  const auto params = paper_params(0.03);
+  const double e1 = 0.3, e2 = 0.4;  // r0 ≈ 0.15 — deep extinct regime
+  const double r0 = basic_reproduction_number(profile, params, e1, e2);
+  ASSERT_LT(r0, 1.0);
+  SirNetworkModel model(profile, params, make_constant_control(e1, e2));
+  SimulationOptions options;
+  options.t1 = 60.0;
+  options.dt = 0.01;
+  options.record_every = 50;
+  const auto result = run_simulation(model, model.initial_state(0.1),
+                                     options);
+  const double s_star = params.alpha / e1;
+  for (std::size_t k = 0; k < result.trajectory.size(); ++k) {
+    const auto y = result.trajectory.state(k);
+    bool inside = true;
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (y[i] > s_star + 1e-9) inside = false;
+    }
+    if (!inside) continue;
+    const double dv = lyapunov_v0_derivative(
+        model, result.trajectory.times()[k], y, e2);
+    const double bound = model.theta(y) * (r0 - 1.0) * e2;  // Θ'(t) bound
+    EXPECT_LE(dv * e2, bound + 1e-12);
+  }
+}
+
+TEST(ConvergenceToE0, FromManyRandomInitialConditions) {
+  // The experimental core of Fig. 2(a): Dist0 → 0 from any start when
+  // r0 < 1 (global asymptotic stability, Theorem 3).
+  const auto profile = small_profile();
+  const auto params = paper_params(0.03);
+  const double e1 = 0.3, e2 = 0.4;
+  ASSERT_LT(basic_reproduction_number(profile, params, e1, e2), 1.0);
+  SirNetworkModel model(profile, params, make_constant_control(e1, e2));
+  const auto eq = zero_equilibrium(profile, params, e1, e2);
+
+  util::Xoshiro256 rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> infected0(3);
+    for (auto& i0 : infected0) i0 = rng.uniform(0.01, 0.9);
+    SimulationOptions options;
+    options.t1 = 400.0;
+    options.dt = 0.02;
+    options.record_every = 100;
+    const auto result =
+        run_simulation(model, model.initial_state(infected0), options);
+    const auto dist = distance_series(model, result, eq);
+    EXPECT_LT(dist.back(), 1e-4) << "trial=" << trial;
+    EXPECT_GT(dist.front(), dist.back());
+  }
+}
+
+TEST(ConvergenceToEPlus, FromManyRandomInitialConditions) {
+  // Fig. 3(a): Dist+ → 0 from any start when r0 > 1 (Theorem 4).
+  const auto profile = small_profile();
+  const auto params = paper_params(0.05);
+  const double e1 = 0.05, e2 = 0.3;
+  ASSERT_GT(basic_reproduction_number(profile, params, e1, e2), 1.0);
+  SirNetworkModel model(profile, params, make_constant_control(e1, e2));
+  const auto eq = positive_equilibrium(profile, params, e1, e2);
+  ASSERT_TRUE(eq.has_value());
+
+  util::Xoshiro256 rng(321);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> infected0(3);
+    for (auto& i0 : infected0) i0 = rng.uniform(0.01, 0.9);
+    SimulationOptions options;
+    options.t1 = 600.0;
+    options.dt = 0.02;
+    options.record_every = 100;
+    const auto result =
+        run_simulation(model, model.initial_state(infected0), options);
+    const auto dist = distance_series(model, result, *eq);
+    EXPECT_LT(dist.back(), 1e-4) << "trial=" << trial;
+  }
+}
+
+TEST(LyapunovVPlus, ZeroExactlyAtEquilibriumAndPositiveElsewhere) {
+  const auto profile = small_profile();
+  const auto params = paper_params(0.05);
+  const double e1 = 0.05, e2 = 0.3;
+  SirNetworkModel model(profile, params, make_constant_control(e1, e2));
+  const auto eq = positive_equilibrium(profile, params, e1, e2);
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_NEAR(lyapunov_vplus(model, eq->state, *eq), 0.0, 1e-14);
+
+  util::Xoshiro256 rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    ode::State y(6);
+    for (std::size_t i = 0; i < 3; ++i) {
+      y[i] = rng.uniform(0.05, 0.8);
+      y[3 + i] = rng.uniform(0.01, 0.95 - y[i]);
+    }
+    EXPECT_GT(lyapunov_vplus(model, y, *eq), 0.0);
+  }
+}
+
+TEST(LyapunovVPlus, DerivativeNonPositiveAlongTrajectories) {
+  // Theorem 4: V+' <= 0 along solutions in the endemic regime.
+  const auto profile = small_profile();
+  const auto params = paper_params(0.05);
+  const double e1 = 0.05, e2 = 0.3;
+  SirNetworkModel model(profile, params, make_constant_control(e1, e2));
+  const auto eq = positive_equilibrium(profile, params, e1, e2);
+  ASSERT_TRUE(eq.has_value());
+
+  SimulationOptions options;
+  options.t1 = 200.0;
+  options.dt = 0.01;
+  options.record_every = 100;
+  const auto result =
+      run_simulation(model, model.initial_state(0.2), options);
+  for (std::size_t k = 0; k < result.trajectory.size(); ++k) {
+    const double dv = lyapunov_vplus_derivative(
+        model, result.trajectory.times()[k], result.trajectory.state(k),
+        *eq);
+    EXPECT_LE(dv, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(LyapunovVPlus, DecreasesMonotonicallyAlongAFlow) {
+  const auto profile = small_profile();
+  const auto params = paper_params(0.05);
+  const double e1 = 0.05, e2 = 0.3;
+  SirNetworkModel model(profile, params, make_constant_control(e1, e2));
+  const auto eq = positive_equilibrium(profile, params, e1, e2);
+  ASSERT_TRUE(eq.has_value());
+  SimulationOptions options;
+  options.t1 = 100.0;
+  options.dt = 0.01;
+  options.record_every = 20;
+  const auto result =
+      run_simulation(model, model.initial_state(0.3), options);
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < result.trajectory.size(); ++k) {
+    const double v =
+        lyapunov_vplus(model, result.trajectory.state(k), *eq);
+    EXPECT_LE(v, prev + 1e-12);
+    prev = v;
+  }
+}
+
+TEST(LyapunovGuards, RejectMisuse) {
+  const auto profile = small_profile();
+  const auto params = paper_params(0.05);
+  SirNetworkModel model(profile, params, make_constant_control(0.05, 0.3));
+  const auto y = model.initial_state(0.1);
+  EXPECT_THROW(lyapunov_v0(model, y, 0.0), util::InvalidArgument);
+  Equilibrium not_positive;
+  not_positive.state.assign(6, 0.1);
+  not_positive.positive = false;
+  EXPECT_THROW(lyapunov_vplus(model, y, not_positive),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rumor::core

@@ -1,0 +1,116 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rumor::graph {
+namespace {
+
+Graph triangle() {
+  GraphBuilder builder(3, /*directed=*/false);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 0);
+  return std::move(builder).build();
+}
+
+TEST(GraphBuilder, UndirectedTriangleCounts) {
+  const auto g = triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_arcs(), 6u);
+  EXPECT_FALSE(g.directed());
+}
+
+TEST(GraphBuilder, UndirectedNeighborsAreSymmetric) {
+  const auto g = triangle();
+  for (NodeId v = 0; v < 3; ++v) {
+    for (const NodeId w : g.neighbors(v)) {
+      const auto back = g.neighbors(w);
+      EXPECT_NE(std::find(back.begin(), back.end(), v), back.end());
+    }
+  }
+}
+
+TEST(GraphBuilder, NeighborListsAreSorted) {
+  GraphBuilder builder(4, false);
+  builder.add_edge(0, 3);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 2);
+  const auto g = std::move(builder).build();
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(GraphBuilder, DirectedEdgesAreOneWay) {
+  GraphBuilder builder(2, /*directed=*/true);
+  builder.add_edge(0, 1);
+  const auto g = std::move(builder).build();
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.directed());
+}
+
+TEST(GraphBuilder, DirectedDegreeIsInPlusOut) {
+  GraphBuilder builder(3, true);
+  builder.add_edge(0, 1);
+  builder.add_edge(2, 1);
+  builder.add_edge(1, 0);
+  const auto g = std::move(builder).build();
+  EXPECT_EQ(g.degree(1), 3u);  // in 2 + out 1
+  EXPECT_EQ(g.degree(0), 2u);  // in 1 + out 1
+  EXPECT_EQ(g.degree(2), 1u);
+}
+
+TEST(GraphBuilder, DeduplicateCollapsesParallelEdges) {
+  GraphBuilder builder(2, false);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 0);
+  const auto g = std::move(builder).build(/*deduplicate=*/true);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GraphBuilder, WithoutDeduplicateKeepsMultiplicity) {
+  GraphBuilder builder(2, false);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 1);
+  const auto g = std::move(builder).build();
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(GraphBuilder, RejectsSelfLoopsAndBadIds) {
+  GraphBuilder builder(2, false);
+  EXPECT_THROW(builder.add_edge(0, 0), util::InvalidArgument);
+  EXPECT_THROW(builder.add_edge(0, 2), util::InvalidArgument);
+  EXPECT_THROW(GraphBuilder(0, false), util::InvalidArgument);
+}
+
+TEST(Graph, AverageAndMaxDegree) {
+  // Star on 4 nodes: center degree 3, leaves degree 1.
+  GraphBuilder builder(4, false);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 2);
+  builder.add_edge(0, 3);
+  const auto g = std::move(builder).build();
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 6.0 / 4.0);
+}
+
+TEST(Graph, IsolatedNodesHaveEmptyNeighborhoods) {
+  GraphBuilder builder(3, false);
+  builder.add_edge(0, 1);
+  const auto g = std::move(builder).build();
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_TRUE(g.neighbors(2).empty());
+}
+
+}  // namespace
+}  // namespace rumor::graph

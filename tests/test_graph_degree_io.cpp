@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/degree.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "util/error.hpp"
+
+namespace rumor::graph {
+namespace {
+
+Graph star_graph(std::size_t leaves) {
+  GraphBuilder builder(leaves + 1, false);
+  for (NodeId v = 1; v <= leaves; ++v) builder.add_edge(0, v);
+  return std::move(builder).build();
+}
+
+TEST(DegreeHistogram, FromGraphCountsCorrectly) {
+  const auto hist = DegreeHistogram::from_graph(star_graph(5));
+  ASSERT_EQ(hist.num_groups(), 2u);
+  EXPECT_EQ(hist.degrees()[0], 1u);
+  EXPECT_EQ(hist.counts()[0], 5u);
+  EXPECT_EQ(hist.degrees()[1], 5u);
+  EXPECT_EQ(hist.counts()[1], 1u);
+  EXPECT_EQ(hist.num_nodes(), 6u);
+}
+
+TEST(DegreeHistogram, PmfSumsToOne) {
+  const auto hist = DegreeHistogram::from_graph(star_graph(7));
+  double total = 0.0;
+  for (const double p : hist.pmf()) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(DegreeHistogram, MeanMatchesGraphAverage) {
+  util::Xoshiro256 rng(1);
+  const auto g = barabasi_albert(300, 2, rng);
+  const auto hist = DegreeHistogram::from_graph(g);
+  EXPECT_NEAR(hist.mean_degree(), g.average_degree(), 1e-12);
+}
+
+TEST(DegreeHistogram, RawMomentsAreConsistent) {
+  const auto hist = DegreeHistogram::from_counts({{2, 3}, {4, 1}});
+  // E[k] = (3·2 + 1·4)/4 = 2.5; E[k²] = (3·4 + 16)/4 = 7.
+  EXPECT_DOUBLE_EQ(hist.mean_degree(), 2.5);
+  EXPECT_DOUBLE_EQ(hist.raw_moment(2), 7.0);
+  EXPECT_THROW(hist.raw_moment(0), util::InvalidArgument);
+}
+
+TEST(DegreeHistogram, FromCountsSortsBuckets) {
+  const auto hist = DegreeHistogram::from_counts({{5, 1}, {1, 2}, {3, 4}});
+  EXPECT_EQ(hist.degrees(), (std::vector<std::size_t>{1, 3, 5}));
+  EXPECT_EQ(hist.counts(), (std::vector<std::size_t>{2, 4, 1}));
+  EXPECT_EQ(hist.min_degree(), 1u);
+  EXPECT_EQ(hist.max_degree(), 5u);
+}
+
+TEST(DegreeHistogram, RejectsInvalidBuckets) {
+  EXPECT_THROW(DegreeHistogram::from_counts({}), util::InvalidArgument);
+  EXPECT_THROW(DegreeHistogram::from_counts({{1, 0}}),
+               util::InvalidArgument);
+  EXPECT_THROW(DegreeHistogram::from_counts({{1, 2}, {1, 3}}),
+               util::InvalidArgument);
+}
+
+TEST(EdgeListIo, RoundTripsUndirectedGraph) {
+  util::Xoshiro256 rng(2);
+  const auto g = barabasi_albert(60, 2, rng);
+  std::ostringstream out;
+  write_edge_list(g, out);
+  std::istringstream in(out.str());
+  const auto g2 = read_edge_list(in, /*directed=*/false);
+  ASSERT_EQ(g2.num_nodes(), g.num_nodes());
+  ASSERT_EQ(g2.num_edges(), g.num_edges());
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    const auto a = g.neighbors(static_cast<NodeId>(v));
+    const auto b = g2.neighbors(static_cast<NodeId>(v));
+    ASSERT_EQ(a.size(), b.size()) << "v=" << v;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST(EdgeListIo, CompactsSparseNodeIds) {
+  std::istringstream in("# comment\n10 20\n20 30\n");
+  const auto g = read_edge_list(in, /*directed=*/true);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  // Ids compacted in ascending original order: 10→0, 20→1, 30→2.
+  EXPECT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+}
+
+TEST(EdgeListIo, SkipsCommentsAndDropsSelfLoops) {
+  std::istringstream in("% header\n0 1\n1 1\n\n1 2\n");
+  const auto g = read_edge_list(in, false);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(EdgeListIo, MalformedLineThrows) {
+  std::istringstream in("0 not-a-number\n");
+  EXPECT_THROW(read_edge_list(in, false), util::IoError);
+}
+
+TEST(EdgeListIo, EmptyInputThrows) {
+  std::istringstream in("# only comments\n");
+  EXPECT_THROW(read_edge_list(in, false), util::InvalidArgument);
+}
+
+TEST(EdgeListIo, DirectedRoundTripPreservesOrientation) {
+  GraphBuilder builder(3, true);
+  builder.add_edge(0, 1);
+  builder.add_edge(2, 0);
+  const auto g = std::move(builder).build();
+  std::ostringstream out;
+  write_edge_list(g, out);
+  std::istringstream in(out.str());
+  const auto g2 = read_edge_list(in, true);
+  EXPECT_EQ(g2.out_degree(0), 1u);
+  EXPECT_EQ(g2.in_degree(0), 1u);
+  EXPECT_EQ(g2.out_degree(2), 1u);
+}
+
+}  // namespace
+}  // namespace rumor::graph

@@ -1,0 +1,165 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/degree.hpp"
+#include "graph/metrics.hpp"
+#include "util/error.hpp"
+
+namespace rumor::graph {
+namespace {
+
+TEST(ErdosRenyi, EdgeCountMatchesExpectation) {
+  util::Xoshiro256 rng(1);
+  const std::size_t n = 2000;
+  const double p = 0.005;
+  const auto g = erdos_renyi(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              4.0 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyi, ZeroProbabilityGivesEmptyGraph) {
+  util::Xoshiro256 rng(2);
+  const auto g = erdos_renyi(100, 0.0, rng);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(ErdosRenyi, ProbabilityOneGivesCompleteGraph) {
+  util::Xoshiro256 rng(3);
+  const auto g = erdos_renyi(20, 1.0, rng);
+  EXPECT_EQ(g.num_edges(), 20u * 19u / 2u);
+}
+
+TEST(ErdosRenyi, ValidatesProbability) {
+  util::Xoshiro256 rng(4);
+  EXPECT_THROW(erdos_renyi(10, -0.1, rng), util::InvalidArgument);
+  EXPECT_THROW(erdos_renyi(10, 1.1, rng), util::InvalidArgument);
+}
+
+TEST(BarabasiAlbert, EveryNewNodeGetsMEdges) {
+  util::Xoshiro256 rng(5);
+  const std::size_t m = 3;
+  const auto g = barabasi_albert(500, m, rng);
+  // Minimum degree is m (new nodes attach with m edges).
+  const auto hist = DegreeHistogram::from_graph(g);
+  EXPECT_GE(hist.min_degree(), m);
+  // Edge count: seed clique + m per added node.
+  const std::size_t seed = m + 1;
+  EXPECT_EQ(g.num_edges(), seed * (seed - 1) / 2 + (500 - seed) * m);
+}
+
+TEST(BarabasiAlbert, ProducesHeavyTail) {
+  util::Xoshiro256 rng(6);
+  const auto g = barabasi_albert(3000, 2, rng);
+  // A hub far above the mean must exist (BA degree exponent ~3).
+  EXPECT_GT(g.max_degree(), 10 * static_cast<std::size_t>(
+                                     g.average_degree()));
+}
+
+TEST(BarabasiAlbert, IsConnected) {
+  util::Xoshiro256 rng(7);
+  const auto g = barabasi_albert(400, 2, rng);
+  EXPECT_EQ(largest_component_size(g), 400u);
+}
+
+TEST(BarabasiAlbert, ValidatesArguments) {
+  util::Xoshiro256 rng(8);
+  EXPECT_THROW(barabasi_albert(5, 0, rng), util::InvalidArgument);
+  EXPECT_THROW(barabasi_albert(3, 3, rng), util::InvalidArgument);
+}
+
+TEST(PowerlawSequence, RespectsDegreeBounds) {
+  util::Xoshiro256 rng(9);
+  const auto degrees = powerlaw_degree_sequence(5000, 2.5, 2, 70, rng);
+  ASSERT_EQ(degrees.size(), 5000u);
+  for (const auto d : degrees) {
+    EXPECT_GE(d, 2u);
+    EXPECT_LE(d, 70u);
+  }
+}
+
+TEST(PowerlawSequence, SumIsEven) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    util::Xoshiro256 rng(seed);
+    const auto degrees = powerlaw_degree_sequence(999, 2.0, 1, 50, rng);
+    const auto sum =
+        std::accumulate(degrees.begin(), degrees.end(), std::size_t{0});
+    EXPECT_EQ(sum % 2, 0u) << "seed=" << seed;
+  }
+}
+
+TEST(PowerlawSequence, LowDegreesDominate) {
+  util::Xoshiro256 rng(10);
+  const auto degrees = powerlaw_degree_sequence(20000, 2.5, 1, 100, rng);
+  std::size_t low = 0;
+  for (const auto d : degrees) {
+    if (d <= 2) ++low;
+  }
+  // For exponent 2.5 on [1,100], P(1) + P(2) ≈ 0.88.
+  EXPECT_GT(static_cast<double>(low) / 20000.0, 0.8);
+}
+
+TEST(PowerlawSequence, ValidatesArguments) {
+  util::Xoshiro256 rng(11);
+  EXPECT_THROW(powerlaw_degree_sequence(10, 0.9, 1, 5, rng),
+               util::InvalidArgument);
+  EXPECT_THROW(powerlaw_degree_sequence(10, 2.0, 0, 5, rng),
+               util::InvalidArgument);
+  EXPECT_THROW(powerlaw_degree_sequence(10, 2.0, 6, 5, rng),
+               util::InvalidArgument);
+}
+
+TEST(ConfigurationModel, RealizesRegularSequenceExactly) {
+  util::Xoshiro256 rng(12);
+  // 3-regular graph on 100 nodes: erased variant loses few edges, and
+  // no node can exceed its stub count.
+  const std::vector<std::size_t> degrees(100, 3);
+  const auto g = configuration_model(degrees, rng);
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(g.degree(static_cast<NodeId>(v)), 3u);
+  }
+  EXPECT_GT(g.num_edges(), 135u);  // at most a few erased of 150
+}
+
+TEST(ConfigurationModel, MeanDegreeApproximatelyPreserved) {
+  util::Xoshiro256 rng(13);
+  const auto degrees = powerlaw_degree_sequence(10000, 2.2, 1, 150, rng);
+  const double target_mean =
+      static_cast<double>(std::accumulate(degrees.begin(), degrees.end(),
+                                          std::size_t{0})) /
+      static_cast<double>(degrees.size());
+  const auto g = configuration_model(degrees, rng);
+  EXPECT_NEAR(g.average_degree(), target_mean, 0.15 * target_mean);
+}
+
+TEST(ConfigurationModel, RejectsOddStubSum) {
+  util::Xoshiro256 rng(14);
+  EXPECT_THROW(configuration_model({1, 1, 1}, rng), util::InvalidArgument);
+}
+
+TEST(ConfigurationModel, RejectsDegreeAboveNodeCount) {
+  util::Xoshiro256 rng(15);
+  // Degree 4 is impossible on 4 nodes without self-loops/multi-edges.
+  EXPECT_THROW(configuration_model({4, 2, 1, 1}, rng),
+               util::InvalidArgument);
+}
+
+TEST(Generators, DeterministicUnderSameSeed) {
+  util::Xoshiro256 rng_a(77), rng_b(77);
+  const auto a = barabasi_albert(200, 2, rng_a);
+  const auto b = barabasi_albert(200, 2, rng_b);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t v = 0; v < a.num_nodes(); ++v) {
+    const auto na = a.neighbors(static_cast<NodeId>(v));
+    const auto nb = b.neighbors(static_cast<NodeId>(v));
+    ASSERT_EQ(na.size(), nb.size());
+    EXPECT_TRUE(std::equal(na.begin(), na.end(), nb.begin()));
+  }
+}
+
+}  // namespace
+}  // namespace rumor::graph

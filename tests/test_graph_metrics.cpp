@@ -1,0 +1,188 @@
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace rumor::graph {
+namespace {
+
+Graph path_graph(std::size_t n) {
+  GraphBuilder builder(n, false);
+  for (NodeId v = 0; v + 1 < n; ++v) builder.add_edge(v, v + 1);
+  return std::move(builder).build();
+}
+
+Graph star_graph(std::size_t leaves) {
+  GraphBuilder builder(leaves + 1, false);
+  for (NodeId v = 1; v <= leaves; ++v) builder.add_edge(0, v);
+  return std::move(builder).build();
+}
+
+Graph complete_graph(std::size_t n) {
+  GraphBuilder builder(n, false);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w = 0; w < v; ++w) builder.add_edge(v, w);
+  }
+  return std::move(builder).build();
+}
+
+TEST(CoreNumbers, PathIsOneCore) {
+  const auto core = core_numbers(path_graph(6));
+  for (const auto c : core) EXPECT_EQ(c, 1u);
+}
+
+TEST(CoreNumbers, CompleteGraphIsNMinusOneCore) {
+  const auto core = core_numbers(complete_graph(5));
+  for (const auto c : core) EXPECT_EQ(c, 4u);
+}
+
+TEST(CoreNumbers, CliqueWithPendantTail) {
+  // Triangle {0,1,2} plus tail 2-3-4: clique nodes are 2-core, tail 1-core.
+  GraphBuilder builder(5, false);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 0);
+  builder.add_edge(2, 3);
+  builder.add_edge(3, 4);
+  const auto core = core_numbers(std::move(builder).build());
+  EXPECT_EQ(core[0], 2u);
+  EXPECT_EQ(core[1], 2u);
+  EXPECT_EQ(core[2], 2u);
+  EXPECT_EQ(core[3], 1u);
+  EXPECT_EQ(core[4], 1u);
+}
+
+TEST(CoreNumbers, IsolatedNodeIsZeroCore) {
+  GraphBuilder builder(3, false);
+  builder.add_edge(0, 1);
+  const auto core = core_numbers(std::move(builder).build());
+  EXPECT_EQ(core[2], 0u);
+}
+
+TEST(BetweennessExact, PathInteriorCarriesAllPairs) {
+  // Path 0-1-2: only node 1 lies between any pair; exactly pair (0,2).
+  const auto bc = betweenness_exact(path_graph(3));
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[1], 1.0);
+  EXPECT_DOUBLE_EQ(bc[2], 0.0);
+}
+
+TEST(BetweennessExact, StarCenterCarriesAllLeafPairs) {
+  // Star with 4 leaves: the center lies on all C(4,2) = 6 leaf pairs.
+  const auto bc = betweenness_exact(star_graph(4));
+  EXPECT_DOUBLE_EQ(bc[0], 6.0);
+  for (std::size_t v = 1; v <= 4; ++v) EXPECT_DOUBLE_EQ(bc[v], 0.0);
+}
+
+TEST(BetweennessExact, CompleteGraphIsZeroEverywhere) {
+  const auto bc = betweenness_exact(complete_graph(5));
+  for (const double c : bc) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(BetweennessExact, SplitShortestPathsShareCredit) {
+  // 4-cycle: each pair of opposite nodes has two shortest paths, each
+  // through one of the two intermediate nodes → 0.5 credit each.
+  GraphBuilder builder(4, false);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 3);
+  builder.add_edge(3, 0);
+  const auto bc = betweenness_exact(std::move(builder).build());
+  for (const double c : bc) EXPECT_DOUBLE_EQ(c, 0.5);
+}
+
+TEST(BetweennessSampled, FullPivotSampleMatchesExact) {
+  util::Xoshiro256 rng(31);
+  const auto g = path_graph(12);
+  const auto exact = betweenness_exact(g);
+  // Sampling every node as pivot makes the estimate exact.
+  const auto sampled = betweenness_sampled(g, 12, rng);
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(sampled[v], exact[v], 1e-9) << "v=" << v;
+  }
+}
+
+TEST(BetweennessSampled, RanksHubAboveLeaves) {
+  util::Xoshiro256 rng(33);
+  const auto g = star_graph(30);
+  const auto sampled = betweenness_sampled(g, 8, rng);
+  const auto order = top_nodes_by_score(sampled);
+  EXPECT_EQ(order.front(), 0u);
+}
+
+TEST(ConnectedComponents, CountsAndLabels) {
+  GraphBuilder builder(5, false);
+  builder.add_edge(0, 1);
+  builder.add_edge(2, 3);
+  std::size_t count = 0;
+  const auto comp = connected_components(std::move(builder).build(), &count);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[0]);
+}
+
+TEST(ConnectedComponents, DirectedGraphUsesWeakConnectivity) {
+  GraphBuilder builder(3, true);
+  builder.add_edge(0, 1);
+  builder.add_edge(2, 1);
+  std::size_t count = 0;
+  connected_components(std::move(builder).build(), &count);
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(LargestComponent, PicksBiggest) {
+  GraphBuilder builder(7, false);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(3, 4);
+  const auto g = std::move(builder).build();
+  EXPECT_EQ(largest_component_size(g), 3u);
+}
+
+TEST(Clustering, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(complete_graph(6)), 1.0);
+}
+
+TEST(Clustering, TreeIsZero) {
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(star_graph(8)), 0.0);
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(path_graph(8)), 0.0);
+}
+
+TEST(Clustering, TriangleWithPendant) {
+  // Triangle {0,1,2} + pendant 3 on node 0: 1 triangle, 5 wedges.
+  GraphBuilder builder(4, false);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 0);
+  builder.add_edge(0, 3);
+  const auto g = std::move(builder).build();
+  EXPECT_NEAR(global_clustering_coefficient(g), 3.0 / 5.0, 1e-12);
+}
+
+TEST(TopNodesByScore, SortsDescendingWithStableTies) {
+  const std::vector<double> score{1.0, 3.0, 3.0, 0.5};
+  const auto order = top_nodes_by_score(score);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1u);  // tie broken by id
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+  EXPECT_EQ(order[3], 3u);
+}
+
+TEST(Metrics, WorkOnGeneratedScaleFreeGraph) {
+  util::Xoshiro256 rng(35);
+  const auto g = barabasi_albert(300, 2, rng);
+  const auto core = core_numbers(g);
+  EXPECT_EQ(core.size(), 300u);
+  // BA with m = 2: every node participates in a 2-core.
+  EXPECT_GE(*std::min_element(core.begin(), core.end()), 2u);
+}
+
+}  // namespace
+}  // namespace rumor::graph

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/degree.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "util/error.hpp"
+
+namespace rumor::graph {
+namespace {
+
+TEST(WattsStrogatz, ZeroRewireIsRegularRing) {
+  util::Xoshiro256 rng(1);
+  const auto g = watts_strogatz(50, 3, 0.0, rng);
+  EXPECT_EQ(g.num_edges(), 50u * 3u);
+  for (std::size_t v = 0; v < 50; ++v) {
+    EXPECT_EQ(g.degree(static_cast<NodeId>(v)), 6u);
+  }
+  // Ring neighbors present.
+  const auto nbrs = g.neighbors(0);
+  EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), 1u), nbrs.end());
+  EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), 49u), nbrs.end());
+}
+
+TEST(WattsStrogatz, LatticeIsHighlyClustered) {
+  util::Xoshiro256 rng(2);
+  const auto lattice = watts_strogatz(200, 3, 0.0, rng);
+  // k = 6 ring lattice: C = 3(k-2)/(4(k-1)) = 0.6.
+  EXPECT_NEAR(global_clustering_coefficient(lattice), 0.6, 1e-9);
+}
+
+TEST(WattsStrogatz, RewiringDestroysClustering) {
+  util::Xoshiro256 rng(3);
+  const auto lattice = watts_strogatz(400, 3, 0.0, rng);
+  const auto small_world = watts_strogatz(400, 3, 0.1, rng);
+  const auto random_like = watts_strogatz(400, 3, 1.0, rng);
+  const double c0 = global_clustering_coefficient(lattice);
+  const double c1 = global_clustering_coefficient(small_world);
+  const double c2 = global_clustering_coefficient(random_like);
+  EXPECT_GT(c0, c1);
+  EXPECT_GT(c1, c2);
+  EXPECT_LT(c2, 0.1);
+}
+
+TEST(WattsStrogatz, EdgeCountPreservedByRewiring) {
+  util::Xoshiro256 rng(4);
+  for (double rewire : {0.0, 0.3, 1.0}) {
+    const auto g = watts_strogatz(120, 2, rewire, rng);
+    EXPECT_EQ(g.num_edges(), 240u) << "rewire=" << rewire;
+  }
+}
+
+TEST(WattsStrogatz, MeanDegreePreserved) {
+  util::Xoshiro256 rng(5);
+  const auto g = watts_strogatz(500, 4, 0.5, rng);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 8.0);
+}
+
+TEST(WattsStrogatz, StaysSimple) {
+  util::Xoshiro256 rng(6);
+  const auto g = watts_strogatz(100, 3, 0.8, rng);
+  for (std::size_t v = 0; v < 100; ++v) {
+    const auto nbrs = g.neighbors(static_cast<NodeId>(v));
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_NE(nbrs[i], static_cast<NodeId>(v));  // no self-loop
+      if (i > 0) {
+        EXPECT_NE(nbrs[i], nbrs[i - 1]);  // sorted + unique
+      }
+    }
+  }
+}
+
+TEST(WattsStrogatz, ValidatesArguments) {
+  util::Xoshiro256 rng(7);
+  EXPECT_THROW(watts_strogatz(10, 0, 0.1, rng), util::InvalidArgument);
+  EXPECT_THROW(watts_strogatz(6, 3, 0.1, rng), util::InvalidArgument);
+  EXPECT_THROW(watts_strogatz(10, 2, -0.1, rng), util::InvalidArgument);
+  EXPECT_THROW(watts_strogatz(10, 2, 1.1, rng), util::InvalidArgument);
+}
+
+TEST(Assortativity, RegularGraphIsZeroByConvention) {
+  util::Xoshiro256 rng(8);
+  const auto ring = watts_strogatz(100, 2, 0.0, rng);
+  EXPECT_DOUBLE_EQ(degree_assortativity(ring), 0.0);
+}
+
+TEST(Assortativity, StarIsMaximallyDisassortative) {
+  GraphBuilder builder(6, false);
+  for (NodeId v = 1; v < 6; ++v) builder.add_edge(0, v);
+  const auto star = std::move(builder).build();
+  EXPECT_NEAR(degree_assortativity(star), -1.0, 1e-12);
+}
+
+TEST(Assortativity, TwoTriangleBridgeIsNegative) {
+  // Two triangles joined by one edge: bridge endpoints have degree 3,
+  // others 2 — high-degree nodes attach to low-degree ones.
+  GraphBuilder builder(6, false);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 0);
+  builder.add_edge(3, 4);
+  builder.add_edge(4, 5);
+  builder.add_edge(5, 3);
+  builder.add_edge(0, 3);
+  const auto g = std::move(builder).build();
+  EXPECT_LT(degree_assortativity(g), 0.0);
+}
+
+TEST(Assortativity, ConfigurationModelIsNearZero) {
+  util::Xoshiro256 rng(9);
+  const auto degrees = powerlaw_degree_sequence(8000, 2.8, 2, 40, rng);
+  const auto g = configuration_model(degrees, rng);
+  EXPECT_NEAR(degree_assortativity(g), 0.0, 0.05);
+}
+
+TEST(Assortativity, BoundedByOne) {
+  util::Xoshiro256 rng(10);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = barabasi_albert(300, 2, rng);
+    const double r = degree_assortativity(g);
+    EXPECT_GE(r, -1.0 - 1e-12);
+    EXPECT_LE(r, 1.0 + 1e-12);
+  }
+}
+
+TEST(Assortativity, DisjointCliquesArePositivelyTrivial) {
+  // Union of a K3 and a K4: every edge joins equal degrees → r = 1.
+  GraphBuilder builder(7, false);
+  for (NodeId v = 0; v < 3; ++v) {
+    for (NodeId w = 0; w < v; ++w) builder.add_edge(v, w);
+  }
+  for (NodeId v = 3; v < 7; ++v) {
+    for (NodeId w = 3; w < v; ++w) builder.add_edge(v, w);
+  }
+  const auto g = std::move(builder).build();
+  EXPECT_NEAR(degree_assortativity(g), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rumor::graph

@@ -1,0 +1,146 @@
+#include "ode/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ode/implicit.hpp"
+#include "util/error.hpp"
+
+namespace rumor::ode {
+namespace {
+
+FunctionSystem decay(double rate) {
+  return FunctionSystem(1, [rate](double, std::span<const double> y,
+                                  std::span<double> dydt) {
+    dydt[0] = -rate * y[0];
+  });
+}
+
+TEST(StepDoubling, Rk4MatchesExactSolution) {
+  const auto system = decay(1.5);
+  Rk4Stepper stepper;
+  const auto traj =
+      integrate_step_doubling(system, stepper, {1.0}, 0.0, 4.0);
+  EXPECT_NEAR(traj.back_state()[0], std::exp(-6.0), 1e-7);
+  EXPECT_DOUBLE_EQ(traj.back_time(), 4.0);
+}
+
+TEST(StepDoubling, TighterToleranceMoreAccurateAndMoreSteps) {
+  const auto system = FunctionSystem(
+      2, [](double, std::span<const double> y, std::span<double> dydt) {
+        dydt[0] = y[1];
+        dydt[1] = -y[0];
+      });
+  Rk4Stepper stepper;
+  auto run = [&](double tol, StepDoublingStats* stats) {
+    StepDoublingOptions options;
+    options.rel_tol = tol;
+    options.abs_tol = tol * 1e-2;
+    const auto traj = integrate_step_doubling(system, stepper, {1.0, 0.0},
+                                              0.0, 10.0, options, stats);
+    return std::abs(traj.back_state()[0] - std::cos(10.0));
+  };
+  StepDoublingStats loose_stats, tight_stats;
+  const double loose = run(1e-4, &loose_stats);
+  const double tight = run(1e-9, &tight_stats);
+  EXPECT_LT(tight, loose);
+  EXPECT_GT(tight_stats.accepted, loose_stats.accepted);
+  EXPECT_TRUE(loose_stats.reached_end);
+  EXPECT_TRUE(tight_stats.reached_end);
+}
+
+TEST(StepDoubling, AdaptiveImplicitHandlesStiffDecay) {
+  // The payoff of the generic driver: adaptive BACKWARD EULER takes a
+  // stiff transient with small steps and the smooth tail with large
+  // ones, far fewer steps than the stability-limited explicit method
+  // would need.
+  const auto system = FunctionSystem(
+      1, [](double t, std::span<const double> y, std::span<double> dydt) {
+        // Stiff relaxation toward a slowly varying manifold cos(t).
+        dydt[0] = -400.0 * (y[0] - std::cos(t)) - std::sin(t);
+      });
+  TrapezoidalStepper stepper;
+  StepDoublingOptions options;
+  options.rel_tol = 1e-6;
+  options.abs_tol = 1e-8;
+  StepDoublingStats stats;
+  const auto traj = integrate_step_doubling(system, stepper, {2.0}, 0.0,
+                                            8.0, options, &stats);
+  EXPECT_TRUE(stats.reached_end);
+  EXPECT_NEAR(traj.back_state()[0], std::cos(8.0), 1e-4);
+  // An explicit method needs h < 2/400 → ≥ 1600 steps; the adaptive
+  // implicit driver should get by with far fewer accepted steps.
+  EXPECT_LT(stats.accepted, 800u);
+}
+
+TEST(StepDoubling, StepSizesActuallyAdapt) {
+  // Fast transient then flat: the step sizes must grow substantially.
+  const auto system = decay(50.0);
+  Rk4Stepper stepper;
+  StepDoublingOptions options;
+  options.rel_tol = 1e-6;
+  options.abs_tol = 1e-10;
+  const auto traj = integrate_step_doubling(system, stepper, {1.0}, 0.0,
+                                            5.0, options);
+  ASSERT_GE(traj.size(), 4u);
+  const double first_step = traj.times()[1] - traj.times()[0];
+  const double last_step = traj.times()[traj.size() - 1] -
+                           traj.times()[traj.size() - 2];
+  EXPECT_GT(last_step, 5.0 * first_step);
+}
+
+TEST(StepDoubling, RespectsMaxStep) {
+  const auto system = decay(0.01);  // nearly constant: steps would grow
+  Rk4Stepper stepper;
+  StepDoublingOptions options;
+  options.max_step = 0.25;
+  const auto traj = integrate_step_doubling(system, stepper, {1.0}, 0.0,
+                                            3.0, options);
+  for (std::size_t k = 1; k < traj.size(); ++k) {
+    EXPECT_LE(traj.times()[k] - traj.times()[k - 1], 0.25 + 1e-12);
+  }
+}
+
+TEST(StepDoubling, MaxStepsCapStopsEarly) {
+  const auto system = decay(1.0);
+  Rk4Stepper stepper;
+  StepDoublingOptions options;
+  options.max_steps = 3;
+  options.initial_step = 1e-5;
+  options.max_step = 1e-5;
+  StepDoublingStats stats;
+  const auto traj = integrate_step_doubling(system, stepper, {1.0}, 0.0,
+                                            1.0, options, &stats);
+  EXPECT_FALSE(stats.reached_end);
+  EXPECT_LT(traj.back_time(), 1.0);
+}
+
+TEST(StepDoubling, LowOrderMethodStillConverges) {
+  const auto system = decay(2.0);
+  EulerStepper stepper;  // order 1: extrapolated pairs give order 2
+  StepDoublingOptions options;
+  options.rel_tol = 1e-6;
+  options.abs_tol = 1e-9;
+  const auto traj = integrate_step_doubling(system, stepper, {1.0}, 0.0,
+                                            2.0, options);
+  EXPECT_NEAR(traj.back_state()[0], std::exp(-4.0), 1e-5);
+}
+
+TEST(StepDoubling, ValidatesArguments) {
+  const auto system = decay(1.0);
+  Rk4Stepper stepper;
+  EXPECT_THROW(
+      integrate_step_doubling(system, stepper, {1.0, 2.0}, 0.0, 1.0),
+      util::InvalidArgument);
+  EXPECT_THROW(integrate_step_doubling(system, stepper, {1.0}, 1.0, 0.5),
+               util::InvalidArgument);
+  StepDoublingOptions bad;
+  bad.rel_tol = 0.0;
+  EXPECT_THROW(
+      integrate_step_doubling(system, stepper, {1.0}, 0.0, 1.0, bad),
+      util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rumor::ode

@@ -1,0 +1,133 @@
+#include "ode/dopri5.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rumor::ode {
+namespace {
+
+FunctionSystem exponential_decay() {
+  return FunctionSystem(1, [](double, std::span<const double> y,
+                              std::span<double> dydt) {
+    dydt[0] = -2.0 * y[0];
+  });
+}
+
+TEST(Dopri5, MatchesExponentialSolution) {
+  const auto system = exponential_decay();
+  const auto traj = integrate_dopri5(system, {1.0}, 0.0, 3.0);
+  EXPECT_NEAR(traj.back_state()[0], std::exp(-6.0), 1e-7);
+}
+
+TEST(Dopri5, LandsExactlyOnFinalTime) {
+  const auto system = exponential_decay();
+  const auto traj = integrate_dopri5(system, {1.0}, 0.0, 2.7);
+  EXPECT_DOUBLE_EQ(traj.back_time(), 2.7);
+}
+
+TEST(Dopri5, TighterToleranceIsMoreAccurate) {
+  const auto system = FunctionSystem(
+      2, [](double, std::span<const double> y, std::span<double> dydt) {
+        dydt[0] = y[1];
+        dydt[1] = -y[0];
+      });
+  auto solve = [&](double tol) {
+    Dopri5Options options;
+    options.rel_tol = tol;
+    options.abs_tol = tol * 1e-2;
+    const auto traj = integrate_dopri5(system, {1.0, 0.0}, 0.0, 10.0,
+                                       options);
+    return std::abs(traj.back_state()[0] - std::cos(10.0));
+  };
+  const double loose = solve(1e-4);
+  const double tight = solve(1e-10);
+  EXPECT_LT(tight, loose);
+  EXPECT_LT(tight, 1e-8);
+}
+
+TEST(Dopri5, LooserToleranceUsesFewerSteps) {
+  const auto system = exponential_decay();
+  Dopri5Options loose;
+  loose.rel_tol = 1e-3;
+  loose.abs_tol = 1e-6;
+  Dopri5Options tight;
+  tight.rel_tol = 1e-10;
+  tight.abs_tol = 1e-12;
+  Dopri5Stats stats_loose, stats_tight;
+  integrate_dopri5(system, {1.0}, 0.0, 5.0, loose, &stats_loose);
+  integrate_dopri5(system, {1.0}, 0.0, 5.0, tight, &stats_tight);
+  EXPECT_LT(stats_loose.accepted, stats_tight.accepted);
+  EXPECT_TRUE(stats_loose.reached_end);
+  EXPECT_TRUE(stats_tight.reached_end);
+}
+
+TEST(Dopri5, StatsCountRhsEvaluations) {
+  const auto system = exponential_decay();
+  Dopri5Stats stats;
+  integrate_dopri5(system, {1.0}, 0.0, 1.0, {}, &stats);
+  // 1 initial + 6 per attempted step.
+  EXPECT_EQ(stats.rhs_evaluations,
+            1 + 6 * (stats.accepted + stats.rejected));
+}
+
+TEST(Dopri5, RespectsMaxStep) {
+  const auto system = FunctionSystem(
+      1, [](double, std::span<const double>, std::span<double> dydt) {
+        dydt[0] = 0.0;  // trivially smooth: steps would grow unbounded
+      });
+  Dopri5Options options;
+  options.max_step = 0.125;
+  const auto traj = integrate_dopri5(system, {1.0}, 0.0, 1.0, options);
+  for (std::size_t k = 1; k < traj.size(); ++k) {
+    EXPECT_LE(traj.times()[k] - traj.times()[k - 1], 0.125 + 1e-12);
+  }
+}
+
+TEST(Dopri5, FastDecayStillAccurate) {
+  // Fast decay: the step controller must shrink its steps to track the
+  // transient but remain accurate where the solution is still sizable.
+  const auto system = FunctionSystem(
+      1, [](double, std::span<const double> y, std::span<double> dydt) {
+        dydt[0] = -500.0 * y[0];
+      });
+  const auto traj = integrate_dopri5(system, {1.0}, 0.0, 0.01);
+  EXPECT_NEAR(traj.back_state()[0], std::exp(-5.0), 1e-7);
+}
+
+TEST(Dopri5, MaxStepsCapStopsEarly) {
+  const auto system = exponential_decay();
+  Dopri5Options options;
+  options.max_steps = 3;
+  options.initial_step = 1e-6;
+  options.max_step = 1e-6;  // forces far more than 3 steps to be needed
+  Dopri5Stats stats;
+  const auto traj = integrate_dopri5(system, {1.0}, 0.0, 1.0, options,
+                                     &stats);
+  EXPECT_FALSE(stats.reached_end);
+  EXPECT_LT(traj.back_time(), 1.0);
+}
+
+TEST(Dopri5, ValidatesArguments) {
+  const auto system = exponential_decay();
+  EXPECT_THROW(integrate_dopri5(system, {1.0, 2.0}, 0.0, 1.0),
+               util::InvalidArgument);
+  EXPECT_THROW(integrate_dopri5(system, {1.0}, 1.0, 1.0),
+               util::InvalidArgument);
+  Dopri5Options bad;
+  bad.rel_tol = 0.0;
+  EXPECT_THROW(integrate_dopri5(system, {1.0}, 0.0, 1.0, bad),
+               util::InvalidArgument);
+}
+
+TEST(Dopri5, FirstSampleIsInitialCondition) {
+  const auto system = exponential_decay();
+  const auto traj = integrate_dopri5(system, {0.75}, 0.5, 1.5);
+  EXPECT_DOUBLE_EQ(traj.front_time(), 0.5);
+  EXPECT_DOUBLE_EQ(traj.front_state()[0], 0.75);
+}
+
+}  // namespace
+}  // namespace rumor::ode

@@ -1,0 +1,171 @@
+#include "ode/implicit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ode/integrate.hpp"
+#include "util/error.hpp"
+
+namespace rumor::ode {
+namespace {
+
+FunctionSystem decay(double rate) {
+  return FunctionSystem(1, [rate](double, std::span<const double> y,
+                                  std::span<double> dydt) {
+    dydt[0] = -rate * y[0];
+  });
+}
+
+// Analytic Jacobian for the decay system.
+class DecayJacobian final : public JacobianProvider {
+ public:
+  explicit DecayJacobian(double rate) : rate_(rate) {}
+  void jacobian(double, std::span<const double>,
+                util::Matrix& j) const override {
+    j = util::Matrix(1, 1);
+    j(0, 0) = -rate_;
+  }
+
+ private:
+  double rate_;
+};
+
+TEST(BackwardEuler, SingleStepMatchesClosedForm) {
+  // Backward Euler on y' = -a y: y1 = y0 / (1 + a h) exactly.
+  const auto system = decay(2.0);
+  BackwardEulerStepper stepper;
+  State y{1.0}, y_next(1);
+  stepper.step(system, 0.0, y, 0.5, y_next);
+  EXPECT_NEAR(y_next[0], 1.0 / 2.0, 1e-10);
+}
+
+TEST(Trapezoid, SingleStepMatchesClosedForm) {
+  // Trapezoid on y' = -a y: y1 = y0 (1 - ah/2)/(1 + ah/2).
+  const auto system = decay(2.0);
+  TrapezoidalStepper stepper;
+  State y{1.0}, y_next(1);
+  stepper.step(system, 0.0, y, 0.5, y_next);
+  EXPECT_NEAR(y_next[0], 0.5 / 1.5, 1e-10);
+}
+
+TEST(BackwardEuler, StableAtStepsWhereRk4Explodes) {
+  // Stiff decay, step far beyond the explicit stability limit: the
+  // implicit solution stays bounded and heads to zero.
+  const auto system = decay(1000.0);
+  BackwardEulerStepper implicit_stepper;
+  const auto y_implicit =
+      integrate_to_end(system, implicit_stepper, {1.0}, 0.0, 1.0, 0.05);
+  EXPECT_GE(y_implicit[0], 0.0);
+  EXPECT_LT(y_implicit[0], 1e-6);
+
+  Rk4Stepper rk4;
+  const auto y_rk4 = integrate_to_end(system, rk4, {1.0}, 0.0, 1.0, 0.05);
+  EXPECT_GT(std::abs(y_rk4[0]), 1.0);  // explicit blow-up
+}
+
+class ImplicitOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ImplicitOrderTest, ConvergenceOrderOnSmoothProblem) {
+  const auto system = FunctionSystem(
+      1, [](double t, std::span<const double> y, std::span<double> dydt) {
+        dydt[0] = -y[0] + std::sin(t);
+      });
+  // Exact solution with y(0)=1: y = 1.5 e^-t + (sin t - cos t)/2.
+  auto exact = [](double t) {
+    return 1.5 * std::exp(-t) + 0.5 * (std::sin(t) - std::cos(t));
+  };
+  auto run = [&](Stepper& stepper, double dt) {
+    return std::abs(
+        integrate_to_end(system, stepper, {1.0}, 0.0, 2.0, dt)[0] -
+        exact(2.0));
+  };
+  const bool trapezoid = GetParam() == 2;
+  const double err_coarse = [&] {
+    if (trapezoid) {
+      TrapezoidalStepper s;
+      return run(s, 0.02);
+    }
+    BackwardEulerStepper s;
+    return run(s, 0.02);
+  }();
+  const double err_fine = [&] {
+    if (trapezoid) {
+      TrapezoidalStepper s;
+      return run(s, 0.01);
+    }
+    BackwardEulerStepper s;
+    return run(s, 0.01);
+  }();
+  const double expected_ratio = trapezoid ? 4.0 : 2.0;
+  EXPECT_GT(err_coarse / err_fine, 0.7 * expected_ratio);
+  EXPECT_LT(err_coarse / err_fine, 1.5 * expected_ratio);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ImplicitOrderTest, ::testing::Values(1, 2));
+
+TEST(Implicit, AnalyticJacobianMatchesFiniteDifference) {
+  const auto system = decay(3.0);
+  const DecayJacobian jacobian(3.0);
+  BackwardEulerStepper with_jac(&jacobian);
+  BackwardEulerStepper with_fd(nullptr);
+  State y{2.0}, a(1), b(1);
+  with_jac.step(system, 0.0, y, 0.1, a);
+  with_fd.step(system, 0.0, y, 0.1, b);
+  EXPECT_NEAR(a[0], b[0], 1e-10);
+}
+
+TEST(Implicit, NewtonIterationCountIsReported) {
+  const auto system = decay(2.0);
+  BackwardEulerStepper stepper;
+  State y{1.0}, y_next(1);
+  stepper.step(system, 0.0, y, 0.1, y_next);
+  EXPECT_GE(stepper.last_newton_iterations(), 1u);
+  EXPECT_LE(stepper.last_newton_iterations(), 25u);
+}
+
+TEST(Implicit, FullNewtonSolvesNonlinearProblemAccurately) {
+  // Logistic growth y' = y (1 − y): strongly nonlinear; full Newton
+  // (refreshing the Jacobian) and modified Newton must agree.
+  const auto system = FunctionSystem(
+      1, [](double, std::span<const double> y, std::span<double> dydt) {
+        dydt[0] = y[0] * (1.0 - y[0]);
+      });
+  NewtonOptions full;
+  full.modified_newton = false;
+  TrapezoidalStepper modified;
+  TrapezoidalStepper fresh(nullptr, full);
+  const auto a = integrate_to_end(system, modified, {0.1}, 0.0, 5.0, 0.1);
+  const auto b = integrate_to_end(system, fresh, {0.1}, 0.0, 5.0, 0.1);
+  // Exact: y(5) = 0.1 e^5 / (0.9 + 0.1 e^5).
+  const double exact = 0.1 * std::exp(5.0) / (0.9 + 0.1 * std::exp(5.0));
+  EXPECT_NEAR(a[0], exact, 1e-3);
+  EXPECT_NEAR(a[0], b[0], 1e-9);
+}
+
+TEST(Implicit, WorksOnMultiDimensionalSystems) {
+  // Damped oscillator: y'' = -y - 0.5 y'.
+  const auto system = FunctionSystem(
+      2, [](double, std::span<const double> y, std::span<double> dydt) {
+        dydt[0] = y[1];
+        dydt[1] = -y[0] - 0.5 * y[1];
+      });
+  TrapezoidalStepper stepper;
+  const auto y = integrate_to_end(system, stepper, {1.0, 0.0}, 0.0, 30.0,
+                                  0.05);
+  // Damped to (near) rest.
+  EXPECT_LT(std::abs(y[0]), 1e-2);
+  EXPECT_LT(std::abs(y[1]), 1e-2);
+}
+
+TEST(Implicit, ValidatesOptions) {
+  NewtonOptions bad;
+  bad.max_iterations = 0;
+  EXPECT_THROW(BackwardEulerStepper(nullptr, bad), util::InvalidArgument);
+  bad = NewtonOptions{};
+  bad.tolerance = 0.0;
+  EXPECT_THROW(TrapezoidalStepper(nullptr, bad), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rumor::ode

@@ -1,0 +1,134 @@
+#include "ode/integrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rumor::ode {
+namespace {
+
+FunctionSystem growth() {
+  return FunctionSystem(1, [](double, std::span<const double> y,
+                              std::span<double> dydt) { dydt[0] = y[0]; });
+}
+
+TEST(IntegrateFixed, RecordsInitialAndFinalPoints) {
+  const auto system = growth();
+  Rk4Stepper stepper;
+  FixedStepOptions options;
+  options.dt = 0.1;
+  const auto traj = integrate_fixed(system, stepper, {1.0}, 0.0, 1.0,
+                                    options);
+  EXPECT_DOUBLE_EQ(traj.front_time(), 0.0);
+  EXPECT_NEAR(traj.back_time(), 1.0, 1e-12);
+  // RK4 global error at dt = 0.1 on e^t is ~2e-6.
+  EXPECT_NEAR(traj.back_state()[0], std::exp(1.0), 1e-5);
+}
+
+TEST(IntegrateFixed, PartialFinalStepLandsOnT1) {
+  const auto system = growth();
+  Rk4Stepper stepper;
+  FixedStepOptions options;
+  options.dt = 0.3;  // 0.3 does not divide 1.0
+  const auto traj = integrate_fixed(system, stepper, {1.0}, 0.0, 1.0,
+                                    options);
+  EXPECT_NEAR(traj.back_time(), 1.0, 1e-12);
+  // RK4 at dt = 0.3 carries a ~1e-4 global error on e^t.
+  EXPECT_NEAR(traj.back_state()[0], std::exp(1.0), 5e-4);
+}
+
+TEST(IntegrateFixed, RecordEveryThinsSamples) {
+  const auto system = growth();
+  Rk4Stepper stepper;
+  FixedStepOptions dense;
+  dense.dt = 0.01;
+  FixedStepOptions sparse = dense;
+  sparse.record_every = 10;
+  const auto traj_dense =
+      integrate_fixed(system, stepper, {1.0}, 0.0, 1.0, dense);
+  const auto traj_sparse =
+      integrate_fixed(system, stepper, {1.0}, 0.0, 1.0, sparse);
+  EXPECT_EQ(traj_dense.size(), 101u);
+  EXPECT_EQ(traj_sparse.size(), 11u);
+  // Thinning must not change the numerical solution.
+  EXPECT_DOUBLE_EQ(traj_dense.back_state()[0], traj_sparse.back_state()[0]);
+}
+
+TEST(IntegrateFixed, StopWhenEventTriggersEarly) {
+  const auto system = growth();
+  Rk4Stepper stepper;
+  FixedStepOptions options;
+  options.dt = 0.01;
+  options.stop_when = [](double, std::span<const double> y) {
+    return y[0] >= 2.0;
+  };
+  const auto traj = integrate_fixed(system, stepper, {1.0}, 0.0, 5.0,
+                                    options);
+  EXPECT_LT(traj.back_time(), 1.0);          // e^t hits 2 at t ≈ 0.693
+  EXPECT_GE(traj.back_state()[0], 2.0);      // triggering sample kept
+  EXPECT_NEAR(traj.back_time(), std::log(2.0), 0.02);
+}
+
+TEST(IntegrateFixed, EventAtInitialConditionStopsImmediately) {
+  const auto system = growth();
+  Rk4Stepper stepper;
+  FixedStepOptions options;
+  options.dt = 0.1;
+  options.stop_when = [](double, std::span<const double>) { return true; };
+  const auto traj = integrate_fixed(system, stepper, {1.0}, 0.0, 1.0,
+                                    options);
+  EXPECT_EQ(traj.size(), 1u);
+}
+
+TEST(IntegrateFixed, ValidatesArguments) {
+  const auto system = growth();
+  Rk4Stepper stepper;
+  FixedStepOptions options;
+  options.dt = 0.0;
+  EXPECT_THROW(integrate_fixed(system, stepper, {1.0}, 0.0, 1.0, options),
+               util::InvalidArgument);
+  options.dt = 0.1;
+  options.record_every = 0;
+  EXPECT_THROW(integrate_fixed(system, stepper, {1.0}, 0.0, 1.0, options),
+               util::InvalidArgument);
+  options.record_every = 1;
+  EXPECT_THROW(integrate_fixed(system, stepper, {1.0, 2.0}, 0.0, 1.0,
+                               options),
+               util::InvalidArgument);
+  EXPECT_THROW(integrate_fixed(system, stepper, {1.0}, 1.0, 0.5, options),
+               util::InvalidArgument);
+}
+
+TEST(IntegrateRk4, ConvenienceMatchesExplicitCall) {
+  const auto system = growth();
+  Rk4Stepper stepper;
+  FixedStepOptions options;
+  options.dt = 0.05;
+  const auto a = integrate_fixed(system, stepper, {1.0}, 0.0, 1.0, options);
+  const auto b = integrate_rk4(system, {1.0}, 0.0, 1.0, 0.05);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(a.back_state()[0], b.back_state()[0]);
+}
+
+TEST(IntegrateToEnd, MatchesRecordedTrajectoryEndpoint) {
+  const auto system = growth();
+  Rk4Stepper stepper;
+  const auto traj = integrate_rk4(system, {1.0}, 0.0, 2.0, 0.02);
+  const auto end = integrate_to_end(system, stepper, {1.0}, 0.0, 2.0, 0.02);
+  EXPECT_DOUBLE_EQ(end[0], traj.back_state()[0]);
+}
+
+TEST(IntegrateFixed, TimeDependentRhsSeesCorrectTime) {
+  // y' = 2t → y(1) = 1 exactly under RK4 (degree-1 polynomial in t).
+  const FunctionSystem system(
+      1, [](double t, std::span<const double>, std::span<double> dydt) {
+        dydt[0] = 2.0 * t;
+      });
+  const auto traj = integrate_rk4(system, {0.0}, 0.0, 1.0, 0.25);
+  EXPECT_NEAR(traj.back_state()[0], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rumor::ode

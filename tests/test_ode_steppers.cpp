@@ -1,0 +1,139 @@
+#include "ode/steppers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "ode/integrate.hpp"
+#include "util/error.hpp"
+
+namespace rumor::ode {
+namespace {
+
+// y' = y, y(0) = 1 → y(t) = e^t.
+FunctionSystem exponential_system() {
+  return FunctionSystem(1, [](double, std::span<const double> y,
+                              std::span<double> dydt) { dydt[0] = y[0]; });
+}
+
+// Harmonic oscillator: y'' = -y as a 2-D first-order system.
+FunctionSystem oscillator_system() {
+  return FunctionSystem(2, [](double, std::span<const double> y,
+                              std::span<double> dydt) {
+    dydt[0] = y[1];
+    dydt[1] = -y[0];
+  });
+}
+
+double integrate_exponential(Stepper& stepper, double dt) {
+  const auto system = exponential_system();
+  State y = integrate_to_end(system, stepper, {1.0}, 0.0, 1.0, dt);
+  return y[0];
+}
+
+class StepperOrderTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StepperOrderTest, GlobalErrorShrinksAtTheClassicalOrder) {
+  const auto stepper_coarse = make_stepper(GetParam());
+  const auto stepper_fine = make_stepper(GetParam());
+  const double exact = std::exp(1.0);
+  const double err_coarse =
+      std::abs(integrate_exponential(*stepper_coarse, 0.01) - exact);
+  const double err_fine =
+      std::abs(integrate_exponential(*stepper_fine, 0.005) - exact);
+  // Halving h must reduce the error by ~2^order; allow 25% slack.
+  const double expected_ratio = std::pow(2.0, stepper_coarse->order());
+  EXPECT_GT(err_coarse / err_fine, 0.75 * expected_ratio)
+      << GetParam() << ": " << err_coarse << " / " << err_fine;
+}
+
+TEST_P(StepperOrderTest, NameRoundTripsThroughFactory) {
+  const auto stepper = make_stepper(GetParam());
+  EXPECT_EQ(stepper->name(), GetParam());
+}
+
+TEST_P(StepperOrderTest, PreservesOscillatorEnergyApproximately) {
+  const auto system = oscillator_system();
+  const auto stepper = make_stepper(GetParam());
+  State y{1.0, 0.0};
+  State y_next(2);
+  const double dt = 1e-3;
+  for (int i = 0; i < 1000; ++i) {
+    stepper->step(system, i * dt, y, dt, y_next);
+    y = y_next;
+  }
+  const double energy = y[0] * y[0] + y[1] * y[1];
+  EXPECT_NEAR(energy, 1.0, 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSteppers, StepperOrderTest,
+                         ::testing::Values("euler", "heun", "rk4"));
+
+TEST(EulerStepper, MatchesHandComputedStep) {
+  const auto system = exponential_system();
+  EulerStepper stepper;
+  State y{2.0};
+  State y_next(1);
+  stepper.step(system, 0.0, y, 0.5, y_next);
+  EXPECT_DOUBLE_EQ(y_next[0], 3.0);  // 2 + 0.5·2
+}
+
+TEST(HeunStepper, ExactOnLinearInTime) {
+  // y' = t: Heun integrates polynomials of degree 1 in t exactly.
+  const FunctionSystem system(
+      1, [](double t, std::span<const double>, std::span<double> dydt) {
+        dydt[0] = t;
+      });
+  HeunStepper stepper;
+  State y{0.0};
+  State y_next(1);
+  stepper.step(system, 0.0, y, 2.0, y_next);
+  EXPECT_DOUBLE_EQ(y_next[0], 2.0);  // ∫_0^2 t dt = 2
+}
+
+TEST(Rk4Stepper, ExactOnCubicInTime) {
+  // y' = t^3: RK4 is exact for polynomials up to degree 3.
+  const FunctionSystem system(
+      1, [](double t, std::span<const double>, std::span<double> dydt) {
+        dydt[0] = t * t * t;
+      });
+  Rk4Stepper stepper;
+  State y{0.0};
+  State y_next(1);
+  stepper.step(system, 0.0, y, 2.0, y_next);
+  EXPECT_NEAR(y_next[0], 4.0, 1e-12);  // ∫_0^2 t³ dt = 4
+}
+
+TEST(Rk4Stepper, SingleStepAccuracyOnExponential) {
+  const auto system = exponential_system();
+  Rk4Stepper stepper;
+  State y{1.0};
+  State y_next(1);
+  stepper.step(system, 0.0, y, 0.1, y_next);
+  // Local truncation error of RK4 is O(h^5) ≈ 1e-7 here.
+  EXPECT_NEAR(y_next[0], std::exp(0.1), 1e-7);
+}
+
+TEST(MakeStepper, UnknownNameThrows) {
+  EXPECT_THROW(make_stepper("rk45"), util::InvalidArgument);
+  EXPECT_THROW(make_stepper(""), util::InvalidArgument);
+}
+
+TEST(Steppers, ReusableAcrossDifferentDimensions) {
+  // Scratch buffers must adapt when the same stepper instance is used
+  // for systems of different sizes.
+  Rk4Stepper stepper;
+  const auto one_d = exponential_system();
+  const auto two_d = oscillator_system();
+  State y1{1.0}, y1n(1);
+  stepper.step(one_d, 0.0, y1, 0.1, y1n);
+  State y2{1.0, 0.0}, y2n(2);
+  stepper.step(two_d, 0.0, y2, 0.1, y2n);
+  EXPECT_NEAR(y2n[0], std::cos(0.1), 1e-8);
+}
+
+}  // namespace
+}  // namespace rumor::ode

@@ -1,0 +1,94 @@
+#include "ode/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace rumor::ode {
+namespace {
+
+Trajectory make_ramp() {
+  // Two components: y0(t) = t, y1(t) = 2t, sampled at t = 0, 1, 2.
+  Trajectory traj(2);
+  traj.push_back(0.0, State{0.0, 0.0});
+  traj.push_back(1.0, State{1.0, 2.0});
+  traj.push_back(2.0, State{2.0, 4.0});
+  return traj;
+}
+
+TEST(Trajectory, SizeAndAccessors) {
+  const auto traj = make_ramp();
+  EXPECT_EQ(traj.size(), 3u);
+  EXPECT_EQ(traj.dimension(), 2u);
+  EXPECT_DOUBLE_EQ(traj.front_time(), 0.0);
+  EXPECT_DOUBLE_EQ(traj.back_time(), 2.0);
+  EXPECT_DOUBLE_EQ(traj.state(1)[1], 2.0);
+}
+
+TEST(Trajectory, RejectsWrongDimension) {
+  Trajectory traj(2);
+  EXPECT_THROW(traj.push_back(0.0, State{1.0}), util::InvalidArgument);
+}
+
+TEST(Trajectory, RejectsNonIncreasingTimes) {
+  Trajectory traj(1);
+  traj.push_back(1.0, State{0.0});
+  EXPECT_THROW(traj.push_back(1.0, State{0.0}), util::InvalidArgument);
+  EXPECT_THROW(traj.push_back(0.5, State{0.0}), util::InvalidArgument);
+}
+
+TEST(Trajectory, ComponentExtractsSeries) {
+  const auto traj = make_ramp();
+  const auto series = traj.component(1);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[2], 4.0);
+  EXPECT_THROW(traj.component(2), util::InvalidArgument);
+}
+
+TEST(Trajectory, AtInterpolatesLinearly) {
+  const auto traj = make_ramp();
+  const auto mid = traj.at(0.5);
+  EXPECT_DOUBLE_EQ(mid[0], 0.5);
+  EXPECT_DOUBLE_EQ(mid[1], 1.0);
+}
+
+TEST(Trajectory, AtClampsOutsideRange) {
+  const auto traj = make_ramp();
+  EXPECT_DOUBLE_EQ(traj.at(-1.0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(traj.at(10.0)[0], 2.0);
+}
+
+TEST(Trajectory, AtHitsSamplesExactly) {
+  const auto traj = make_ramp();
+  EXPECT_DOUBLE_EQ(traj.at(1.0)[1], 2.0);
+}
+
+TEST(Trajectory, ComponentAtMatchesAt) {
+  const auto traj = make_ramp();
+  for (double t : {0.0, 0.25, 1.5, 2.0}) {
+    EXPECT_DOUBLE_EQ(traj.component_at(0, t), traj.at(t)[0]);
+    EXPECT_DOUBLE_EQ(traj.component_at(1, t), traj.at(t)[1]);
+  }
+}
+
+TEST(Trajectory, EmptyAccessThrows) {
+  Trajectory traj(1);
+  EXPECT_TRUE(traj.empty());
+  EXPECT_THROW(traj.front_time(), util::InvalidArgument);
+  EXPECT_THROW(traj.back_time(), util::InvalidArgument);
+  EXPECT_THROW(traj.at(0.0), util::InvalidArgument);
+  EXPECT_THROW(traj.state(0), util::InvalidArgument);
+}
+
+TEST(Trajectory, MapAppliesReduction) {
+  const auto traj = make_ramp();
+  const auto sums = traj.map([](std::span<const double> y) {
+    return y[0] + y[1];
+  });
+  ASSERT_EQ(sums.size(), 3u);
+  EXPECT_DOUBLE_EQ(sums[0], 0.0);
+  EXPECT_DOUBLE_EQ(sums[2], 6.0);
+}
+
+}  // namespace
+}  // namespace rumor::ode

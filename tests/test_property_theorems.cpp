@@ -1,0 +1,201 @@
+// Property tests: the paper's theorems as executable invariants over
+// randomized degree profiles. Each seed generates a different profile
+// (group count, degree spread, pmf shape); every theorem-level claim
+// must hold on all of them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/equilibrium.hpp"
+#include "core/jacobian.hpp"
+#include "core/simulation.hpp"
+#include "core/stability.hpp"
+#include "core/threshold.hpp"
+#include "util/random.hpp"
+
+namespace rumor::core {
+namespace {
+
+struct GeneratedCase {
+  NetworkProfile profile;
+  ModelParams params;
+};
+
+GeneratedCase generate(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const std::size_t groups = 2 + rng.uniform_index(8);
+  std::vector<double> degrees, pmf;
+  double k = 1.0 + rng.uniform(0.0, 2.0);
+  for (std::size_t i = 0; i < groups; ++i) {
+    degrees.push_back(k);
+    pmf.push_back(std::pow(k, -rng.uniform(0.5, 2.0)));
+    k += 1.0 + rng.uniform(0.0, 8.0);
+  }
+  ModelParams params;
+  params.alpha = rng.uniform(0.005, 0.08);
+  params.lambda = Acceptance::linear(rng.uniform(0.3, 1.5));
+  params.omega = Infectivity::saturating(0.5, 0.5);
+  return {NetworkProfile::from_pmf(std::move(degrees), std::move(pmf)),
+          params};
+}
+
+// Pick (ε1, ε2) hitting a target r0 exactly (split the correction
+// between the two controls).
+std::pair<double, double> controls_for_r0(const GeneratedCase& c,
+                                          double target_r0) {
+  const double e1 = 0.1, e2 = 0.1;
+  const double base = basic_reproduction_number(c.profile, c.params, e1, e2);
+  const double correction = std::sqrt(base / target_r0);
+  return {e1 * correction, e2 * correction};
+}
+
+class TheoremProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TheoremProperty, ControlCalibrationHitsTargetR0) {
+  const auto c = generate(GetParam());
+  for (const double target : {0.5, 1.0, 2.5}) {
+    const auto [e1, e2] = controls_for_r0(c, target);
+    EXPECT_NEAR(basic_reproduction_number(c.profile, c.params, e1, e2),
+                target, 1e-10);
+  }
+}
+
+TEST_P(TheoremProperty, PositiveEquilibriumExistsIffR0AboveOne) {
+  const auto c = generate(GetParam());
+  {
+    const auto [e1, e2] = controls_for_r0(c, 0.8);
+    EXPECT_FALSE(positive_equilibrium(c.profile, c.params, e1, e2)
+                     .has_value());
+  }
+  {
+    const auto [e1, e2] = controls_for_r0(c, 1.8);
+    const auto eq = positive_equilibrium(c.profile, c.params, e1, e2);
+    ASSERT_TRUE(eq.has_value());
+    EXPECT_LT(equilibrium_residual(c.profile, c.params, e1, e2, *eq),
+              1e-10);
+  }
+}
+
+TEST_P(TheoremProperty, ZeroEquilibriumIsAlwaysStationary) {
+  const auto c = generate(GetParam());
+  for (const double target : {0.6, 1.5}) {
+    const auto [e1, e2] = controls_for_r0(c, target);
+    const auto e0 = zero_equilibrium(c.profile, c.params, e1, e2);
+    EXPECT_LT(equilibrium_residual(c.profile, c.params, e1, e2, e0),
+              1e-12);
+  }
+}
+
+TEST_P(TheoremProperty, StabilityVerdictMatchesSpectrumAtE0) {
+  const auto c = generate(GetParam());
+  for (const double target : {0.7, 1.6}) {
+    const auto [e1, e2] = controls_for_r0(c, target);
+    const auto e0 = zero_equilibrium(c.profile, c.params, e1, e2);
+    SirNetworkModel model(c.profile, c.params,
+                          make_constant_control(e1, e2));
+    const auto spectrum = stability_spectrum(model, 0.0, e0.state);
+    const auto verdict =
+        zero_equilibrium_stability(c.profile, c.params, e1, e2);
+    if (target < 1.0) {
+      EXPECT_EQ(verdict, StabilityVerdict::kAsymptoticallyStable);
+      EXPECT_TRUE(spectrum.stable);
+    } else {
+      EXPECT_EQ(verdict, StabilityVerdict::kUnstable);
+      EXPECT_FALSE(spectrum.stable);
+    }
+    // The decisive eigenvalue matches the closed form Γ − ε2.
+    EXPECT_NEAR(spectrum.abscissa,
+                std::max(dominant_eigenvalue_at_zero(c.profile, c.params,
+                                                     e1, e2),
+                         std::max(-e1, -e2)),
+                1e-8);
+  }
+}
+
+TEST_P(TheoremProperty, ExtinctRegimeTrajectoriesReachE0) {
+  const auto c = generate(GetParam());
+  const auto [e1, e2] = controls_for_r0(c, 0.6);
+  SirNetworkModel model(c.profile, c.params,
+                        make_constant_control(e1, e2));
+  const auto e0 = zero_equilibrium(c.profile, c.params, e1, e2);
+  SimulationOptions options;
+  options.t1 = 800.0;
+  options.dt = 0.02;
+  options.record_every = 500;
+  const auto result =
+      run_simulation(model, model.initial_state(0.2), options);
+  const auto dist = distance_series(model, result, e0);
+  EXPECT_LT(dist.back(), 5e-3) << "seed=" << GetParam();
+  EXPECT_LT(result.total_infected.back(), 1e-4 * model.num_groups() + 1e-3);
+}
+
+TEST_P(TheoremProperty, EndemicRegimeTrajectoriesReachEPlus) {
+  const auto c = generate(GetParam());
+  const auto [e1, e2] = controls_for_r0(c, 2.0);
+  SirNetworkModel model(c.profile, c.params,
+                        make_constant_control(e1, e2));
+  const auto eq = positive_equilibrium(c.profile, c.params, e1, e2);
+  ASSERT_TRUE(eq.has_value());
+  SimulationOptions options;
+  options.t1 = 800.0;
+  options.dt = 0.02;
+  options.record_every = 500;
+  const auto result =
+      run_simulation(model, model.initial_state(0.2), options);
+  const auto dist = distance_series(model, result, *eq);
+  EXPECT_LT(dist.back(), 5e-3) << "seed=" << GetParam();
+  // And the spectrum at E+ is stable (Theorem 4, linearized).
+  const auto spectrum = stability_spectrum(model, 0.0, eq->state);
+  EXPECT_TRUE(spectrum.stable) << "seed=" << GetParam();
+}
+
+TEST_P(TheoremProperty, LyapunovV0DecreasesInExtinctRegime) {
+  const auto c = generate(GetParam());
+  const auto [e1, e2] = controls_for_r0(c, 0.6);
+  SirNetworkModel model(c.profile, c.params,
+                        make_constant_control(e1, e2));
+  SimulationOptions options;
+  options.t1 = 100.0;
+  options.dt = 0.02;
+  options.record_every = 50;
+  const auto result =
+      run_simulation(model, model.initial_state(0.1), options);
+  // V0 = Θ/ε2 evaluated along the trajectory must be non-increasing
+  // once inside the invariant region S <= α/ε1.
+  const double s_star = c.params.alpha / e1;
+  double previous = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < result.trajectory.size(); ++k) {
+    const auto y = result.trajectory.state(k);
+    bool inside = true;
+    for (std::size_t i = 0; i < model.num_groups(); ++i) {
+      if (y[i] > s_star + 1e-9) inside = false;
+    }
+    if (!inside) continue;
+    const double v = lyapunov_v0(model, y, e2);
+    EXPECT_LE(v, previous + 1e-12);
+    previous = v;
+  }
+}
+
+TEST_P(TheoremProperty, ThetaIsMonotoneInInfection) {
+  const auto c = generate(GetParam());
+  SirNetworkModel model(c.profile, c.params,
+                        make_constant_control(0.1, 0.1));
+  const std::size_t n = model.num_groups();
+  util::Xoshiro256 rng(GetParam() + 999);
+  ode::State y(2 * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = rng.uniform(0.1, 0.7);
+    y[n + i] = rng.uniform(0.0, 0.3);
+  }
+  const double base = model.theta(y);
+  y[n + rng.uniform_index(n)] += 0.05;
+  EXPECT_GT(model.theta(y), base);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomProfiles, TheoremProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u,
+                                           77u, 88u));
+
+}  // namespace
+}  // namespace rumor::core

@@ -1,0 +1,253 @@
+#include "sim/agent_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace rumor::sim {
+namespace {
+
+graph::Graph star_graph(std::size_t leaves) {
+  graph::GraphBuilder builder(leaves + 1, false);
+  for (graph::NodeId v = 1; v <= leaves; ++v) builder.add_edge(0, v);
+  return std::move(builder).build();
+}
+
+AgentParams default_params() {
+  AgentParams params;
+  params.lambda = core::Acceptance::linear(1.0);
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  params.dt = 0.1;
+  return params;
+}
+
+TEST(AgentSim, StartsAllSusceptible) {
+  const auto g = star_graph(5);
+  AgentSimulation simulation(g, default_params(), 1);
+  const auto c = simulation.census();
+  EXPECT_EQ(c.susceptible, 6u);
+  EXPECT_EQ(c.infected, 0u);
+  EXPECT_EQ(c.recovered, 0u);
+}
+
+TEST(AgentSim, SeedingInfectsExactCount) {
+  const auto g = star_graph(9);
+  AgentSimulation simulation(g, default_params(), 2);
+  simulation.seed_random_infections(3);
+  EXPECT_EQ(simulation.census().infected, 3u);
+  EXPECT_EQ(simulation.ever_infected(), 3u);
+}
+
+TEST(AgentSim, SeedingSpecificNodes) {
+  const auto g = star_graph(4);
+  AgentSimulation simulation(g, default_params(), 3);
+  simulation.seed_infections({0, 2});
+  EXPECT_EQ(simulation.state(0), Compartment::kInfected);
+  EXPECT_EQ(simulation.state(2), Compartment::kInfected);
+  EXPECT_EQ(simulation.state(1), Compartment::kSusceptible);
+  // Re-seeding an infected node is a no-op.
+  simulation.seed_infections({0});
+  EXPECT_EQ(simulation.census().infected, 2u);
+  EXPECT_EQ(simulation.ever_infected(), 2u);
+}
+
+TEST(AgentSim, CensusAlwaysSumsToNodeCount) {
+  util::Xoshiro256 rng(5);
+  const auto g = graph::barabasi_albert(200, 2, rng);
+  auto params = default_params();
+  params.epsilon1 = 0.05;
+  params.epsilon2 = 0.1;
+  AgentSimulation simulation(g, params, 7);
+  simulation.seed_random_infections(10);
+  for (int s = 0; s < 50; ++s) {
+    simulation.step();
+    const auto c = simulation.census();
+    EXPECT_EQ(c.susceptible + c.infected + c.recovered, 200u);
+  }
+}
+
+TEST(AgentSim, NoSpontaneousInfectionWithoutSeeds) {
+  util::Xoshiro256 rng(6);
+  const auto g = graph::barabasi_albert(100, 2, rng);
+  AgentSimulation simulation(g, default_params(), 8);
+  for (int s = 0; s < 20; ++s) simulation.step();
+  EXPECT_EQ(simulation.census().infected, 0u);
+  EXPECT_EQ(simulation.ever_infected(), 0u);
+}
+
+TEST(AgentSim, RecoveredNodesNeverLeaveR) {
+  const auto g = star_graph(6);
+  auto params = default_params();
+  params.epsilon2 = 10.0;  // essentially instant blocking
+  AgentSimulation simulation(g, params, 9);
+  simulation.seed_infections({0});
+  for (int s = 0; s < 30; ++s) simulation.step();
+  EXPECT_EQ(simulation.census().infected, 0u);
+  EXPECT_GE(simulation.census().recovered, 1u);
+}
+
+TEST(AgentSim, BlockNodesImmunizesUpfront) {
+  const auto g = star_graph(6);
+  AgentSimulation simulation(g, default_params(), 10);
+  simulation.block_nodes({0});  // kill the hub
+  simulation.seed_infections({1});
+  // With the hub blocked the star is disconnected: infection cannot
+  // spread beyond the seed.
+  for (int s = 0; s < 100; ++s) simulation.step();
+  EXPECT_EQ(simulation.ever_infected(), 1u);
+}
+
+TEST(AgentSim, EpsilonOneImmunizesSusceptibles) {
+  util::Xoshiro256 rng(11);
+  const auto g = graph::erdos_renyi(500, 0.01, rng);
+  auto params = default_params();
+  params.epsilon1 = 1.0;
+  params.dt = 0.1;
+  AgentSimulation simulation(g, params, 12);
+  // Expected survival after one step: exp(-ε1 dt) ≈ 0.905.
+  simulation.step();
+  const auto c = simulation.census();
+  EXPECT_NEAR(static_cast<double>(c.susceptible) / 500.0,
+              std::exp(-0.1), 0.05);
+}
+
+TEST(AgentSim, InfectionSpreadsThroughStarHub) {
+  auto params = default_params();
+  params.lambda = core::Acceptance::linear(1.0);
+  params.omega = core::Infectivity::constant(1.0);
+  params.dt = 0.5;
+  const auto g = star_graph(50);
+  AgentSimulation simulation(g, params, 13);
+  simulation.seed_infections({0});  // infect the hub
+  // Leaf hazard: (λ(1)/1)·ω(k_hub)/k_hub = 1·(1/50) = 0.02; per step
+  // p = 1−e^{-0.01} ≈ 1%. After many steps infections accumulate.
+  std::size_t infected_after = 0;
+  for (int s = 0; s < 100; ++s) simulation.step();
+  infected_after = simulation.ever_infected();
+  EXPECT_GT(infected_after, 5u);
+  EXPECT_LT(infected_after, 51u);
+}
+
+TEST(AgentSim, DeterministicGivenSeed) {
+  util::Xoshiro256 rng(14);
+  const auto g = graph::barabasi_albert(150, 2, rng);
+  auto params = default_params();
+  params.epsilon2 = 0.05;
+  auto run = [&](std::uint64_t seed) {
+    AgentSimulation simulation(g, params, seed);
+    simulation.seed_random_infections(5);
+    for (int s = 0; s < 40; ++s) simulation.step();
+    return simulation.census();
+  };
+  const auto a = run(99);
+  const auto b = run(99);
+  EXPECT_EQ(a.infected, b.infected);
+  EXPECT_EQ(a.recovered, b.recovered);
+  const auto c = run(100);
+  // Different seed: overwhelmingly likely to differ somewhere.
+  EXPECT_TRUE(c.infected != a.infected || c.recovered != a.recovered);
+}
+
+TEST(AgentSim, RunUntilStopsAtAbsorption) {
+  const auto g = star_graph(5);
+  auto params = default_params();
+  params.epsilon2 = 5.0;
+  AgentSimulation simulation(g, params, 15);
+  simulation.seed_infections({1});
+  const auto history = simulation.run_until(100.0);
+  EXPECT_LT(simulation.time(), 100.0);  // absorbed long before the horizon
+  EXPECT_EQ(history.back().infected, 0u);
+}
+
+TEST(AgentSim, InfectedDensityForDegreeAndThetaEstimate) {
+  const auto g = star_graph(4);  // hub degree 4, leaves degree 1
+  AgentSimulation simulation(g, default_params(), 16);
+  simulation.seed_infections({0});
+  EXPECT_DOUBLE_EQ(simulation.infected_density_for_degree(4), 1.0);
+  EXPECT_DOUBLE_EQ(simulation.infected_density_for_degree(1), 0.0);
+  EXPECT_DOUBLE_EQ(simulation.infected_density_for_degree(7), 0.0);
+  // Θ̂ = ω(4) / (N ⟨k⟩) with only the hub infected; ⟨k⟩ = 8/5.
+  const double omega4 = 2.0 / 3.0;
+  EXPECT_NEAR(simulation.theta_estimate(), omega4 / (5.0 * 1.6), 1e-12);
+}
+
+TEST(AgentSim, ValidatesInputs) {
+  const auto g = star_graph(3);
+  EXPECT_THROW(AgentSimulation(g, AgentParams{.dt = 0.0}, 1),
+               util::InvalidArgument);
+  AgentSimulation simulation(g, default_params(), 1);
+  EXPECT_THROW(simulation.seed_random_infections(100), util::InvalidArgument);
+  EXPECT_THROW(simulation.seed_infections({9}), util::InvalidArgument);
+  EXPECT_THROW(simulation.block_nodes({9}), util::InvalidArgument);
+  EXPECT_THROW(simulation.run_until(-1.0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rumor::sim
+
+namespace rumor::sim {
+namespace {
+
+TEST(AgentSim, GroupDensitiesMatchManualCount) {
+  // Star with 4 leaves: groups {1: leaves, 4: hub}.
+  graph::GraphBuilder builder(5, false);
+  for (graph::NodeId v = 1; v <= 4; ++v) builder.add_edge(0, v);
+  const auto g = std::move(builder).build();
+  AgentParams params;
+  params.dt = 0.1;
+  AgentSimulation simulation(g, params, 1);
+  simulation.seed_infections({0, 1});
+  const auto groups = simulation.group_densities();
+  ASSERT_EQ(groups.degrees.size(), 2u);
+  EXPECT_EQ(groups.degrees[0], 1u);
+  EXPECT_EQ(groups.degrees[1], 4u);
+  EXPECT_DOUBLE_EQ(groups.infected[0], 0.25);  // 1 of 4 leaves
+  EXPECT_DOUBLE_EQ(groups.infected[1], 1.0);   // the hub
+  EXPECT_DOUBLE_EQ(groups.susceptible[0], 0.75);
+  EXPECT_DOUBLE_EQ(groups.susceptible[1], 0.0);
+}
+
+TEST(AgentSim, ControlScheduleOverridesConstants) {
+  // ε1 = 10 from the schedule empties S fast even though the params say 0.
+  graph::GraphBuilder builder(40, false);
+  for (graph::NodeId v = 0; v + 1 < 40; ++v) builder.add_edge(v, v + 1);
+  const auto g = std::move(builder).build();
+  AgentParams params;
+  params.epsilon1 = 0.0;
+  params.dt = 0.1;
+  AgentSimulation simulation(g, params, 2);
+  simulation.set_control_schedule(core::make_constant_control(10.0, 0.0));
+  for (int s = 0; s < 50; ++s) simulation.step();
+  EXPECT_LT(simulation.census().susceptible, 3u);
+  // Reverting to the constants (0) stops further immunization.
+  simulation.set_control_schedule(nullptr);
+  const auto before = simulation.census().susceptible;
+  for (int s = 0; s < 20; ++s) simulation.step();
+  EXPECT_EQ(simulation.census().susceptible, before);
+}
+
+TEST(AgentSim, TimeVaryingScheduleIsReadAtSimTime) {
+  // ε2 switches on at t = 1: an infected node survives the first 10
+  // steps (dt=0.1) with probability 1, then gets blocked quickly.
+  graph::GraphBuilder builder(2, false);
+  builder.add_edge(0, 1);
+  const auto g = std::move(builder).build();
+  AgentParams params;
+  params.lambda = core::Acceptance::constant(1e-12);
+  params.dt = 0.1;
+  AgentSimulation simulation(g, params, 3);
+  simulation.set_control_schedule(std::make_shared<core::FunctionControl>(
+      [](double) { return 0.0; },
+      [](double t) { return t < 1.0 ? 0.0 : 50.0; }));
+  simulation.seed_infections({0});
+  for (int s = 0; s < 10; ++s) simulation.step();  // t in [0, 1): ε2 = 0
+  EXPECT_EQ(simulation.census().infected, 1u);
+  for (int s = 0; s < 10; ++s) simulation.step();  // ε2 = 50 → ~instant
+  EXPECT_EQ(simulation.census().infected, 0u);
+}
+
+}  // namespace
+}  // namespace rumor::sim

@@ -1,0 +1,74 @@
+// Directed-graph rumor semantics: on a directed graph the agent
+// simulators spread infection along *out*-edges (an infected account
+// exposes the accounts it links to — follower semantics, matching how
+// Digg votes propagate along follow links).
+#include <gtest/gtest.h>
+
+#include "sim/agent_sim.hpp"
+#include "sim/gillespie.hpp"
+
+namespace rumor::sim {
+namespace {
+
+// A directed chain 0 → 1 → 2 → 3.
+graph::Graph directed_chain(std::size_t n) {
+  graph::GraphBuilder builder(n, /*directed=*/true);
+  for (graph::NodeId v = 0; v + 1 < n; ++v) builder.add_edge(v, v + 1);
+  return std::move(builder).build();
+}
+
+AgentParams spreading_params() {
+  AgentParams params;
+  params.lambda = core::Acceptance::linear(50.0);  // near-certain per step
+  params.omega = core::Infectivity::constant(10.0);
+  params.dt = 0.5;
+  return params;
+}
+
+TEST(DirectedAgentSim, InfectionFollowsEdgeDirection) {
+  const auto g = directed_chain(4);
+  AgentSimulation simulation(g, spreading_params(), 1);
+  simulation.seed_infections({1});
+  for (int s = 0; s < 60; ++s) simulation.step();
+  // Downstream nodes get infected, the upstream node never does.
+  EXPECT_EQ(simulation.state(0), Compartment::kSusceptible);
+  EXPECT_NE(simulation.state(2), Compartment::kSusceptible);
+  EXPECT_NE(simulation.state(3), Compartment::kSusceptible);
+}
+
+TEST(DirectedAgentSim, SinkNodeCannotSpreadBackward) {
+  const auto g = directed_chain(3);
+  AgentSimulation simulation(g, spreading_params(), 2);
+  simulation.seed_infections({2});  // terminal node: no out-edges
+  for (int s = 0; s < 60; ++s) simulation.step();
+  EXPECT_EQ(simulation.ever_infected(), 1u);
+}
+
+TEST(DirectedGillespie, InfectionFollowsEdgeDirection) {
+  const auto g = directed_chain(4);
+  GillespieParams params;
+  params.lambda = core::Acceptance::linear(50.0);
+  params.omega = core::Infectivity::constant(10.0);
+  params.epsilon2 = 0.01;  // eventually absorbs
+  GillespieSimulation simulation(g, params, 3);
+  simulation.seed_infections({1});
+  while (simulation.step()) {
+  }
+  EXPECT_EQ(simulation.state(0), Compartment::kSusceptible);
+  EXPECT_NE(simulation.state(2), Compartment::kSusceptible);
+}
+
+TEST(DirectedAgentSim, DegreeUsesInPlusOut) {
+  // degree(v) = in + out on directed graphs (a follow link contributes
+  // social connectivity to both ends) — the profile the ODE reads.
+  const auto g = directed_chain(3);
+  AgentSimulation simulation(g, spreading_params(), 4);
+  const auto groups = simulation.group_densities();
+  // Node degrees: 0 → 1 (out), 1 → 2 (in+out), 2 → 1 (in).
+  ASSERT_EQ(groups.degrees.size(), 2u);
+  EXPECT_EQ(groups.degrees[0], 1u);
+  EXPECT_EQ(groups.degrees[1], 2u);
+}
+
+}  // namespace
+}  // namespace rumor::sim

@@ -1,0 +1,295 @@
+#include "sim/gillespie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace rumor::sim {
+namespace {
+
+graph::Graph star_graph(std::size_t leaves) {
+  graph::GraphBuilder builder(leaves + 1, false);
+  for (graph::NodeId v = 1; v <= leaves; ++v) builder.add_edge(0, v);
+  return std::move(builder).build();
+}
+
+GillespieParams default_params() {
+  GillespieParams params;
+  params.lambda = core::Acceptance::linear(1.0);
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  return params;
+}
+
+TEST(Gillespie, NoEventsWithoutInfectionOrImmunization) {
+  const auto g = star_graph(5);
+  GillespieSimulation simulation(g, default_params(), 1);
+  EXPECT_FALSE(simulation.step());  // total rate is zero
+  EXPECT_DOUBLE_EQ(simulation.time(), 0.0);
+}
+
+TEST(Gillespie, PureBlockingAbsorbsAllInfected) {
+  const auto g = star_graph(5);
+  auto params = default_params();
+  params.epsilon2 = 1.0;
+  params.lambda = core::Acceptance::constant(1e-12);  // no spread
+  GillespieSimulation simulation(g, params, 2);
+  simulation.seed_random_infections(3);
+  while (simulation.step()) {
+  }
+  EXPECT_EQ(simulation.infected_count(), 0u);
+  EXPECT_EQ(simulation.census().recovered, 3u);
+  EXPECT_GT(simulation.time(), 0.0);
+}
+
+TEST(Gillespie, BlockingTimeHasExponentialMean) {
+  // A single infected node with blocking rate ε2: absorption time is
+  // Exp(ε2); average over many replicas ≈ 1/ε2.
+  const auto g = star_graph(1);
+  auto params = default_params();
+  params.epsilon2 = 0.5;
+  params.lambda = core::Acceptance::constant(1e-12);
+  double total_time = 0.0;
+  const int replicas = 4000;
+  for (int r = 0; r < replicas; ++r) {
+    GillespieSimulation simulation(g, params, 1000 + r);
+    simulation.seed_infections({0});
+    while (simulation.step()) {
+    }
+    total_time += simulation.time();
+  }
+  EXPECT_NEAR(total_time / replicas, 2.0, 0.1);
+}
+
+TEST(Gillespie, ImmunizationRemovesSusceptibles) {
+  const auto g = star_graph(9);
+  auto params = default_params();
+  params.epsilon1 = 1.0;
+  GillespieSimulation simulation(g, params, 3);
+  while (simulation.step()) {
+  }
+  EXPECT_EQ(simulation.census().susceptible, 0u);
+  EXPECT_EQ(simulation.census().recovered, 10u);
+}
+
+TEST(Gillespie, InfectionRequiresInfectedNeighbor) {
+  // Hub blocked: a seeded leaf cannot reach the others.
+  const auto g = star_graph(6);
+  auto params = default_params();
+  params.epsilon2 = 0.2;
+  GillespieSimulation simulation(g, params, 4);
+  simulation.block_nodes({0});
+  simulation.seed_infections({1});
+  while (simulation.step()) {
+  }
+  EXPECT_EQ(simulation.ever_infected(), 1u);
+}
+
+TEST(Gillespie, RunUntilSamplesOnRegularGrid) {
+  util::Xoshiro256 rng(5);
+  const auto g = graph::barabasi_albert(100, 2, rng);
+  auto params = default_params();
+  params.epsilon2 = 0.3;
+  GillespieSimulation simulation(g, params, 6);
+  simulation.seed_random_infections(5);
+  const auto history = simulation.run_until(5.0, 0.5);
+  ASSERT_GE(history.size(), 2u);
+  for (std::size_t k = 1; k < history.size(); ++k) {
+    EXPECT_NEAR(history[k].t - history[k - 1].t, 0.5, 1e-9);
+  }
+}
+
+TEST(Gillespie, AgreesWithDiscreteTimeSimulatorOnAverages) {
+  // The synchronous simulator approximates the SSA as dt → 0: compare
+  // mean attack rates over replicas on the same graph/parameters.
+  util::Xoshiro256 rng(7);
+  const auto g = graph::barabasi_albert(300, 3, rng);
+  const double e2 = 0.6;
+  const int replicas = 60;
+
+  double gillespie_attack = 0.0;
+  for (int r = 0; r < replicas; ++r) {
+    auto params = default_params();
+    params.epsilon2 = e2;
+    GillespieSimulation simulation(g, params, 100 + r);
+    simulation.seed_random_infections(15);
+    simulation.run_until(40.0, 5.0);
+    gillespie_attack += static_cast<double>(simulation.ever_infected());
+  }
+  gillespie_attack /= replicas * 300.0;
+
+  double discrete_attack = 0.0;
+  for (int r = 0; r < replicas; ++r) {
+    AgentParams params;
+    params.lambda = core::Acceptance::linear(1.0);
+    params.omega = core::Infectivity::saturating(0.5, 0.5);
+    params.epsilon2 = e2;
+    params.dt = 0.02;  // fine steps to approach the continuous limit
+    AgentSimulation simulation(g, params, 500 + r);
+    simulation.seed_random_infections(15);
+    simulation.run_until(40.0);
+    discrete_attack += static_cast<double>(simulation.ever_infected());
+  }
+  discrete_attack /= replicas * 300.0;
+
+  EXPECT_NEAR(gillespie_attack, discrete_attack,
+              0.1 * std::max(gillespie_attack, discrete_attack) + 0.02);
+}
+
+TEST(Gillespie, DeterministicGivenSeed) {
+  util::Xoshiro256 rng(8);
+  const auto g = graph::barabasi_albert(120, 2, rng);
+  auto params = default_params();
+  params.epsilon2 = 0.4;
+  auto run = [&](std::uint64_t seed) {
+    GillespieSimulation simulation(g, params, seed);
+    simulation.seed_random_infections(4);
+    simulation.run_until(20.0, 1.0);
+    return simulation.ever_infected();
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+TEST(Gillespie, ValidatesInputs) {
+  const auto g = star_graph(3);
+  GillespieParams bad;
+  bad.epsilon1 = -1.0;
+  EXPECT_THROW(GillespieSimulation(g, bad, 1), util::InvalidArgument);
+  GillespieSimulation simulation(g, default_params(), 1);
+  EXPECT_THROW(simulation.seed_infections({10}), util::InvalidArgument);
+  EXPECT_THROW(simulation.run_until(1.0, 0.0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rumor::sim
+
+namespace rumor::sim {
+namespace {
+
+graph::Graph isolated_pair() {
+  graph::GraphBuilder builder(2, false);
+  builder.add_edge(0, 1);
+  return std::move(builder).build();
+}
+
+TEST(GillespieThinning, DelayedBlockingShiftsAbsorptionTime) {
+  // ε2(t) = 0 for t < 3, then 1: absorption of a lone infected node is
+  // 3 + Exp(1); the sample mean over replicas must be ≈ 4.
+  const auto g = isolated_pair();
+  double total = 0.0;
+  const int replicas = 3000;
+  for (int r = 0; r < replicas; ++r) {
+    GillespieParams params;
+    params.lambda = core::Acceptance::constant(1e-12);
+    params.omega = core::Infectivity::constant(1e-12);
+    GillespieSimulation simulation(g, params, 5000 + r);
+    simulation.set_control_schedule(
+        std::make_shared<core::FunctionControl>(
+            [](double) { return 0.0; },
+            [](double t) { return t < 3.0 ? 0.0 : 1.0; }),
+        /*epsilon1_bound=*/0.0, /*epsilon2_bound=*/1.0);
+    simulation.seed_infections({0});
+    while (simulation.infected_count() > 0) {
+      ASSERT_TRUE(simulation.step());
+    }
+    total += simulation.time();
+  }
+  EXPECT_NEAR(total / replicas, 4.0, 0.07);
+}
+
+TEST(GillespieThinning, ConstantScheduleMatchesConstantParams) {
+  // A constant schedule through the thinning path must reproduce the
+  // statistics of the plain constant-rate path.
+  const auto g = isolated_pair();
+  auto mean_absorption = [&](bool use_schedule) {
+    double total = 0.0;
+    const int replicas = 3000;
+    for (int r = 0; r < replicas; ++r) {
+      GillespieParams params;
+      params.lambda = core::Acceptance::constant(1e-12);
+      params.omega = core::Infectivity::constant(1e-12);
+      if (!use_schedule) params.epsilon2 = 0.5;
+      GillespieSimulation simulation(g, params, 9000 + r);
+      if (use_schedule) {
+        simulation.set_control_schedule(
+            core::make_constant_control(0.0, 0.5), 0.0, 0.5);
+      }
+      simulation.seed_infections({0});
+      while (simulation.infected_count() > 0) {
+        if (!simulation.step()) break;
+      }
+      total += simulation.time();
+    }
+    return total / replicas;
+  };
+  EXPECT_NEAR(mean_absorption(true), mean_absorption(false), 0.12);
+  EXPECT_NEAR(mean_absorption(true), 2.0, 0.1);
+}
+
+TEST(GillespieThinning, LooseBoundDoesNotBiasTheLaw) {
+  // Thinning with a bound 4x above the actual rate must give the same
+  // absorption-time distribution (only more null events).
+  const auto g = isolated_pair();
+  double total = 0.0;
+  const int replicas = 3000;
+  for (int r = 0; r < replicas; ++r) {
+    GillespieParams params;
+    params.lambda = core::Acceptance::constant(1e-12);
+    params.omega = core::Infectivity::constant(1e-12);
+    GillespieSimulation simulation(g, params, 12000 + r);
+    simulation.set_control_schedule(
+        core::make_constant_control(0.0, 0.5), 0.0, /*loose bound=*/2.0);
+    simulation.seed_infections({0});
+    while (simulation.infected_count() > 0) {
+      ASSERT_TRUE(simulation.step());
+    }
+    total += simulation.time();
+  }
+  EXPECT_NEAR(total / replicas, 2.0, 0.1);
+}
+
+TEST(GillespieThinning, ScheduleAboveBoundThrows) {
+  const auto g = isolated_pair();
+  GillespieParams params;
+  params.lambda = core::Acceptance::constant(1e-12);
+  params.omega = core::Infectivity::constant(1e-12);
+  GillespieSimulation simulation(g, params, 1);
+  simulation.set_control_schedule(
+      core::make_constant_control(0.0, 5.0), 0.0, /*bound too low=*/1.0);
+  simulation.seed_infections({0});
+  EXPECT_THROW(
+      {
+        for (int s = 0; s < 100; ++s) simulation.step();
+      },
+      util::InvalidArgument);
+}
+
+TEST(GillespieThinning, RevertToConstantsRestoresRates) {
+  const auto g = isolated_pair();
+  GillespieParams params;
+  params.lambda = core::Acceptance::constant(1e-12);
+  params.omega = core::Infectivity::constant(1e-12);
+  params.epsilon2 = 0.5;
+  GillespieSimulation simulation(g, params, 2);
+  simulation.set_control_schedule(core::make_constant_control(0.0, 0.0),
+                                  0.0, 0.0);
+  simulation.seed_infections({0});
+  // Under the all-zero schedule the blocking channel cannot fire: the
+  // seeded node stays infected no matter how many events elapse (the
+  // only live channel is the ~1e-24-rate infection of its neighbor).
+  for (int s = 0; s < 20; ++s) {
+    if (!simulation.step()) break;
+  }
+  EXPECT_GE(simulation.infected_count(), 1u);
+  // Reverting restores ε2 = 0.5 from the constants: absorption happens.
+  simulation.set_control_schedule(nullptr, 0.0, 0.0);
+  for (int s = 0; s < 200 && simulation.infected_count() > 0; ++s) {
+    ASSERT_TRUE(simulation.step());
+  }
+  EXPECT_EQ(simulation.infected_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rumor::sim

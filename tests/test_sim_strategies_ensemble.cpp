@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "sim/ensemble.hpp"
+#include "sim/strategies.hpp"
+#include "util/error.hpp"
+
+namespace rumor::sim {
+namespace {
+
+graph::Graph star_graph(std::size_t leaves) {
+  graph::GraphBuilder builder(leaves + 1, false);
+  for (graph::NodeId v = 1; v <= leaves; ++v) builder.add_edge(0, v);
+  return std::move(builder).build();
+}
+
+TEST(Strategies, NamesAreStable) {
+  EXPECT_EQ(to_string(BlockingStrategy::kRandom), "random");
+  EXPECT_EQ(to_string(BlockingStrategy::kDegree), "degree");
+  EXPECT_EQ(to_string(BlockingStrategy::kCore), "core");
+  EXPECT_EQ(to_string(BlockingStrategy::kBetweenness), "betweenness");
+}
+
+TEST(Strategies, DegreeStrategyPicksTheHubFirst) {
+  util::Xoshiro256 rng(1);
+  const auto g = star_graph(20);
+  const auto nodes =
+      select_nodes_to_block(g, BlockingStrategy::kDegree, 1, rng);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0], 0u);
+}
+
+TEST(Strategies, BetweennessStrategyPicksTheHubFirst) {
+  util::Xoshiro256 rng(2);
+  const auto g = star_graph(20);
+  const auto nodes =
+      select_nodes_to_block(g, BlockingStrategy::kBetweenness, 1, rng, 8);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0], 0u);
+}
+
+TEST(Strategies, CoreStrategyPrefersDenseRegion) {
+  // Clique K5 (nodes 0..4) plus a long tail: clique nodes are 4-core.
+  graph::GraphBuilder builder(10, false);
+  for (graph::NodeId v = 0; v < 5; ++v) {
+    for (graph::NodeId w = 0; w < v; ++w) builder.add_edge(v, w);
+  }
+  for (graph::NodeId v = 4; v + 1 < 10; ++v) builder.add_edge(v, v + 1);
+  const auto g = std::move(builder).build();
+  util::Xoshiro256 rng(3);
+  const auto nodes =
+      select_nodes_to_block(g, BlockingStrategy::kCore, 5, rng);
+  for (const auto v : nodes) EXPECT_LT(v, 5u);
+}
+
+TEST(Strategies, AllStrategiesReturnDistinctNodes) {
+  util::Xoshiro256 rng(4);
+  const auto g = graph::barabasi_albert(200, 2, rng);
+  for (const auto strategy :
+       {BlockingStrategy::kRandom, BlockingStrategy::kDegree,
+        BlockingStrategy::kCore, BlockingStrategy::kBetweenness}) {
+    const auto nodes = select_nodes_to_block(g, strategy, 25, rng, 16);
+    ASSERT_EQ(nodes.size(), 25u) << to_string(strategy);
+    const std::set<graph::NodeId> unique(nodes.begin(), nodes.end());
+    EXPECT_EQ(unique.size(), 25u) << to_string(strategy);
+  }
+}
+
+TEST(Strategies, ZeroCountIsEmpty) {
+  util::Xoshiro256 rng(5);
+  const auto g = star_graph(4);
+  EXPECT_TRUE(
+      select_nodes_to_block(g, BlockingStrategy::kDegree, 0, rng).empty());
+}
+
+TEST(Strategies, RejectsOversizedCount) {
+  util::Xoshiro256 rng(6);
+  const auto g = star_graph(4);
+  EXPECT_THROW(select_nodes_to_block(g, BlockingStrategy::kRandom, 6, rng),
+               util::InvalidArgument);
+}
+
+TEST(Strategies, TargetedBlockingBeatsRandomOnScaleFree) {
+  // The claim behind the paper's "block influential users" discussion:
+  // blocking hubs suppresses the outbreak more than random blocking.
+  util::Xoshiro256 rng(7);
+  const auto g = graph::barabasi_albert(800, 3, rng);
+  const std::size_t budget = 40;
+
+  auto attack_rate = [&](BlockingStrategy strategy,
+                         std::uint64_t seed) {
+    util::Xoshiro256 select_rng(seed);
+    const auto blocked = select_nodes_to_block(g, strategy, budget,
+                                               select_rng, 32);
+    double total = 0.0;
+    const int replicas = 12;
+    for (int r = 0; r < replicas; ++r) {
+      AgentParams params;
+      params.lambda = core::Acceptance::linear(1.0);
+      params.omega = core::Infectivity::linear(1.0);
+      params.epsilon2 = 0.25;
+      params.dt = 0.1;
+      AgentSimulation simulation(g, params, seed * 100 + r);
+      simulation.block_nodes(blocked);
+      simulation.seed_random_infections(8);
+      simulation.run_until(60.0);
+      total += static_cast<double>(simulation.ever_infected());
+    }
+    return total / (12 * 800.0);
+  };
+
+  const double random_attack = attack_rate(BlockingStrategy::kRandom, 11);
+  const double degree_attack = attack_rate(BlockingStrategy::kDegree, 13);
+  EXPECT_LT(degree_attack, random_attack);
+}
+
+TEST(Ensemble, SeriesCoversRequestedHorizon) {
+  util::Xoshiro256 rng(8);
+  const auto g = graph::barabasi_albert(150, 2, rng);
+  AgentParams params;
+  params.epsilon2 = 0.3;
+  params.dt = 0.25;
+  EnsembleOptions options;
+  options.replicas = 4;
+  options.t_end = 5.0;
+  options.seed = 77;
+  const auto result = run_ensemble(g, params, options);
+  ASSERT_EQ(result.series.size(), 21u);  // 5.0 / 0.25 + 1
+  EXPECT_DOUBLE_EQ(result.series.front().t, 0.0);
+  EXPECT_NEAR(result.series.back().t, 5.0, 1e-12);
+}
+
+TEST(Ensemble, InitialFractionSeedsProportionally) {
+  util::Xoshiro256 rng(9);
+  const auto g = graph::barabasi_albert(400, 2, rng);
+  AgentParams params;
+  params.dt = 0.5;
+  EnsembleOptions options;
+  options.replicas = 3;
+  options.t_end = 1.0;
+  options.initial_fraction = 0.05;
+  const auto result = run_ensemble(g, params, options);
+  EXPECT_NEAR(result.series.front().mean_infected_fraction, 0.05, 1e-9);
+}
+
+TEST(Ensemble, ExplicitSeedCountOverridesFraction) {
+  util::Xoshiro256 rng(10);
+  const auto g = graph::barabasi_albert(400, 2, rng);
+  AgentParams params;
+  params.dt = 0.5;
+  EnsembleOptions options;
+  options.replicas = 2;
+  options.t_end = 1.0;
+  options.initial_infected = 7;
+  const auto result = run_ensemble(g, params, options);
+  EXPECT_NEAR(result.series.front().mean_infected_fraction, 7.0 / 400.0,
+              1e-12);
+}
+
+TEST(Ensemble, ReproducibleAndSeedSensitive) {
+  util::Xoshiro256 rng(11);
+  const auto g = graph::barabasi_albert(200, 2, rng);
+  AgentParams params;
+  params.epsilon2 = 0.2;
+  params.dt = 0.2;
+  EnsembleOptions options;
+  options.replicas = 5;
+  options.t_end = 10.0;
+  options.seed = 31;
+  const auto a = run_ensemble(g, params, options);
+  const auto b = run_ensemble(g, params, options);
+  EXPECT_DOUBLE_EQ(a.mean_attack_rate, b.mean_attack_rate);
+  options.seed = 32;
+  const auto c = run_ensemble(g, params, options);
+  EXPECT_NE(a.mean_attack_rate, c.mean_attack_rate);
+}
+
+TEST(Ensemble, StdIsZeroForSingleReplica) {
+  util::Xoshiro256 rng(12);
+  const auto g = graph::barabasi_albert(100, 2, rng);
+  AgentParams params;
+  params.dt = 0.5;
+  EnsembleOptions options;
+  options.replicas = 1;
+  options.t_end = 2.0;
+  const auto result = run_ensemble(g, params, options);
+  for (const auto& point : result.series) {
+    EXPECT_DOUBLE_EQ(point.std_infected_fraction, 0.0);
+  }
+}
+
+TEST(Ensemble, ValidatesOptions) {
+  util::Xoshiro256 rng(13);
+  const auto g = graph::barabasi_albert(50, 2, rng);
+  EnsembleOptions bad;
+  bad.replicas = 0;
+  EXPECT_THROW(run_ensemble(g, AgentParams{}, bad), util::InvalidArgument);
+  bad = EnsembleOptions{};
+  bad.t_end = 0.0;
+  EXPECT_THROW(run_ensemble(g, AgentParams{}, bad), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rumor::sim

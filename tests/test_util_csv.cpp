@@ -1,0 +1,122 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rumor::util {
+namespace {
+
+TEST(CsvWriter, HeaderAndNumericRows) {
+  CsvWriter writer({"t", "value"});
+  writer.add_row({0.0, 1.5});
+  writer.add_row({1.0, -2.25});
+  std::ostringstream out;
+  writer.write(out);
+  EXPECT_EQ(out.str(), "t,value\n0,1.5\n1,-2.25\n");
+}
+
+TEST(CsvWriter, RejectsEmptyHeader) {
+  EXPECT_THROW(CsvWriter({}), InvalidArgument);
+}
+
+TEST(CsvWriter, RejectsRowWidthMismatch) {
+  CsvWriter writer({"a", "b"});
+  EXPECT_THROW(writer.add_row({1.0}), InvalidArgument);
+  EXPECT_THROW(writer.add_text_row({"x", "y", "z"}), InvalidArgument);
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  CsvWriter writer({"name"});
+  writer.add_text_row({"a,b"});
+  writer.add_text_row({"say \"hi\""});
+  std::ostringstream out;
+  writer.write(out);
+  EXPECT_EQ(out.str(), "name\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvParse, SimpleDocument) {
+  const auto doc = parse_csv("a,b\n1,2\n3,4\n");
+  ASSERT_EQ(doc.header.size(), 2u);
+  EXPECT_EQ(doc.header[0], "a");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][1], "4");
+}
+
+TEST(CsvParse, HandlesCrLfAndMissingFinalNewline) {
+  const auto doc = parse_csv("a,b\r\n1,2\r\n3,4");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][0], "3");
+}
+
+TEST(CsvParse, QuotedFieldsWithCommasAndEscapedQuotes) {
+  const auto doc = parse_csv("h\n\"a,b\"\n\"x\"\"y\"\n");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][0], "a,b");
+  EXPECT_EQ(doc.rows[1][0], "x\"y");
+}
+
+TEST(CsvParse, QuotedFieldWithNewline) {
+  const auto doc = parse_csv("h\n\"line1\nline2\"\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "line1\nline2");
+}
+
+TEST(CsvParse, RejectsEmptyDocument) {
+  EXPECT_THROW(parse_csv(""), InvalidArgument);
+}
+
+TEST(CsvDocument, ColumnLookup) {
+  const auto doc = parse_csv("x,y\n1,2\n");
+  EXPECT_EQ(doc.column("y"), 1u);
+  EXPECT_THROW(doc.column("z"), InvalidArgument);
+}
+
+TEST(CsvDocument, NumericColumnParsesDoubles) {
+  const auto doc = parse_csv("t,v\n0.5,-1e3\n2,0.25\n");
+  const auto v = doc.numeric_column("v");
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], -1000.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.25);
+}
+
+TEST(CsvDocument, NumericColumnRejectsText) {
+  const auto doc = parse_csv("v\nhello\n");
+  EXPECT_THROW(doc.numeric_column("v"), InvalidArgument);
+}
+
+TEST(CsvRoundTrip, WriteThenReadFile) {
+  CsvWriter writer({"t", "dist"});
+  writer.add_row({0.0, 0.95});
+  writer.add_row({1.0, 0.5});
+  const std::string path = testing::TempDir() + "/roundtrip_test.csv";
+  writer.write_file(path);
+
+  const auto doc = read_csv_file(path);
+  EXPECT_EQ(doc.header, (std::vector<std::string>{"t", "dist"}));
+  const auto dist = doc.numeric_column("dist");
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_DOUBLE_EQ(dist[0], 0.95);
+  std::remove(path.c_str());
+}
+
+TEST(CsvRoundTrip, PreservesHighPrecision) {
+  CsvWriter writer({"x"});
+  const double value = 0.123456789012;
+  writer.add_row({value});
+  std::ostringstream out;
+  writer.write(out);
+  const auto doc = parse_csv(out.str());
+  EXPECT_NEAR(doc.numeric_column("x")[0], value, 1e-12);
+}
+
+TEST(CsvFile, MissingFileThrowsIoError) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/file.csv"), IoError);
+}
+
+}  // namespace
+}  // namespace rumor::util

@@ -1,0 +1,221 @@
+#include "util/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace rumor::util {
+namespace {
+
+// Sort eigenvalues by (real, imag) for stable comparisons.
+std::vector<std::complex<double>> sorted(
+    std::vector<std::complex<double>> values) {
+  std::sort(values.begin(), values.end(),
+            [](const auto& a, const auto& b) {
+              if (a.real() != b.real()) return a.real() < b.real();
+              return a.imag() < b.imag();
+            });
+  return values;
+}
+
+TEST(Eigen, OneByOne) {
+  Matrix a(1, 1);
+  a(0, 0) = -3.5;
+  const auto ev = eigenvalues(a);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_DOUBLE_EQ(ev[0].real(), -3.5);
+  EXPECT_DOUBLE_EQ(ev[0].imag(), 0.0);
+}
+
+TEST(Eigen, DiagonalMatrix) {
+  Matrix a(3, 3, 0.0);
+  a(0, 0) = 2.0;
+  a(1, 1) = -1.0;
+  a(2, 2) = 0.5;
+  const auto ev = sorted(eigenvalues(a));
+  EXPECT_NEAR(ev[0].real(), -1.0, 1e-12);
+  EXPECT_NEAR(ev[1].real(), 0.5, 1e-12);
+  EXPECT_NEAR(ev[2].real(), 2.0, 1e-12);
+  for (const auto& e : ev) EXPECT_NEAR(e.imag(), 0.0, 1e-12);
+}
+
+TEST(Eigen, UpperTriangularEigenvaluesAreDiagonal) {
+  Matrix a(4, 4, 0.0);
+  const double diag[4] = {1.0, -2.0, 3.0, 0.25};
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, i) = diag[i];
+    for (std::size_t j = i + 1; j < 4; ++j) a(i, j) = 5.0;
+  }
+  auto ev = sorted(eigenvalues(a));
+  EXPECT_NEAR(ev[0].real(), -2.0, 1e-10);
+  EXPECT_NEAR(ev[1].real(), 0.25, 1e-10);
+  EXPECT_NEAR(ev[2].real(), 1.0, 1e-10);
+  EXPECT_NEAR(ev[3].real(), 3.0, 1e-10);
+}
+
+TEST(Eigen, RotationGivesPureImaginaryPair) {
+  Matrix a(2, 2, 0.0);
+  a(0, 1) = -1.0;
+  a(1, 0) = 1.0;
+  const auto ev = sorted(eigenvalues(a));
+  EXPECT_NEAR(ev[0].real(), 0.0, 1e-12);
+  EXPECT_NEAR(ev[0].imag(), -1.0, 1e-12);
+  EXPECT_NEAR(ev[1].imag(), 1.0, 1e-12);
+}
+
+TEST(Eigen, DampedSpiralBlock) {
+  // [[-0.1, -2], [2, -0.1]] → eigenvalues -0.1 ± 2i.
+  Matrix a(2, 2);
+  a(0, 0) = -0.1;
+  a(0, 1) = -2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = -0.1;
+  const auto ev = sorted(eigenvalues(a));
+  EXPECT_NEAR(ev[0].real(), -0.1, 1e-12);
+  EXPECT_NEAR(std::abs(ev[0].imag()), 2.0, 1e-12);
+}
+
+TEST(Eigen, CompanionMatrixOfKnownPolynomial) {
+  // p(x) = (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6; companion matrix
+  // eigenvalues are the roots {1, 2, 3}.
+  Matrix a(3, 3, 0.0);
+  a(0, 0) = 6.0;
+  a(0, 1) = -11.0;
+  a(0, 2) = 6.0;
+  a(1, 0) = 1.0;
+  a(2, 1) = 1.0;
+  const auto ev = sorted(eigenvalues(a));
+  EXPECT_NEAR(ev[0].real(), 1.0, 1e-9);
+  EXPECT_NEAR(ev[1].real(), 2.0, 1e-9);
+  EXPECT_NEAR(ev[2].real(), 3.0, 1e-9);
+}
+
+TEST(Eigen, ZeroMatrix) {
+  Matrix a(3, 3, 0.0);
+  for (const auto& ev : eigenvalues(a)) {
+    EXPECT_DOUBLE_EQ(ev.real(), 0.0);
+    EXPECT_DOUBLE_EQ(ev.imag(), 0.0);
+  }
+}
+
+TEST(Eigen, TraceAndDeterminantInvariants) {
+  // Σλ = trace and Πλ = det for random matrices — a strong global
+  // correctness check of the full spectrum.
+  Xoshiro256 rng(41);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 2 + rng.uniform_index(10);
+    Matrix a(n, n);
+    double trace = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-2.0, 2.0);
+      trace += a(r, r);
+    }
+    const double det = LuFactorization(a).determinant();
+    const auto ev = eigenvalues(a);
+    ASSERT_EQ(ev.size(), n);
+    std::complex<double> sum = 0.0, prod = 1.0;
+    for (const auto& e : ev) {
+      sum += e;
+      prod *= e;
+    }
+    EXPECT_NEAR(sum.real(), trace, 1e-8 * std::max(1.0, std::abs(trace)))
+        << "trial=" << trial;
+    EXPECT_NEAR(sum.imag(), 0.0, 1e-8);
+    EXPECT_NEAR(prod.real(), det, 1e-6 * std::max(1.0, std::abs(det)))
+        << "trial=" << trial;
+    EXPECT_NEAR(prod.imag(), 0.0, 1e-6 * std::max(1.0, std::abs(det)));
+  }
+}
+
+TEST(Eigen, ComplexEigenvaluesComeInConjugatePairs) {
+  Xoshiro256 rng(43);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix a(7, 7);
+    for (std::size_t r = 0; r < 7; ++r) {
+      for (std::size_t c = 0; c < 7; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    }
+    auto ev = eigenvalues(a);
+    for (const auto& e : ev) {
+      if (std::abs(e.imag()) < 1e-12) continue;
+      // The conjugate must be present too.
+      double best = 1e9;
+      for (const auto& other : ev) {
+        best = std::min(best, std::abs(other - std::conj(e)));
+      }
+      EXPECT_LT(best, 1e-8);
+    }
+  }
+}
+
+TEST(Eigen, SimilarityInvariance) {
+  // Eigenvalues of P A P^{-1} equal those of A.
+  Xoshiro256 rng(47);
+  Matrix a(5, 5);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  }
+  Matrix p(5, 5);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) p(r, c) = rng.uniform(-1.0, 1.0);
+    p(r, r) += 3.0;
+  }
+  const auto transformed = p.multiply(a).multiply(inverse(p));
+  const auto ev_a = sorted(eigenvalues(a));
+  const auto ev_t = sorted(eigenvalues(transformed));
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(std::abs(ev_a[i] - ev_t[i]), 0.0, 1e-7) << "i=" << i;
+  }
+}
+
+TEST(Eigen, BadlyScaledMatrixIsBalanced) {
+  // Entries spanning 8 orders of magnitude; balancing keeps accuracy.
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 1e8;
+  a(1, 0) = 1e-8;
+  a(1, 1) = 2.0;
+  // Eigenvalues of [[1, 1e8], [1e-8, 2]]: λ² − 3λ + (2 − 1) = 0 →
+  // λ = (3 ± √5)/2.
+  const auto ev = sorted(eigenvalues(a));
+  const double root5 = std::sqrt(5.0);
+  EXPECT_NEAR(ev[0].real(), (3.0 - root5) / 2.0, 1e-9);
+  EXPECT_NEAR(ev[1].real(), (3.0 + root5) / 2.0, 1e-9);
+}
+
+TEST(Eigen, SpectralAbscissaAndRadius) {
+  Matrix a(3, 3, 0.0);
+  a(0, 0) = -4.0;  // largest modulus
+  a(1, 1) = 1.5;   // largest real part
+  a(2, 2) = 0.0;
+  EXPECT_NEAR(spectral_abscissa_exact(a), 1.5, 1e-12);
+  EXPECT_NEAR(spectral_radius(a), 4.0, 1e-12);
+}
+
+TEST(Eigen, RejectsNonSquare) {
+  EXPECT_THROW(eigenvalues(Matrix(2, 3)), InvalidArgument);
+}
+
+TEST(Eigen, LargerRandomMatrixInvariantsHold) {
+  Xoshiro256 rng(53);
+  const std::size_t n = 40;
+  Matrix a(n, n);
+  double trace = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    trace += a(r, r);
+  }
+  const auto ev = eigenvalues(a);
+  std::complex<double> sum = 0.0;
+  for (const auto& e : ev) sum += e;
+  EXPECT_NEAR(sum.real(), trace, 1e-7 * n);
+  EXPECT_NEAR(sum.imag(), 0.0, 1e-7 * n);
+}
+
+}  // namespace
+}  // namespace rumor::util

@@ -1,0 +1,110 @@
+#include "util/fenwick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace rumor::util {
+namespace {
+
+TEST(Fenwick, StartsEmpty) {
+  FenwickTree tree(8);
+  EXPECT_DOUBLE_EQ(tree.total(), 0.0);
+  EXPECT_DOUBLE_EQ(tree.prefix_sum(4), 0.0);
+}
+
+TEST(Fenwick, PointSetAndPrefixSum) {
+  FenwickTree tree(5);
+  tree.set(0, 1.0);
+  tree.set(2, 3.0);
+  tree.set(4, 0.5);
+  EXPECT_DOUBLE_EQ(tree.prefix_sum(1), 1.0);
+  EXPECT_DOUBLE_EQ(tree.prefix_sum(3), 4.0);
+  EXPECT_DOUBLE_EQ(tree.total(), 4.5);
+}
+
+TEST(Fenwick, OverwriteReplacesNotAccumulates) {
+  FenwickTree tree(3);
+  tree.set(1, 2.0);
+  tree.set(1, 5.0);
+  EXPECT_DOUBLE_EQ(tree.value(1), 5.0);
+  EXPECT_DOUBLE_EQ(tree.total(), 5.0);
+}
+
+TEST(Fenwick, SetToZeroRemovesWeight) {
+  FenwickTree tree(4);
+  tree.set(2, 7.0);
+  tree.set(2, 0.0);
+  EXPECT_DOUBLE_EQ(tree.total(), 0.0);
+}
+
+TEST(Fenwick, RejectsNegativeWeightAndBadIndex) {
+  FenwickTree tree(4);
+  EXPECT_THROW(tree.set(0, -1.0), InvalidArgument);
+  EXPECT_THROW(tree.set(4, 1.0), InvalidArgument);
+  EXPECT_THROW(tree.value(4), InvalidArgument);
+  EXPECT_THROW(tree.prefix_sum(5), InvalidArgument);
+}
+
+TEST(Fenwick, SampleSelectsByWeight) {
+  FenwickTree tree(4);
+  tree.set(0, 1.0);  // cumulative 1
+  tree.set(1, 2.0);  // cumulative 3
+  tree.set(3, 4.0);  // cumulative 7 (index 2 has zero weight)
+  EXPECT_EQ(tree.sample(0.5), 0u);
+  EXPECT_EQ(tree.sample(1.5), 1u);
+  EXPECT_EQ(tree.sample(2.99), 1u);
+  EXPECT_EQ(tree.sample(3.01), 3u);
+  EXPECT_EQ(tree.sample(6.99), 3u);
+}
+
+TEST(Fenwick, SampleNeverReturnsZeroWeightIndexInside) {
+  FenwickTree tree(5);
+  tree.set(1, 1.0);
+  tree.set(3, 1.0);
+  for (double target : {0.0, 0.3, 0.999, 1.0, 1.5, 1.999}) {
+    const std::size_t index = tree.sample(target);
+    EXPECT_TRUE(index == 1 || index == 3) << "target=" << target;
+  }
+}
+
+TEST(Fenwick, SampleClampsOvershootTarget) {
+  FenwickTree tree(3);
+  tree.set(0, 1.0);
+  EXPECT_EQ(tree.sample(5.0), 2u);  // clamped to last index, no throw
+}
+
+TEST(Fenwick, SampleFrequenciesMatchWeights) {
+  FenwickTree tree(3);
+  tree.set(0, 1.0);
+  tree.set(1, 2.0);
+  tree.set(2, 7.0);
+  Xoshiro256 rng(99);
+  std::vector<int> counts(3, 0);
+  const int samples = 100'000;
+  for (int i = 0; i < samples; ++i) {
+    ++counts[tree.sample(rng.uniform() * tree.total())];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(samples), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(samples), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(samples), 0.7, 0.01);
+}
+
+TEST(Fenwick, NonPowerOfTwoSizes) {
+  for (std::size_t size : {1u, 3u, 7u, 13u, 100u}) {
+    FenwickTree tree(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      tree.set(i, static_cast<double>(i + 1));
+    }
+    const double expected =
+        static_cast<double>(size * (size + 1)) / 2.0;
+    EXPECT_DOUBLE_EQ(tree.total(), expected) << "size=" << size;
+    EXPECT_EQ(tree.sample(expected - 0.5), size - 1);
+  }
+}
+
+}  // namespace
+}  // namespace rumor::util

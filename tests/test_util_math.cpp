@@ -1,0 +1,178 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rumor::util {
+namespace {
+
+TEST(Linspace, EndpointsAreExact) {
+  const auto grid = linspace(0.0, 1.0, 11);
+  ASSERT_EQ(grid.size(), 11u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 1.0);
+}
+
+TEST(Linspace, UniformSpacing) {
+  const auto grid = linspace(-2.0, 3.0, 6);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_NEAR(grid[i] - grid[i - 1], 1.0, 1e-12);
+  }
+}
+
+TEST(Linspace, TwoPoints) {
+  const auto grid = linspace(5.0, 7.0, 2);
+  EXPECT_DOUBLE_EQ(grid[0], 5.0);
+  EXPECT_DOUBLE_EQ(grid[1], 7.0);
+}
+
+TEST(Linspace, RejectsSinglePoint) {
+  EXPECT_THROW(linspace(0.0, 1.0, 1), InvalidArgument);
+}
+
+TEST(Linspace, DescendingRangeWorks) {
+  const auto grid = linspace(1.0, 0.0, 5);
+  EXPECT_DOUBLE_EQ(grid.front(), 1.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 0.0);
+  EXPECT_LT(grid[1], grid[0]);
+}
+
+TEST(MaxAbs, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(max_abs(std::vector<double>{}), 0.0);
+}
+
+TEST(MaxAbs, PicksLargestMagnitude) {
+  const std::vector<double> v{1.0, -7.5, 3.0};
+  EXPECT_DOUBLE_EQ(max_abs(v), 7.5);
+}
+
+TEST(L2Norm, PythagoreanTriple) {
+  const std::vector<double> v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(l2_norm(v), 5.0);
+}
+
+TEST(MaxAbsDiff, SymmetricInArguments) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.5, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(b, a), 1.0);
+}
+
+TEST(MaxAbsDiff, RejectsSizeMismatch) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(max_abs_diff(a, b), InvalidArgument);
+}
+
+TEST(Trapezoid, ExactForLinearFunctions) {
+  // ∫_0^2 (3t + 1) dt = 8 — the trapezoid rule is exact on degree-1.
+  const std::vector<double> t{0.0, 0.5, 1.3, 2.0};
+  std::vector<double> y;
+  for (const double ti : t) y.push_back(3.0 * ti + 1.0);
+  EXPECT_NEAR(trapezoid(t, y), 8.0, 1e-12);
+}
+
+TEST(Trapezoid, ConvergesQuadraticallyOnSmoothIntegrand) {
+  // ∫_0^π sin t dt = 2; halving h must cut the error ~4x.
+  auto integral = [](std::size_t points) {
+    const auto t = linspace(0.0, M_PI, points);
+    std::vector<double> y;
+    for (const double ti : t) y.push_back(std::sin(ti));
+    return trapezoid(t, y);
+  };
+  const double err_coarse = std::abs(integral(33) - 2.0);
+  const double err_fine = std::abs(integral(65) - 2.0);
+  EXPECT_LT(err_fine, err_coarse / 3.5);
+}
+
+TEST(Trapezoid, FewerThanTwoPointsIsZero) {
+  const std::vector<double> t{1.0};
+  const std::vector<double> y{5.0};
+  EXPECT_DOUBLE_EQ(trapezoid(t, y), 0.0);
+}
+
+TEST(Trapezoid, RejectsNonIncreasingGrid) {
+  const std::vector<double> t{0.0, 1.0, 1.0};
+  const std::vector<double> y{1.0, 1.0, 1.0};
+  EXPECT_THROW(trapezoid(t, y), InvalidArgument);
+}
+
+TEST(InterpLinear, HitsKnotsExactly) {
+  const std::vector<double> t{0.0, 1.0, 4.0};
+  const std::vector<double> y{2.0, -1.0, 5.0};
+  EXPECT_DOUBLE_EQ(interp_linear(t, y, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(interp_linear(t, y, 1.0), -1.0);
+  EXPECT_DOUBLE_EQ(interp_linear(t, y, 4.0), 5.0);
+}
+
+TEST(InterpLinear, MidpointIsAverage) {
+  const std::vector<double> t{0.0, 2.0};
+  const std::vector<double> y{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(interp_linear(t, y, 1.0), 2.0);
+}
+
+TEST(InterpLinear, ClampsOutsideRange) {
+  const std::vector<double> t{1.0, 2.0};
+  const std::vector<double> y{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(interp_linear(t, y, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(interp_linear(t, y, 3.0), 20.0);
+}
+
+TEST(InterpLinear, SingleKnotIsConstant) {
+  const std::vector<double> t{1.0};
+  const std::vector<double> y{42.0};
+  EXPECT_DOUBLE_EQ(interp_linear(t, y, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(interp_linear(t, y, 99.0), 42.0);
+}
+
+TEST(Clamp, InsideUnchangedOutsideClamped) {
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(2.0, 0.0, 1.0), 1.0);
+}
+
+TEST(Clamp, RejectsInvertedBounds) {
+  EXPECT_THROW(clamp(0.5, 1.0, 0.0), InvalidArgument);
+}
+
+TEST(ApproxEqual, RelativeToleranceScalesWithMagnitude) {
+  EXPECT_TRUE(approx_equal(1e10, 1e10 * (1.0 + 1e-10)));
+  EXPECT_FALSE(approx_equal(1e10, 1e10 * (1.0 + 1e-6)));
+}
+
+TEST(ApproxEqual, AbsoluteToleranceNearZero) {
+  EXPECT_TRUE(approx_equal(0.0, 1e-13));
+  EXPECT_FALSE(approx_equal(0.0, 1e-3));
+}
+
+TEST(MeanVariance, KnownSample) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+}
+
+TEST(MeanVariance, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(Axpy, AccumulatesScaledVector) {
+  const std::vector<double> x{1.0, 2.0};
+  std::vector<double> y{10.0, 20.0};
+  axpy(0.5, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 10.5);
+  EXPECT_DOUBLE_EQ(y[1], 21.0);
+}
+
+TEST(Axpy, RejectsSizeMismatch) {
+  const std::vector<double> x{1.0};
+  std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW(axpy(1.0, x, y), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rumor::util

@@ -1,0 +1,176 @@
+#include "util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace rumor::util {
+namespace {
+
+Matrix make_2x2(double a, double b, double c, double d) {
+  Matrix m(2, 2);
+  m(0, 0) = a;
+  m(0, 1) = b;
+  m(1, 0) = c;
+  m(1, 1) = d;
+  return m;
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(1, 2) = -2.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), -2.0);
+  EXPECT_THROW(Matrix(0, 3), InvalidArgument);
+}
+
+TEST(Matrix, IdentityAndMatvec) {
+  const auto eye = Matrix::identity(3);
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y(3);
+  eye.multiply(x, y);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Matrix, MatvecKnownValues) {
+  const auto m = make_2x2(1.0, 2.0, 3.0, 4.0);
+  const std::vector<double> x{5.0, 6.0};
+  std::vector<double> y(2);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 17.0);
+  EXPECT_DOUBLE_EQ(y[1], 39.0);
+}
+
+TEST(Matrix, MatrixProduct) {
+  const auto a = make_2x2(1.0, 2.0, 3.0, 4.0);
+  const auto b = make_2x2(0.0, 1.0, 1.0, 0.0);  // column swap
+  const auto c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix m(2, 3);
+  int v = 0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = ++v;
+  }
+  const auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), m(1, 2));
+  const auto back = t.transposed();
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(back(r, c), m(r, c));
+    }
+  }
+}
+
+TEST(Matrix, Norms) {
+  const auto m = make_2x2(3.0, 0.0, 4.0, 0.0);
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+}
+
+TEST(Matrix, InPlaceOps) {
+  auto m = make_2x2(1.0, 2.0, 3.0, 4.0);
+  m += Matrix::identity(2);
+  EXPECT_DOUBLE_EQ(m(0, 0), 2.0);
+  m *= 0.5;
+  EXPECT_DOUBLE_EQ(m(1, 1), 2.5);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [5; 10] → x = [1; 3].
+  const auto a = make_2x2(2.0, 1.0, 1.0, 3.0);
+  const std::vector<double> b{5.0, 10.0};
+  const auto x = solve_linear_system(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  // Leading zero requires a row swap.
+  const auto a = make_2x2(0.0, 1.0, 1.0, 0.0);
+  const std::vector<double> b{2.0, 3.0};
+  const auto x = solve_linear_system(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingularMatrix) {
+  const auto a = make_2x2(1.0, 2.0, 2.0, 4.0);
+  const LuFactorization lu(a);
+  EXPECT_TRUE(lu.singular());
+  EXPECT_DOUBLE_EQ(lu.determinant(), 0.0);
+  const std::vector<double> b{1.0, 1.0};
+  EXPECT_THROW(lu.solve(b), InvalidArgument);
+}
+
+TEST(Lu, DeterminantWithPivotSign) {
+  // det([0 1; 1 0]) = -1 (one swap).
+  const LuFactorization lu(make_2x2(0.0, 1.0, 1.0, 0.0));
+  EXPECT_DOUBLE_EQ(lu.determinant(), -1.0);
+  // det([2 1; 1 3]) = 5.
+  const LuFactorization lu2(make_2x2(2.0, 1.0, 1.0, 3.0));
+  EXPECT_NEAR(lu2.determinant(), 5.0, 1e-12);
+}
+
+TEST(Lu, RandomSystemsRoundTrip) {
+  // Property: for random well-conditioned A and x, solve(A, A·x) == x.
+  Xoshiro256 rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(12);
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+      a(r, r) += 3.0;  // diagonal dominance → well-conditioned
+    }
+    std::vector<double> x(n);
+    for (auto& v : x) v = rng.uniform(-5.0, 5.0);
+    std::vector<double> b(n);
+    a.multiply(x, b);
+    const auto solved = solve_linear_system(a, b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(solved[i], x[i], 1e-9) << "trial=" << trial;
+    }
+  }
+}
+
+TEST(Lu, MatrixRhsSolvesColumnwise) {
+  const auto a = make_2x2(2.0, 0.0, 0.0, 4.0);
+  const LuFactorization lu(a);
+  const auto x = lu.solve(Matrix::identity(2));
+  EXPECT_NEAR(x(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(x(1, 1), 0.25, 1e-12);
+}
+
+TEST(Inverse, MultipliesToIdentity) {
+  Xoshiro256 rng(23);
+  Matrix a(4, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, r) += 4.0;
+  }
+  const auto inv = inverse(a);
+  const auto prod = a.multiply(inv);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Inverse, SingularThrows) {
+  EXPECT_THROW(inverse(make_2x2(1.0, 1.0, 1.0, 1.0)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rumor::util

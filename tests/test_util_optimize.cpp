@@ -1,0 +1,111 @@
+#include "util/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rumor::util {
+namespace {
+
+TEST(NelderMead, QuadraticBowl) {
+  const auto result = nelder_mead(
+      [](const std::vector<double>& x) {
+        return (x[0] - 1.0) * (x[0] - 1.0) + (x[1] + 2.0) * (x[1] + 2.0);
+      },
+      {0.0, 0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-5);
+  EXPECT_NEAR(result.x[1], -2.0, 1e-5);
+  EXPECT_NEAR(result.value, 0.0, 1e-9);
+}
+
+TEST(NelderMead, OneDimensional) {
+  const auto result = nelder_mead(
+      [](const std::vector<double>& x) {
+        return std::cosh(x[0] - 0.7);
+      },
+      {5.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 0.7, 1e-5);
+}
+
+TEST(NelderMead, RosenbrockValley) {
+  const auto result = nelder_mead(
+      [](const std::vector<double>& x) {
+        const double a = 1.0 - x[0];
+        const double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+      },
+      {-1.2, 1.0});
+  EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-3);
+  EXPECT_LT(result.value, 1e-6);
+}
+
+TEST(NelderMead, FourDimensionalSphere) {
+  const auto result = nelder_mead(
+      [](const std::vector<double>& x) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          const double d = x[i] - static_cast<double>(i);
+          sum += d * d;
+        }
+        return sum;
+      },
+      {4.0, 4.0, 4.0, 4.0});
+  EXPECT_TRUE(result.converged);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(result.x[i], static_cast<double>(i), 1e-4) << "i=" << i;
+  }
+}
+
+TEST(NelderMead, RespectsEvaluationBudget) {
+  NelderMeadOptions options;
+  options.max_evaluations = 25;
+  const auto result = nelder_mead(
+      [](const std::vector<double>& x) { return x[0] * x[0]; }, {100.0},
+      options);
+  // The budget is checked between iterations; one iteration may
+  // overshoot by at most dim + 2 evaluations.
+  EXPECT_LE(result.evaluations, 25u + 3u);
+}
+
+TEST(NelderMead, HandlesPenaltyStyleObjectives) {
+  // Box constraint x >= 0 imposed by a large penalty — the pattern the
+  // fitting module relies on implicitly via log transforms elsewhere.
+  const auto result = nelder_mead(
+      [](const std::vector<double>& x) {
+        if (x[0] < 0.0) return 1e6 - x[0];
+        return (x[0] - 0.3) * (x[0] - 0.3);
+      },
+      {2.0});
+  EXPECT_NEAR(result.x[0], 0.3, 1e-4);
+}
+
+TEST(NelderMead, ConvergesFromDifferentStartsToSameMinimum) {
+  auto f = [](const std::vector<double>& x) {
+    return std::pow(x[0] - 3.0, 4.0) + std::pow(x[1] + 1.0, 2.0);
+  };
+  const auto a = nelder_mead(f, {0.0, 0.0});
+  const auto b = nelder_mead(f, {10.0, 5.0});
+  EXPECT_NEAR(a.x[1], b.x[1], 1e-3);
+  EXPECT_NEAR(a.x[0], 3.0, 0.05);
+  EXPECT_NEAR(b.x[0], 3.0, 0.05);
+}
+
+TEST(NelderMead, ValidatesInput) {
+  EXPECT_THROW(
+      nelder_mead([](const std::vector<double>&) { return 0.0; }, {}),
+      InvalidArgument);
+  NelderMeadOptions bad;
+  bad.max_evaluations = 0;
+  EXPECT_THROW(
+      nelder_mead([](const std::vector<double>&) { return 0.0; }, {1.0},
+                  bad),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rumor::util

@@ -1,0 +1,202 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rumor::util {
+namespace {
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro, UniformInHalfOpenUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformMeanAndVariance) {
+  Xoshiro256 rng(11);
+  const int samples = 200'000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double m = sum / samples;
+  const double var = sum2 / samples - m * m;
+  EXPECT_NEAR(m, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Xoshiro, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Xoshiro, UniformRangeRejectsInvertedBounds) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), InvalidArgument);
+}
+
+TEST(Xoshiro, UniformIndexCoversAllValues) {
+  Xoshiro256 rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Xoshiro, UniformIndexIsUnbiased) {
+  Xoshiro256 rng(19);
+  const std::uint64_t bound = 3;
+  std::vector<int> counts(bound, 0);
+  const int samples = 90'000;
+  for (int i = 0; i < samples; ++i) ++counts[rng.uniform_index(bound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), samples / 3.0, 900.0);
+  }
+}
+
+TEST(Xoshiro, UniformIndexRejectsZeroBound) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(rng.uniform_index(0), InvalidArgument);
+}
+
+TEST(Xoshiro, BernoulliEdgeProbabilities) {
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro, BernoulliFrequencyMatchesP) {
+  Xoshiro256 rng(29);
+  const int samples = 100'000;
+  int hits = 0;
+  for (int i = 0; i < samples; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(samples), 0.3, 0.01);
+}
+
+TEST(Xoshiro, NormalMomentsAreStandard) {
+  Xoshiro256 rng(31);
+  const int samples = 100'000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum2 += z * z;
+  }
+  EXPECT_NEAR(sum / samples, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / samples, 1.0, 0.03);
+}
+
+TEST(Xoshiro, ExponentialMeanIsInverseRate) {
+  Xoshiro256 rng(37);
+  const int samples = 100'000;
+  double sum = 0.0;
+  for (int i = 0; i < samples; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / samples, 0.25, 0.01);
+}
+
+TEST(Xoshiro, ExponentialRejectsNonPositiveRate) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(rng.exponential(0.0), InvalidArgument);
+  EXPECT_THROW(rng.exponential(-1.0), InvalidArgument);
+}
+
+TEST(Xoshiro, SplitProducesIndependentStream) {
+  Xoshiro256 parent(41);
+  Xoshiro256 child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Shuffle, ProducesPermutation) {
+  Xoshiro256 rng(43);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = items;
+  shuffle(shuffled, rng);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(Shuffle, ActuallyPermutes) {
+  Xoshiro256 rng(47);
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) items[i] = i;
+  auto shuffled = items;
+  shuffle(shuffled, rng);
+  EXPECT_NE(shuffled, items);
+}
+
+TEST(SampleWithoutReplacement, DistinctAndInRange) {
+  Xoshiro256 rng(53);
+  const auto picks = sample_without_replacement(100, 30, rng);
+  ASSERT_EQ(picks.size(), 30u);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const std::size_t p : picks) EXPECT_LT(p, 100u);
+}
+
+TEST(SampleWithoutReplacement, FullUniverseIsPermutation) {
+  Xoshiro256 rng(59);
+  const auto picks = sample_without_replacement(10, 10, rng);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(SampleWithoutReplacement, RejectsOversizedCount) {
+  Xoshiro256 rng(61);
+  EXPECT_THROW(sample_without_replacement(5, 6, rng), InvalidArgument);
+}
+
+TEST(SampleWithoutReplacement, IsApproximatelyUniform) {
+  Xoshiro256 rng(67);
+  std::vector<int> counts(10, 0);
+  const int trials = 20'000;
+  for (int t = 0; t < trials; ++t) {
+    for (const std::size_t p : sample_without_replacement(10, 3, rng)) {
+      ++counts[p];
+    }
+  }
+  // Each index is chosen with probability 3/10.
+  for (const int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(trials), 0.3, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace rumor::util

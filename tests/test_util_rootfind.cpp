@@ -1,0 +1,114 @@
+#include "util/rootfind.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rumor::util {
+namespace {
+
+TEST(Brent, FindsQuadraticRoot) {
+  const auto result = brent([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.root, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Brent, FindsTranscendentalRoot) {
+  // cos x = x has its root at ~0.7390851332.
+  const auto result =
+      brent([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.root, 0.7390851332151607, 1e-9);
+}
+
+TEST(Brent, ExactRootAtEndpointReturnsImmediately) {
+  const auto result = brent([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.root, 0.0);
+  EXPECT_EQ(result.iterations, 0u);
+}
+
+TEST(Brent, RejectsNonBracketingInterval) {
+  EXPECT_THROW(brent([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               InvalidArgument);
+}
+
+TEST(Brent, RejectsInvertedInterval) {
+  EXPECT_THROW(brent([](double x) { return x; }, 1.0, 0.0), InvalidArgument);
+}
+
+TEST(Brent, HandlesFlatFunctions) {
+  // f(x) = x^9 is extremely flat near the root, so the root location is
+  // ill-conditioned: |f| < f_tol already holds in a wide band around 0.
+  // Brent must converge and report a point inside that band.
+  const auto result =
+      brent([](double x) { return std::pow(x, 9.0); }, -1.0, 1.5, 1e-13);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.root, 0.0, 3e-2);
+  EXPECT_LT(std::abs(result.residual), 1e-13);
+}
+
+TEST(Brent, FewerIterationsThanBisection) {
+  auto f = [](double x) { return std::exp(x) - 3.0; };
+  const auto b = brent(f, 0.0, 2.0, 1e-12);
+  const auto bi = bisect(f, 0.0, 2.0, 1e-12);
+  EXPECT_TRUE(b.converged);
+  EXPECT_TRUE(bi.converged);
+  EXPECT_NEAR(b.root, bi.root, 1e-9);
+  EXPECT_LT(b.iterations, bi.iterations);
+}
+
+TEST(Bisect, LinearRoot) {
+  const auto result = bisect([](double x) { return 2.0 * x - 1.0; }, 0.0,
+                             1.0, 1e-12);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.root, 0.5, 1e-10);
+}
+
+TEST(Bisect, RejectsNonBracketingInterval) {
+  EXPECT_THROW(bisect([](double) { return 1.0; }, 0.0, 1.0),
+               InvalidArgument);
+}
+
+TEST(BrentExpanding, GrowsBracketToFindRoot) {
+  // Root at x = 100, initial bracket [0, 1] must expand.
+  const auto result =
+      brent_expanding([](double x) { return x - 100.0; }, 0.0, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.root, 100.0, 1e-8);
+}
+
+TEST(BrentExpanding, ImmediateRootAtLeftEdge) {
+  const auto result = brent_expanding([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.root, 0.0);
+}
+
+TEST(BrentExpanding, ThrowsWhenNoSignChangeExists) {
+  EXPECT_THROW(
+      brent_expanding([](double) { return 1.0; }, 0.0, 1.0, 10),
+      InvalidArgument);
+}
+
+TEST(GoldenMinimize, ParabolaMinimum) {
+  const double x = golden_minimize(
+      [](double v) { return (v - 1.3) * (v - 1.3) + 2.0; }, -10.0, 10.0);
+  EXPECT_NEAR(x, 1.3, 1e-6);
+}
+
+TEST(GoldenMinimize, AsymmetricUnimodalFunction) {
+  // min of x - log(x) at x = 1.
+  const double x = golden_minimize(
+      [](double v) { return v - std::log(v); }, 0.1, 10.0);
+  EXPECT_NEAR(x, 1.0, 1e-5);
+}
+
+TEST(GoldenMinimize, RejectsInvertedInterval) {
+  EXPECT_THROW(golden_minimize([](double v) { return v; }, 1.0, 0.0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rumor::util
