@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_costate"
+  "../bench/ablation_costate.pdb"
+  "CMakeFiles/ablation_costate.dir/ablation_costate.cpp.o"
+  "CMakeFiles/ablation_costate.dir/ablation_costate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_costate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_infectivity"
+  "../bench/ablation_infectivity.pdb"
+  "CMakeFiles/ablation_infectivity.dir/ablation_infectivity.cpp.o"
+  "CMakeFiles/ablation_infectivity.dir/ablation_infectivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_infectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_model_family"
+  "../bench/ablation_model_family.pdb"
+  "CMakeFiles/ablation_model_family.dir/ablation_model_family.cpp.o"
+  "CMakeFiles/ablation_model_family.dir/ablation_model_family.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mpc"
+  "../bench/ablation_mpc.pdb"
+  "CMakeFiles/ablation_mpc.dir/ablation_mpc.cpp.o"
+  "CMakeFiles/ablation_mpc.dir/ablation_mpc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

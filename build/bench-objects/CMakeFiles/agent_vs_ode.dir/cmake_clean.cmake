@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/agent_vs_ode"
+  "../bench/agent_vs_ode.pdb"
+  "CMakeFiles/agent_vs_ode.dir/agent_vs_ode.cpp.o"
+  "CMakeFiles/agent_vs_ode.dir/agent_vs_ode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_vs_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bifurcation_diagram"
+  "../bench/bifurcation_diagram.pdb"
+  "CMakeFiles/bifurcation_diagram.dir/bifurcation_diagram.cpp.o"
+  "CMakeFiles/bifurcation_diagram.dir/bifurcation_diagram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bifurcation_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

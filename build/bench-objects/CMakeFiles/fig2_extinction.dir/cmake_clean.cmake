@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_extinction"
+  "../bench/fig2_extinction.pdb"
+  "CMakeFiles/fig2_extinction.dir/fig2_extinction.cpp.o"
+  "CMakeFiles/fig2_extinction.dir/fig2_extinction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_extinction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_endemic"
+  "../bench/fig3_endemic.pdb"
+  "CMakeFiles/fig3_endemic.dir/fig3_endemic.cpp.o"
+  "CMakeFiles/fig3_endemic.dir/fig3_endemic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_endemic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

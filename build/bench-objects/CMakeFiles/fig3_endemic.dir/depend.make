@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_endemic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4a_optimal_controls"
+  "../bench/fig4a_optimal_controls.pdb"
+  "CMakeFiles/fig4a_optimal_controls.dir/fig4a_optimal_controls.cpp.o"
+  "CMakeFiles/fig4a_optimal_controls.dir/fig4a_optimal_controls.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_optimal_controls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

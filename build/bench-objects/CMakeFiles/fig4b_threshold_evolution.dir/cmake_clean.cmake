@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4b_threshold_evolution"
+  "../bench/fig4b_threshold_evolution.pdb"
+  "CMakeFiles/fig4b_threshold_evolution.dir/fig4b_threshold_evolution.cpp.o"
+  "CMakeFiles/fig4b_threshold_evolution.dir/fig4b_threshold_evolution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_threshold_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4c_cost_comparison"
+  "../bench/fig4c_cost_comparison.pdb"
+  "CMakeFiles/fig4c_cost_comparison.dir/fig4c_cost_comparison.cpp.o"
+  "CMakeFiles/fig4c_cost_comparison.dir/fig4c_cost_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_cost_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fitting_recovery"
+  "../bench/fitting_recovery.pdb"
+  "CMakeFiles/fitting_recovery.dir/fitting_recovery.cpp.o"
+  "CMakeFiles/fitting_recovery.dir/fitting_recovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fitting_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

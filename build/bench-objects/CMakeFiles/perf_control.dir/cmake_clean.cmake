@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_control"
+  "../bench/perf_control.pdb"
+  "CMakeFiles/perf_control.dir/perf_control.cpp.o"
+  "CMakeFiles/perf_control.dir/perf_control.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_graph"
+  "../bench/perf_graph.pdb"
+  "CMakeFiles/perf_graph.dir/perf_graph.cpp.o"
+  "CMakeFiles/perf_graph.dir/perf_graph.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/policy_on_agents"
+  "../bench/policy_on_agents.pdb"
+  "CMakeFiles/policy_on_agents.dir/policy_on_agents.cpp.o"
+  "CMakeFiles/policy_on_agents.dir/policy_on_agents.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_on_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/seeding_experiment"
+  "../bench/seeding_experiment.pdb"
+  "CMakeFiles/seeding_experiment.dir/seeding_experiment.cpp.o"
+  "CMakeFiles/seeding_experiment.dir/seeding_experiment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seeding_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sensitivity_tornado"
+  "../bench/sensitivity_tornado.pdb"
+  "CMakeFiles/sensitivity_tornado.dir/sensitivity_tornado.cpp.o"
+  "CMakeFiles/sensitivity_tornado.dir/sensitivity_tornado.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_tornado.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_planner.dir/containment_planner.cpp.o"
+  "CMakeFiles/containment_planner.dir/containment_planner.cpp.o.d"
+  "containment_planner"
+  "containment_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_cross_validation.dir/network_cross_validation.cpp.o"
+  "CMakeFiles/network_cross_validation.dir/network_cross_validation.cpp.o.d"
+  "network_cross_validation"
+  "network_cross_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_cross_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumorctl.dir/rumorctl.cpp.o"
+  "CMakeFiles/rumorctl.dir/rumorctl.cpp.o.d"
+  "rumorctl"
+  "rumorctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumorctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/costate.cpp" "src/control/CMakeFiles/rumor_control.dir/costate.cpp.o" "gcc" "src/control/CMakeFiles/rumor_control.dir/costate.cpp.o.d"
+  "/root/repo/src/control/fbsweep.cpp" "src/control/CMakeFiles/rumor_control.dir/fbsweep.cpp.o" "gcc" "src/control/CMakeFiles/rumor_control.dir/fbsweep.cpp.o.d"
+  "/root/repo/src/control/heuristic.cpp" "src/control/CMakeFiles/rumor_control.dir/heuristic.cpp.o" "gcc" "src/control/CMakeFiles/rumor_control.dir/heuristic.cpp.o.d"
+  "/root/repo/src/control/mpc.cpp" "src/control/CMakeFiles/rumor_control.dir/mpc.cpp.o" "gcc" "src/control/CMakeFiles/rumor_control.dir/mpc.cpp.o.d"
+  "/root/repo/src/control/objective.cpp" "src/control/CMakeFiles/rumor_control.dir/objective.cpp.o" "gcc" "src/control/CMakeFiles/rumor_control.dir/objective.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rumor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/rumor_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rumor_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rumor_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumor_control.dir/costate.cpp.o"
+  "CMakeFiles/rumor_control.dir/costate.cpp.o.d"
+  "CMakeFiles/rumor_control.dir/fbsweep.cpp.o"
+  "CMakeFiles/rumor_control.dir/fbsweep.cpp.o.d"
+  "CMakeFiles/rumor_control.dir/heuristic.cpp.o"
+  "CMakeFiles/rumor_control.dir/heuristic.cpp.o.d"
+  "CMakeFiles/rumor_control.dir/mpc.cpp.o"
+  "CMakeFiles/rumor_control.dir/mpc.cpp.o.d"
+  "CMakeFiles/rumor_control.dir/objective.cpp.o"
+  "CMakeFiles/rumor_control.dir/objective.cpp.o.d"
+  "librumor_control.a"
+  "librumor_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumor_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

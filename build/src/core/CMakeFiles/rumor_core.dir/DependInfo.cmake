@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/equilibrium.cpp" "src/core/CMakeFiles/rumor_core.dir/equilibrium.cpp.o" "gcc" "src/core/CMakeFiles/rumor_core.dir/equilibrium.cpp.o.d"
+  "/root/repo/src/core/fitting.cpp" "src/core/CMakeFiles/rumor_core.dir/fitting.cpp.o" "gcc" "src/core/CMakeFiles/rumor_core.dir/fitting.cpp.o.d"
+  "/root/repo/src/core/jacobian.cpp" "src/core/CMakeFiles/rumor_core.dir/jacobian.cpp.o" "gcc" "src/core/CMakeFiles/rumor_core.dir/jacobian.cpp.o.d"
+  "/root/repo/src/core/maki_thompson.cpp" "src/core/CMakeFiles/rumor_core.dir/maki_thompson.cpp.o" "gcc" "src/core/CMakeFiles/rumor_core.dir/maki_thompson.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/rumor_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/rumor_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/core/CMakeFiles/rumor_core.dir/profile.cpp.o" "gcc" "src/core/CMakeFiles/rumor_core.dir/profile.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/rumor_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/rumor_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/rumor_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/rumor_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/rumor_core.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/rumor_core.dir/simulation.cpp.o.d"
+  "/root/repo/src/core/sir_model.cpp" "src/core/CMakeFiles/rumor_core.dir/sir_model.cpp.o" "gcc" "src/core/CMakeFiles/rumor_core.dir/sir_model.cpp.o.d"
+  "/root/repo/src/core/stability.cpp" "src/core/CMakeFiles/rumor_core.dir/stability.cpp.o" "gcc" "src/core/CMakeFiles/rumor_core.dir/stability.cpp.o.d"
+  "/root/repo/src/core/threshold.cpp" "src/core/CMakeFiles/rumor_core.dir/threshold.cpp.o" "gcc" "src/core/CMakeFiles/rumor_core.dir/threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ode/CMakeFiles/rumor_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rumor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rumor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumor_core.dir/equilibrium.cpp.o"
+  "CMakeFiles/rumor_core.dir/equilibrium.cpp.o.d"
+  "CMakeFiles/rumor_core.dir/fitting.cpp.o"
+  "CMakeFiles/rumor_core.dir/fitting.cpp.o.d"
+  "CMakeFiles/rumor_core.dir/jacobian.cpp.o"
+  "CMakeFiles/rumor_core.dir/jacobian.cpp.o.d"
+  "CMakeFiles/rumor_core.dir/maki_thompson.cpp.o"
+  "CMakeFiles/rumor_core.dir/maki_thompson.cpp.o.d"
+  "CMakeFiles/rumor_core.dir/params.cpp.o"
+  "CMakeFiles/rumor_core.dir/params.cpp.o.d"
+  "CMakeFiles/rumor_core.dir/profile.cpp.o"
+  "CMakeFiles/rumor_core.dir/profile.cpp.o.d"
+  "CMakeFiles/rumor_core.dir/schedule.cpp.o"
+  "CMakeFiles/rumor_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/rumor_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/rumor_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/rumor_core.dir/simulation.cpp.o"
+  "CMakeFiles/rumor_core.dir/simulation.cpp.o.d"
+  "CMakeFiles/rumor_core.dir/sir_model.cpp.o"
+  "CMakeFiles/rumor_core.dir/sir_model.cpp.o.d"
+  "CMakeFiles/rumor_core.dir/stability.cpp.o"
+  "CMakeFiles/rumor_core.dir/stability.cpp.o.d"
+  "CMakeFiles/rumor_core.dir/threshold.cpp.o"
+  "CMakeFiles/rumor_core.dir/threshold.cpp.o.d"
+  "librumor_core.a"
+  "librumor_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/digg.cpp" "src/data/CMakeFiles/rumor_data.dir/digg.cpp.o" "gcc" "src/data/CMakeFiles/rumor_data.dir/digg.cpp.o.d"
+  "/root/repo/src/data/trace.cpp" "src/data/CMakeFiles/rumor_data.dir/trace.cpp.o" "gcc" "src/data/CMakeFiles/rumor_data.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rumor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rumor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rumor_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/rumor_ode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

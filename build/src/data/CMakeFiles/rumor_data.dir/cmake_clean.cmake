@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumor_data.dir/digg.cpp.o"
+  "CMakeFiles/rumor_data.dir/digg.cpp.o.d"
+  "CMakeFiles/rumor_data.dir/trace.cpp.o"
+  "CMakeFiles/rumor_data.dir/trace.cpp.o.d"
+  "librumor_data.a"
+  "librumor_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumor_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumor_graph.dir/degree.cpp.o"
+  "CMakeFiles/rumor_graph.dir/degree.cpp.o.d"
+  "CMakeFiles/rumor_graph.dir/generators.cpp.o"
+  "CMakeFiles/rumor_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/rumor_graph.dir/graph.cpp.o"
+  "CMakeFiles/rumor_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/rumor_graph.dir/io.cpp.o"
+  "CMakeFiles/rumor_graph.dir/io.cpp.o.d"
+  "CMakeFiles/rumor_graph.dir/metrics.cpp.o"
+  "CMakeFiles/rumor_graph.dir/metrics.cpp.o.d"
+  "librumor_graph.a"
+  "librumor_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumor_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

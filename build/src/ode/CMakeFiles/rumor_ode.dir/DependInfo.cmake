@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ode/adaptive.cpp" "src/ode/CMakeFiles/rumor_ode.dir/adaptive.cpp.o" "gcc" "src/ode/CMakeFiles/rumor_ode.dir/adaptive.cpp.o.d"
+  "/root/repo/src/ode/dopri5.cpp" "src/ode/CMakeFiles/rumor_ode.dir/dopri5.cpp.o" "gcc" "src/ode/CMakeFiles/rumor_ode.dir/dopri5.cpp.o.d"
+  "/root/repo/src/ode/implicit.cpp" "src/ode/CMakeFiles/rumor_ode.dir/implicit.cpp.o" "gcc" "src/ode/CMakeFiles/rumor_ode.dir/implicit.cpp.o.d"
+  "/root/repo/src/ode/integrate.cpp" "src/ode/CMakeFiles/rumor_ode.dir/integrate.cpp.o" "gcc" "src/ode/CMakeFiles/rumor_ode.dir/integrate.cpp.o.d"
+  "/root/repo/src/ode/steppers.cpp" "src/ode/CMakeFiles/rumor_ode.dir/steppers.cpp.o" "gcc" "src/ode/CMakeFiles/rumor_ode.dir/steppers.cpp.o.d"
+  "/root/repo/src/ode/trajectory.cpp" "src/ode/CMakeFiles/rumor_ode.dir/trajectory.cpp.o" "gcc" "src/ode/CMakeFiles/rumor_ode.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rumor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

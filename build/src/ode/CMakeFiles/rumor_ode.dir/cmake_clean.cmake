@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumor_ode.dir/adaptive.cpp.o"
+  "CMakeFiles/rumor_ode.dir/adaptive.cpp.o.d"
+  "CMakeFiles/rumor_ode.dir/dopri5.cpp.o"
+  "CMakeFiles/rumor_ode.dir/dopri5.cpp.o.d"
+  "CMakeFiles/rumor_ode.dir/implicit.cpp.o"
+  "CMakeFiles/rumor_ode.dir/implicit.cpp.o.d"
+  "CMakeFiles/rumor_ode.dir/integrate.cpp.o"
+  "CMakeFiles/rumor_ode.dir/integrate.cpp.o.d"
+  "CMakeFiles/rumor_ode.dir/steppers.cpp.o"
+  "CMakeFiles/rumor_ode.dir/steppers.cpp.o.d"
+  "CMakeFiles/rumor_ode.dir/trajectory.cpp.o"
+  "CMakeFiles/rumor_ode.dir/trajectory.cpp.o.d"
+  "librumor_ode.a"
+  "librumor_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumor_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/agent_sim.cpp" "src/sim/CMakeFiles/rumor_sim.dir/agent_sim.cpp.o" "gcc" "src/sim/CMakeFiles/rumor_sim.dir/agent_sim.cpp.o.d"
+  "/root/repo/src/sim/ensemble.cpp" "src/sim/CMakeFiles/rumor_sim.dir/ensemble.cpp.o" "gcc" "src/sim/CMakeFiles/rumor_sim.dir/ensemble.cpp.o.d"
+  "/root/repo/src/sim/gillespie.cpp" "src/sim/CMakeFiles/rumor_sim.dir/gillespie.cpp.o" "gcc" "src/sim/CMakeFiles/rumor_sim.dir/gillespie.cpp.o.d"
+  "/root/repo/src/sim/strategies.cpp" "src/sim/CMakeFiles/rumor_sim.dir/strategies.cpp.o" "gcc" "src/sim/CMakeFiles/rumor_sim.dir/strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rumor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rumor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rumor_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/rumor_ode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumor_sim.dir/agent_sim.cpp.o"
+  "CMakeFiles/rumor_sim.dir/agent_sim.cpp.o.d"
+  "CMakeFiles/rumor_sim.dir/ensemble.cpp.o"
+  "CMakeFiles/rumor_sim.dir/ensemble.cpp.o.d"
+  "CMakeFiles/rumor_sim.dir/gillespie.cpp.o"
+  "CMakeFiles/rumor_sim.dir/gillespie.cpp.o.d"
+  "CMakeFiles/rumor_sim.dir/strategies.cpp.o"
+  "CMakeFiles/rumor_sim.dir/strategies.cpp.o.d"
+  "librumor_sim.a"
+  "librumor_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumor_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

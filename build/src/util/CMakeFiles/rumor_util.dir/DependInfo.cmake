@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/rumor_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/rumor_util.dir/csv.cpp.o.d"
+  "/root/repo/src/util/eigen.cpp" "src/util/CMakeFiles/rumor_util.dir/eigen.cpp.o" "gcc" "src/util/CMakeFiles/rumor_util.dir/eigen.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/rumor_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/rumor_util.dir/logging.cpp.o.d"
+  "/root/repo/src/util/math.cpp" "src/util/CMakeFiles/rumor_util.dir/math.cpp.o" "gcc" "src/util/CMakeFiles/rumor_util.dir/math.cpp.o.d"
+  "/root/repo/src/util/matrix.cpp" "src/util/CMakeFiles/rumor_util.dir/matrix.cpp.o" "gcc" "src/util/CMakeFiles/rumor_util.dir/matrix.cpp.o.d"
+  "/root/repo/src/util/optimize.cpp" "src/util/CMakeFiles/rumor_util.dir/optimize.cpp.o" "gcc" "src/util/CMakeFiles/rumor_util.dir/optimize.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/util/CMakeFiles/rumor_util.dir/random.cpp.o" "gcc" "src/util/CMakeFiles/rumor_util.dir/random.cpp.o.d"
+  "/root/repo/src/util/rootfind.cpp" "src/util/CMakeFiles/rumor_util.dir/rootfind.cpp.o" "gcc" "src/util/CMakeFiles/rumor_util.dir/rootfind.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/rumor_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/rumor_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

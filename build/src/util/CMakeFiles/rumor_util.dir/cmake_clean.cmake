@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumor_util.dir/csv.cpp.o"
+  "CMakeFiles/rumor_util.dir/csv.cpp.o.d"
+  "CMakeFiles/rumor_util.dir/eigen.cpp.o"
+  "CMakeFiles/rumor_util.dir/eigen.cpp.o.d"
+  "CMakeFiles/rumor_util.dir/logging.cpp.o"
+  "CMakeFiles/rumor_util.dir/logging.cpp.o.d"
+  "CMakeFiles/rumor_util.dir/math.cpp.o"
+  "CMakeFiles/rumor_util.dir/math.cpp.o.d"
+  "CMakeFiles/rumor_util.dir/matrix.cpp.o"
+  "CMakeFiles/rumor_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/rumor_util.dir/optimize.cpp.o"
+  "CMakeFiles/rumor_util.dir/optimize.cpp.o.d"
+  "CMakeFiles/rumor_util.dir/random.cpp.o"
+  "CMakeFiles/rumor_util.dir/random.cpp.o.d"
+  "CMakeFiles/rumor_util.dir/rootfind.cpp.o"
+  "CMakeFiles/rumor_util.dir/rootfind.cpp.o.d"
+  "CMakeFiles/rumor_util.dir/table.cpp.o"
+  "CMakeFiles/rumor_util.dir/table.cpp.o.d"
+  "librumor_util.a"
+  "librumor_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumor_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

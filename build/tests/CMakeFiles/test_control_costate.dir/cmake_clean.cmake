@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control_costate.dir/test_control_costate.cpp.o"
+  "CMakeFiles/test_control_costate.dir/test_control_costate.cpp.o.d"
+  "test_control_costate"
+  "test_control_costate.pdb"
+  "test_control_costate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control_costate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

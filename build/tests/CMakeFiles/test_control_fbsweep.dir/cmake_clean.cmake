@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control_fbsweep.dir/test_control_fbsweep.cpp.o"
+  "CMakeFiles/test_control_fbsweep.dir/test_control_fbsweep.cpp.o.d"
+  "test_control_fbsweep"
+  "test_control_fbsweep.pdb"
+  "test_control_fbsweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control_fbsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control_heuristic.dir/test_control_heuristic.cpp.o"
+  "CMakeFiles/test_control_heuristic.dir/test_control_heuristic.cpp.o.d"
+  "test_control_heuristic"
+  "test_control_heuristic.pdb"
+  "test_control_heuristic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control_mpc.dir/test_control_mpc.cpp.o"
+  "CMakeFiles/test_control_mpc.dir/test_control_mpc.cpp.o.d"
+  "test_control_mpc"
+  "test_control_mpc.pdb"
+  "test_control_mpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

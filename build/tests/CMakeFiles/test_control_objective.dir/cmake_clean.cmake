@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control_objective.dir/test_control_objective.cpp.o"
+  "CMakeFiles/test_control_objective.dir/test_control_objective.cpp.o.d"
+  "test_control_objective"
+  "test_control_objective.pdb"
+  "test_control_objective[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

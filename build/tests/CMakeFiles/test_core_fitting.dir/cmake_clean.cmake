@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_fitting.dir/test_core_fitting.cpp.o"
+  "CMakeFiles/test_core_fitting.dir/test_core_fitting.cpp.o.d"
+  "test_core_fitting"
+  "test_core_fitting.pdb"
+  "test_core_fitting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

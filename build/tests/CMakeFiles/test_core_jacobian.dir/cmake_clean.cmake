@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_jacobian.dir/test_core_jacobian.cpp.o"
+  "CMakeFiles/test_core_jacobian.dir/test_core_jacobian.cpp.o.d"
+  "test_core_jacobian"
+  "test_core_jacobian.pdb"
+  "test_core_jacobian[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_jacobian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

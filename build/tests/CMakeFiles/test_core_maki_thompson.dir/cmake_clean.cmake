@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_maki_thompson.dir/test_core_maki_thompson.cpp.o"
+  "CMakeFiles/test_core_maki_thompson.dir/test_core_maki_thompson.cpp.o.d"
+  "test_core_maki_thompson"
+  "test_core_maki_thompson.pdb"
+  "test_core_maki_thompson[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_maki_thompson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_core_maki_thompson.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_data_digg.cpp" "tests/CMakeFiles/test_data_digg.dir/test_data_digg.cpp.o" "gcc" "tests/CMakeFiles/test_data_digg.dir/test_data_digg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/control/CMakeFiles/rumor_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rumor_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rumor_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rumor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rumor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/rumor_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rumor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_digg.dir/test_data_digg.cpp.o"
+  "CMakeFiles/test_data_digg.dir/test_data_digg.cpp.o.d"
+  "test_data_digg"
+  "test_data_digg.pdb"
+  "test_data_digg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_digg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_build.dir/test_graph_build.cpp.o"
+  "CMakeFiles/test_graph_build.dir/test_graph_build.cpp.o.d"
+  "test_graph_build"
+  "test_graph_build.pdb"
+  "test_graph_build[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

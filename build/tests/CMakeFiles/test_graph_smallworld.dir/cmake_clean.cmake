@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_smallworld.dir/test_graph_smallworld.cpp.o"
+  "CMakeFiles/test_graph_smallworld.dir/test_graph_smallworld.cpp.o.d"
+  "test_graph_smallworld"
+  "test_graph_smallworld.pdb"
+  "test_graph_smallworld[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_smallworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

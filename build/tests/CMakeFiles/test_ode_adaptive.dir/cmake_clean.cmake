@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ode_adaptive.dir/test_ode_adaptive.cpp.o"
+  "CMakeFiles/test_ode_adaptive.dir/test_ode_adaptive.cpp.o.d"
+  "test_ode_adaptive"
+  "test_ode_adaptive.pdb"
+  "test_ode_adaptive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ode_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ode_dopri5.dir/test_ode_dopri5.cpp.o"
+  "CMakeFiles/test_ode_dopri5.dir/test_ode_dopri5.cpp.o.d"
+  "test_ode_dopri5"
+  "test_ode_dopri5.pdb"
+  "test_ode_dopri5[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ode_dopri5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ode_implicit.dir/test_ode_implicit.cpp.o"
+  "CMakeFiles/test_ode_implicit.dir/test_ode_implicit.cpp.o.d"
+  "test_ode_implicit"
+  "test_ode_implicit.pdb"
+  "test_ode_implicit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ode_implicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ode_integrate.dir/test_ode_integrate.cpp.o"
+  "CMakeFiles/test_ode_integrate.dir/test_ode_integrate.cpp.o.d"
+  "test_ode_integrate"
+  "test_ode_integrate.pdb"
+  "test_ode_integrate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ode_integrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ode_steppers.dir/test_ode_steppers.cpp.o"
+  "CMakeFiles/test_ode_steppers.dir/test_ode_steppers.cpp.o.d"
+  "test_ode_steppers"
+  "test_ode_steppers.pdb"
+  "test_ode_steppers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ode_steppers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ode_trajectory.dir/test_ode_trajectory.cpp.o"
+  "CMakeFiles/test_ode_trajectory.dir/test_ode_trajectory.cpp.o.d"
+  "test_ode_trajectory"
+  "test_ode_trajectory.pdb"
+  "test_ode_trajectory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ode_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_theorems.dir/test_property_theorems.cpp.o"
+  "CMakeFiles/test_property_theorems.dir/test_property_theorems.cpp.o.d"
+  "test_property_theorems"
+  "test_property_theorems.pdb"
+  "test_property_theorems[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_theorems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

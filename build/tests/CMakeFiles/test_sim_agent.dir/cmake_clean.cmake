@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_agent.dir/test_sim_agent.cpp.o"
+  "CMakeFiles/test_sim_agent.dir/test_sim_agent.cpp.o.d"
+  "test_sim_agent"
+  "test_sim_agent.pdb"
+  "test_sim_agent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_gillespie.dir/test_sim_gillespie.cpp.o"
+  "CMakeFiles/test_sim_gillespie.dir/test_sim_gillespie.cpp.o.d"
+  "test_sim_gillespie"
+  "test_sim_gillespie.pdb"
+  "test_sim_gillespie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_gillespie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_strategies_ensemble.dir/test_sim_strategies_ensemble.cpp.o"
+  "CMakeFiles/test_sim_strategies_ensemble.dir/test_sim_strategies_ensemble.cpp.o.d"
+  "test_sim_strategies_ensemble"
+  "test_sim_strategies_ensemble.pdb"
+  "test_sim_strategies_ensemble[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_strategies_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

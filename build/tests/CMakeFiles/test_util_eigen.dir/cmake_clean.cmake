@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_eigen.dir/test_util_eigen.cpp.o"
+  "CMakeFiles/test_util_eigen.dir/test_util_eigen.cpp.o.d"
+  "test_util_eigen"
+  "test_util_eigen.pdb"
+  "test_util_eigen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_eigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_fenwick.dir/test_util_fenwick.cpp.o"
+  "CMakeFiles/test_util_fenwick.dir/test_util_fenwick.cpp.o.d"
+  "test_util_fenwick"
+  "test_util_fenwick.pdb"
+  "test_util_fenwick[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_fenwick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_matrix.dir/test_util_matrix.cpp.o"
+  "CMakeFiles/test_util_matrix.dir/test_util_matrix.cpp.o.d"
+  "test_util_matrix"
+  "test_util_matrix.pdb"
+  "test_util_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_rootfind.dir/test_util_rootfind.cpp.o"
+  "CMakeFiles/test_util_rootfind.dir/test_util_rootfind.cpp.o.d"
+  "test_util_rootfind"
+  "test_util_rootfind.pdb"
+  "test_util_rootfind[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_rootfind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_table_logging.dir/test_util_table_logging.cpp.o"
+  "CMakeFiles/test_util_table_logging.dir/test_util_table_logging.cpp.o.d"
+  "test_util_table_logging"
+  "test_util_table_logging.pdb"
+  "test_util_table_logging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_table_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xval_ode_agent.dir/test_xval_ode_agent.cpp.o"
+  "CMakeFiles/test_xval_ode_agent.dir/test_xval_ode_agent.cpp.o.d"
+  "test_xval_ode_agent"
+  "test_xval_ode_agent.pdb"
+  "test_xval_ode_agent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xval_ode_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
