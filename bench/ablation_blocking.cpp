@@ -8,6 +8,7 @@
 #include "graph/generators.hpp"
 #include "sim/ensemble.hpp"
 #include "sim/strategies.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -33,33 +34,39 @@ int main() {
   std::vector<std::vector<double>> attack(
       std::size(budgets), std::vector<double>(std::size(strategies), 0.0));
 
-  for (std::size_t b = 0; b < std::size(budgets); ++b) {
+  // The (budget × strategy) cells are independent Monte-Carlo
+  // experiments: flatten the grid and run the cells concurrently.
+  const std::size_t cells = std::size(budgets) * std::size(strategies);
+  util::parallel_for(std::size_t{0}, cells, /*grain=*/1,
+                     [&](std::size_t cell) {
+    const std::size_t b = cell / std::size(strategies);
+    const std::size_t s = cell % std::size(strategies);
     const auto budget = static_cast<std::size_t>(
         budgets[b] * static_cast<double>(g.num_nodes()));
-    for (std::size_t s = 0; s < std::size(strategies); ++s) {
-      util::Xoshiro256 select_rng(100 + s);
-      const auto blocked = select_nodes_to_block(
-          g, strategies[s], budget, select_rng, /*betweenness_sources=*/48);
-      double total = 0.0;
-      const int replicas = 12;
-      for (int r = 0; r < replicas; ++r) {
-        // Near-critical epidemic: strategy differences are largest when
-        // removing hubs can actually push the process subcritical.
-        sim::AgentParams params;
-        params.lambda = core::Acceptance::linear(1.0);
-        params.omega = core::Infectivity::saturating(0.5, 0.5);
-        params.epsilon2 = 0.3;
-        params.dt = 0.1;
-        sim::AgentSimulation simulation(g, params,
-                                        9000 + 37 * b + 7 * s + r);
-        simulation.block_nodes(blocked);
-        simulation.seed_random_infections(10);
-        simulation.run_until(80.0);
-        total += static_cast<double>(simulation.ever_infected()) /
-                 static_cast<double>(g.num_nodes());
-      }
-      attack[b][s] = total / replicas;
+    util::Xoshiro256 select_rng(100 + s);
+    const auto blocked = select_nodes_to_block(
+        g, strategies[s], budget, select_rng, /*betweenness_sources=*/48);
+    double total = 0.0;
+    const int replicas = 12;
+    for (int r = 0; r < replicas; ++r) {
+      // Near-critical epidemic: strategy differences are largest when
+      // removing hubs can actually push the process subcritical.
+      sim::AgentParams params;
+      params.lambda = core::Acceptance::linear(1.0);
+      params.omega = core::Infectivity::saturating(0.5, 0.5);
+      params.epsilon2 = 0.3;
+      params.dt = 0.1;
+      sim::AgentSimulation simulation(g, params,
+                                      9000 + 37 * b + 7 * s + r);
+      simulation.block_nodes(blocked);
+      simulation.seed_random_infections(10);
+      simulation.run_until(80.0);
+      total += static_cast<double>(simulation.ever_infected()) /
+               static_cast<double>(g.num_nodes());
     }
+    attack[b][s] = total / replicas;
+  });
+  for (std::size_t b = 0; b < std::size(budgets); ++b) {
     table.add_row({budgets[b], attack[b][0], attack[b][1], attack[b][2],
                    attack[b][3]});
   }

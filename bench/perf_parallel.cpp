@@ -1,0 +1,142 @@
+// PERF-PARALLEL — scaling of the parallel execution layer.
+//
+// Emits one JSON object per line ({"bench", "threads", "replicas",
+// "wall_ms", "speedup", "identical"}) for two workloads on a generated
+// scale-free graph:
+//   * ensemble : run_ensemble with `replicas` concurrent replicas
+//   * agent_steps : one AgentSimulation stepped `steps` times
+//     (intra-replica chunk parallelism)
+// so future PRs have a machine-readable perf trajectory to compare
+// against. "identical" asserts the documented determinism guarantee:
+// results at every thread count are bit-identical to the 1-thread run.
+//
+// Usage: perf_parallel [nodes] [replicas] [t_end] [max_threads]
+// Defaults: 50000 nodes, 16 replicas, t_end 10, threads 1,2,4,8.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "sim/ensemble.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+double wall_ms(const std::chrono::steady_clock::time_point& t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+bool identical(const rumor::sim::EnsembleResult& a,
+               const rumor::sim::EnsembleResult& b) {
+  if (a.series.size() != b.series.size()) return false;
+  if (a.mean_attack_rate != b.mean_attack_rate) return false;
+  for (std::size_t s = 0; s < a.series.size(); ++s) {
+    if (a.series[s].mean_infected_fraction !=
+            b.series[s].mean_infected_fraction ||
+        a.series[s].std_infected_fraction !=
+            b.series[s].std_infected_fraction ||
+        a.series[s].mean_recovered_fraction !=
+            b.series[s].mean_recovered_fraction) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rumor;
+
+  const std::size_t nodes =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 50000;
+  const std::size_t replicas =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 16;
+  const double t_end = argc > 3 ? std::strtod(argv[3], nullptr) : 10.0;
+  const std::size_t max_threads =
+      argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 8;
+
+  util::Xoshiro256 rng(2025);
+  const auto g = graph::barabasi_albert(nodes, 4, rng);
+  std::fprintf(stderr,
+               "PERF-PARALLEL | scale-free graph n=%zu m=%zu, "
+               "replicas=%zu, t_end=%g, hardware threads=%zu\n",
+               g.num_nodes(), g.num_edges(), replicas, t_end,
+               util::num_threads());
+
+  sim::AgentParams params;
+  params.lambda = core::Acceptance::linear(1.0);
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  params.epsilon1 = 0.01;
+  params.epsilon2 = 0.2;
+  params.dt = 0.1;
+
+  sim::EnsembleOptions options;
+  options.replicas = replicas;
+  options.t_end = t_end;
+  options.initial_infected = nodes / 100;
+  options.seed = 7;
+
+  std::vector<std::size_t> thread_counts;
+  for (std::size_t t = 1; t <= max_threads; t *= 2) {
+    thread_counts.push_back(t);
+  }
+
+  // --- ensemble scaling --------------------------------------------------
+  sim::EnsembleResult reference;
+  double baseline_ms = 0.0;
+  for (const std::size_t threads : thread_counts) {
+    util::set_num_threads(threads);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = run_ensemble(g, params, options);
+    const double ms = wall_ms(t0);
+    if (threads == 1) {
+      reference = result;
+      baseline_ms = ms;
+    }
+    std::printf("{\"bench\": \"ensemble\", \"threads\": %zu, "
+                "\"replicas\": %zu, \"wall_ms\": %.1f, "
+                "\"speedup\": %.2f, \"identical\": %s}\n",
+                threads, replicas, ms, baseline_ms / ms,
+                identical(result, reference) ? "true" : "false");
+    std::fflush(stdout);
+  }
+
+  // --- single-replica step scaling --------------------------------------
+  const auto steps = static_cast<std::size_t>(t_end / params.dt);
+  sim::Census final_at_1{};
+  for (const std::size_t threads : thread_counts) {
+    util::set_num_threads(threads);
+    sim::AgentSimulation simulation(g, params, /*seed=*/11);
+    simulation.seed_infections(
+        [&] {
+          std::vector<graph::NodeId> seeds;
+          for (std::size_t v = 0; v < nodes / 100; ++v) {
+            seeds.push_back(static_cast<graph::NodeId>(v * 97 % nodes));
+          }
+          return seeds;
+        }());
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t s = 0; s < steps; ++s) simulation.step();
+    const double ms = wall_ms(t0);
+    const auto c = simulation.census();
+    if (threads == 1) {
+      final_at_1 = c;
+      baseline_ms = ms;
+    }
+    const bool same = c.susceptible == final_at_1.susceptible &&
+                      c.infected == final_at_1.infected &&
+                      c.recovered == final_at_1.recovered;
+    std::printf("{\"bench\": \"agent_steps\", \"threads\": %zu, "
+                "\"replicas\": 1, \"steps\": %zu, \"wall_ms\": %.1f, "
+                "\"speedup\": %.2f, \"identical\": %s}\n",
+                threads, steps, ms, baseline_ms / ms,
+                same ? "true" : "false");
+    std::fflush(stdout);
+  }
+
+  util::set_num_threads(0);
+  return 0;
+}

@@ -9,6 +9,7 @@
 
 #include "bench/common.hpp"
 #include "core/sensitivity.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -43,16 +44,24 @@ int main() {
   util::TablePrinter table({"outcome", "alpha", "eps1", "eps2",
                             "lambda-scale"});
   table.set_precision(3);
-  for (const auto& row : rows) {
-    const auto elasticities = core::elasticity_table(
-        profile, experiment.params, experiment.epsilon1,
-        experiment.epsilon2, 0.01, row.functional, options);
+  // The three outcome rows are independent sweeps (and each
+  // elasticity_table fans out over its four knobs in turn): compute
+  // them concurrently, then print in the fixed row order.
+  std::vector<std::vector<core::ElasticityRow>> results(std::size(rows));
+  util::parallel_for(std::size_t{0}, std::size(rows), /*grain=*/1,
+                     [&](std::size_t i) {
+                       results[i] = core::elasticity_table(
+                           profile, experiment.params, experiment.epsilon1,
+                           experiment.epsilon2, 0.01, rows[i].functional,
+                           options);
+                     });
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
     table.add_text_row(
-        {row.name,
-         util::format_significant(elasticities[0].elasticity, 3),
-         util::format_significant(elasticities[1].elasticity, 3),
-         util::format_significant(elasticities[2].elasticity, 3),
-         util::format_significant(elasticities[3].elasticity, 3)});
+        {rows[i].name,
+         util::format_significant(results[i][0].elasticity, 3),
+         util::format_significant(results[i][1].elasticity, 3),
+         util::format_significant(results[i][2].elasticity, 3),
+         util::format_significant(results[i][3].elasticity, 3)});
   }
   table.print(std::cout);
 

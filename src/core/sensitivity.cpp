@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace rumor::core {
 
@@ -120,14 +121,19 @@ std::vector<ElasticityRow> elasticity_table(
     double epsilon1, double epsilon2, double initial_infected,
     const TrajectoryFunctional& functional,
     const ElasticityOptions& options) {
-  std::vector<ElasticityRow> rows;
-  for (const Knob knob : {Knob::kAlpha, Knob::kEpsilon1, Knob::kEpsilon2,
-                          Knob::kLambdaScale}) {
-    rows.push_back({knob, trajectory_elasticity(
-                              profile, params, epsilon1, epsilon2,
-                              initial_infected, knob, functional,
-                              options)});
-  }
+  // One independent (base, up, down) simulation triple per knob: run
+  // the knobs concurrently, writing disjoint rows of a pre-sized table.
+  const Knob knobs[] = {Knob::kAlpha, Knob::kEpsilon1, Knob::kEpsilon2,
+                        Knob::kLambdaScale};
+  std::vector<ElasticityRow> rows(std::size(knobs));
+  util::parallel_for(std::size_t{0}, std::size(knobs), /*grain=*/1,
+                     [&](std::size_t i) {
+                       rows[i] = {knobs[i],
+                                  trajectory_elasticity(
+                                      profile, params, epsilon1, epsilon2,
+                                      initial_infected, knobs[i],
+                                      functional, options)};
+                     });
   return rows;
 }
 

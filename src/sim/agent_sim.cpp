@@ -4,8 +4,22 @@
 #include <map>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace rumor::sim {
+
+namespace {
+// Nodes per parallel chunk. Fixed (never derived from the thread
+// count): chunk identity keys the per-chunk RNG stream, so it must be
+// a pure function of the node range for thread-count invariance.
+constexpr std::size_t kStepGrain = 2048;
+
+struct StepDelta {
+  std::int64_t susceptible = 0;
+  std::int64_t infected = 0;
+  std::int64_t ever = 0;
+};
+}  // namespace
 
 void AgentParams::validate() const {
   util::require(epsilon1 >= 0.0 && epsilon2 >= 0.0,
@@ -15,7 +29,7 @@ void AgentParams::validate() const {
 
 AgentSimulation::AgentSimulation(const graph::Graph& g, AgentParams params,
                                  std::uint64_t seed)
-    : graph_(g), params_(params), rng_(seed) {
+    : graph_(g), params_(params), rng_(seed), seed_(seed) {
   params_.validate();
   const std::size_t n = g.num_nodes();
   util::require(n > 0, "AgentSimulation: empty graph");
@@ -23,7 +37,9 @@ AgentSimulation::AgentSimulation(const graph::Graph& g, AgentParams params,
   next_state_.assign(n, Compartment::kSusceptible);
   lambda_over_k_.resize(n);
   omega_over_k_.resize(n);
-  hazard_.assign(n, 0.0);
+  infected_weight_.assign(n, 0.0);
+  next_infected_weight_.assign(n, 0.0);
+  susceptible_count_ = n;
   std::map<std::size_t, std::size_t> degree_counts;
   for (std::size_t v = 0; v < n; ++v) {
     const std::size_t degree = graph_.degree(static_cast<graph::NodeId>(v));
@@ -49,6 +65,25 @@ AgentSimulation::AgentSimulation(const graph::Graph& g, AgentParams params,
   for (std::size_t v = 0; v < n; ++v) {
     group_of_[v] =
         group_index[graph_.degree(static_cast<graph::NodeId>(v))];
+  }
+  if (graph_.directed()) {
+    // Reverse CSR: the hazard gather needs "who exposes v", i.e. the
+    // in-neighbors, which the (out-)CSR graph does not list directly.
+    exposure_offsets_.assign(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      exposure_offsets_[v + 1] =
+          exposure_offsets_[v] +
+          graph_.in_degree(static_cast<graph::NodeId>(v));
+    }
+    exposure_sources_.resize(exposure_offsets_[n]);
+    std::vector<std::size_t> cursor(exposure_offsets_.begin(),
+                                    exposure_offsets_.end() - 1);
+    for (std::size_t u = 0; u < n; ++u) {
+      for (const graph::NodeId v :
+           graph_.neighbors(static_cast<graph::NodeId>(u))) {
+        exposure_sources_[cursor[v]++] = static_cast<graph::NodeId>(u);
+      }
+    }
   }
 }
 
@@ -97,8 +132,10 @@ void AgentSimulation::seed_infections(
   for (const graph::NodeId v : nodes) {
     util::require(v < num_nodes(), "seed_infections: node out of range");
     if (state_[v] != Compartment::kInfected) {
+      if (state_[v] == Compartment::kSusceptible) --susceptible_count_;
       ++ever_infected_;
       state_[v] = Compartment::kInfected;
+      infected_weight_[v] = omega_over_k_[v];
       ++infected_count_;
     }
   }
@@ -108,7 +145,9 @@ void AgentSimulation::block_nodes(const std::vector<graph::NodeId>& nodes) {
   for (const graph::NodeId v : nodes) {
     util::require(v < num_nodes(), "block_nodes: node out of range");
     if (state_[v] == Compartment::kInfected) --infected_count_;
+    if (state_[v] == Compartment::kSusceptible) --susceptible_count_;
     state_[v] = Compartment::kRecovered;
+    infected_weight_[v] = 0.0;
   }
 }
 
@@ -126,48 +165,75 @@ void AgentSimulation::step() {
       control_ ? control_->epsilon2(time_) : params_.epsilon2;
   const double p_immunize = 1.0 - std::exp(-e1 * dt);
   const double p_block = 1.0 - std::exp(-e2 * dt);
+  const std::uint64_t step_key = util::hash_mix(seed_, step_count_);
 
-  // Pass 1: infected nodes deposit exposure on susceptible neighbors.
-  std::fill(hazard_.begin(), hazard_.end(), 0.0);
-  for (std::size_t u = 0; u < n; ++u) {
-    if (state_[u] != Compartment::kInfected) continue;
-    const double w = omega_over_k_[u];
-    for (const graph::NodeId v :
-         graph_.neighbors(static_cast<graph::NodeId>(u))) {
-      if (state_[v] == Compartment::kSusceptible) hazard_[v] += w;
-    }
-  }
-
-  // Pass 2: synchronous transitions.
-  for (std::size_t v = 0; v < n; ++v) {
-    Compartment next = state_[v];
-    switch (state_[v]) {
-      case Compartment::kSusceptible: {
-        // Truth wins ties: test immunization first.
-        if (rng_.bernoulli(p_immunize)) {
-          next = Compartment::kRecovered;
-        } else if (hazard_[v] > 0.0) {
-          const double rate = lambda_over_k_[v] * hazard_[v];
-          if (rng_.bernoulli(1.0 - std::exp(-rate * dt))) {
-            next = Compartment::kInfected;
-            ++ever_infected_;
-            ++infected_count_;
+  // One fused pass per chunk: gather the hazard of each susceptible
+  // node from the current (read-only) state/weight buffers, draw its
+  // transitions from the chunk's counter-keyed stream, and write the
+  // double-buffered next_* arrays (disjoint per chunk, race-free).
+  const StepDelta delta = util::parallel_reduce(
+      std::size_t{0}, n, kStepGrain, StepDelta{},
+      [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+        util::Xoshiro256 draw(util::hash_mix(step_key, chunk));
+        StepDelta d;
+        for (std::size_t v = lo; v < hi; ++v) {
+          Compartment next = state_[v];
+          double weight = 0.0;
+          switch (state_[v]) {
+            case Compartment::kSusceptible: {
+              // Truth wins ties: test immunization first.
+              if (draw.bernoulli(p_immunize)) {
+                next = Compartment::kRecovered;
+                --d.susceptible;
+              } else {
+                double hazard = 0.0;
+                for (const graph::NodeId u : exposure_sources(v)) {
+                  hazard += infected_weight_[u];
+                }
+                if (hazard > 0.0) {
+                  const double rate = lambda_over_k_[v] * hazard;
+                  if (draw.bernoulli(1.0 - std::exp(-rate * dt))) {
+                    next = Compartment::kInfected;
+                    weight = omega_over_k_[v];
+                    --d.susceptible;
+                    ++d.infected;
+                    ++d.ever;
+                  }
+                }
+              }
+              break;
+            }
+            case Compartment::kInfected:
+              if (draw.bernoulli(p_block)) {
+                next = Compartment::kRecovered;
+                --d.infected;
+              } else {
+                weight = omega_over_k_[v];
+              }
+              break;
+            case Compartment::kRecovered:
+              break;
           }
+          next_state_[v] = next;
+          next_infected_weight_[v] = weight;
         }
-        break;
-      }
-      case Compartment::kInfected:
-        if (rng_.bernoulli(p_block)) {
-          next = Compartment::kRecovered;
-          --infected_count_;
-        }
-        break;
-      case Compartment::kRecovered:
-        break;
-    }
-    next_state_[v] = next;
-  }
+        return d;
+      },
+      [](StepDelta a, StepDelta b) {
+        a.susceptible += b.susceptible;
+        a.infected += b.infected;
+        a.ever += b.ever;
+        return a;
+      });
+
   state_.swap(next_state_);
+  infected_weight_.swap(next_infected_weight_);
+  susceptible_count_ = static_cast<std::size_t>(
+      static_cast<std::int64_t>(susceptible_count_) + delta.susceptible);
+  infected_count_ = static_cast<std::size_t>(
+      static_cast<std::int64_t>(infected_count_) + delta.infected);
+  ever_infected_ += static_cast<std::size_t>(delta.ever);
+  ++step_count_;
   time_ += dt;
 }
 
@@ -183,21 +249,13 @@ std::vector<Census> AgentSimulation::run_until(double t_end) {
 }
 
 Census AgentSimulation::census() const {
+  // O(1): the counters are maintained incrementally by step(),
+  // seed_infections, and block_nodes.
   Census c;
   c.t = time_;
-  for (const Compartment s : state_) {
-    switch (s) {
-      case Compartment::kSusceptible:
-        ++c.susceptible;
-        break;
-      case Compartment::kInfected:
-        ++c.infected;
-        break;
-      case Compartment::kRecovered:
-        ++c.recovered;
-        break;
-    }
-  }
+  c.susceptible = susceptible_count_;
+  c.infected = infected_count_;
+  c.recovered = num_nodes() - susceptible_count_ - infected_count_;
   return c;
 }
 

@@ -19,10 +19,22 @@
 // A node that would both become infected and be immunized in the same
 // step is immunized (truth wins the tie, matching Fig. 1 where both
 // arrows leave S).
+//
+// Execution model: step() is data-parallel over fixed 2048-node chunks
+// (util::parallel_for_chunks). All per-step randomness comes from
+// counter-based streams keyed by (seed, step, chunk) — not from a
+// shared sequential generator — so a trajectory is a pure function of
+// the seed and is bit-identical for any thread count (see
+// docs/parallelism.md). The infection hazard is *gathered*: each
+// susceptible node sums the precomputed ω(k_u)/k_u weights of its
+// currently-infected exposure sources (in-neighbors on directed
+// graphs, neighbors otherwise, both flat CSR), which is race-free and
+// fixes the floating-point summation order per node.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/params.hpp"
@@ -115,19 +127,39 @@ class AgentSimulation {
   std::size_t ever_infected() const { return ever_infected_; }
 
  private:
+  /// Nodes whose infection exposes v: in-neighbors on a directed graph
+  /// (infection flows along out-edges), plain neighbors otherwise.
+  std::span<const graph::NodeId> exposure_sources(std::size_t v) const {
+    if (!graph_.directed()) {
+      return graph_.neighbors(static_cast<graph::NodeId>(v));
+    }
+    return {exposure_sources_.data() + exposure_offsets_[v],
+            exposure_offsets_[v + 1] - exposure_offsets_[v]};
+  }
+
   const graph::Graph& graph_;
   AgentParams params_;
   std::shared_ptr<const core::ControlSchedule> control_;
-  util::Xoshiro256 rng_;
+  util::Xoshiro256 rng_;  // seeding only; step() uses counter streams
+  std::uint64_t seed_ = 0;
+  std::uint64_t step_count_ = 0;
   double time_ = 0.0;
   std::vector<Compartment> state_;
   std::vector<Compartment> next_state_;
   std::vector<double> lambda_over_k_;  // λ(k_v)/k_v per node
   std::vector<double> omega_over_k_;   // ω(k_u)/k_u per node
+  // infected_weight_[u] = ω(k_u)/k_u while u is infected, else 0 —
+  // makes the hazard gather a branch-free sum. Double-buffered like
+  // state_ so the parallel step only writes the next_* arrays.
+  std::vector<double> infected_weight_;
+  std::vector<double> next_infected_weight_;
+  // Reverse (in-neighbor) CSR, built once for directed graphs only.
+  std::vector<std::size_t> exposure_offsets_;
+  std::vector<graph::NodeId> exposure_sources_;
   std::vector<std::size_t> group_of_;  // node → distinct-degree group
   std::vector<std::size_t> group_degrees_;  // sorted distinct degrees
   std::vector<std::size_t> group_sizes_;    // nodes per group
-  std::vector<double> hazard_;         // scratch: per-node exposure
+  std::size_t susceptible_count_ = 0;
   std::size_t infected_count_ = 0;
   std::size_t ever_infected_ = 0;
 };

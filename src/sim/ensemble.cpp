@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace rumor::sim {
 
@@ -16,30 +17,57 @@ EnsembleResult run_ensemble(const graph::Graph& g, const AgentParams& params,
       static_cast<std::size_t>(std::ceil(options.t_end / params.dt));
   const auto n = static_cast<double>(g.num_nodes());
 
+  // Each replica writes its own series; nothing is shared between
+  // replicas, so they run concurrently without synchronization.
+  struct ReplicaSeries {
+    std::vector<double> infected_fraction;
+    std::vector<double> recovered_fraction;
+    double attack = 0.0;
+  };
+  std::vector<ReplicaSeries> replicas(options.replicas);
+
+  util::parallel_for(
+      std::size_t{0}, options.replicas, /*grain=*/1, [&](std::size_t r) {
+        AgentSimulation simulation(g, params,
+                                   replica_seed(options.seed, r));
+        const std::size_t seeds =
+            options.initial_infected > 0
+                ? options.initial_infected
+                : std::max<std::size_t>(
+                      1, static_cast<std::size_t>(std::llround(
+                             options.initial_fraction * n)));
+        simulation.seed_random_infections(seeds);
+
+        ReplicaSeries& series = replicas[r];
+        series.infected_fraction.resize(steps + 1);
+        series.recovered_fraction.resize(steps + 1);
+        for (std::size_t s = 0; s <= steps; ++s) {
+          const Census c = simulation.census();
+          series.infected_fraction[s] =
+              static_cast<double>(c.infected) / n;
+          series.recovered_fraction[s] =
+              static_cast<double>(c.recovered) / n;
+          if (s < steps) simulation.step();
+        }
+        series.attack =
+            static_cast<double>(simulation.ever_infected()) / n;
+      });
+
+  // Merge in replica order on this thread: the accumulation order —
+  // and hence every floating-point rounding — matches the serial run
+  // exactly, for any thread count.
   std::vector<double> sum_i(steps + 1, 0.0);
   std::vector<double> sum_i2(steps + 1, 0.0);
   std::vector<double> sum_r(steps + 1, 0.0);
   double attack_sum = 0.0;
-
-  for (std::size_t r = 0; r < options.replicas; ++r) {
-    AgentSimulation simulation(g, params, options.seed + r);
-    const std::size_t seeds =
-        options.initial_infected > 0
-            ? options.initial_infected
-            : std::max<std::size_t>(
-                  1, static_cast<std::size_t>(std::llround(
-                         options.initial_fraction * n)));
-    simulation.seed_random_infections(seeds);
-
+  for (const ReplicaSeries& series : replicas) {
     for (std::size_t s = 0; s <= steps; ++s) {
-      const Census c = simulation.census();
-      const double fi = static_cast<double>(c.infected) / n;
+      const double fi = series.infected_fraction[s];
       sum_i[s] += fi;
       sum_i2[s] += fi * fi;
-      sum_r[s] += static_cast<double>(c.recovered) / n;
-      if (s < steps) simulation.step();
+      sum_r[s] += series.recovered_fraction[s];
     }
-    attack_sum += static_cast<double>(simulation.ever_infected()) / n;
+    attack_sum += series.attack;
   }
 
   EnsembleResult result;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/agent_sim.hpp"
+#include "util/random.hpp"
 
 namespace rumor::sim {
 
@@ -30,10 +31,27 @@ struct EnsembleResult {
   double mean_attack_rate = 0.0;  ///< ever-infected fraction, averaged
 };
 
-/// Run `replicas` independent simulations (replica r uses seed + r) and
-/// aggregate. Every replica runs the same number of steps so the time
-/// grids align; replicas whose epidemic dies early simply contribute
-/// zeros from then on.
+/// Seed of replica r: `seed ^ splitmix64(r)`, NOT the naive `seed + r`.
+/// With `seed + r`, two ensembles whose seeds differ by one (42 and 43,
+/// say) would share all but one of their replica streams — the runs
+/// would be almost perfectly correlated instead of independent. Hashing
+/// the replica index decorrelates the whole grid of (seed, r) pairs.
+inline std::uint64_t replica_seed(std::uint64_t ensemble_seed,
+                                  std::size_t replica) {
+  return ensemble_seed ^
+         util::splitmix64(static_cast<std::uint64_t>(replica));
+}
+
+/// Run `replicas` independent simulations (replica r uses
+/// replica_seed(seed, r)) and aggregate. Every replica runs the same
+/// number of steps so the time grids align; replicas whose epidemic
+/// dies early simply contribute zeros from then on.
+///
+/// Replicas execute concurrently on the global thread pool. Each
+/// replica's trajectory is a pure function of its seed (see
+/// AgentSimulation), and the per-replica series are merged in replica
+/// order on the calling thread, so the EnsembleResult is bit-identical
+/// for every thread count, including the serial fallback.
 EnsembleResult run_ensemble(const graph::Graph& g, const AgentParams& params,
                             const EnsembleOptions& options);
 

@@ -1,0 +1,58 @@
+#include "util/parallel.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace rumor::util {
+
+namespace {
+
+// Guards the (threads, pool) pair below. ThreadPool::run serializes
+// jobs itself, so this mutex is only contended at configuration time.
+std::mutex g_config_mutex;
+std::size_t g_threads = 0;  // 0 = not yet resolved
+std::unique_ptr<ThreadPool> g_pool;
+
+std::size_t default_threads() {
+  if (const char* env = std::getenv("RUMOR_NUM_THREADS")) {
+    char* tail = nullptr;
+    const unsigned long parsed = std::strtoul(env, &tail, 10);
+    if (tail != env && *tail == '\0' && parsed >= 1) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+std::size_t resolved_threads_locked() {
+  if (g_threads == 0) g_threads = default_threads();
+  return g_threads;
+}
+
+}  // namespace
+
+std::size_t num_threads() {
+  std::lock_guard<std::mutex> lock(g_config_mutex);
+  return resolved_threads_locked();
+}
+
+void set_num_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(g_config_mutex);
+  g_threads = threads == 0 ? default_threads() : threads;
+  g_pool.reset();  // recreated at the new width on next use
+}
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_config_mutex);
+  const std::size_t threads = resolved_threads_locked();
+  if (!g_pool || g_pool->size() != threads) {
+    g_pool = std::make_unique<ThreadPool>(threads);
+  }
+  return *g_pool;
+}
+
+}  // namespace rumor::util

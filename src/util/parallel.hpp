@@ -1,0 +1,107 @@
+// parallel_for / parallel_reduce over a shared global thread pool.
+//
+// Design rules that every caller can rely on:
+//
+//  * Chunk boundaries depend only on (begin, end, grain) — never on the
+//    thread count. Code that keys an RNG stream by chunk index (the
+//    agent simulator) therefore produces bit-identical results whether
+//    the chunks run on 1 thread or 16.
+//  * parallel_reduce computes one partial per chunk (each chunk reduced
+//    serially in index order) and combines the partials *in chunk
+//    order* on the calling thread, so even non-commutative or
+//    floating-point combines are deterministic across thread counts.
+//  * With num_threads() == 1 everything runs inline with no pool, no
+//    locks, and the exact same chunk boundaries — the serial fallback
+//    is the specification of the parallel path.
+//  * Nested calls (a parallel_for inside a parallel_for body) degrade
+//    to serial inline execution of the inner loop; see ThreadPool.
+//
+// Thread-count control: set_num_threads(n) (n == 0 restores the
+// default), or the RUMOR_NUM_THREADS environment variable, read once at
+// first use; otherwise std::thread::hardware_concurrency().
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace rumor::util {
+
+/// Current execution width (>= 1). Resolved from RUMOR_NUM_THREADS or
+/// hardware_concurrency on first call unless set_num_threads overrode it.
+std::size_t num_threads();
+
+/// Override the execution width; 0 restores the environment/hardware
+/// default. Recreates the global pool lazily. Not safe to call while a
+/// parallel region is executing on another thread.
+void set_num_threads(std::size_t threads);
+
+/// The process-wide pool (size == num_threads()), created on first use.
+ThreadPool& global_pool();
+
+namespace detail {
+inline std::size_t chunk_count(std::size_t begin, std::size_t end,
+                               std::size_t grain) {
+  const std::size_t g = std::max<std::size_t>(1, grain);
+  return end > begin ? (end - begin + g - 1) / g : 0;
+}
+}  // namespace detail
+
+/// Call fn(chunk_index, lo, hi) for every grain-sized chunk
+/// [lo, hi) ⊆ [begin, end). Chunk boundaries are a pure function of the
+/// arguments, so per-chunk seeding is thread-count invariant.
+template <typename ChunkFn>
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         std::size_t grain, ChunkFn&& fn) {
+  const std::size_t g = std::max<std::size_t>(1, grain);
+  const std::size_t chunks = detail::chunk_count(begin, end, g);
+  if (chunks == 0) return;
+  auto run_chunk = [&](std::size_t c) {
+    const std::size_t lo = begin + c * g;
+    const std::size_t hi = std::min(end, lo + g);
+    fn(c, lo, hi);
+  };
+  if (chunks == 1 || num_threads() == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) run_chunk(c);
+    return;
+  }
+  const std::function<void(std::size_t)> job = run_chunk;
+  global_pool().run(chunks, job);
+}
+
+/// Call fn(i) for every i in [begin, end), grain indices per task.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  Fn&& fn) {
+  parallel_for_chunks(begin, end, grain,
+                      [&fn](std::size_t, std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) fn(i);
+                      });
+}
+
+/// Deterministic ordered reduction: chunk_fn(chunk_index, lo, hi) -> T
+/// computes each chunk's partial (in parallel); the partials are then
+/// folded left-to-right in chunk order with combine(acc, partial) on
+/// the calling thread. Identical results for any thread count.
+template <typename T, typename ChunkFn, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                  T identity, ChunkFn&& chunk_fn, Combine&& combine) {
+  const std::size_t chunks = detail::chunk_count(begin, end, grain);
+  if (chunks == 0) return identity;
+  std::vector<T> partials(chunks, identity);
+  parallel_for_chunks(begin, end, grain,
+                      [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                        partials[c] = chunk_fn(c, lo, hi);
+                      });
+  T accumulated = std::move(identity);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    accumulated = combine(std::move(accumulated), std::move(partials[c]));
+  }
+  return accumulated;
+}
+
+}  // namespace rumor::util

@@ -17,6 +17,24 @@ namespace rumor::util {
 /// Advances `state` and returns the next output.
 std::uint64_t splitmix64_next(std::uint64_t& state);
 
+/// Stateless splitmix64 hash of a single word: the output of one
+/// splitmix64 step starting from `x`. Used to decorrelate structured
+/// keys (replica indices, step counters, chunk ids) before they seed a
+/// generator — nearby inputs give unrelated outputs.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  std::uint64_t state = x;
+  return splitmix64_next(state);
+}
+
+/// Hash-combine two words into one well-mixed word. Chain it to derive
+/// counter-based stream keys, e.g. hash_mix(hash_mix(seed, step), chunk)
+/// for the agent simulator's per-chunk RNG streams: the key — and hence
+/// every draw — depends only on (seed, step, chunk), never on which
+/// thread runs the chunk.
+inline std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b) {
+  return splitmix64(a ^ (splitmix64(b) + 0x9E3779B97F4A7C15ULL));
+}
+
 /// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator, so it
 /// can also drive <random> distributions when convenient.
 class Xoshiro256 {

@@ -1,0 +1,84 @@
+#include "util/thread_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace rumor::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  require(threads >= 1, "ThreadPool: need at least one thread");
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::drain(std::unique_lock<std::mutex>& lock) {
+  while (next_task_ < num_tasks_) {
+    const std::size_t index = next_task_++;
+    const auto* job = job_;
+    lock.unlock();
+    try {
+      (*job)(index);
+      lock.lock();
+    } catch (...) {
+      lock.lock();
+      if (!first_error_) first_error_ = std::current_exception();
+      next_task_ = num_tasks_;  // cancel the remaining tasks
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (job_ != nullptr && job_epoch_ != seen_epoch);
+    });
+    if (stop_) return;
+    seen_epoch = job_epoch_;
+    ++active_workers_;
+    drain(lock);
+    --active_workers_;
+    if (active_workers_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run(std::size_t num_tasks,
+                     const std::function<void(std::size_t)>& fn) {
+  if (num_tasks == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (job_ != nullptr) {
+    // Nested or concurrent invocation: execute inline, serially. The
+    // caller chose the chunking, so results are unchanged.
+    lock.unlock();
+    for (std::size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  job_ = &fn;
+  num_tasks_ = num_tasks;
+  next_task_ = 0;
+  first_error_ = nullptr;
+  ++job_epoch_;
+  if (!workers_.empty()) work_cv_.notify_all();
+  drain(lock);
+  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  job_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace rumor::util

@@ -1,0 +1,68 @@
+// Fixed-size thread pool for data-parallel "index jobs".
+//
+// The pool executes run(n, fn): fn(i) is called exactly once for every
+// i in [0, n), with indices handed out dynamically to the worker
+// threads *and* the calling thread (which always participates, so a
+// pool of size 1 has zero worker threads and runs everything inline).
+// There is no work stealing and no task graph — the only primitive is
+// the flat index job, which is all parallel_for / parallel_reduce need
+// and keeps the synchronization story auditable under ThreadSanitizer.
+//
+// Exceptions: the first exception thrown by any task is captured,
+// remaining indices are cancelled, and the exception is rethrown on
+// the calling thread once the job has drained.
+//
+// Re-entrancy: if run() is invoked while another job is in flight
+// (nested parallelism, or a call from inside a worker), the nested job
+// executes serially inline on the calling thread. Chunk boundaries are
+// chosen by the caller, so this degradation never changes results —
+// only the schedule.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rumor::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers; the caller is the remaining thread.
+  /// `threads` must be >= 1.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width: workers + the calling thread.
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run fn(i) for every i in [0, num_tasks). Blocks until all tasks
+  /// finish (or the first exception cancels the rest and is rethrown).
+  void run(std::size_t num_tasks, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  /// Drains tasks of the current job. Caller must hold `lock`.
+  void drain(std::unique_lock<std::mutex>& lock);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait here for a job
+  std::condition_variable done_cv_;   // run() waits here for stragglers
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t job_epoch_ = 0;  // bumped per job so workers never rerun one
+  std::size_t num_tasks_ = 0;
+  std::size_t next_task_ = 0;
+  std::size_t active_workers_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace rumor::util

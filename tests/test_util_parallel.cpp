@@ -1,0 +1,202 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rumor::util {
+namespace {
+
+/// Pins num_threads() for one test and restores the default after.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(std::size_t threads) {
+    set_num_threads(threads);
+  }
+  ~ThreadCountGuard() { set_num_threads(0); }
+};
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.run(hits.size(),
+           [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp) {
+  ThreadPool pool(3);
+  pool.run(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, SingleThreadPoolHasNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  int calls = 0;
+  pool.run(10, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 10);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), InvalidArgument);
+}
+
+TEST(ThreadPool, SurvivesRepeatedJobsAndReconstruction) {
+  for (int round = 0; round < 3; ++round) {
+    ThreadPool pool(2);
+    for (int job = 0; job < 5; ++job) {
+      std::atomic<int> sum{0};
+      pool.run(100, [&](std::size_t i) {
+        sum.fetch_add(static_cast<int>(i));
+      });
+      EXPECT_EQ(sum.load(), 4950);
+    }
+  }
+}
+
+TEST(ThreadPool, PropagatesWorkerExceptionToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run(64,
+               [](std::size_t i) {
+                 if (i == 37) throw std::runtime_error("task 37 failed");
+               }),
+      std::runtime_error);
+  // The pool must remain usable after a failed job.
+  std::atomic<int> count{0};
+  pool.run(16, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ParallelFor, CoversRangeWithDisjointWrites) {
+  ThreadCountGuard guard(4);
+  std::vector<int> hits(1000, 0);
+  parallel_for(std::size_t{0}, hits.size(), 64,
+               [&](std::size_t i) { ++hits[i]; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, EmptyRangeAndReversedRangeAreNoOps) {
+  ThreadCountGuard guard(2);
+  parallel_for(std::size_t{5}, std::size_t{5}, 1,
+               [](std::size_t) { FAIL(); });
+  parallel_for(std::size_t{7}, std::size_t{3}, 1,
+               [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, ExceptionPropagatesThroughParallelFor) {
+  ThreadCountGuard guard(4);
+  EXPECT_THROW(parallel_for(std::size_t{0}, std::size_t{100}, 8,
+                            [](std::size_t i) {
+                              if (i == 50) {
+                                throw InvalidArgument("boom");
+                              }
+                            }),
+               InvalidArgument);
+}
+
+TEST(ParallelForChunks, BoundariesDependOnlyOnGrain) {
+  // Record (chunk, lo, hi) triples at 1 and 4 threads: identical.
+  auto boundaries = [](std::size_t threads) {
+    ThreadCountGuard guard(threads);
+    std::vector<std::array<std::size_t, 3>> out(
+        detail::chunk_count(3, 1000, 128));
+    parallel_for_chunks(3, 1000, 128,
+                        [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                          out[c] = {c, lo, hi};
+                        });
+    return out;
+  };
+  EXPECT_EQ(boundaries(1), boundaries(4));
+}
+
+TEST(ParallelReduce, MatchesSerialSum) {
+  ThreadCountGuard guard(4);
+  const auto chunk_sum = [](std::size_t, std::size_t lo, std::size_t hi) {
+    double s = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      s += std::sin(static_cast<double>(i));
+    }
+    return s;
+  };
+  const double parallel = parallel_reduce(
+      std::size_t{0}, std::size_t{10000}, 256, 0.0, chunk_sum,
+      [](double a, double b) { return a + b; });
+  double serial = 0.0;
+  {
+    ThreadCountGuard serial_guard(1);
+    serial = parallel_reduce(std::size_t{0}, std::size_t{10000}, 256, 0.0,
+                             chunk_sum,
+                             [](double a, double b) { return a + b; });
+  }
+  // Ordered combine: not just close — bit-identical.
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(ParallelReduce, BitIdenticalAcrossThreadCounts) {
+  const auto run = [](std::size_t threads) {
+    ThreadCountGuard guard(threads);
+    return parallel_reduce(
+        std::size_t{0}, std::size_t{5000}, 64, 0.0,
+        [](std::size_t, std::size_t lo, std::size_t hi) {
+          double s = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            s += 1.0 / (1.0 + static_cast<double>(i));
+          }
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double at1 = run(1);
+  EXPECT_EQ(at1, run(2));
+  EXPECT_EQ(at1, run(8));
+}
+
+TEST(ParallelReduce, CombineIsOrderedEvenWhenNonCommutative) {
+  ThreadCountGuard guard(8);
+  // String concatenation is non-commutative: only an in-order merge of
+  // the chunk partials yields the serial result.
+  const std::string combined = parallel_reduce(
+      std::size_t{0}, std::size_t{26}, 3, std::string{},
+      [](std::size_t, std::size_t lo, std::size_t hi) {
+        std::string s;
+        for (std::size_t i = lo; i < hi; ++i) {
+          s.push_back(static_cast<char>('a' + i));
+        }
+        return s;
+      },
+      [](std::string a, std::string b) { return a + b; });
+  EXPECT_EQ(combined, "abcdefghijklmnopqrstuvwxyz");
+}
+
+TEST(Parallel, NestedParallelForDegradesToSerialInline) {
+  ThreadCountGuard guard(4);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(std::size_t{0}, std::size_t{8}, 1, [&](std::size_t outer) {
+    parallel_for(std::size_t{0}, std::size_t{8}, 1,
+                 [&](std::size_t inner) {
+                   hits[outer * 8 + inner].fetch_add(1);
+                 });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, SetNumThreadsControlsPoolWidth) {
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3u);
+  EXPECT_EQ(global_pool().size(), 3u);
+  set_num_threads(0);  // back to the environment/hardware default
+  EXPECT_GE(num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace rumor::util
