@@ -1,10 +1,16 @@
-// PERF-GRAPH — generator and metric micro-benchmarks (google-benchmark).
+// PERF-GRAPH — generator, metric, and load-path micro-benchmarks
+// (google-benchmark; pass --benchmark_format=json for machine output).
 #include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
 
 #include "data/digg.hpp"
 #include "graph/degree.hpp"
 #include "graph/generators.hpp"
+#include "graph/io.hpp"
 #include "graph/metrics.hpp"
+#include "io/graph_binary.hpp"
 #include "sim/agent_sim.hpp"
 
 namespace {
@@ -94,6 +100,83 @@ void BM_AgentSimStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_AgentSimStep)->Arg(10'000)->Arg(100'000);
+
+// ---- load-path comparison: text parse vs packed binary CSR ---------
+//
+// One ~1.05M-edge Barabási–Albert graph (n = 350k, m = 3), written once
+// as a text edge list and once as a GRAPHCSR container; each benchmark
+// then measures a full cold load. This is the number behind the
+// "binary ≥ 10× faster than text" claim in docs/serialization.md.
+
+struct LoadFixtureFiles {
+  std::string text_path;
+  std::string binary_path;
+  std::size_t num_edges = 0;
+};
+
+const LoadFixtureFiles& load_fixture() {
+  static const LoadFixtureFiles files = [] {
+    const auto dir = std::filesystem::temp_directory_path();
+    LoadFixtureFiles f;
+    f.text_path = (dir / "rumor_perf_graph.edges").string();
+    f.binary_path = (dir / "rumor_perf_graph.bin").string();
+    util::Xoshiro256 rng(42);
+    const auto g = graph::barabasi_albert(350'000, 3, rng);
+    f.num_edges = g.num_edges();
+    graph::write_edge_list_file(g, f.text_path);
+    io::save_graph(g, f.binary_path);
+    return f;
+  }();
+  return files;
+}
+
+void BM_GraphLoadTextEdgeList(benchmark::State& state) {
+  const auto& files = load_fixture();
+  for (auto _ : state) {
+    auto g = graph::read_edge_list_file(files.text_path, /*directed=*/false);
+    benchmark::DoNotOptimize(g.num_arcs());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(files.num_edges));
+}
+BENCHMARK(BM_GraphLoadTextEdgeList)->Unit(benchmark::kMillisecond);
+
+void BM_GraphLoadBinaryOwned(benchmark::State& state) {
+  const auto& files = load_fixture();
+  for (auto _ : state) {
+    auto g = io::load_graph(files.binary_path, io::GraphLoad::kOwned);
+    benchmark::DoNotOptimize(g.num_arcs());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(files.num_edges));
+}
+BENCHMARK(BM_GraphLoadBinaryOwned)->Unit(benchmark::kMillisecond);
+
+void BM_GraphLoadBinaryMapped(benchmark::State& state) {
+  const auto& files = load_fixture();
+  for (auto _ : state) {
+    auto g = io::load_graph(files.binary_path, io::GraphLoad::kMapped);
+    benchmark::DoNotOptimize(g.num_arcs());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(files.num_edges));
+}
+BENCHMARK(BM_GraphLoadBinaryMapped)->Unit(benchmark::kMillisecond);
+
+void BM_GraphSaveBinary(benchmark::State& state) {
+  const auto& files = load_fixture();
+  const auto g = io::load_graph(files.binary_path, io::GraphLoad::kOwned);
+  const auto out =
+      (std::filesystem::temp_directory_path() / "rumor_perf_save.bin")
+          .string();
+  for (auto _ : state) {
+    io::save_graph(g, out);
+  }
+  std::filesystem::remove(out);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(files.num_edges));
+}
+BENCHMARK(BM_GraphSaveBinary)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -6,9 +6,12 @@
 //   rumorctl simulate [opts]               CSV time series to stdout
 //   rumorctl plan [opts]                   optimized countermeasure CSV
 //   rumorctl fit --cascade FILE [opts]     estimate parameters from data
+//   rumorctl graph-pack --edges IN --out F convert a graph to binary CSR
 //
 // Common options (defaults in brackets):
-//   --edges FILE      load a real edge list instead of the surrogate
+//   --edges FILE      load a graph (text edge list or packed binary CSR,
+//                     auto-detected) instead of the surrogate
+//   --threads N       worker threads for parallel sections [hardware]
 //   --groups N        coarsen the degree profile to N groups [848]
 //   --alpha A         arrival rate [0.01]
 //   --lambda-scale S  λ(k) = S·k [1.0]
@@ -16,15 +19,28 @@
 //   --i0 F            initial infected fraction [0.01]
 //   --tf T            horizon / deadline [100]
 // plan-specific: --c1 [5] --c2 [10] --target [1e-3·n] --eps-max [0.7]
+//                --checkpoint FILE --checkpoint-every N [10] --resume [1]
 // fit-specific:  --cascade FILE (CSV with columns t,infected_density)
+// simulate-specific: --agents 1 switches to the agent-based simulation
+//   on a concrete graph (--edges, or a BA surrogate of --nodes [2000] ×
+//   --ba-m [3], --graph-seed [7]); --seed [42] --dt [0.1] select the
+//   run; --checkpoint FILE saves resumable state every
+//   --checkpoint-every [50] steps; --resume [1] continues from it;
+//   --max-steps N stops early after N further steps (crash stand-in
+//   for the kill-and-resume test). A resumed run's CSV is bit-identical
+//   to an uninterrupted one at any thread count.
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "control/fbsweep.hpp"
 #include "core/equilibrium.hpp"
@@ -33,9 +49,16 @@
 #include "core/simulation.hpp"
 #include "core/threshold.hpp"
 #include "data/digg.hpp"
+#include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "io/container.hpp"
+#include "io/graph_binary.hpp"
+#include "sim/agent_sim.hpp"
+#include "sim/checkpoint.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/random.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -72,7 +95,7 @@ Args parse(int argc, char** argv) {
 core::NetworkProfile load_profile(const Args& args) {
   core::NetworkProfile profile = [&] {
     if (const auto edges = args.text("edges")) {
-      const auto g = graph::read_edge_list_file(*edges, /*directed=*/true);
+      const auto g = io::load_graph_any(*edges, /*directed=*/true);
       std::fprintf(stderr, "loaded %zu nodes / %zu links from %s\n",
                    g.num_nodes(), g.num_edges(), edges->c_str());
       return core::NetworkProfile::from_graph(g);
@@ -181,7 +204,142 @@ int cmd_spectrum(const Args& args) {
   return 0;
 }
 
+// ---- agent-based simulate (--agents 1): checkpointable run ----------
+
+// The checkpoint container carries the simulation's own sections (see
+// sim/checkpoint.hpp) plus the census history recorded so far, so a
+// resumed run reprints the whole series from t = 0 and its CSV is
+// byte-identical to an uninterrupted run's.
+void save_agent_run(const std::string& path,
+                    const sim::AgentSimulation& simulation,
+                    const std::vector<sim::Census>& history) {
+  io::ContainerWriter writer(sim::kAgentRunKind);
+  sim::append_agent_checkpoint(writer, simulation);
+  io::ByteWriter rows;
+  rows.u64(history.size());
+  for (const sim::Census& c : history) {
+    rows.f64(c.t);
+    rows.u64(c.susceptible);
+    rows.u64(c.infected);
+    rows.u64(c.recovered);
+  }
+  writer.add_section("ctl.history", std::move(rows));
+  writer.write_file(path);
+}
+
+std::vector<sim::Census> load_agent_run(const std::string& path,
+                                        sim::AgentSimulation& simulation) {
+  const auto container = io::ContainerReader::open(path);
+  container->require_kind(sim::kAgentRunKind);
+  sim::restore_agent_checkpoint(*container, simulation);
+  io::ByteReader rows = container->reader("ctl.history");
+  const std::uint64_t count = rows.u64();
+  std::vector<sim::Census> history;
+  history.reserve(count);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    sim::Census c;
+    c.t = rows.f64();
+    c.susceptible = rows.u64();
+    c.infected = rows.u64();
+    c.recovered = rows.u64();
+    history.push_back(c);
+  }
+  rows.expect_end();
+  return history;
+}
+
+int cmd_simulate_agents(const Args& args) {
+  const graph::Graph g = [&] {
+    if (const auto edges = args.text("edges")) {
+      return io::load_graph_any(*edges, args.number("directed", 0.0) != 0.0);
+    }
+    util::Xoshiro256 rng(
+        static_cast<std::uint64_t>(args.number("graph-seed", 7.0)));
+    return graph::barabasi_albert(
+        static_cast<std::size_t>(args.number("nodes", 2000.0)),
+        static_cast<std::size_t>(args.number("ba-m", 3.0)), rng);
+  }();
+
+  sim::AgentParams params;
+  params.lambda = core::Acceptance::linear(args.number("lambda-scale", 1.0));
+  params.epsilon1 = args.number("eps1", 0.2);
+  params.epsilon2 = args.number("eps2", 0.05);
+  params.dt = args.number("dt", 0.1);
+  const auto seed = static_cast<std::uint64_t>(args.number("seed", 42.0));
+  const auto total_steps = static_cast<std::size_t>(
+      std::ceil(args.number("tf", 100.0) / params.dt));
+
+  sim::AgentSimulation simulation(g, params, seed);
+  std::vector<sim::Census> history;
+
+  const std::string checkpoint = args.text("checkpoint").value_or("");
+  const auto checkpoint_every = static_cast<std::size_t>(
+      args.number("checkpoint-every", 50.0));
+  util::require(checkpoint.empty() || checkpoint_every >= 1,
+                "simulate: --checkpoint-every must be >= 1");
+  const bool resume = args.number("resume", 1.0) != 0.0;
+
+  if (!checkpoint.empty() && resume &&
+      std::filesystem::exists(checkpoint)) {
+    history = load_agent_run(checkpoint, simulation);
+    std::fprintf(stderr, "resumed from %s at step %zu / %zu\n",
+                 checkpoint.c_str(),
+                 static_cast<std::size_t>(simulation.step_count()),
+                 total_steps);
+  } else {
+    const auto n = static_cast<double>(g.num_nodes());
+    simulation.seed_random_infections(std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(args.number("i0", 0.01) * n))));
+    history.push_back(simulation.census());
+  }
+
+  auto start = static_cast<std::size_t>(simulation.step_count());
+  std::size_t stop = total_steps;
+  if (const auto cap = args.text("max-steps")) {
+    stop = std::min(stop, start + static_cast<std::size_t>(
+                              std::atof(cap->c_str())));
+  }
+  for (std::size_t step = start; step < stop; ++step) {
+    simulation.step();
+    history.push_back(simulation.census());
+    if (!checkpoint.empty() &&
+        ((step + 1 - start) % checkpoint_every == 0 || step + 1 == stop)) {
+      save_agent_run(checkpoint, simulation, history);
+    }
+  }
+  if (stop < total_steps) {
+    std::fprintf(stderr, "stopped at step %zu / %zu (--max-steps)\n", stop,
+                 total_steps);
+  }
+
+  const auto n = static_cast<double>(g.num_nodes());
+  util::CsvWriter csv({"t", "susceptible_fraction", "infected_fraction",
+                       "recovered_fraction"});
+  for (const sim::Census& c : history) {
+    csv.add_row({c.t, static_cast<double>(c.susceptible) / n,
+                 static_cast<double>(c.infected) / n,
+                 static_cast<double>(c.recovered) / n});
+  }
+  csv.write(std::cout);
+  return 0;
+}
+
+int cmd_graph_pack(const Args& args) {
+  const auto input = args.text("edges");
+  const auto output = args.text("out");
+  util::require(input.has_value() && output.has_value(),
+                "graph-pack: --edges IN and --out OUT are required");
+  const graph::Graph g =
+      io::load_graph_any(*input, args.number("directed", 0.0) != 0.0);
+  io::save_graph(g, *output);
+  std::fprintf(stderr, "packed %zu nodes / %zu arcs into %s\n",
+               g.num_nodes(), g.num_arcs(), output->c_str());
+  return 0;
+}
+
 int cmd_simulate(const Args& args) {
+  if (args.number("agents", 0.0) != 0.0) return cmd_simulate_agents(args);
   const auto profile = load_profile(args);
   const auto params = load_params(args);
   const double e1 = args.number("eps1", 0.2);
@@ -228,6 +386,10 @@ int cmd_plan(const Args& args) {
   sweep.epsilon2_max = sweep.epsilon1_max;
   sweep.max_iterations = 800;
   sweep.j_tolerance = 1e-6;
+  sweep.checkpoint_path = args.text("checkpoint").value_or("");
+  sweep.checkpoint_every = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.number("checkpoint-every", 10.0)));
+  sweep.resume = args.number("resume", 1.0) != 0.0;
 
   const double target = args.number(
       "target", 1e-3 * static_cast<double>(profile.num_groups()));
@@ -277,7 +439,8 @@ int cmd_fit(const Args& args) {
 int usage() {
   std::printf(
       "rumorctl — rumor propagation dynamics & optimized countermeasures\n"
-      "usage: rumorctl {stats|threshold|spectrum|simulate|plan|fit} [--opt value]\n"
+      "usage: rumorctl {stats|threshold|spectrum|simulate|plan|fit|"
+      "graph-pack} [--opt value]\n"
       "see the header of examples/rumorctl.cpp for the full option list\n");
   return 0;
 }
@@ -287,12 +450,17 @@ int usage() {
 int main(int argc, char** argv) {
   try {
     const Args args = parse(argc, argv);
+    if (const auto threads = args.text("threads")) {
+      rumor::util::set_num_threads(
+          static_cast<std::size_t>(std::atof(threads->c_str())));
+    }
     if (args.command == "stats") return cmd_stats(args);
     if (args.command == "threshold") return cmd_threshold(args);
     if (args.command == "spectrum") return cmd_spectrum(args);
     if (args.command == "simulate") return cmd_simulate(args);
     if (args.command == "plan") return cmd_plan(args);
     if (args.command == "fit") return cmd_fit(args);
+    if (args.command == "graph-pack") return cmd_graph_pack(args);
     return usage();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "rumorctl: %s\n", error.what());

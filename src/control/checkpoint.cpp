@@ -1,0 +1,150 @@
+#include "control/checkpoint.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "io/artifacts.hpp"
+#include "io/container.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace rumor::control {
+
+namespace {
+
+void put_doubles(io::ContainerWriter& writer, const char* name,
+                 const std::vector<double>& values) {
+  io::ByteWriter section;
+  section.vec(values);
+  writer.add_section(name, std::move(section));
+}
+
+std::vector<double> get_doubles(const io::ContainerReader& reader,
+                                const char* name) {
+  io::ByteReader section = reader.reader(name);
+  auto values = section.vec<double>();
+  section.expect_end();
+  return values;
+}
+
+// The fingerprint comparison is bitwise: a resumed sweep must see the
+// exact floating-point configuration it was started with, or the
+// iteration sequence would silently diverge from the uninterrupted run.
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+void save_sweep_checkpoint(const SweepCheckpoint& checkpoint,
+                           const std::string& path) {
+  io::ContainerWriter writer(kSweepKind);
+
+  io::ByteWriter meta;
+  meta.u32(checkpoint.algorithm);
+  meta.f64(checkpoint.tf);
+  meta.f64(checkpoint.c1);
+  meta.f64(checkpoint.c2);
+  meta.f64(checkpoint.terminal_weight);
+  meta.u64(checkpoint.iteration);
+  meta.f64(checkpoint.relaxation);
+  meta.u64(checkpoint.descent_streak);
+  meta.f64(checkpoint.gradient_step);
+  meta.f64(checkpoint.best_j);
+  writer.add_section("sweep.meta", std::move(meta));
+
+  put_doubles(writer, "sweep.grid", checkpoint.grid);
+  put_doubles(writer, "sweep.e1", checkpoint.epsilon1);
+  put_doubles(writer, "sweep.e2", checkpoint.epsilon2);
+  put_doubles(writer, "sweep.beste1", checkpoint.best_epsilon1);
+  put_doubles(writer, "sweep.beste2", checkpoint.best_epsilon2);
+  put_doubles(writer, "sweep.jhist", checkpoint.objective_history);
+  io::append_trajectory(writer, "state", checkpoint.state);
+  io::append_trajectory(writer, "costate", checkpoint.costate);
+
+  writer.write_file(path);
+}
+
+SweepCheckpoint load_sweep_checkpoint(const std::string& path) {
+  const auto container = io::ContainerReader::open(path);
+  container->require_kind(kSweepKind);
+
+  SweepCheckpoint checkpoint;
+  io::ByteReader meta = container->reader("sweep.meta");
+  checkpoint.algorithm = meta.u32();
+  checkpoint.tf = meta.f64();
+  checkpoint.c1 = meta.f64();
+  checkpoint.c2 = meta.f64();
+  checkpoint.terminal_weight = meta.f64();
+  checkpoint.iteration = meta.u64();
+  checkpoint.relaxation = meta.f64();
+  checkpoint.descent_streak = meta.u64();
+  checkpoint.gradient_step = meta.f64();
+  checkpoint.best_j = meta.f64();
+  meta.expect_end();
+
+  checkpoint.grid = get_doubles(*container, "sweep.grid");
+  checkpoint.epsilon1 = get_doubles(*container, "sweep.e1");
+  checkpoint.epsilon2 = get_doubles(*container, "sweep.e2");
+  checkpoint.best_epsilon1 = get_doubles(*container, "sweep.beste1");
+  checkpoint.best_epsilon2 = get_doubles(*container, "sweep.beste2");
+  checkpoint.objective_history = get_doubles(*container, "sweep.jhist");
+  checkpoint.state = io::read_trajectory(*container, "state");
+  checkpoint.costate = io::read_trajectory(*container, "costate");
+
+  const std::size_t m = checkpoint.grid.size();
+  if (checkpoint.epsilon1.size() != m || checkpoint.epsilon2.size() != m ||
+      checkpoint.best_epsilon1.size() != m ||
+      checkpoint.best_epsilon2.size() != m) {
+    throw util::IoError("container " + path +
+                        ": sweep control sections do not match the grid "
+                        "length");
+  }
+  if (checkpoint.objective_history.size() < checkpoint.iteration) {
+    throw util::IoError("container " + path +
+                        ": sweep objective history is shorter than the "
+                        "recorded iteration count");
+  }
+  return checkpoint;
+}
+
+bool sweep_checkpoint_matches(const SweepCheckpoint& checkpoint,
+                              SweepAlgorithm algorithm, double tf,
+                              const CostParams& cost,
+                              const std::vector<double>& grid) {
+  if (checkpoint.algorithm != static_cast<std::uint32_t>(algorithm)) {
+    return false;
+  }
+  if (!same_bits(checkpoint.tf, tf) || !same_bits(checkpoint.c1, cost.c1) ||
+      !same_bits(checkpoint.c2, cost.c2) ||
+      !same_bits(checkpoint.terminal_weight, cost.terminal_weight)) {
+    return false;
+  }
+  if (checkpoint.grid.size() != grid.size()) return false;
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    if (!same_bits(checkpoint.grid[k], grid[k])) return false;
+  }
+  return true;
+}
+
+std::optional<SweepCheckpoint> try_resume_sweep(
+    const SweepOptions& options, SweepAlgorithm algorithm, double tf,
+    const CostParams& cost, const std::vector<double>& grid) {
+  if (options.checkpoint_path.empty() || !options.resume ||
+      !std::filesystem::exists(options.checkpoint_path)) {
+    return std::nullopt;
+  }
+  SweepCheckpoint checkpoint =
+      load_sweep_checkpoint(options.checkpoint_path);
+  if (!sweep_checkpoint_matches(checkpoint, algorithm, tf, cost, grid)) {
+    util::log_warn() << "sweep checkpoint " << options.checkpoint_path
+                     << " was written for a different optimization "
+                        "(algorithm, horizon, cost weights, or grid); "
+                        "starting fresh";
+    return std::nullopt;
+  }
+  return checkpoint;
+}
+
+}  // namespace rumor::control

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 
+#include "control/checkpoint.hpp"
 #include "ode/integrate.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -88,11 +91,27 @@ SweepResult solve_projected_gradient(const core::SirNetworkModel& model,
   SweepResult result;
   result.grid = grid;
 
+  // Warm restart: the gradient iteration is a deterministic function of
+  // (ε1, ε2, step, objective history), so restoring those four and
+  // recomputing the forward pass continues the uninterrupted iterate
+  // sequence exactly.
+  std::size_t first_iter = 1;
+  double step = options.gradient_initial_step;
+  if (std::optional<SweepCheckpoint> resumed = try_resume_sweep(
+          options, SweepAlgorithm::kProjectedGradient, tf, cost, grid)) {
+    e1 = std::move(resumed->epsilon1);
+    e2 = std::move(resumed->epsilon2);
+    step = resumed->gradient_step;
+    result.objective_history = std::move(resumed->objective_history);
+    first_iter = static_cast<std::size_t>(resumed->iteration) + 1;
+    result.iterations = static_cast<std::size_t>(resumed->iteration);
+  }
+
   auto [state, objective] = forward(e1, e2);
   ode::Trajectory costate;
-  double step = options.gradient_initial_step;
 
-  for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+  for (std::size_t iter = first_iter; iter <= options.max_iterations;
+       ++iter) {
     result.iterations = iter;
     result.objective_history.push_back(objective);
 
@@ -172,6 +191,30 @@ SweepResult solve_projected_gradient(const core::SirNetworkModel& model,
       result.converged = true;
       break;
     }
+
+    if (!options.checkpoint_path.empty() &&
+        (iter % options.checkpoint_every == 0 ||
+         iter == options.max_iterations)) {
+      SweepCheckpoint cp;
+      cp.algorithm =
+          static_cast<std::uint32_t>(SweepAlgorithm::kProjectedGradient);
+      cp.tf = tf;
+      cp.c1 = cost.c1;
+      cp.c2 = cost.c2;
+      cp.terminal_weight = cost.terminal_weight;
+      cp.grid = grid;
+      cp.iteration = iter;
+      cp.gradient_step = step;
+      cp.best_j = objective;  // the PG sequence is monotone
+      cp.epsilon1 = e1;
+      cp.epsilon2 = e2;
+      cp.best_epsilon1 = e1;
+      cp.best_epsilon2 = e2;
+      cp.objective_history = result.objective_history;
+      cp.state = state;
+      cp.costate = costate;
+      save_sweep_checkpoint(cp, options.checkpoint_path);
+    }
   }
   if (!result.converged) {
     util::log_warn() << "solve_projected_gradient: no convergence after "
@@ -203,6 +246,8 @@ SweepResult solve_optimal_control(const core::SirNetworkModel& model,
                 "solve_optimal_control: relaxation must be in [0, 1)");
   util::require(options.substeps >= 1,
                 "solve_optimal_control: substeps must be >= 1");
+  util::require(options.checkpoint_every >= 1,
+                "solve_optimal_control: checkpoint_every must be >= 1");
   util::require(options.epsilon1_max > 0.0 && options.epsilon2_max > 0.0,
                 "solve_optimal_control: box bounds must be positive");
   util::require(y0.size() == model.dimension(),
@@ -246,7 +291,27 @@ SweepResult solve_optimal_control(const core::SirNetworkModel& model,
   double relaxation = options.relaxation;
   std::size_t descent_streak = 0;
 
-  for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+  // Warm restart: one FBSM step is a deterministic map of (ε1, ε2,
+  // relaxation, descent_streak, objective history), so restoring that
+  // state continues the uninterrupted iterate sequence exactly —
+  // including the adaptive-damping and best-iterate bookkeeping.
+  std::size_t first_iter = 1;
+  if (std::optional<SweepCheckpoint> resumed = try_resume_sweep(
+          options, SweepAlgorithm::kForwardBackward, tf, cost, grid)) {
+    e1 = std::move(resumed->epsilon1);
+    e2 = std::move(resumed->epsilon2);
+    best_e1 = std::move(resumed->best_epsilon1);
+    best_e2 = std::move(resumed->best_epsilon2);
+    best_j = resumed->best_j;
+    relaxation = resumed->relaxation;
+    descent_streak = static_cast<std::size_t>(resumed->descent_streak);
+    result.objective_history = std::move(resumed->objective_history);
+    first_iter = static_cast<std::size_t>(resumed->iteration) + 1;
+    result.iterations = static_cast<std::size_t>(resumed->iteration);
+  }
+
+  for (std::size_t iter = first_iter; iter <= options.max_iterations;
+       ++iter) {
     result.iterations = iter;
 
     // (2) forward state pass under the current controls.
@@ -335,6 +400,31 @@ SweepResult solve_optimal_control(const core::SirNetworkModel& model,
     if (update < options.tolerance || j_settled) {
       result.converged = true;
       break;
+    }
+
+    if (!options.checkpoint_path.empty() &&
+        (iter % options.checkpoint_every == 0 ||
+         iter == options.max_iterations)) {
+      SweepCheckpoint cp;
+      cp.algorithm =
+          static_cast<std::uint32_t>(SweepAlgorithm::kForwardBackward);
+      cp.tf = tf;
+      cp.c1 = cost.c1;
+      cp.c2 = cost.c2;
+      cp.terminal_weight = cost.terminal_weight;
+      cp.grid = grid;
+      cp.iteration = iter;
+      cp.relaxation = relaxation;
+      cp.descent_streak = descent_streak;
+      cp.best_j = best_j;
+      cp.epsilon1 = e1;
+      cp.epsilon2 = e2;
+      cp.best_epsilon1 = best_e1;
+      cp.best_epsilon2 = best_e2;
+      cp.objective_history = result.objective_history;
+      cp.state = state;
+      cp.costate = costate;
+      save_sweep_checkpoint(cp, options.checkpoint_path);
     }
     if (iter == options.max_iterations) {
       util::log_warn() << "solve_optimal_control: no convergence after "

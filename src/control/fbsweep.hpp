@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "control/costate.hpp"
 #include "control/objective.hpp"
@@ -68,6 +69,17 @@ struct SweepOptions {
   std::size_t gradient_max_backtracks = 40;
   /// Stationarity: ||ε − proj(ε − ∇J)||_∞ below this.
   double gradient_tolerance = 1e-6;
+
+  // --- warm restart (docs/serialization.md) ---
+  /// "SWEEPCKP" container written every `checkpoint_every` iterations
+  /// (and when the iteration budget runs out); empty disables. With
+  /// `resume`, a matching file restores the full iteration state, so
+  /// the continued run reproduces the uninterrupted iterate sequence
+  /// bit-for-bit; a file written for a different optimization
+  /// (algorithm, tf, cost weights, or grid) is ignored with a warning.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 10;
+  bool resume = true;
 };
 
 struct SweepResult {

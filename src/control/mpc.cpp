@@ -2,9 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <utility>
 
+#include "control/checkpoint.hpp"
+#include "io/artifacts.hpp"
+#include "io/container.hpp"
 #include "ode/integrate.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/math.hpp"
 
 namespace rumor::control {
@@ -36,6 +44,125 @@ void clamp_to_simplex(std::span<double> y, std::size_t n) {
   }
 }
 
+// Mid-run state of the closed loop, persisted after every applied
+// segment. The policy itself is never stored: each segment's plan is a
+// deterministic function of the measured state (and, open-loop, of y0),
+// so a resumed run re-derives it exactly.
+struct MpcLoopState {
+  double t = 0.0;
+  std::uint64_t replans = 0;
+  bool first_segment = true;
+  ode::State y;
+  ode::Trajectory state;
+  std::vector<double> times, epsilon1, epsilon2, integrand;
+};
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void save_mpc_checkpoint(const std::string& path, double tf,
+                         const CostParams& cost, const MpcOptions& options,
+                         bool replan, const ode::State& y0,
+                         const MpcLoopState& loop) {
+  io::ContainerWriter writer(kMpcKind);
+
+  io::ByteWriter meta;
+  meta.f64(tf);
+  meta.f64(options.replan_interval);
+  meta.f64(options.plant_dt);
+  meta.f64(cost.c1);
+  meta.f64(cost.c2);
+  meta.f64(cost.terminal_weight);
+  meta.u8(replan ? 1 : 0);
+  meta.f64(loop.t);
+  meta.u64(loop.replans);
+  meta.u8(loop.first_segment ? 1 : 0);
+  writer.add_section("mpc.meta", std::move(meta));
+
+  const auto put = [&writer](const char* name,
+                             const std::vector<double>& values) {
+    io::ByteWriter section;
+    section.vec(values);
+    writer.add_section(name, std::move(section));
+  };
+  put("mpc.y0", y0);
+  put("mpc.y", loop.y);
+  put("mpc.times", loop.times);
+  put("mpc.e1", loop.epsilon1);
+  put("mpc.e2", loop.epsilon2);
+  put("mpc.integrand", loop.integrand);
+  io::append_trajectory(writer, "state", loop.state);
+
+  writer.write_file(path);
+}
+
+// nullopt when the file was written for a different run (logged);
+// util::IoError on corruption.
+std::optional<MpcLoopState> load_mpc_checkpoint(
+    const std::string& path, double tf, const CostParams& cost,
+    const MpcOptions& options, bool replan, const ode::State& y0) {
+  const auto container = io::ContainerReader::open(path);
+  container->require_kind(kMpcKind);
+
+  io::ByteReader meta = container->reader("mpc.meta");
+  const double found_tf = meta.f64();
+  const double found_interval = meta.f64();
+  const double found_dt = meta.f64();
+  const double found_c1 = meta.f64();
+  const double found_c2 = meta.f64();
+  const double found_w = meta.f64();
+  const bool found_replan = meta.u8() != 0;
+
+  MpcLoopState loop;
+  loop.t = meta.f64();
+  loop.replans = meta.u64();
+  loop.first_segment = meta.u8() != 0;
+  meta.expect_end();
+
+  const auto get = [&container](const char* name) {
+    io::ByteReader section = container->reader(name);
+    auto values = section.vec<double>();
+    section.expect_end();
+    return values;
+  };
+  const std::vector<double> found_y0 = get("mpc.y0");
+
+  bool matches = same_bits(found_tf, tf) &&
+                 same_bits(found_interval, options.replan_interval) &&
+                 same_bits(found_dt, options.plant_dt) &&
+                 same_bits(found_c1, cost.c1) &&
+                 same_bits(found_c2, cost.c2) &&
+                 same_bits(found_w, cost.terminal_weight) &&
+                 found_replan == replan && found_y0.size() == y0.size();
+  for (std::size_t i = 0; matches && i < y0.size(); ++i) {
+    matches = same_bits(found_y0[i], y0[i]);
+  }
+  if (!matches) {
+    util::log_warn() << "run_mpc: checkpoint " << path
+                     << " was written for a different closed-loop run "
+                        "(horizon, cost, initial state, or mode); "
+                        "starting fresh";
+    return std::nullopt;
+  }
+
+  loop.y = get("mpc.y");
+  loop.times = get("mpc.times");
+  loop.epsilon1 = get("mpc.e1");
+  loop.epsilon2 = get("mpc.e2");
+  loop.integrand = get("mpc.integrand");
+  loop.state = io::read_trajectory(*container, "state");
+
+  const std::size_t samples = loop.times.size();
+  if (loop.y.size() != y0.size() || loop.epsilon1.size() != samples ||
+      loop.epsilon2.size() != samples || loop.integrand.size() != samples ||
+      loop.state.size() != samples) {
+    throw util::IoError("container " + path +
+                        ": MPC sample sections disagree on length");
+  }
+  return loop;
+}
+
 MpcResult run_loop(const core::SirNetworkModel& model, const ode::State& y0,
                    double tf, const CostParams& cost,
                    const MpcOptions& options,
@@ -50,8 +177,18 @@ MpcResult run_loop(const core::SirNetworkModel& model, const ode::State& y0,
                 "run_mpc: initial state dimension mismatch");
 
   const std::size_t n = model.num_groups();
-  MpcResult result;
-  result.state = ode::Trajectory(model.dimension());
+
+  const bool checkpointing = !options.checkpoint_path.empty();
+  MpcLoopState loop;
+  loop.y = y0;
+  loop.state = ode::Trajectory(model.dimension());
+  if (checkpointing && options.resume &&
+      std::filesystem::exists(options.checkpoint_path)) {
+    if (auto resumed = load_mpc_checkpoint(options.checkpoint_path, tf, cost,
+                                           options, replan, y0)) {
+      loop = std::move(*resumed);
+    }
+  }
 
   core::SirNetworkModel plant(model.profile(), model.params(),
                               core::make_constant_control(0.0, 0.0));
@@ -64,66 +201,74 @@ MpcResult run_loop(const core::SirNetworkModel& model, const ode::State& y0,
     policy = plan.control;  // already on the global clock (t0 = 0)
   }
 
-  std::vector<double> integrand;  // running cost at the recorded samples
-  ode::State y = y0;
-  double t = 0.0;
   const double eps = 1e-9 * options.replan_interval;
 
   auto record = [&](double time, std::span<const double> state) {
     const double e1 = policy->epsilon1(time);
     const double e2 = policy->epsilon2(time);
-    result.state.push_back(time, state);
-    result.times.push_back(time);
-    result.epsilon1.push_back(e1);
-    result.epsilon2.push_back(e2);
-    integrand.push_back(running_cost(cost, state, n, e1, e2));
+    loop.state.push_back(time, state);
+    loop.times.push_back(time);
+    loop.epsilon1.push_back(e1);
+    loop.epsilon2.push_back(e2);
+    loop.integrand.push_back(running_cost(cost, state, n, e1, e2));
   };
 
-  bool first_segment = true;
-  while (t < tf - eps) {
-    const double remaining = tf - t;
+  while (loop.t < tf - eps) {
+    const double remaining = tf - loop.t;
     const double segment =
         std::min(options.replan_interval, remaining);
 
     if (replan) {
       // Fresh plan on the remaining horizon from the measured state.
-      const auto plan =
-          solve_optimal_control(model, y, remaining, cost, options.sweep);
-      policy = std::make_shared<ShiftedControl>(plan.control, t);
-      ++result.replans;
+      const auto plan = solve_optimal_control(model, loop.y, remaining, cost,
+                                              options.sweep);
+      policy = std::make_shared<ShiftedControl>(plan.control, loop.t);
+      ++loop.replans;
     }
-    if (first_segment) {
-      record(0.0, y);
-      first_segment = false;
+    if (loop.first_segment) {
+      record(0.0, loop.y);
+      loop.first_segment = false;
     }
 
     plant.set_control(policy);
     ode::FixedStepOptions fixed;
     fixed.dt = options.plant_dt;
-    const auto piece =
-        ode::integrate_fixed(plant, stepper, y, t, t + segment, fixed);
+    const auto piece = ode::integrate_fixed(plant, stepper, loop.y, loop.t,
+                                            loop.t + segment, fixed);
     for (std::size_t k = 1; k < piece.size(); ++k) {
       record(piece.times()[k], piece.state(k));
     }
-    y.assign(piece.back_state().begin(), piece.back_state().end());
-    t = piece.back_time();
+    loop.y.assign(piece.back_state().begin(), piece.back_state().end());
+    loop.t = piece.back_time();
 
-    if (disturbance && t < tf - eps) {
-      disturbance(t, y);
-      clamp_to_simplex(y, n);
+    if (disturbance && loop.t < tf - eps) {
+      disturbance(loop.t, loop.y);
+      clamp_to_simplex(loop.y, n);
       // The recorded trajectory keeps the pre-disturbance sample at t;
       // the post-disturbance state is what the next segment starts
       // from (an instantaneous jump).
     }
+
+    // Persist after the disturbance so a resumed run never re-applies
+    // it at this boundary.
+    if (checkpointing) {
+      save_mpc_checkpoint(options.checkpoint_path, tf, cost, options, replan,
+                          y0, loop);
+    }
   }
 
-  result.cost.running = util::trapezoid(result.times, integrand);
+  MpcResult result;
+  result.cost.running = util::trapezoid(loop.times, loop.integrand);
   result.cost.terminal = cost.terminal_weight * [&] {
     double total = 0.0;
-    for (std::size_t i = 0; i < n; ++i) total += y[n + i];
+    for (std::size_t i = 0; i < n; ++i) total += loop.y[n + i];
     return total;
   }();
-  if (!replan) result.replans = 1;
+  result.state = std::move(loop.state);
+  result.times = std::move(loop.times);
+  result.epsilon1 = std::move(loop.epsilon1);
+  result.epsilon2 = std::move(loop.epsilon2);
+  result.replans = replan ? static_cast<std::size_t>(loop.replans) : 1;
   return result;
 }
 

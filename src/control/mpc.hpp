@@ -33,6 +33,18 @@ struct MpcOptions {
   SweepOptions sweep;
   /// Plant integration step (the "true" system between replans).
   double plant_dt = 0.01;
+
+  // --- crash tolerance (docs/serialization.md) ---
+  /// "MPCLOOP" container written after every applied segment; empty
+  /// disables. With `resume`, a matching file (same horizon, replan
+  /// interval, plant step, cost weights, initial state, and loop mode)
+  /// restores the realized trajectory and plant state, and the loop
+  /// continues from the next segment — bit-identically, because each
+  /// re-solve is a deterministic function of the measured state. A
+  /// non-matching file is ignored with a warning; a corrupted one
+  /// throws util::IoError.
+  std::string checkpoint_path;
+  bool resume = true;
 };
 
 struct MpcResult {

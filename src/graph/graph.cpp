@@ -6,6 +6,62 @@
 
 namespace rumor::graph {
 
+Graph::Graph(std::vector<std::size_t> offsets, std::vector<NodeId> targets,
+             std::vector<std::uint32_t> in_degree, bool directed)
+    : directed_(directed) {
+  auto owned = std::make_shared<OwnedStorage>();
+  owned->offsets = std::move(offsets);
+  owned->targets = std::move(targets);
+  owned->in_degree = std::move(in_degree);
+  offsets_ = owned->offsets;
+  targets_ = owned->targets;
+  in_degree_ = owned->in_degree;
+  storage_ = std::move(owned);
+}
+
+Graph Graph::from_csr(std::span<const std::size_t> offsets,
+                      std::span<const NodeId> targets,
+                      std::span<const std::uint32_t> in_degree, bool directed,
+                      std::shared_ptr<const void> keepalive) {
+  auto fail = [](const std::string& why) {
+    throw util::IoError("Graph::from_csr: " + why);
+  };
+  if (offsets.size() < 2) fail("need at least one node (offsets size >= 2)");
+  const std::size_t n = offsets.size() - 1;
+  if (offsets.front() != 0) fail("offsets must start at 0");
+  for (std::size_t v = 0; v < n; ++v) {
+    if (offsets[v + 1] < offsets[v]) fail("offsets must be non-decreasing");
+  }
+  if (offsets.back() != targets.size()) {
+    fail("offsets must end at the arc count");
+  }
+  std::uint64_t in_sum = 0;
+  for (const NodeId t : targets) {
+    if (t >= n) fail("target node id out of range");
+  }
+  if (in_degree.size() != n) fail("in_degree must have one entry per node");
+  for (const std::uint32_t d : in_degree) in_sum += d;
+  if (in_sum != targets.size()) {
+    fail("in_degree sums to " + std::to_string(in_sum) + ", expected " +
+         std::to_string(targets.size()) + " arcs");
+  }
+
+  if (!keepalive) {
+    return Graph(std::vector<std::size_t>(offsets.begin(), offsets.end()),
+                 std::vector<NodeId>(targets.begin(), targets.end()),
+                 std::vector<std::uint32_t>(in_degree.begin(),
+                                            in_degree.end()),
+                 directed);
+  }
+  Graph g;
+  g.storage_ = std::move(keepalive);
+  g.offsets_ = offsets;
+  g.targets_ = targets;
+  g.in_degree_ = in_degree;
+  g.directed_ = directed;
+  return g;
+}
+
 GraphBuilder::GraphBuilder(std::size_t num_nodes, bool directed)
     : num_nodes_(num_nodes), directed_(directed) {
   util::require(num_nodes > 0, "GraphBuilder: need at least one node");

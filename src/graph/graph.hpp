@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -47,6 +48,12 @@ class GraphBuilder {
 /// Immutable CSR graph. For directed graphs, adjacency is the *out*
 /// adjacency; `in_degree` is also precomputed (the rumor model reads
 /// follower counts, i.e. in-degree, as "social connectivity").
+///
+/// Storage: the CSR arrays are spans over a shared, reference-counted
+/// backing object. GraphBuilder produces an owned backing; the binary
+/// loader (io::load_graph) can instead alias an mmap'd file, so a
+/// Digg-scale graph "loads" without copying a byte. Copies are cheap
+/// (they share the backing).
 class Graph {
  public:
   std::size_t num_nodes() const { return offsets_.size() - 1; }
@@ -81,19 +88,36 @@ class Graph {
   /// Maximum of `degree(v)`; 0 for an empty graph.
   std::size_t max_degree() const;
 
+  /// Adopt pre-built CSR arrays. Validates the structural invariants
+  /// (offsets start at 0, are non-decreasing, end at targets.size();
+  /// every target < num_nodes; in_degree sized and summing to the arc
+  /// count) and throws util::IoError on violation — this is the safety
+  /// gate that keeps a CRC-valid but semantically corrupt snapshot from
+  /// causing out-of-bounds reads. With a null `keepalive` the arrays
+  /// are copied into owned storage; otherwise the spans must stay valid
+  /// for as long as `keepalive` is held (the mmap path).
+  static Graph from_csr(std::span<const std::size_t> offsets,
+                        std::span<const NodeId> targets,
+                        std::span<const std::uint32_t> in_degree,
+                        bool directed,
+                        std::shared_ptr<const void> keepalive = nullptr);
+
  private:
   friend class GraphBuilder;
+  struct OwnedStorage {
+    std::vector<std::size_t> offsets;
+    std::vector<NodeId> targets;
+    std::vector<std::uint32_t> in_degree;
+  };
   Graph(std::vector<std::size_t> offsets, std::vector<NodeId> targets,
-        std::vector<std::uint32_t> in_degree, bool directed)
-      : offsets_(std::move(offsets)),
-        targets_(std::move(targets)),
-        in_degree_(std::move(in_degree)),
-        directed_(directed) {}
+        std::vector<std::uint32_t> in_degree, bool directed);
+  Graph() = default;
 
-  std::vector<std::size_t> offsets_;  // num_nodes + 1
-  std::vector<NodeId> targets_;
-  std::vector<std::uint32_t> in_degree_;
-  bool directed_;
+  std::shared_ptr<const void> storage_;
+  std::span<const std::size_t> offsets_;  // num_nodes + 1
+  std::span<const NodeId> targets_;
+  std::span<const std::uint32_t> in_degree_;
+  bool directed_ = false;
 };
 
 }  // namespace rumor::graph

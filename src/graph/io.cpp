@@ -32,15 +32,20 @@ Graph read_edge_list(std::istream& in, bool directed) {
   std::vector<std::pair<long long, long long>> raw;
   std::unordered_map<long long, NodeId> remap;
   std::string line;
+  std::size_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::istringstream fields(line);
     long long from = 0, to = 0;
     if (!(fields >> from >> to)) {
-      throw util::IoError("read_edge_list: malformed line '" + line + "'");
+      throw util::IoError("read_edge_list: malformed line " +
+                          std::to_string(line_number) + ": '" + line + "'");
     }
-    util::require(from >= 0 && to >= 0,
-                  "read_edge_list: negative node id");
+    if (from < 0 || to < 0) {
+      throw util::IoError("read_edge_list: negative node id on line " +
+                          std::to_string(line_number) + ": '" + line + "'");
+    }
     raw.emplace_back(from, to);
     remap.emplace(from, 0);
     remap.emplace(to, 0);
@@ -67,7 +72,12 @@ Graph read_edge_list(std::istream& in, bool directed) {
 Graph read_edge_list_file(const std::string& path, bool directed) {
   std::ifstream file(path);
   if (!file) throw util::IoError("read_edge_list_file: cannot open " + path);
-  return read_edge_list(file, directed);
+  try {
+    return read_edge_list(file, directed);
+  } catch (const util::IoError& error) {
+    // Keep the line number from the stream path, add the file name.
+    throw util::IoError(path + ": " + error.what());
+  }
 }
 
 }  // namespace rumor::graph

@@ -1,0 +1,125 @@
+#include "io/artifacts.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rumor::io {
+
+void append_trajectory(ContainerWriter& writer, std::string_view prefix,
+                       const ode::Trajectory& trajectory) {
+  const std::string p(prefix);
+  ByteWriter meta;
+  meta.u64(trajectory.dimension());
+  writer.add_section(p + ".meta", std::move(meta));
+
+  ByteWriter times;
+  times.vec(trajectory.times());
+  writer.add_section(p + ".times", std::move(times));
+
+  ByteWriter flat;
+  flat.u64(trajectory.size() * trajectory.dimension());
+  for (std::size_t k = 0; k < trajectory.size(); ++k) {
+    for (const double v : trajectory.state(k)) flat.f64(v);
+  }
+  writer.add_section(p + ".flat", std::move(flat));
+}
+
+ode::Trajectory read_trajectory(const ContainerReader& reader,
+                                std::string_view prefix) {
+  const std::string p(prefix);
+  ByteReader meta = reader.reader(p + ".meta");
+  const std::uint64_t dimension = meta.u64();
+  meta.expect_end();
+
+  ByteReader times_reader = reader.reader(p + ".times");
+  const std::vector<double> times = times_reader.vec<double>();
+  times_reader.expect_end();
+
+  ByteReader flat_reader = reader.reader(p + ".flat");
+  const std::vector<double> flat = flat_reader.vec<double>();
+  flat_reader.expect_end();
+  if (flat.size() != times.size() * dimension) {
+    throw util::IoError("section '" + p + ".flat': has " +
+                        std::to_string(flat.size()) + " values, expected " +
+                        std::to_string(times.size() * dimension));
+  }
+
+  ode::Trajectory trajectory(dimension);
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    trajectory.push_back(
+        times[k],
+        std::span<const double>(flat.data() + k * dimension, dimension));
+  }
+  return trajectory;
+}
+
+void save_cascade(const data::ObservedCascade& cascade,
+                  const std::string& path) {
+  ContainerWriter writer(kCascadeKind);
+  ByteWriter t;
+  t.vec(cascade.t);
+  writer.add_section("cascade.t", std::move(t));
+  ByteWriter density;
+  density.vec(cascade.infected_density);
+  writer.add_section("cascade.density", std::move(density));
+  writer.write_file(path);
+}
+
+data::ObservedCascade load_cascade(const std::string& path) {
+  auto container = ContainerReader::open(path);
+  container->require_kind(kCascadeKind);
+  data::ObservedCascade cascade;
+  ByteReader t = container->reader("cascade.t");
+  cascade.t = t.vec<double>();
+  t.expect_end();
+  ByteReader density = container->reader("cascade.density");
+  cascade.infected_density = density.vec<double>();
+  density.expect_end();
+  if (cascade.t.size() != cascade.infected_density.size()) {
+    throw util::IoError("container " + path +
+                        ": cascade.t and cascade.density lengths differ");
+  }
+  return cascade;
+}
+
+void save_histogram(const graph::DegreeHistogram& histogram,
+                    const std::string& path) {
+  ContainerWriter writer(kHistogramKind);
+  ByteWriter degrees;
+  degrees.vec(histogram.degrees());
+  writer.add_section("hist.degrees", std::move(degrees));
+  ByteWriter counts;
+  counts.vec(histogram.counts());
+  writer.add_section("hist.counts", std::move(counts));
+  writer.write_file(path);
+}
+
+graph::DegreeHistogram load_histogram(const std::string& path) {
+  auto container = ContainerReader::open(path);
+  container->require_kind(kHistogramKind);
+  ByteReader degrees_reader = container->reader("hist.degrees");
+  const std::vector<std::size_t> degrees = degrees_reader.vec<std::size_t>();
+  degrees_reader.expect_end();
+  ByteReader counts_reader = container->reader("hist.counts");
+  const std::vector<std::size_t> counts = counts_reader.vec<std::size_t>();
+  counts_reader.expect_end();
+  if (degrees.size() != counts.size()) {
+    throw util::IoError("container " + path +
+                        ": hist.degrees and hist.counts lengths differ");
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(degrees.size());
+  for (std::size_t i = 0; i < degrees.size(); ++i) {
+    pairs.emplace_back(degrees[i], counts[i]);
+  }
+  try {
+    return graph::DegreeHistogram::from_counts(std::move(pairs));
+  } catch (const util::InvalidArgument& error) {
+    throw util::IoError("container " + path + ": invalid histogram: " +
+                        error.what());
+  }
+}
+
+}  // namespace rumor::io

@@ -1,0 +1,36 @@
+// Container (de)serialization of the library's data artifacts: ODE
+// trajectories (embedded in checkpoint containers), observed cascades
+// (data::trace output), and degree histograms (the Digg loader output).
+// Round-tripping is exact: every double is stored verbatim, so
+// save → load → save produces byte-identical files.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "data/trace.hpp"
+#include "graph/degree.hpp"
+#include "io/container.hpp"
+#include "ode/trajectory.hpp"
+
+namespace rumor::io {
+
+inline constexpr char kCascadeKind[] = "CASCADE";
+inline constexpr char kHistogramKind[] = "DEGHIST";
+
+/// Trajectory sections under `prefix`: "<prefix>.meta" (dimension),
+/// "<prefix>.times", "<prefix>.flat" (size × dimension states).
+void append_trajectory(ContainerWriter& writer, std::string_view prefix,
+                       const ode::Trajectory& trajectory);
+ode::Trajectory read_trajectory(const ContainerReader& reader,
+                                std::string_view prefix);
+
+void save_cascade(const data::ObservedCascade& cascade,
+                  const std::string& path);
+data::ObservedCascade load_cascade(const std::string& path);
+
+void save_histogram(const graph::DegreeHistogram& histogram,
+                    const std::string& path);
+graph::DegreeHistogram load_histogram(const std::string& path);
+
+}  // namespace rumor::io

@@ -1,0 +1,239 @@
+#include "io/container.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "io/crc32.hpp"
+#include "io/mapped_file.hpp"
+#include "util/error.hpp"
+
+namespace rumor::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'U', 'M', 'O', 'R', 'B', 'I', 'N'};
+constexpr std::uint64_t kByteOrderMarker = 0x0102030405060708ULL;
+constexpr std::size_t kHeaderSize = 40;
+constexpr std::size_t kTableEntrySize = 40;
+constexpr std::size_t kNameSize = 16;
+constexpr std::size_t kKindSize = 8;
+constexpr std::size_t kAlignment = 8;
+
+std::size_t aligned(std::size_t offset) {
+  return (offset + kAlignment - 1) & ~(kAlignment - 1);
+}
+
+void put_fixed_string(ByteWriter& out, const std::string& text,
+                      std::size_t width) {
+  std::vector<std::byte> padded(width, std::byte{0});
+  std::memcpy(padded.data(), text.data(), text.size());
+  out.bytes(padded);
+}
+
+std::string get_fixed_string(std::span<const std::byte> raw) {
+  const char* p = reinterpret_cast<const char*>(raw.data());
+  std::size_t len = 0;
+  while (len < raw.size() && p[len] != '\0') ++len;
+  return std::string(p, len);
+}
+
+}  // namespace
+
+ContainerWriter::ContainerWriter(std::string kind) : kind_(std::move(kind)) {
+  util::require(!kind_.empty() && kind_.size() <= kKindSize,
+                "ContainerWriter: kind must be 1.." +
+                    std::to_string(kKindSize) + " chars");
+}
+
+void ContainerWriter::add_section(std::string name,
+                                  std::vector<std::byte> payload) {
+  util::require(!name.empty() && name.size() <= kNameSize,
+                "ContainerWriter: section name must be 1.." +
+                    std::to_string(kNameSize) + " chars");
+  for (const auto& [existing, unused] : sections_) {
+    util::require(existing != name,
+                  "ContainerWriter: duplicate section '" + name + "'");
+  }
+  sections_.emplace_back(std::move(name), std::move(payload));
+}
+
+std::vector<std::byte> ContainerWriter::serialize() const {
+  // Assign payload offsets: header, table, then 8-aligned payloads.
+  const std::size_t table_size = sections_.size() * kTableEntrySize;
+  std::size_t offset = aligned(kHeaderSize + table_size);
+
+  ByteWriter table;
+  for (const auto& [name, payload] : sections_) {
+    put_fixed_string(table, name, kNameSize);
+    table.u64(offset);
+    table.u64(payload.size());
+    table.u32(crc32(payload));
+    table.u32(0);  // reserved
+    offset = aligned(offset + payload.size());
+  }
+
+  ByteWriter out;
+  out.bytes(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(kMagic), sizeof(kMagic)));
+  out.u64(kByteOrderMarker);
+  out.u32(kFormatVersion);
+  out.u32(static_cast<std::uint32_t>(sections_.size()));
+  put_fixed_string(out, kind_, kKindSize);
+  out.u32(crc32(table.buffer()));
+  out.u32(0);  // reserved
+  out.bytes(table.buffer());
+
+  std::vector<std::byte> bytes = std::move(out).take();
+  for (const auto& [name, payload] : sections_) {
+    bytes.resize(aligned(bytes.size()), std::byte{0});
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+  }
+  return bytes;
+}
+
+void ContainerWriter::write_file(const std::string& path) const {
+  const std::vector<std::byte> bytes = serialize();
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (!file) {
+    throw util::IoError("ContainerWriter: cannot create " + tmp);
+  }
+  const std::size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const bool flushed = std::fflush(file) == 0;
+  std::fclose(file);
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw util::IoError("ContainerWriter: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw util::IoError("ContainerWriter: cannot rename " + tmp + " to " +
+                        path);
+  }
+}
+
+std::shared_ptr<ContainerReader> ContainerReader::open(const std::string& path,
+                                                       bool map) {
+  auto file = std::make_shared<MappedFile>(map ? MappedFile::open(path)
+                                               : MappedFile::read(path));
+  auto reader = std::shared_ptr<ContainerReader>(new ContainerReader());
+  reader->origin_ = path;
+  reader->data_ = file->bytes();
+  reader->storage_ = std::move(file);
+  reader->parse();
+  return reader;
+}
+
+std::shared_ptr<ContainerReader> ContainerReader::from_bytes(
+    std::vector<std::byte> bytes, std::string origin) {
+  auto owned = std::make_shared<std::vector<std::byte>>(std::move(bytes));
+  auto reader = std::shared_ptr<ContainerReader>(new ContainerReader());
+  reader->origin_ = std::move(origin);
+  reader->data_ = {owned->data(), owned->size()};
+  reader->storage_ = std::move(owned);
+  reader->parse();
+  return reader;
+}
+
+void ContainerReader::parse() {
+  auto fail = [&](const std::string& why) -> void {
+    throw util::IoError("container " + origin_ + ": " + why);
+  };
+  if (data_.size() < kHeaderSize) fail("truncated header");
+  if (std::memcmp(data_.data(), kMagic, sizeof(kMagic)) != 0) {
+    fail("bad magic (not a rumor binary container)");
+  }
+  ByteReader header(data_.subspan(sizeof(kMagic), kHeaderSize - sizeof(kMagic)),
+                    "<header>");
+  if (header.u64() != kByteOrderMarker) {
+    fail("byte-order mismatch (file written on a foreign-endian host)");
+  }
+  version_ = header.u32();
+  if (version_ == 0 || version_ > kFormatVersion) {
+    fail("unsupported format version " + std::to_string(version_) +
+         " (this build reads <= " + std::to_string(kFormatVersion) + ")");
+  }
+  const std::uint32_t count = header.u32();
+  kind_ = get_fixed_string(data_.subspan(kHeaderSize - kKindSize - 8,
+                                         kKindSize));
+  const std::uint32_t table_crc = [&] {
+    ByteReader tail(data_.subspan(kHeaderSize - 8, 8), "<header>");
+    return tail.u32();
+  }();
+
+  const std::size_t table_size =
+      static_cast<std::size_t>(count) * kTableEntrySize;
+  if (data_.size() - kHeaderSize < table_size) fail("truncated section table");
+  const auto table = data_.subspan(kHeaderSize, table_size);
+  if (crc32(table) != table_crc) fail("section table CRC mismatch");
+
+  sections_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto entry = table.subspan(i * kTableEntrySize, kTableEntrySize);
+    SectionInfo info;
+    info.name = get_fixed_string(entry.first(kNameSize));
+    ByteReader fields(entry.subspan(kNameSize), "<table>");
+    info.offset = fields.u64();
+    info.size = fields.u64();
+    info.crc = fields.u32();
+    if (info.name.empty()) fail("section " + std::to_string(i) + " is unnamed");
+    if (info.offset % kAlignment != 0) {
+      fail("section '" + info.name + "' is misaligned");
+    }
+    if (info.offset > data_.size() || info.size > data_.size() - info.offset) {
+      fail("section '" + info.name + "' extends past the end of the file " +
+           "(truncated?)");
+    }
+    sections_.push_back(std::move(info));
+  }
+  verified_.assign(count, false);
+}
+
+void ContainerReader::require_kind(std::string_view kind) const {
+  if (kind_ != kind) {
+    throw util::IoError("container " + origin_ + ": artifact kind is '" +
+                        kind_ + "', expected '" + std::string(kind) + "'");
+  }
+}
+
+bool ContainerReader::has(std::string_view name) const {
+  return std::any_of(sections_.begin(), sections_.end(),
+                     [&](const SectionInfo& s) { return s.name == name; });
+}
+
+const SectionInfo& ContainerReader::find(std::string_view name) const {
+  for (const SectionInfo& s : sections_) {
+    if (s.name == name) return s;
+  }
+  throw util::IoError("container " + origin_ + ": missing section '" +
+                      std::string(name) + "'");
+}
+
+std::span<const std::byte> ContainerReader::section(
+    std::string_view name) const {
+  const SectionInfo& info = find(name);
+  const auto payload = data_.subspan(info.offset, info.size);
+  const std::size_t index =
+      static_cast<std::size_t>(&info - sections_.data());
+  if (!verified_[index]) {
+    if (crc32(payload) != info.crc) {
+      throw util::IoError("container " + origin_ + ": section '" + info.name +
+                          "' CRC mismatch (corrupted payload)");
+    }
+    verified_[index] = true;
+  }
+  return payload;
+}
+
+bool is_container_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (!file) return false;
+  char head[sizeof(kMagic)];
+  const std::size_t got = std::fread(head, 1, sizeof(head), file);
+  std::fclose(file);
+  return got == sizeof(kMagic) && std::memcmp(head, kMagic, sizeof(kMagic)) == 0;
+}
+
+}  // namespace rumor::io

@@ -1,0 +1,118 @@
+// Versioned binary container — the one on-disk envelope shared by every
+// rumor-dynamics artifact (packed CSR graphs, agent/ensemble/sweep/MPC
+// checkpoints, cascades, degree histograms).
+//
+// Layout (all integers little-endian; see docs/serialization.md):
+//
+//   header   40 B   magic "RUMORBIN" · byte-order marker · format
+//                   version · section count · 8-char artifact kind ·
+//                   CRC32 of the section table
+//   table    40 B/section   16-char name · payload offset · payload
+//                   size · payload CRC32
+//   payloads 8-byte-aligned, zero padding between
+//
+// Integrity policy: the table CRC is verified at open; each payload CRC
+// is verified on first access. Any mismatch, truncation, or malformed
+// field throws util::IoError naming the file and the bad section —
+// a corrupted snapshot can never produce a partial or garbage load.
+//
+// Write policy: ContainerWriter::write_file writes `path + ".tmp"` and
+// renames it over `path`, so readers (and a resumed run after a crash
+// mid-write) only ever observe the previous complete file or the new
+// complete file.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/serde.hpp"
+
+namespace rumor::io {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+struct SectionInfo {
+  std::string name;       ///< up to 16 bytes, unique within a container
+  std::uint64_t offset = 0;  ///< payload start, from file byte 0
+  std::uint64_t size = 0;    ///< payload bytes (excluding padding)
+  std::uint32_t crc = 0;     ///< CRC32 of the payload
+};
+
+/// Accumulates named sections, then serializes them with the header and
+/// CRCs. Atomic on-disk replacement via tmp-file-then-rename.
+class ContainerWriter {
+ public:
+  /// `kind` tags the artifact type (≤ 8 chars, e.g. "GRAPHCSR");
+  /// readers verify it via require_kind before interpreting sections.
+  explicit ContainerWriter(std::string kind);
+
+  /// Add one section. Names are ≤ 16 chars and must be unique.
+  void add_section(std::string name, std::vector<std::byte> payload);
+  void add_section(std::string name, ByteWriter&& writer) {
+    add_section(std::move(name), writer.take());
+  }
+
+  std::vector<std::byte> serialize() const;
+  void write_file(const std::string& path) const;
+
+ private:
+  std::string kind_;
+  std::vector<std::pair<std::string, std::vector<std::byte>>> sections_;
+};
+
+/// Read-side view of a container. Created through the shared_ptr
+/// factories so that zero-copy consumers (the mmap'd graph) can hold
+/// the backing storage alive. Payload CRCs are checked on first access;
+/// not thread-safe for concurrent section() calls on one instance.
+class ContainerReader {
+ public:
+  /// Open from disk; `map` selects mmap (default) over a heap read.
+  static std::shared_ptr<ContainerReader> open(const std::string& path,
+                                               bool map = true);
+  /// Parse an in-memory image (tests, incoming network payloads).
+  static std::shared_ptr<ContainerReader> from_bytes(
+      std::vector<std::byte> bytes, std::string origin = "<memory>");
+
+  const std::string& kind() const { return kind_; }
+  std::uint32_t version() const { return version_; }
+  const std::string& origin() const { return origin_; }
+  const std::vector<SectionInfo>& sections() const { return sections_; }
+
+  /// Throw util::IoError unless the container's kind tag matches.
+  void require_kind(std::string_view kind) const;
+
+  bool has(std::string_view name) const;
+
+  /// CRC-verified payload view. Aliases the backing storage — keep this
+  /// reader (or a copy of its shared_ptr) alive while using it.
+  std::span<const std::byte> section(std::string_view name) const;
+
+  /// Bounds-checked sequential reader over a section payload.
+  ByteReader reader(std::string_view name) const {
+    return ByteReader(section(name), std::string(name));
+  }
+
+ private:
+  ContainerReader() = default;
+  void parse();
+  const SectionInfo& find(std::string_view name) const;
+
+  std::string origin_;
+  std::string kind_;
+  std::uint32_t version_ = 0;
+  std::shared_ptr<const void> storage_;  // MappedFile or owned vector
+  std::span<const std::byte> data_;
+  std::vector<SectionInfo> sections_;
+  mutable std::vector<bool> verified_;
+};
+
+/// True if `path` exists and starts with the container magic — used to
+/// auto-detect binary vs. text graph inputs.
+bool is_container_file(const std::string& path);
+
+}  // namespace rumor::io

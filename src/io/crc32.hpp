@@ -1,0 +1,18 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// check for every section of the binary container format. Chosen over a
+// cryptographic hash because the threat model is bit rot and truncated
+// writes, not adversaries, and a table-driven CRC keeps mmap-path loads
+// in the milliseconds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rumor::io {
+
+/// CRC32 of `data`, optionally continuing from a previous value (pass
+/// the prior return value as `seed` to checksum in pieces).
+std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t seed = 0);
+
+}  // namespace rumor::io

@@ -1,0 +1,82 @@
+#include "io/graph_binary.hpp"
+
+#include <memory>
+
+#include "graph/io.hpp"
+#include "io/container.hpp"
+#include "util/error.hpp"
+
+namespace rumor::io {
+
+void save_graph(const graph::Graph& g, const std::string& path) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t arcs = g.num_arcs();
+
+  ByteWriter meta;
+  meta.u64(n);
+  meta.u64(arcs);
+  meta.u8(g.directed() ? 1 : 0);
+
+  ByteWriter offsets;
+  offsets.u64(0);
+  std::uint64_t running = 0;
+  ByteWriter targets;
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto neighbors = g.neighbors(static_cast<graph::NodeId>(v));
+    running += neighbors.size();
+    offsets.u64(running);
+    for (const graph::NodeId w : neighbors) targets.u32(w);
+  }
+  ByteWriter indeg;
+  for (std::size_t v = 0; v < n; ++v) {
+    indeg.u32(
+        static_cast<std::uint32_t>(g.in_degree(static_cast<graph::NodeId>(v))));
+  }
+
+  ContainerWriter writer(kGraphKind);
+  writer.add_section("graph.meta", std::move(meta));
+  writer.add_section("graph.offsets", std::move(offsets));
+  writer.add_section("graph.targets", std::move(targets));
+  writer.add_section("graph.indeg", std::move(indeg));
+  writer.write_file(path);
+}
+
+graph::Graph load_graph(const std::string& path, GraphLoad mode) {
+  auto container = ContainerReader::open(path, mode == GraphLoad::kMapped);
+  container->require_kind(kGraphKind);
+
+  ByteReader meta = container->reader("graph.meta");
+  const std::uint64_t n = meta.u64();
+  const std::uint64_t arcs = meta.u64();
+  const bool directed = meta.u8() != 0;
+  meta.expect_end();
+
+  ByteReader offsets_reader = container->reader("graph.offsets");
+  const auto offsets = offsets_reader.view<std::size_t>(n + 1);
+  offsets_reader.expect_end();
+  ByteReader targets_reader = container->reader("graph.targets");
+  const auto targets = targets_reader.view<graph::NodeId>(arcs);
+  targets_reader.expect_end();
+  ByteReader indeg_reader = container->reader("graph.indeg");
+  const auto indeg = indeg_reader.view<std::uint32_t>(n);
+  indeg_reader.expect_end();
+
+  try {
+    // kMapped: the Graph's spans alias the mapping; the shared
+    // ContainerReader rides along as the keepalive. kOwned: copy.
+    return graph::Graph::from_csr(
+        offsets, targets, indeg, directed,
+        mode == GraphLoad::kMapped
+            ? std::shared_ptr<const void>(container)
+            : nullptr);
+  } catch (const util::IoError& error) {
+    throw util::IoError("container " + path + ": " + error.what());
+  }
+}
+
+graph::Graph load_graph_any(const std::string& path, bool directed) {
+  if (is_container_file(path)) return load_graph(path);
+  return graph::read_edge_list_file(path, directed);
+}
+
+}  // namespace rumor::io

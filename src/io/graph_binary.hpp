@@ -1,0 +1,42 @@
+// Packed binary CSR graph format ("GRAPHCSR" containers).
+//
+// Sections:
+//   graph.meta      num_nodes u64 · num_arcs u64 · directed u8
+//   graph.offsets   (num_nodes + 1) × u64   CSR row offsets
+//   graph.targets   num_arcs × u32          arc targets
+//   graph.indeg     num_nodes × u32         precomputed in-degrees
+//
+// The array sections mirror graph::Graph's in-memory layout exactly, so
+// GraphLoad::kMapped hands the mmap'd payloads straight to
+// Graph::from_csr — a 1.7M-arc Digg-scale graph opens in milliseconds
+// (CRC + structural validation) instead of the seconds a 1.7M-line text
+// parse takes. `rumorctl graph-pack` converts edge lists to this format.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace rumor::io {
+
+inline constexpr char kGraphKind[] = "GRAPHCSR";
+
+/// Write `g` as a GRAPHCSR container (atomic tmp-then-rename).
+void save_graph(const graph::Graph& g, const std::string& path);
+
+enum class GraphLoad {
+  kMapped,  ///< zero-copy spans into the mmap'd file (default)
+  kOwned,   ///< copy the arrays onto the heap (no file dependency)
+};
+
+/// Load a GRAPHCSR container. Corrupted, truncated, or structurally
+/// invalid files throw util::IoError naming the bad section.
+graph::Graph load_graph(const std::string& path,
+                        GraphLoad mode = GraphLoad::kMapped);
+
+/// Load a graph from either format: a GRAPHCSR container (detected by
+/// magic; `directed` ignored — the file records it) or a text edge list
+/// parsed with graph::read_edge_list_file(path, directed).
+graph::Graph load_graph_any(const std::string& path, bool directed);
+
+}  // namespace rumor::io

@@ -1,0 +1,106 @@
+#include "io/mapped_file.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RUMOR_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace rumor::io {
+
+namespace {
+
+std::vector<std::byte> read_all(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (!file) throw util::IoError("MappedFile: cannot open " + path);
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  if (size < 0) {
+    std::fclose(file);
+    throw util::IoError("MappedFile: cannot stat " + path);
+  }
+  std::fseek(file, 0, SEEK_SET);
+  std::vector<std::byte> buffer(static_cast<std::size_t>(size));
+  const std::size_t got =
+      buffer.empty() ? 0 : std::fread(buffer.data(), 1, buffer.size(), file);
+  std::fclose(file);
+  if (got != buffer.size()) {
+    throw util::IoError("MappedFile: short read from " + path);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+MappedFile MappedFile::open(const std::string& path) {
+#if RUMOR_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw util::IoError("MappedFile: cannot open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw util::IoError("MappedFile: cannot stat " + path);
+  }
+  MappedFile file;
+  file.path_ = path;
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size > 0) {
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base == MAP_FAILED) {
+      ::close(fd);
+      throw util::IoError("MappedFile: mmap failed for " + path);
+    }
+    file.map_base_ = base;
+    file.map_length_ = size;
+    file.data_ = static_cast<const std::byte*>(base);
+    file.size_ = size;
+  }
+  ::close(fd);  // the mapping keeps the file alive
+  return file;
+#else
+  return read(path);
+#endif
+}
+
+MappedFile MappedFile::read(const std::string& path) {
+  MappedFile file;
+  file.path_ = path;
+  file.owned_ = read_all(path);
+  file.data_ = file.owned_.data();
+  file.size_ = file.owned_.size();
+  return file;
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+#if RUMOR_HAVE_MMAP
+    if (map_base_) ::munmap(map_base_, map_length_);
+#endif
+    path_ = std::move(other.path_);
+    owned_ = std::move(other.owned_);
+    map_base_ = std::exchange(other.map_base_, nullptr);
+    map_length_ = std::exchange(other.map_length_, 0);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    // owned_ moved: re-point data_ at our buffer, not the moved-from one.
+    if (!map_base_ && !owned_.empty()) data_ = owned_.data();
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+#if RUMOR_HAVE_MMAP
+  if (map_base_) ::munmap(map_base_, map_length_);
+#endif
+}
+
+}  // namespace rumor::io

@@ -1,0 +1,46 @@
+// Read-only file access for the binary container: mmap on POSIX hosts
+// (the Digg-scale fast path — page-cache-backed, no copy), a plain
+// read-into-memory fallback elsewhere. Both present the same
+// std::span<const std::byte> view.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rumor::io {
+
+class MappedFile {
+ public:
+  /// Map `path` read-only (POSIX), or read it into memory where mmap is
+  /// unavailable. Throws util::IoError on any failure.
+  static MappedFile open(const std::string& path);
+
+  /// Always read into an owned heap buffer (no mapping to keep alive).
+  static MappedFile read(const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  std::span<const std::byte> bytes() const {
+    return {data_, size_};
+  }
+  const std::string& path() const { return path_; }
+  bool mapped() const { return map_base_ != nullptr; }
+
+ private:
+  MappedFile() = default;
+
+  std::string path_;
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* map_base_ = nullptr;      // non-null iff mmap'd
+  std::size_t map_length_ = 0;
+  std::vector<std::byte> owned_;  // fallback / read() storage
+};
+
+}  // namespace rumor::io

@@ -237,6 +237,52 @@ void AgentSimulation::step() {
   time_ += dt;
 }
 
+AgentCheckpoint AgentSimulation::checkpoint() const {
+  AgentCheckpoint c;
+  c.seed = seed_;
+  c.step_count = step_count_;
+  c.time = time_;
+  c.rng_state = rng_.state();
+  c.ever_infected = ever_infected_;
+  c.state = state_;
+  return c;
+}
+
+void AgentSimulation::restore(const AgentCheckpoint& checkpoint) {
+  util::require(checkpoint.state.size() == state_.size(),
+                "AgentSimulation::restore: checkpoint has " +
+                    std::to_string(checkpoint.state.size()) +
+                    " nodes, simulation has " +
+                    std::to_string(state_.size()));
+  seed_ = checkpoint.seed;
+  step_count_ = checkpoint.step_count;
+  time_ = checkpoint.time;
+  rng_.set_state(checkpoint.rng_state);
+  ever_infected_ = checkpoint.ever_infected;
+  state_ = checkpoint.state;
+  // Recompute every derived quantity from the node states so the
+  // restored object is exactly what an uninterrupted run would hold.
+  susceptible_count_ = 0;
+  infected_count_ = 0;
+  for (std::size_t v = 0; v < state_.size(); ++v) {
+    infected_weight_[v] = 0.0;
+    switch (state_[v]) {
+      case Compartment::kSusceptible:
+        ++susceptible_count_;
+        break;
+      case Compartment::kInfected:
+        ++infected_count_;
+        infected_weight_[v] = omega_over_k_[v];
+        break;
+      case Compartment::kRecovered:
+        break;
+    }
+  }
+  util::require(ever_infected_ >= infected_count_,
+                "AgentSimulation::restore: ever_infected below the current "
+                "infected count — inconsistent checkpoint");
+}
+
 std::vector<Census> AgentSimulation::run_until(double t_end) {
   util::require(t_end >= time_, "run_until: t_end is in the past");
   std::vector<Census> history;

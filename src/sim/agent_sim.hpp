@@ -32,6 +32,7 @@
 // fixes the floating-point summation order per node.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -68,6 +69,21 @@ struct Census {
   std::size_t recovered = 0;
 };
 
+/// The complete dynamic state of an AgentSimulation — everything step()
+/// reads besides the graph and AgentParams. Because per-step randomness
+/// is a pure function of (seed, step, chunk), restoring this onto a
+/// simulation built from the same graph/params continues the trajectory
+/// bit-identically to an uninterrupted run, at any thread count. The
+/// on-disk form lives in sim/checkpoint.hpp.
+struct AgentCheckpoint {
+  std::uint64_t seed = 0;
+  std::uint64_t step_count = 0;
+  double time = 0.0;
+  std::array<std::uint64_t, 4> rng_state{};  ///< seeding-draw generator
+  std::size_t ever_infected = 0;
+  std::vector<Compartment> state;  ///< one entry per node
+};
+
 class AgentSimulation {
  public:
   /// The graph must outlive the simulation.
@@ -77,6 +93,9 @@ class AgentSimulation {
   std::size_t num_nodes() const { return state_.size(); }
   double time() const { return time_; }
   Compartment state(graph::NodeId v) const { return state_[v]; }
+  const graph::Graph& graph() const { return graph_; }
+  const AgentParams& params() const { return params_; }
+  std::uint64_t step_count() const { return step_count_; }
 
   /// Infect `count` uniformly random susceptible nodes.
   void seed_random_infections(std::size_t count);
@@ -125,6 +144,16 @@ class AgentSimulation {
   /// Nodes ever infected (cumulative attack count, including currently
   /// infected and those later blocked from I).
   std::size_t ever_infected() const { return ever_infected_; }
+
+  /// Capture the dynamic state for checkpointing.
+  AgentCheckpoint checkpoint() const;
+
+  /// Restore a checkpoint captured from a simulation on the same graph
+  /// with the same params. Derived quantities (census counters, the
+  /// infected-weight gather table) are recomputed from the node states;
+  /// the control schedule is NOT part of the checkpoint — re-attach it
+  /// before stepping if one was in use.
+  void restore(const AgentCheckpoint& checkpoint);
 
  private:
   /// Nodes whose infection exposes v: in-neighbors on a directed graph

@@ -1,0 +1,41 @@
+// On-disk form of AgentSimulation checkpoints ("AGENTSIM" containers).
+//
+// Sections:
+//   agent.meta    format guard: num_nodes · num_arcs · directed · dt ·
+//                 seed · step_count · time · rng state · ever_infected
+//   agent.state   one byte per node (compartment)
+//
+// The meta section pins the run configuration: restoring onto a
+// simulation whose graph shape or dt differs fails with util::IoError
+// rather than silently resuming a different experiment. The append/
+// restore pair operates on an open container so callers (rumorctl) can
+// ride extra sections — e.g. the recorded census history — in the same
+// atomic file.
+#pragma once
+
+#include <string>
+
+#include "io/container.hpp"
+#include "sim/agent_sim.hpp"
+
+namespace rumor::sim {
+
+inline constexpr char kAgentRunKind[] = "AGENTSIM";
+
+/// Append the simulation's checkpoint sections to an open container.
+void append_agent_checkpoint(io::ContainerWriter& writer,
+                             const AgentSimulation& simulation);
+
+/// Parse and validate the checkpoint sections against `simulation`'s
+/// graph and params, then restore. Throws util::IoError on corruption
+/// or configuration mismatch.
+void restore_agent_checkpoint(const io::ContainerReader& reader,
+                              AgentSimulation& simulation);
+
+/// One-call convenience wrappers around a kAgentRunKind container.
+void save_agent_checkpoint(const AgentSimulation& simulation,
+                           const std::string& path);
+void load_agent_checkpoint(AgentSimulation& simulation,
+                           const std::string& path);
+
+}  // namespace rumor::sim

@@ -1,14 +1,158 @@
 #include "sim/ensemble.hpp"
 
 #include <cmath>
+#include <filesystem>
+#include <mutex>
+#include <utility>
 
+#include "io/container.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/parallel.hpp"
 
 namespace rumor::sim {
 
-EnsembleResult run_ensemble(const graph::Graph& g, const AgentParams& params,
-                            const EnsembleOptions& options) {
+namespace {
+
+constexpr char kEnsembleKind[] = "ENSEMBLE";
+
+// Each replica writes its own series; nothing is shared between
+// replicas, so they run concurrently without synchronization.
+struct ReplicaSeries {
+  std::vector<double> infected_fraction;
+  std::vector<double> recovered_fraction;
+  double attack = 0.0;
+};
+
+// The run configuration a checkpoint must match to be resumable.
+struct EnsembleFingerprint {
+  std::uint64_t replicas = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t num_nodes = 0;
+  std::uint64_t initial_infected = 0;
+  double initial_fraction = 0.0;
+  double dt = 0.0;
+  double t_end = 0.0;
+
+  bool operator==(const EnsembleFingerprint&) const = default;
+};
+
+// Serialize the completion map plus the series of every finished
+// replica (unfinished slots are written as zeros and ignored on load).
+void save_checkpoint_file(const std::string& path,
+                          const EnsembleFingerprint& fingerprint,
+                          const std::vector<std::uint8_t>& done,
+                          const std::vector<ReplicaSeries>& replicas) {
+  io::ContainerWriter writer(kEnsembleKind);
+
+  io::ByteWriter meta;
+  meta.u64(fingerprint.replicas);
+  meta.u64(fingerprint.steps);
+  meta.u64(fingerprint.seed);
+  meta.u64(fingerprint.num_nodes);
+  meta.u64(fingerprint.initial_infected);
+  meta.f64(fingerprint.initial_fraction);
+  meta.f64(fingerprint.dt);
+  meta.f64(fingerprint.t_end);
+  writer.add_section("ens.meta", std::move(meta));
+
+  io::ByteWriter done_section;
+  done_section.vec(done);
+  writer.add_section("ens.done", std::move(done_section));
+
+  const std::size_t points = fingerprint.steps + 1;
+  io::ByteWriter infected, recovered, attack;
+  infected.u64(replicas.size() * points);
+  recovered.u64(replicas.size() * points);
+  for (std::size_t r = 0; r < replicas.size(); ++r) {
+    attack.f64(done[r] ? replicas[r].attack : 0.0);
+    for (std::size_t s = 0; s < points; ++s) {
+      infected.f64(done[r] ? replicas[r].infected_fraction[s] : 0.0);
+      recovered.f64(done[r] ? replicas[r].recovered_fraction[s] : 0.0);
+    }
+  }
+  writer.add_section("ens.infected", std::move(infected));
+  writer.add_section("ens.recovered", std::move(recovered));
+  writer.add_section("ens.attack", std::move(attack));
+  writer.write_file(path);
+}
+
+// Load a checkpoint into done/replicas. Returns false (leaving the
+// outputs untouched) when the file was written for a different run;
+// throws util::IoError on corruption.
+bool load_checkpoint_file(const std::string& path,
+                          const EnsembleFingerprint& expected,
+                          std::vector<std::uint8_t>& done,
+                          std::vector<ReplicaSeries>& replicas) {
+  const auto container = io::ContainerReader::open(path);
+  container->require_kind(kEnsembleKind);
+
+  io::ByteReader meta = container->reader("ens.meta");
+  EnsembleFingerprint found;
+  found.replicas = meta.u64();
+  found.steps = meta.u64();
+  found.seed = meta.u64();
+  found.num_nodes = meta.u64();
+  found.initial_infected = meta.u64();
+  found.initial_fraction = meta.f64();
+  found.dt = meta.f64();
+  found.t_end = meta.f64();
+  meta.expect_end();
+  if (!(found == expected)) return false;
+
+  io::ByteReader done_reader = container->reader("ens.done");
+  auto loaded_done = done_reader.vec<std::uint8_t>();
+  done_reader.expect_end();
+  if (loaded_done.size() != expected.replicas) {
+    throw util::IoError("container " + path + ": section 'ens.done' has " +
+                        std::to_string(loaded_done.size()) +
+                        " entries, expected " +
+                        std::to_string(expected.replicas));
+  }
+
+  const std::size_t points = expected.steps + 1;
+  io::ByteReader infected = container->reader("ens.infected");
+  const auto infected_flat = infected.vec<double>();
+  infected.expect_end();
+  io::ByteReader recovered = container->reader("ens.recovered");
+  const auto recovered_flat = recovered.vec<double>();
+  recovered.expect_end();
+  io::ByteReader attack = container->reader("ens.attack");
+  if (infected_flat.size() != expected.replicas * points ||
+      recovered_flat.size() != expected.replicas * points) {
+    throw util::IoError("container " + path +
+                        ": series sections do not match the replica/step "
+                        "counts in 'ens.meta'");
+  }
+
+  for (std::size_t r = 0; r < expected.replicas; ++r) {
+    const double replica_attack = attack.f64();
+    if (loaded_done[r] > 1) {
+      throw util::IoError("container " + path +
+                          ": section 'ens.done' holds a value other than "
+                          "0/1");
+    }
+    if (!loaded_done[r]) continue;
+    ReplicaSeries& series = replicas[r];
+    series.attack = replica_attack;
+    series.infected_fraction.assign(
+        infected_flat.begin() + static_cast<std::ptrdiff_t>(r * points),
+        infected_flat.begin() + static_cast<std::ptrdiff_t>((r + 1) * points));
+    series.recovered_fraction.assign(
+        recovered_flat.begin() + static_cast<std::ptrdiff_t>(r * points),
+        recovered_flat.begin() +
+            static_cast<std::ptrdiff_t>((r + 1) * points));
+  }
+  attack.expect_end();
+  done = std::move(loaded_done);
+  return true;
+}
+
+EnsembleResult run_ensemble_impl(const graph::Graph& g,
+                                 const AgentParams& params,
+                                 const EnsembleOptions& options,
+                                 const EnsembleCheckpointPolicy* checkpoint) {
   util::require(options.replicas > 0, "run_ensemble: need >= 1 replica");
   util::require(options.t_end > 0.0, "run_ensemble: t_end must be positive");
   params.validate();
@@ -17,17 +161,41 @@ EnsembleResult run_ensemble(const graph::Graph& g, const AgentParams& params,
       static_cast<std::size_t>(std::ceil(options.t_end / params.dt));
   const auto n = static_cast<double>(g.num_nodes());
 
-  // Each replica writes its own series; nothing is shared between
-  // replicas, so they run concurrently without synchronization.
-  struct ReplicaSeries {
-    std::vector<double> infected_fraction;
-    std::vector<double> recovered_fraction;
-    double attack = 0.0;
-  };
+  EnsembleFingerprint fingerprint;
+  fingerprint.replicas = options.replicas;
+  fingerprint.steps = steps;
+  fingerprint.seed = options.seed;
+  fingerprint.num_nodes = g.num_nodes();
+  fingerprint.initial_infected = options.initial_infected;
+  fingerprint.initial_fraction = options.initial_fraction;
+  fingerprint.dt = params.dt;
+  fingerprint.t_end = options.t_end;
+
   std::vector<ReplicaSeries> replicas(options.replicas);
+  std::vector<std::uint8_t> done(options.replicas, 0);
+
+  const bool checkpointing = checkpoint && !checkpoint->path.empty();
+  if (checkpointing && checkpoint->resume &&
+      std::filesystem::exists(checkpoint->path)) {
+    if (!load_checkpoint_file(checkpoint->path, fingerprint, done, replicas)) {
+      util::log_warn() << "run_ensemble: checkpoint " << checkpoint->path
+                       << " was written for a different run configuration; "
+                          "starting fresh";
+    }
+  }
+
+  std::size_t already_done = 0;
+  for (const std::uint8_t flag : done) already_done += flag;
+
+  // Completion bookkeeping and periodic saves. Workers serialize under
+  // the mutex; a replica's series is fully written by its owning thread
+  // before done[r] is set, so the save only ever reads finished slots.
+  std::mutex save_mutex;
+  std::size_t since_save = 0;
 
   util::parallel_for(
       std::size_t{0}, options.replicas, /*grain=*/1, [&](std::size_t r) {
+        if (done[r]) return;
         AgentSimulation simulation(g, params,
                                    replica_seed(options.seed, r));
         const std::size_t seeds =
@@ -51,11 +219,27 @@ EnsembleResult run_ensemble(const graph::Graph& g, const AgentParams& params,
         }
         series.attack =
             static_cast<double>(simulation.ever_infected()) / n;
+
+        if (checkpointing) {
+          const std::lock_guard<std::mutex> lock(save_mutex);
+          done[r] = 1;
+          if (++since_save >= checkpoint->save_every) {
+            save_checkpoint_file(checkpoint->path, fingerprint, done,
+                                 replicas);
+            since_save = 0;
+          }
+        } else {
+          done[r] = 1;
+        }
       });
+
+  if (checkpointing && since_save > 0) {
+    save_checkpoint_file(checkpoint->path, fingerprint, done, replicas);
+  }
 
   // Merge in replica order on this thread: the accumulation order —
   // and hence every floating-point rounding — matches the serial run
-  // exactly, for any thread count.
+  // exactly, for any thread count and any resume history.
   std::vector<double> sum_i(steps + 1, 0.0);
   std::vector<double> sum_i2(steps + 1, 0.0);
   std::vector<double> sum_r(steps + 1, 0.0);
@@ -71,6 +255,7 @@ EnsembleResult run_ensemble(const graph::Graph& g, const AgentParams& params,
   }
 
   EnsembleResult result;
+  result.replicas_computed = options.replicas - already_done;
   const auto reps = static_cast<double>(options.replicas);
   result.series.reserve(steps + 1);
   for (std::size_t s = 0; s <= steps; ++s) {
@@ -88,6 +273,22 @@ EnsembleResult run_ensemble(const graph::Graph& g, const AgentParams& params,
   }
   result.mean_attack_rate = attack_sum / reps;
   return result;
+}
+
+}  // namespace
+
+EnsembleResult run_ensemble(const graph::Graph& g, const AgentParams& params,
+                            const EnsembleOptions& options) {
+  return run_ensemble_impl(g, params, options, nullptr);
+}
+
+EnsembleResult run_ensemble_checkpointed(
+    const graph::Graph& g, const AgentParams& params,
+    const EnsembleOptions& options,
+    const EnsembleCheckpointPolicy& checkpoint) {
+  util::require(checkpoint.save_every > 0,
+                "run_ensemble_checkpointed: save_every must be >= 1");
+  return run_ensemble_impl(g, params, options, &checkpoint);
 }
 
 }  // namespace rumor::sim

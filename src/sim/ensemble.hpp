@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/agent_sim.hpp"
@@ -29,6 +30,25 @@ struct EnsemblePoint {
 struct EnsembleResult {
   std::vector<EnsemblePoint> series;
   double mean_attack_rate = 0.0;  ///< ever-infected fraction, averaged
+  /// Replicas actually simulated by this call (< options.replicas when
+  /// a checkpoint supplied already-finished replicas).
+  std::size_t replicas_computed = 0;
+};
+
+/// Per-replica completion checkpointing for run_ensemble ("ENSEMBLE"
+/// containers). The file records which replicas have finished together
+/// with their full series; a resumed run recomputes only the missing
+/// ones. Because each replica is a pure function of replica_seed(seed,
+/// r) and the merge is in replica order, the result is bit-identical
+/// whether the run was interrupted zero, one, or many times.
+struct EnsembleCheckpointPolicy {
+  std::string path;            ///< container file; empty disables
+  std::size_t save_every = 1;  ///< completed replicas between saves
+  /// Load `path` first if it exists. A file written for different
+  /// options (replicas, seed, t_end, dt, graph size, seeding) is
+  /// ignored with a warning and overwritten; a corrupted file throws
+  /// util::IoError.
+  bool resume = true;
 };
 
 /// Seed of replica r: `seed ^ splitmix64(r)`, NOT the naive `seed + r`.
@@ -54,5 +74,13 @@ inline std::uint64_t replica_seed(std::uint64_t ensemble_seed,
 /// for every thread count, including the serial fallback.
 EnsembleResult run_ensemble(const graph::Graph& g, const AgentParams& params,
                             const EnsembleOptions& options);
+
+/// run_ensemble with crash tolerance: completed replicas are persisted
+/// to (and on resume, read back from) `checkpoint.path` after every
+/// `checkpoint.save_every` completions, with atomic file replacement.
+EnsembleResult run_ensemble_checkpointed(
+    const graph::Graph& g, const AgentParams& params,
+    const EnsembleOptions& options,
+    const EnsembleCheckpointPolicy& checkpoint);
 
 }  // namespace rumor::sim

@@ -33,6 +33,12 @@ Xoshiro256::Xoshiro256(std::uint64_t seed) {
   }
 }
 
+void Xoshiro256::set_state(const std::array<std::uint64_t, 4>& state) {
+  require(state[0] != 0 || state[1] != 0 || state[2] != 0 || state[3] != 0,
+          "Xoshiro256::set_state: the all-zero state is invalid");
+  state_ = state;
+}
+
 Xoshiro256::result_type Xoshiro256::operator()() {
   const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
   const std::uint64_t t = state_[1] << 17;

@@ -73,6 +73,12 @@ class Xoshiro256 {
   /// stream). Adequate for embarrassingly parallel ensemble replicas.
   Xoshiro256 split();
 
+  /// The raw 256-bit generator state, for checkpoint/resume: restoring
+  /// via set_state continues the exact draw sequence. Rejects the
+  /// all-zero state (the one invalid xoshiro state).
+  std::array<std::uint64_t, 4> state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state);
+
  private:
   std::array<std::uint64_t, 4> state_;
 };
