@@ -6,11 +6,13 @@
 // not know about. The open-loop policy, computed once at t = 0, winds
 // its controls down as the *predicted* infection dies; MPC re-measures
 // and re-treats.
+#include <array>
 #include <cstdio>
 #include <iostream>
 
 #include "bench/common.hpp"
 #include "control/mpc.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -41,26 +43,6 @@ int main() {
                             "terminal cost", "total J"});
   table.set_precision(4);
 
-  auto add_rows = [&](const char* scenario,
-                      const control::Disturbance& disturbance) {
-    const auto open = control::run_open_loop(model, y0, tf, cost, options,
-                                             disturbance);
-    const auto closed =
-        control::run_mpc(model, y0, tf, cost, options, disturbance);
-    table.add_text_row({scenario, "open-loop",
-                        util::format_significant(open.cost.running, 4),
-                        util::format_significant(open.cost.terminal, 4),
-                        util::format_significant(open.cost.total(), 4)});
-    table.add_text_row({scenario, "MPC",
-                        util::format_significant(closed.cost.running, 4),
-                        util::format_significant(closed.cost.terminal, 4),
-                        util::format_significant(closed.cost.total(), 4)});
-    return std::pair<double, double>(open.cost.total(),
-                                     closed.cost.total());
-  };
-
-  const auto [open_clean, mpc_clean] = add_rows("no disturbance", nullptr);
-
   const control::Disturbance bursts = [n](double, std::span<double> y) {
     for (std::size_t i = 0; i < n; ++i) {
       const double moved = std::min(0.12, y[i]);
@@ -68,8 +50,42 @@ int main() {
       y[n + i] += moved;
     }
   };
-  const auto [open_burst, mpc_burst] =
-      add_rows("reinfection bursts", bursts);
+
+  // The four closed-loop rollouts (scenario × policy) are independent
+  // and each takes seconds, so they run concurrently; the table is
+  // assembled serially afterwards so output order stays fixed.
+  struct Rollout {
+    const char* scenario;
+    const char* policy;
+    bool mpc;
+    const control::Disturbance* disturbance;
+    control::MpcResult result;
+  };
+  std::array<Rollout, 4> rollouts{{
+      {"no disturbance", "open-loop", false, nullptr, {}},
+      {"no disturbance", "MPC", true, nullptr, {}},
+      {"reinfection bursts", "open-loop", false, &bursts, {}},
+      {"reinfection bursts", "MPC", true, &bursts, {}},
+  }};
+  util::parallel_for(0, rollouts.size(), 1, [&](std::size_t r) {
+    auto& job = rollouts[r];
+    const control::Disturbance none;
+    const auto& disturbance = job.disturbance ? *job.disturbance : none;
+    job.result = job.mpc ? control::run_mpc(model, y0, tf, cost, options,
+                                            disturbance)
+                         : control::run_open_loop(model, y0, tf, cost,
+                                                  options, disturbance);
+  });
+  for (const auto& job : rollouts) {
+    table.add_text_row({job.scenario, job.policy,
+                        util::format_significant(job.result.cost.running, 4),
+                        util::format_significant(job.result.cost.terminal, 4),
+                        util::format_significant(job.result.cost.total(), 4)});
+  }
+  const double open_clean = rollouts[0].result.cost.total();
+  const double mpc_clean = rollouts[1].result.cost.total();
+  const double open_burst = rollouts[2].result.cost.total();
+  const double mpc_burst = rollouts[3].result.cost.total();
   table.print(std::cout);
 
   std::printf("\nABL-MPC verdict: without disturbance the two coincide "

@@ -1,0 +1,360 @@
+// BENCH-DRIVER — the perf-regression harness.
+//
+// A plain executable (no google-benchmark dependency) that times the
+// optimal-control hot paths, counts RHS evaluations and heap
+// allocations, and writes one machine-readable JSON report
+// (BENCH_pr3.json by default). CI runs it on every push and fails the
+// build if the forward-backward sweep case regresses more than 25%
+// against the committed baseline (bench/baseline/BENCH_pr3.json).
+//
+//   bench_driver [--out PATH] [--baseline PATH] [--repeat N]
+//
+// Cases:
+//   trajectory_interp  cursor-based Trajectory interpolation, ns/query
+//   costate_rhs        adjoint RHS (n = 20 groups), ns/eval and
+//                      allocations/eval (must be 0 after warm-up)
+//   forward_integrate  RK4 forward solve, wall ms + exact RHS-eval count
+//   fbsm_small         full FBSM solve (the ≥3× acceptance case; the
+//                      same configuration as perf_control's
+//                      BM_FullSolveSmall), median wall ms over --repeat
+//   pg_small           projected-gradient solve, same problem
+//   mpc_small          receding-horizon loop, wall ms
+//
+// Allocation counting comes from the rumor_alloc_count link-in (global
+// operator new/delete replacement); RHS evaluations from a counting
+// OdeSystem decorator.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "control/mpc.hpp"
+#include "ode/integrate.hpp"
+#include "util/alloc_count.hpp"
+#include "util/logging.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace rumor;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Pass-through OdeSystem that counts rhs() calls.
+class CountingSystem final : public ode::OdeSystem {
+ public:
+  explicit CountingSystem(const ode::OdeSystem& inner) : inner_(inner) {}
+  std::size_t dimension() const override { return inner_.dimension(); }
+  void rhs(double t, std::span<const double> y,
+           std::span<double> dydt) const override {
+    ++evals_;
+    inner_.rhs(t, y, dydt);
+  }
+  std::uint64_t evals() const { return evals_; }
+
+ private:
+  const ode::OdeSystem& inner_;
+  mutable std::uint64_t evals_ = 0;
+};
+
+struct CaseResult {
+  std::string name;
+  // Populated fields are emitted; negative values mean "not measured".
+  double wall_ms = -1.0;
+  double ns_per_eval = -1.0;
+  double allocs_per_eval = -1.0;
+  std::int64_t rhs_evals = -1;
+  std::int64_t iterations = -1;
+};
+
+control::SweepOptions small_solve_options() {
+  // Must stay in lockstep with perf_control's BM_FullSolveSmall: this
+  // is the case the ≥3x acceptance and the CI regression gate track.
+  control::SweepOptions options;
+  options.grid_points = 101;
+  options.substeps = 10;
+  options.max_iterations = 200;
+  options.j_tolerance = 1e-5;
+  return options;
+}
+
+CaseResult run_trajectory_interp() {
+  const auto model = bench::fig4_model(10);
+  const auto traj = ode::integrate_rk4(
+      model, model.initial_state(0.01), 0.0, 20.0, 0.01);
+  const std::size_t queries = 2'000'000;
+  const double t0 = traj.front_time();
+  const double dt = (traj.back_time() - t0) / static_cast<double>(queries);
+  ode::State out(traj.dimension());
+
+  ode::Trajectory::Cursor warm(traj);
+  warm.at_into(t0, out);
+
+  const auto allocs_before = util::allocation_count();
+  ode::Trajectory::Cursor cursor(traj);
+  const auto start = Clock::now();
+  double sink = 0.0;
+  for (std::size_t q = 0; q < queries; ++q) {
+    cursor.at_into(t0 + static_cast<double>(q) * dt, out);
+    sink += out[0];
+  }
+  const double elapsed_ms = ms_since(start);
+  const auto allocs = util::allocation_count() - allocs_before;
+  if (sink == -1.0) std::printf("impossible\n");  // keep the loop live
+
+  CaseResult r;
+  r.name = "trajectory_interp";
+  r.ns_per_eval = elapsed_ms * 1e6 / static_cast<double>(queries);
+  r.allocs_per_eval =
+      static_cast<double>(allocs) / static_cast<double>(queries);
+  return r;
+}
+
+CaseResult run_costate_rhs() {
+  auto model = bench::fig4_model(20);
+  const auto cost = bench::fig4_cost();
+  const auto schedule = core::make_constant_control(0.1, 0.1);
+  core::SirNetworkModel forward(model.profile(), model.params(), schedule);
+  const auto traj = ode::integrate_rk4(
+      forward, forward.initial_state(0.01), 0.0, 10.0, 0.01);
+  control::BackwardCostateSystem adjoint(forward, traj, *schedule, cost,
+                                         10.0);
+  ode::State w = adjoint.terminal_costate();
+  ode::State dwds(w.size());
+
+  // Warm-up: first eval sizes nothing (the system preallocates), but
+  // keep the protocol explicit — allocations are counted after it.
+  adjoint.rhs(0.0, w, dwds);
+
+  const std::size_t evals = 1'000'000;
+  // Sweep s forward (t backward) like a real backward integration so
+  // the trajectory cursor actually advances.
+  const double ds = 10.0 / static_cast<double>(evals);
+  const auto allocs_before = util::allocation_count();
+  const auto start = Clock::now();
+  for (std::size_t q = 0; q < evals; ++q) {
+    adjoint.rhs(static_cast<double>(q) * ds, w, dwds);
+  }
+  const double elapsed_ms = ms_since(start);
+  const auto allocs = util::allocation_count() - allocs_before;
+
+  CaseResult r;
+  r.name = "costate_rhs";
+  r.ns_per_eval = elapsed_ms * 1e6 / static_cast<double>(evals);
+  r.allocs_per_eval =
+      static_cast<double>(allocs) / static_cast<double>(evals);
+  r.rhs_evals = static_cast<std::int64_t>(evals);
+  return r;
+}
+
+CaseResult run_forward_integrate() {
+  const auto model = bench::fig4_model(60);
+  const CountingSystem counted(model);
+  ode::Rk4Stepper stepper;
+  ode::FixedStepOptions fixed;
+  fixed.dt = 0.01;
+  ode::Trajectory traj(model.dimension());
+  const auto y0 = model.initial_state(0.01);
+
+  const auto start = Clock::now();
+  ode::integrate_fixed_into(counted, stepper, y0, 0.0, 20.0, fixed, traj);
+  const double elapsed_ms = ms_since(start);
+
+  CaseResult r;
+  r.name = "forward_integrate";
+  r.wall_ms = elapsed_ms;
+  r.rhs_evals = static_cast<std::int64_t>(counted.evals());
+  return r;
+}
+
+template <typename Solve>
+CaseResult run_solver_case(const char* name, std::size_t repeat,
+                           Solve&& solve) {
+  std::vector<double> samples;
+  std::int64_t iterations = -1;
+  for (std::size_t rep = 0; rep < repeat; ++rep) {
+    const auto start = Clock::now();
+    iterations = solve();
+    samples.push_back(ms_since(start));
+  }
+  std::sort(samples.begin(), samples.end());
+  CaseResult r;
+  r.name = name;
+  r.wall_ms = samples[samples.size() / 2];  // median
+  r.iterations = iterations;
+  return r;
+}
+
+std::string to_json(const std::vector<CaseResult>& cases, bool optimized) {
+  std::ostringstream json;
+  json.precision(6);
+  json << "{\"schema\":\"rumor-bench/1\",\"build\":{\"optimized\":"
+       << (optimized ? "true" : "false")
+       << ",\"threads\":" << util::num_threads() << "},";
+  if (!optimized) {
+    json << "\"warning\":\"UNOPTIMIZED BUILD - timings are not "
+            "meaningful\",";
+  }
+  json << "\"cases\":[";
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    const auto& r = cases[c];
+    if (c != 0) json << ",";
+    json << "{\"name\":\"" << r.name << "\"";
+    if (r.wall_ms >= 0.0) json << ",\"wall_ms\":" << r.wall_ms;
+    if (r.ns_per_eval >= 0.0) json << ",\"ns_per_eval\":" << r.ns_per_eval;
+    if (r.allocs_per_eval >= 0.0) {
+      json << ",\"allocs_per_eval\":" << r.allocs_per_eval;
+    }
+    if (r.rhs_evals >= 0) json << ",\"rhs_evals\":" << r.rhs_evals;
+    if (r.iterations >= 0) json << ",\"iterations\":" << r.iterations;
+    json << "}";
+  }
+  json << "]}\n";
+  return json.str();
+}
+
+/// Pull `"field":<number>` out of the case object named `name` in a
+/// report produced by to_json (compact, known key order). Returns a
+/// negative value when absent.
+double extract_case_field(const std::string& json, const std::string& name,
+                          const std::string& field) {
+  const auto at = json.find("\"name\":\"" + name + "\"");
+  if (at == std::string::npos) return -1.0;
+  const auto object_end = json.find('}', at);
+  const auto key = json.find("\"" + field + "\":", at);
+  if (key == std::string::npos || key > object_end) return -1.0;
+  return std::strtod(json.c_str() + key + field.size() + 3, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::set_log_level(util::LogLevel::kError);
+
+  std::string out_path = "BENCH_pr3.json";
+  std::string baseline_path;
+  std::size_t repeat = 5;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--out" && a + 1 < argc) {
+      out_path = argv[++a];
+    } else if (arg == "--baseline" && a + 1 < argc) {
+      baseline_path = argv[++a];
+    } else if (arg == "--repeat" && a + 1 < argc) {
+      repeat = static_cast<std::size_t>(std::strtoull(argv[++a], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_driver [--out PATH] [--baseline PATH] "
+                   "[--repeat N]\n");
+      return 2;
+    }
+  }
+  if (repeat == 0) repeat = 1;
+
+  const bool optimized = bench::warn_if_unoptimized();
+
+  const auto model = bench::fig4_model(10);
+  const auto cost = bench::fig4_cost();
+  const auto y0 = model.initial_state(0.01);
+  const double tf = 20.0;
+
+  std::vector<CaseResult> cases;
+  cases.push_back(run_trajectory_interp());
+  cases.push_back(run_costate_rhs());
+  cases.push_back(run_forward_integrate());
+
+  cases.push_back(run_solver_case("fbsm_small", repeat, [&] {
+    const auto result =
+        control::solve_optimal_control(model, y0, tf, cost,
+                                       small_solve_options());
+    return static_cast<std::int64_t>(result.iterations);
+  }));
+  cases.push_back(run_solver_case("pg_small", repeat, [&] {
+    auto options = small_solve_options();
+    options.algorithm = control::SweepAlgorithm::kProjectedGradient;
+    const auto result =
+        control::solve_optimal_control(model, y0, tf, cost, options);
+    return static_cast<std::int64_t>(result.iterations);
+  }));
+  cases.push_back(run_solver_case("mpc_small", repeat, [&] {
+    control::MpcOptions options;
+    options.replan_interval = 5.0;
+    options.plant_dt = 0.05;
+    options.sweep = small_solve_options();
+    options.sweep.max_iterations = 15;
+    const auto result = control::run_mpc(model, y0, tf, cost, options);
+    return static_cast<std::int64_t>(result.replans);
+  }));
+
+  const std::string report = to_json(cases, optimized);
+  std::fputs(report.c_str(), stdout);
+  {
+    std::ofstream file(out_path);
+    if (!file) {
+      std::fprintf(stderr, "bench_driver: cannot write %s\n",
+                   out_path.c_str());
+      return 2;
+    }
+    file << report;
+  }
+
+  for (const auto& r : cases) {
+    if (r.allocs_per_eval > 0.0) {
+      std::fprintf(stderr,
+                   "bench_driver: FAIL — %s performs %.6f heap "
+                   "allocations per evaluation (expected 0 after "
+                   "warm-up)\n",
+                   r.name.c_str(), r.allocs_per_eval);
+      return 1;
+    }
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream file(baseline_path);
+    if (!file) {
+      std::fprintf(stderr, "bench_driver: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    const std::string baseline = buffer.str();
+
+    const double base_ms = extract_case_field(baseline, "fbsm_small",
+                                              "wall_ms");
+    const double now_ms = extract_case_field(report, "fbsm_small",
+                                             "wall_ms");
+    if (base_ms <= 0.0 || now_ms <= 0.0) {
+      std::fprintf(stderr,
+                   "bench_driver: baseline compare skipped (fbsm_small "
+                   "wall_ms missing)\n");
+      return 0;
+    }
+    if (!optimized) {
+      std::fprintf(stderr,
+                   "bench_driver: baseline compare skipped (unoptimized "
+                   "build)\n");
+      return 0;
+    }
+    const double ratio = now_ms / base_ms;
+    std::printf("fbsm_small: %.3f ms vs baseline %.3f ms (%.2fx)\n",
+                now_ms, base_ms, ratio);
+    if (ratio > 1.25) {
+      std::fprintf(stderr,
+                   "bench_driver: FAIL — fbsm_small regressed %.0f%% "
+                   "over the committed baseline (limit 25%%)\n",
+                   (ratio - 1.0) * 100.0);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -12,6 +12,7 @@
 //     box bound 0.7 on both controls, uncontrolled-regime α = 0.05.
 #pragma once
 
+#include <cstdio>
 #include <memory>
 
 #include "control/fbsweep.hpp"
@@ -20,6 +21,31 @@
 #include "data/digg.hpp"
 
 namespace rumor::bench {
+
+/// True when the translation unit was compiled with optimization.
+/// Perf numbers from unoptimized builds are meaningless; the bench
+/// driver records this flag in its JSON and warns loudly.
+inline constexpr bool build_is_optimized() {
+#ifdef __OPTIMIZE__
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Print an unmissable warning when the benches were built without
+/// optimization (e.g. a plain Debug configure). Returns the flag so
+/// callers can embed it in machine-readable output.
+inline bool warn_if_unoptimized() {
+  if (!build_is_optimized()) {
+    std::fprintf(stderr,
+                 "*** WARNING: this bench binary was built WITHOUT "
+                 "optimization; timings are not meaningful. Configure "
+                 "with -DCMAKE_BUILD_TYPE=Release (optionally "
+                 "-DRUMOR_NATIVE=ON) before trusting any numbers. ***\n");
+  }
+  return build_is_optimized();
+}
 
 /// The calibrated Digg2009 surrogate profile (847 degree groups).
 inline core::NetworkProfile digg_profile() {

@@ -1,5 +1,7 @@
 #include "control/costate.hpp"
 
+#include <limits>
+
 #include "util/error.hpp"
 
 namespace rumor::control {
@@ -11,36 +13,59 @@ BackwardCostateSystem::BackwardCostateSystem(
     : model_(model),
       state_(state),
       schedule_(schedule),
+      piecewise_schedule_(
+          dynamic_cast<const core::PiecewiseLinearControl*>(&schedule)),
       cost_(cost),
       tf_(tf),
-      diagonal_(diagonal_coupling) {
+      diagonal_(diagonal_coupling),
+      state_cursor_(state),
+      y_scratch_(state.dimension(), 0.0),
+      cached_t_(std::numeric_limits<double>::quiet_NaN()) {
   cost_.validate();
   util::require(!state_.empty(), "BackwardCostateSystem: empty trajectory");
   util::require(state_.dimension() == model_.dimension(),
                 "BackwardCostateSystem: trajectory dimension mismatch");
   util::require(tf_ > state_.front_time(),
                 "BackwardCostateSystem: tf before trajectory start");
+  const auto phi = model_.phis();
+  const double mean_k = model_.profile().mean_degree();
+  phi_over_k_.reserve(phi.size());
+  for (double p : phi) phi_over_k_.push_back(p / mean_k);
 }
 
 void BackwardCostateSystem::rhs(double s, std::span<const double> w,
                                 std::span<double> dwds) const {
   const std::size_t n = model_.num_groups();
   const double t = tf_ - s;
-  const ode::State y = state_.at(t);
-  const auto S = std::span<const double>(y).subspan(0, n);
-  const auto I = std::span<const double>(y).subspan(n, n);
-  const auto psi = w.subspan(0, n);
-  const auto phi_costate = w.subspan(n, n);
+  // Everything that depends on t alone — the interpolated forward
+  // state, the controls, Θ — is cached across the RK4 stages that share
+  // a time point (stages 2 and 3). Backward integration queries t
+  // monotonically (decreasing), so on a miss the cursor advance is O(1)
+  // and the interpolation writes into the member scratch — no
+  // allocation, no binary search.
+  if (t != cached_t_) {
+    state_cursor_.at_into(t, y_scratch_);
+    const auto [e1, e2] = piecewise_schedule_ != nullptr
+                              ? piecewise_schedule_->epsilons(t)
+                              : schedule_.epsilons(t);
+    cached_e1_ = e1;
+    cached_e2_ = e2;
+    const auto phi = model_.phis();  // ϕ_i = ω(k_i) P(k_i)
+    const double* Ii = y_scratch_.data() + n;
+    double theta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) theta += phi[i] * Ii[i];
+    cached_theta_ = theta / model_.profile().mean_degree();
+    cached_t_ = t;
+  }
+  const double* S = y_scratch_.data();
+  const double* I = y_scratch_.data() + n;
+  const double* psi = w.data();
+  const double* phi_costate = w.data() + n;
 
-  const double e1 = schedule_.epsilon1(t);
-  const double e2 = schedule_.epsilon2(t);
+  const double e1 = cached_e1_;
+  const double e2 = cached_e2_;
+  const double theta = cached_theta_;
   const auto lambda = model_.lambdas();
-  const auto phi = model_.phis();  // ϕ_i = ω(k_i) P(k_i)
-  const double mean_k = model_.profile().mean_degree();
-
-  double theta = 0.0;
-  for (std::size_t i = 0; i < n; ++i) theta += phi[i] * I[i];
-  theta /= mean_k;
 
   // Cross-group factor Σ_i (ψ_i − φ_i) λ_i S_i of the full adjoint.
   double coupling = 0.0;
@@ -50,14 +75,14 @@ void BackwardCostateSystem::rhs(double s, std::span<const double> w,
     }
   }
 
+  const double c1e1 = -2.0 * cost_.c1 * e1 * e1;
+  const double c2e2 = -2.0 * cost_.c2 * e2 * e2;
   for (std::size_t j = 0; j < n; ++j) {
-    const double dpsi_dt = -2.0 * cost_.c1 * e1 * e1 * S[j] +
-                           psi[j] * (lambda[j] * theta + e1) -
+    const double dpsi_dt = c1e1 * S[j] + psi[j] * (lambda[j] * theta + e1) -
                            phi_costate[j] * lambda[j] * theta;
     const double group_coupling =
         diagonal_ ? (psi[j] - phi_costate[j]) * lambda[j] * S[j] : coupling;
-    const double dphi_dt = -2.0 * cost_.c2 * e2 * e2 * I[j] +
-                           (phi[j] / mean_k) * group_coupling +
+    const double dphi_dt = c2e2 * I[j] + phi_over_k_[j] * group_coupling +
                            phi_costate[j] * e2;
     // Reversed clock: dw/ds = −dw/dt.
     dwds[j] = -dpsi_dt;
@@ -72,28 +97,41 @@ ode::State BackwardCostateSystem::terminal_costate() const {
   return w;
 }
 
-StationaryControls stationary_controls(std::span<const double> y,
-                                       std::span<const double> w,
-                                       std::size_t num_groups,
-                                       const CostParams& cost) {
+KnotProducts knot_products(std::span<const double> y,
+                           std::span<const double> w,
+                           std::size_t num_groups) {
   const auto S = y.subspan(0, num_groups);
   const auto I = y.subspan(num_groups, num_groups);
   const auto psi = w.subspan(0, num_groups);
   const auto phi = w.subspan(num_groups, num_groups);
 
-  double psi_s = 0.0, s2 = 0.0, phi_i = 0.0, i2 = 0.0;
+  KnotProducts products;
   for (std::size_t i = 0; i < num_groups; ++i) {
-    psi_s += psi[i] * S[i];
-    s2 += S[i] * S[i];
-    phi_i += phi[i] * I[i];
-    i2 += I[i] * I[i];
+    products.psi_s += psi[i] * S[i];
+    products.s2 += S[i] * S[i];
+    products.phi_i += phi[i] * I[i];
+    products.i2 += I[i] * I[i];
   }
+  return products;
+}
+
+StationaryControls stationary_controls(const KnotProducts& products,
+                                       const CostParams& cost) {
   StationaryControls out;
   // Degenerate denominators (all-zero S or I) mean the control has no
   // effect; zero effort is then optimal for the quadratic cost.
-  out.epsilon1 = s2 > 0.0 ? psi_s / (2.0 * cost.c1 * s2) : 0.0;
-  out.epsilon2 = i2 > 0.0 ? phi_i / (2.0 * cost.c2 * i2) : 0.0;
+  out.epsilon1 =
+      products.s2 > 0.0 ? products.psi_s / (2.0 * cost.c1 * products.s2) : 0.0;
+  out.epsilon2 =
+      products.i2 > 0.0 ? products.phi_i / (2.0 * cost.c2 * products.i2) : 0.0;
   return out;
+}
+
+StationaryControls stationary_controls(std::span<const double> y,
+                                       std::span<const double> w,
+                                       std::size_t num_groups,
+                                       const CostParams& cost) {
+  return stationary_controls(knot_products(y, w, num_groups), cost);
 }
 
 }  // namespace rumor::control

@@ -32,6 +32,12 @@ namespace rumor::control {
 
 /// Adjoint RHS in the reversed clock s = tf − t. Costate layout:
 /// w = [ψ_1..ψ_n, φ_1..φ_n].
+///
+/// The RHS is allocation-free: the forward state is read through a
+/// trajectory cursor into a preallocated scratch buffer, and the
+/// λ_j and ϕ_j/⟨k⟩ coupling coefficients are precomputed once. The
+/// cursor makes the instance stateful, so it is not thread-safe — use
+/// one system per concurrent backward integration.
 class BackwardCostateSystem final : public ode::OdeSystem {
  public:
   /// `state` is the forward solution on [t0, tf] (read by interpolation),
@@ -57,10 +63,35 @@ class BackwardCostateSystem final : public ode::OdeSystem {
   const core::SirNetworkModel& model_;
   const ode::Trajectory& state_;
   const core::ControlSchedule& schedule_;
+  const core::PiecewiseLinearControl* piecewise_schedule_;  ///< devirtualized
   CostParams cost_;
   double tf_;
   bool diagonal_;
+  std::vector<double> phi_over_k_;        ///< ϕ_j/⟨k⟩, precomputed
+  mutable ode::Trajectory::Cursor state_cursor_;
+  mutable ode::State y_scratch_;          ///< interpolated forward state
+  // Stage cache: RK4 evaluates two of its four stages at the same time
+  // point, and the interpolated state, controls, and Θ depend on t only
+  // (the costate-dependent coupling term is always recomputed). Reusing
+  // the previous values is bit-identical by construction.
+  mutable double cached_t_;
+  mutable double cached_e1_ = 0.0;
+  mutable double cached_e2_ = 0.0;
+  mutable double cached_theta_ = 0.0;
 };
+
+/// The four state/costate contractions shared by the stationary-control
+/// formula (18) and the control gradient ∂H/∂ε:
+///   Σψ_i S_i, ΣS_i², Σφ_i I_i, ΣI_i².
+struct KnotProducts {
+  double psi_s = 0.0;
+  double s2 = 0.0;
+  double phi_i = 0.0;
+  double i2 = 0.0;
+};
+KnotProducts knot_products(std::span<const double> y,
+                           std::span<const double> w,
+                           std::size_t num_groups);
 
 /// Interior stationary controls from the costate (paper Eq. (18)):
 ///   ε1 = Σ ψ_i S_i / (2 c1 Σ S_i²),  ε2 = Σ φ_i I_i / (2 c2 Σ I_i²),
@@ -72,6 +103,10 @@ struct StationaryControls {
 StationaryControls stationary_controls(std::span<const double> y,
                                        std::span<const double> w,
                                        std::size_t num_groups,
+                                       const CostParams& cost);
+/// Same formula from precomputed contractions (the sweep's knot loop
+/// evaluates the products once and shares them with the gradient path).
+StationaryControls stationary_controls(const KnotProducts& products,
                                        const CostParams& cost);
 
 }  // namespace rumor::control

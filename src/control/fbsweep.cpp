@@ -10,6 +10,7 @@
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/math.hpp"
+#include "util/parallel.hpp"
 
 namespace rumor::control {
 
@@ -40,16 +41,57 @@ std::shared_ptr<core::PiecewiseLinearControl> make_schedule(
 
 // Forward-time view of the backward costate solution: sample k of the
 // backward run is at s_k = tf − t, so reverse it into a Trajectory
-// indexed by t for reporting and interpolation.
-ode::Trajectory reverse_costate(const ode::Trajectory& backward, double tf) {
-  ode::Trajectory forward(backward.dimension());
+// indexed by t for reporting and interpolation. Writes into `forward`
+// (reset, capacity kept) so the sweep loop reuses one buffer.
+void reverse_costate_into(const ode::Trajectory& backward, double tf,
+                          ode::Trajectory& forward) {
+  forward.reset(backward.dimension());
   for (std::size_t k = backward.size(); k-- > 0;) {
     const double t = tf - backward.times()[k];
     // Guard against duplicate knots from floating-point endpoints.
     if (!forward.empty() && t <= forward.back_time()) continue;
     forward.push_back(t, backward.state(k));
   }
-  return forward;
+}
+
+// Buffers reused across sweep iterations so the hot loop performs no
+// trajectory or control-grid reallocation after the first pass.
+struct SweepWorkspace {
+  ode::Trajectory state;     ///< forward pass
+  ode::Trajectory backward;  ///< costate in the reversed clock
+  ode::Trajectory costate;   ///< costate re-based to forward time
+  ode::Trajectory trial;     ///< line-search candidate forward pass
+  std::vector<KnotProducts> products;  ///< per-knot contractions
+  std::vector<double> integrand;       ///< evaluate_cost scratch
+  std::vector<double> t1, t2;          ///< line-search candidate controls
+  std::vector<double> g1, g2;          ///< control gradient at the knots
+};
+
+// The state/costate contractions at every grid knot — the loop both
+// optimizers' control updates are built from. Cursor interpolation
+// (the knots are visited in increasing time order) and parallel over
+// knots when the problem is big enough to amortize the pool dispatch;
+// per-knot results are independent, so the outcome is identical at any
+// thread count.
+void knot_products_on_grid(const std::vector<double>& grid,
+                           const ode::Trajectory& state,
+                           const ode::Trajectory& costate, std::size_t n,
+                           std::vector<KnotProducts>& products) {
+  const std::size_t m = grid.size();
+  products.resize(m);
+  // Below this many flops the pool dispatch costs more than the loop.
+  const std::size_t grain = (m * n >= 4096) ? 32 : m;
+  util::parallel_for_chunks(
+      0, m, grain, [&](std::size_t, std::size_t lo, std::size_t hi) {
+        ode::Trajectory::Cursor state_cursor(state);
+        ode::Trajectory::Cursor costate_cursor(costate);
+        ode::State y(2 * n), w(2 * n);
+        for (std::size_t k = lo; k < hi; ++k) {
+          state_cursor.at_into(grid[k], y);
+          costate_cursor.at_into(grid[k], w);
+          products[k] = knot_products(y, w, n);
+        }
+      });
 }
 
 // Monotone alternative to the FBSM fixed point: projected gradient with
@@ -77,15 +119,19 @@ SweepResult solve_projected_gradient(const core::SirNetworkModel& model,
   std::vector<double> e2(m, util::clamp(options.initial_guess, 0.0,
                                         options.epsilon2_max));
 
+  SweepWorkspace ws;
+  ws.g1.resize(m);
+  ws.g2.resize(m);
+  ws.t1.resize(m);
+  ws.t2.resize(m);
+
   auto forward = [&](const std::vector<double>& c1v,
-                     const std::vector<double>& c2v) {
+                     const std::vector<double>& c2v, ode::Trajectory& into) {
     auto schedule = make_schedule(grid, c1v, c2v);
     work.set_control(schedule);
-    ode::Trajectory state =
-        ode::integrate_fixed(work, stepper, y0, 0.0, tf, fixed);
-    check_forward_pass(state, n);
-    const double j = evaluate_cost(work, state, *schedule, cost).total();
-    return std::pair<ode::Trajectory, double>(std::move(state), j);
+    ode::integrate_fixed_into(work, stepper, y0, 0.0, tf, fixed, into);
+    check_forward_pass(into, n);
+    return evaluate_cost(work, into, *schedule, cost, ws.integrand).total();
   };
 
   SweepResult result;
@@ -107,8 +153,7 @@ SweepResult solve_projected_gradient(const core::SirNetworkModel& model,
     result.iterations = static_cast<std::size_t>(resumed->iteration);
   }
 
-  auto [state, objective] = forward(e1, e2);
-  ode::Trajectory costate;
+  double objective = forward(e1, e2, ws.state);
 
   for (std::size_t iter = first_iter; iter <= options.max_iterations;
        ++iter) {
@@ -116,35 +161,26 @@ SweepResult solve_projected_gradient(const core::SirNetworkModel& model,
     result.objective_history.push_back(objective);
 
     auto schedule = make_schedule(grid, e1, e2);
-    BackwardCostateSystem adjoint(work, state, *schedule, cost, tf,
+    BackwardCostateSystem adjoint(work, ws.state, *schedule, cost, tf,
                                   options.diagonal_costate);
-    ode::Trajectory backward = ode::integrate_fixed(
-        adjoint, stepper, adjoint.terminal_costate(), 0.0, tf, fixed);
-    costate = reverse_costate(backward, tf);
+    ode::integrate_fixed_into(adjoint, stepper, adjoint.terminal_costate(),
+                              0.0, tf, fixed, ws.backward);
+    reverse_costate_into(ws.backward, tf, ws.costate);
 
-    // Gradient at the knots.
-    std::vector<double> g1(m), g2(m);
+    // Gradient at the knots, from the shared contractions.
+    knot_products_on_grid(grid, ws.state, ws.costate, n, ws.products);
     double stationarity = 0.0;
     for (std::size_t k = 0; k < m; ++k) {
-      const double t = grid[k];
-      const ode::State y = state.at(t);
-      const ode::State w = costate.at(t);
-      double psi_s = 0.0, s2 = 0.0, phi_i = 0.0, i2 = 0.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        psi_s += w[i] * y[i];
-        s2 += y[i] * y[i];
-        phi_i += w[n + i] * y[n + i];
-        i2 += y[n + i] * y[n + i];
-      }
-      g1[k] = 2.0 * cost.c1 * e1[k] * s2 - psi_s;
-      g2[k] = 2.0 * cost.c2 * e2[k] * i2 - phi_i;
+      const KnotProducts& p = ws.products[k];
+      ws.g1[k] = 2.0 * cost.c1 * e1[k] * p.s2 - p.psi_s;
+      ws.g2[k] = 2.0 * cost.c2 * e2[k] * p.i2 - p.phi_i;
       stationarity = std::max(
           stationarity,
-          std::abs(e1[k] - util::clamp(e1[k] - g1[k], 0.0,
+          std::abs(e1[k] - util::clamp(e1[k] - ws.g1[k], 0.0,
                                        options.epsilon1_max)));
       stationarity = std::max(
           stationarity,
-          std::abs(e2[k] - util::clamp(e2[k] - g2[k], 0.0,
+          std::abs(e2[k] - util::clamp(e2[k] - ws.g2[k], 0.0,
                                        options.epsilon2_max)));
     }
     result.final_update = stationarity;
@@ -167,18 +203,20 @@ SweepResult solve_projected_gradient(const core::SirNetworkModel& model,
     // Armijo backtracking on the projected step.
     bool accepted = false;
     for (std::size_t bt = 0; bt <= options.gradient_max_backtracks; ++bt) {
-      std::vector<double> t1(m), t2(m);
       double decrease_model = 0.0;
       for (std::size_t k = 0; k < m; ++k) {
-        t1[k] = util::clamp(e1[k] - step * g1[k], 0.0, options.epsilon1_max);
-        t2[k] = util::clamp(e2[k] - step * g2[k], 0.0, options.epsilon2_max);
-        decrease_model += g1[k] * (e1[k] - t1[k]) + g2[k] * (e2[k] - t2[k]);
+        ws.t1[k] =
+            util::clamp(e1[k] - step * ws.g1[k], 0.0, options.epsilon1_max);
+        ws.t2[k] =
+            util::clamp(e2[k] - step * ws.g2[k], 0.0, options.epsilon2_max);
+        decrease_model += ws.g1[k] * (e1[k] - ws.t1[k]) +
+                          ws.g2[k] * (e2[k] - ws.t2[k]);
       }
-      auto [trial_state, trial_j] = forward(t1, t2);
+      const double trial_j = forward(ws.t1, ws.t2, ws.trial);
       if (trial_j <= objective - options.gradient_armijo * decrease_model) {
-        e1 = std::move(t1);
-        e2 = std::move(t2);
-        state = std::move(trial_state);
+        e1.swap(ws.t1);
+        e2.swap(ws.t2);
+        std::swap(ws.state, ws.trial);
         objective = trial_j;
         step *= 2.0;  // optimistic growth for the next iteration
         accepted = true;
@@ -211,8 +249,8 @@ SweepResult solve_projected_gradient(const core::SirNetworkModel& model,
       cp.best_epsilon1 = e1;
       cp.best_epsilon2 = e2;
       cp.objective_history = result.objective_history;
-      cp.state = state;
-      cp.costate = costate;
+      cp.state = ws.state;
+      cp.costate = ws.costate;
       save_sweep_checkpoint(cp, options.checkpoint_path);
     }
   }
@@ -227,7 +265,7 @@ SweepResult solve_projected_gradient(const core::SirNetworkModel& model,
   result.control = make_schedule(grid, e1, e2);
   work.set_control(result.control);
   result.state = ode::integrate_fixed(work, stepper, y0, 0.0, tf, fixed);
-  result.costate = std::move(costate);
+  result.costate = std::move(ws.costate);
   result.cost = evaluate_cost(work, result.state, *result.control, cost);
   return result;
 }
@@ -280,6 +318,8 @@ SweepResult solve_optimal_control(const core::SirNetworkModel& model,
   fixed.dt = dt / static_cast<double>(options.substeps);
   fixed.record_every = options.substeps;  // samples land on the knots
 
+  SweepWorkspace ws;
+
   // FBSM is a fixed-point iteration, not a descent method; keep the best
   // iterate seen so a late limit cycle cannot degrade the answer.
   std::vector<double> best_e1 = e1, best_e2 = e2;
@@ -317,19 +357,18 @@ SweepResult solve_optimal_control(const core::SirNetworkModel& model,
     // (2) forward state pass under the current controls.
     auto schedule = make_schedule(grid, e1, e2);
     work.set_control(schedule);
-    ode::Trajectory state =
-        ode::integrate_fixed(work, stepper, y0, 0.0, tf, fixed);
-    check_forward_pass(state, n);
+    ode::integrate_fixed_into(work, stepper, y0, 0.0, tf, fixed, ws.state);
+    check_forward_pass(ws.state, n);
 
     // (3) backward costate pass.
-    BackwardCostateSystem adjoint(work, state, *schedule, cost, tf,
+    BackwardCostateSystem adjoint(work, ws.state, *schedule, cost, tf,
                                   options.diagonal_costate);
-    ode::Trajectory backward = ode::integrate_fixed(
-        adjoint, stepper, adjoint.terminal_costate(), 0.0, tf, fixed);
-    ode::Trajectory costate = reverse_costate(backward, tf);
+    ode::integrate_fixed_into(adjoint, stepper, adjoint.terminal_costate(),
+                              0.0, tf, fixed, ws.backward);
+    reverse_costate_into(ws.backward, tf, ws.costate);
 
     const double objective =
-        evaluate_cost(work, state, *schedule, cost).total();
+        evaluate_cost(work, ws.state, *schedule, cost, ws.integrand).total();
     result.objective_history.push_back(objective);
     if (objective < best_j) {
       best_j = objective;
@@ -353,13 +392,14 @@ SweepResult solve_optimal_control(const core::SirNetworkModel& model,
       descent_streak = 0;
     }
 
-    // (4) stationary controls, projected and relaxed.
+    // (4) stationary controls, projected and relaxed. The costly part —
+    // interpolating state and costate onto the knots — runs in
+    // parallel; the cheap clamp/relax recurrence stays serial.
+    knot_products_on_grid(grid, ws.state, ws.costate, n, ws.products);
     double update = 0.0;
     for (std::size_t k = 0; k < m; ++k) {
-      const double t = grid[k];
-      const ode::State y = state.at(t);
-      const ode::State w = costate.at(t);
-      const StationaryControls stat = stationary_controls(y, w, n, cost);
+      const StationaryControls stat =
+          stationary_controls(ws.products[k], cost);
       if (!std::isfinite(stat.epsilon1) || !std::isfinite(stat.epsilon2)) {
         throw util::InternalError(
             "solve_optimal_control: non-finite stationary control — the "
@@ -422,8 +462,8 @@ SweepResult solve_optimal_control(const core::SirNetworkModel& model,
       cp.best_epsilon1 = best_e1;
       cp.best_epsilon2 = best_e2;
       cp.objective_history = result.objective_history;
-      cp.state = state;
-      cp.costate = costate;
+      cp.state = ws.state;
+      cp.costate = ws.costate;
       save_sweep_checkpoint(cp, options.checkpoint_path);
     }
     if (iter == options.max_iterations) {
@@ -443,9 +483,9 @@ SweepResult solve_optimal_control(const core::SirNetworkModel& model,
   result.state = ode::integrate_fixed(work, stepper, y0, 0.0, tf, fixed);
   BackwardCostateSystem adjoint(work, result.state, *result.control, cost, tf,
                                 options.diagonal_costate);
-  ode::Trajectory backward = ode::integrate_fixed(
-      adjoint, stepper, adjoint.terminal_costate(), 0.0, tf, fixed);
-  result.costate = reverse_costate(backward, tf);
+  ode::integrate_fixed_into(adjoint, stepper, adjoint.terminal_costate(), 0.0,
+                            tf, fixed, ws.backward);
+  reverse_costate_into(ws.backward, tf, result.costate);
   result.cost = evaluate_cost(work, result.state, *result.control, cost);
   return result;
 }

@@ -31,6 +31,9 @@ class ShiftedControl final : public core::ControlSchedule {
   double epsilon2(double t) const override {
     return inner_->epsilon2(t - offset_);
   }
+  core::Epsilons epsilons(double t) const override {
+    return inner_->epsilons(t - offset_);
+  }
 
  private:
   std::shared_ptr<const core::ControlSchedule> inner_;
@@ -203,9 +206,11 @@ MpcResult run_loop(const core::SirNetworkModel& model, const ode::State& y0,
 
   const double eps = 1e-9 * options.replan_interval;
 
+  // Per-segment integration workspace, reused across the whole loop.
+  ode::Trajectory piece(model.dimension());
+
   auto record = [&](double time, std::span<const double> state) {
-    const double e1 = policy->epsilon1(time);
-    const double e2 = policy->epsilon2(time);
+    const auto [e1, e2] = policy->epsilons(time);
     loop.state.push_back(time, state);
     loop.times.push_back(time);
     loop.epsilon1.push_back(e1);
@@ -233,8 +238,8 @@ MpcResult run_loop(const core::SirNetworkModel& model, const ode::State& y0,
     plant.set_control(policy);
     ode::FixedStepOptions fixed;
     fixed.dt = options.plant_dt;
-    const auto piece = ode::integrate_fixed(plant, stepper, loop.y, loop.t,
-                                            loop.t + segment, fixed);
+    ode::integrate_fixed_into(plant, stepper, loop.y, loop.t,
+                              loop.t + segment, fixed, piece);
     for (std::size_t k = 1; k < piece.size(); ++k) {
       record(piece.times()[k], piece.state(k));
     }

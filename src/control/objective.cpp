@@ -31,21 +31,29 @@ CostBreakdown evaluate_cost(const core::SirNetworkModel& model,
                             const ode::Trajectory& trajectory,
                             const core::ControlSchedule& schedule,
                             const CostParams& cost) {
+  std::vector<double> integrand;
+  return evaluate_cost(model, trajectory, schedule, cost, integrand);
+}
+
+CostBreakdown evaluate_cost(const core::SirNetworkModel& model,
+                            const ode::Trajectory& trajectory,
+                            const core::ControlSchedule& schedule,
+                            const CostParams& cost,
+                            std::vector<double>& integrand_scratch) {
   cost.validate();
   util::require(!trajectory.empty(), "evaluate_cost: empty trajectory");
   const std::size_t n = model.num_groups();
 
-  std::vector<double> integrand;
-  integrand.reserve(trajectory.size());
+  integrand_scratch.clear();
+  integrand_scratch.reserve(trajectory.size());
   for (std::size_t k = 0; k < trajectory.size(); ++k) {
-    const double t = trajectory.times()[k];
-    integrand.push_back(running_cost(cost, trajectory.state(k), n,
-                                     schedule.epsilon1(t),
-                                     schedule.epsilon2(t)));
+    const auto [e1, e2] = schedule.epsilons(trajectory.times()[k]);
+    integrand_scratch.push_back(
+        running_cost(cost, trajectory.state(k), n, e1, e2));
   }
 
   CostBreakdown breakdown;
-  breakdown.running = util::trapezoid(trajectory.times(), integrand);
+  breakdown.running = util::trapezoid(trajectory.times(), integrand_scratch);
   breakdown.terminal =
       cost.terminal_weight * model.total_infected(trajectory.back_state());
   return breakdown;

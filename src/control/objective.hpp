@@ -38,4 +38,12 @@ CostBreakdown evaluate_cost(const core::SirNetworkModel& model,
                             const core::ControlSchedule& schedule,
                             const CostParams& cost);
 
+/// Workspace variant: the integrand samples go into `integrand_scratch`
+/// (cleared, capacity kept) so per-iteration callers avoid reallocating.
+CostBreakdown evaluate_cost(const core::SirNetworkModel& model,
+                            const ode::Trajectory& trajectory,
+                            const core::ControlSchedule& schedule,
+                            const CostParams& cost,
+                            std::vector<double>& integrand_scratch);
+
 }  // namespace rumor::control

@@ -11,6 +11,8 @@ SirNetworkModel::SirNetworkModel(NetworkProfile profile, ModelParams params,
       control_(std::move(control)) {
   params_.validate();
   util::require(control_ != nullptr, "SirNetworkModel: control is null");
+  piecewise_control_ =
+      dynamic_cast<const PiecewiseLinearControl*>(control_.get());
   const std::size_t n = profile_.num_groups();
   lambda_.resize(n);
   phi_.resize(n);
@@ -25,26 +27,31 @@ void SirNetworkModel::set_control(
     std::shared_ptr<const ControlSchedule> control) {
   util::require(control != nullptr, "SirNetworkModel::set_control: null");
   control_ = std::move(control);
+  piecewise_control_ =
+      dynamic_cast<const PiecewiseLinearControl*>(control_.get());
 }
 
 void SirNetworkModel::rhs(double t, std::span<const double> y,
                           std::span<double> dydt) const {
   const std::size_t n = num_groups();
-  const auto S = y.subspan(0, n);
-  const auto I = y.subspan(n, n);
-  auto dS = dydt.subspan(0, n);
-  auto dI = dydt.subspan(n, n);
+  const double* S = y.data();
+  const double* I = y.data() + n;
+  double* dS = dydt.data();
+  double* dI = dydt.data() + n;
 
-  const double e1 = control_->epsilon1(t);
-  const double e2 = control_->epsilon2(t);
+  const auto [e1, e2] = epsilons(t);
   const double alpha = params_.alpha;
+  const double* phi = phi_.data();
+  const double* lambda = lambda_.data();
 
+  // Θ reduction, then one fused pass over contiguous arrays: both
+  // derivative halves per group from one load of S[i]/I[i].
   double th = 0.0;
-  for (std::size_t i = 0; i < n; ++i) th += phi_[i] * I[i];
+  for (std::size_t i = 0; i < n; ++i) th += phi[i] * I[i];
   th /= profile_.mean_degree();
 
   for (std::size_t i = 0; i < n; ++i) {
-    const double infection = lambda_[i] * S[i] * th;
+    const double infection = lambda[i] * S[i] * th;
     dS[i] = alpha - infection - e1 * S[i];
     dI[i] = infection - e2 * I[i];
   }

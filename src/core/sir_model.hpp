@@ -83,9 +83,18 @@ class SirNetworkModel final : public ode::OdeSystem {
   ode::State initial_state(std::span<const double> infected0) const;
 
  private:
+  /// Both controls at t, devirtualized for the dominant schedule type:
+  /// the optimizer's piecewise-linear policies go through the inlined
+  /// fast path, everything else through the virtual call.
+  Epsilons epsilons(double t) const {
+    return piecewise_control_ != nullptr ? piecewise_control_->epsilons(t)
+                                         : control_->epsilons(t);
+  }
+
   NetworkProfile profile_;
   ModelParams params_;
   std::shared_ptr<const ControlSchedule> control_;
+  const PiecewiseLinearControl* piecewise_control_ = nullptr;
   std::vector<double> lambda_;  // λ(k_i)
   std::vector<double> phi_;     // ω(k_i) P(k_i)
 };

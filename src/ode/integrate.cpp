@@ -9,6 +9,14 @@ namespace rumor::ode {
 Trajectory integrate_fixed(const OdeSystem& system, Stepper& stepper,
                            const State& y0, double t0, double t1,
                            const FixedStepOptions& options) {
+  Trajectory out(system.dimension());
+  integrate_fixed_into(system, stepper, y0, t0, t1, options, out);
+  return out;
+}
+
+void integrate_fixed_into(const OdeSystem& system, Stepper& stepper,
+                          const State& y0, double t0, double t1,
+                          const FixedStepOptions& options, Trajectory& out) {
   const std::size_t n = system.dimension();
   util::require(y0.size() == n, "integrate_fixed: y0 dimension mismatch");
   util::require(t1 > t0, "integrate_fixed: need t1 > t0");
@@ -16,9 +24,9 @@ Trajectory integrate_fixed(const OdeSystem& system, Stepper& stepper,
   util::require(options.record_every >= 1,
                 "integrate_fixed: record_every must be >= 1");
 
-  Trajectory out(n);
+  out.reset(n);
   out.push_back(t0, y0);
-  if (options.stop_when && options.stop_when(t0, y0)) return out;
+  if (options.stop_when && options.stop_when(t0, y0)) return;
 
   State y = y0;
   State y_next(n);
@@ -37,10 +45,9 @@ Trajectory integrate_fixed(const OdeSystem& system, Stepper& stepper,
     const bool is_last = t >= t1 - t_eps;
     if (is_last || step_index % options.record_every == 0) {
       out.push_back(t, y);
-      if (options.stop_when && options.stop_when(t, y)) return out;
+      if (options.stop_when && options.stop_when(t, y)) return;
     }
   }
-  return out;
 }
 
 Trajectory integrate_rk4(const OdeSystem& system, const State& y0, double t0,

@@ -32,6 +32,14 @@ Trajectory integrate_fixed(const OdeSystem& system, Stepper& stepper,
                            const State& y0, double t0, double t1,
                            const FixedStepOptions& options);
 
+/// Workspace variant of integrate_fixed: records into `out`, which is
+/// reset to the system dimension but keeps its allocated capacity —
+/// iteration loops (the forward-backward sweep, MPC segments) reuse one
+/// trajectory instead of reallocating every pass.
+void integrate_fixed_into(const OdeSystem& system, Stepper& stepper,
+                          const State& y0, double t0, double t1,
+                          const FixedStepOptions& options, Trajectory& out);
+
 /// Convenience: RK4 with the given dt, recording every step.
 Trajectory integrate_rk4(const OdeSystem& system, const State& y0, double t0,
                          double t1, double dt);

@@ -30,6 +30,12 @@ void Trajectory::push_back(double t, std::span<const double> y) {
   flat_.insert(flat_.end(), y.begin(), y.end());
 }
 
+void Trajectory::reset(std::size_t dimension) {
+  dimension_ = dimension;
+  times_.clear();
+  flat_.clear();
+}
+
 std::vector<double> Trajectory::component(std::size_t i) const {
   util::require(i < dimension_, "Trajectory::component: index out of range");
   std::vector<double> out;
@@ -38,36 +44,52 @@ std::vector<double> Trajectory::component(std::size_t i) const {
   return out;
 }
 
-State Trajectory::at(double t) const {
-  util::require(!empty(), "Trajectory::at: empty trajectory");
-  if (t <= times_.front()) return State(front_state().begin(),
-                                        front_state().end());
-  if (t >= times_.back()) return State(back_state().begin(),
-                                       back_state().end());
+Trajectory::Segment Trajectory::locate(double t) const {
+  util::require(!empty(), "Trajectory::locate: empty trajectory");
+  if (t <= times_.front()) return {0, 0};
+  if (t >= times_.back()) return {size() - 1, size() - 1};
   const auto it = std::upper_bound(times_.begin(), times_.end(), t);
   const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
-  const std::size_t lo = hi - 1;
-  const double w = (t - times_[lo]) / (times_[hi] - times_[lo]);
+  return {hi - 1, hi};
+}
+
+void Trajectory::throw_dimension_mismatch() const {
+  throw util::InvalidArgument("Trajectory: output span dimension mismatch");
+}
+
+double Trajectory::component_of(Segment segment, std::size_t i,
+                                double t) const {
+  util::require(i < dimension_,
+                "Trajectory::component_at: index out of range");
+  if (segment.lo == segment.hi) return state(segment.lo)[i];
+  const double w = (t - times_[segment.lo]) /
+                   (times_[segment.hi] - times_[segment.lo]);
+  return (1.0 - w) * state(segment.lo)[i] + w * state(segment.hi)[i];
+}
+
+State Trajectory::at(double t) const {
   State out(dimension_);
-  const auto a = state(lo);
-  const auto b = state(hi);
-  for (std::size_t i = 0; i < dimension_; ++i) {
-    out[i] = (1.0 - w) * a[i] + w * b[i];
-  }
+  segment_state(locate(t), t, out);
   return out;
 }
 
+void Trajectory::at_into(double t, std::span<double> out) const {
+  segment_state(locate(t), t, out);
+}
+
 double Trajectory::component_at(std::size_t i, double t) const {
-  util::require(i < dimension_,
-                "Trajectory::component_at: index out of range");
-  util::require(!empty(), "Trajectory::component_at: empty trajectory");
-  if (t <= times_.front()) return front_state()[i];
-  if (t >= times_.back()) return back_state()[i];
-  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
-  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
-  const std::size_t lo = hi - 1;
-  const double w = (t - times_[lo]) / (times_[hi] - times_[lo]);
-  return (1.0 - w) * state(lo)[i] + w * state(hi)[i];
+  return component_of(locate(t), i, t);
+}
+
+Trajectory::Cursor::Cursor(const Trajectory& trajectory)
+    : trajectory_(&trajectory) {
+  util::require(!trajectory.empty(), "Trajectory::Cursor: empty trajectory");
+}
+
+double Trajectory::Cursor::component_at(std::size_t i, double t) {
+  const Segment segment = trajectory_->locate(t, hint_);
+  hint_ = segment.hi;
+  return trajectory_->component_of(segment, i, t);
 }
 
 }  // namespace rumor::ode

@@ -31,15 +31,98 @@ class Trajectory {
   /// sample's; the state must match the trajectory dimension.
   void push_back(double t, std::span<const double> y);
 
+  /// Drop all samples but keep the allocated capacity and set the
+  /// dimension. Lets hot loops reuse one trajectory as a workspace
+  /// instead of reallocating every pass.
+  void reset(std::size_t dimension);
+
   /// Component `i` across all samples (a copy, for plotting/quadrature).
   std::vector<double> component(std::size_t i) const;
+
+  /// Where a query time falls in the recorded grid. `lo == hi` marks a
+  /// clamp to an endpoint sample (copy, no interpolation); otherwise
+  /// `hi` is the first sample with time > t and `lo = hi - 1`.
+  struct Segment {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+  };
+
+  /// Segment lookup by binary search (clamp-then-upper_bound). The one
+  /// shared implementation behind at/at_into/component_at; the Cursor
+  /// uses the hinted overload. Requires a non-empty trajectory.
+  Segment locate(double t) const;
+
+  /// Segment lookup that starts walking from `hint` (a previous
+  /// segment's `hi`). O(1) amortized when successive queries move
+  /// monotonically (either direction); degrades to a linear walk on
+  /// arbitrary jumps. Same result as locate(t) for any hint. Inline:
+  /// this is the costate RHS hot path.
+  Segment locate(double t, std::size_t hint) const {
+    if (t <= times_.front()) return {0, 0};
+    if (t >= times_.back()) return {size() - 1, size() - 1};
+    // t is strictly interior, so size() >= 2 and the first index with
+    // time > t lies in [1, size() - 1]. Walk there from the hint; each
+    // loop restores one side of the upper_bound invariant.
+    std::size_t hi = hint;
+    if (hi < 1 || hi > size() - 1) hi = 1;
+    while (hi > 1 && times_[hi - 1] > t) --hi;
+    while (hi + 1 < size() && times_[hi] <= t) ++hi;
+    return {hi - 1, hi};
+  }
 
   /// Linear interpolation of the full state at time t (clamped to the
   /// recorded range). Requires a non-empty trajectory.
   State at(double t) const;
 
+  /// Allocation-free variant of at(): writes the interpolated state
+  /// into `out` (size must equal dimension()).
+  void at_into(double t, std::span<double> out) const;
+
+  /// Interpolate the state of a located segment into `out`. Exposed so
+  /// the Cursor shares the exact arithmetic of at()/at_into(). Inline
+  /// and throw-only-on-failure: this runs once per RHS evaluation.
+  void segment_state(Segment segment, double t, std::span<double> out) const {
+    if (out.size() != dimension_) throw_dimension_mismatch();
+    const double* a = flat_.data() + segment.lo * dimension_;
+    if (segment.lo == segment.hi) {
+      for (std::size_t i = 0; i < dimension_; ++i) out[i] = a[i];
+      return;
+    }
+    const double w = (t - times_[segment.lo]) /
+                     (times_[segment.hi] - times_[segment.lo]);
+    const double* b = flat_.data() + segment.hi * dimension_;
+    for (std::size_t i = 0; i < dimension_; ++i) {
+      out[i] = (1.0 - w) * a[i] + w * b[i];
+    }
+  }
+
   /// Linear interpolation of one component at time t.
   double component_at(std::size_t i, double t) const;
+
+  /// Stateful interpolation handle for monotone query patterns (forward
+  /// or backward integration sweeps, grid loops): remembers the last
+  /// segment and advances it instead of re-searching. Results are
+  /// bit-identical to at()/at_into() for any query order. Not
+  /// thread-safe; use one cursor per thread. The trajectory must
+  /// outlive the cursor and not grow while it is in use.
+  class Cursor {
+   public:
+    explicit Cursor(const Trajectory& trajectory);
+
+    /// Interpolated full state at t, written into `out`.
+    void at_into(double t, std::span<double> out) {
+      const Segment segment = trajectory_->locate(t, hint_);
+      hint_ = segment.hi;
+      trajectory_->segment_state(segment, t, out);
+    }
+
+    /// Interpolated single component at t.
+    double component_at(std::size_t i, double t);
+
+   private:
+    const Trajectory* trajectory_;
+    std::size_t hint_ = 1;
+  };
 
   /// Per-sample reduction: applies `f(state)` at each sample, returning
   /// one value per time point.
@@ -52,6 +135,9 @@ class Trajectory {
   }
 
  private:
+  double component_of(Segment segment, std::size_t i, double t) const;
+  [[noreturn]] void throw_dimension_mismatch() const;
+
   std::size_t dimension_ = 0;
   std::vector<double> times_;
   std::vector<double> flat_;  // size() * dimension_, row-major

@@ -1,0 +1,25 @@
+// Process-wide heap-allocation counter for perf assertions.
+//
+// Linking the companion rumor_alloc_count library replaces the global
+// operator new/delete family with counting wrappers around malloc/free.
+// It is deliberately NOT part of rumor_util: only binaries that assert
+// on allocation behavior (the bench driver and the zero-allocation
+// tests) link it, so ordinary builds and sanitizer jobs keep the
+// default allocator.
+//
+// Usage:
+//   const auto before = util::allocation_count();
+//   hot_path();
+//   EXPECT_EQ(util::allocation_count() - before, 0u);
+#pragma once
+
+#include <cstdint>
+
+namespace rumor::util {
+
+/// Number of successful heap allocations (all operator-new variants)
+/// since process start. Monotone; thread-safe (relaxed atomic).
+/// Defined by rumor_alloc_count, which a caller must link.
+std::uint64_t allocation_count();
+
+}  // namespace rumor::util

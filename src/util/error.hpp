@@ -34,6 +34,16 @@ class InternalError : public std::logic_error {
 };
 
 /// Require `cond`; otherwise throw InvalidArgument with `message`.
+/// Takes const char* so the success path touches no heap — the message
+/// string is only materialized when the check fails. (The previous
+/// const std::string& signature built a temporary on every call, which
+/// put an allocation into hot loops guarded by cheap checks.)
+inline void require(bool cond, const char* message) {
+  if (!cond) throw InvalidArgument(message);
+}
+
+/// Overload for call sites that compose the message dynamically (rare;
+/// prefer the const char* form anywhere performance matters).
 inline void require(bool cond, const std::string& message) {
   if (!cond) throw InvalidArgument(message);
 }

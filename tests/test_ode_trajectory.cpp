@@ -80,6 +80,103 @@ TEST(Trajectory, EmptyAccessThrows) {
   EXPECT_THROW(traj.state(0), util::InvalidArgument);
 }
 
+TEST(Trajectory, LocateClampsAndBrackets) {
+  const auto traj = make_ramp();
+  // Before the range and exactly at the first sample: endpoint clamp.
+  for (double t : {-5.0, 0.0}) {
+    const auto segment = traj.locate(t);
+    EXPECT_EQ(segment.lo, 0u);
+    EXPECT_EQ(segment.hi, 0u);
+  }
+  // After the range and exactly at the last sample: endpoint clamp.
+  for (double t : {2.0, 99.0}) {
+    const auto segment = traj.locate(t);
+    EXPECT_EQ(segment.lo, 2u);
+    EXPECT_EQ(segment.hi, 2u);
+  }
+  // Interior: hi is the first sample with time > t.
+  const auto mid = traj.locate(0.5);
+  EXPECT_EQ(mid.lo, 0u);
+  EXPECT_EQ(mid.hi, 1u);
+  // Exact interior knot hit brackets [knot, next).
+  const auto knot = traj.locate(1.0);
+  EXPECT_EQ(knot.lo, 1u);
+  EXPECT_EQ(knot.hi, 2u);
+}
+
+TEST(Trajectory, HintedLocateMatchesPlainForAnyHint) {
+  const auto traj = make_ramp();
+  for (double t : {-1.0, 0.0, 0.3, 1.0, 1.7, 2.0, 3.0}) {
+    const auto expected = traj.locate(t);
+    // Including hints outside the valid [1, size-1] bracket range.
+    for (std::size_t hint : {0u, 1u, 2u, 7u}) {
+      const auto got = traj.locate(t, hint);
+      EXPECT_EQ(got.lo, expected.lo) << "t=" << t << " hint=" << hint;
+      EXPECT_EQ(got.hi, expected.hi) << "t=" << t << " hint=" << hint;
+    }
+  }
+}
+
+TEST(Trajectory, SingleSampleAlwaysClamps) {
+  Trajectory traj(1);
+  traj.push_back(1.0, State{42.0});
+  for (double t : {0.0, 1.0, 5.0}) {
+    EXPECT_DOUBLE_EQ(traj.at(t)[0], 42.0);
+    EXPECT_DOUBLE_EQ(traj.component_at(0, t), 42.0);
+    const auto segment = traj.locate(t);
+    EXPECT_EQ(segment.lo, segment.hi);
+  }
+  Trajectory::Cursor cursor(traj);
+  State out(1);
+  cursor.at_into(2.0, out);
+  EXPECT_DOUBLE_EQ(out[0], 42.0);
+}
+
+TEST(Trajectory, AtIntoMatchesAtBitwise) {
+  const auto traj = make_ramp();
+  State out(2);
+  for (double t : {-1.0, 0.0, 0.1, 0.9999, 1.0, 1.5, 2.0, 3.0}) {
+    const auto expected = traj.at(t);
+    traj.at_into(t, out);
+    EXPECT_EQ(out[0], expected[0]);
+    EXPECT_EQ(out[1], expected[1]);
+  }
+  State wrong(3);
+  EXPECT_THROW(traj.at_into(1.0, wrong), util::InvalidArgument);
+}
+
+TEST(Trajectory, CursorMatchesAtInAnyQueryOrder) {
+  // A non-uniform grid and a deliberately non-monotone query sequence:
+  // the cursor's hint walk must still reproduce at() bit-for-bit.
+  Trajectory traj(1);
+  const double times[] = {0.0, 0.1, 0.35, 1.0, 1.2, 4.0};
+  for (double t : times) traj.push_back(t, State{t * t + 1.0});
+  Trajectory::Cursor cursor(traj);
+  State out(1);
+  const double queries[] = {3.9, 0.05, 1.2,  -2.0, 0.35, 2.5,
+                            0.0, 4.0,  0.36, 5.0,  1.1,  0.2};
+  for (double t : queries) {
+    cursor.at_into(t, out);
+    EXPECT_EQ(out[0], traj.at(t)[0]) << "t=" << t;
+    EXPECT_EQ(cursor.component_at(0, t), traj.component_at(0, t));
+  }
+}
+
+TEST(Trajectory, CursorRequiresNonEmpty) {
+  Trajectory traj(1);
+  EXPECT_THROW(Trajectory::Cursor cursor(traj), util::InvalidArgument);
+}
+
+TEST(Trajectory, ResetClearsButKeepsNothingVisible) {
+  auto traj = make_ramp();
+  traj.reset(3);
+  EXPECT_TRUE(traj.empty());
+  EXPECT_EQ(traj.dimension(), 3u);
+  traj.push_back(0.5, State{1.0, 2.0, 3.0});
+  EXPECT_EQ(traj.size(), 1u);
+  EXPECT_DOUBLE_EQ(traj.front_time(), 0.5);
+}
+
 TEST(Trajectory, MapAppliesReduction) {
   const auto traj = make_ramp();
   const auto sums = traj.map([](std::span<const double> y) {

@@ -1,0 +1,99 @@
+// Zero-allocation guarantees of the optimal-control hot path.
+//
+// This binary links rumor_alloc_count, which replaces the global
+// operator new/delete with counting wrappers, so these tests observe
+// every heap allocation in the process. The contract under test: after
+// construction (warm-up), the costate RHS, the trajectory cursor, and
+// the fixed-step integration inner loop allocate nothing.
+#include <gtest/gtest.h>
+
+#include "control/costate.hpp"
+#include "core/sir_model.hpp"
+#include "ode/integrate.hpp"
+#include "ode/steppers.hpp"
+#include "util/alloc_count.hpp"
+
+namespace rumor {
+namespace {
+
+core::SirNetworkModel make_model() {
+  core::ModelParams params;
+  params.alpha = 0.05;
+  params.lambda = core::Acceptance::linear(0.05);
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  return core::SirNetworkModel(
+      core::NetworkProfile::from_pmf({1.0, 4.0, 12.0, 30.0},
+                                     {0.5, 0.3, 0.15, 0.05}),
+      params, core::make_constant_control(0.1, 0.2));
+}
+
+TEST(AllocCount, HookIsLinkedAndCounting) {
+  const auto before = util::allocation_count();
+  // Call the allocation function directly: a new-expression may be
+  // elided entirely by the optimizer, a plain function call may not.
+  void* p = ::operator new(64);
+  ::operator delete(p);
+  EXPECT_GE(util::allocation_count() - before, 1u);
+}
+
+TEST(AllocCount, CostateRhsIsAllocationFree) {
+  const auto model = make_model();
+  const auto schedule = core::make_constant_control(0.1, 0.2);
+  const auto traj = ode::integrate_rk4(model, model.initial_state(0.02),
+                                       0.0, 10.0, 0.01);
+  control::CostParams cost;
+  cost.c1 = 5.0;
+  cost.c2 = 10.0;
+  control::BackwardCostateSystem adjoint(model, traj, *schedule, cost, 10.0);
+  ode::State w = adjoint.terminal_costate();
+  ode::State dwds(w.size());
+
+  adjoint.rhs(0.0, w, dwds);  // warm-up
+
+  const auto before = util::allocation_count();
+  for (int q = 0; q < 5000; ++q) {
+    adjoint.rhs(10.0 * static_cast<double>(q) / 5000.0, w, dwds);
+  }
+  EXPECT_EQ(util::allocation_count() - before, 0u);
+}
+
+TEST(AllocCount, TrajectoryCursorIsAllocationFree) {
+  const auto model = make_model();
+  const auto traj = ode::integrate_rk4(model, model.initial_state(0.02),
+                                       0.0, 10.0, 0.01);
+  ode::Trajectory::Cursor cursor(traj);
+  ode::State out(traj.dimension());
+  cursor.at_into(0.0, out);
+
+  const auto before = util::allocation_count();
+  for (int q = 0; q < 5000; ++q) {
+    cursor.at_into(10.0 * static_cast<double>(q) / 5000.0, out);
+  }
+  EXPECT_EQ(util::allocation_count() - before, 0u);
+}
+
+TEST(AllocCount, WarmIntegrationAllocationsIndependentOfStepCount) {
+  // A warm integrate_fixed_into pays a small constant per-call setup
+  // (the two step buffers); the inner loop itself — stepper stages, RHS
+  // evaluations, trajectory recording into reserved capacity — must be
+  // allocation-free. Pinned by comparing runs of 1000 and 4000 steps.
+  const auto model = make_model();
+  ode::Rk4Stepper stepper;
+  ode::FixedStepOptions fixed;
+  fixed.dt = 0.01;
+  const auto y0 = model.initial_state(0.02);
+  ode::Trajectory traj(model.dimension());
+  ode::integrate_fixed_into(model, stepper, y0, 0.0, 40.0, fixed, traj);
+
+  auto count = [&](double t1) {
+    const auto before = util::allocation_count();
+    ode::integrate_fixed_into(model, stepper, y0, 0.0, t1, fixed, traj);
+    return util::allocation_count() - before;
+  };
+  const auto short_run = count(10.0);
+  const auto long_run = count(40.0);
+  EXPECT_EQ(long_run, short_run);
+}
+
+}  // namespace
+}  // namespace rumor
