@@ -1,15 +1,15 @@
 // BENCH-DRIVER — the perf-regression harness.
 //
 // A plain executable (no google-benchmark dependency) that times the
-// optimal-control hot paths, counts RHS evaluations and heap
-// allocations, and writes one machine-readable JSON report
-// (BENCH_pr3.json by default). CI runs it on every push and fails the
-// build if the forward-backward sweep case regresses more than 25%
-// against the committed baseline (bench/baseline/BENCH_pr3.json).
+// hot paths, counts RHS evaluations and heap allocations, and writes
+// one machine-readable JSON report. CI runs both suites on every push
+// and fails the build on a >25% regression against the committed
+// baselines (bench/baseline/BENCH_pr3.json, BENCH_pr4.json).
 //
-//   bench_driver [--out PATH] [--baseline PATH] [--repeat N]
+//   bench_driver [--suite control|agents] [--out PATH] [--baseline PATH]
+//                [--repeat N]
 //
-// Cases:
+// Suite "control" (default; report BENCH_pr3.json):
 //   trajectory_interp  cursor-based Trajectory interpolation, ns/query
 //   costate_rhs        adjoint RHS (n = 20 groups), ns/eval and
 //                      allocations/eval (must be 0 after warm-up)
@@ -19,6 +19,17 @@
 //                      BM_FullSolveSmall), median wall ms over --repeat
 //   pg_small           projected-gradient solve, same problem
 //   mpc_small          receding-horizon loop, wall ms
+//
+// Suite "agents" (report BENCH_pr4.json): the dense vs frontier agent
+// engines on a Digg-scale BA graph (71367 × m=12) and a million-node
+// BA graph (m=3), identical seeds/params per pair — the engines are
+// bit-identical, so each pair times the same trajectory. Reported per
+// case: steps_per_sec, edges_per_step (CSR entries touched),
+// allocs_per_step (must be 0 warm), prevalence at the end of the
+// window, and speedup_vs_dense for the frontier cases. Gates: the
+// BA-1M window must stay at ≤1% prevalence, the frontier engine must
+// beat dense ≥10× there, and against a baseline the frontier BA-1M
+// steps_per_sec may not regress >25%.
 //
 // Allocation counting comes from the rumor_alloc_count link-in (global
 // operator new/delete replacement); RHS evaluations from a counting
@@ -34,10 +45,13 @@
 
 #include "bench/common.hpp"
 #include "control/mpc.hpp"
+#include "graph/generators.hpp"
 #include "ode/integrate.hpp"
+#include "sim/agent_sim.hpp"
 #include "util/alloc_count.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
+#include "util/random.hpp"
 
 namespace {
 
@@ -74,6 +88,12 @@ struct CaseResult {
   double allocs_per_eval = -1.0;
   std::int64_t rhs_evals = -1;
   std::int64_t iterations = -1;
+  // Agent-suite fields.
+  double steps_per_sec = -1.0;
+  double edges_per_step = -1.0;
+  double allocs_per_step = -1.0;
+  double prevalence = -1.0;
+  double speedup_vs_dense = -1.0;
 };
 
 control::SweepOptions small_solve_options() {
@@ -216,6 +236,19 @@ std::string to_json(const std::vector<CaseResult>& cases, bool optimized) {
     }
     if (r.rhs_evals >= 0) json << ",\"rhs_evals\":" << r.rhs_evals;
     if (r.iterations >= 0) json << ",\"iterations\":" << r.iterations;
+    if (r.steps_per_sec >= 0.0) {
+      json << ",\"steps_per_sec\":" << r.steps_per_sec;
+    }
+    if (r.edges_per_step >= 0.0) {
+      json << ",\"edges_per_step\":" << r.edges_per_step;
+    }
+    if (r.allocs_per_step >= 0.0) {
+      json << ",\"allocs_per_step\":" << r.allocs_per_step;
+    }
+    if (r.prevalence >= 0.0) json << ",\"prevalence\":" << r.prevalence;
+    if (r.speedup_vs_dense >= 0.0) {
+      json << ",\"speedup_vs_dense\":" << r.speedup_vs_dense;
+    }
     json << "}";
   }
   json << "]}\n";
@@ -235,17 +268,176 @@ double extract_case_field(const std::string& json, const std::string& name,
   return std::strtod(json.c_str() + key + field.size() + 3, nullptr);
 }
 
+// ---- agent-simulation suite ----------------------------------------
+
+/// Time `measured` warm steps of one engine on `g`. Both engines of a
+/// pair run the same seed and params, and the engines are bit-identical
+/// by contract, so the pair times the exact same trajectory.
+CaseResult run_agent_case(const char* name, const graph::Graph& g,
+                          sim::AgentEngine engine, std::size_t seeds,
+                          int warm, int measured) {
+  sim::AgentParams params;
+  params.lambda = core::Acceptance::linear(0.1);  // slow spread: the
+  params.omega = core::Infectivity::saturating(0.5, 0.5);  // low-
+  params.epsilon2 = 0.1;  // prevalence regime the frontier targets
+  params.dt = 0.1;
+  params.engine = engine;
+  sim::AgentSimulation simulation(g, params, /*seed=*/12345);
+  simulation.seed_random_infections(seeds);
+  for (int s = 0; s < warm; ++s) simulation.step();
+
+  const auto edges_before = simulation.edges_scanned();
+  const auto allocs_before = util::allocation_count();
+  const auto start = Clock::now();
+  for (int s = 0; s < measured; ++s) simulation.step();
+  const double elapsed_ms = ms_since(start);
+  const auto allocs = util::allocation_count() - allocs_before;
+  const auto edges = simulation.edges_scanned() - edges_before;
+
+  CaseResult r;
+  r.name = name;
+  r.wall_ms = elapsed_ms;
+  r.steps_per_sec =
+      static_cast<double>(measured) / (elapsed_ms * 1e-3);
+  r.edges_per_step =
+      static_cast<double>(edges) / static_cast<double>(measured);
+  r.allocs_per_step =
+      static_cast<double>(allocs) / static_cast<double>(measured);
+  r.prevalence = static_cast<double>(simulation.census().infected) /
+                 static_cast<double>(g.num_nodes());
+  return r;
+}
+
+int run_agents_suite(const std::string& out_path,
+                     const std::string& baseline_path, bool optimized) {
+  std::vector<CaseResult> cases;
+
+  {
+    // Digg-scale: the paper's dataset has ~71K users; m = 12 gives a
+    // comparable edge count.
+    util::Xoshiro256 rng(101);
+    const auto digg = graph::barabasi_albert(71367, 12, rng);
+    cases.push_back(run_agent_case("agents_dense_digg", digg,
+                                   sim::AgentEngine::kDense,
+                                   /*seeds=*/100, /*warm=*/2,
+                                   /*measured=*/10));
+    cases.push_back(run_agent_case("agents_frontier_digg", digg,
+                                   sim::AgentEngine::kFrontier,
+                                   /*seeds=*/100, /*warm=*/2,
+                                   /*measured=*/100));
+    cases.back().speedup_vs_dense =
+        cases.back().steps_per_sec / cases[cases.size() - 2].steps_per_sec;
+  }
+  {
+    util::Xoshiro256 rng(202);
+    const auto ba1m = graph::barabasi_albert(1'000'000, 3, rng);
+    cases.push_back(run_agent_case("agents_dense_ba1m", ba1m,
+                                   sim::AgentEngine::kDense,
+                                   /*seeds=*/300, /*warm=*/1,
+                                   /*measured=*/5));
+    cases.push_back(run_agent_case("agents_frontier_ba1m", ba1m,
+                                   sim::AgentEngine::kFrontier,
+                                   /*seeds=*/300, /*warm=*/1,
+                                   /*measured=*/100));
+    cases.back().speedup_vs_dense =
+        cases.back().steps_per_sec / cases[cases.size() - 2].steps_per_sec;
+  }
+
+  const std::string report = to_json(cases, optimized);
+  std::fputs(report.c_str(), stdout);
+  {
+    std::ofstream file(out_path);
+    if (!file) {
+      std::fprintf(stderr, "bench_driver: cannot write %s\n",
+                   out_path.c_str());
+      return 2;
+    }
+    file << report;
+  }
+
+  for (const auto& r : cases) {
+    if (r.allocs_per_step > 0.0) {
+      std::fprintf(stderr,
+                   "bench_driver: FAIL — %s performs %.6f heap "
+                   "allocations per warm step (expected 0)\n",
+                   r.name.c_str(), r.allocs_per_step);
+      return 1;
+    }
+  }
+  // The trajectory is deterministic, so the prevalence gate holds on
+  // any machine: the BA-1M window must stay in the sparse regime the
+  // ≥10x claim is made for.
+  const auto& frontier_1m = cases.back();
+  if (frontier_1m.prevalence > 0.01) {
+    std::fprintf(stderr,
+                 "bench_driver: FAIL — BA-1M window left the <=1%% "
+                 "prevalence regime (%.4f)\n",
+                 frontier_1m.prevalence);
+    return 1;
+  }
+  if (!optimized) {
+    std::fprintf(stderr,
+                 "bench_driver: speedup/baseline gates skipped "
+                 "(unoptimized build)\n");
+    return 0;
+  }
+  std::printf("agents_frontier_ba1m: %.0f steps/s, %.1fx vs dense\n",
+              frontier_1m.steps_per_sec, frontier_1m.speedup_vs_dense);
+  if (frontier_1m.speedup_vs_dense < 10.0) {
+    std::fprintf(stderr,
+                 "bench_driver: FAIL — frontier engine is only %.1fx "
+                 "dense on BA-1M (acceptance floor 10x)\n",
+                 frontier_1m.speedup_vs_dense);
+    return 1;
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream file(baseline_path);
+    if (!file) {
+      std::fprintf(stderr, "bench_driver: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    const double base = extract_case_field(buffer.str(),
+                                           "agents_frontier_ba1m",
+                                           "steps_per_sec");
+    if (base <= 0.0) {
+      std::fprintf(stderr,
+                   "bench_driver: baseline compare skipped "
+                   "(agents_frontier_ba1m steps_per_sec missing)\n");
+      return 0;
+    }
+    const double ratio = frontier_1m.steps_per_sec / base;
+    std::printf(
+        "agents_frontier_ba1m: %.0f steps/s vs baseline %.0f (%.2fx)\n",
+        frontier_1m.steps_per_sec, base, ratio);
+    if (ratio < 0.75) {
+      std::fprintf(stderr,
+                   "bench_driver: FAIL — agents_frontier_ba1m regressed "
+                   "%.0f%% below the committed baseline (limit 25%%)\n",
+                   (1.0 - ratio) * 100.0);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::set_log_level(util::LogLevel::kError);
 
-  std::string out_path = "BENCH_pr3.json";
+  std::string suite = "control";
+  std::string out_path;
   std::string baseline_path;
   std::size_t repeat = 5;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
-    if (arg == "--out" && a + 1 < argc) {
+    if (arg == "--suite" && a + 1 < argc) {
+      suite = argv[++a];
+    } else if (arg == "--out" && a + 1 < argc) {
       out_path = argv[++a];
     } else if (arg == "--baseline" && a + 1 < argc) {
       baseline_path = argv[++a];
@@ -253,14 +445,25 @@ int main(int argc, char** argv) {
       repeat = static_cast<std::size_t>(std::strtoull(argv[++a], nullptr, 10));
     } else {
       std::fprintf(stderr,
-                   "usage: bench_driver [--out PATH] [--baseline PATH] "
-                   "[--repeat N]\n");
+                   "usage: bench_driver [--suite control|agents] "
+                   "[--out PATH] [--baseline PATH] [--repeat N]\n");
       return 2;
     }
   }
   if (repeat == 0) repeat = 1;
+  if (suite != "control" && suite != "agents") {
+    std::fprintf(stderr, "bench_driver: unknown suite '%s'\n",
+                 suite.c_str());
+    return 2;
+  }
+  if (out_path.empty()) {
+    out_path = suite == "agents" ? "BENCH_pr4.json" : "BENCH_pr3.json";
+  }
 
   const bool optimized = bench::warn_if_unoptimized();
+  if (suite == "agents") {
+    return run_agents_suite(out_path, baseline_path, optimized);
+  }
 
   const auto model = bench::fig4_model(10);
   const auto cost = bench::fig4_cost();

@@ -24,11 +24,15 @@
 // simulate-specific: --agents 1 switches to the agent-based simulation
 //   on a concrete graph (--edges, or a BA surrogate of --nodes [2000] ×
 //   --ba-m [3], --graph-seed [7]); --seed [42] --dt [0.1] select the
-//   run; --checkpoint FILE saves resumable state every
-//   --checkpoint-every [50] steps; --resume [1] continues from it;
-//   --max-steps N stops early after N further steps (crash stand-in
-//   for the kill-and-resume test). A resumed run's CSV is bit-identical
-//   to an uninterrupted one at any thread count.
+//   run; --engine [frontier] picks the stepping engine (dense is the
+//   O(N+E) reference sweep; both produce bit-identical trajectories);
+//   --census-every K [1] records every K-th census row (plus the final
+//   one) — pass the same K when resuming; --checkpoint FILE saves
+//   resumable state every --checkpoint-every [50] steps; --resume [1]
+//   continues from it; --max-steps N stops early after N further steps
+//   (crash stand-in for the kill-and-resume test). A resumed run's CSV
+//   is bit-identical to an uninterrupted one at any thread count and
+//   under either engine.
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -265,9 +269,21 @@ int cmd_simulate_agents(const Args& args) {
   params.epsilon1 = args.number("eps1", 0.2);
   params.epsilon2 = args.number("eps2", 0.05);
   params.dt = args.number("dt", 0.1);
+  const std::string engine = args.text("engine").value_or("frontier");
+  if (engine == "dense") {
+    params.engine = sim::AgentEngine::kDense;
+  } else if (engine == "frontier") {
+    params.engine = sim::AgentEngine::kFrontier;
+  } else {
+    throw util::InvalidArgument(
+        "simulate: --engine must be dense or frontier");
+  }
   const auto seed = static_cast<std::uint64_t>(args.number("seed", 42.0));
   const auto total_steps = static_cast<std::size_t>(
       std::ceil(args.number("tf", 100.0) / params.dt));
+  const auto census_every = static_cast<std::size_t>(
+      args.number("census-every", 1.0));
+  util::require(census_every >= 1, "simulate: --census-every must be >= 1");
 
   sim::AgentSimulation simulation(g, params, seed);
   std::vector<sim::Census> history;
@@ -302,7 +318,13 @@ int cmd_simulate_agents(const Args& args) {
   }
   for (std::size_t step = start; step < stop; ++step) {
     simulation.step();
-    history.push_back(simulation.census());
+    // Cadence is keyed to the absolute step count so a resumed run
+    // (with the same --census-every) appends rows on the same schedule
+    // and its CSV stays byte-identical. The true final step is always
+    // recorded so the series ends at tf.
+    if ((step + 1) % census_every == 0 || step + 1 == total_steps) {
+      history.push_back(simulation.census());
+    }
     if (!checkpoint.empty() &&
         ((step + 1 - start) % checkpoint_every == 0 || step + 1 == stop)) {
       save_agent_run(checkpoint, simulation, history);

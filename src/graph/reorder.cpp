@@ -1,0 +1,120 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace rumor::graph {
+
+namespace {
+
+NodeOrder invert(std::vector<NodeId> old_of_new) {
+  NodeOrder order;
+  order.new_of_old.resize(old_of_new.size());
+  for (std::size_t new_id = 0; new_id < old_of_new.size(); ++new_id) {
+    order.new_of_old[old_of_new[new_id]] = static_cast<NodeId>(new_id);
+  }
+  order.old_of_new = std::move(old_of_new);
+  return order;
+}
+
+std::vector<NodeId> ids_by_descending_degree(const Graph& g) {
+  std::vector<NodeId> ids(g.num_nodes());
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  std::stable_sort(ids.begin(), ids.end(), [&](NodeId a, NodeId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  return ids;
+}
+
+}  // namespace
+
+NodeOrder identity_order(const Graph& g) {
+  std::vector<NodeId> ids(g.num_nodes());
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  return invert(std::move(ids));
+}
+
+NodeOrder degree_sorted_order(const Graph& g) {
+  return invert(ids_by_descending_degree(g));
+}
+
+NodeOrder bfs_order(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  // BFS needs the undirected view; for directed graphs the out-CSR
+  // lacks the in-arcs, so build a reverse adjacency once.
+  std::vector<std::size_t> rev_offsets;
+  std::vector<NodeId> rev_targets;
+  if (g.directed()) {
+    rev_offsets.assign(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      rev_offsets[v + 1] =
+          rev_offsets[v] + g.in_degree(static_cast<NodeId>(v));
+    }
+    rev_targets.resize(rev_offsets[n]);
+    std::vector<std::size_t> cursor(rev_offsets.begin(),
+                                    rev_offsets.end() - 1);
+    for (std::size_t u = 0; u < n; ++u) {
+      for (const NodeId v : g.neighbors(static_cast<NodeId>(u))) {
+        rev_targets[cursor[v]++] = static_cast<NodeId>(u);
+      }
+    }
+  }
+
+  const std::vector<NodeId> restarts = ids_by_descending_degree(g);
+  std::vector<NodeId> old_of_new;
+  old_of_new.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::size_t head = 0;  // old_of_new doubles as the BFS queue
+  for (const NodeId root : restarts) {
+    if (visited[root]) continue;
+    visited[root] = true;
+    old_of_new.push_back(root);
+    while (head < old_of_new.size()) {
+      const NodeId u = old_of_new[head++];
+      for (const NodeId v : g.neighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = true;
+          old_of_new.push_back(v);
+        }
+      }
+      if (g.directed()) {
+        for (std::size_t a = rev_offsets[u]; a < rev_offsets[u + 1]; ++a) {
+          const NodeId v = rev_targets[a];
+          if (!visited[v]) {
+            visited[v] = true;
+            old_of_new.push_back(v);
+          }
+        }
+      }
+    }
+  }
+  return invert(std::move(old_of_new));
+}
+
+Graph apply_node_order(const Graph& g, const NodeOrder& order) {
+  const std::size_t n = g.num_nodes();
+  util::require(order.new_of_old.size() == n && order.old_of_new.size() == n,
+                "apply_node_order: order size does not match the graph");
+  std::vector<std::size_t> offsets(n + 1, 0);
+  std::vector<std::uint32_t> in_degree(n);
+  for (std::size_t new_id = 0; new_id < n; ++new_id) {
+    const NodeId old_id = order.old_of_new[new_id];
+    offsets[new_id + 1] = offsets[new_id] + g.out_degree(old_id);
+    in_degree[new_id] = static_cast<std::uint32_t>(g.in_degree(old_id));
+  }
+  std::vector<NodeId> targets(offsets[n]);
+  for (std::size_t new_id = 0; new_id < n; ++new_id) {
+    const NodeId old_id = order.old_of_new[new_id];
+    std::size_t at = offsets[new_id];
+    for (const NodeId old_target : g.neighbors(old_id)) {
+      targets[at++] = order.new_of_old[old_target];
+    }
+    std::sort(targets.begin() + static_cast<std::ptrdiff_t>(offsets[new_id]),
+              targets.begin() + static_cast<std::ptrdiff_t>(at));
+  }
+  return Graph::from_csr(offsets, targets, in_degree, g.directed());
+}
+
+}  // namespace rumor::graph

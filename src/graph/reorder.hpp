@@ -1,0 +1,51 @@
+// Cache-aware node relabelings.
+//
+// The agent simulators stream CSR neighbor lists every step, so the
+// memory layout of node ids is a first-order performance knob: when the
+// hot nodes (the high-degree hubs a rumor cascade touches first and
+// most often) are scattered across the id space, every hazard gather
+// walks cold cache lines. Relabeling the graph so that hot nodes are
+// contiguous — descending-degree order, or BFS order from the largest
+// hub for locality between topological neighbors — compacts the
+// frontier's working set. Relabeling changes node identities (and
+// therefore the per-node RNG streams of a simulation), not the
+// topology: degree sequences, metrics, and mean-field behavior are
+// invariant, and the old↔new id maps let callers translate seed sets
+// and per-node results.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rumor::graph {
+
+/// A node relabeling as both directions of the bijection:
+/// new_of_old[old] == new id, old_of_new[new] == old id.
+struct NodeOrder {
+  std::vector<NodeId> new_of_old;
+  std::vector<NodeId> old_of_new;
+};
+
+/// Identity relabeling (useful as a neutral default for option plumbing).
+NodeOrder identity_order(const Graph& g);
+
+/// Descending total degree, ties broken by ascending old id. Hubs — the
+/// nodes most frequently touched by hazard gathers — land at the front
+/// of every array.
+NodeOrder degree_sorted_order(const Graph& g);
+
+/// Breadth-first order over the undirected view of the graph, started
+/// from the highest-degree node (restarting from the highest-degree
+/// unvisited node per component), so topological neighborhoods map to
+/// contiguous id ranges. Deterministic: queues expand neighbor lists in
+/// CSR order, restarts scan ids in degree-sorted order.
+NodeOrder bfs_order(const Graph& g);
+
+/// Rebuild `g` under the relabeling: node old becomes new_of_old[old],
+/// every arc is remapped, and each neighbor list is sorted by new id
+/// (a canonical layout, independent of the input's arc order). Degree
+/// and in-degree move with the node. Validated through Graph::from_csr.
+Graph apply_node_order(const Graph& g, const NodeOrder& order);
+
+}  // namespace rumor::graph

@@ -1,5 +1,6 @@
 #include "sim/agent_sim.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 
@@ -9,22 +10,28 @@
 namespace rumor::sim {
 
 namespace {
-// Nodes per parallel chunk. Fixed (never derived from the thread
-// count): chunk identity keys the per-chunk RNG stream, so it must be
-// a pure function of the node range for thread-count invariance.
+// Nodes (or frontier-list entries) per parallel chunk. Fixed — never
+// derived from the thread count — so chunk boundaries, and therefore
+// the order transitions are applied in, are a pure function of the
+// work size.
 constexpr std::size_t kStepGrain = 2048;
 
-struct StepDelta {
-  std::int64_t susceptible = 0;
-  std::int64_t infected = 0;
-  std::int64_t ever = 0;
-};
+// Chunks write the packed next-state array concurrently, so chunk
+// boundaries must not split a 64-bit word between two writers.
+static_assert(kStepGrain % PackedCompartments::kNodesPerWord == 0,
+              "step grain must align to packed-compartment words");
+
+// Sentinel for "node not in this list" in the position indices.
+constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
 }  // namespace
 
 void AgentParams::validate() const {
   util::require(epsilon1 >= 0.0 && epsilon2 >= 0.0,
                 "AgentParams: rates must be non-negative");
   util::require(dt > 0.0, "AgentParams: dt must be positive");
+  util::require(engine == AgentEngine::kDense ||
+                    engine == AgentEngine::kFrontier,
+                "AgentParams: unknown engine");
 }
 
 AgentSimulation::AgentSimulation(const graph::Graph& g, AgentParams params,
@@ -34,11 +41,9 @@ AgentSimulation::AgentSimulation(const graph::Graph& g, AgentParams params,
   const std::size_t n = g.num_nodes();
   util::require(n > 0, "AgentSimulation: empty graph");
   state_.assign(n, Compartment::kSusceptible);
-  next_state_.assign(n, Compartment::kSusceptible);
   lambda_over_k_.resize(n);
   omega_over_k_.resize(n);
   infected_weight_.assign(n, 0.0);
-  next_infected_weight_.assign(n, 0.0);
   susceptible_count_ = n;
   std::map<std::size_t, std::size_t> degree_counts;
   for (std::size_t v = 0; v < n; ++v) {
@@ -85,6 +90,27 @@ AgentSimulation::AgentSimulation(const graph::Graph& g, AgentParams params,
       }
     }
   }
+  // Every per-step buffer is sized once here so warm steps never touch
+  // the allocator (pinned by tests/test_perf_alloc.cpp). A full sweep
+  // needs ceil(n / grain) chunks; the sparse path runs two back-to-back
+  // regions over disjoint node sets, which can need one extra chunk per
+  // region for the remainders.
+  const std::size_t max_chunks = (n + kStepGrain - 1) / kStepGrain + 2;
+  chunk_edges_.assign(max_chunks, 0);
+  if (params_.engine == AgentEngine::kDense) {
+    next_state_.assign(n, Compartment::kSusceptible);
+    next_infected_weight_.assign(n, 0.0);
+    chunk_deltas_.assign(max_chunks, StepDelta{});
+  } else {
+    exposure_count_.assign(n, 0);
+    hazard_.assign(n, 0.0);
+    active_pos_.assign(n, kNoPos);
+    infected_pos_.assign(n, kNoPos);
+    active_list_.reserve(n);
+    infected_list_.reserve(n);
+    chunk_transitions_.resize(max_chunks);
+    for (auto& buffer : chunk_transitions_) buffer.reserve(kStepGrain);
+  }
 }
 
 AgentSimulation::GroupDensities AgentSimulation::group_densities() const {
@@ -93,9 +119,9 @@ AgentSimulation::GroupDensities AgentSimulation::group_densities() const {
   out.susceptible.assign(group_degrees_.size(), 0.0);
   out.infected.assign(group_degrees_.size(), 0.0);
   for (std::size_t v = 0; v < num_nodes(); ++v) {
-    if (state_[v] == Compartment::kSusceptible) {
+    if (state_.get(v) == Compartment::kSusceptible) {
       out.susceptible[group_of_[v]] += 1.0;
-    } else if (state_[v] == Compartment::kInfected) {
+    } else if (state_.get(v) == Compartment::kInfected) {
       out.infected[group_of_[v]] += 1.0;
     }
   }
@@ -113,7 +139,7 @@ void AgentSimulation::seed_random_infections(std::size_t count) {
   std::vector<graph::NodeId> susceptible;
   susceptible.reserve(num_nodes());
   for (std::size_t v = 0; v < num_nodes(); ++v) {
-    if (state_[v] == Compartment::kSusceptible) {
+    if (state_.get(v) == Compartment::kSusceptible) {
       susceptible.push_back(static_cast<graph::NodeId>(v));
     }
   }
@@ -131,23 +157,14 @@ void AgentSimulation::seed_infections(
     const std::vector<graph::NodeId>& nodes) {
   for (const graph::NodeId v : nodes) {
     util::require(v < num_nodes(), "seed_infections: node out of range");
-    if (state_[v] != Compartment::kInfected) {
-      if (state_[v] == Compartment::kSusceptible) --susceptible_count_;
-      ++ever_infected_;
-      state_[v] = Compartment::kInfected;
-      infected_weight_[v] = omega_over_k_[v];
-      ++infected_count_;
-    }
+    apply_transition(v, Compartment::kInfected);
   }
 }
 
 void AgentSimulation::block_nodes(const std::vector<graph::NodeId>& nodes) {
   for (const graph::NodeId v : nodes) {
     util::require(v < num_nodes(), "block_nodes: node out of range");
-    if (state_[v] == Compartment::kInfected) --infected_count_;
-    if (state_[v] == Compartment::kSusceptible) --susceptible_count_;
-    state_[v] = Compartment::kRecovered;
-    infected_weight_[v] = 0.0;
+    apply_transition(v, Compartment::kRecovered);
   }
 }
 
@@ -156,8 +173,21 @@ void AgentSimulation::set_control_schedule(
   control_ = std::move(schedule);
 }
 
+double AgentSimulation::gather_hazard(std::size_t v) const {
+  // The one definition of a node's exposure: a fixed-order sum over its
+  // full CSR source list. Both engines call exactly this, which is what
+  // makes them bit-identical — non-infected sources contribute a true
+  // 0.0, and adding 0.0 to a sum of non-negative IEEE doubles does not
+  // perturb it, so skipping or including them yields the same bits
+  // while the *order* of the infected terms (CSR order) is pinned.
+  double hazard = 0.0;
+  for (const graph::NodeId u : exposure_sources(v)) {
+    hazard += infected_weight_[u];
+  }
+  return hazard;
+}
+
 void AgentSimulation::step() {
-  const std::size_t n = num_nodes();
   const double dt = params_.dt;
   const double e1 =
       control_ ? control_->epsilon1(time_) : params_.epsilon1;
@@ -166,30 +196,43 @@ void AgentSimulation::step() {
   const double p_immunize = 1.0 - std::exp(-e1 * dt);
   const double p_block = 1.0 - std::exp(-e2 * dt);
   const std::uint64_t step_key = util::hash_mix(seed_, step_count_);
+  if (frontier()) {
+    step_frontier(p_immunize, p_block, step_key);
+  } else {
+    step_dense(p_immunize, p_block, step_key);
+  }
+  ++step_count_;
+  time_ += dt;
+}
+
+void AgentSimulation::step_dense(double p_immunize, double p_block,
+                                 std::uint64_t step_key) {
+  const std::size_t n = num_nodes();
+  const double dt = params_.dt;
 
   // One fused pass per chunk: gather the hazard of each susceptible
   // node from the current (read-only) state/weight buffers, draw its
-  // transitions from the chunk's counter-keyed stream, and write the
-  // double-buffered next_* arrays (disjoint per chunk, race-free).
-  const StepDelta delta = util::parallel_reduce(
-      std::size_t{0}, n, kStepGrain, StepDelta{},
+  // transitions from its per-node counter stream, and write the
+  // double-buffered next_* arrays (chunks are word-aligned, race-free).
+  util::parallel_for_chunks(
+      std::size_t{0}, n, kStepGrain,
       [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
-        util::Xoshiro256 draw(util::hash_mix(step_key, chunk));
         StepDelta d;
+        std::uint64_t edges = 0;
         for (std::size_t v = lo; v < hi; ++v) {
-          Compartment next = state_[v];
+          const Compartment cur = state_.get(v);
+          Compartment next = cur;
           double weight = 0.0;
-          switch (state_[v]) {
+          switch (cur) {
             case Compartment::kSusceptible: {
+              util::CounterRng draw(util::hash_mix(step_key, v));
               // Truth wins ties: test immunization first.
               if (draw.bernoulli(p_immunize)) {
                 next = Compartment::kRecovered;
                 --d.susceptible;
               } else {
-                double hazard = 0.0;
-                for (const graph::NodeId u : exposure_sources(v)) {
-                  hazard += infected_weight_[u];
-                }
+                const double hazard = gather_hazard(v);
+                edges += exposure_sources(v).size();
                 if (hazard > 0.0) {
                   const double rate = lambda_over_k_[v] * hazard;
                   if (draw.bernoulli(1.0 - std::exp(-rate * dt))) {
@@ -203,7 +246,8 @@ void AgentSimulation::step() {
               }
               break;
             }
-            case Compartment::kInfected:
+            case Compartment::kInfected: {
+              util::CounterRng draw(util::hash_mix(step_key, v));
               if (draw.bernoulli(p_block)) {
                 next = Compartment::kRecovered;
                 --d.infected;
@@ -211,30 +255,269 @@ void AgentSimulation::step() {
                 weight = omega_over_k_[v];
               }
               break;
+            }
             case Compartment::kRecovered:
               break;
           }
-          next_state_[v] = next;
+          next_state_.set(v, next);
           next_infected_weight_[v] = weight;
         }
-        return d;
-      },
-      [](StepDelta a, StepDelta b) {
-        a.susceptible += b.susceptible;
-        a.infected += b.infected;
-        a.ever += b.ever;
-        return a;
+        chunk_deltas_[chunk] = d;
+        chunk_edges_[chunk] = edges;
       });
 
   state_.swap(next_state_);
   infected_weight_.swap(next_infected_weight_);
-  susceptible_count_ = static_cast<std::size_t>(
-      static_cast<std::int64_t>(susceptible_count_) + delta.susceptible);
-  infected_count_ = static_cast<std::size_t>(
-      static_cast<std::int64_t>(infected_count_) + delta.infected);
-  ever_infected_ += static_cast<std::size_t>(delta.ever);
-  ++step_count_;
-  time_ += dt;
+  const std::size_t chunks = (n + kStepGrain - 1) / kStepGrain;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    susceptible_count_ = static_cast<std::size_t>(
+        static_cast<std::int64_t>(susceptible_count_) +
+        chunk_deltas_[c].susceptible);
+    infected_count_ = static_cast<std::size_t>(
+        static_cast<std::int64_t>(infected_count_) +
+        chunk_deltas_[c].infected);
+    ever_infected_ += static_cast<std::size_t>(chunk_deltas_[c].ever);
+    edges_scanned_ += chunk_edges_[c];
+  }
+}
+
+void AgentSimulation::step_frontier(double p_immunize, double p_block,
+                                    std::uint64_t step_key) {
+  const double dt = params_.dt;
+  std::size_t used_chunks = 0;
+
+  if (p_immunize > 0.0) {
+    // Immunization steps: every susceptible node needs a draw, so sweep
+    // all nodes like the dense engine — but the exposure count still
+    // gates the hazard gathers, which is where the edge work lives.
+    const std::size_t n = num_nodes();
+    used_chunks = (n + kStepGrain - 1) / kStepGrain;
+    util::parallel_for_chunks(
+        std::size_t{0}, n, kStepGrain,
+        [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+          auto& out = chunk_transitions_[chunk];
+          out.clear();
+          std::uint64_t edges = 0;
+          for (std::size_t v = lo; v < hi; ++v) {
+            switch (state_.get(v)) {
+              case Compartment::kSusceptible: {
+                util::CounterRng draw(util::hash_mix(step_key, v));
+                if (draw.bernoulli(p_immunize)) {
+                  out.push_back({static_cast<graph::NodeId>(v),
+                                 Compartment::kRecovered});
+                } else if (exposure_count_[v] > 0) {
+                  const double hazard = gather_hazard(v);
+                  edges += exposure_sources(v).size();
+                  if (hazard > 0.0) {
+                    const double rate = lambda_over_k_[v] * hazard;
+                    if (draw.bernoulli(1.0 - std::exp(-rate * dt))) {
+                      out.push_back({static_cast<graph::NodeId>(v),
+                                     Compartment::kInfected});
+                    }
+                  }
+                }
+                break;
+              }
+              case Compartment::kInfected: {
+                util::CounterRng draw(util::hash_mix(step_key, v));
+                if (draw.bernoulli(p_block)) {
+                  out.push_back({static_cast<graph::NodeId>(v),
+                                 Compartment::kRecovered});
+                }
+                break;
+              }
+              case Compartment::kRecovered:
+                break;
+            }
+          }
+          chunk_edges_[chunk] = edges;
+        });
+  } else {
+    // Sparse steps: only the active set (susceptibles with an infected
+    // exposure source) and the infected set can flip. Unvisited nodes
+    // consume no draws in the dense engine either (p <= 0 Bernoulli
+    // trials are free, zero-hazard nodes never reach their infection
+    // draw), and every node owns its own stream, so skipping them
+    // cannot shift anyone else's randomness.
+    const std::size_t active = active_list_.size();
+    const std::size_t active_chunks =
+        (active + kStepGrain - 1) / kStepGrain;
+    util::parallel_for_chunks(
+        std::size_t{0}, active, kStepGrain,
+        [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+          auto& out = chunk_transitions_[chunk];
+          out.clear();
+          std::uint64_t edges = 0;
+          for (std::size_t at = lo; at < hi; ++at) {
+            const graph::NodeId v = active_list_[at];
+            const double hazard = gather_hazard(v);
+            edges += exposure_sources(v).size();
+            if (hazard > 0.0) {
+              util::CounterRng draw(util::hash_mix(step_key, v));
+              const double rate = lambda_over_k_[v] * hazard;
+              if (draw.bernoulli(1.0 - std::exp(-rate * dt))) {
+                out.push_back({v, Compartment::kInfected});
+              }
+            }
+          }
+          chunk_edges_[chunk] = edges;
+        });
+    used_chunks = active_chunks;
+    if (p_block > 0.0) {
+      const std::size_t infected = infected_list_.size();
+      util::parallel_for_chunks(
+          std::size_t{0}, infected, kStepGrain,
+          [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+            auto& out = chunk_transitions_[active_chunks + chunk];
+            out.clear();
+            for (std::size_t at = lo; at < hi; ++at) {
+              const graph::NodeId v = infected_list_[at];
+              util::CounterRng draw(util::hash_mix(step_key, v));
+              if (draw.bernoulli(p_block)) {
+                out.push_back({v, Compartment::kRecovered});
+              }
+            }
+            chunk_edges_[active_chunks + chunk] = 0;
+          });
+      used_chunks += (infected + kStepGrain - 1) / kStepGrain;
+    }
+  }
+
+  // Apply phase, serial and in chunk order: decisions were made against
+  // the step-start state, each node appears at most once, and integer
+  // exposure-count updates commute — so the trajectory is identical for
+  // any thread count (and to the dense engine's double-buffered swap).
+  for (std::size_t c = 0; c < used_chunks; ++c) {
+    for (const Transition& t : chunk_transitions_[c]) {
+      apply_transition(t.node, t.to);
+    }
+    edges_scanned_ += chunk_edges_[c];
+  }
+}
+
+void AgentSimulation::apply_transition(graph::NodeId v, Compartment to) {
+  const Compartment from = state_.get(v);
+  if (from == to) return;
+  if (from == Compartment::kSusceptible) --susceptible_count_;
+  if (from == Compartment::kInfected) --infected_count_;
+  if (to == Compartment::kSusceptible) ++susceptible_count_;
+  if (to == Compartment::kInfected) {
+    ++infected_count_;
+    ++ever_infected_;  // counts re-seeding of recovered nodes too
+  }
+  state_.set(v, to);
+  if (frontier()) {
+    if (from == Compartment::kSusceptible) active_remove_if_present(v);
+    if (from == Compartment::kInfected) infected_remove(v);
+    if (to == Compartment::kInfected) infected_add(v);
+    if (to == Compartment::kSusceptible && exposure_count_[v] > 0) {
+      active_add(v);
+    }
+  }
+  if (to == Compartment::kInfected) {
+    infected_weight_[v] = omega_over_k_[v];
+    if (frontier()) scatter_infectiousness(v, true);
+  } else if (from == Compartment::kInfected) {
+    infected_weight_[v] = 0.0;
+    if (frontier()) scatter_infectiousness(v, false);
+  }
+}
+
+void AgentSimulation::scatter_infectiousness(graph::NodeId u,
+                                             bool became_infectious) {
+  // u's out-neighbors are exactly the nodes whose exposure list
+  // contains u (for undirected graphs, neighbors == exposure sources).
+  const double w = omega_over_k_[u];
+  const auto targets = graph_.neighbors(u);
+  for (const graph::NodeId t : targets) {
+    std::uint32_t& count = exposure_count_[t];
+    if (became_infectious) {
+      ++count;
+      hazard_[t] += w;
+      if (count == 1 && state_.get(t) == Compartment::kSusceptible) {
+        active_add(t);
+      }
+    } else {
+      --count;
+      if (count == 0) {
+        // Resynchronize: with no infected sources left the true sum is
+        // exactly zero, so any accumulated rounding drift is discarded.
+        hazard_[t] = 0.0;
+        active_remove_if_present(t);
+      } else {
+        hazard_[t] -= w;
+      }
+    }
+  }
+  edges_scanned_ += targets.size();
+}
+
+void AgentSimulation::active_add(graph::NodeId v) {
+  active_pos_[v] = static_cast<std::uint32_t>(active_list_.size());
+  active_list_.push_back(v);
+}
+
+void AgentSimulation::active_remove_if_present(graph::NodeId v) {
+  const std::uint32_t at = active_pos_[v];
+  if (at == kNoPos) return;
+  const graph::NodeId last = active_list_.back();
+  active_list_[at] = last;
+  active_pos_[last] = at;
+  active_list_.pop_back();
+  active_pos_[v] = kNoPos;
+}
+
+void AgentSimulation::infected_add(graph::NodeId v) {
+  infected_pos_[v] = static_cast<std::uint32_t>(infected_list_.size());
+  infected_list_.push_back(v);
+}
+
+void AgentSimulation::infected_remove(graph::NodeId v) {
+  const std::uint32_t at = infected_pos_[v];
+  const graph::NodeId last = infected_list_.back();
+  infected_list_[at] = last;
+  infected_pos_[last] = at;
+  infected_list_.pop_back();
+  infected_pos_[v] = kNoPos;
+}
+
+void AgentSimulation::rebuild_frontier() {
+  const std::size_t n = num_nodes();
+  std::fill(active_pos_.begin(), active_pos_.end(), kNoPos);
+  std::fill(infected_pos_.begin(), infected_pos_.end(), kNoPos);
+  active_list_.clear();
+  infected_list_.clear();
+  for (std::size_t v = 0; v < n; ++v) {
+    std::uint32_t count = 0;
+    for (const graph::NodeId u : exposure_sources(v)) {
+      if (state_.get(u) == Compartment::kInfected) ++count;
+    }
+    exposure_count_[v] = count;
+    hazard_[v] = count > 0 ? gather_hazard(v) : 0.0;
+    const graph::NodeId id = static_cast<graph::NodeId>(v);
+    if (state_.get(v) == Compartment::kInfected) {
+      infected_add(id);
+    } else if (state_.get(v) == Compartment::kSusceptible && count > 0) {
+      active_add(id);
+    }
+  }
+}
+
+double AgentSimulation::hazard(graph::NodeId v) const {
+  util::require(frontier(), "hazard: frontier engine only");
+  util::require(v < num_nodes(), "hazard: node out of range");
+  return hazard_[v];
+}
+
+std::uint32_t AgentSimulation::exposure_count(graph::NodeId v) const {
+  util::require(frontier(), "exposure_count: frontier engine only");
+  util::require(v < num_nodes(), "exposure_count: node out of range");
+  return exposure_count_[v];
+}
+
+std::size_t AgentSimulation::active_count() const {
+  util::require(frontier(), "active_count: frontier engine only");
+  return active_list_.size();
 }
 
 AgentCheckpoint AgentSimulation::checkpoint() const {
@@ -244,29 +527,38 @@ AgentCheckpoint AgentSimulation::checkpoint() const {
   c.time = time_;
   c.rng_state = rng_.state();
   c.ever_infected = ever_infected_;
-  c.state = state_;
+  c.state.resize(num_nodes());
+  for (std::size_t v = 0; v < num_nodes(); ++v) c.state[v] = state_.get(v);
+  if (frontier()) c.hazard = hazard_;
   return c;
 }
 
 void AgentSimulation::restore(const AgentCheckpoint& checkpoint) {
-  util::require(checkpoint.state.size() == state_.size(),
+  util::require(checkpoint.state.size() == num_nodes(),
                 "AgentSimulation::restore: checkpoint has " +
                     std::to_string(checkpoint.state.size()) +
                     " nodes, simulation has " +
-                    std::to_string(state_.size()));
+                    std::to_string(num_nodes()));
+  util::require(
+      checkpoint.hazard.empty() ||
+          checkpoint.hazard.size() == num_nodes(),
+      "AgentSimulation::restore: hazard size does not match the graph");
   seed_ = checkpoint.seed;
   step_count_ = checkpoint.step_count;
   time_ = checkpoint.time;
   rng_.set_state(checkpoint.rng_state);
   ever_infected_ = checkpoint.ever_infected;
-  state_ = checkpoint.state;
   // Recompute every derived quantity from the node states so the
   // restored object is exactly what an uninterrupted run would hold.
   susceptible_count_ = 0;
   infected_count_ = 0;
-  for (std::size_t v = 0; v < state_.size(); ++v) {
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    const Compartment c = checkpoint.state[v];
+    util::require(c <= Compartment::kRecovered,
+                  "AgentSimulation::restore: invalid compartment");
+    state_.set(v, c);
     infected_weight_[v] = 0.0;
-    switch (state_[v]) {
+    switch (c) {
       case Compartment::kSusceptible:
         ++susceptible_count_;
         break;
@@ -281,6 +573,17 @@ void AgentSimulation::restore(const AgentCheckpoint& checkpoint) {
   util::require(ever_infected_ >= infected_count_,
                 "AgentSimulation::restore: ever_infected below the current "
                 "infected count — inconsistent checkpoint");
+  if (frontier()) {
+    rebuild_frontier();
+    if (!checkpoint.hazard.empty()) {
+      // Carry over the incremental sums verbatim so a resumed run's
+      // diagnostics match an uninterrupted one to the bit. Decisions
+      // never read these, so a checkpoint without them (e.g. written by
+      // the dense engine) resumes the trajectory identically anyway.
+      std::copy(checkpoint.hazard.begin(), checkpoint.hazard.end(),
+                hazard_.begin());
+    }
+  }
 }
 
 std::vector<Census> AgentSimulation::run_until(double t_end) {
@@ -311,7 +614,7 @@ double AgentSimulation::infected_density_for_degree(std::size_t k) const {
   for (std::size_t v = 0; v < num_nodes(); ++v) {
     if (graph_.degree(static_cast<graph::NodeId>(v)) != k) continue;
     ++with_degree;
-    if (state_[v] == Compartment::kInfected) ++infected;
+    if (state_.get(v) == Compartment::kInfected) ++infected;
   }
   if (with_degree == 0) return 0.0;
   return static_cast<double>(infected) / static_cast<double>(with_degree);
@@ -325,7 +628,7 @@ double AgentSimulation::theta_estimate() const {
     const auto k = static_cast<double>(
         graph_.degree(static_cast<graph::NodeId>(v)));
     degree_total += k;
-    if (state_[v] == Compartment::kInfected && k > 0.0) {
+    if (state_.get(v) == Compartment::kInfected && k > 0.0) {
       sum += params_.omega(k);
     }
   }

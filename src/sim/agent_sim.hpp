@@ -12,7 +12,7 @@
 // System (1) whenever the mean-field assumptions (no degree
 // correlations, no clustering) hold. The XVAL bench quantifies this.
 //
-// Per step of length dt (synchronous update, double-buffered):
+// Per step of length dt (synchronous update):
 //   S → I  with prob 1 − exp(−hazard(v)·dt)
 //   S → R  with prob 1 − exp(−ε1·dt)      (truth immunization)
 //   I → R  with prob 1 − exp(−ε2·dt)      (blocking)
@@ -20,16 +20,40 @@
 // step is immunized (truth wins the tie, matching Fig. 1 where both
 // arrows leave S).
 //
-// Execution model: step() is data-parallel over fixed 2048-node chunks
-// (util::parallel_for_chunks). All per-step randomness comes from
-// counter-based streams keyed by (seed, step, chunk) — not from a
-// shared sequential generator — so a trajectory is a pure function of
-// the seed and is bit-identical for any thread count (see
-// docs/parallelism.md). The infection hazard is *gathered*: each
-// susceptible node sums the precomputed ω(k_u)/k_u weights of its
-// currently-infected exposure sources (in-neighbors on directed
-// graphs, neighbors otherwise, both flat CSR), which is race-free and
-// fixes the floating-point summation order per node.
+// Determinism model: all per-step randomness comes from counter-based
+// streams keyed by (seed, step, node) — one util::CounterRng per node
+// per step, never a shared sequential generator — so a node's draws do
+// not depend on visitation order, chunking, or the thread count, and a
+// trajectory is a pure function of the constructor seed (see
+// docs/parallelism.md).
+//
+// Two engines share that contract (AgentParams::engine):
+//
+//  * kDense — the reference O(N + E) sweep: every node is visited, and
+//    each susceptible gathers the precomputed ω(k_u)/k_u weights of its
+//    currently-infected exposure sources (in-neighbors on directed
+//    graphs, neighbors otherwise, both flat CSR) in fixed CSR order.
+//    Double-buffered, chunk-parallel, trivially auditable.
+//
+//  * kFrontier (default) — sparse stepping whose cost scales with the
+//    infected frontier, not the graph: an exposure count and an
+//    incremental hazard sum per node are maintained by deterministic
+//    scatter when nodes enter/leave the infected compartment, and the
+//    step only visits the current infected set plus the active set of
+//    susceptibles with an infected exposure source. A step costs
+//    O(|frontier| + |frontier edges|); on a million-node graph at low
+//    prevalence that is ~1000× less work than the dense sweep (see
+//    docs/performance.md). When ε1(t) > 0 every susceptible can flip,
+//    so those steps degrade gracefully to a full node sweep that still
+//    skips every hazard gather outside the frontier.
+//
+// Because the per-node draw streams are shared and the frontier's
+// infection probabilities are computed by the *same* fixed-order CSR
+// gather as the dense engine (the incremental hazard sum only gates
+// which nodes are visited — FP associativity would otherwise let the
+// two engines diverge by an ulp), the two engines produce bit-identical
+// trajectories; tests/test_sim_frontier.cpp pins this at 1/2/8 threads
+// and across checkpoint/resume.
 #pragma once
 
 #include <array>
@@ -41,14 +65,17 @@
 #include "core/params.hpp"
 #include "core/schedule.hpp"
 #include "graph/graph.hpp"
+#include "sim/compartments.hpp"
 #include "util/random.hpp"
 
 namespace rumor::sim {
 
-enum class Compartment : std::uint8_t {
-  kSusceptible = 0,
-  kInfected = 1,
-  kRecovered = 2,
+/// Which stepping engine an AgentSimulation uses. Both are bit-exact
+/// replicas of the same stochastic process; kFrontier is the fast one,
+/// kDense the O(N + E) reference used by equivalence tests.
+enum class AgentEngine : std::uint8_t {
+  kDense = 0,
+  kFrontier = 1,
 };
 
 struct AgentParams {
@@ -57,6 +84,7 @@ struct AgentParams {
   double epsilon1 = 0.0;  ///< immunization rate on susceptibles
   double epsilon2 = 0.0;  ///< blocking rate on infected
   double dt = 0.1;        ///< synchronous step length
+  AgentEngine engine = AgentEngine::kFrontier;
 
   void validate() const;
 };
@@ -71,9 +99,10 @@ struct Census {
 
 /// The complete dynamic state of an AgentSimulation — everything step()
 /// reads besides the graph and AgentParams. Because per-step randomness
-/// is a pure function of (seed, step, chunk), restoring this onto a
+/// is a pure function of (seed, step, node), restoring this onto a
 /// simulation built from the same graph/params continues the trajectory
-/// bit-identically to an uninterrupted run, at any thread count. The
+/// bit-identically to an uninterrupted run, at any thread count and
+/// under either engine (the engines themselves are bit-equivalent). The
 /// on-disk form lives in sim/checkpoint.hpp.
 struct AgentCheckpoint {
   std::uint64_t seed = 0;
@@ -82,6 +111,12 @@ struct AgentCheckpoint {
   std::array<std::uint64_t, 4> rng_state{};  ///< seeding-draw generator
   std::size_t ever_infected = 0;
   std::vector<Compartment> state;  ///< one entry per node
+  /// Frontier engines only: the incremental per-node exposure sums, so
+  /// a resumed run carries the exact accumulated values rather than a
+  /// freshly re-gathered (ulp-different) rebuild. Never consulted for
+  /// transition decisions — restoring without it (e.g. from a dense
+  /// checkpoint) still resumes the trajectory bit-identically.
+  std::vector<double> hazard;
 };
 
 class AgentSimulation {
@@ -92,9 +127,10 @@ class AgentSimulation {
 
   std::size_t num_nodes() const { return state_.size(); }
   double time() const { return time_; }
-  Compartment state(graph::NodeId v) const { return state_[v]; }
+  Compartment state(graph::NodeId v) const { return state_.get(v); }
   const graph::Graph& graph() const { return graph_; }
   const AgentParams& params() const { return params_; }
+  AgentEngine engine() const { return params_.engine; }
   std::uint64_t step_count() const { return step_count_; }
 
   /// Infect `count` uniformly random susceptible nodes.
@@ -145,17 +181,54 @@ class AgentSimulation {
   /// infected and those later blocked from I).
   std::size_t ever_infected() const { return ever_infected_; }
 
+  // ---- frontier diagnostics (benches, stress tests) -----------------
+
+  /// Cumulative CSR entries touched by hazard gathers and infection
+  /// scatters since construction. Divide a delta by the step count for
+  /// the edges-touched-per-step figure reported by the bench harness.
+  std::uint64_t edges_scanned() const { return edges_scanned_; }
+
+  /// Frontier engine only: the incrementally maintained exposure sum
+  /// Σ ω(k_u)/k_u over the currently infected exposure sources of v.
+  /// Diagnostic — transition decisions use the fixed-order CSR gather.
+  double hazard(graph::NodeId v) const;
+
+  /// Frontier engine only: number of infected exposure sources of v.
+  std::uint32_t exposure_count(graph::NodeId v) const;
+
+  /// Frontier engine only: size of the active set (susceptible nodes
+  /// with at least one infected exposure source).
+  std::size_t active_count() const;
+
   /// Capture the dynamic state for checkpointing.
   AgentCheckpoint checkpoint() const;
 
   /// Restore a checkpoint captured from a simulation on the same graph
-  /// with the same params. Derived quantities (census counters, the
-  /// infected-weight gather table) are recomputed from the node states;
-  /// the control schedule is NOT part of the checkpoint — re-attach it
-  /// before stepping if one was in use.
+  /// with the same params (the engine may differ — trajectories are
+  /// engine-invariant). Derived quantities (census counters, the
+  /// infected-weight table, exposure counts, active/infected sets) are
+  /// recomputed from the node states; the control schedule is NOT part
+  /// of the checkpoint — re-attach it before stepping if one was in
+  /// use.
   void restore(const AgentCheckpoint& checkpoint);
 
  private:
+  /// A state flip decided during a step, recorded in per-chunk buffers
+  /// and applied in chunk order — the deterministic two-phase scatter
+  /// that keeps the frontier engine's incremental structures
+  /// thread-count invariant.
+  struct Transition {
+    graph::NodeId node;
+    Compartment to;
+  };
+
+  /// Per-chunk census deltas for the dense engine's reduction.
+  struct StepDelta {
+    std::int64_t susceptible = 0;
+    std::int64_t infected = 0;
+    std::int64_t ever = 0;
+  };
+
   /// Nodes whose infection exposes v: in-neighbors on a directed graph
   /// (infection flows along out-edges), plain neighbors otherwise.
   std::span<const graph::NodeId> exposure_sources(std::size_t v) const {
@@ -166,6 +239,33 @@ class AgentSimulation {
             exposure_offsets_[v + 1] - exposure_offsets_[v]};
   }
 
+  void step_dense(double p_immunize, double p_block, std::uint64_t step_key);
+  void step_frontier(double p_immunize, double p_block,
+                     std::uint64_t step_key);
+
+  /// Fixed-CSR-order exposure gather — the one definition of a node's
+  /// infection hazard, shared verbatim by both engines.
+  double gather_hazard(std::size_t v) const;
+
+  /// Flip v to `to`, maintaining counters, the infected-weight table
+  /// and (frontier engine) the exposure counts / hazard sums / active
+  /// and infected sets. No-op when v already is in `to`.
+  void apply_transition(graph::NodeId v, Compartment to);
+
+  /// Add/remove ω(k_u)/k_u exposure from every node u exposes.
+  void scatter_infectiousness(graph::NodeId u, bool became_infectious);
+
+  void active_add(graph::NodeId v);
+  void active_remove_if_present(graph::NodeId v);
+  void infected_add(graph::NodeId v);
+  void infected_remove(graph::NodeId v);
+
+  /// Rebuild exposure counts, hazard sums and the active/infected sets
+  /// from the compartment array (restore path).
+  void rebuild_frontier();
+
+  bool frontier() const { return params_.engine == AgentEngine::kFrontier; }
+
   const graph::Graph& graph_;
   AgentParams params_;
   std::shared_ptr<const core::ControlSchedule> control_;
@@ -173,15 +273,28 @@ class AgentSimulation {
   std::uint64_t seed_ = 0;
   std::uint64_t step_count_ = 0;
   double time_ = 0.0;
-  std::vector<Compartment> state_;
-  std::vector<Compartment> next_state_;
+  // Hot per-node state, SoA with 2-bit packed compartments.
+  PackedCompartments state_;
   std::vector<double> lambda_over_k_;  // λ(k_v)/k_v per node
   std::vector<double> omega_over_k_;   // ω(k_u)/k_u per node
   // infected_weight_[u] = ω(k_u)/k_u while u is infected, else 0 —
-  // makes the hazard gather a branch-free sum. Double-buffered like
-  // state_ so the parallel step only writes the next_* arrays.
+  // makes the hazard gather a branch-free sum.
   std::vector<double> infected_weight_;
+  // Dense engine double buffers (empty under the frontier engine).
+  PackedCompartments next_state_;
   std::vector<double> next_infected_weight_;
+  // Frontier engine incremental structures (empty under dense).
+  std::vector<std::uint32_t> exposure_count_;  // infected exposure sources
+  std::vector<double> hazard_;                 // incremental exposure sum
+  std::vector<graph::NodeId> active_list_;     // S nodes with count > 0
+  std::vector<std::uint32_t> active_pos_;      // node → index, kNoPos if out
+  std::vector<graph::NodeId> infected_list_;
+  std::vector<std::uint32_t> infected_pos_;
+  // Per-chunk transition buffers (capacity reserved up front: at most
+  // one transition per node, so warm steps never allocate).
+  std::vector<std::vector<Transition>> chunk_transitions_;
+  std::vector<std::uint64_t> chunk_edges_;
+  std::vector<StepDelta> chunk_deltas_;  // dense engine reduction
   // Reverse (in-neighbor) CSR, built once for directed graphs only.
   std::vector<std::size_t> exposure_offsets_;
   std::vector<graph::NodeId> exposure_sources_;
@@ -191,6 +304,7 @@ class AgentSimulation {
   std::size_t susceptible_count_ = 0;
   std::size_t infected_count_ = 0;
   std::size_t ever_infected_ = 0;
+  std::uint64_t edges_scanned_ = 0;
 };
 
 }  // namespace rumor::sim

@@ -80,8 +80,13 @@ void GillespieSimulation::set_control_schedule(
   control_ = std::move(schedule);
   e1_bound_ = epsilon1_bound;
   e2_bound_ = epsilon2_bound;
-  // Channel bounds changed: refresh every node's total rate.
+  // Channel bounds changed: refresh the total rate of every node that
+  // has one. Recovered nodes are absorbing with rate identically zero
+  // under any bounds (flip_to pins their tree entry to 0.0 on entry),
+  // so they are skipped — on a late-epidemic graph that avoids
+  // re-touching the Fenwick tree for the vast recovered majority.
   for (std::size_t v = 0; v < num_nodes(); ++v) {
+    if (state_[v] == Compartment::kRecovered) continue;
     set_node_rate(static_cast<graph::NodeId>(v));
   }
 }
@@ -113,19 +118,22 @@ void GillespieSimulation::flip_to(graph::NodeId v, Compartment to) {
 }
 
 void GillespieSimulation::seed_random_infections(std::size_t count) {
-  std::vector<graph::NodeId> susceptible;
-  susceptible.reserve(num_nodes());
+  // The susceptible list lives in a member scratch buffer: repeated
+  // seeding calls (ensemble drivers re-seed every replica) reuse its
+  // capacity instead of rebuilding a fresh vector each time.
+  seed_scratch_.clear();
+  seed_scratch_.reserve(num_nodes());
   for (std::size_t v = 0; v < num_nodes(); ++v) {
     if (state_[v] == Compartment::kSusceptible) {
-      susceptible.push_back(static_cast<graph::NodeId>(v));
+      seed_scratch_.push_back(static_cast<graph::NodeId>(v));
     }
   }
-  util::require(count <= susceptible.size(),
+  util::require(count <= seed_scratch_.size(),
                 "seed_infections: not enough susceptible nodes");
   const auto picks =
-      util::sample_without_replacement(susceptible.size(), count, rng_);
+      util::sample_without_replacement(seed_scratch_.size(), count, rng_);
   for (const std::size_t p : picks) {
-    flip_to(susceptible[p], Compartment::kInfected);
+    flip_to(seed_scratch_[p], Compartment::kInfected);
   }
 }
 

@@ -88,6 +88,7 @@ class GillespieSimulation {
   std::vector<double> omega_over_k_;
   std::vector<double> exposure_;  // Σ ω(k_u)/k_u over infected neighbors
   util::FenwickTree rates_;
+  std::vector<graph::NodeId> seed_scratch_;  // susceptible-list reuse
   std::size_t infected_count_ = 0;
   std::size_t ever_infected_ = 0;
 };

@@ -23,7 +23,6 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <functional>
 #include <utility>
 #include <vector>
 
@@ -69,8 +68,9 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
     for (std::size_t c = 0; c < chunks; ++c) run_chunk(c);
     return;
   }
-  const std::function<void(std::size_t)> job = run_chunk;
-  global_pool().run(chunks, job);
+  // IndexFnRef borrows run_chunk from this frame (run() blocks until
+  // the job drains), so submitting a parallel region never allocates.
+  global_pool().run(chunks, run_chunk);
 }
 
 /// Call fn(i) for every i in [begin, end), grain indices per task.

@@ -35,6 +35,40 @@ inline std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b) {
   return splitmix64(a ^ (splitmix64(b) + 0x9E3779B97F4A7C15ULL));
 }
 
+/// Minimal counter-based stream for per-entity randomness: a splitmix64
+/// walk starting from a caller-supplied key. The agent simulator keys
+/// one CounterRng per (seed, step, node) — hash_mix(hash_mix(seed,
+/// step), node) — so every draw a node makes is a pure function of that
+/// triple, independent of chunking, visitation order, or thread count.
+/// That is what lets the sparse frontier engine skip nodes that cannot
+/// change state and still reproduce the dense sweep bit-for-bit.
+///
+/// Construction is two adds (vs. four splitmix rounds to seed a
+/// Xoshiro256), which matters when a fresh stream is created per node
+/// per step. bernoulli() mirrors Xoshiro256::bernoulli's consumption
+/// contract exactly: p <= 0 and p >= 1 return without consuming a
+/// draw, so call sequences stay aligned between code paths that draw
+/// degenerate probabilities and ones that skip them.
+class CounterRng {
+ public:
+  explicit CounterRng(std::uint64_t key) : state_(key) {}
+
+  std::uint64_t next() { return splitmix64_next(state_); }
+
+  /// Uniform double in [0, 1): 53 random mantissa bits.
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial; consumes a draw only for p strictly inside (0, 1).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
 /// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator, so it
 /// can also drive <random> distributions when convenient.
 class Xoshiro256 {

@@ -53,8 +53,7 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::run(std::size_t num_tasks,
-                     const std::function<void(std::size_t)>& fn) {
+void ThreadPool::run(std::size_t num_tasks, IndexFnRef fn) {
   if (num_tasks == 0) return;
   std::unique_lock<std::mutex> lock(mutex_);
   if (job_ != nullptr) {

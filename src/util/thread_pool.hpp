@@ -23,12 +23,37 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace rumor::util {
+
+/// Non-owning reference to a callable taking a task index. run() blocks
+/// until the job drains, so the referenced callable always outlives the
+/// call — which is why a borrowed (object, trampoline) pair suffices
+/// and no std::function is needed. The distinction matters for the
+/// zero-allocation step guarantee of the agent simulator: constructing
+/// a std::function from a capturing lambda can heap-allocate on every
+/// parallel region, a borrowed pointer pair never does.
+class IndexFnRef {
+ public:
+  template <typename Fn,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::remove_cvref_t<Fn>, IndexFnRef>>>
+  IndexFnRef(Fn&& fn)  // NOLINT(google-explicit-constructor)
+      : object_(const_cast<void*>(static_cast<const void*>(&fn))),
+        call_([](void* object, std::size_t index) {
+          (*static_cast<std::remove_reference_t<Fn>*>(object))(index);
+        }) {}
+
+  void operator()(std::size_t index) const { call_(object_, index); }
+
+ private:
+  void* object_;
+  void (*call_)(void*, std::size_t);
+};
 
 class ThreadPool {
  public:
@@ -45,7 +70,7 @@ class ThreadPool {
 
   /// Run fn(i) for every i in [0, num_tasks). Blocks until all tasks
   /// finish (or the first exception cancels the rest and is rethrown).
-  void run(std::size_t num_tasks, const std::function<void(std::size_t)>& fn);
+  void run(std::size_t num_tasks, IndexFnRef fn);
 
  private:
   void worker_loop();
@@ -56,7 +81,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_cv_;   // workers wait here for a job
   std::condition_variable done_cv_;   // run() waits here for stragglers
-  const std::function<void(std::size_t)>* job_ = nullptr;
+  const IndexFnRef* job_ = nullptr;
   std::uint64_t job_epoch_ = 0;  // bumped per job so workers never rerun one
   std::size_t num_tasks_ = 0;
   std::size_t next_task_ = 0;

@@ -9,9 +9,13 @@
 
 #include "control/costate.hpp"
 #include "core/sir_model.hpp"
+#include "graph/generators.hpp"
 #include "ode/integrate.hpp"
 #include "ode/steppers.hpp"
+#include "sim/agent_sim.hpp"
 #include "util/alloc_count.hpp"
+#include "util/parallel.hpp"
+#include "util/random.hpp"
 
 namespace rumor {
 namespace {
@@ -93,6 +97,42 @@ TEST(AllocCount, WarmIntegrationAllocationsIndependentOfStepCount) {
   const auto short_run = count(10.0);
   const auto long_run = count(40.0);
   EXPECT_EQ(long_run, short_run);
+}
+
+void expect_warm_steps_allocation_free(sim::AgentEngine engine,
+                                       std::size_t threads) {
+  util::set_num_threads(threads);
+  util::Xoshiro256 rng(51);
+  const auto g = graph::barabasi_albert(10000, 3, rng);
+  sim::AgentParams params;
+  params.epsilon1 = 0.01;  // exercises the full-sweep frontier mode too
+  params.epsilon2 = 0.05;
+  params.engine = engine;
+  sim::AgentSimulation simulation(g, params, /*seed=*/3);
+  simulation.seed_random_infections(50);
+  for (int s = 0; s < 5; ++s) simulation.step();  // warm-up
+
+  const auto before = util::allocation_count();
+  for (int s = 0; s < 50; ++s) simulation.step();
+  EXPECT_EQ(util::allocation_count() - before, 0u)
+      << "engine=" << static_cast<int>(engine) << " threads=" << threads;
+  util::set_num_threads(0);
+}
+
+TEST(AllocCount, DenseAgentStepsAreAllocationFree) {
+  // Every per-step buffer (chunk deltas, double buffers) is sized at
+  // construction; parallel dispatch itself is allocation-free since
+  // ThreadPool::run takes a borrowed IndexFnRef, not a std::function.
+  expect_warm_steps_allocation_free(sim::AgentEngine::kDense, 1);
+  expect_warm_steps_allocation_free(sim::AgentEngine::kDense, 4);
+}
+
+TEST(AllocCount, FrontierAgentStepsAreAllocationFree) {
+  // Transition buffers are reserved to the chunk grain and the
+  // active/infected lists to n up front, so warm steps — including
+  // scatter-driven list membership churn — never touch the allocator.
+  expect_warm_steps_allocation_free(sim::AgentEngine::kFrontier, 1);
+  expect_warm_steps_allocation_free(sim::AgentEngine::kFrontier, 4);
 }
 
 }  // namespace
