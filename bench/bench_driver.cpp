@@ -9,7 +9,7 @@
 //   bench_driver [--suite control|agents] [--out PATH] [--baseline PATH]
 //                [--repeat N]
 //
-// Suite "control" (default; report BENCH_pr3.json):
+// Suite "control" (default; report BENCH_pr5.json):
 //   trajectory_interp  cursor-based Trajectory interpolation, ns/query
 //   costate_rhs        adjoint RHS (n = 20 groups), ns/eval and
 //                      allocations/eval (must be 0 after warm-up)
@@ -32,8 +32,10 @@
 // steps_per_sec may not regress >25%.
 //
 // Allocation counting comes from the rumor_alloc_count link-in (global
-// operator new/delete replacement); RHS evaluations from a counting
-// OdeSystem decorator.
+// operator new/delete replacement); RHS evaluations from the steppers'
+// own "ode.rhs_evals" registry counter (src/obs). Each report also
+// embeds a full metrics-registry snapshot under "metrics", so one
+// bench run doubles as an instrumentation fixture.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -46,6 +48,8 @@
 #include "bench/common.hpp"
 #include "control/mpc.hpp"
 #include "graph/generators.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "ode/integrate.hpp"
 #include "sim/agent_sim.hpp"
 #include "util/alloc_count.hpp"
@@ -63,22 +67,10 @@ double ms_since(Clock::time_point start) {
       .count();
 }
 
-/// Pass-through OdeSystem that counts rhs() calls.
-class CountingSystem final : public ode::OdeSystem {
- public:
-  explicit CountingSystem(const ode::OdeSystem& inner) : inner_(inner) {}
-  std::size_t dimension() const override { return inner_.dimension(); }
-  void rhs(double t, std::span<const double> y,
-           std::span<double> dydt) const override {
-    ++evals_;
-    inner_.rhs(t, y, dydt);
-  }
-  std::uint64_t evals() const { return evals_; }
-
- private:
-  const ode::OdeSystem& inner_;
-  mutable std::uint64_t evals_ = 0;
-};
+/// Exact RHS-eval count from the steppers' shared registry counter.
+std::uint64_t rhs_evals_now() {
+  return rumor::obs::metrics().counter("ode.rhs_evals").value();
+}
 
 struct CaseResult {
   std::string name;
@@ -178,21 +170,21 @@ CaseResult run_costate_rhs() {
 
 CaseResult run_forward_integrate() {
   const auto model = bench::fig4_model(60);
-  const CountingSystem counted(model);
   ode::Rk4Stepper stepper;
   ode::FixedStepOptions fixed;
   fixed.dt = 0.01;
   ode::Trajectory traj(model.dimension());
   const auto y0 = model.initial_state(0.01);
 
+  const std::uint64_t evals_before = rhs_evals_now();
   const auto start = Clock::now();
-  ode::integrate_fixed_into(counted, stepper, y0, 0.0, 20.0, fixed, traj);
+  ode::integrate_fixed_into(model, stepper, y0, 0.0, 20.0, fixed, traj);
   const double elapsed_ms = ms_since(start);
 
   CaseResult r;
   r.name = "forward_integrate";
   r.wall_ms = elapsed_ms;
-  r.rhs_evals = static_cast<std::int64_t>(counted.evals());
+  r.rhs_evals = static_cast<std::int64_t>(rhs_evals_now() - evals_before);
   return r;
 }
 
@@ -217,7 +209,7 @@ CaseResult run_solver_case(const char* name, std::size_t repeat,
 std::string to_json(const std::vector<CaseResult>& cases, bool optimized) {
   std::ostringstream json;
   json.precision(6);
-  json << "{\"schema\":\"rumor-bench/1\",\"build\":{\"optimized\":"
+  json << "{\"schema\":\"rumor-bench/2\",\"build\":{\"optimized\":"
        << (optimized ? "true" : "false")
        << ",\"threads\":" << util::num_threads() << "},";
   if (!optimized) {
@@ -251,7 +243,16 @@ std::string to_json(const std::vector<CaseResult>& cases, bool optimized) {
     }
     json << "}";
   }
-  json << "]}\n";
+  json << "]";
+  // Embed the full registry snapshot: every counter the instrumented
+  // engines bumped while the cases ran (rhs evals, sim steps, sweep
+  // iterations, io writes, ...), in the same document a --metrics-out
+  // run would produce.
+  std::string metrics_doc = obs::to_json(obs::metrics().snapshot());
+  while (!metrics_doc.empty() && metrics_doc.back() == '\n') {
+    metrics_doc.pop_back();
+  }
+  json << ",\"metrics\":" << metrics_doc << "}\n";
   return json.str();
 }
 
@@ -457,7 +458,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (out_path.empty()) {
-    out_path = suite == "agents" ? "BENCH_pr4.json" : "BENCH_pr3.json";
+    out_path = suite == "agents" ? "BENCH_pr4.json" : "BENCH_pr5.json";
   }
 
   const bool optimized = bench::warn_if_unoptimized();

@@ -18,6 +18,13 @@
 //   --eps1 E --eps2 E constant countermeasure rates [0.2 / 0.05]
 //   --i0 F            initial infected fraction [0.01]
 //   --tf T            horizon / deadline [100]
+// Telemetry (any command):
+//   --metrics-out F   write a JSON metrics snapshot on exit
+//   --prom-out F      write a Prometheus text snapshot on exit
+//   --trace-out F     record trace spans, write Chrome trace JSON on
+//                     exit (load in chrome://tracing or Perfetto)
+//   --heartbeat-every S  log a registry digest every S seconds
+//   --log-json 1      emit log lines as JSON objects on stderr
 // plan-specific: --c1 [5] --c2 [10] --target [1e-3·n] --eps-max [0.7]
 //                --checkpoint FILE --checkpoint-every N [10] --resume [1]
 // fit-specific:  --cascade FILE (CSV with columns t,infected_density)
@@ -57,10 +64,14 @@
 #include "graph/io.hpp"
 #include "io/container.hpp"
 #include "io/graph_binary.hpp"
+#include "obs/export.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/trace.hpp"
 #include "sim/agent_sim.hpp"
 #include "sim/checkpoint.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/parallel.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
@@ -469,21 +480,69 @@ int usage() {
 
 }  // namespace
 
+namespace {
+
+int dispatch(const Args& args) {
+  if (args.command == "stats") return cmd_stats(args);
+  if (args.command == "threshold") return cmd_threshold(args);
+  if (args.command == "spectrum") return cmd_spectrum(args);
+  if (args.command == "simulate") return cmd_simulate(args);
+  if (args.command == "plan") return cmd_plan(args);
+  if (args.command == "fit") return cmd_fit(args);
+  if (args.command == "graph-pack") return cmd_graph_pack(args);
+  return usage();
+}
+
+// Write whichever telemetry files were requested. Runs on the error
+// path too — a crashed multi-hour run's partial metrics/trace are
+// exactly what one wants for the postmortem.
+void flush_telemetry(const Args& args) {
+  if (const auto path = args.text("metrics-out")) {
+    rumor::obs::write_metrics_json(*path);
+  }
+  if (const auto path = args.text("prom-out")) {
+    rumor::obs::write_prometheus(*path);
+  }
+  if (const auto path = args.text("trace-out")) {
+    rumor::obs::write_trace_json(*path);
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   try {
     const Args args = parse(argc, argv);
+    if (args.number("log-json", 0.0) != 0.0) {
+      rumor::util::set_log_json(true);
+    }
     if (const auto threads = args.text("threads")) {
       rumor::util::set_num_threads(
           static_cast<std::size_t>(std::atof(threads->c_str())));
     }
-    if (args.command == "stats") return cmd_stats(args);
-    if (args.command == "threshold") return cmd_threshold(args);
-    if (args.command == "spectrum") return cmd_spectrum(args);
-    if (args.command == "simulate") return cmd_simulate(args);
-    if (args.command == "plan") return cmd_plan(args);
-    if (args.command == "fit") return cmd_fit(args);
-    if (args.command == "graph-pack") return cmd_graph_pack(args);
-    return usage();
+    if (args.text("trace-out")) rumor::obs::set_trace_enabled(true);
+    std::optional<rumor::obs::Heartbeat> heartbeat;
+    const double beat_seconds = args.number("heartbeat-every", 0.0);
+    if (beat_seconds > 0.0) {
+      // The heartbeat reports through log_info; asking for one implies
+      // wanting to see it, so raise the threshold if it would filter.
+      if (rumor::util::log_level() > rumor::util::LogLevel::kInfo) {
+        rumor::util::set_log_level(rumor::util::LogLevel::kInfo);
+      }
+      heartbeat.emplace(beat_seconds);
+    }
+
+    int status = 2;
+    try {
+      status = dispatch(args);
+    } catch (...) {
+      heartbeat.reset();  // stop the reporter before the files appear
+      flush_telemetry(args);
+      throw;
+    }
+    heartbeat.reset();
+    flush_telemetry(args);
+    return status;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "rumorctl: %s\n", error.what());
     return 1;

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "control/checkpoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ode/integrate.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -15,6 +17,28 @@
 namespace rumor::control {
 
 namespace {
+
+// Registry handles, resolved once (registration locks; recording never
+// does).
+struct ControlMetrics {
+  obs::Counter& fbsm_iterations;
+  obs::Counter& pg_iterations;
+  obs::Counter& pg_accepts;
+  obs::Counter& pg_backtracks;
+  obs::Gauge& update_norm;
+};
+
+ControlMetrics& control_metrics() {
+  static ControlMetrics* const m = [] {
+    obs::Registry& r = obs::metrics();
+    return new ControlMetrics{r.counter("fbsm.iterations"),
+                              r.counter("pg.iterations"),
+                              r.counter("pg.accepts"),
+                              r.counter("pg.backtracks"),
+                              r.gauge("control.update_norm")};
+  }();
+  return *m;
+}
 
 // The forward integration is explicit; on stiff profiles an oversized
 // step produces finite-but-meaningless states (e.g. negative infected
@@ -157,6 +181,8 @@ SweepResult solve_projected_gradient(const core::SirNetworkModel& model,
 
   for (std::size_t iter = first_iter; iter <= options.max_iterations;
        ++iter) {
+    const obs::TraceSpan iter_span("pg.iteration");
+    control_metrics().pg_iterations.add();
     result.iterations = iter;
     result.objective_history.push_back(objective);
 
@@ -184,6 +210,7 @@ SweepResult solve_projected_gradient(const core::SirNetworkModel& model,
                                        options.epsilon2_max)));
     }
     result.final_update = stationarity;
+    control_metrics().update_norm.set(stationarity);
     if (stationarity < options.gradient_tolerance) {
       result.converged = true;
       break;
@@ -220,9 +247,11 @@ SweepResult solve_projected_gradient(const core::SirNetworkModel& model,
         objective = trial_j;
         step *= 2.0;  // optimistic growth for the next iteration
         accepted = true;
+        control_metrics().pg_accepts.add();
         break;
       }
       step *= 0.5;
+      control_metrics().pg_backtracks.add();
     }
     if (!accepted) {
       // Line search exhausted: numerically stationary.
@@ -352,6 +381,8 @@ SweepResult solve_optimal_control(const core::SirNetworkModel& model,
 
   for (std::size_t iter = first_iter; iter <= options.max_iterations;
        ++iter) {
+    const obs::TraceSpan iter_span("fbsm.iteration");
+    control_metrics().fbsm_iterations.add();
     result.iterations = iter;
 
     // (2) forward state pass under the current controls.
@@ -420,6 +451,7 @@ SweepResult solve_optimal_control(const core::SirNetworkModel& model,
       e2[k] = relaxed_e2;
     }
     result.final_update = update;
+    control_metrics().update_norm.set(update);
 
     // Primary test: the controls stopped moving. Secondary test: J has
     // plateaued (its range over the last j_window iterations is tiny) —

@@ -10,6 +10,8 @@
 #include "control/checkpoint.hpp"
 #include "io/artifacts.hpp"
 #include "io/container.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ode/integrate.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -219,6 +221,8 @@ MpcResult run_loop(const core::SirNetworkModel& model, const ode::State& y0,
   };
 
   while (loop.t < tf - eps) {
+    const obs::TraceSpan segment_span("mpc.segment");
+    obs::metrics().counter("mpc.segments").add();
     const double remaining = tf - loop.t;
     const double segment =
         std::min(options.replan_interval, remaining);
@@ -229,6 +233,7 @@ MpcResult run_loop(const core::SirNetworkModel& model, const ode::State& y0,
                                               options.sweep);
       policy = std::make_shared<ShiftedControl>(plan.control, loop.t);
       ++loop.replans;
+      obs::metrics().counter("mpc.replans").add();
     }
     if (loop.first_segment) {
       record(0.0, loop.y);

@@ -41,9 +41,11 @@ ode::Trajectory read_trajectory(const ContainerReader& reader,
   const std::vector<double> flat = flat_reader.vec<double>();
   flat_reader.expect_end();
   if (flat.size() != times.size() * dimension) {
-    throw util::IoError("section '" + p + ".flat': has " +
-                        std::to_string(flat.size()) + " values, expected " +
-                        std::to_string(times.size() * dimension));
+    throw util::IoError("section '" + p + ".flat' in " + reader.origin() +
+                        ": has " + std::to_string(flat.size()) +
+                        " values, expected " +
+                        std::to_string(times.size() * dimension) +
+                        " (times x dimension from '" + p + ".meta')");
   }
 
   ode::Trajectory trajectory(dimension);

@@ -4,9 +4,14 @@
 #include <cstdio>
 #include <cstring>
 
+#include <chrono>
+
 #include "io/crc32.hpp"
 #include "io/mapped_file.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/file.hpp"
 
 namespace rumor::io {
 
@@ -93,25 +98,24 @@ std::vector<std::byte> ContainerWriter::serialize() const {
 }
 
 void ContainerWriter::write_file(const std::string& path) const {
+  const obs::TraceSpan span("io.write");
+  const auto start = std::chrono::steady_clock::now();
   const std::vector<std::byte> bytes = serialize();
-  const std::string tmp = path + ".tmp";
-  std::FILE* file = std::fopen(tmp.c_str(), "wb");
-  if (!file) {
-    throw util::IoError("ContainerWriter: cannot create " + tmp);
-  }
-  const std::size_t written =
-      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), file);
-  const bool flushed = std::fflush(file) == 0;
-  std::fclose(file);
-  if (written != bytes.size() || !flushed) {
-    std::remove(tmp.c_str());
-    throw util::IoError("ContainerWriter: write failed for " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw util::IoError("ContainerWriter: cannot rename " + tmp + " to " +
-                        path);
-  }
+  util::write_file_atomic(path, bytes);
+  // Registered once; record() is lock- and allocation-free.
+  static obs::Counter* const files =
+      &obs::metrics().counter("io.files_written");
+  static obs::Counter* const written =
+      &obs::metrics().counter("io.bytes_written");
+  static obs::Histogram* const duration = &obs::metrics().histogram(
+      "io.write_ms", {1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+                      1000.0, 5000.0});
+  files->add();
+  written->add(bytes.size());
+  duration->record(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count());
 }
 
 std::shared_ptr<ContainerReader> ContainerReader::open(const std::string& path,

@@ -92,9 +92,10 @@ class ContainerReader {
   /// reader (or a copy of its shared_ptr) alive while using it.
   std::span<const std::byte> section(std::string_view name) const;
 
-  /// Bounds-checked sequential reader over a section payload.
+  /// Bounds-checked sequential reader over a section payload. Read
+  /// errors name both the section and this container's origin path.
   ByteReader reader(std::string_view name) const {
-    return ByteReader(section(name), std::string(name));
+    return ByteReader(section(name), std::string(name), origin_);
   }
 
  private:

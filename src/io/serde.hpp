@@ -62,11 +62,15 @@ class ByteWriter {
 
 /// Sequential reader over one section payload. All reads are
 /// bounds-checked against the payload span; violations throw
-/// util::IoError mentioning the section name.
+/// util::IoError naming the section and, when known, the file it came
+/// from (`origin`), so a corrupted artifact in a multi-file run is
+/// attributable without re-running under a debugger.
 class ByteReader {
  public:
-  ByteReader(std::span<const std::byte> data, std::string section)
-      : data_(data), section_(std::move(section)) {}
+  ByteReader(std::span<const std::byte> data, std::string section,
+             std::string origin = {})
+      : data_(data), section_(std::move(section)),
+        origin_(std::move(origin)) {}
 
   std::uint8_t u8() { return get<std::uint8_t>(); }
   std::uint32_t u32() { return get<std::uint32_t>(); }
@@ -102,13 +106,19 @@ class ByteReader {
   /// by a newer layout being read with an older one.
   void expect_end() const {
     if (pos_ != data_.size()) {
-      throw util::IoError("section '" + section_ + "': " +
+      throw util::IoError(where() + ": " +
                           std::to_string(data_.size() - pos_) +
                           " trailing bytes after the expected payload");
     }
   }
 
  private:
+  std::string where() const {
+    std::string out = "section '" + section_ + "'";
+    if (!origin_.empty()) out += " in " + origin_;
+    return out;
+  }
+
   template <typename T>
   T get() {
     require_remaining(sizeof(T), "value");
@@ -122,7 +132,7 @@ class ByteReader {
   template <typename T>
   void require_count(std::uint64_t count) const {
     if (count > (data_.size() - pos_) / sizeof(T)) {
-      throw util::IoError("section '" + section_ + "': truncated array (" +
+      throw util::IoError(where() + ": truncated array (" +
                           std::to_string(count) + " elements of " +
                           std::to_string(sizeof(T)) + " bytes exceed the " +
                           std::to_string(data_.size() - pos_) +
@@ -132,7 +142,7 @@ class ByteReader {
 
   void require_remaining(std::uint64_t need, const char* what) const {
     if (need > data_.size() - pos_) {
-      throw util::IoError("section '" + section_ + "': truncated " + what +
+      throw util::IoError(where() + ": truncated " + what +
                           " (need " + std::to_string(need) + " bytes, have " +
                           std::to_string(data_.size() - pos_) + ")");
     }
@@ -141,6 +151,7 @@ class ByteReader {
   std::span<const std::byte> data_;
   std::size_t pos_ = 0;
   std::string section_;
+  std::string origin_;  ///< file the section came from ("" = in-memory)
 };
 
 }  // namespace rumor::io

@@ -1,0 +1,114 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/file.hpp"
+
+namespace rumor::obs {
+
+namespace {
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "rumor_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+    out.push_back(word ? c : '_');
+  }
+  return out;
+}
+
+void append_number(std::ostringstream& out, double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    out << static_cast<long long>(value);
+  } else {
+    out << value;
+  }
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out.precision(12);
+  for (const auto& counter : snapshot.counters) {
+    const std::string name = prometheus_name(counter.name) + "_total";
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << counter.value << "\n";
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    const std::string name = prometheus_name(gauge.name);
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " ";
+    append_number(out, gauge.value);
+    out << "\n";
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    const std::string name = prometheus_name(histogram.name);
+    out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < histogram.bounds.size(); ++b) {
+      cumulative += histogram.counts[b];
+      out << name << "_bucket{le=\"";
+      append_number(out, histogram.bounds[b]);
+      out << "\"} " << cumulative << "\n";
+    }
+    cumulative += histogram.counts.back();
+    out << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    out << name << "_sum ";
+    append_number(out, histogram.sum);
+    out << "\n";
+    out << name << "_count " << histogram.count << "\n";
+  }
+  return out.str();
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out.precision(12);
+  out << "{\"schema\":\"rumor-metrics/1\",\"counters\":{";
+  for (std::size_t c = 0; c < snapshot.counters.size(); ++c) {
+    if (c != 0) out << ",";
+    out << "\"" << snapshot.counters[c].name
+        << "\":" << snapshot.counters[c].value;
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t g = 0; g < snapshot.gauges.size(); ++g) {
+    if (g != 0) out << ",";
+    out << "\"" << snapshot.gauges[g].name << "\":";
+    append_number(out, snapshot.gauges[g].value);
+  }
+  out << "},\"histograms\":{";
+  for (std::size_t h = 0; h < snapshot.histograms.size(); ++h) {
+    const auto& histogram = snapshot.histograms[h];
+    if (h != 0) out << ",";
+    out << "\"" << histogram.name << "\":{\"bounds\":[";
+    for (std::size_t b = 0; b < histogram.bounds.size(); ++b) {
+      if (b != 0) out << ",";
+      append_number(out, histogram.bounds[b]);
+    }
+    out << "],\"counts\":[";
+    for (std::size_t b = 0; b < histogram.counts.size(); ++b) {
+      if (b != 0) out << ",";
+      out << histogram.counts[b];
+    }
+    out << "],\"sum\":";
+    append_number(out, histogram.sum);
+    out << ",\"count\":" << histogram.count << "}";
+  }
+  out << "}}\n";
+  return out.str();
+}
+
+void write_prometheus(const std::string& path) {
+  util::write_file_atomic(path, to_prometheus(metrics().snapshot()));
+}
+
+void write_metrics_json(const std::string& path) {
+  util::write_file_atomic(path, to_json(metrics().snapshot()));
+}
+
+}  // namespace rumor::obs

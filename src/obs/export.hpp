@@ -1,0 +1,33 @@
+// Metrics snapshot exporters: Prometheus text exposition format and a
+// JSON document, both written through the shared atomic
+// tmp-then-rename path (util/file), so a scraper or a resumed run
+// never observes a half-written snapshot.
+//
+// Name mapping for Prometheus: dotted registry names are prefixed with
+// "rumor_" and dots become underscores; counters additionally get the
+// conventional "_total" suffix ("sim.steps" -> "rumor_sim_steps_total").
+// Histograms render cumulative "_bucket{le=...}" series plus "_sum"
+// and "_count", per the exposition format.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace rumor::obs {
+
+/// Render `snapshot` in the Prometheus text exposition format
+/// (version 0.0.4): "# TYPE" comments plus one sample per line.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// Render `snapshot` as one JSON document:
+/// {"schema":"rumor-metrics/1","counters":{...},"gauges":{...},
+///  "histograms":{name:{"bounds":[...],"counts":[...],"sum":s,
+///  "count":n}}}.
+std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Snapshot the global registry and atomically write the chosen format.
+void write_prometheus(const std::string& path);
+void write_metrics_json(const std::string& path);
+
+}  // namespace rumor::obs

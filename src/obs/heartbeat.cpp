@@ -1,0 +1,78 @@
+#include "obs/heartbeat.hpp"
+
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace rumor::obs {
+
+namespace {
+
+// Previous beat's counter values, so the digest can show deltas. Only
+// the heartbeat thread touches it (one heartbeat at a time per digest
+// call is the expected usage; concurrent digests would only skew the
+// deltas, never race — guarded anyway for correctness).
+std::mutex g_digest_mutex;
+std::map<std::string, std::uint64_t>& digest_memory() {
+  static std::map<std::string, std::uint64_t> memory;
+  return memory;
+}
+
+}  // namespace
+
+std::string Heartbeat::registry_digest() {
+  const MetricsSnapshot snapshot = metrics().snapshot();
+  const std::lock_guard<std::mutex> lock(g_digest_mutex);
+  auto& previous = digest_memory();
+  std::ostringstream out;
+  out << "heartbeat:";
+  bool any = false;
+  for (const auto& counter : snapshot.counters) {
+    if (counter.value == 0) continue;
+    const std::uint64_t before = previous[counter.name];
+    out << " " << counter.name << "=" << counter.value;
+    if (counter.value >= before && counter.value != before) {
+      out << "(+" << counter.value - before << ")";
+    }
+    previous[counter.name] = counter.value;
+    any = true;
+  }
+  if (!any) out << " (no activity yet)";
+  return out.str();
+}
+
+Heartbeat::Heartbeat(double period_seconds, Status status)
+    : status_(std::move(status)) {
+  util::require(period_seconds > 0.0,
+                "Heartbeat: period must be positive");
+  thread_ = std::thread([this, period_seconds] { loop(period_seconds); });
+}
+
+Heartbeat::~Heartbeat() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void Heartbeat::loop(double period_seconds) {
+  const auto period = std::chrono::duration<double>(period_seconds);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, period, [this] { return stop_; })) break;
+    lock.unlock();
+    const std::string line =
+        status_ ? status_() : registry_digest();
+    if (!line.empty()) util::log_info() << line;
+    lock.lock();
+  }
+}
+
+}  // namespace rumor::obs

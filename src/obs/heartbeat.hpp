@@ -1,0 +1,50 @@
+// Periodic heartbeat/progress reporter for multi-hour runs.
+//
+// A Heartbeat owns one background thread that wakes every `period`
+// seconds and emits a status line through util::log_info (which is
+// thread-safe and honors --log-json). By default the status line is a
+// compact digest of the global metrics registry — every counter that
+// moved since the previous beat, as "name=value(+delta)" — so a
+// long-running rumorctl or bench invocation shows liveness and
+// throughput without any per-engine wiring. Pass a custom status
+// callback to report something else.
+//
+// Destruction stops the thread promptly (no final beat is forced).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace rumor::obs {
+
+class Heartbeat {
+ public:
+  /// Status callback: returns the line to log (empty = skip this beat).
+  using Status = std::function<std::string()>;
+
+  /// Start beating every `period_seconds` (> 0). With no callback, logs
+  /// the default registry digest.
+  explicit Heartbeat(double period_seconds, Status status = {});
+  ~Heartbeat();
+
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  /// The default registry digest ("heartbeat: a=12(+3) b=7(+7) ...").
+  /// Exposed for tests and custom callbacks that want to extend it.
+  static std::string registry_digest();
+
+ private:
+  void loop(double period_seconds);
+
+  Status status_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace rumor::obs

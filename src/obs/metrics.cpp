@@ -1,0 +1,218 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace rumor::obs {
+
+std::size_t thread_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMaxThreadSlots;
+  return slot;
+}
+
+// ---- Counter --------------------------------------------------------
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const detail::Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// ---- Gauge ----------------------------------------------------------
+
+void Gauge::set(double value) noexcept {
+  bits_.store(std::bit_cast<std::uint64_t>(value),
+              std::memory_order_relaxed);
+}
+
+double Gauge::value() const noexcept {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+// ---- Histogram ------------------------------------------------------
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : bounds_(std::move(bounds)), name_(std::move(name)) {
+  util::require(!bounds_.empty(),
+                "Histogram: need at least one bucket bound");
+  util::require(bounds_.size() <= kMaxHistogramBounds,
+                "Histogram: too many bucket bounds");
+  util::require(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "Histogram: bucket bounds must be ascending");
+}
+
+void Histogram::record(double value) noexcept {
+  HistShard& shard = shards_[thread_slot()];
+  std::size_t bucket = bounds_.size();  // +Inf
+  for (std::size_t b = 0; b < bounds_.size(); ++b) {
+    if (value <= bounds_[b]) {
+      bucket = b;
+      break;
+    }
+  }
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  // CAS-add the double sum; only same-slot threads ever contend.
+  std::uint64_t seen = shard.sum_bits.load(std::memory_order_relaxed);
+  while (!shard.sum_bits.compare_exchange_weak(
+      seen, std::bit_cast<std::uint64_t>(std::bit_cast<double>(seen) + value),
+      std::memory_order_relaxed, std::memory_order_relaxed)) {
+  }
+}
+
+// ---- Registry -------------------------------------------------------
+
+struct Registry::Entries {
+  mutable std::mutex mutex;
+  // Node-based maps: handle addresses are stable across registrations.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry::Entries& Registry::entries() const {
+  // Leaked on purpose: handles embedded in static-duration engines may
+  // record during program teardown.
+  static Entries* const entries = new Entries();
+  return *entries;
+}
+
+Registry& Registry::global() {
+  static Registry* const registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Entries& e = entries();
+  const std::lock_guard<std::mutex> lock(e.mutex);
+  util::require(e.gauges.find(name) == e.gauges.end() &&
+                    e.histograms.find(name) == e.histograms.end(),
+                "Registry::counter: name already registered with a "
+                "different metric kind");
+  auto it = e.counters.find(name);
+  if (it == e.counters.end()) {
+    it = e.counters
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Entries& e = entries();
+  const std::lock_guard<std::mutex> lock(e.mutex);
+  util::require(e.counters.find(name) == e.counters.end() &&
+                    e.histograms.find(name) == e.histograms.end(),
+                "Registry::gauge: name already registered with a "
+                "different metric kind");
+  auto it = e.gauges.find(name);
+  if (it == e.gauges.end()) {
+    it = e.gauges
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  Entries& e = entries();
+  const std::lock_guard<std::mutex> lock(e.mutex);
+  util::require(e.counters.find(name) == e.counters.end() &&
+                    e.gauges.find(name) == e.gauges.end(),
+                "Registry::histogram: name already registered with a "
+                "different metric kind");
+  auto it = e.histograms.find(name);
+  if (it == e.histograms.end()) {
+    it = e.histograms
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(
+                          new Histogram(std::string(name), std::move(bounds))))
+             .first;
+  } else if (!bounds.empty() && bounds != it->second->bounds()) {
+    throw util::InvalidArgument(
+        "Registry::histogram: '" + std::string(name) +
+        "' re-registered with different bucket bounds");
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  Entries& e = entries();
+  const std::lock_guard<std::mutex> lock(e.mutex);
+  MetricsSnapshot snap;
+  snap.counters.reserve(e.counters.size());
+  for (const auto& [name, counter] : e.counters) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.gauges.reserve(e.gauges.size());
+  for (const auto& [name, gauge] : e.gauges) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  snap.histograms.reserve(e.histograms.size());
+  for (const auto& [name, histogram] : e.histograms) {
+    MetricsSnapshot::HistogramValue value;
+    value.name = name;
+    value.bounds = histogram->bounds_;
+    value.counts.assign(value.bounds.size() + 1, 0);
+    for (const Histogram::HistShard& shard : histogram->shards_) {
+      for (std::size_t b = 0; b < value.counts.size(); ++b) {
+        value.counts[b] += shard.buckets[b].load(std::memory_order_relaxed);
+      }
+      value.sum += std::bit_cast<double>(
+          shard.sum_bits.load(std::memory_order_relaxed));
+      value.count += shard.count.load(std::memory_order_relaxed);
+    }
+    snap.histograms.push_back(std::move(value));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  Entries& e = entries();
+  const std::lock_guard<std::mutex> lock(e.mutex);
+  for (auto& [name, counter] : e.counters) {
+    for (detail::Shard& shard : counter->shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& [name, gauge] : e.gauges) {
+    gauge->bits_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, histogram] : e.histograms) {
+    for (Histogram::HistShard& shard : histogram->shards_) {
+      for (auto& bucket : shard.buckets) {
+        bucket.store(0, std::memory_order_relaxed);
+      }
+      shard.sum_bits.store(0, std::memory_order_relaxed);
+      shard.count.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const noexcept {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::gauge(std::string_view name) const noexcept {
+  for (const GaugeValue& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0.0;
+}
+
+}  // namespace rumor::obs

@@ -1,0 +1,185 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bucket
+// histograms with per-thread sharded accumulation.
+//
+// Design rules the engine hot paths rely on:
+//
+//  * Recording is allocation-free and lock-free. A Counter holds one
+//    cache-line-padded relaxed atomic per thread slot; Counter::add is a
+//    single fetch_add on the calling thread's own line, so the
+//    frontier/dense simulation steps and the costate RHS loops keep
+//    their 0-alloc guarantee (pinned by test_perf_alloc) and parallel
+//    workers never contend on a shared line.
+//  * Registration (Registry::counter / gauge / histogram) takes a mutex
+//    and may allocate — call it once at construction / setup time and
+//    keep the returned reference. Handles are stable for the process
+//    lifetime; metrics are never removed.
+//  * snapshot() merges the shards in slot order. All per-shard state is
+//    integral (u64 bucket/count values) except histogram sums, which
+//    are doubles — sums of integral observations below 2^53 are exact,
+//    so merged values are identical at any thread count (pinned by
+//    test_obs_metrics at 1/2/8 threads). A snapshot taken while
+//    recorders are running is a consistent monotone view: every counter
+//    value is between the true counts before and after the snapshot.
+//
+// Naming: dotted lowercase ("sim.edges_scanned"). Exporters map names
+// to their format's conventions (obs/export.hpp).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rumor::obs {
+
+/// Number of per-thread accumulation slots. Threads beyond this many
+/// share slots (correctness is unaffected — slots are atomics; only
+/// the contention-freedom degrades).
+inline constexpr std::size_t kMaxThreadSlots = 64;
+
+/// Largest number of histogram bucket bounds a histogram may declare.
+inline constexpr std::size_t kMaxHistogramBounds = 24;
+
+/// This thread's shard slot in [0, kMaxThreadSlots), assigned on first
+/// use and stable for the thread's lifetime.
+std::size_t thread_slot() noexcept;
+
+namespace detail {
+struct alignas(64) Shard {
+  std::atomic<std::uint64_t> value{0};
+};
+}  // namespace detail
+
+/// Monotone event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[thread_slot()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Merged total (slot-order sum; exact — values are integers).
+  std::uint64_t value() const noexcept;
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  std::array<detail::Shard, kMaxThreadSlots> shards_;
+  std::string name_;
+};
+
+/// Last-writer-wins instantaneous value (double).
+class Gauge {
+ public:
+  void set(double value) noexcept;
+  double value() const noexcept;
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  std::atomic<std::uint64_t> bits_{0};
+  std::string name_;
+};
+
+/// Fixed-bucket histogram: bounds are upper edges (a value lands in the
+/// first bucket whose bound is >= value; values above every bound land
+/// in the implicit +Inf bucket). Bounds are fixed at registration.
+class Histogram {
+ public:
+  void record(double value) noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Registry;
+  Histogram(std::string name, std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  struct alignas(64) HistShard {
+    // bounds_.size() + 1 buckets used; fixed capacity keeps the shard
+    // a flat, allocation-free block.
+    std::array<std::atomic<std::uint64_t>, kMaxHistogramBounds + 1> buckets{};
+    std::atomic<std::uint64_t> sum_bits{0};  // double accumulated via CAS
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  std::vector<double> bounds_;  // ascending upper edges
+  std::array<HistShard, kMaxThreadSlots> shards_;
+  std::string name_;
+};
+
+/// One merged, point-in-time view of the registry, sorted by name.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> bounds;        ///< upper edges
+    std::vector<std::uint64_t> counts; ///< bounds.size() + 1 (last = +Inf)
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Convenience lookups (0 / default when absent) for tests and gates.
+  std::uint64_t counter(std::string_view name) const noexcept;
+  double gauge(std::string_view name) const noexcept;
+};
+
+/// The process-wide metric namespace. Handles returned by the lookup
+/// methods stay valid for the process lifetime.
+class Registry {
+ public:
+  /// The global registry (created on first use, never destroyed).
+  static Registry& global();
+
+  /// Find-or-create. Kind mismatches (a counter name reused as a gauge)
+  /// throw util::InvalidArgument.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` must be ascending, non-empty, and at most
+  /// kMaxHistogramBounds entries; on the first call they fix the
+  /// buckets, later calls must pass identical bounds (or nothing).
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Merged view of every registered metric, names sorted.
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every shard (counts, sums, gauge values), keeping the
+  /// registered metrics and handles. Only meaningful while no recorder
+  /// is running (benches between cases, test setup).
+  void reset();
+
+ private:
+  Registry() = default;
+
+  struct Entries;
+  Entries& entries() const;
+};
+
+/// Shorthand for Registry::global().
+inline Registry& metrics() { return Registry::global(); }
+
+}  // namespace rumor::obs

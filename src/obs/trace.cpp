@@ -1,0 +1,145 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "util/file.hpp"
+
+namespace rumor::obs {
+
+namespace {
+
+struct Event {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint64_t end_ns;
+};
+
+// One buffer per recording thread. The owning thread appends, a
+// drain (trace_to_json / trace_reset) reads — both under the buffer's
+// own mutex, so enabling tracing adds no cross-thread contention
+// beyond the rare drain.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<Event> events;
+  std::uint32_t tid = 0;
+};
+
+struct Collector {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> epoch_ns{0};
+  std::mutex registry_mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+};
+
+// Leaked on purpose: spans in static-duration objects may close during
+// program teardown.
+Collector& collector() {
+  static Collector* const c = new Collector();
+  return *c;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    Collector& c = collector();
+    auto owned = std::make_unique<ThreadBuffer>();
+    owned->events.reserve(4096);
+    ThreadBuffer* raw = owned.get();
+    const std::lock_guard<std::mutex> lock(c.registry_mutex);
+    raw->tid = static_cast<std::uint32_t>(c.buffers.size() + 1);
+    c.buffers.push_back(std::move(owned));
+    return raw;
+  }();
+  return *buffer;
+}
+
+std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void set_trace_enabled(bool enabled) {
+  Collector& c = collector();
+  if (enabled) {
+    c.epoch_ns.store(steady_ns(), std::memory_order_relaxed);
+  }
+  c.enabled.store(enabled, std::memory_order_release);
+}
+
+bool trace_enabled() noexcept {
+  return collector().enabled.load(std::memory_order_acquire);
+}
+
+void trace_reset() {
+  Collector& c = collector();
+  const std::lock_guard<std::mutex> registry_lock(c.registry_mutex);
+  for (const auto& buffer : c.buffers) {
+    const std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::size_t trace_event_count() {
+  Collector& c = collector();
+  const std::lock_guard<std::mutex> registry_lock(c.registry_mutex);
+  std::size_t total = 0;
+  for (const auto& buffer : c.buffers) {
+    const std::lock_guard<std::mutex> lock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+namespace detail {
+
+std::uint64_t trace_now_ns() noexcept {
+  return steady_ns() - collector().epoch_ns.load(std::memory_order_relaxed);
+}
+
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t end_ns) {
+  ThreadBuffer& buffer = thread_buffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back({name, start_ns, end_ns});
+}
+
+}  // namespace detail
+
+std::string trace_to_json() {
+  Collector& c = collector();
+  std::ostringstream json;
+  json.precision(3);
+  json << std::fixed;
+  json << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const std::lock_guard<std::mutex> registry_lock(c.registry_mutex);
+  for (const auto& buffer : c.buffers) {
+    const std::lock_guard<std::mutex> lock(buffer->mutex);
+    for (const Event& event : buffer->events) {
+      if (!first) json << ",";
+      first = false;
+      json << "{\"name\":\"" << event.name
+           << "\",\"cat\":\"rumor\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+           << buffer->tid
+           << ",\"ts\":" << static_cast<double>(event.start_ns) * 1e-3
+           << ",\"dur\":"
+           << static_cast<double>(event.end_ns - event.start_ns) * 1e-3
+           << "}";
+    }
+  }
+  json << "]}\n";
+  return json.str();
+}
+
+void write_trace_json(const std::string& path) {
+  util::write_file_atomic(path, trace_to_json());
+}
+
+}  // namespace rumor::obs

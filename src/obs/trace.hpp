@@ -1,0 +1,75 @@
+// Scoped trace spans exported as Chrome trace-event JSON.
+//
+// Tracing is opt-in: when disabled (the default) a TraceSpan costs one
+// relaxed atomic load and records nothing, so instrumented hot paths
+// (agent-sim chunks, FBSM iterations, checkpoint saves) stay free.
+// When enabled, each completed span appends one fixed-size event to a
+// per-thread buffer (registered on the thread's first span; appends
+// take that buffer's own mutex, which only the owner and a concurrent
+// drain ever touch).
+//
+// Span names must be string literals (or otherwise outlive the
+// collector): events store the pointer, not a copy, which is what
+// keeps recording allocation-free once a thread's buffer has warmed
+// up.
+//
+// Export: trace_to_json() renders {"traceEvents":[...]} with complete
+// ("ph":"X") events — timestamps in microseconds since tracing was
+// (re)enabled, one tid per recording thread — which loads directly in
+// chrome://tracing and Perfetto. write_trace_json() writes it through
+// the shared atomic tmp-then-rename path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace rumor::obs {
+
+/// Turn span recording on or off. Enabling (re)starts the trace clock;
+/// previously recorded events are kept until trace_reset().
+void set_trace_enabled(bool enabled);
+bool trace_enabled() noexcept;
+
+/// Discard every recorded event (buffers keep their capacity).
+void trace_reset();
+
+/// Number of events recorded so far (all threads).
+std::size_t trace_event_count();
+
+/// Render all recorded events as Chrome trace-event JSON.
+std::string trace_to_json();
+
+/// Atomically write trace_to_json() to `path`.
+void write_trace_json(const std::string& path);
+
+namespace detail {
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t end_ns);
+std::uint64_t trace_now_ns() noexcept;
+}  // namespace detail
+
+/// RAII span: measures from construction to destruction on the calling
+/// thread. `name` must outlive the trace collector (use a literal).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept {
+    if (trace_enabled()) {
+      name_ = name;
+      start_ns_ = detail::trace_now_ns();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      detail::record_span(name_, start_ns_, detail::trace_now_ns());
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace rumor::obs

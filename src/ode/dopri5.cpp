@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace rumor::ode {
 
 namespace {
+
+obs::Counter& rhs_evals() {
+  static obs::Counter* const c = &obs::metrics().counter("ode.rhs_evals");
+  return *c;
+}
 
 // Dormand–Prince 5(4) Butcher tableau (FSAL: k7 at the new point reuses
 // as k1 of the next step).
@@ -51,6 +57,7 @@ Trajectory integrate_dopri5(const OdeSystem& system, const State& y0,
 
   system.rhs(t0, y, k1);
   ++local.rhs_evaluations;
+  rhs_evals().add(1);
 
   const double interval = t1 - t0;
   const double max_step =
@@ -108,6 +115,7 @@ Trajectory integrate_dopri5(const OdeSystem& system, const State& y0,
     }
     system.rhs(t + h, y_new, k7);
     local.rhs_evaluations += 6;
+    rhs_evals().add(6);
 
     // Weighted RMS error of the embedded difference.
     double err = 0.0;

@@ -2,10 +2,18 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
 namespace rumor::ode {
+
+namespace {
+obs::Counter& rhs_evals() {
+  static obs::Counter* const c = &obs::metrics().counter("ode.rhs_evals");
+  return *c;
+}
+}  // namespace
 
 ImplicitStepperBase::ImplicitStepperBase(const JacobianProvider* jacobian,
                                          NewtonOptions options)
@@ -25,6 +33,7 @@ void ImplicitStepperBase::fill_jacobian(const OdeSystem& system, double t,
     return;
   }
   // Central finite differences.
+  rhs_evals().add(2 * static_cast<std::uint64_t>(n));
   State plus(y.begin(), y.end());
   State minus(y.begin(), y.end());
   State f_plus(n), f_minus(n);
@@ -57,7 +66,9 @@ void ImplicitStepperBase::step(const OdeSystem& system, double t,
     trial_.assign(n, 0.0);
   }
 
-  // Explicit part of the trapezoid residual.
+  // Explicit part of the trapezoid residual. Exactly one of the two
+  // branches below evaluates f0.
+  rhs_evals().add(1);
   double explicit_weight = 0.0;
   if (uses_explicit_half()) {
     system.rhs(t, y, f0_);
@@ -91,6 +102,7 @@ void ImplicitStepperBase::step(const OdeSystem& system, double t,
   last_newton_ = 0;
   for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
     last_newton_ = iter;
+    rhs_evals().add(1);
     system.rhs(t + h, trial_, f1_);
     for (std::size_t i = 0; i < n; ++i) {
       residual_[i] = trial_[i] - y[i] - c * h * f1_[i] -

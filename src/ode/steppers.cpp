@@ -1,5 +1,6 @@
 #include "ode/steppers.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace rumor::ode {
@@ -8,6 +9,11 @@ namespace {
 void resize_if_needed(State& buffer, std::size_t n) {
   if (buffer.size() != n) buffer.assign(n, 0.0);
 }
+
+obs::Counter& rhs_evals() {
+  static obs::Counter* const c = &obs::metrics().counter("ode.rhs_evals");
+  return *c;
+}
 }  // namespace
 
 void EulerStepper::step(const OdeSystem& system, double t,
@@ -15,6 +21,7 @@ void EulerStepper::step(const OdeSystem& system, double t,
                         std::span<double> y_next) {
   const std::size_t n = system.dimension();
   resize_if_needed(k1_, n);
+  rhs_evals().add(1);
   system.rhs(t, y, k1_);
   for (std::size_t i = 0; i < n; ++i) y_next[i] = y[i] + h * k1_[i];
 }
@@ -26,6 +33,7 @@ void HeunStepper::step(const OdeSystem& system, double t,
   resize_if_needed(k1_, n);
   resize_if_needed(k2_, n);
   resize_if_needed(mid_, n);
+  rhs_evals().add(2);
   system.rhs(t, y, k1_);
   for (std::size_t i = 0; i < n; ++i) mid_[i] = y[i] + h * k1_[i];
   system.rhs(t + h, mid_, k2_);
@@ -44,6 +52,7 @@ void Rk4Stepper::step(const OdeSystem& system, double t,
   resize_if_needed(k4_, n);
   resize_if_needed(tmp_, n);
 
+  rhs_evals().add(4);
   system.rhs(t, y, k1_);
   for (std::size_t i = 0; i < n; ++i) tmp_[i] = y[i] + 0.5 * h * k1_[i];
   system.rhs(t + 0.5 * h, tmp_, k2_);

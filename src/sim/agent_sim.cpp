@@ -4,12 +4,40 @@
 #include <cmath>
 #include <map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
 namespace rumor::sim {
 
 namespace {
+// Registry handles, resolved once (registration locks; add() never
+// does). Leaked so spans in static-duration objects stay valid.
+struct SimMetrics {
+  obs::Counter& steps;
+  obs::Counter& edges_scanned;
+  obs::Counter& infections;
+  obs::Counter& recoveries;
+  obs::Gauge& infected;
+  obs::Gauge& frontier_active;
+  obs::Gauge& frontier_infected;
+};
+
+SimMetrics& sim_metrics() {
+  static SimMetrics* const m = [] {
+    obs::Registry& r = obs::metrics();
+    return new SimMetrics{r.counter("sim.steps"),
+                          r.counter("sim.edges_scanned"),
+                          r.counter("sim.infections"),
+                          r.counter("sim.recoveries"),
+                          r.gauge("sim.infected"),
+                          r.gauge("sim.frontier_active"),
+                          r.gauge("sim.frontier_infected")};
+  }();
+  return *m;
+}
+
 // Nodes (or frontier-list entries) per parallel chunk. Fixed — never
 // derived from the thread count — so chunk boundaries, and therefore
 // the order transitions are applied in, are a pure function of the
@@ -188,6 +216,7 @@ double AgentSimulation::gather_hazard(std::size_t v) const {
 }
 
 void AgentSimulation::step() {
+  const obs::TraceSpan span("sim.step");
   const double dt = params_.dt;
   const double e1 =
       control_ ? control_->epsilon1(time_) : params_.epsilon1;
@@ -196,6 +225,14 @@ void AgentSimulation::step() {
   const double p_immunize = 1.0 - std::exp(-e1 * dt);
   const double p_block = 1.0 - std::exp(-e2 * dt);
   const std::uint64_t step_key = util::hash_mix(seed_, step_count_);
+  // Telemetry from the census counters the step maintains anyway:
+  // within one step nodes only move S->I, S->R, or I->R, so the
+  // ever-infected and recovered counts are monotone and their deltas
+  // are this step's infection / recovery totals.
+  const std::size_t ever_before = ever_infected_;
+  const std::size_t recovered_before =
+      num_nodes() - susceptible_count_ - infected_count_;
+  const std::uint64_t edges_before = edges_scanned_;
   if (frontier()) {
     step_frontier(p_immunize, p_block, step_key);
   } else {
@@ -203,6 +240,17 @@ void AgentSimulation::step() {
   }
   ++step_count_;
   time_ += dt;
+  SimMetrics& m = sim_metrics();
+  m.steps.add();
+  m.edges_scanned.add(edges_scanned_ - edges_before);
+  m.infections.add(ever_infected_ - ever_before);
+  m.recoveries.add(num_nodes() - susceptible_count_ - infected_count_ -
+                   recovered_before);
+  m.infected.set(static_cast<double>(infected_count_));
+  if (frontier()) {
+    m.frontier_active.set(static_cast<double>(active_list_.size()));
+    m.frontier_infected.set(static_cast<double>(infected_list_.size()));
+  }
 }
 
 void AgentSimulation::step_dense(double p_immunize, double p_block,
@@ -217,6 +265,7 @@ void AgentSimulation::step_dense(double p_immunize, double p_block,
   util::parallel_for_chunks(
       std::size_t{0}, n, kStepGrain,
       [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+        const obs::TraceSpan chunk_span("sim.chunk");
         StepDelta d;
         std::uint64_t edges = 0;
         for (std::size_t v = lo; v < hi; ++v) {
@@ -295,6 +344,7 @@ void AgentSimulation::step_frontier(double p_immunize, double p_block,
     util::parallel_for_chunks(
         std::size_t{0}, n, kStepGrain,
         [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+          const obs::TraceSpan chunk_span("sim.chunk");
           auto& out = chunk_transitions_[chunk];
           out.clear();
           std::uint64_t edges = 0;
@@ -345,6 +395,7 @@ void AgentSimulation::step_frontier(double p_immunize, double p_block,
     util::parallel_for_chunks(
         std::size_t{0}, active, kStepGrain,
         [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+          const obs::TraceSpan chunk_span("sim.chunk");
           auto& out = chunk_transitions_[chunk];
           out.clear();
           std::uint64_t edges = 0;

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "io/container.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
@@ -195,7 +197,12 @@ EnsembleResult run_ensemble_impl(const graph::Graph& g,
 
   util::parallel_for(
       std::size_t{0}, options.replicas, /*grain=*/1, [&](std::size_t r) {
-        if (done[r]) return;
+        if (done[r]) {
+          obs::metrics().counter("ensemble.replicas_resumed").add();
+          return;
+        }
+        const obs::TraceSpan replica_span("ensemble.replica");
+        obs::metrics().counter("ensemble.replicas_run").add();
         AgentSimulation simulation(g, params,
                                    replica_seed(options.seed, r));
         const std::size_t seeds =

@@ -1,0 +1,36 @@
+#include "util/file.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace rumor::util {
+
+void write_file_atomic(const std::string& path,
+                       std::span<const std::byte> bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (!file) {
+    throw IoError("write_file_atomic: cannot create " + tmp);
+  }
+  const std::size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const bool flushed = std::fflush(file) == 0;
+  std::fclose(file);
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw IoError("write_file_atomic: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("write_file_atomic: cannot rename " + tmp + " to " + path);
+  }
+}
+
+void write_file_atomic(const std::string& path, std::string_view text) {
+  write_file_atomic(
+      path, std::span<const std::byte>(
+                reinterpret_cast<const std::byte*>(text.data()), text.size()));
+}
+
+}  // namespace rumor::util

@@ -1,0 +1,25 @@
+// Atomic whole-file writes: write `path + ".tmp"`, flush, then rename
+// over `path`, so readers (and a resumed run after a crash mid-write)
+// only ever observe the previous complete file or the new complete
+// file. This is the one write path shared by the binary container
+// (io/container) and the telemetry exporters (obs/export).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace rumor::util {
+
+/// Replace the contents of `path` atomically with `bytes`. Throws
+/// util::IoError when the temporary cannot be created, written, or
+/// renamed; on failure the temporary is removed and `path` is left
+/// untouched.
+void write_file_atomic(const std::string& path,
+                       std::span<const std::byte> bytes);
+
+/// Text overload (exporters, reports).
+void write_file_atomic(const std::string& path, std::string_view text);
+
+}  // namespace rumor::util

@@ -1,13 +1,66 @@
 #include "util/logging.hpp"
 
+#include <atomic>
+#include <cstdio>
 #include <iostream>
+#include <mutex>
+#include <utility>
 
 namespace rumor::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
 
-const char* level_tag(LogLevel level) {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<bool> g_json{false};
+
+// Sink storage and every emission share one mutex, so a sink swap never
+// races an in-flight log_line and lines never interleave.
+std::mutex& sink_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+LogSink& sink_slot() {
+  static LogSink sink;  // empty = built-in stderr sink
+  return sink;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_slot() = std::move(sink);
+}
+
+void set_log_json(bool enabled) {
+  g_json.store(enabled, std::memory_order_relaxed);
+}
+
+const char* log_level_tag(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "debug";
@@ -22,15 +75,58 @@ const char* level_tag(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-
-LogLevel log_level() { return g_level; }
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
 
 void log_line(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  std::cerr << "[" << level_tag(level) << "] " << message << "\n";
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  if (const LogSink& sink = sink_slot()) {
+    sink(level, message);
+    return;
+  }
+  if (g_json.load(std::memory_order_relaxed)) {
+    std::cerr << "{\"level\":\"" << level_name(level)
+              << "\",\"msg\":" << json_escape(message) << "}\n";
+  } else {
+    std::cerr << "[" << log_level_tag(level) << "] " << message << "\n";
+  }
 }
 
 }  // namespace rumor::util

@@ -1,23 +1,50 @@
-// Minimal leveled logger.
+// Minimal leveled logger with pluggable sinks.
 //
-// The libraries are quiet by default (level = kWarn); benches and examples
-// raise the level when narrating progress. Not thread-safe by design: all
-// call sites in this project log from a single thread, and the agent-based
-// ensembles log only from the coordinating thread.
+// The libraries are quiet by default (level = kWarn); benches and
+// examples raise the level when narrating progress. Thread-safe: the
+// level is an atomic, and sink invocations are serialized under one
+// mutex, so concurrent engines (parallel ensembles, the agent-sim
+// chunk workers, the obs heartbeat thread) can log without interleaving
+// bytes within a line.
+//
+// Sinks: by default each line goes to stderr as "[level] message".
+// set_log_sink installs a replacement (e.g. a capture buffer in tests);
+// set_log_json switches the built-in sink to structured JSON lines
+// ({"level":"...","msg":"..."}), which is what `rumorctl --log-json 1`
+// emits for log shippers.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace rumor::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global log threshold; messages below it are dropped.
+/// Global log threshold; messages below it are dropped. Atomic.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one formatted line ("[level] message") to stderr if enabled.
+/// Install a replacement sink (nullptr restores the built-in stderr
+/// sink). The sink is called with the level and the unformatted message
+/// under the logging mutex — keep it fast and do not log from inside.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+void set_log_sink(LogSink sink);
+
+/// Switch the built-in sink between plain "[level] message" lines and
+/// one JSON object per line. Ignored while a custom sink is installed.
+void set_log_json(bool enabled);
+
+/// Tag for a level ("debug", "info ", ...), trailing-padded to width 5.
+const char* log_level_tag(LogLevel level);
+
+/// JSON-escape `text` into a double-quoted string literal.
+std::string json_escape(std::string_view text);
+
+/// Emit one line through the current sink if `level` passes the
+/// threshold. Serialized: concurrent callers never interleave.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -132,6 +132,30 @@ TEST(IoArtifacts, MismatchedCascadeSectionsRejected) {
   fs::remove(path);
 }
 
+TEST(IoArtifacts, LoadErrorsNameSectionAndFilePath) {
+  // A corrupted section must be attributable: the error names both the
+  // section and the file it was loaded from.
+  ContainerWriter writer(kCascadeKind);
+  ByteWriter t;
+  t.u64(100);  // claims 100 doubles, provides none
+  writer.add_section("cascade.t", std::move(t));
+  ByteWriter density;
+  density.vec(std::vector<double>{});
+  writer.add_section("cascade.density", std::move(density));
+  const std::string path = temp_path("truncated.bin");
+  writer.write_file(path);
+  try {
+    load_cascade(path);
+    FAIL() << "expected util::IoError";
+  } catch (const util::IoError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("section 'cascade.t'"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find(path), std::string::npos) << message;
+  }
+  fs::remove(path);
+}
+
 TEST(IoArtifacts, InvalidHistogramRejectedAsIoError) {
   // Duplicate degrees pass the CRC but violate DegreeHistogram's
   // invariants; the loader must surface that as a typed IoError.

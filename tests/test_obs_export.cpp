@@ -1,0 +1,160 @@
+// Exporter formats (Prometheus text, JSON document) and end-to-end
+// checks that the engines actually feed the registry.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "control/fbsweep.hpp"
+#include "core/profile.hpp"
+#include "core/sir_model.hpp"
+#include "graph/generators.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "sim/agent_sim.hpp"
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace rumor {
+namespace {
+
+class ObsExport : public ::testing::Test {
+ protected:
+  void SetUp() override { util::set_log_level(util::LogLevel::kError); }
+  void TearDown() override { util::set_log_level(util::LogLevel::kInfo); }
+};
+
+TEST_F(ObsExport, PrometheusRendersEveryMetricKind) {
+  obs::metrics().counter("export.hits").add(3);
+  obs::metrics().gauge("export.level").set(2.5);
+  obs::Histogram& histogram =
+      obs::metrics().histogram("export.latency_ms", {1.0, 5.0});
+  histogram.record(0.5);
+  histogram.record(7.0);
+
+  const std::string text = obs::to_prometheus(obs::metrics().snapshot());
+
+  // Counter: rumor_ prefix, dots -> underscores, _total suffix.
+  EXPECT_NE(text.find("# TYPE rumor_export_hits_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rumor_export_hits_total 3\n"), std::string::npos);
+  // Gauge.
+  EXPECT_NE(text.find("# TYPE rumor_export_level gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rumor_export_level 2.5\n"), std::string::npos);
+  // Histogram: cumulative buckets ending at +Inf, then _sum/_count.
+  EXPECT_NE(text.find("# TYPE rumor_export_latency_ms histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rumor_export_latency_ms_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rumor_export_latency_ms_bucket{le=\"5\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rumor_export_latency_ms_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rumor_export_latency_ms_sum 7.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rumor_export_latency_ms_count 2\n"),
+            std::string::npos);
+}
+
+TEST_F(ObsExport, JsonDocumentCarriesSchemaAndValues) {
+  obs::metrics().counter("export.json_hits").add(4);
+  obs::metrics().gauge("export.json_level").set(-1.25);
+  obs::metrics().histogram("export.json_hist", {2.0}).record(1.0);
+
+  const std::string json = obs::to_json(obs::metrics().snapshot());
+  EXPECT_EQ(json.rfind("{\"schema\":\"rumor-metrics/1\",", 0), 0u);
+  EXPECT_NE(json.find("\"export.json_hits\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"export.json_level\":-1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"export.json_hist\":{\"bounds\":[2],\"counts\":[1,0]"
+                      ",\"sum\":1,\"count\":1}"),
+            std::string::npos);
+  // Envelope sanity: the three top-level sections in order.
+  EXPECT_LT(json.find("\"counters\":{"), json.find("\"gauges\":{"));
+  EXPECT_LT(json.find("\"gauges\":{"), json.find("\"histograms\":{"));
+}
+
+TEST_F(ObsExport, WritersProduceTheRenderedDocuments) {
+  obs::metrics().counter("export.file_hits").add(1);
+  const std::string json_path =
+      ::testing::TempDir() + "/rumor_test_metrics.json";
+  const std::string prom_path =
+      ::testing::TempDir() + "/rumor_test_metrics.prom";
+  obs::write_metrics_json(json_path);
+  obs::write_prometheus(prom_path);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream content;
+    content << in.rdbuf();
+    return content.str();
+  };
+  EXPECT_NE(slurp(json_path).find("\"export.file_hits\":1"),
+            std::string::npos);
+  EXPECT_NE(slurp(prom_path).find("rumor_export_file_hits_total 1"),
+            std::string::npos);
+  std::remove(json_path.c_str());
+  std::remove(prom_path.c_str());
+}
+
+// ---- end-to-end: the engines feed the registry ----------------------
+
+TEST_F(ObsExport, AgentSimulationStepsFeedTheRegistry) {
+  util::Xoshiro256 rng(17);
+  const auto g = graph::barabasi_albert(500, 3, rng);
+  sim::AgentParams params;
+  params.lambda = core::Acceptance::linear(1.0);
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  params.epsilon1 = 0.02;
+  params.epsilon2 = 0.1;
+  params.dt = 0.1;
+
+  const obs::MetricsSnapshot before = obs::metrics().snapshot();
+  sim::AgentSimulation simulation(g, params, 7);
+  simulation.seed_random_infections(10);
+  for (int s = 0; s < 20; ++s) simulation.step();
+  const obs::MetricsSnapshot after = obs::metrics().snapshot();
+
+  EXPECT_EQ(after.counter("sim.steps") - before.counter("sim.steps"), 20u);
+  EXPECT_GT(after.counter("sim.edges_scanned"),
+            before.counter("sim.edges_scanned"));
+  EXPECT_GT(after.counter("sim.infections"), before.counter("sim.infections"));
+  // The infected gauge mirrors the census after the last step.
+  EXPECT_DOUBLE_EQ(after.gauge("sim.infected"),
+                   static_cast<double>(simulation.census().infected));
+}
+
+TEST_F(ObsExport, OptimalControlSolveFeedsTheRegistry) {
+  core::ModelParams params;
+  params.alpha = 0.05;
+  params.lambda = core::Acceptance::linear(0.02);
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  const core::SirNetworkModel model(
+      core::NetworkProfile::from_pmf({2.0, 4.0, 8.0}, {0.5, 0.3, 0.2}),
+      params, core::make_constant_control(0.0, 0.0));
+
+  control::CostParams cost;
+  cost.c1 = 5.0;
+  cost.c2 = 10.0;
+  control::SweepOptions options;
+  options.grid_points = 21;
+  options.substeps = 2;
+  options.max_iterations = 5;
+  options.j_tolerance = 0.0;
+  options.tolerance = 0.0;
+
+  const obs::MetricsSnapshot before = obs::metrics().snapshot();
+  const auto result = control::solve_optimal_control(
+      model, model.initial_state(0.05), 5.0, cost, options);
+  const obs::MetricsSnapshot after = obs::metrics().snapshot();
+
+  EXPECT_EQ(after.counter("fbsm.iterations") - before.counter("fbsm.iterations"),
+            static_cast<std::uint64_t>(result.iterations));
+  EXPECT_GT(after.counter("ode.rhs_evals"), before.counter("ode.rhs_evals"));
+}
+
+}  // namespace
+}  // namespace rumor

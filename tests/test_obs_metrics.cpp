@@ -1,0 +1,214 @@
+// Metrics registry: deterministic merge, snapshot consistency, and
+// concurrent recording (the stress tests here also run under the CI
+// thread-sanitizer job).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace rumor {
+namespace {
+
+// Run `per_thread(t)` on `threads` std::threads and join them all.
+void on_threads(std::size_t threads,
+                const std::function<void(std::size_t)>& per_thread) {
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] { per_thread(t); });
+  }
+  for (std::thread& thread : pool) thread.join();
+}
+
+TEST(ObsMetrics, CounterMergesExactlyAtAnyThreadCount) {
+  // The same total work split over 1, 2, and 8 threads must merge to
+  // the identical value — counters are integers, so the slot-order
+  // merge is exact, not approximately commutative.
+  constexpr std::uint64_t kTotalAdds = 64'000;
+  std::uint64_t merged[3] = {};
+  std::size_t which = 0;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    obs::Counter& counter = obs::metrics().counter(
+        "test.merge_" + std::to_string(threads));
+    on_threads(threads, [&](std::size_t) {
+      for (std::uint64_t i = 0; i < kTotalAdds / threads; ++i) {
+        counter.add(3);
+      }
+    });
+    merged[which++] = counter.value();
+  }
+  EXPECT_EQ(merged[0], 3 * kTotalAdds);
+  EXPECT_EQ(merged[0], merged[1]);
+  EXPECT_EQ(merged[1], merged[2]);
+}
+
+TEST(ObsMetrics, HistogramMergesExactlyAtAnyThreadCount) {
+  // Integral observations below 2^53 sum exactly in a double, so the
+  // merged sum/count/buckets are bit-identical however the recording
+  // was sharded.
+  const std::vector<double> bounds{10.0, 100.0, 1000.0};
+  double sums[3] = {};
+  std::uint64_t counts[3] = {};
+  std::vector<std::vector<std::uint64_t>> buckets;
+  std::size_t which = 0;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const std::string name = "test.hist_merge_" + std::to_string(threads);
+    obs::Histogram& histogram = obs::metrics().histogram(name, bounds);
+    // Partition ONE global observation stream (value = j % 2000 for
+    // j in [0, 24000)) across the threads, so every thread count
+    // records the same multiset of values.
+    const std::uint64_t per = 24'000 / threads;
+    on_threads(threads, [&](std::size_t t) {
+      for (std::uint64_t j = t * per; j < (t + 1) * per; ++j) {
+        histogram.record(static_cast<double>(j % 2000));
+      }
+    });
+    const obs::MetricsSnapshot snapshot = obs::metrics().snapshot();
+    for (const auto& h : snapshot.histograms) {
+      if (h.name != name) continue;
+      sums[which] = h.sum;
+      counts[which] = h.count;
+      buckets.push_back(h.counts);
+    }
+    ++which;
+  }
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(counts[0], 24'000u);
+  EXPECT_EQ(counts[0], counts[1]);
+  EXPECT_EQ(counts[1], counts[2]);
+  // 12 full periods of 0..1999: 12 * 1999 * 2000 / 2.
+  EXPECT_EQ(sums[0], 23'988'000.0);
+  EXPECT_EQ(sums[0], sums[1]);
+  EXPECT_EQ(sums[1], sums[2]);
+  EXPECT_EQ(buckets[0].size(), bounds.size() + 1);
+  EXPECT_EQ(buckets[0], buckets[1]);
+  EXPECT_EQ(buckets[1], buckets[2]);
+}
+
+TEST(ObsMetrics, HistogramBucketEdgesAreUpperInclusive) {
+  obs::Histogram& histogram =
+      obs::metrics().histogram("test.hist_edges", {1.0, 2.0, 5.0});
+  histogram.record(0.5);  // <= 1        -> bucket 0
+  histogram.record(1.0);  // == 1        -> bucket 0 (upper edge)
+  histogram.record(1.5);  // <= 2        -> bucket 1
+  histogram.record(10.0);  // > 5        -> +Inf bucket
+  const obs::MetricsSnapshot snapshot = obs::metrics().snapshot();
+  for (const auto& h : snapshot.histograms) {
+    if (h.name != "test.hist_edges") continue;
+    ASSERT_EQ(h.counts.size(), 4u);
+    EXPECT_EQ(h.counts[0], 2u);
+    EXPECT_EQ(h.counts[1], 1u);
+    EXPECT_EQ(h.counts[2], 0u);
+    EXPECT_EQ(h.counts[3], 1u);
+    EXPECT_DOUBLE_EQ(h.sum, 13.0);
+    EXPECT_EQ(h.count, 4u);
+    return;
+  }
+  FAIL() << "histogram test.hist_edges missing from the snapshot";
+}
+
+TEST(ObsMetrics, GaugeHoldsLastWrittenValue) {
+  obs::Gauge& gauge = obs::metrics().gauge("test.gauge");
+  gauge.set(1.5);
+  gauge.set(-3.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), -3.25);
+  EXPECT_DOUBLE_EQ(obs::metrics().snapshot().gauge("test.gauge"), -3.25);
+}
+
+TEST(ObsMetrics, KindMismatchThrows) {
+  obs::metrics().counter("test.kind_clash");
+  EXPECT_THROW(obs::metrics().gauge("test.kind_clash"),
+               util::InvalidArgument);
+  EXPECT_THROW(obs::metrics().histogram("test.kind_clash", {1.0}),
+               util::InvalidArgument);
+}
+
+TEST(ObsMetrics, HistogramBoundsMustMatchOnReRegistration) {
+  obs::metrics().histogram("test.hist_bounds", {1.0, 2.0});
+  EXPECT_NO_THROW(obs::metrics().histogram("test.hist_bounds", {1.0, 2.0}));
+  EXPECT_THROW(obs::metrics().histogram("test.hist_bounds", {1.0, 3.0}),
+               util::InvalidArgument);
+  EXPECT_THROW(obs::metrics().histogram("test.bad_bounds", {2.0, 1.0}),
+               util::InvalidArgument);
+  EXPECT_THROW(obs::metrics().histogram("test.empty_bounds", {}),
+               util::InvalidArgument);
+}
+
+TEST(ObsMetrics, SnapshotDuringRunIsMonotoneAndBounded) {
+  // A snapshot taken while a recorder runs must observe a value between
+  // the true counts before and after it — never garbage, never a
+  // torn/decreasing read.
+  obs::Counter& counter = obs::metrics().counter("test.live_snapshot");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) counter.add(1);
+  });
+  std::uint64_t previous = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t seen =
+        obs::metrics().snapshot().counter("test.live_snapshot");
+    EXPECT_GE(seen, previous);
+    previous = seen;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_GE(counter.value(), previous);
+}
+
+TEST(ObsMetrics, ConcurrentMixedRecordingStress) {
+  // 8 writers hammer one counter/gauge/histogram while a reader
+  // snapshots; run under TSan in CI, and the final totals are exact.
+  obs::Counter& counter = obs::metrics().counter("test.stress_counter");
+  obs::Gauge& gauge = obs::metrics().gauge("test.stress_gauge");
+  obs::Histogram& histogram =
+      obs::metrics().histogram("test.stress_hist", {8.0, 64.0, 512.0});
+  const std::uint64_t before_count = counter.value();
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)obs::metrics().snapshot();
+    }
+  });
+  constexpr std::uint64_t kPerThread = 20'000;
+  on_threads(8, [&](std::size_t t) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      counter.add(1);
+      gauge.set(static_cast<double>(t));
+      histogram.record(static_cast<double>(i % 1024));
+    }
+  });
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(counter.value() - before_count, 8 * kPerThread);
+  const obs::MetricsSnapshot snapshot = obs::metrics().snapshot();
+  for (const auto& h : snapshot.histograms) {
+    if (h.name != "test.stress_hist") continue;
+    EXPECT_EQ(h.count, 8 * kPerThread);
+  }
+  const double g = snapshot.gauge("test.stress_gauge");
+  EXPECT_GE(g, 0.0);
+  EXPECT_LE(g, 7.0);
+}
+
+TEST(ObsMetrics, ResetZeroesValuesButKeepsHandles) {
+  obs::Counter& counter = obs::metrics().counter("test.reset");
+  counter.add(5);
+  EXPECT_EQ(counter.value(), 5u);
+  obs::metrics().reset();
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add(2);  // the old handle still records
+  EXPECT_EQ(counter.value(), 2u);
+  EXPECT_EQ(obs::metrics().snapshot().counter("test.reset"), 2u);
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,136 @@
+// Trace spans: opt-in recording, Chrome trace-event JSON structure.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/trace.hpp"
+
+namespace rumor {
+namespace {
+
+// Each test owns the global collector state for its duration.
+class ObsTrace : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_trace_enabled(false);
+    obs::trace_reset();
+  }
+  void TearDown() override {
+    obs::set_trace_enabled(false);
+    obs::trace_reset();
+  }
+};
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST_F(ObsTrace, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(obs::trace_enabled());
+  {
+    const obs::TraceSpan outer("test.outer");
+    const obs::TraceSpan inner("test.inner");
+  }
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+  EXPECT_EQ(count_occurrences(obs::trace_to_json(), "\"name\""), 0u);
+}
+
+TEST_F(ObsTrace, EnabledSpansBecomeCompleteEvents) {
+  obs::set_trace_enabled(true);
+  {
+    const obs::TraceSpan outer("test.outer");
+    for (int i = 0; i < 3; ++i) {
+      const obs::TraceSpan inner("test.inner");
+    }
+  }
+  obs::set_trace_enabled(false);
+  EXPECT_EQ(obs::trace_event_count(), 4u);
+
+  const std::string json = obs::trace_to_json();
+  // Chrome trace-event envelope with complete ("ph":"X") events.
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 4u);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"test.inner\""), 3u);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"test.outer\""), 1u);
+  // Every event carries the fields the viewers require.
+  EXPECT_EQ(count_occurrences(json, "\"ts\":"), 4u);
+  EXPECT_EQ(count_occurrences(json, "\"dur\":"), 4u);
+  EXPECT_EQ(count_occurrences(json, "\"tid\":"), 4u);
+}
+
+TEST_F(ObsTrace, SpansStartedWhileDisabledAreDropped) {
+  // A span constructed before enabling must not record at destruction:
+  // its start timestamp belongs to no trace epoch.
+  auto* limbo = new obs::TraceSpan("test.limbo");
+  obs::set_trace_enabled(true);
+  delete limbo;
+  obs::set_trace_enabled(false);
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST_F(ObsTrace, ThreadsRecordUnderDistinctTids) {
+  obs::set_trace_enabled(true);
+  std::thread other([] { const obs::TraceSpan span("test.worker"); });
+  other.join();
+  {
+    const obs::TraceSpan span("test.main");
+  }
+  obs::set_trace_enabled(false);
+  ASSERT_EQ(obs::trace_event_count(), 2u);
+
+  // Extract the two tid values; they must differ.
+  const std::string json = obs::trace_to_json();
+  std::vector<long> tids;
+  for (std::size_t at = json.find("\"tid\":"); at != std::string::npos;
+       at = json.find("\"tid\":", at + 1)) {
+    tids.push_back(std::strtol(json.c_str() + at + 6, nullptr, 10));
+  }
+  ASSERT_EQ(tids.size(), 2u);
+  EXPECT_NE(tids[0], tids[1]);
+}
+
+TEST_F(ObsTrace, ResetDiscardsEvents) {
+  obs::set_trace_enabled(true);
+  {
+    const obs::TraceSpan span("test.ephemeral");
+  }
+  ASSERT_EQ(obs::trace_event_count(), 1u);
+  obs::trace_reset();
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+  EXPECT_EQ(count_occurrences(obs::trace_to_json(), "\"ph\":\"X\""), 0u);
+}
+
+TEST_F(ObsTrace, WriteTraceJsonProducesTheRenderedDocument) {
+  obs::set_trace_enabled(true);
+  {
+    const obs::TraceSpan span("test.filed");
+  }
+  obs::set_trace_enabled(false);
+
+  const std::string path =
+      ::testing::TempDir() + "/rumor_test_trace_out.json";
+  obs::write_trace_json(path);
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), obs::trace_to_json());
+  EXPECT_NE(content.str().find("\"name\":\"test.filed\""),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rumor

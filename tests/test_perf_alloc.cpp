@@ -10,6 +10,8 @@
 #include "control/costate.hpp"
 #include "core/sir_model.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ode/integrate.hpp"
 #include "ode/steppers.hpp"
 #include "sim/agent_sim.hpp"
@@ -117,6 +119,37 @@ void expect_warm_steps_allocation_free(sim::AgentEngine engine,
   EXPECT_EQ(util::allocation_count() - before, 0u)
       << "engine=" << static_cast<int>(engine) << " threads=" << threads;
   util::set_num_threads(0);
+}
+
+TEST(AllocCount, MetricRecordingIsAllocationFree) {
+  // Registration allocates (named entries, shard arrays); recording
+  // through the returned handles must not — this is what lets the
+  // engine hot paths carry metrics without breaking the step-loop
+  // 0-alloc guarantees below.
+  obs::Counter& counter = obs::metrics().counter("alloctest.counter");
+  obs::Gauge& gauge = obs::metrics().gauge("alloctest.gauge");
+  obs::Histogram& histogram =
+      obs::metrics().histogram("alloctest.hist", {1.0, 10.0, 100.0});
+  counter.add();  // warm-up: assigns this thread's shard slot
+  gauge.set(0.0);
+  histogram.record(0.5);
+
+  const auto before = util::allocation_count();
+  for (int q = 0; q < 10000; ++q) {
+    counter.add(2);
+    gauge.set(static_cast<double>(q));
+    histogram.record(static_cast<double>(q % 128));
+  }
+  EXPECT_EQ(util::allocation_count() - before, 0u);
+}
+
+TEST(AllocCount, DisabledTraceSpansAreAllocationFree) {
+  obs::set_trace_enabled(false);
+  const auto before = util::allocation_count();
+  for (int q = 0; q < 10000; ++q) {
+    const obs::TraceSpan span("alloctest.span");
+  }
+  EXPECT_EQ(util::allocation_count() - before, 0u);
 }
 
 TEST(AllocCount, DenseAgentStepsAreAllocationFree) {

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <iostream>
 #include <sstream>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -76,6 +80,45 @@ TEST(Logging, BuilderAcceptsMixedTypes) {
   set_log_level(LogLevel::kOff);
   log_info() << "x=" << 42 << ", y=" << 1.5 << ", z=" << std::string("s");
   set_log_level(original);
+}
+
+TEST(Logging, CustomSinkCapturesMessagesAboveThreshold) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kInfo);
+  std::vector<std::pair<LogLevel, std::string>> seen;
+  set_log_sink([&seen](LogLevel level, std::string_view message) {
+    seen.emplace_back(level, std::string(message));
+  });
+  log_info() << "captured " << 42;
+  log_debug() << "below threshold";
+  set_log_sink(nullptr);
+  set_log_level(original);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, LogLevel::kInfo);
+  EXPECT_EQ(seen[0].second, "captured 42");
+}
+
+TEST(Logging, JsonEscapeHandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "\"plain\"");
+  EXPECT_EQ(json_escape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(Logging, JsonModeEmitsOneObjectPerLine) {
+  // The JSON mode only affects the built-in stderr sink, so capture
+  // std::cerr for the duration.
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kInfo);
+  std::ostringstream captured;
+  std::streambuf* const previous = std::cerr.rdbuf(captured.rdbuf());
+  set_log_json(true);
+  log_warn() << "quoted \"text\"";
+  set_log_json(false);
+  std::cerr.rdbuf(previous);
+  set_log_level(original);
+  EXPECT_EQ(captured.str(),
+            "{\"level\":\"warn\",\"msg\":\"quoted \\\"text\\\"\"}\n");
 }
 
 }  // namespace
