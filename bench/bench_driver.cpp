@@ -6,8 +6,8 @@
 // and fails the build on a >25% regression against the committed
 // baselines (bench/baseline/BENCH_pr3.json, BENCH_pr4.json).
 //
-//   bench_driver [--suite control|agents] [--out PATH] [--baseline PATH]
-//                [--repeat N]
+//   bench_driver [--suite control|agents|kernels] [--out PATH]
+//                [--baseline PATH] [--repeat N]
 //
 // Suite "control" (default; report BENCH_pr5.json):
 //   trajectory_interp  cursor-based Trajectory interpolation, ns/query
@@ -31,6 +31,22 @@
 // beat dense ≥10× there, and against a baseline the frontier BA-1M
 // steps_per_sec may not regress >25%.
 //
+// Suite "kernels" (report BENCH_pr6.json): the src/kern dispatch-table
+// microbench. Every kernel in the table runs once per backend the
+// binary carries AND the CPU supports, on L2-resident problem sizes
+// (n = 4096 doubles; 65536-node census), reporting nominal GB/s,
+// kernel calls per second, and — for the SIMD backends — the speedup
+// over the scalar backend on the same data. Gates (optimized builds):
+// every SIMD kernel must at least match scalar, and under --baseline
+// the fused RK4 kernels of the auto-selected backend may not regress
+// >25% in evals/sec.
+//
+// Every report embeds the active kernel backend, the CPU's SIMD
+// feature set, and the compiler under "build" (schema rumor-bench/3),
+// so perf trajectories across machines and build flavors stay
+// attributable. Comparing a -march=native build against a portable
+// baseline (or vice versa) prints a warning.
+//
 // Allocation counting comes from the rumor_alloc_count link-in (global
 // operator new/delete replacement); RHS evaluations from the steppers'
 // own "ode.rhs_evals" registry counter (src/obs). Each report also
@@ -48,6 +64,7 @@
 #include "bench/common.hpp"
 #include "control/mpc.hpp"
 #include "graph/generators.hpp"
+#include "kern/kern.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "ode/integrate.hpp"
@@ -86,6 +103,10 @@ struct CaseResult {
   double allocs_per_step = -1.0;
   double prevalence = -1.0;
   double speedup_vs_dense = -1.0;
+  // Kernel-suite fields.
+  double gbps = -1.0;
+  double evals_per_sec = -1.0;
+  double speedup_vs_scalar = -1.0;
 };
 
 control::SweepOptions small_solve_options() {
@@ -206,12 +227,27 @@ CaseResult run_solver_case(const char* name, std::size_t repeat,
   return r;
 }
 
+/// True when this binary was compiled with -march=native (the
+/// RUMOR_NATIVE CMake option) — recorded in the report so baseline
+/// comparisons across build flavors are detectable.
+constexpr bool native_build() {
+#ifdef RUMOR_NATIVE_BUILD
+  return true;
+#else
+  return false;
+#endif
+}
+
 std::string to_json(const std::vector<CaseResult>& cases, bool optimized) {
   std::ostringstream json;
   json.precision(6);
-  json << "{\"schema\":\"rumor-bench/2\",\"build\":{\"optimized\":"
+  json << "{\"schema\":\"rumor-bench/3\",\"build\":{\"optimized\":"
        << (optimized ? "true" : "false")
-       << ",\"threads\":" << util::num_threads() << "},";
+       << ",\"threads\":" << util::num_threads()
+       << ",\"kernel_backend\":\"" << kern::to_string(kern::backend())
+       << "\",\"cpu_features\":\"" << kern::cpu_features()
+       << "\",\"compiler\":\"" << __VERSION__
+       << "\",\"native\":" << (native_build() ? "true" : "false") << "},";
   if (!optimized) {
     json << "\"warning\":\"UNOPTIMIZED BUILD - timings are not "
             "meaningful\",";
@@ -241,6 +277,13 @@ std::string to_json(const std::vector<CaseResult>& cases, bool optimized) {
     if (r.speedup_vs_dense >= 0.0) {
       json << ",\"speedup_vs_dense\":" << r.speedup_vs_dense;
     }
+    if (r.gbps >= 0.0) json << ",\"gbps\":" << r.gbps;
+    if (r.evals_per_sec >= 0.0) {
+      json << ",\"evals_per_sec\":" << r.evals_per_sec;
+    }
+    if (r.speedup_vs_scalar >= 0.0) {
+      json << ",\"speedup_vs_scalar\":" << r.speedup_vs_scalar;
+    }
     json << "}";
   }
   json << "]";
@@ -267,6 +310,297 @@ double extract_case_field(const std::string& json, const std::string& name,
   const auto key = json.find("\"" + field + "\":", at);
   if (key == std::string::npos || key > object_end) return -1.0;
   return std::strtod(json.c_str() + key + field.size() + 3, nullptr);
+}
+
+/// Satellite of the kernel work: comparing a -march=native binary
+/// against a portable baseline (or the reverse) mostly measures the
+/// flag, not the change — say so instead of letting the gate mislead.
+/// rumor-bench/2 baselines carry no "native" field and are treated as
+/// portable builds.
+void warn_native_mismatch(const std::string& baseline_json) {
+  const auto key = baseline_json.find("\"native\":");
+  const bool baseline_native =
+      key != std::string::npos &&
+      baseline_json.compare(key + 9, 4, "true") == 0;
+  if (baseline_native != native_build()) {
+    std::fprintf(stderr,
+                 "bench_driver: WARNING — this binary was built %s "
+                 "-march=native but the baseline was built %s it; "
+                 "timing deltas reflect build flavor as much as code\n",
+                 native_build() ? "with" : "without",
+                 baseline_native ? "with" : "without");
+  }
+}
+
+// ---- kernel microbench suite ---------------------------------------
+
+/// Deterministic inputs shared by every backend so speedup ratios
+/// compare the same data. Sizes are L1-resident (8 KB arrays): big
+/// enough that lane width matters, small enough that cache bandwidth
+/// does not flatten every backend to the same number. Every array is
+/// 64-byte aligned — std::vector only guarantees 16, and a misaligned
+/// 256/512-bit access that splits a cache line penalizes the wide
+/// backends for allocator luck rather than kernel code.
+struct KernelData {
+  static constexpr std::size_t kN = 1024;       // doubles per array
+  static constexpr std::size_t kNodes = 65536;  // census nodes
+
+  double *x1, *x2, *psi, *phic, *lambda, *phi, *phi_over_k;
+  double *out_a, *out_b, *acc;
+  double *y2, *w2, *ymid2, *y1b2, *out_2n, *scratch;
+  double *tgrid, *yvals, *weights;
+  std::uint32_t* idx;
+  std::uint64_t* words;
+  double e1[3] = {0.05, 0.06, 0.07};
+  double e2[3] = {0.10, 0.11, 0.12};
+  double theta[3] = {0.21, 0.22, 0.23};
+
+  KernelData() {
+    util::Xoshiro256 rng(4242);
+    const auto take = [&](std::size_t n) {
+      auto& block = pool_.emplace_back(n + 8);
+      double* p = reinterpret_cast<double*>(
+          (reinterpret_cast<std::uintptr_t>(block.data()) + 63) &
+          ~static_cast<std::uintptr_t>(63));
+      for (std::size_t i = 0; i < n; ++i) p[i] = 0.05 + 0.9 * rng.uniform();
+      return p;
+    };
+    x1 = take(kN);
+    x2 = take(kN);
+    psi = take(kN);
+    phic = take(kN);
+    lambda = take(kN);
+    phi = take(kN);
+    phi_over_k = take(kN);
+    out_a = take(kN);
+    out_b = take(kN);
+    acc = take(kN);
+    y2 = take(2 * kN);
+    w2 = take(2 * kN);
+    ymid2 = take(2 * kN);
+    y1b2 = take(2 * kN);
+    out_2n = take(2 * kN);
+    yvals = take(kN);
+    weights = take(kNodes);
+    scratch = take(kern::fused_scratch_doubles(kN));
+    tgrid = take(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+      tgrid[i] = static_cast<double>(i) * 0.01;
+    }
+    idx = reinterpret_cast<std::uint32_t*>(take(kN / 2 + 8));
+    for (std::size_t i = 0; i < kN; ++i) {
+      idx[i] = static_cast<std::uint32_t>(rng() % kNodes);
+    }
+    words = reinterpret_cast<std::uint64_t*>(take(kNodes / 32 + 8));
+    for (std::size_t i = 0; i < kNodes / 32; ++i) {
+      // Legal 2-bit compartments only (no 11 fields): clear the odd
+      // bits of a random word wherever the even bit is set.
+      const std::uint64_t r = rng();
+      words[i] = r & ~((r & 0x5555555555555555ULL) << 1);
+    }
+  }
+
+ private:
+  std::vector<std::vector<double>> pool_;
+};
+
+volatile double g_kernel_sink = 0.0;
+
+/// Time one kernel: `call` performs a single kernel invocation.
+/// Returns the best (min) seconds-per-call over `repeat` rounds of
+/// `reps` calls — min-of-N because this box's noise is one-sided.
+template <typename Call>
+CaseResult run_kernel_case(const std::string& kernel, const char* backend,
+                           double bytes_per_call, std::size_t repeat,
+                           Call&& call) {
+  const int reps = static_cast<int>(
+      std::max<double>(50.0, 32.0 * 1024.0 * 1024.0 / bytes_per_call));
+  call();  // warm caches and the branch predictor
+  double best_ms = 1e100;
+  for (std::size_t round = 0; round < repeat; ++round) {
+    const auto start = Clock::now();
+    for (int r = 0; r < reps; ++r) call();
+    best_ms = std::min(best_ms, ms_since(start));
+  }
+  const double sec_per_call = best_ms * 1e-3 / static_cast<double>(reps);
+  CaseResult r;
+  r.name = "kern_" + kernel + "_" + backend;
+  r.gbps = bytes_per_call / sec_per_call * 1e-9;
+  r.evals_per_sec = 1.0 / sec_per_call;
+  return r;
+}
+
+/// All ported kernels once for one backend table.
+std::vector<CaseResult> run_kernel_backend(const kern::Ops& ops,
+                                           KernelData& d,
+                                           std::size_t repeat) {
+  const char* b = kern::to_string(ops.backend);
+  constexpr double kB = 8.0 * KernelData::kN;  // bytes of one array
+  const std::size_t n = KernelData::kN;
+  std::vector<CaseResult> cases;
+  cases.push_back(run_kernel_case("dot", b, 2 * kB, repeat, [&] {
+    g_kernel_sink = ops.dot(d.x1, d.x2, n);
+  }));
+  cases.push_back(run_kernel_case("sum", b, kB, repeat, [&] {
+    g_kernel_sink = ops.sum(d.x1, n);
+  }));
+  cases.push_back(run_kernel_case("gather_sum", b, 1.5 * kB, repeat, [&] {
+    g_kernel_sink = ops.gather_sum(d.weights, d.idx, n);
+  }));
+  cases.push_back(run_kernel_case("trapezoid", b, 2 * kB, repeat, [&] {
+    g_kernel_sink = ops.trapezoid(d.tgrid, d.yvals, n);
+  }));
+  cases.push_back(run_kernel_case("knot4", b, 4 * kB, repeat, [&] {
+    double out[4];
+    ops.knot4(d.x1, d.x2, d.psi, d.phic, n, out);
+    g_kernel_sink = out[0];
+  }));
+  cases.push_back(run_kernel_case("sir_rhs", b, 6 * kB, repeat, [&] {
+    g_kernel_sink =
+        ops.sir_rhs(d.x1, d.x2, d.lambda, d.phi,
+                    n, 6.0, 0.05, 0.1, 0.2, d.out_a, d.out_b);
+  }));
+  cases.push_back(run_kernel_case("costate_rhs", b, 8 * kB, repeat, [&] {
+    ops.costate_rhs(d.x1, d.x2, d.psi, d.phic,
+                    d.lambda, d.phi_over_k, n, -0.1, -0.2, 0.05,
+                    0.1, 0.21, /*diagonal=*/false, d.out_a,
+                    d.out_b);
+    g_kernel_sink = d.out_a[0];
+  }));
+  cases.push_back(run_kernel_case("sir_rk4_step", b, 54 * kB, repeat, [&] {
+    ops.sir_rk4_step(d.y2, n, 6.0, 0.05, d.e1, d.e2, d.lambda,
+                     d.phi, 0.02, d.out_2n, d.scratch);
+    g_kernel_sink = d.out_2n[0];
+  }));
+  cases.push_back(run_kernel_case("costate_rk4_step", b, 62 * kB, repeat, [&] {
+    ops.costate_rk4_step(d.w2, n, d.y2, d.ymid2,
+                         d.y1b2, d.lambda, d.phi_over_k,
+                         d.theta, d.e1, d.e2, 5.0, 10.0, 0.02,
+                         /*diagonal=*/false, d.out_2n,
+                         d.scratch);
+    g_kernel_sink = d.out_2n[0];
+  }));
+  cases.push_back(run_kernel_case("lerp", b, 3 * kB, repeat, [&] {
+    ops.lerp(d.x1, d.x2, 0.37, d.out_a, n);
+    g_kernel_sink = d.out_a[0];
+  }));
+  cases.push_back(run_kernel_case("axpy_out", b, 3 * kB, repeat, [&] {
+    ops.axpy_out(d.x1, d.x2, 0.02, d.out_a, n);
+    g_kernel_sink = d.out_a[0];
+  }));
+  cases.push_back(run_kernel_case("combine2", b, 4 * kB, repeat, [&] {
+    ops.combine2(d.x1, d.x2, d.psi, 0.01,
+                 d.out_a, n);
+    g_kernel_sink = d.out_a[0];
+  }));
+  cases.push_back(run_kernel_case("rk4_combine", b, 6 * kB, repeat, [&] {
+    ops.rk4_combine(d.x1, d.x2, d.psi, d.phic,
+                    d.lambda, 0.003, d.out_a, n);
+    g_kernel_sink = d.out_a[0];
+  }));
+  cases.push_back(run_kernel_case("accumulate", b, 3 * kB, repeat, [&] {
+    ops.accumulate(d.x1, d.acc, n);
+    g_kernel_sink = d.acc[0];
+  }));
+  cases.push_back(run_kernel_case("accumulate_sq", b, 3 * kB, repeat, [&] {
+    ops.accumulate_sq(d.x1, d.acc, n);
+    g_kernel_sink = d.acc[0];
+  }));
+  cases.push_back(run_kernel_case(
+      "census2", b, static_cast<double>(KernelData::kNodes) / 4.0, repeat,
+      [&] {
+        std::uint64_t out[2];
+        ops.census2(d.words, KernelData::kNodes, out);
+        g_kernel_sink = static_cast<double>(out[0]);
+      }));
+  return cases;
+}
+
+int run_kernels_suite(const std::string& out_path,
+                      const std::string& baseline_path, bool optimized,
+                      std::size_t repeat) {
+  KernelData data;
+  std::vector<CaseResult> cases = run_kernel_backend(
+      kern::ops(kern::Backend::kScalar), data, repeat);
+  const std::size_t per_backend = cases.size();
+  for (kern::Backend b : {kern::Backend::kAvx2, kern::Backend::kAvx512}) {
+    if (!kern::compiled(b) || !kern::cpu_supports(b)) continue;
+    auto simd = run_kernel_backend(kern::ops(b), data, repeat);
+    for (std::size_t k = 0; k < simd.size(); ++k) {
+      simd[k].speedup_vs_scalar =
+          simd[k].evals_per_sec / cases[k].evals_per_sec;
+    }
+    cases.insert(cases.end(), simd.begin(), simd.end());
+  }
+
+  const std::string report = to_json(cases, optimized);
+  std::fputs(report.c_str(), stdout);
+  {
+    std::ofstream file(out_path);
+    if (!file) {
+      std::fprintf(stderr, "bench_driver: cannot write %s\n",
+                   out_path.c_str());
+      return 2;
+    }
+    file << report;
+  }
+  if (!optimized) {
+    std::fprintf(stderr,
+                 "bench_driver: kernel gates skipped (unoptimized build)\n");
+    return 0;
+  }
+
+  // Acceptance gate: a SIMD backend that loses to scalar on a ported
+  // kernel at these sizes means the port (or its dispatch) is broken.
+  int failures = 0;
+  for (std::size_t c = per_backend; c < cases.size(); ++c) {
+    if (cases[c].speedup_vs_scalar < 1.0) {
+      std::fprintf(stderr,
+                   "bench_driver: FAIL — %s is %.2fx scalar (SIMD must "
+                   "not lose to the scalar backend)\n",
+                   cases[c].name.c_str(), cases[c].speedup_vs_scalar);
+      ++failures;
+    }
+  }
+  if (failures != 0) return 1;
+
+  if (!baseline_path.empty()) {
+    std::ifstream file(baseline_path);
+    if (!file) {
+      std::fprintf(stderr, "bench_driver: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    const std::string baseline = buffer.str();
+    warn_native_mismatch(baseline);
+    // Gate the tentpole kernels of the auto-selected backend: the
+    // fused RK4 steps are what the optimal-control wall times ride on.
+    const std::string backend = kern::to_string(kern::backend());
+    for (const char* kernel : {"sir_rk4_step", "costate_rk4_step"}) {
+      const std::string name = std::string("kern_") + kernel + "_" + backend;
+      const double base = extract_case_field(baseline, name, "evals_per_sec");
+      const double now = extract_case_field(report, name, "evals_per_sec");
+      if (base <= 0.0 || now <= 0.0) {
+        std::fprintf(stderr,
+                     "bench_driver: baseline compare skipped (%s missing)\n",
+                     name.c_str());
+        continue;
+      }
+      const double ratio = now / base;
+      std::printf("%s: %.3g evals/s vs baseline %.3g (%.2fx)\n", name.c_str(),
+                  now, base, ratio);
+      if (ratio < 0.75) {
+        std::fprintf(stderr,
+                     "bench_driver: FAIL — %s regressed %.0f%% below the "
+                     "committed baseline (limit 25%%)\n",
+                     name.c_str(), (1.0 - ratio) * 100.0);
+        return 1;
+      }
+    }
+  }
+  return 0;
 }
 
 // ---- agent-simulation suite ----------------------------------------
@@ -401,6 +735,7 @@ int run_agents_suite(const std::string& out_path,
     }
     std::stringstream buffer;
     buffer << file.rdbuf();
+    warn_native_mismatch(buffer.str());
     const double base = extract_case_field(buffer.str(),
                                            "agents_frontier_ba1m",
                                            "steps_per_sec");
@@ -446,24 +781,30 @@ int main(int argc, char** argv) {
       repeat = static_cast<std::size_t>(std::strtoull(argv[++a], nullptr, 10));
     } else {
       std::fprintf(stderr,
-                   "usage: bench_driver [--suite control|agents] "
+                   "usage: bench_driver [--suite control|agents|kernels] "
                    "[--out PATH] [--baseline PATH] [--repeat N]\n");
       return 2;
     }
   }
   if (repeat == 0) repeat = 1;
-  if (suite != "control" && suite != "agents") {
+  if (suite != "control" && suite != "agents" && suite != "kernels") {
     std::fprintf(stderr, "bench_driver: unknown suite '%s'\n",
                  suite.c_str());
     return 2;
   }
   if (out_path.empty()) {
-    out_path = suite == "agents" ? "BENCH_pr4.json" : "BENCH_pr5.json";
+    out_path = suite == "agents"    ? "BENCH_pr4.json"
+               : suite == "kernels" ? "BENCH_pr6.json"
+                                    : "BENCH_pr5.json";
   }
 
   const bool optimized = bench::warn_if_unoptimized();
   if (suite == "agents") {
     return run_agents_suite(out_path, baseline_path, optimized);
+  }
+  if (suite == "kernels") {
+    return run_kernels_suite(out_path, baseline_path, optimized,
+                             std::max<std::size_t>(repeat, 3));
   }
 
   const auto model = bench::fig4_model(10);
@@ -532,6 +873,7 @@ int main(int argc, char** argv) {
     std::stringstream buffer;
     buffer << file.rdbuf();
     const std::string baseline = buffer.str();
+    warn_native_mismatch(baseline);
 
     const double base_ms = extract_case_field(baseline, "fbsm_small",
                                               "wall_ms");

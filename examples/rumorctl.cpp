@@ -63,6 +63,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "io/container.hpp"
+#include "kern/kern.hpp"
 #include "io/graph_binary.hpp"
 #include "obs/export.hpp"
 #include "obs/heartbeat.hpp"
@@ -531,6 +532,12 @@ int main(int argc, char** argv) {
       }
       heartbeat.emplace(beat_seconds);
     }
+    // Resolve the SIMD kernel backend before any command runs: an
+    // unusable RUMOR_KERNEL override fails here with its diagnostic
+    // ("requests a backend that is not compiled" / "this CPU cannot
+    // execute") instead of surfacing mid-computation.
+    rumor::util::log_info() << "kernel backend: "
+                            << rumor::kern::to_string(rumor::kern::backend());
 
     int status = 2;
     try {

@@ -18,9 +18,11 @@ BackwardCostateSystem::BackwardCostateSystem(
       cost_(cost),
       tf_(tf),
       diagonal_(diagonal_coupling),
+      ops_(&kern::ops()),
       state_cursor_(state),
       y_scratch_(state.dimension(), 0.0),
-      cached_t_(std::numeric_limits<double>::quiet_NaN()) {
+      cached_t_(std::numeric_limits<double>::quiet_NaN()),
+      fused_t_end_(std::numeric_limits<double>::quiet_NaN()) {
   cost_.validate();
   util::require(!state_.empty(), "BackwardCostateSystem: empty trajectory");
   util::require(state_.dimension() == model_.dimension(),
@@ -52,9 +54,8 @@ void BackwardCostateSystem::rhs(double s, std::span<const double> w,
     cached_e2_ = e2;
     const auto phi = model_.phis();  // ϕ_i = ω(k_i) P(k_i)
     const double* Ii = y_scratch_.data() + n;
-    double theta = 0.0;
-    for (std::size_t i = 0; i < n; ++i) theta += phi[i] * Ii[i];
-    cached_theta_ = theta / model_.profile().mean_degree();
+    cached_theta_ =
+        ops_->dot(phi.data(), Ii, n) / model_.profile().mean_degree();
     cached_t_ = t;
   }
   const double* S = y_scratch_.data();
@@ -64,30 +65,62 @@ void BackwardCostateSystem::rhs(double s, std::span<const double> w,
 
   const double e1 = cached_e1_;
   const double e2 = cached_e2_;
-  const double theta = cached_theta_;
-  const auto lambda = model_.lambdas();
-
-  // Cross-group factor Σ_i (ψ_i − φ_i) λ_i S_i of the full adjoint.
-  double coupling = 0.0;
-  if (!diagonal_) {
-    for (std::size_t i = 0; i < n; ++i) {
-      coupling += (psi[i] - phi_costate[i]) * lambda[i] * S[i];
-    }
-  }
-
+  // The kernel computes the cross-group factor Σ_i (ψ_i − φ_i) λ_i S_i
+  // of the full adjoint (skipped in the diagonal truncation), then the
+  // fused per-group body in the reversed clock.
   const double c1e1 = -2.0 * cost_.c1 * e1 * e1;
   const double c2e2 = -2.0 * cost_.c2 * e2 * e2;
-  for (std::size_t j = 0; j < n; ++j) {
-    const double dpsi_dt = c1e1 * S[j] + psi[j] * (lambda[j] * theta + e1) -
-                           phi_costate[j] * lambda[j] * theta;
-    const double group_coupling =
-        diagonal_ ? (psi[j] - phi_costate[j]) * lambda[j] * S[j] : coupling;
-    const double dphi_dt = c2e2 * I[j] + phi_over_k_[j] * group_coupling +
-                           phi_costate[j] * e2;
-    // Reversed clock: dw/ds = −dw/dt.
-    dwds[j] = -dpsi_dt;
-    dwds[n + j] = -dphi_dt;
+  ops_->costate_rhs(S, I, psi, phi_costate, model_.lambdas().data(),
+                    phi_over_k_.data(), n, c1e1, c2e2, e1, e2, cached_theta_,
+                    diagonal_, dwds.data(), dwds.data() + n);
+}
+
+bool BackwardCostateSystem::fused_rk4_step(double s, std::span<const double> w,
+                                           double h,
+                                           std::span<double> w_next) const {
+  const std::size_t n = model_.num_groups();
+  const std::size_t scratch_size = kern::fused_scratch_doubles(n);
+  if (rk4_scratch_.size() != scratch_size) {
+    rk4_scratch_.assign(scratch_size, 0.0);
+    y0_.assign(2 * n, 0.0);
+    ymid_.assign(2 * n, 0.0);
+    y1_.assign(2 * n, 0.0);
   }
+  // Reversed clock: stage times s, s+h/2, s+h read the forward solution
+  // at decreasing t, keeping the cursor walk monotone.
+  const double t0 = tf_ - s;
+  double theta[3], e1[3], e2[3];
+  const auto sample = [&](double t, ode::State& y, std::size_t k) {
+    state_cursor_.at_into(t, y);
+    const auto [a, b] = piecewise_schedule_ != nullptr
+                            ? piecewise_schedule_->epsilons(t)
+                            : schedule_.epsilons(t);
+    e1[k] = a;
+    e2[k] = b;
+    theta[k] = ops_->dot(model_.phis().data(), y.data() + n, n) /
+               model_.profile().mean_degree();
+  };
+  if (t0 == fused_t_end_) {
+    // This step's first stage is the previous step's last (the fixed
+    // grid advances s by exactly h): reuse that sample unchanged.
+    std::swap(y0_, y1_);
+    theta[0] = fused_theta_end_;
+    e1[0] = fused_e1_end_;
+    e2[0] = fused_e2_end_;
+  } else {
+    sample(t0, y0_, 0);
+  }
+  sample(tf_ - (s + 0.5 * h), ymid_, 1);
+  sample(tf_ - (s + h), y1_, 2);
+  fused_t_end_ = tf_ - (s + h);
+  fused_theta_end_ = theta[2];
+  fused_e1_end_ = e1[2];
+  fused_e2_end_ = e2[2];
+  ops_->costate_rk4_step(w.data(), n, y0_.data(), ymid_.data(), y1_.data(),
+                         model_.lambdas().data(), phi_over_k_.data(), theta,
+                         e1, e2, cost_.c1, cost_.c2, h, diagonal_,
+                         w_next.data(), rk4_scratch_.data());
+  return true;
 }
 
 ode::State BackwardCostateSystem::terminal_costate() const {
@@ -105,13 +138,14 @@ KnotProducts knot_products(std::span<const double> y,
   const auto psi = w.subspan(0, num_groups);
   const auto phi = w.subspan(num_groups, num_groups);
 
+  double out[4];
+  kern::ops().knot4(S.data(), I.data(), psi.data(), phi.data(), num_groups,
+                    out);
   KnotProducts products;
-  for (std::size_t i = 0; i < num_groups; ++i) {
-    products.psi_s += psi[i] * S[i];
-    products.s2 += S[i] * S[i];
-    products.phi_i += phi[i] * I[i];
-    products.i2 += I[i] * I[i];
-  }
+  products.psi_s = out[0];
+  products.s2 = out[1];
+  products.phi_i = out[2];
+  products.i2 = out[3];
   return products;
 }
 

@@ -25,6 +25,7 @@
 #include "control/objective.hpp"
 #include "core/schedule.hpp"
 #include "core/sir_model.hpp"
+#include "kern/kern.hpp"
 #include "ode/system.hpp"
 #include "ode/trajectory.hpp"
 
@@ -56,6 +57,9 @@ class BackwardCostateSystem final : public ode::OdeSystem {
   void rhs(double s, std::span<const double> w,
            std::span<double> dwds) const override;
 
+  bool fused_rk4_step(double s, std::span<const double> w, double h,
+                      std::span<double> w_next) const override;
+
   /// Terminal condition at s = 0 (i.e. t = tf): ψ = 0, φ = W.
   ode::State terminal_costate() const;
 
@@ -67,6 +71,7 @@ class BackwardCostateSystem final : public ode::OdeSystem {
   CostParams cost_;
   double tf_;
   bool diagonal_;
+  const kern::Ops* ops_;                  ///< dispatched kernel table
   std::vector<double> phi_over_k_;        ///< ϕ_j/⟨k⟩, precomputed
   mutable ode::Trajectory::Cursor state_cursor_;
   mutable ode::State y_scratch_;          ///< interpolated forward state
@@ -78,6 +83,17 @@ class BackwardCostateSystem final : public ode::OdeSystem {
   mutable double cached_e1_ = 0.0;
   mutable double cached_e2_ = 0.0;
   mutable double cached_theta_ = 0.0;
+  // Fused-step buffers: the forward state interpolated at the three RK4
+  // stage times, plus kernel scratch. The backward grid advances by
+  // exactly h, so each step's first stage time equals the previous
+  // step's last — the *_end_ cache carries that sample over (the fused
+  // analogue of the cached_t_ stage cache above).
+  mutable ode::State y0_, ymid_, y1_;
+  mutable std::vector<double> rk4_scratch_;
+  mutable double fused_t_end_;
+  mutable double fused_e1_end_ = 0.0;
+  mutable double fused_e2_end_ = 0.0;
+  mutable double fused_theta_end_ = 0.0;
 };
 
 /// The four state/costate contractions shared by the stationary-control

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kern/kern.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 
@@ -18,11 +19,9 @@ double running_cost(const CostParams& cost, std::span<const double> y,
                     std::size_t num_groups, double epsilon1, double epsilon2) {
   const auto S = y.subspan(0, num_groups);
   const auto I = y.subspan(num_groups, num_groups);
-  double s2 = 0.0, i2 = 0.0;
-  for (std::size_t i = 0; i < num_groups; ++i) {
-    s2 += S[i] * S[i];
-    i2 += I[i] * I[i];
-  }
+  const kern::Ops& ops = kern::ops();
+  const double s2 = ops.dot(S.data(), S.data(), num_groups);
+  const double i2 = ops.dot(I.data(), I.data(), num_groups);
   return cost.c1 * epsilon1 * epsilon1 * s2 +
          cost.c2 * epsilon2 * epsilon2 * i2;
 }
@@ -53,7 +52,11 @@ CostBreakdown evaluate_cost(const core::SirNetworkModel& model,
   }
 
   CostBreakdown breakdown;
-  breakdown.running = util::trapezoid(trajectory.times(), integrand_scratch);
+  // The trajectory grid is strictly increasing by construction
+  // (Trajectory::append enforces it), so the unchecked kernel is safe.
+  breakdown.running = kern::ops().trapezoid(
+      trajectory.times().data(), integrand_scratch.data(),
+      trajectory.size());
   breakdown.terminal =
       cost.terminal_weight * model.total_infected(trajectory.back_state());
   return breakdown;

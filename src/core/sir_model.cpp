@@ -8,7 +8,8 @@ SirNetworkModel::SirNetworkModel(NetworkProfile profile, ModelParams params,
                                  std::shared_ptr<const ControlSchedule> control)
     : profile_(std::move(profile)),
       params_(std::move(params)),
-      control_(std::move(control)) {
+      control_(std::move(control)),
+      ops_(&kern::ops()) {
   params_.validate();
   util::require(control_ != nullptr, "SirNetworkModel: control is null");
   piecewise_control_ =
@@ -40,21 +41,29 @@ void SirNetworkModel::rhs(double t, std::span<const double> y,
   double* dI = dydt.data() + n;
 
   const auto [e1, e2] = epsilons(t);
-  const double alpha = params_.alpha;
-  const double* phi = phi_.data();
-  const double* lambda = lambda_.data();
-
   // Θ reduction, then one fused pass over contiguous arrays: both
-  // derivative halves per group from one load of S[i]/I[i].
-  double th = 0.0;
-  for (std::size_t i = 0; i < n; ++i) th += phi[i] * I[i];
-  th /= profile_.mean_degree();
+  // derivative halves per group from one load of S[i]/I[i] — one
+  // dispatched kernel call per RHS evaluation.
+  ops_->sir_rhs(S, I, lambda_.data(), phi_.data(), n, profile_.mean_degree(),
+                params_.alpha, e1, e2, dS, dI);
+}
 
-  for (std::size_t i = 0; i < n; ++i) {
-    const double infection = lambda[i] * S[i] * th;
-    dS[i] = alpha - infection - e1 * S[i];
-    dI[i] = infection - e2 * I[i];
-  }
+bool SirNetworkModel::fused_rk4_step(double t, std::span<const double> y,
+                                     double h, std::span<double> y_next) const {
+  const std::size_t n = num_groups();
+  const std::size_t scratch_size = kern::fused_scratch_doubles(n);
+  if (rk4_scratch_.size() != scratch_size) rk4_scratch_.assign(scratch_size, 0.0);
+  // Stage controls at t, t+h/2, t+h — the same epsilons() lookups the
+  // generic four-eval path would perform, in the same order.
+  const auto [e1a, e2a] = epsilons(t);
+  const auto [e1b, e2b] = epsilons(t + 0.5 * h);
+  const auto [e1c, e2c] = epsilons(t + h);
+  const double e1s[3] = {e1a, e1b, e1c};
+  const double e2s[3] = {e2a, e2b, e2c};
+  ops_->sir_rk4_step(y.data(), n, profile_.mean_degree(), params_.alpha, e1s,
+                     e2s, lambda_.data(), phi_.data(), h, y_next.data(),
+                     rk4_scratch_.data());
+  return true;
 }
 
 double SirNetworkModel::recovered(std::span<const double> y,
@@ -67,25 +76,19 @@ double SirNetworkModel::recovered(std::span<const double> y,
 double SirNetworkModel::theta(std::span<const double> y) const {
   const std::size_t n = num_groups();
   const auto I = y.subspan(n, n);
-  double th = 0.0;
-  for (std::size_t i = 0; i < n; ++i) th += phi_[i] * I[i];
-  return th / profile_.mean_degree();
+  return ops_->dot(phi_.data(), I.data(), n) / profile_.mean_degree();
 }
 
 double SirNetworkModel::total_infected(std::span<const double> y) const {
   const std::size_t n = num_groups();
   const auto I = y.subspan(n, n);
-  double sum = 0.0;
-  for (std::size_t i = 0; i < n; ++i) sum += I[i];
-  return sum;
+  return ops_->sum(I.data(), n);
 }
 
 double SirNetworkModel::infected_density(std::span<const double> y) const {
   const std::size_t n = num_groups();
   const auto I = y.subspan(n, n);
-  double sum = 0.0;
-  for (std::size_t i = 0; i < n; ++i) sum += profile_.probability(i) * I[i];
-  return sum;
+  return ops_->dot(profile_.pmf().data(), I.data(), n);
 }
 
 ode::State SirNetworkModel::initial_state(double infected_fraction) const {

@@ -17,6 +17,7 @@
 #include "core/params.hpp"
 #include "core/profile.hpp"
 #include "core/schedule.hpp"
+#include "kern/kern.hpp"
 #include "ode/system.hpp"
 
 namespace rumor::core {
@@ -32,6 +33,8 @@ class SirNetworkModel final : public ode::OdeSystem {
   std::size_t dimension() const override { return 2 * num_groups(); }
   void rhs(double t, std::span<const double> y,
            std::span<double> dydt) const override;
+  bool fused_rk4_step(double t, std::span<const double> y, double h,
+                      std::span<double> y_next) const override;
 
   // --- structure ---
   std::size_t num_groups() const { return profile_.num_groups(); }
@@ -95,8 +98,10 @@ class SirNetworkModel final : public ode::OdeSystem {
   ModelParams params_;
   std::shared_ptr<const ControlSchedule> control_;
   const PiecewiseLinearControl* piecewise_control_ = nullptr;
+  const kern::Ops* ops_;        // process-wide kernel table, cached
   std::vector<double> lambda_;  // λ(k_i)
   std::vector<double> phi_;     // ω(k_i) P(k_i)
+  mutable std::vector<double> rk4_scratch_;  // fused-step kernel scratch
 };
 
 }  // namespace rumor::core

@@ -1,0 +1,20 @@
+// Internal: the per-backend table accessors dispatch.cpp wires up.
+// The SIMD accessors exist only when CMake found compiler support and
+// defined the matching RUMOR_KERN_HAVE_* macro; their translation
+// units are compiled with the ISA flags, so nothing outside them may
+// call into those TUs before a CPUID check.
+#pragma once
+
+#include "kern/kern.hpp"
+
+namespace rumor::kern {
+
+const Ops& scalar_ops();
+#ifdef RUMOR_KERN_HAVE_AVX2
+const Ops& avx2_ops();
+#endif
+#ifdef RUMOR_KERN_HAVE_AVX512
+const Ops& avx512_ops();
+#endif
+
+}  // namespace rumor::kern

@@ -1,5 +1,6 @@
 #include "ode/steppers.hpp"
 
+#include "kern/kern.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 
@@ -23,7 +24,7 @@ void EulerStepper::step(const OdeSystem& system, double t,
   resize_if_needed(k1_, n);
   rhs_evals().add(1);
   system.rhs(t, y, k1_);
-  for (std::size_t i = 0; i < n; ++i) y_next[i] = y[i] + h * k1_[i];
+  kern::ops().axpy_out(y.data(), k1_.data(), h, y_next.data(), n);
 }
 
 void HeunStepper::step(const OdeSystem& system, double t,
@@ -33,18 +34,20 @@ void HeunStepper::step(const OdeSystem& system, double t,
   resize_if_needed(k1_, n);
   resize_if_needed(k2_, n);
   resize_if_needed(mid_, n);
+  const kern::Ops& ops = kern::ops();
   rhs_evals().add(2);
   system.rhs(t, y, k1_);
-  for (std::size_t i = 0; i < n; ++i) mid_[i] = y[i] + h * k1_[i];
+  ops.axpy_out(y.data(), k1_.data(), h, mid_.data(), n);
   system.rhs(t + h, mid_, k2_);
-  for (std::size_t i = 0; i < n; ++i) {
-    y_next[i] = y[i] + 0.5 * h * (k1_[i] + k2_[i]);
-  }
+  ops.combine2(y.data(), k1_.data(), k2_.data(), 0.5 * h, y_next.data(), n);
 }
 
 void Rk4Stepper::step(const OdeSystem& system, double t,
                       std::span<const double> y, double h,
                       std::span<double> y_next) {
+  rhs_evals().add(4);
+  if (system.fused_rk4_step(t, y, h, y_next)) return;
+
   const std::size_t n = system.dimension();
   resize_if_needed(k1_, n);
   resize_if_needed(k2_, n);
@@ -52,18 +55,16 @@ void Rk4Stepper::step(const OdeSystem& system, double t,
   resize_if_needed(k4_, n);
   resize_if_needed(tmp_, n);
 
-  rhs_evals().add(4);
+  const kern::Ops& ops = kern::ops();
   system.rhs(t, y, k1_);
-  for (std::size_t i = 0; i < n; ++i) tmp_[i] = y[i] + 0.5 * h * k1_[i];
+  ops.axpy_out(y.data(), k1_.data(), 0.5 * h, tmp_.data(), n);
   system.rhs(t + 0.5 * h, tmp_, k2_);
-  for (std::size_t i = 0; i < n; ++i) tmp_[i] = y[i] + 0.5 * h * k2_[i];
+  ops.axpy_out(y.data(), k2_.data(), 0.5 * h, tmp_.data(), n);
   system.rhs(t + 0.5 * h, tmp_, k3_);
-  for (std::size_t i = 0; i < n; ++i) tmp_[i] = y[i] + h * k3_[i];
+  ops.axpy_out(y.data(), k3_.data(), h, tmp_.data(), n);
   system.rhs(t + h, tmp_, k4_);
-  for (std::size_t i = 0; i < n; ++i) {
-    y_next[i] =
-        y[i] + (h / 6.0) * (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]);
-  }
+  ops.rk4_combine(y.data(), k1_.data(), k2_.data(), k3_.data(), k4_.data(),
+                  h / 6.0, y_next.data(), n);
 }
 
 std::unique_ptr<Stepper> make_stepper(const std::string& name) {

@@ -27,6 +27,22 @@ class OdeSystem {
   /// Evaluate f(t, y) into dydt. Both spans have `dimension()` entries.
   virtual void rhs(double t, std::span<const double> y,
                    std::span<double> dydt) const = 0;
+
+  /// Optional fused classical-RK4 step: advance y at t by h into y_next
+  /// (no aliasing) and return true, or return false to let the stepper
+  /// run its generic four-`rhs` sequence. An override must be bitwise
+  /// equivalent to the generic path under the active kernel backend —
+  /// the point is to collapse eight dispatched kernel calls into one,
+  /// not to change the arithmetic. May use mutable scratch; integrators
+  /// are single-threaded per system instance.
+  virtual bool fused_rk4_step(double t, std::span<const double> y, double h,
+                              std::span<double> y_next) const {
+    (void)t;
+    (void)y;
+    (void)h;
+    (void)y_next;
+    return false;
+  }
 };
 
 /// Adapts a callable (t, y, dydt) into an OdeSystem; handy in tests and

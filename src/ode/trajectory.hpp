@@ -1,9 +1,11 @@
 // A recorded solution: sample times plus the full state at each sample.
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
+#include "kern/kern.hpp"
 #include "ode/system.hpp"
 
 namespace rumor::ode {
@@ -85,15 +87,13 @@ class Trajectory {
     if (out.size() != dimension_) throw_dimension_mismatch();
     const double* a = flat_.data() + segment.lo * dimension_;
     if (segment.lo == segment.hi) {
-      for (std::size_t i = 0; i < dimension_; ++i) out[i] = a[i];
+      std::copy(a, a + dimension_, out.begin());
       return;
     }
     const double w = (t - times_[segment.lo]) /
                      (times_[segment.hi] - times_[segment.lo]);
     const double* b = flat_.data() + segment.hi * dimension_;
-    for (std::size_t i = 0; i < dimension_; ++i) {
-      out[i] = (1.0 - w) * a[i] + w * b[i];
-    }
+    kern::ops().lerp(a, b, w, out.data(), dimension_);
   }
 
   /// Linear interpolation of one component at time t.

@@ -64,7 +64,11 @@ void AgentParams::validate() const {
 
 AgentSimulation::AgentSimulation(const graph::Graph& g, AgentParams params,
                                  std::uint64_t seed)
-    : graph_(g), params_(params), rng_(seed), seed_(seed) {
+    : graph_(g),
+      params_(params),
+      ops_(&kern::ops()),
+      rng_(seed),
+      seed_(seed) {
   params_.validate();
   const std::size_t n = g.num_nodes();
   util::require(n > 0, "AgentSimulation: empty graph");
@@ -202,17 +206,16 @@ void AgentSimulation::set_control_schedule(
 }
 
 double AgentSimulation::gather_hazard(std::size_t v) const {
-  // The one definition of a node's exposure: a fixed-order sum over its
-  // full CSR source list. Both engines call exactly this, which is what
-  // makes them bit-identical — non-infected sources contribute a true
-  // 0.0, and adding 0.0 to a sum of non-negative IEEE doubles does not
-  // perturb it, so skipping or including them yields the same bits
-  // while the *order* of the infected terms (CSR order) is pinned.
-  double hazard = 0.0;
-  for (const graph::NodeId u : exposure_sources(v)) {
-    hazard += infected_weight_[u];
-  }
-  return hazard;
+  // The one definition of a node's exposure: a fixed summation scheme
+  // over the full CSR source list. Both engines call exactly this —
+  // the same kernel of the same backend — which is what makes them
+  // bit-identical: non-infected sources contribute a true 0.0, and
+  // adding 0.0 anywhere in a sum of non-negative IEEE doubles does not
+  // perturb it, so the result is a pure function of the infected
+  // weights in CSR order under whichever lane split the backend uses.
+  const auto sources = exposure_sources(v);
+  return ops_->gather_sum(infected_weight_.data(), sources.data(),
+                          sources.size());
 }
 
 void AgentSimulation::step() {
@@ -601,26 +604,18 @@ void AgentSimulation::restore(const AgentCheckpoint& checkpoint) {
   ever_infected_ = checkpoint.ever_infected;
   // Recompute every derived quantity from the node states so the
   // restored object is exactly what an uninterrupted run would hold.
-  susceptible_count_ = 0;
-  infected_count_ = 0;
   for (std::size_t v = 0; v < num_nodes(); ++v) {
     const Compartment c = checkpoint.state[v];
     util::require(c <= Compartment::kRecovered,
                   "AgentSimulation::restore: invalid compartment");
     state_.set(v, c);
-    infected_weight_[v] = 0.0;
-    switch (c) {
-      case Compartment::kSusceptible:
-        ++susceptible_count_;
-        break;
-      case Compartment::kInfected:
-        ++infected_count_;
-        infected_weight_[v] = omega_over_k_[v];
-        break;
-      case Compartment::kRecovered:
-        break;
-    }
+    infected_weight_[v] =
+        c == Compartment::kInfected ? omega_over_k_[v] : 0.0;
   }
+  std::size_t infected = 0, recovered = 0;
+  state_.census(infected, recovered);
+  infected_count_ = infected;
+  susceptible_count_ = num_nodes() - infected - recovered;
   util::require(ever_infected_ >= infected_count_,
                 "AgentSimulation::restore: ever_infected below the current "
                 "infected count — inconsistent checkpoint");

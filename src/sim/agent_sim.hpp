@@ -65,6 +65,7 @@
 #include "core/params.hpp"
 #include "core/schedule.hpp"
 #include "graph/graph.hpp"
+#include "kern/kern.hpp"
 #include "sim/compartments.hpp"
 #include "util/random.hpp"
 
@@ -268,6 +269,7 @@ class AgentSimulation {
 
   const graph::Graph& graph_;
   AgentParams params_;
+  const kern::Ops* ops_;  // dispatched kernel table, resolved once
   std::shared_ptr<const core::ControlSchedule> control_;
   util::Xoshiro256 rng_;  // seeding only; step() uses counter streams
   std::uint64_t seed_ = 0;

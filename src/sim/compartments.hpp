@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "kern/kern.hpp"
+
 namespace rumor::sim {
 
 enum class Compartment : std::uint8_t {
@@ -62,6 +64,17 @@ class PackedCompartments {
   void swap(PackedCompartments& other) noexcept {
     words_.swap(other.words_);
     std::swap(size_, other.size_);
+  }
+
+  /// Full census in one pass over the packed words via the dispatched
+  /// popcount kernel: {infected, recovered} counts (susceptible is
+  /// size() minus both). Padding slots of the last word are masked off
+  /// by the kernel, so assign()'s fill pattern there cannot leak in.
+  void census(std::size_t& infected, std::size_t& recovered) const {
+    std::uint64_t counts[2];
+    kern::ops().census2(words_.data(), size_, counts);
+    infected = static_cast<std::size_t>(counts[0]);
+    recovered = static_cast<std::size_t>(counts[1]);
   }
 
  private:

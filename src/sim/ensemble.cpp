@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "io/container.hpp"
+#include "kern/kern.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -244,20 +245,21 @@ EnsembleResult run_ensemble_impl(const graph::Graph& g,
     save_checkpoint_file(checkpoint->path, fingerprint, done, replicas);
   }
 
-  // Merge in replica order on this thread: the accumulation order —
-  // and hence every floating-point rounding — matches the serial run
-  // exactly, for any thread count and any resume history.
+  // Merge in replica order on this thread: each grid point's
+  // accumulation order across replicas — and hence every
+  // floating-point rounding — matches the serial run exactly, for any
+  // thread count and any resume history. The elementwise accumulate
+  // kernels preserve that per-point order in every backend.
   std::vector<double> sum_i(steps + 1, 0.0);
   std::vector<double> sum_i2(steps + 1, 0.0);
   std::vector<double> sum_r(steps + 1, 0.0);
   double attack_sum = 0.0;
+  const kern::Ops& ops = kern::ops();
   for (const ReplicaSeries& series : replicas) {
-    for (std::size_t s = 0; s <= steps; ++s) {
-      const double fi = series.infected_fraction[s];
-      sum_i[s] += fi;
-      sum_i2[s] += fi * fi;
-      sum_r[s] += series.recovered_fraction[s];
-    }
+    ops.accumulate(series.infected_fraction.data(), sum_i.data(), steps + 1);
+    ops.accumulate_sq(series.infected_fraction.data(), sum_i2.data(),
+                      steps + 1);
+    ops.accumulate(series.recovered_fraction.data(), sum_r.data(), steps + 1);
     attack_sum += series.attack;
   }
 

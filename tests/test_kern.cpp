@@ -1,0 +1,439 @@
+// Property tests for the runtime-dispatched SIMD kernel library.
+//
+// Every kernel is swept over n = 0 … 3·(widest lane count)+1 at
+// unaligned offsets, so each SIMD implementation exercises its empty,
+// partial-vector, exactly-one-vector, and multi-vector-plus-tail paths
+// against the scalar reference. The determinism policy of kern.hpp is
+// enforced literally: elementwise kernels and the integer census must
+// match the scalar backend bit for bit; reductions (which reassociate
+// under SIMD) must match to ULP-scale tolerance; the fused RK4 step
+// kernels must be bitwise equal to the unfused kernel sequence of the
+// SAME backend.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kern/kern.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace rumor;
+
+constexpr std::size_t kWidestLanes = 8;  // avx512: 8 doubles / vector
+constexpr std::size_t kMaxN = 3 * kWidestLanes + 1;
+constexpr std::size_t kOffsets[] = {0, 1, 3};  // doubles, off 64B grid
+
+// Backends to compare against scalar: whatever this binary carries AND
+// this CPU can run. On a machine without AVX the list is empty and the
+// cross-backend assertions vacuously pass (the scalar self-checks and
+// the dispatch tests still run).
+std::vector<const kern::Ops*> simd_backends() {
+  std::vector<const kern::Ops*> out;
+  for (kern::Backend b : {kern::Backend::kAvx2, kern::Backend::kAvx512}) {
+    if (kern::compiled(b) && kern::cpu_supports(b)) {
+      out.push_back(&kern::ops(b));
+    }
+  }
+  return out;
+}
+
+// A buffer whose data pointer can be bumped off the allocation's
+// natural alignment, so the sweeps cover loads the SIMD kernels must
+// not assume aligned.
+struct Buf {
+  explicit Buf(std::size_t n, std::size_t offset, util::Xoshiro256& rng,
+               double lo = 0.05, double hi = 0.95)
+      : storage(n + 8) {
+    for (auto& x : storage) x = lo + (hi - lo) * rng.uniform();
+    ptr = storage.data() + offset;
+  }
+  std::vector<double> storage;
+  double* ptr;
+};
+
+void expect_bitwise(const double* got, const double* want, std::size_t n,
+                    const char* what, const kern::Ops& ops) {
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(got[i], want[i])
+        << what << " diverges from scalar at i=" << i << " n=" << n
+        << " backend=" << kern::to_string(ops.backend);
+  }
+}
+
+void expect_close(double got, double want, const char* what,
+                  const kern::Ops& ops, std::size_t n) {
+  const double tol = 1e-12 * std::max(1.0, std::abs(want));
+  EXPECT_NEAR(got, want, tol)
+      << what << " n=" << n << " backend=" << kern::to_string(ops.backend);
+}
+
+TEST(KernSweep, ElementwiseMapsBitIdentical) {
+  const auto& scalar = kern::ops(kern::Backend::kScalar);
+  for (const kern::Ops* simd : simd_backends()) {
+    util::Xoshiro256 rng(1234);
+    for (std::size_t n = 0; n <= kMaxN; ++n) {
+      for (std::size_t off : kOffsets) {
+        Buf y(n, off, rng), k1(n, off, rng), k2(n, off, rng),
+            k3(n, off, rng), k4(n, off, rng);
+        std::vector<double> want(n), got(n);
+
+        scalar.lerp(y.ptr, k1.ptr, 0.37, want.data(), n);
+        simd->lerp(y.ptr, k1.ptr, 0.37, got.data(), n);
+        expect_bitwise(got.data(), want.data(), n, "lerp", *simd);
+
+        scalar.axpy_out(y.ptr, k1.ptr, 0.013, want.data(), n);
+        simd->axpy_out(y.ptr, k1.ptr, 0.013, got.data(), n);
+        expect_bitwise(got.data(), want.data(), n, "axpy_out", *simd);
+
+        scalar.combine2(y.ptr, k1.ptr, k2.ptr, 0.01, want.data(), n);
+        simd->combine2(y.ptr, k1.ptr, k2.ptr, 0.01, got.data(), n);
+        expect_bitwise(got.data(), want.data(), n, "combine2", *simd);
+
+        scalar.rk4_combine(y.ptr, k1.ptr, k2.ptr, k3.ptr, k4.ptr, 0.003,
+                           want.data(), n);
+        simd->rk4_combine(y.ptr, k1.ptr, k2.ptr, k3.ptr, k4.ptr, 0.003,
+                          got.data(), n);
+        expect_bitwise(got.data(), want.data(), n, "rk4_combine", *simd);
+
+        // The in-place accumulators: run both backends from the same
+        // starting accumulator contents.
+        Buf acc(n, off, rng);
+        want.assign(acc.ptr, acc.ptr + n);
+        got.assign(acc.ptr, acc.ptr + n);
+        scalar.accumulate(y.ptr, want.data(), n);
+        simd->accumulate(y.ptr, got.data(), n);
+        expect_bitwise(got.data(), want.data(), n, "accumulate", *simd);
+
+        want.assign(acc.ptr, acc.ptr + n);
+        got.assign(acc.ptr, acc.ptr + n);
+        scalar.accumulate_sq(y.ptr, want.data(), n);
+        simd->accumulate_sq(y.ptr, got.data(), n);
+        expect_bitwise(got.data(), want.data(), n, "accumulate_sq", *simd);
+      }
+    }
+  }
+}
+
+TEST(KernSweep, ReductionsUlpClose) {
+  const auto& scalar = kern::ops(kern::Backend::kScalar);
+  for (const kern::Ops* simd : simd_backends()) {
+    util::Xoshiro256 rng(5678);
+    for (std::size_t n = 0; n <= kMaxN; ++n) {
+      for (std::size_t off : kOffsets) {
+        Buf a(n, off, rng), b(n, off, rng), c(n, off, rng), d(n, off, rng);
+
+        expect_close(simd->dot(a.ptr, b.ptr, n), scalar.dot(a.ptr, b.ptr, n),
+                     "dot", *simd, n);
+        expect_close(simd->sum(a.ptr, n), scalar.sum(a.ptr, n), "sum", *simd,
+                     n);
+
+        // Gather over a small weight table with wrap-around indices.
+        Buf table(64, off, rng);
+        std::vector<std::uint32_t> idx(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          idx[i] = static_cast<std::uint32_t>(rng() % 64);
+        }
+        expect_close(simd->gather_sum(table.ptr, idx.data(), n),
+                     scalar.gather_sum(table.ptr, idx.data(), n),
+                     "gather_sum", *simd, n);
+
+        // Strictly increasing quadrature grid.
+        Buf t(n, off, rng);
+        for (std::size_t i = 0; i < n; ++i) {
+          t.ptr[i] = 0.1 * static_cast<double>(i) + 0.05 * t.ptr[i];
+        }
+        expect_close(simd->trapezoid(t.ptr, a.ptr, n),
+                     scalar.trapezoid(t.ptr, a.ptr, n), "trapezoid", *simd,
+                     n);
+
+        double want4[4], got4[4];
+        scalar.knot4(a.ptr, b.ptr, c.ptr, d.ptr, n, want4);
+        simd->knot4(a.ptr, b.ptr, c.ptr, d.ptr, n, got4);
+        for (int j = 0; j < 4; ++j) {
+          expect_close(got4[j], want4[j], "knot4", *simd, n);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernSweep, RhsKernelsUlpClose) {
+  const auto& scalar = kern::ops(kern::Backend::kScalar);
+  for (const kern::Ops* simd : simd_backends()) {
+    util::Xoshiro256 rng(9012);
+    for (std::size_t n = 0; n <= kMaxN; ++n) {
+      for (std::size_t off : kOffsets) {
+        Buf s(n, off, rng), i(n, off, rng), lambda(n, off, rng),
+            phi(n, off, rng), psi(n, off, rng), phic(n, off, rng),
+            phi_over_k(n, off, rng);
+        std::vector<double> want_a(n), want_b(n), got_a(n), got_b(n);
+
+        // sir_rhs embeds the Θ reduction, so outputs are ULP-close, not
+        // bitwise.
+        const double theta_want =
+            scalar.sir_rhs(s.ptr, i.ptr, lambda.ptr, phi.ptr, n, 6.0, 0.05,
+                           0.1, 0.2, want_a.data(), want_b.data());
+        const double theta_got =
+            simd->sir_rhs(s.ptr, i.ptr, lambda.ptr, phi.ptr, n, 6.0, 0.05,
+                          0.1, 0.2, got_a.data(), got_b.data());
+        expect_close(theta_got, theta_want, "sir_rhs theta", *simd, n);
+        for (std::size_t j = 0; j < n; ++j) {
+          expect_close(got_a[j], want_a[j], "sir_rhs dS", *simd, n);
+          expect_close(got_b[j], want_b[j], "sir_rhs dI", *simd, n);
+        }
+
+        for (bool diagonal : {false, true}) {
+          scalar.costate_rhs(s.ptr, i.ptr, psi.ptr, phic.ptr, lambda.ptr,
+                             phi_over_k.ptr, n, -0.1, -0.2, 0.05, 0.1, 0.21,
+                             diagonal, want_a.data(), want_b.data());
+          simd->costate_rhs(s.ptr, i.ptr, psi.ptr, phic.ptr, lambda.ptr,
+                            phi_over_k.ptr, n, -0.1, -0.2, 0.05, 0.1, 0.21,
+                            diagonal, got_a.data(), got_b.data());
+          if (diagonal) {
+            // Diagonal truncation drops the coupling reduction — the
+            // kernel is purely elementwise and must match exactly.
+            expect_bitwise(got_a.data(), want_a.data(), n,
+                           "costate_rhs[diag] dpsi", *simd);
+            expect_bitwise(got_b.data(), want_b.data(), n,
+                           "costate_rhs[diag] dphi", *simd);
+          } else {
+            for (std::size_t j = 0; j < n; ++j) {
+              expect_close(got_a[j], want_a[j], "costate_rhs dpsi", *simd,
+                           n);
+              expect_close(got_b[j], want_b[j], "costate_rhs dphi", *simd,
+                           n);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// The fused whole-RK4-step kernels promise bitwise equality with the
+// unfused kernel sequence of the SAME backend (kern.hpp). Compose that
+// sequence out of the backend's own sir_rhs/axpy_out/rk4_combine and
+// demand exact agreement — this pins the fused kernels' stage order,
+// coefficients, and rounding, for every n and alignment.
+TEST(KernSweep, FusedSirStepMatchesUnfusedSequence) {
+  for (kern::Backend b :
+       {kern::Backend::kScalar, kern::Backend::kAvx2,
+        kern::Backend::kAvx512}) {
+    if (!kern::compiled(b) || !kern::cpu_supports(b)) continue;
+    const kern::Ops& ops = kern::ops(b);
+    util::Xoshiro256 rng(3456);
+    for (std::size_t n = 1; n <= kMaxN; ++n) {
+      const std::size_t dim = 2 * n;
+      for (std::size_t off : kOffsets) {
+        Buf y(dim, off, rng), lambda(n, off, rng), phi(n, off, rng);
+        const double e1[3] = {0.11, 0.12, 0.13};
+        const double e2[3] = {0.21, 0.22, 0.23};
+        const double h = 0.02, mean_k = 6.0, alpha = 0.05;
+
+        std::vector<double> scratch(kern::fused_scratch_doubles(n));
+        std::vector<double> fused(dim);
+        ops.sir_rk4_step(y.ptr, n, mean_k, alpha, e1, e2, lambda.ptr,
+                         phi.ptr, h, fused.data(), scratch.data());
+
+        std::vector<double> k1(dim), k2(dim), k3(dim), k4(dim), tmp(dim),
+            want(dim);
+        const auto rhs = [&](const double* yy, std::size_t stage,
+                             double* k) {
+          ops.sir_rhs(yy, yy + n, lambda.ptr, phi.ptr, n, mean_k, alpha,
+                      e1[stage], e2[stage], k, k + n);
+        };
+        rhs(y.ptr, 0, k1.data());
+        ops.axpy_out(y.ptr, k1.data(), 0.5 * h, tmp.data(), dim);
+        rhs(tmp.data(), 1, k2.data());
+        ops.axpy_out(y.ptr, k2.data(), 0.5 * h, tmp.data(), dim);
+        rhs(tmp.data(), 1, k3.data());
+        ops.axpy_out(y.ptr, k3.data(), h, tmp.data(), dim);
+        rhs(tmp.data(), 2, k4.data());
+        ops.rk4_combine(y.ptr, k1.data(), k2.data(), k3.data(), k4.data(),
+                        h / 6.0, want.data(), dim);
+        expect_bitwise(fused.data(), want.data(), dim, "sir_rk4_step", ops);
+      }
+    }
+  }
+}
+
+TEST(KernSweep, FusedCostateStepMatchesUnfusedSequence) {
+  for (kern::Backend b :
+       {kern::Backend::kScalar, kern::Backend::kAvx2,
+        kern::Backend::kAvx512}) {
+    if (!kern::compiled(b) || !kern::cpu_supports(b)) continue;
+    const kern::Ops& ops = kern::ops(b);
+    util::Xoshiro256 rng(7890);
+    for (std::size_t n = 1; n <= kMaxN; ++n) {
+      const std::size_t dim = 2 * n;
+      for (std::size_t off : kOffsets) {
+        for (bool diagonal : {false, true}) {
+          Buf w(dim, off, rng), y0(dim, off, rng), ymid(dim, off, rng),
+              y1(dim, off, rng), lambda(n, off, rng),
+              phi_over_k(n, off, rng);
+          const double theta[3] = {0.21, 0.22, 0.23};
+          const double e1[3] = {0.11, 0.12, 0.13};
+          const double e2[3] = {0.31, 0.32, 0.33};
+          const double c1 = 5.0, c2 = 10.0, h = 0.02;
+
+          std::vector<double> scratch(kern::fused_scratch_doubles(n));
+          std::vector<double> fused(dim);
+          ops.costate_rk4_step(w.ptr, n, y0.ptr, ymid.ptr, y1.ptr,
+                               lambda.ptr, phi_over_k.ptr, theta, e1, e2,
+                               c1, c2, h, diagonal, fused.data(),
+                               scratch.data());
+
+          std::vector<double> k1(dim), k2(dim), k3(dim), k4(dim), tmp(dim),
+              want(dim);
+          const auto rhs = [&](const double* ww, const double* yy,
+                               std::size_t stage, double* k) {
+            ops.costate_rhs(yy, yy + n, ww, ww + n, lambda.ptr,
+                            phi_over_k.ptr, n,
+                            -2.0 * c1 * e1[stage] * e1[stage],
+                            -2.0 * c2 * e2[stage] * e2[stage], e1[stage],
+                            e2[stage], theta[stage], diagonal, k, k + n);
+          };
+          rhs(w.ptr, y0.ptr, 0, k1.data());
+          ops.axpy_out(w.ptr, k1.data(), 0.5 * h, tmp.data(), dim);
+          rhs(tmp.data(), ymid.ptr, 1, k2.data());
+          ops.axpy_out(w.ptr, k2.data(), 0.5 * h, tmp.data(), dim);
+          rhs(tmp.data(), ymid.ptr, 1, k3.data());
+          ops.axpy_out(w.ptr, k3.data(), h, tmp.data(), dim);
+          rhs(tmp.data(), y1.ptr, 2, k4.data());
+          ops.rk4_combine(w.ptr, k1.data(), k2.data(), k3.data(), k4.data(),
+                          h / 6.0, want.data(), dim);
+          expect_bitwise(fused.data(), want.data(), dim, "costate_rk4_step",
+                         ops);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernSweep, Census2ExactInEveryBackend) {
+  const auto& scalar = kern::ops(kern::Backend::kScalar);
+  const auto backends = simd_backends();
+  util::Xoshiro256 rng(2468);
+  // 32 nodes per word; the avx512 path eats several words per vector,
+  // so sweep well past three vectors' worth of nodes, crossing every
+  // word and vector boundary.
+  for (std::size_t nnodes = 0; nnodes <= 3 * 256 + 1; ++nnodes) {
+    const std::size_t nwords = (nnodes + 31) / 32;
+    std::vector<std::uint64_t> words(nwords + 1);
+    std::uint64_t naive[2] = {0, 0};
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      const std::uint64_t r = rng();
+      // Legal 2-bit compartments only: no 11 fields.
+      words[w] = r & ~((r & 0x5555555555555555ULL) << 1);
+    }
+    // Garbage beyond nnodes must be masked off — poison the tail.
+    if (nnodes % 32 != 0 && nwords > 0) {
+      words[nwords - 1] |= ~0ULL << (2 * (nnodes % 32));
+      words[nwords - 1] &=
+          ~((words[nwords - 1] & 0x5555555555555555ULL) << 1);
+    }
+    for (std::size_t node = 0; node < nnodes; ++node) {
+      const unsigned field = (words[node / 32] >> (2 * (node % 32))) & 3u;
+      if (field == 1) ++naive[0];
+      if (field == 2) ++naive[1];
+    }
+    std::uint64_t got[2];
+    scalar.census2(words.data(), nnodes, got);
+    ASSERT_EQ(got[0], naive[0]) << "scalar census infected, n=" << nnodes;
+    ASSERT_EQ(got[1], naive[1]) << "scalar census recovered, n=" << nnodes;
+    for (const kern::Ops* simd : backends) {
+      simd->census2(words.data(), nnodes, got);
+      ASSERT_EQ(got[0], naive[0])
+          << kern::to_string(simd->backend) << " census infected, n="
+          << nnodes;
+      ASSERT_EQ(got[1], naive[1])
+          << kern::to_string(simd->backend) << " census recovered, n="
+          << nnodes;
+    }
+  }
+}
+
+TEST(KernDispatch, ParseBackendRoundTrips) {
+  EXPECT_EQ(kern::parse_backend("scalar"), kern::Backend::kScalar);
+  EXPECT_EQ(kern::parse_backend("avx2"), kern::Backend::kAvx2);
+  EXPECT_EQ(kern::parse_backend("avx512"), kern::Backend::kAvx512);
+  EXPECT_THROW(kern::parse_backend("neon"), util::InvalidArgument);
+  EXPECT_THROW(kern::parse_backend(""), util::InvalidArgument);
+  EXPECT_THROW(kern::parse_backend("AVX2"), util::InvalidArgument);
+}
+
+TEST(KernDispatch, ResolveHonorsOverrideAndFallsBack) {
+  // No override: best compiled+supported backend, never a crash.
+  const kern::Backend auto_pick = kern::resolve_backend(nullptr);
+  EXPECT_TRUE(kern::compiled(auto_pick));
+  EXPECT_TRUE(kern::cpu_supports(auto_pick));
+  EXPECT_EQ(kern::resolve_backend(""), auto_pick);
+
+  // Scalar is always compiled and supported, so forcing it must work.
+  EXPECT_EQ(kern::resolve_backend("scalar"), kern::Backend::kScalar);
+
+  // Any usable backend must be honored verbatim; an unusable one must
+  // throw rather than silently fall back.
+  for (kern::Backend b : {kern::Backend::kAvx2, kern::Backend::kAvx512}) {
+    const char* token = kern::to_string(b);
+    if (kern::compiled(b) && kern::cpu_supports(b)) {
+      EXPECT_EQ(kern::resolve_backend(token), b);
+    } else {
+      EXPECT_THROW(kern::resolve_backend(token), util::InvalidArgument);
+    }
+  }
+  EXPECT_THROW(kern::resolve_backend("sparc"), util::InvalidArgument);
+}
+
+TEST(KernDispatch, PublishedTablesAreComplete) {
+  for (kern::Backend b :
+       {kern::Backend::kScalar, kern::Backend::kAvx2,
+        kern::Backend::kAvx512}) {
+    if (!kern::compiled(b)) continue;
+    const kern::Ops& ops = kern::ops(b);
+    EXPECT_EQ(ops.backend, b);
+    EXPECT_NE(ops.dot, nullptr);
+    EXPECT_NE(ops.sum, nullptr);
+    EXPECT_NE(ops.gather_sum, nullptr);
+    EXPECT_NE(ops.trapezoid, nullptr);
+    EXPECT_NE(ops.knot4, nullptr);
+    EXPECT_NE(ops.sir_rhs, nullptr);
+    EXPECT_NE(ops.costate_rhs, nullptr);
+    EXPECT_NE(ops.sir_rk4_step, nullptr);
+    EXPECT_NE(ops.costate_rk4_step, nullptr);
+    EXPECT_NE(ops.lerp, nullptr);
+    EXPECT_NE(ops.axpy_out, nullptr);
+    EXPECT_NE(ops.combine2, nullptr);
+    EXPECT_NE(ops.rk4_combine, nullptr);
+    EXPECT_NE(ops.accumulate, nullptr);
+    EXPECT_NE(ops.accumulate_sq, nullptr);
+    EXPECT_NE(ops.census2, nullptr);
+  }
+}
+
+TEST(KernDispatch, ZeroLengthIsValidEverywhere) {
+  for (kern::Backend b :
+       {kern::Backend::kScalar, kern::Backend::kAvx2,
+        kern::Backend::kAvx512}) {
+    if (!kern::compiled(b) || !kern::cpu_supports(b)) continue;
+    const kern::Ops& ops = kern::ops(b);
+    EXPECT_EQ(ops.dot(nullptr, nullptr, 0), 0.0);
+    EXPECT_EQ(ops.sum(nullptr, 0), 0.0);
+    EXPECT_EQ(ops.gather_sum(nullptr, nullptr, 0), 0.0);
+    EXPECT_EQ(ops.trapezoid(nullptr, nullptr, 0), 0.0);
+    double out4[4] = {1, 1, 1, 1};
+    ops.knot4(nullptr, nullptr, nullptr, nullptr, 0, out4);
+    EXPECT_EQ(out4[0], 0.0);
+    EXPECT_EQ(out4[3], 0.0);
+    std::uint64_t c[2] = {9, 9};
+    ops.census2(nullptr, 0, c);
+    EXPECT_EQ(c[0], 0u);
+    EXPECT_EQ(c[1], 0u);
+  }
+}
+
+}  // namespace
