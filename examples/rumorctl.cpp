@@ -8,6 +8,18 @@
 //   rumorctl fit --cascade FILE [opts]     estimate parameters from data
 //   rumorctl graph-pack --edges IN --out F convert a graph to binary CSR
 //
+// Serving (docs/serving.md):
+//   rumorctl serve [opts]                  run the rumord daemon
+//     --socket PATH | --host H --port P    listen address [127.0.0.1:7464]
+//     --workers N --queue-depth N          scheduler sizing [2 / 64]
+//     --cache-capacity N --job-root DIR    graph cache + job dirs
+//   rumorctl submit --type {simulate|plan|sweep} [--spec JSON]
+//     [--spec-file F] [--priority N] [--timeout-ms T] [--wait 1]
+//   rumorctl status --id N                 one job snapshot (JSON)
+//   rumorctl cancel --id N
+//   rumorctl shutdown                      stop the daemon cleanly
+//   (submit/status/cancel/shutdown take the same --socket/--host/--port)
+//
 // Common options (defaults in brackets):
 //   --edges FILE      load a graph (text edge list or packed binary CSR,
 //                     auto-detected) instead of the surrogate
@@ -23,7 +35,10 @@
 //   --prom-out F      write a Prometheus text snapshot on exit
 //   --trace-out F     record trace spans, write Chrome trace JSON on
 //                     exit (load in chrome://tracing or Perfetto)
-//   --heartbeat-every S  log a registry digest every S seconds
+//   --heartbeat-every S  log a registry digest every S seconds (raises
+//                     the log level to info unless --log-level is given)
+//   --log-level L     debug|info|warn|error|off — pin the log level;
+//                     takes precedence over the heartbeat escalation
 //   --log-json 1      emit log lines as JSON objects on stderr
 // plan-specific: --c1 [5] --c2 [10] --target [1e-3·n] --eps-max [0.7]
 //                --checkpoint FILE --checkpoint-every N [10] --resume [1]
@@ -41,15 +56,18 @@
 //   is bit-identical to an uninterrupted one at any thread count and
 //   under either engine.
 #include <cmath>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -68,6 +86,8 @@
 #include "obs/export.hpp"
 #include "obs/heartbeat.hpp"
 #include "obs/trace.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "sim/agent_sim.hpp"
 #include "sim/checkpoint.hpp"
 #include "util/csv.hpp"
@@ -470,11 +490,111 @@ int cmd_fit(const Args& args) {
   return 0;
 }
 
+// ---- serving: daemon + client ops (docs/serving.md) -----------------
+
+serve::Server* g_server = nullptr;  // SIGINT/SIGTERM → clean shutdown
+
+extern "C" void handle_serve_signal(int) {
+  if (g_server != nullptr) g_server->stop();  // atomic flag + self-pipe
+}
+
+int cmd_serve(const Args& args) {
+  serve::ServerOptions options;
+  if (const auto socket = args.text("socket")) {
+    options.unix_path = *socket;
+  } else {
+    options.host = args.text("host").value_or("127.0.0.1");
+    options.port = static_cast<std::uint16_t>(args.number("port", 7464.0));
+  }
+  options.scheduler.workers = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.number("workers", 2.0)));
+  options.scheduler.max_queue_depth =
+      static_cast<std::size_t>(args.number("queue-depth", 64.0));
+  options.scheduler.cache_capacity = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.number("cache-capacity", 4.0)));
+  options.scheduler.job_root =
+      args.text("job-root").value_or("rumord-jobs");
+
+  serve::Server server(std::move(options));
+  g_server = &server;
+  std::signal(SIGINT, handle_serve_signal);
+  std::signal(SIGTERM, handle_serve_signal);
+  server.start();
+  if (server.port() != 0) {
+    // Scripts binding an ephemeral port read it from stdout.
+    std::printf("port %u\n", server.port());
+    std::fflush(stdout);
+  }
+  server.wait();
+  g_server = nullptr;
+  return 0;
+}
+
+serve::Client connect_client(const Args& args) {
+  if (const auto socket = args.text("socket")) {
+    return serve::Client::connect_unix(*socket);
+  }
+  return serve::Client::connect_tcp(
+      args.text("host").value_or("127.0.0.1"),
+      static_cast<std::uint16_t>(args.number("port", 7464.0)));
+}
+
+int cmd_submit(const Args& args) {
+  const std::string type = args.text("type").value_or("simulate");
+  io::JsonValue spec = io::JsonValue::make_object();
+  if (const auto inline_spec = args.text("spec")) {
+    spec = io::JsonValue::parse(*inline_spec);
+  } else if (const auto file = args.text("spec-file")) {
+    std::ifstream in(*file);
+    util::require(in.good(), "submit: cannot open --spec-file " + *file);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    spec = io::JsonValue::parse(buffer.str());
+  }
+  auto client = connect_client(args);
+  const std::uint64_t id = client.submit(
+      type, std::move(spec), static_cast<int>(args.number("priority", 0.0)),
+      static_cast<std::uint64_t>(args.number("timeout-ms", 0.0)));
+  if (args.number("wait", 0.0) != 0.0) {
+    const auto job = client.wait(
+        id, std::chrono::milliseconds(static_cast<std::int64_t>(
+                args.number("wait-timeout-ms", 600000.0))));
+    std::printf("%s\n", job.dump().c_str());
+  } else {
+    std::printf("{\"id\":%llu}\n", static_cast<unsigned long long>(id));
+  }
+  return 0;
+}
+
+int cmd_status(const Args& args) {
+  auto client = connect_client(args);
+  const auto id = static_cast<std::uint64_t>(args.number("id", 0.0));
+  util::require(id != 0, "status: --id N is required");
+  std::printf("%s\n", client.status(id).dump().c_str());
+  return 0;
+}
+
+int cmd_cancel(const Args& args) {
+  auto client = connect_client(args);
+  const auto id = static_cast<std::uint64_t>(args.number("id", 0.0));
+  util::require(id != 0, "cancel: --id N is required");
+  std::printf("{\"cancelled\":%s}\n",
+              client.cancel(id) ? "true" : "false");
+  return 0;
+}
+
+int cmd_shutdown(const Args& args) {
+  auto client = connect_client(args);
+  client.shutdown_server();
+  std::printf("{\"stopping\":true}\n");
+  return 0;
+}
+
 int usage() {
   std::printf(
       "rumorctl — rumor propagation dynamics & optimized countermeasures\n"
       "usage: rumorctl {stats|threshold|spectrum|simulate|plan|fit|"
-      "graph-pack} [--opt value]\n"
+      "graph-pack|serve|submit|status|cancel|shutdown} [--opt value]\n"
       "see the header of examples/rumorctl.cpp for the full option list\n");
   return 0;
 }
@@ -491,6 +611,11 @@ int dispatch(const Args& args) {
   if (args.command == "plan") return cmd_plan(args);
   if (args.command == "fit") return cmd_fit(args);
   if (args.command == "graph-pack") return cmd_graph_pack(args);
+  if (args.command == "serve") return cmd_serve(args);
+  if (args.command == "submit") return cmd_submit(args);
+  if (args.command == "status") return cmd_status(args);
+  if (args.command == "cancel") return cmd_cancel(args);
+  if (args.command == "shutdown") return cmd_shutdown(args);
   return usage();
 }
 
@@ -517,6 +642,18 @@ int main(int argc, char** argv) {
     if (args.number("log-json", 0.0) != 0.0) {
       rumor::util::set_log_json(true);
     }
+    if (const auto level = args.text("log-level")) {
+      using rumor::util::LogLevel;
+      const std::map<std::string, LogLevel> levels{
+          {"debug", LogLevel::kDebug}, {"info", LogLevel::kInfo},
+          {"warn", LogLevel::kWarn},   {"error", LogLevel::kError},
+          {"off", LogLevel::kOff}};
+      const auto it = levels.find(*level);
+      rumor::util::require(it != levels.end(),
+                           "--log-level must be one of "
+                           "debug|info|warn|error|off");
+      rumor::util::set_log_level(it->second);
+    }
     if (const auto threads = args.text("threads")) {
       rumor::util::set_num_threads(
           static_cast<std::size_t>(std::atof(threads->c_str())));
@@ -526,8 +663,11 @@ int main(int argc, char** argv) {
     const double beat_seconds = args.number("heartbeat-every", 0.0);
     if (beat_seconds > 0.0) {
       // The heartbeat reports through log_info; asking for one implies
-      // wanting to see it, so raise the threshold if it would filter.
-      if (rumor::util::log_level() > rumor::util::LogLevel::kInfo) {
+      // wanting to see it, so raise the threshold if it would filter —
+      // unless the user pinned a level with --log-level, which always
+      // wins (a --log-level warn run keeps its heartbeat silent).
+      if (!args.text("log-level") &&
+          rumor::util::log_level() > rumor::util::LogLevel::kInfo) {
         rumor::util::set_log_level(rumor::util::LogLevel::kInfo);
       }
       heartbeat.emplace(beat_seconds);

@@ -179,8 +179,45 @@ SweepResult solve_projected_gradient(const core::SirNetworkModel& model,
 
   double objective = forward(e1, e2, ws.state);
 
+  // Snapshot of the iteration state after `completed` iterations; the
+  // same fields whether written on the periodic cadence or on a
+  // cooperative yield, so a resumed run cannot tell the two apart.
+  const auto save_checkpoint = [&](std::size_t completed) {
+    SweepCheckpoint cp;
+    cp.algorithm =
+        static_cast<std::uint32_t>(SweepAlgorithm::kProjectedGradient);
+    cp.tf = tf;
+    cp.c1 = cost.c1;
+    cp.c2 = cost.c2;
+    cp.terminal_weight = cost.terminal_weight;
+    cp.grid = grid;
+    cp.iteration = completed;
+    cp.gradient_step = step;
+    cp.best_j = objective;  // the PG sequence is monotone
+    cp.epsilon1 = e1;
+    cp.epsilon2 = e2;
+    cp.best_epsilon1 = e1;
+    cp.best_epsilon2 = e2;
+    cp.objective_history = result.objective_history;
+    cp.state = ws.state;
+    cp.costate = ws.costate;
+    save_sweep_checkpoint(cp, options.checkpoint_path);
+  };
+
   for (std::size_t iter = first_iter; iter <= options.max_iterations;
        ++iter) {
+    if (options.keep_going && !options.keep_going()) {
+      // At the top of iteration `iter` every variable holds its
+      // end-of-(iter-1) value, so this is exactly the checkpoint a
+      // periodic save at the end of iter-1 would have written. Skip it
+      // when no new iteration completed: a resumed run's file already
+      // covers this state, and a fresh run has no costate yet.
+      if (!options.checkpoint_path.empty() && iter > first_iter) {
+        save_checkpoint(iter - 1);
+      }
+      result.interrupted = true;
+      break;
+    }
     const obs::TraceSpan iter_span("pg.iteration");
     control_metrics().pg_iterations.add();
     result.iterations = iter;
@@ -262,28 +299,13 @@ SweepResult solve_projected_gradient(const core::SirNetworkModel& model,
     if (!options.checkpoint_path.empty() &&
         (iter % options.checkpoint_every == 0 ||
          iter == options.max_iterations)) {
-      SweepCheckpoint cp;
-      cp.algorithm =
-          static_cast<std::uint32_t>(SweepAlgorithm::kProjectedGradient);
-      cp.tf = tf;
-      cp.c1 = cost.c1;
-      cp.c2 = cost.c2;
-      cp.terminal_weight = cost.terminal_weight;
-      cp.grid = grid;
-      cp.iteration = iter;
-      cp.gradient_step = step;
-      cp.best_j = objective;  // the PG sequence is monotone
-      cp.epsilon1 = e1;
-      cp.epsilon2 = e2;
-      cp.best_epsilon1 = e1;
-      cp.best_epsilon2 = e2;
-      cp.objective_history = result.objective_history;
-      cp.state = ws.state;
-      cp.costate = ws.costate;
-      save_sweep_checkpoint(cp, options.checkpoint_path);
+      save_checkpoint(iter);
     }
   }
-  if (!result.converged) {
+  if (result.interrupted) {
+    util::log_info() << "solve_projected_gradient: yielded after "
+                     << result.iterations << " iterations";
+  } else if (!result.converged) {
     util::log_warn() << "solve_projected_gradient: no convergence after "
                      << result.iterations << " iterations (stationarity "
                      << result.final_update << ")";
@@ -379,8 +401,46 @@ SweepResult solve_optimal_control(const core::SirNetworkModel& model,
     result.iterations = static_cast<std::size_t>(resumed->iteration);
   }
 
+  // Snapshot of the iteration state after `completed` iterations; the
+  // same fields whether written on the periodic cadence or on a
+  // cooperative yield, so a resumed run cannot tell the two apart.
+  const auto save_checkpoint = [&](std::size_t completed) {
+    SweepCheckpoint cp;
+    cp.algorithm =
+        static_cast<std::uint32_t>(SweepAlgorithm::kForwardBackward);
+    cp.tf = tf;
+    cp.c1 = cost.c1;
+    cp.c2 = cost.c2;
+    cp.terminal_weight = cost.terminal_weight;
+    cp.grid = grid;
+    cp.iteration = completed;
+    cp.relaxation = relaxation;
+    cp.descent_streak = descent_streak;
+    cp.best_j = best_j;
+    cp.epsilon1 = e1;
+    cp.epsilon2 = e2;
+    cp.best_epsilon1 = best_e1;
+    cp.best_epsilon2 = best_e2;
+    cp.objective_history = result.objective_history;
+    cp.state = ws.state;
+    cp.costate = ws.costate;
+    save_sweep_checkpoint(cp, options.checkpoint_path);
+  };
+
   for (std::size_t iter = first_iter; iter <= options.max_iterations;
        ++iter) {
+    if (options.keep_going && !options.keep_going()) {
+      // At the top of iteration `iter` every variable holds its
+      // end-of-(iter-1) value, so this is exactly the checkpoint a
+      // periodic save at the end of iter-1 would have written. Skip it
+      // when no new iteration completed: a resumed run's file already
+      // covers this state, and a fresh run has no trajectories yet.
+      if (!options.checkpoint_path.empty() && iter > first_iter) {
+        save_checkpoint(iter - 1);
+      }
+      result.interrupted = true;
+      break;
+    }
     const obs::TraceSpan iter_span("fbsm.iteration");
     control_metrics().fbsm_iterations.add();
     result.iterations = iter;
@@ -477,26 +537,7 @@ SweepResult solve_optimal_control(const core::SirNetworkModel& model,
     if (!options.checkpoint_path.empty() &&
         (iter % options.checkpoint_every == 0 ||
          iter == options.max_iterations)) {
-      SweepCheckpoint cp;
-      cp.algorithm =
-          static_cast<std::uint32_t>(SweepAlgorithm::kForwardBackward);
-      cp.tf = tf;
-      cp.c1 = cost.c1;
-      cp.c2 = cost.c2;
-      cp.terminal_weight = cost.terminal_weight;
-      cp.grid = grid;
-      cp.iteration = iter;
-      cp.relaxation = relaxation;
-      cp.descent_streak = descent_streak;
-      cp.best_j = best_j;
-      cp.epsilon1 = e1;
-      cp.epsilon2 = e2;
-      cp.best_epsilon1 = best_e1;
-      cp.best_epsilon2 = best_e2;
-      cp.objective_history = result.objective_history;
-      cp.state = ws.state;
-      cp.costate = ws.costate;
-      save_sweep_checkpoint(cp, options.checkpoint_path);
+      save_checkpoint(iter);
     }
     if (iter == options.max_iterations) {
       util::log_warn() << "solve_optimal_control: no convergence after "

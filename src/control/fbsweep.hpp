@@ -12,6 +12,7 @@
 //   5. repeat until the controls stop changing.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -80,6 +81,19 @@ struct SweepOptions {
   std::string checkpoint_path;
   std::size_t checkpoint_every = 10;
   bool resume = true;
+
+  // --- cooperative preemption / cancellation -------------------------
+  /// Polled once per iteration, before any of the iteration's work.
+  /// Returning false stops the solver: it writes a checkpoint of the
+  /// last *completed* iteration (when checkpoint_path is set and at
+  /// least one new iteration completed), fills the result from the
+  /// best iterate seen, and returns with interrupted = true. Because a
+  /// sweep iteration is a deterministic map of the checkpointed state,
+  /// re-running later with resume enabled continues the uninterrupted
+  /// iterate sequence bit-for-bit — this is what lets a scheduler
+  /// preempt a long `plan` job and still deliver the exact same answer
+  /// (see src/serve). Empty = never yields.
+  std::function<bool()> keep_going;
 };
 
 struct SweepResult {
@@ -95,6 +109,9 @@ struct SweepResult {
   CostBreakdown cost;
   std::size_t iterations = 0;
   bool converged = false;
+  /// True when SweepOptions::keep_going stopped the solver early; the
+  /// result then holds the best iterate at the moment of interruption.
+  bool interrupted = false;
   /// max_t |Δε| at the final iteration.
   double final_update = 0.0;
   /// J at every iteration (diagnostic; also what the j-test watches).

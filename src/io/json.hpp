@@ -1,0 +1,102 @@
+// Minimal JSON document model, parser, and writer.
+//
+// This is the wire format of the serving layer (docs/serving.md): job
+// specs arrive as one JSON object per line, responses leave the same
+// way, and `rumorctl submit` builds its specs through the same type.
+// The design goals are the container format's, transposed to text:
+// strict parsing (any malformed input throws util::IoError naming the
+// byte position — a daemon must never guess at a half-parsed spec),
+// no dependencies, and a small surface. It is not a streaming parser;
+// requests are single lines, bounded by the server's read limit, so
+// the document always fits in memory.
+//
+// Numbers are stored as double (JSON's own number model). Object keys
+// keep insertion order, which makes dump() deterministic — two equal
+// documents built the same way serialize identically, something the
+// protocol tests rely on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rumor::io {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  JsonValue() = default;  // null
+  JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+  JsonValue(double value) : kind_(Kind::kNumber), number_(value) {}
+  JsonValue(int value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(std::string value)
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  JsonValue(const char* value) : JsonValue(std::string(value)) {}
+
+  static JsonValue make_array() { return with_kind(Kind::kArray); }
+  static JsonValue make_object() { return with_kind(Kind::kObject); }
+
+  /// Parse one complete JSON document (leading/trailing whitespace
+  /// allowed, trailing garbage is an error). Throws util::IoError.
+  static JsonValue parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; a kind mismatch throws util::IoError (the caller
+  /// is interpreting untrusted wire data, not violating a precondition).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object lookup; nullptr when absent or when this is not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Lookup with fallback for absent keys. Present-but-wrong-kind
+  /// throws — a mistyped field should fail loudly, not pick a default.
+  double number_or(std::string_view key, double fallback) const;
+  std::string string_or(std::string_view key,
+                        std::string_view fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const;
+  std::uint64_t u64_or(std::string_view key, std::uint64_t fallback) const;
+
+  /// Object member insert-or-replace (this must be an object).
+  JsonValue& set(std::string key, JsonValue value);
+  /// Array append (this must be an array).
+  JsonValue& push_back(JsonValue value);
+
+  /// Serialize compactly (no whitespace). Key order = insertion order;
+  /// numbers use shortest round-trip formatting.
+  std::string dump() const;
+
+ private:
+  static JsonValue with_kind(Kind kind) {
+    JsonValue v;
+    v.kind_ = kind;
+    return v;
+  }
+  void dump_to(std::string& out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace rumor::io

@@ -1,0 +1,116 @@
+#include "serve/client.hpp"
+
+#include "serve/job.hpp"
+#include "util/error.hpp"
+
+namespace rumor::serve {
+
+namespace {
+
+/// Surface a {"ok":false} response as an IoError naming the code, so
+/// CLI and tests see "queue_full: ..." style messages.
+const io::JsonValue& check_ok(const io::JsonValue& response) {
+  if (response.bool_or("ok", false)) return response;
+  std::string code = kErrInternal;
+  std::string message = "request failed";
+  if (const io::JsonValue* error = response.find("error")) {
+    code = error->string_or("code", code);
+    message = error->string_or("message", message);
+  }
+  throw util::IoError(code + ": " + message);
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path) {
+  Client client(util::Socket::connect_unix(path));
+  client.socket_.set_timeout(30.0);
+  return client;
+}
+
+Client Client::connect_tcp(const std::string& host, std::uint16_t port) {
+  Client client(util::Socket::connect_tcp(host, port));
+  client.socket_.set_timeout(30.0);
+  return client;
+}
+
+void Client::set_timeout(double seconds) { socket_.set_timeout(seconds); }
+
+std::string Client::read_line() {
+  char chunk[4096];
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    const std::size_t n = socket_.recv_some(chunk, sizeof chunk);
+    if (n == 0) {
+      throw util::IoError("client: server closed the connection");
+    }
+    buffer_.append(chunk, n);
+  }
+}
+
+io::JsonValue Client::request(const io::JsonValue& request_body) {
+  socket_.send_all(request_body.dump() + "\n");
+  return io::JsonValue::parse(read_line());
+}
+
+bool Client::ping() {
+  io::JsonValue body = io::JsonValue::make_object();
+  body.set("op", "ping");
+  return request(body).bool_or("ok", false);
+}
+
+std::uint64_t Client::submit(const std::string& type, io::JsonValue spec,
+                             int priority, std::uint64_t timeout_ms) {
+  io::JsonValue body = io::JsonValue::make_object();
+  body.set("op", "submit");
+  body.set("type", type);
+  body.set("spec", std::move(spec));
+  if (priority != 0) body.set("priority", priority);
+  if (timeout_ms != 0) {
+    body.set("timeout_ms", static_cast<double>(timeout_ms));
+  }
+  const io::JsonValue response = request(body);
+  return check_ok(response).u64_or("id", 0);
+}
+
+io::JsonValue Client::status(std::uint64_t id) {
+  io::JsonValue body = io::JsonValue::make_object();
+  body.set("op", "status");
+  body.set("id", static_cast<double>(id));
+  const io::JsonValue response = request(body);
+  const io::JsonValue* job = check_ok(response).find("job");
+  util::require(job != nullptr, "status: response missing 'job'");
+  return *job;
+}
+
+io::JsonValue Client::wait(std::uint64_t id,
+                           std::chrono::milliseconds timeout) {
+  io::JsonValue body = io::JsonValue::make_object();
+  body.set("op", "wait");
+  body.set("id", static_cast<double>(id));
+  body.set("timeout_ms", static_cast<double>(timeout.count()));
+  const io::JsonValue response = request(body);
+  const io::JsonValue* job = check_ok(response).find("job");
+  util::require(job != nullptr, "wait: response missing 'job'");
+  return *job;
+}
+
+bool Client::cancel(std::uint64_t id) {
+  io::JsonValue body = io::JsonValue::make_object();
+  body.set("op", "cancel");
+  body.set("id", static_cast<double>(id));
+  return check_ok(request(body)).bool_or("cancelled", false);
+}
+
+void Client::shutdown_server() {
+  io::JsonValue body = io::JsonValue::make_object();
+  body.set("op", "shutdown");
+  check_ok(request(body));
+}
+
+}  // namespace rumor::serve

@@ -1,0 +1,56 @@
+// Client side of the rumord line-JSON protocol, used by `rumorctl
+// submit/status/cancel` and the end-to-end tests. One Client wraps one
+// connection; requests are serialized (send a line, read a line).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "io/json.hpp"
+#include "util/socket.hpp"
+
+namespace rumor::serve {
+
+class Client {
+ public:
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(const std::string& host, std::uint16_t port);
+
+  /// Per-request timeout for socket reads/writes (default 30 s).
+  void set_timeout(double seconds);
+
+  /// Send one request object, read one response object. Throws
+  /// util::IoError on transport or framing failures; protocol-level
+  /// failures come back as {"ok":false,...} responses.
+  io::JsonValue request(const io::JsonValue& request_body);
+
+  // ---- op helpers ---------------------------------------------------
+
+  bool ping();
+
+  /// Submit a job; returns its id. Throws util::IoError carrying the
+  /// server's error code on rejection (queue_full, shutting_down, ...).
+  std::uint64_t submit(const std::string& type, io::JsonValue spec,
+                       int priority = 0, std::uint64_t timeout_ms = 0);
+
+  /// Job snapshot ({"id","type","state",...}); throws on not_found.
+  io::JsonValue status(std::uint64_t id);
+
+  /// Block server-side until terminal, then return the job snapshot.
+  io::JsonValue wait(std::uint64_t id, std::chrono::milliseconds timeout);
+
+  bool cancel(std::uint64_t id);
+
+  /// Ask the daemon to shut down (acknowledged before it stops).
+  void shutdown_server();
+
+ private:
+  explicit Client(util::Socket socket) : socket_(std::move(socket)) {}
+  std::string read_line();
+
+  util::Socket socket_;
+  std::string buffer_;
+};
+
+}  // namespace rumor::serve

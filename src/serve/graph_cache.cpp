@@ -1,0 +1,184 @@
+#include "serve/graph_cache.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <exception>
+
+#include "io/graph_binary.hpp"
+#include "serve/metrics.hpp"
+#include "util/error.hpp"
+
+namespace rumor::serve {
+
+namespace {
+
+struct FileIdentity {
+  std::uint64_t mtime_ns = 0;
+  std::uint64_t size_bytes = 0;
+};
+
+FileIdentity stat_identity(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    throw util::IoError("graph cache: cannot stat '" + path + "'");
+  }
+  FileIdentity id;
+  id.mtime_ns = static_cast<std::uint64_t>(st.st_mtim.tv_sec) * 1000000000ULL +
+                static_cast<std::uint64_t>(st.st_mtim.tv_nsec);
+  id.size_bytes = static_cast<std::uint64_t>(st.st_size);
+  return id;
+}
+
+}  // namespace
+
+std::uint64_t CachedGraph::resident_bytes() const {
+  // offsets: (n+1) u64, targets: arcs u32, in-degrees: n u32.
+  const std::uint64_t n = graph.num_nodes();
+  const std::uint64_t a = graph.num_arcs();
+  return (n + 1) * 8 + a * 4 + n * 4;
+}
+
+/// One load, shared between the loader and any coalesced waiters. The
+/// waiters hold their own shared_ptr to it, so the loader may erase a
+/// failed map entry without invalidating anyone.
+struct GraphCache::LoadState {
+  bool done = false;
+  std::shared_ptr<const CachedGraph> value;
+  std::exception_ptr error;
+};
+
+struct GraphCache::Entry {
+  std::shared_ptr<LoadState> load;
+  std::uint64_t lru_tick = 0;
+};
+
+GraphCache::GraphCache(std::size_t capacity) : capacity_(capacity) {
+  util::require(capacity >= 1, "GraphCache: capacity must be >= 1");
+}
+
+GraphCache::~GraphCache() = default;
+
+std::shared_ptr<const CachedGraph> GraphCache::get(const std::string& path,
+                                                   bool directed) {
+  const Key key{path, directed};
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) break;  // miss: become the loader
+    const std::shared_ptr<LoadState> state = it->second.load;
+    if (!state->done) {
+      // A load for this key is in flight: coalesce onto it. The file
+      // is only read once, so the waiters are hits.
+      ready_cv_.wait(lock, [&] { return state->done; });
+      if (state->error) std::rethrow_exception(state->error);
+      serve_metrics().cache_hits.add();
+      auto again = entries_.find(key);  // may have been evicted already
+      if (again != entries_.end() && again->second.load == state) {
+        again->second.lru_tick = ++tick_;
+      }
+      return state->value;
+    }
+    // Ready entry: still the same file?
+    const FileIdentity id = stat_identity(path);
+    if (id.mtime_ns == state->value->mtime_ns &&
+        id.size_bytes == state->value->size_bytes) {
+      serve_metrics().cache_hits.add();
+      it->second.lru_tick = ++tick_;
+      return state->value;
+    }
+    // Replaced on disk: invalidate and reload.
+    entries_.erase(it);
+    serve_metrics().cache_evictions.add();
+  }
+
+  serve_metrics().cache_misses.add();
+  auto state = std::make_shared<LoadState>();
+  entries_[key] = Entry{state, ++tick_};
+  lock.unlock();
+
+  std::shared_ptr<const CachedGraph> value;
+  std::exception_ptr error;
+  try {
+    const FileIdentity id = stat_identity(path);
+    value = std::make_shared<CachedGraph>(CachedGraph{
+        io::load_graph_any(path, directed), path, directed, id.mtime_ns,
+        id.size_bytes});
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  lock.lock();
+  state->done = true;
+  state->value = value;
+  state->error = error;
+  if (error) {
+    entries_.erase(key);  // failed loads are not cached
+  } else {
+    evict_excess_locked();
+  }
+  update_gauges_locked();
+  ready_cv_.notify_all();
+  if (error) std::rethrow_exception(error);
+  return value;
+}
+
+void GraphCache::evict_excess_locked() {
+  while (entries_.size() > capacity_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      const auto& state = it->second.load;
+      if (!state->done) continue;               // never evict a load in flight
+      if (state->value.use_count() > 1) continue;  // pinned by a job
+      if (victim == entries_.end() ||
+          it->second.lru_tick < victim->second.lru_tick) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // everything pinned: over-stay
+    entries_.erase(victim);
+    serve_metrics().cache_evictions.add();
+  }
+}
+
+void GraphCache::update_gauges_locked() {
+  std::uint64_t resident = 0;
+  std::uint64_t pinned = 0;
+  std::size_t ready = 0;
+  for (const auto& [key, entry] : entries_) {
+    const auto& state = entry.load;
+    if (!state->done || state->error) continue;
+    ++ready;
+    const std::uint64_t bytes = state->value->resident_bytes();
+    resident += bytes;
+    if (state->value.use_count() > 1) pinned += bytes;
+  }
+  serve_metrics().cache_entries.set(static_cast<double>(ready));
+  serve_metrics().cache_resident_bytes.set(static_cast<double>(resident));
+  serve_metrics().cache_pinned_bytes.set(static_cast<double>(pinned));
+}
+
+std::size_t GraphCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t ready = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.load->done && !entry.load->error) ++ready;
+  }
+  return ready;
+}
+
+void GraphCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const auto& state = it->second.load;
+    if (state->done && state->value.use_count() == 1) {
+      it = entries_.erase(it);
+      serve_metrics().cache_evictions.add();
+    } else {
+      ++it;
+    }
+  }
+  update_gauges_locked();
+}
+
+}  // namespace rumor::serve

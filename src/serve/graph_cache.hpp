@@ -1,0 +1,83 @@
+// LRU cache of loaded graphs for the daemon.
+//
+// Keyed by (path, directed) and validated by the file's (mtime, size):
+// a graph re-packed in place is detected on the next get() and
+// reloaded, so long-running daemons never serve a stale dataset.
+// Values are handed out as shared_ptr pins — eviction only drops the
+// cache's own reference, so a graph stays resident (and its mmap
+// stays mapped) for as long as any running job holds the pin. The LRU
+// sweep skips entries that are currently pinned; the cache may
+// therefore temporarily exceed its capacity when every entry is in
+// use, which is the correct behavior for a cache that must never yank
+// a graph out from under a job.
+//
+// Concurrent gets for the same key coalesce onto one load: the first
+// caller loads (outside the lock), the rest wait on a condition
+// variable and share the result. The waiters count as cache hits —
+// the file was read once — which is what makes "N concurrent jobs,
+// one shared graph => 1 miss + N-1 hits" an exact invariant rather
+// than a race (tests/test_serve_cache.cpp pins it; the daemon's
+// acceptance test re-checks it end to end).
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "graph/graph.hpp"
+
+namespace rumor::serve {
+
+/// A resident graph plus the file identity it was loaded from.
+struct CachedGraph {
+  graph::Graph graph;
+  std::string path;
+  bool directed = false;
+  std::uint64_t mtime_ns = 0;   ///< st_mtim at load time
+  std::uint64_t size_bytes = 0; ///< st_size at load time
+
+  /// Approximate resident footprint of the CSR arrays (offsets,
+  /// targets, in-degrees) — what the cache gauges report.
+  std::uint64_t resident_bytes() const;
+};
+
+class GraphCache {
+ public:
+  /// `capacity` is the soft entry bound the LRU sweep enforces
+  /// (pinned entries are never evicted, so it can be exceeded).
+  explicit GraphCache(std::size_t capacity);
+  ~GraphCache();  // out of line: Entry is incomplete here
+
+  /// Return a pin on the graph at `path`, loading it on a miss (text
+  /// edge list or GRAPHCSR container — io::load_graph_any). Throws
+  /// util::IoError when the file is missing or malformed; a failed
+  /// load is not cached. Thread-safe.
+  std::shared_ptr<const CachedGraph> get(const std::string& path,
+                                         bool directed);
+
+  /// Entries currently resident (loads in flight excluded).
+  std::size_t size() const;
+
+  /// Drop every unpinned entry (counts as evictions).
+  void clear();
+
+ private:
+  struct LoadState;
+  struct Entry;
+  using Key = std::pair<std::string, bool>;
+
+  void evict_excess_locked();
+  void update_gauges_locked();
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::map<Key, Entry> entries_;
+  std::uint64_t tick_ = 0;  ///< LRU clock, bumped on every touch
+};
+
+}  // namespace rumor::serve

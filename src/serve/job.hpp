@@ -1,0 +1,103 @@
+// Job model shared by the scheduler, the runners, and the protocol
+// layer. A Job is created by Scheduler::submit from a parsed spec and
+// lives until the daemon exits; terminal jobs are kept so late
+// status/"GET /jobs/<id>" queries can still see the outcome.
+//
+// Lifecycle:
+//
+//   queued -> running -> done | failed | cancelled
+//      ^          |
+//      +-- yield -+   (preemption: checkpoint, requeue, resume later)
+//
+// Cooperative control: runners poll Job::keep_going() at step (agent
+// sim) or iteration (sweep solvers) granularity. The directive lattice
+// is monotone — kRun < kYield < kCancel — so a cancel always wins over
+// a concurrent preemption, and a yield never un-cancels a job.
+// Deadlines are absolute instants derived from the submit-time
+// timeout_ms; keep_going() promotes an expired deadline to kCancel so
+// the expiry is observed at the same granularity as cancellation.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "io/json.hpp"
+
+namespace rumor::serve {
+
+enum class JobType : std::uint8_t { kSimulate, kPlan, kSweep };
+
+enum class JobState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+/// What the runner should do next, checked cooperatively.
+enum class Directive : std::uint8_t {
+  kRun = 0,
+  kYield = 1,   ///< checkpoint and return; the job requeues
+  kCancel = 2,  ///< stop; the job ends cancelled / deadline_exceeded
+};
+
+/// Protocol error codes (documented in docs/serving.md).
+inline constexpr char kErrQueueFull[] = "queue_full";
+inline constexpr char kErrDeadlineExceeded[] = "deadline_exceeded";
+inline constexpr char kErrCancelled[] = "cancelled";
+inline constexpr char kErrBadRequest[] = "bad_request";
+inline constexpr char kErrInternal[] = "internal_error";
+inline constexpr char kErrShuttingDown[] = "shutting_down";
+inline constexpr char kErrNotFound[] = "not_found";
+
+const char* to_string(JobType type);
+const char* to_string(JobState state);
+
+struct Job {
+  using Clock = std::chrono::steady_clock;
+
+  std::uint64_t id = 0;
+  JobType type = JobType::kSimulate;
+  int priority = 0;           ///< higher runs first
+  io::JsonValue spec;         ///< runner input, parsed once at submit
+  std::string dir;            ///< per-job working directory (checkpoints)
+  Clock::time_point submitted_at{};
+  bool has_deadline = false;
+  Clock::time_point deadline{};  ///< absolute, from submit + timeout_ms
+
+  // Mutable run state. `state`, `result`, `error_*`, `preemptions` are
+  // guarded by the scheduler mutex; `directive` is the lock-free
+  // channel into a running job.
+  JobState state = JobState::kQueued;
+  std::atomic<Directive> directive{Directive::kRun};
+  io::JsonValue result;
+  std::string error_code;
+  std::string error_message;
+  std::uint32_t preemptions = 0;
+
+  /// Raise the directive to at least `d` (monotone: never lowers).
+  void raise_directive(Directive d) {
+    Directive current = directive.load(std::memory_order_relaxed);
+    while (static_cast<int>(current) < static_cast<int>(d) &&
+           !directive.compare_exchange_weak(current, d,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+
+  bool deadline_passed(Clock::time_point now = Clock::now()) const {
+    return has_deadline && now > deadline;
+  }
+
+  /// The runner's cooperative poll: true while the job should keep
+  /// working. Promotes an expired deadline to kCancel as a side
+  /// effect, so expiry is detected at poll granularity.
+  bool keep_going() {
+    if (deadline_passed()) raise_directive(Directive::kCancel);
+    return directive.load(std::memory_order_relaxed) == Directive::kRun;
+  }
+};
+
+}  // namespace rumor::serve

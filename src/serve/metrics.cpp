@@ -1,0 +1,38 @@
+#include "serve/metrics.hpp"
+
+namespace rumor::serve {
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics* const m = [] {
+    obs::Registry& r = obs::metrics();
+    const std::vector<double> latency_bounds{1.0,    2.0,    5.0,    10.0,
+                                             25.0,   50.0,   100.0,  250.0,
+                                             500.0,  1000.0, 2500.0, 5000.0,
+                                             10000.0};
+    return new ServeMetrics{
+        r.counter("serve.jobs.submitted"),
+        r.counter("serve.jobs.completed"),
+        r.counter("serve.jobs.failed"),
+        r.counter("serve.jobs.cancelled"),
+        r.counter("serve.jobs.rejected"),
+        r.counter("serve.jobs.expired"),
+        r.counter("serve.jobs.preempted"),
+        r.gauge("serve.jobs.queued"),
+        r.gauge("serve.jobs.running"),
+        r.histogram("serve.queue.latency_ms", latency_bounds),
+        r.histogram("serve.job.duration_ms", latency_bounds),
+        r.counter("serve.cache.hits"),
+        r.counter("serve.cache.misses"),
+        r.counter("serve.cache.evictions"),
+        r.gauge("serve.cache.entries"),
+        r.gauge("serve.cache.resident_bytes"),
+        r.gauge("serve.cache.pinned_bytes"),
+        r.counter("serve.requests"),
+        r.counter("serve.http.requests"),
+        r.counter("serve.protocol_errors"),
+    };
+  }();
+  return *m;
+}
+
+}  // namespace rumor::serve

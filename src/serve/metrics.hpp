@@ -1,0 +1,41 @@
+// serve.* metric handles, resolved once against the global registry
+// (registration locks; recording never does — see obs/metrics.hpp).
+// Shared by the cache, the scheduler, and the server so every layer
+// records into the same families the /metrics endpoint exports.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace rumor::serve {
+
+struct ServeMetrics {
+  // job lifecycle
+  obs::Counter& jobs_submitted;
+  obs::Counter& jobs_completed;
+  obs::Counter& jobs_failed;
+  obs::Counter& jobs_cancelled;
+  obs::Counter& jobs_rejected;   ///< admission control (queue_full, shutdown)
+  obs::Counter& jobs_expired;    ///< deadline passed before/while running
+  obs::Counter& jobs_preempted;  ///< yield-to-higher-priority events
+  obs::Gauge& jobs_queued;
+  obs::Gauge& jobs_running;
+  obs::Histogram& queue_latency_ms;  ///< submit -> first dispatch
+  obs::Histogram& job_duration_ms;   ///< dispatch -> terminal state
+
+  // graph cache
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Counter& cache_evictions;
+  obs::Gauge& cache_entries;
+  obs::Gauge& cache_resident_bytes;
+  obs::Gauge& cache_pinned_bytes;
+
+  // protocol
+  obs::Counter& requests;
+  obs::Counter& http_requests;
+  obs::Counter& protocol_errors;
+};
+
+ServeMetrics& serve_metrics();
+
+}  // namespace rumor::serve

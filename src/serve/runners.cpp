@@ -1,0 +1,278 @@
+#include "serve/runners.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include "control/fbsweep.hpp"
+#include "core/profile.hpp"
+#include "core/schedule.hpp"
+#include "core/sir_model.hpp"
+#include "io/crc32.hpp"
+#include "sim/agent_sim.hpp"
+#include "sim/checkpoint.hpp"
+#include "util/error.hpp"
+#include "util/file.hpp"
+
+namespace rumor::serve {
+
+namespace {
+
+const io::JsonValue& require_spec(const Job& job) {
+  util::require(job.spec.is_object(),
+                "job spec must be a JSON object ('spec' field of submit)");
+  return job.spec;
+}
+
+std::string require_graph_path(const io::JsonValue& spec) {
+  const io::JsonValue* graph = spec.find("graph");
+  util::require(graph != nullptr && graph->is_string(),
+                "job spec: 'graph' (path string) is required");
+  return graph->as_string();
+}
+
+sim::AgentEngine parse_engine(const io::JsonValue& spec) {
+  const std::string name = spec.string_or("engine", "frontier");
+  if (name == "frontier") return sim::AgentEngine::kFrontier;
+  if (name == "dense") return sim::AgentEngine::kDense;
+  throw util::InvalidArgument("job spec: engine must be 'frontier' or "
+                              "'dense', got '" + name + "'");
+}
+
+sim::AgentParams parse_agent_params(const io::JsonValue& spec) {
+  sim::AgentParams params;
+  params.dt = spec.number_or("dt", 0.1);
+  params.epsilon1 = spec.number_or("eps1", 0.0);
+  params.epsilon2 = spec.number_or("eps2", 0.0);
+  params.engine = parse_engine(spec);
+  const double lambda_scale = spec.number_or("lambda_scale", 1.0);
+  params.lambda = core::Acceptance::linear(lambda_scale);
+  params.validate();
+  return params;
+}
+
+/// CRC of the per-node compartment bytes: a resume-invariant
+/// fingerprint of the microscopic end state.
+std::uint32_t state_crc(const sim::AgentSimulation& simulation,
+                        std::uint32_t seed = 0) {
+  std::vector<std::byte> bytes(simulation.num_nodes());
+  for (std::size_t v = 0; v < bytes.size(); ++v) {
+    bytes[v] = static_cast<std::byte>(
+        simulation.state(static_cast<graph::NodeId>(v)));
+  }
+  return io::crc32(bytes, seed);
+}
+
+// ---- simulate -------------------------------------------------------
+
+RunOutcome run_simulate(Job& job, GraphCache& cache) {
+  const io::JsonValue& spec = require_spec(job);
+  const auto pin =
+      cache.get(require_graph_path(spec), spec.bool_or("directed", false));
+  const sim::AgentParams params = parse_agent_params(spec);
+  const std::uint64_t seed = spec.u64_or("seed", 1);
+  const double t_end = spec.number_or("t_end", 30.0);
+  util::require(t_end > 0.0, "job spec: t_end must be positive");
+
+  sim::AgentSimulation simulation(pin->graph, params, seed);
+  const std::string checkpoint_path = job.dir + "/sim.agentsim";
+  if (std::filesystem::exists(checkpoint_path)) {
+    // Resuming after a preemption: the checkpoint restores step count,
+    // time, RNG state, and every compartment, so the continued
+    // trajectory is the uninterrupted one.
+    sim::load_agent_checkpoint(simulation, checkpoint_path);
+  } else {
+    const auto infected = static_cast<std::size_t>(
+        spec.number_or("initial_infected", 10.0));
+    simulation.seed_random_infections(infected);
+  }
+
+  bool interrupted = false;
+  simulation.run_until(t_end, [&job] { return job.keep_going(); },
+                       &interrupted);
+  if (interrupted) {
+    if (job.directive.load(std::memory_order_relaxed) == Directive::kYield) {
+      sim::save_agent_checkpoint(simulation, checkpoint_path);
+    }
+    return {RunOutcome::kInterrupted, {}};
+  }
+
+  const sim::Census census = simulation.census();
+  io::JsonValue result = io::JsonValue::make_object();
+  result.set("nodes", static_cast<double>(simulation.num_nodes()));
+  result.set("t", census.t);
+  result.set("steps", static_cast<double>(simulation.step_count()));
+  result.set("susceptible", static_cast<double>(census.susceptible));
+  result.set("infected", static_cast<double>(census.infected));
+  result.set("recovered", static_cast<double>(census.recovered));
+  result.set("ever_infected",
+             static_cast<double>(simulation.ever_infected()));
+  result.set("state_crc", static_cast<double>(state_crc(simulation)));
+  return {RunOutcome::kCompleted, std::move(result)};
+}
+
+// ---- plan -----------------------------------------------------------
+
+RunOutcome run_plan(Job& job, GraphCache& cache) {
+  const io::JsonValue& spec = require_spec(job);
+  const auto pin =
+      cache.get(require_graph_path(spec), spec.bool_or("directed", false));
+  const auto groups =
+      static_cast<std::size_t>(spec.number_or("groups", 10.0));
+  const core::NetworkProfile profile =
+      core::NetworkProfile::from_graph(pin->graph).coarsened(groups);
+
+  core::ModelParams params;
+  params.alpha = spec.number_or("alpha", 0.05);
+  const core::SirNetworkModel model(profile, params,
+                                    core::make_constant_control(0.0, 0.0));
+  const double tf = spec.number_or("tf", 20.0);
+  const auto y0 = model.initial_state(spec.number_or("i0", 0.1));
+
+  control::CostParams cost;
+  cost.c1 = spec.number_or("c1", 5.0);
+  cost.c2 = spec.number_or("c2", 10.0);
+  cost.terminal_weight = spec.number_or("terminal_weight", 1.0);
+
+  control::SweepOptions sweep;
+  const std::string algorithm = spec.string_or("algorithm", "fbsm");
+  if (algorithm == "fbsm") {
+    sweep.algorithm = control::SweepAlgorithm::kForwardBackward;
+  } else if (algorithm == "pg") {
+    sweep.algorithm = control::SweepAlgorithm::kProjectedGradient;
+  } else {
+    throw util::InvalidArgument(
+        "job spec: algorithm must be 'fbsm' or 'pg', got '" + algorithm +
+        "'");
+  }
+  sweep.grid_points =
+      static_cast<std::size_t>(spec.number_or("grid_points", 101.0));
+  sweep.substeps = static_cast<std::size_t>(spec.number_or("substeps", 4.0));
+  sweep.max_iterations =
+      static_cast<std::size_t>(spec.number_or("max_iterations", 200.0));
+  sweep.epsilon1_max = spec.number_or("eps_max", 0.7);
+  sweep.epsilon2_max = sweep.epsilon1_max;
+  sweep.checkpoint_path = job.dir + "/sweep.ckp";
+  sweep.checkpoint_every = static_cast<std::size_t>(
+      spec.number_or("checkpoint_every", 10.0));
+  sweep.resume = true;  // a preempted job resumes its own checkpoint
+  sweep.keep_going = [&job] { return job.keep_going(); };
+
+  const control::SweepResult plan =
+      control::solve_optimal_control(model, y0, tf, cost, sweep);
+  if (plan.interrupted) return {RunOutcome::kInterrupted, {}};
+
+  std::uint32_t crc = io::crc32(
+      std::as_bytes(std::span<const double>(plan.epsilon1)));
+  crc = io::crc32(std::as_bytes(std::span<const double>(plan.epsilon2)),
+                  crc);
+  io::JsonValue result = io::JsonValue::make_object();
+  result.set("iterations", static_cast<double>(plan.iterations));
+  result.set("converged", plan.converged);
+  result.set("objective", plan.cost.total());
+  result.set("cost_running", plan.cost.running);
+  result.set("cost_terminal", plan.cost.terminal);
+  result.set("grid_points", static_cast<double>(plan.grid.size()));
+  result.set("final_update", plan.final_update);
+  result.set("control_crc", static_cast<double>(crc));
+  return {RunOutcome::kCompleted, std::move(result)};
+}
+
+// ---- sweep ----------------------------------------------------------
+
+struct SweepProgress {
+  std::uint64_t next_seed_index = 0;
+  double sum_ever_infected = 0.0;
+  double sum_final_infected = 0.0;
+  std::uint32_t crc = 0;
+};
+
+SweepProgress load_sweep_progress(const std::string& path) {
+  SweepProgress progress;
+  if (!std::filesystem::exists(path)) return progress;
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const io::JsonValue doc = io::JsonValue::parse(buffer.str());
+  progress.next_seed_index = doc.u64_or("next_seed_index", 0);
+  progress.sum_ever_infected = doc.number_or("sum_ever_infected", 0.0);
+  progress.sum_final_infected = doc.number_or("sum_final_infected", 0.0);
+  progress.crc = static_cast<std::uint32_t>(doc.u64_or("crc", 0));
+  return progress;
+}
+
+void save_sweep_progress(const SweepProgress& progress,
+                         const std::string& path) {
+  io::JsonValue doc = io::JsonValue::make_object();
+  doc.set("next_seed_index", static_cast<double>(progress.next_seed_index));
+  doc.set("sum_ever_infected", progress.sum_ever_infected);
+  doc.set("sum_final_infected", progress.sum_final_infected);
+  doc.set("crc", static_cast<double>(progress.crc));
+  util::write_file_atomic(path, doc.dump());
+}
+
+RunOutcome run_sweep(Job& job, GraphCache& cache) {
+  const io::JsonValue& spec = require_spec(job);
+  const auto pin =
+      cache.get(require_graph_path(spec), spec.bool_or("directed", false));
+  const sim::AgentParams params = parse_agent_params(spec);
+  const std::uint64_t seeds = spec.u64_or("seeds", 8);
+  util::require(seeds >= 1, "job spec: seeds must be >= 1");
+  const std::uint64_t seed0 = spec.u64_or("seed0", 1);
+  const double t_end = spec.number_or("t_end", 30.0);
+  const auto infected = static_cast<std::size_t>(
+      spec.number_or("initial_infected", 10.0));
+
+  // Whole completed ensemble members carry across preemptions; an
+  // interrupted member restarts from scratch (its trajectory is a pure
+  // function of the seed, so nothing observable changes).
+  const std::string progress_path = job.dir + "/sweep_progress.json";
+  SweepProgress progress = load_sweep_progress(progress_path);
+
+  for (std::uint64_t s = progress.next_seed_index; s < seeds; ++s) {
+    const auto yield_now = [&]() -> RunOutcome {
+      if (job.directive.load(std::memory_order_relaxed) ==
+          Directive::kYield) {
+        progress.next_seed_index = s;
+        save_sweep_progress(progress, progress_path);
+      }
+      return {RunOutcome::kInterrupted, {}};
+    };
+    if (!job.keep_going()) return yield_now();
+    sim::AgentSimulation simulation(pin->graph, params, seed0 + s);
+    simulation.seed_random_infections(infected);
+    bool interrupted = false;
+    simulation.run_until(t_end, [&job] { return job.keep_going(); },
+                         &interrupted);
+    if (interrupted) return yield_now();
+    progress.sum_ever_infected +=
+        static_cast<double>(simulation.ever_infected());
+    progress.sum_final_infected +=
+        static_cast<double>(simulation.census().infected);
+    progress.crc = state_crc(simulation, progress.crc);
+  }
+
+  io::JsonValue result = io::JsonValue::make_object();
+  result.set("seeds", static_cast<double>(seeds));
+  result.set("mean_ever_infected",
+             progress.sum_ever_infected / static_cast<double>(seeds));
+  result.set("mean_final_infected",
+             progress.sum_final_infected / static_cast<double>(seeds));
+  result.set("ensemble_crc", static_cast<double>(progress.crc));
+  return {RunOutcome::kCompleted, std::move(result)};
+}
+
+}  // namespace
+
+RunOutcome run_job(Job& job, GraphCache& cache) {
+  switch (job.type) {
+    case JobType::kSimulate: return run_simulate(job, cache);
+    case JobType::kPlan: return run_plan(job, cache);
+    case JobType::kSweep: return run_sweep(job, cache);
+  }
+  throw util::InvalidArgument("run_job: unknown job type");
+}
+
+}  // namespace rumor::serve

@@ -1,0 +1,39 @@
+// Job runners: map a parsed job spec onto the existing engines.
+//
+//   simulate  -> sim::AgentSimulation (dense or frontier)
+//   plan      -> control::solve_optimal_control (FBSM or PG)
+//   sweep     -> a seed ensemble of agent simulations
+//
+// Every runner polls Job::keep_going() at its natural granularity
+// (step / solver iteration / ensemble member) and, when yielded for
+// preemption, persists enough state in the job directory to resume
+// bit-identically: simulate saves an AGENTSIM checkpoint, plan relies
+// on the solver's own SWEEPCKP file, sweep records the per-seed
+// partial aggregate (whole seeds only — an interrupted member restarts
+// from scratch, which changes nothing because each member's trajectory
+// is a pure function of its seed). Result objects therefore contain
+// only resume-invariant fields, each with a crc fingerprint the tests
+// use to assert bit-identity across preemptions.
+#pragma once
+
+#include "io/json.hpp"
+#include "serve/graph_cache.hpp"
+#include "serve/job.hpp"
+
+namespace rumor::serve {
+
+struct RunOutcome {
+  enum Kind {
+    kCompleted,    ///< result is valid
+    kInterrupted,  ///< yielded or cancelled; scheduler inspects directive
+  };
+  Kind kind = kCompleted;
+  io::JsonValue result;
+};
+
+/// Dispatch on job.type. Throws util::InvalidArgument / util::IoError
+/// for malformed specs or unreadable inputs (the scheduler maps these
+/// to the bad_request protocol code).
+RunOutcome run_job(Job& job, GraphCache& cache);
+
+}  // namespace rumor::serve

@@ -1,0 +1,350 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+
+#include "obs/export.hpp"
+#include "serve/metrics.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace rumor::serve {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 1 << 20;
+
+io::JsonValue error_response(std::string code, std::string message) {
+  io::JsonValue error = io::JsonValue::make_object();
+  error.set("code", std::move(code));
+  error.set("message", std::move(message));
+  io::JsonValue response = io::JsonValue::make_object();
+  response.set("ok", false);
+  response.set("error", std::move(error));
+  return response;
+}
+
+io::JsonValue ok_response() {
+  io::JsonValue response = io::JsonValue::make_object();
+  response.set("ok", true);
+  return response;
+}
+
+std::string http_response(int status, const char* reason,
+                          const std::string& content_type,
+                          const std::string& body, bool include_body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  if (include_body) out += body;
+  return out;
+}
+
+bool parse_job_id(std::string_view text, std::uint64_t& id) {
+  if (text.empty()) return false;
+  id = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    id = id * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      scheduler_(options_.scheduler),
+      listener_(options_.unix_path.empty()
+                    ? util::Listener::tcp(options_.host, options_.port)
+                    : util::Listener::unix_domain(options_.unix_path)) {}
+
+Server::~Server() {
+  stop();
+  wait();
+}
+
+void Server::start() {
+  util::require(!accept_thread_.joinable(), "Server: already started");
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (options_.unix_path.empty()) {
+    util::log_info() << "rumord: listening on " << options_.host << ":"
+                     << port();
+  } else {
+    util::log_info() << "rumord: listening on " << options_.unix_path;
+  }
+}
+
+void Server::stop() {
+  if (!stop_requested_.exchange(true)) wake_.wake();
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (torn_down_) return;
+  torn_down_ = true;
+  // Unblock every handler thread still reading, then join them.
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const auto& conn : connections_) {
+      if (!conn->done.load() && conn->fd >= 0) {
+        ::shutdown(conn->fd, SHUT_RDWR);
+      }
+    }
+  }
+  for (;;) {
+    std::unique_ptr<Connection> conn;
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      if (connections_.empty()) break;
+      conn = std::move(connections_.back());
+      connections_.pop_back();
+    }
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  scheduler_.stop();
+  util::log_info() << "rumord: shut down cleanly";
+}
+
+void Server::accept_loop() {
+  const std::vector<int> fds{listener_.fd(), wake_.read_fd()};
+  while (!stop_requested_.load()) {
+    const int ready = util::poll_readable(fds, 500);
+    if (ready == 1) wake_.drain();
+    if (ready != 0) continue;  // timeout or wakeup: re-check the flag
+    util::Socket socket;
+    try {
+      socket = listener_.accept();
+    } catch (const util::IoError& e) {
+      if (stop_requested_.load()) break;
+      util::log_warn() << "rumord: accept failed: " << e.what();
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    reap_finished_locked();
+    auto conn = std::make_unique<Connection>();
+    Connection* slot = conn.get();
+    slot->fd = socket.fd();
+    slot->thread = std::thread(
+        [this, slot](util::Socket s) { handle_connection(std::move(s), slot); },
+        std::move(socket));
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void Server::reap_finished_locked() {
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::handle_connection(util::Socket socket, Connection* slot) {
+  try {
+    socket.set_timeout(options_.io_timeout_seconds);
+    std::string buffer;
+    char chunk[4096];
+    // Sniff the protocol from the first bytes.
+    while (buffer.size() < 5) {
+      const std::size_t n = socket.recv_some(chunk, sizeof chunk);
+      if (n == 0) {
+        slot->done.store(true);
+        return;
+      }
+      buffer.append(chunk, n);
+    }
+    if (buffer.rfind("GET ", 0) == 0 || buffer.rfind("HEAD ", 0) == 0) {
+      serve_http(socket, buffer);
+    } else {
+      serve_json_lines(socket, buffer);
+    }
+  } catch (const std::exception& e) {
+    // Timeouts, resets, malformed framing: drop the connection.
+    util::log_debug() << "rumord: connection closed: " << e.what();
+  }
+  slot->done.store(true);
+}
+
+void Server::serve_json_lines(util::Socket& socket, std::string& buffer) {
+  char chunk[4096];
+  for (;;) {
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      serve_metrics().requests.add();
+      io::JsonValue response;
+      bool shutdown_after = false;
+      try {
+        const io::JsonValue request = io::JsonValue::parse(line);
+        shutdown_after = request.string_or("op", "") == "shutdown";
+        response = handle_request(request);
+      } catch (const util::IoError& e) {
+        serve_metrics().protocol_errors.add();
+        response = error_response(kErrBadRequest, e.what());
+        shutdown_after = false;
+      }
+      socket.send_all(response.dump() + "\n");
+      if (shutdown_after) {
+        stop();
+        return;
+      }
+    }
+    if (buffer.size() > kMaxRequestBytes) {
+      serve_metrics().protocol_errors.add();
+      socket.send_all(
+          error_response(kErrBadRequest, "request line too long").dump() +
+          "\n");
+      return;
+    }
+    const std::size_t n = socket.recv_some(chunk, sizeof chunk);
+    if (n == 0) return;  // client closed
+    buffer.append(chunk, n);
+  }
+}
+
+io::JsonValue Server::handle_request(const io::JsonValue& request) {
+  const std::string op = request.string_or("op", "");
+  if (op == "ping") {
+    io::JsonValue response = ok_response();
+    response.set("pong", true);
+    return response;
+  }
+  if (op == "submit") {
+    const std::string type_name = request.string_or("type", "");
+    JobType type;
+    if (type_name == "simulate") {
+      type = JobType::kSimulate;
+    } else if (type_name == "plan") {
+      type = JobType::kPlan;
+    } else if (type_name == "sweep") {
+      type = JobType::kSweep;
+    } else {
+      serve_metrics().protocol_errors.add();
+      return error_response(
+          kErrBadRequest,
+          "submit: type must be simulate | plan | sweep");
+    }
+    io::JsonValue spec = io::JsonValue::make_object();
+    if (const io::JsonValue* given = request.find("spec")) spec = *given;
+    const int priority =
+        static_cast<int>(request.number_or("priority", 0.0));
+    const std::uint64_t timeout_ms = request.u64_or("timeout_ms", 0);
+    const Scheduler::Submission submission =
+        scheduler_.submit(type, std::move(spec), priority, timeout_ms);
+    if (!submission.job) {
+      return error_response(submission.error_code,
+                            "admission control rejected the job");
+    }
+    io::JsonValue response = ok_response();
+    response.set("id", static_cast<double>(submission.job->id));
+    response.set("state", "queued");
+    return response;
+  }
+  if (op == "status" || op == "wait") {
+    const std::uint64_t id = request.u64_or("id", 0);
+    if (op == "wait") {
+      const std::uint64_t timeout_ms = request.u64_or("timeout_ms", 10000);
+      if (!scheduler_.wait(id, std::chrono::milliseconds(timeout_ms))) {
+        if (!scheduler_.job_json(id)) {
+          return error_response(kErrNotFound, "no such job");
+        }
+        return error_response("timeout", "job not finished yet");
+      }
+    }
+    const std::optional<io::JsonValue> job = scheduler_.job_json(id);
+    if (!job) return error_response(kErrNotFound, "no such job");
+    io::JsonValue response = ok_response();
+    response.set("job", *job);
+    return response;
+  }
+  if (op == "cancel") {
+    const std::uint64_t id = request.u64_or("id", 0);
+    if (!scheduler_.job_json(id)) {
+      return error_response(kErrNotFound, "no such job");
+    }
+    io::JsonValue response = ok_response();
+    response.set("cancelled", scheduler_.cancel(id));
+    return response;
+  }
+  if (op == "metrics") {
+    io::JsonValue response = ok_response();
+    response.set("prometheus",
+                 obs::to_prometheus(obs::metrics().snapshot()));
+    return response;
+  }
+  if (op == "shutdown") {
+    io::JsonValue response = ok_response();
+    response.set("stopping", true);
+    return response;  // caller initiates the stop after responding
+  }
+  serve_metrics().protocol_errors.add();
+  return error_response(kErrBadRequest, "unknown op '" + op + "'");
+}
+
+void Server::serve_http(util::Socket& socket, std::string& buffer) {
+  serve_metrics().http_requests.add();
+  char chunk[4096];
+  while (buffer.find("\r\n\r\n") == std::string::npos &&
+         buffer.find("\n\n") == std::string::npos) {
+    if (buffer.size() > kMaxRequestBytes) return;
+    const std::size_t n = socket.recv_some(chunk, sizeof chunk);
+    if (n == 0) return;
+    buffer.append(chunk, n);
+  }
+  const std::size_t line_end = buffer.find('\n');
+  std::string request_line = buffer.substr(0, line_end);
+  if (!request_line.empty() && request_line.back() == '\r') {
+    request_line.pop_back();
+  }
+  const std::size_t method_end = request_line.find(' ');
+  const std::size_t path_end = request_line.find(' ', method_end + 1);
+  if (method_end == std::string::npos || path_end == std::string::npos) {
+    socket.send_all(http_response(400, "Bad Request", "text/plain",
+                                  "malformed request line\n", true));
+    return;
+  }
+  const std::string method = request_line.substr(0, method_end);
+  const std::string path =
+      request_line.substr(method_end + 1, path_end - method_end - 1);
+  const bool include_body = method != "HEAD";
+
+  if (path == "/healthz") {
+    socket.send_all(
+        http_response(200, "OK", "text/plain", "ok\n", include_body));
+    return;
+  }
+  if (path == "/metrics") {
+    const std::string body = obs::to_prometheus(obs::metrics().snapshot());
+    socket.send_all(http_response(200, "OK",
+                                  "text/plain; version=0.0.4", body,
+                                  include_body));
+    return;
+  }
+  if (path.rfind("/jobs/", 0) == 0) {
+    std::uint64_t id = 0;
+    if (parse_job_id(std::string_view(path).substr(6), id)) {
+      if (const std::optional<io::JsonValue> job = scheduler_.job_json(id)) {
+        socket.send_all(http_response(200, "OK", "application/json",
+                                      job->dump() + "\n", include_body));
+        return;
+      }
+    }
+    socket.send_all(http_response(404, "Not Found", "application/json",
+                                  "{\"error\":\"not_found\"}\n",
+                                  include_body));
+    return;
+  }
+  socket.send_all(http_response(404, "Not Found", "text/plain",
+                                "not found\n", include_body));
+}
+
+}  // namespace rumor::serve

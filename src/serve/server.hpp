@@ -1,0 +1,94 @@
+// rumord: the serving daemon's listener + protocol layer.
+//
+// One accept loop (poll over the listener and a self-pipe) hands each
+// connection to its own handler thread. The first bytes decide the
+// protocol:
+//
+//   * "GET " / "HEAD "  -> minimal HTTP/1.1 shim: GET /healthz,
+//     GET /metrics (live Prometheus text off the global registry),
+//     GET /jobs/<id> (job status JSON). One request per connection.
+//   * anything else     -> line-delimited JSON: one request object per
+//     line, one response object per line, many requests per
+//     connection. Ops: ping, submit, status, wait, cancel, metrics,
+//     shutdown (docs/serving.md documents the schemas and error
+//     codes).
+//
+// Shutdown: stop() (or the shutdown op) wakes the accept loop; wait()
+// then tears down — it half-closes the remaining connections so their
+// handler threads unblock, joins everything, and drains the scheduler.
+// The caller pattern is start(); wait(); — wait returns only after a
+// clean teardown, which is what the CI smoke leg asserts on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/scheduler.hpp"
+#include "util/socket.hpp"
+
+namespace rumor::serve {
+
+struct ServerOptions {
+  /// Non-empty: listen on this Unix-domain socket path. Empty: TCP.
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 picks an ephemeral port (see port())
+  /// Per-connection socket timeout; an idle client is disconnected.
+  double io_timeout_seconds = 300.0;
+  Scheduler::Options scheduler;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Begin accepting connections (spawns the accept loop).
+  void start();
+
+  /// Request shutdown; non-blocking, idempotent, thread-safe.
+  void stop();
+
+  /// Block until a shutdown is requested, then tear everything down
+  /// (connections, handler threads, scheduler). Safe to call once.
+  void wait();
+
+  /// The bound TCP port (after construction); 0 in Unix mode.
+  std::uint16_t port() const { return listener_.port(); }
+  const std::string& unix_path() const { return options_.unix_path; }
+  Scheduler& scheduler() { return scheduler_; }
+
+ private:
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};
+    int fd = -1;
+  };
+
+  void accept_loop();
+  void handle_connection(util::Socket socket, Connection* slot);
+  void serve_json_lines(util::Socket& socket, std::string& buffer);
+  void serve_http(util::Socket& socket, std::string& buffer);
+  io::JsonValue handle_request(const io::JsonValue& request);
+  void reap_finished_locked();
+
+  const ServerOptions options_;
+  Scheduler scheduler_;
+  util::Listener listener_;
+  util::WakePipe wake_;
+  std::thread accept_thread_;
+  std::atomic<bool> stop_requested_{false};
+  bool torn_down_ = false;
+  std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace rumor::serve

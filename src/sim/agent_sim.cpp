@@ -633,10 +633,21 @@ void AgentSimulation::restore(const AgentCheckpoint& checkpoint) {
 }
 
 std::vector<Census> AgentSimulation::run_until(double t_end) {
+  return run_until(t_end, {});
+}
+
+std::vector<Census> AgentSimulation::run_until(
+    double t_end, const std::function<bool()>& keep_going,
+    bool* interrupted) {
   util::require(t_end >= time_, "run_until: t_end is in the past");
+  if (interrupted != nullptr) *interrupted = false;
   std::vector<Census> history;
   history.push_back(census());
   while (time_ < t_end && infected_count_ > 0) {
+    if (keep_going && !keep_going()) {
+      if (interrupted != nullptr) *interrupted = true;
+      break;
+    }
     step();
     history.push_back(census());
   }

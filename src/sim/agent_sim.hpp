@@ -58,6 +58,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -157,6 +158,17 @@ class AgentSimulation {
   /// Run until `t_end` (or until no infected remain, whichever first);
   /// returns the census after every step, starting with the current one.
   std::vector<Census> run_until(double t_end);
+
+  /// As above, but `keep_going` is polled before each step; when it
+  /// returns false the run stops after the last completed step. The
+  /// simulation object is left in a valid mid-run state — RNG draws are
+  /// keyed by (seed, step, node), so checkpointing here and resuming
+  /// later continues the trajectory bit-for-bit (see docs/serving.md
+  /// for how the daemon uses this to preempt jobs). An empty function
+  /// behaves like the unconditional overload.
+  std::vector<Census> run_until(double t_end,
+                                const std::function<bool()>& keep_going,
+                                bool* interrupted = nullptr);
 
   Census census() const;
 

@@ -1,0 +1,264 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace rumor::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  require(path.size() < sizeof(addr.sun_path),
+          "unix socket path too long (limit is ~107 bytes)");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Socket
+
+Socket::~Socket() { close(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::set_timeout(double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    fail("socket: setting timeout failed");
+  }
+}
+
+void Socket::send_all(std::string_view data) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw IoError("socket: send timed out");
+      }
+      fail("socket: send failed");
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t Socket::recv_some(char* buffer, std::size_t capacity) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buffer, capacity, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw IoError("socket: receive timed out");
+    }
+    fail("socket: receive failed");
+  }
+}
+
+Socket Socket::connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket: creating unix socket failed");
+  Socket s(fd);
+  set_cloexec(fd);
+  const sockaddr_un addr = unix_address(path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    fail("socket: connecting to " + path + " failed");
+  }
+  return s;
+}
+
+Socket Socket::connect_tcp(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &results);
+  if (rc != 0) {
+    throw IoError("socket: resolving " + host + " failed: " +
+                  ::gai_strerror(rc));
+  }
+  Socket s;
+  int saved_errno = 0;
+  for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      saved_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      s = Socket(fd);
+      set_cloexec(fd);
+      break;
+    }
+    saved_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(results);
+  if (!s.valid()) {
+    errno = saved_errno;
+    fail("socket: connecting to " + host + ":" + service + " failed");
+  }
+  return s;
+}
+
+// -------------------------------------------------------------- Listener
+
+Listener::~Listener() {
+  if (!path_.empty()) ::unlink(path_.c_str());
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : socket_(std::move(other.socket_)),
+      path_(std::move(other.path_)),
+      port_(other.port_) {
+  other.path_.clear();
+}
+
+Listener Listener::unix_domain(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail("listener: creating unix socket failed");
+  Listener listener;
+  listener.socket_ = Socket(fd);
+  set_cloexec(fd);
+  ::unlink(path.c_str());  // replace a stale socket from a crashed run
+  const sockaddr_un addr = unix_address(path);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    fail("listener: binding " + path + " failed");
+  }
+  listener.path_ = path;
+  if (::listen(fd, 64) != 0) fail("listener: listen failed");
+  return listener;
+}
+
+Listener Listener::tcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("listener: creating tcp socket failed");
+  Listener listener;
+  listener.socket_ = Socket(fd);
+  set_cloexec(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw IoError("listener: invalid bind address " + host);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    fail("listener: binding " + host + ":" + std::to_string(port) +
+         " failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    fail("listener: getsockname failed");
+  }
+  listener.port_ = ntohs(addr.sin_port);
+  if (::listen(fd, 64) != 0) fail("listener: listen failed");
+  return listener;
+}
+
+Socket Listener::accept() {
+  for (;;) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      set_cloexec(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    fail("listener: accept failed");
+  }
+}
+
+// -------------------------------------------------------------- WakePipe
+
+WakePipe::WakePipe() {
+  if (::pipe(fds_) != 0) fail("wake pipe: pipe() failed");
+  for (const int fd : fds_) {
+    set_cloexec(fd);
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+  }
+}
+
+WakePipe::~WakePipe() {
+  if (fds_[0] >= 0) ::close(fds_[0]);
+  if (fds_[1] >= 0) ::close(fds_[1]);
+}
+
+void WakePipe::wake() noexcept {
+  const char byte = 1;
+  // Best-effort: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(fds_[1], &byte, 1);
+}
+
+void WakePipe::drain() noexcept {
+  char sink[64];
+  while (::read(fds_[0], sink, sizeof(sink)) > 0) {
+  }
+}
+
+// ---------------------------------------------------------------- poll
+
+int poll_readable(const std::vector<int>& fds, int timeout_ms) {
+  std::vector<pollfd> entries(fds.size());
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    entries[i] = pollfd{fds[i], POLLIN, 0};
+  }
+  for (;;) {
+    const int rc =
+        ::poll(entries.data(), static_cast<nfds_t>(entries.size()),
+               timeout_ms);
+    if (rc > 0) break;
+    if (rc == 0) return -1;
+    if (errno == EINTR) continue;
+    fail("poll failed");
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].revents != 0) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace rumor::util

@@ -1,0 +1,115 @@
+// Thin RAII wrappers over POSIX stream sockets, plus the two event-loop
+// helpers the rumord accept loop needs: a self-pipe for async-safe
+// wakeups and a poll() over listener fds.
+//
+// Scope: blocking stream sockets (Unix-domain and TCP over IPv4
+// loopback-style addresses) with per-socket send/receive timeouts.
+// There is deliberately no buffered stream class here — framing (JSON
+// lines, HTTP headers) is a protocol concern and lives in src/serve.
+// All failures throw util::IoError carrying errno text; writes use
+// MSG_NOSIGNAL so a client that disconnects mid-response surfaces as an
+// exception on the handler thread instead of a process-wide SIGPIPE.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rumor::util {
+
+/// Owning socket fd. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Apply one timeout to both sends and receives (0 disables). A
+  /// timed-out operation throws util::IoError mentioning "timed out".
+  void set_timeout(double seconds);
+
+  /// Write all of `data`; throws on error, timeout, or peer close.
+  void send_all(std::string_view data);
+
+  /// Read up to `capacity` bytes. Returns 0 on orderly peer close.
+  std::size_t recv_some(char* buffer, std::size_t capacity);
+
+  /// Connect to a Unix-domain stream socket at `path`.
+  static Socket connect_unix(const std::string& path);
+
+  /// Connect to TCP `host`:`port` (numeric or resolvable host name).
+  static Socket connect_tcp(const std::string& host, std::uint16_t port);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket (Unix-domain or TCP). The Unix flavor unlinks a
+/// stale socket file on bind and removes its path on destruction.
+class Listener {
+ public:
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&&) = delete;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Bind + listen on a Unix-domain socket at `path`.
+  static Listener unix_domain(const std::string& path);
+
+  /// Bind + listen on TCP `host`:`port`; port 0 picks an ephemeral
+  /// port, readable afterwards via port().
+  static Listener tcp(const std::string& host, std::uint16_t port);
+
+  int fd() const { return socket_.fd(); }
+  /// The bound TCP port (resolved for ephemeral binds); 0 for Unix.
+  std::uint16_t port() const { return port_; }
+  const std::string& path() const { return path_; }
+
+  /// Accept one connection (blocking). Throws util::IoError on failure.
+  Socket accept();
+
+ private:
+  Listener() = default;
+
+  Socket socket_;
+  std::string path_;  // unix socket file to unlink, empty for TCP
+  std::uint16_t port_ = 0;
+};
+
+/// Self-pipe: the async-signal-safe way to wake a poll() loop. wake()
+/// is a single write() on a non-blocking fd, so it is callable from
+/// signal handlers and from any thread.
+class WakePipe {
+ public:
+  WakePipe();
+  ~WakePipe();
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  int read_fd() const { return fds_[0]; }
+  void wake() noexcept;
+  /// Consume pending wake bytes so the next poll blocks again.
+  void drain() noexcept;
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+/// Block until one of `fds` is readable. Returns the index of the first
+/// readable fd. `timeout_ms < 0` blocks indefinitely; on timeout
+/// returns -1. EINTR retries transparently.
+int poll_readable(const std::vector<int>& fds, int timeout_ms);
+
+}  // namespace rumor::util

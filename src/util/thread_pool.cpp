@@ -4,6 +4,15 @@
 
 namespace rumor::util {
 
+namespace {
+// The pool whose job this thread is currently executing a task of (via
+// drain(), either as a worker or as the run() caller). Lets run()
+// distinguish a nested parallel region of the in-flight job — which
+// must keep working during a drain — from a genuinely new job arriving
+// after shutdown was requested.
+thread_local const ThreadPool* tl_draining_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   require(threads >= 1, "ThreadPool: need at least one thread");
   workers_.reserve(threads - 1);
@@ -15,13 +24,22 @@ ThreadPool::ThreadPool(std::size_t threads) {
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
     stop_ = true;
   }
   work_cv_.notify_all();
+  join_workers();
+}
+
+void ThreadPool::join_workers() {
+  if (joined_) return;
   for (auto& worker : workers_) worker.join();
+  joined_ = true;
 }
 
 void ThreadPool::drain(std::unique_lock<std::mutex>& lock) {
+  const ThreadPool* const previous = tl_draining_pool;
+  tl_draining_pool = this;
   while (next_task_ < num_tasks_) {
     const std::size_t index = next_task_++;
     const auto* job = job_;
@@ -35,6 +53,7 @@ void ThreadPool::drain(std::unique_lock<std::mutex>& lock) {
       next_task_ = num_tasks_;  // cancel the remaining tasks
     }
   }
+  tl_draining_pool = previous;
 }
 
 void ThreadPool::worker_loop() {
@@ -56,6 +75,7 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run(std::size_t num_tasks, IndexFnRef fn) {
   if (num_tasks == 0) return;
   std::unique_lock<std::mutex> lock(mutex_);
+  if (!accepting_ && tl_draining_pool != this) throw PoolStopped();
   if (job_ != nullptr) {
     // Nested or concurrent invocation: execute inline, serially. The
     // caller chose the chunking, so results are unchanged.
@@ -72,12 +92,36 @@ void ThreadPool::run(std::size_t num_tasks, IndexFnRef fn) {
   drain(lock);
   done_cv_.wait(lock, [&] { return active_workers_ == 0; });
   job_ = nullptr;
+  done_cv_.notify_all();  // shutdown() may be waiting for the drain
   if (first_error_) {
     std::exception_ptr error = first_error_;
     first_error_ = nullptr;
     lock.unlock();
     std::rethrow_exception(error);
   }
+}
+
+void ThreadPool::request_stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  accepting_ = false;
+}
+
+bool ThreadPool::stop_requested() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !accepting_;
+}
+
+bool ThreadPool::shutdown(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  accepting_ = false;
+  const bool drained = done_cv_.wait_for(
+      lock, timeout, [&] { return job_ == nullptr && active_workers_ == 0; });
+  if (!drained) return false;
+  stop_ = true;
+  lock.unlock();
+  work_cv_.notify_all();
+  join_workers();
+  return true;
 }
 
 }  // namespace rumor::util

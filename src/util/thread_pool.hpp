@@ -19,16 +19,28 @@
 // only the schedule.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 namespace rumor::util {
+
+/// Thrown by ThreadPool::run when the pool has begun shutting down and
+/// no longer accepts new jobs. Distinct from InvalidArgument: the call
+/// is well-formed, the pool's lifecycle simply rejects it — a daemon
+/// catches this to turn "submitted during shutdown" into a clean
+/// protocol-level rejection.
+class PoolStopped : public std::runtime_error {
+ public:
+  PoolStopped() : std::runtime_error("ThreadPool: stopped") {}
+};
 
 /// Non-owning reference to a callable taking a task index. run() blocks
 /// until the job drains, so the referenced callable always outlives the
@@ -70,15 +82,42 @@ class ThreadPool {
 
   /// Run fn(i) for every i in [0, num_tasks). Blocks until all tasks
   /// finish (or the first exception cancels the rest and is rethrown).
+  /// After request_stop()/shutdown(), new top-level jobs are rejected
+  /// with PoolStopped; nested calls made from inside a task of the job
+  /// currently in flight still execute (inline, as always), so a
+  /// running job can finish its own parallel regions during a drain.
   void run(std::size_t num_tasks, IndexFnRef fn);
+
+  // ---- graceful shutdown (drain-then-stop) --------------------------
+  //
+  // The daemon's lifecycle: request_stop() flips the pool to rejecting
+  // (new run() calls throw PoolStopped, in-flight work is untouched);
+  // shutdown(timeout) additionally waits for the in-flight job to
+  // drain and then joins the workers. The destructor remains a valid
+  // (immediate, job-unaware) stop for pools that never served a daemon.
+
+  /// Reject all future top-level run() calls. Idempotent, non-blocking;
+  /// any job currently in flight keeps running to completion.
+  void request_stop();
+
+  /// True once request_stop()/shutdown() has been called.
+  bool stop_requested() const;
+
+  /// request_stop(), then wait up to `timeout` for the in-flight job
+  /// (if any) to drain, then stop and join the worker threads. Returns
+  /// true when the pool is fully drained and joined; false when the
+  /// deadline expired with a job still running (the workers are left
+  /// untouched and the destructor completes the join later).
+  bool shutdown(std::chrono::milliseconds timeout);
 
  private:
   void worker_loop();
   /// Drains tasks of the current job. Caller must hold `lock`.
   void drain(std::unique_lock<std::mutex>& lock);
+  void join_workers();
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_cv_;   // workers wait here for a job
   std::condition_variable done_cv_;   // run() waits here for stragglers
   const IndexFnRef* job_ = nullptr;
@@ -87,7 +126,9 @@ class ThreadPool {
   std::size_t next_task_ = 0;
   std::size_t active_workers_ = 0;
   std::exception_ptr first_error_;
-  bool stop_ = false;
+  bool stop_ = false;       // workers exit their wait loop
+  bool accepting_ = true;   // run() admits new top-level jobs
+  bool joined_ = false;     // workers already joined by shutdown()
 };
 
 }  // namespace rumor::util

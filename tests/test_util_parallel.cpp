@@ -190,6 +190,81 @@ TEST(Parallel, NestedParallelForDegradesToSerialInline) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+// ---- graceful shutdown (drain-then-stop) ----------------------------
+
+TEST(ThreadPoolShutdown, RejectsWorkSubmittedAfterStopRequested) {
+  ThreadPool pool(4);
+  pool.request_stop();
+  EXPECT_TRUE(pool.stop_requested());
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.run(8, [&](std::size_t) { ran.fetch_add(1); }),
+               PoolStopped);
+  EXPECT_EQ(ran.load(), 0);
+  // Idempotent; shutdown after an idle stop drains immediately.
+  pool.request_stop();
+  EXPECT_TRUE(pool.shutdown(std::chrono::milliseconds(1000)));
+}
+
+TEST(ThreadPoolShutdown, DrainsInFlightJobBeforeStopping) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  std::atomic<bool> started{false};
+  std::thread submitter([&] {
+    pool.run(16, [&](std::size_t) {
+      started.store(true);
+      completed.fetch_add(1);
+    });
+  });
+  // Wait until the job is in flight, then shut down concurrently: the
+  // remaining tasks must all complete (drain), not be dropped.
+  while (!started.load()) std::this_thread::yield();
+  EXPECT_TRUE(pool.shutdown(std::chrono::milliseconds(5000)));
+  submitter.join();
+  EXPECT_EQ(completed.load(), 16);
+  EXPECT_THROW(pool.run(1, [](std::size_t) {}), PoolStopped);
+}
+
+TEST(ThreadPoolShutdown, ShutdownTimesOutWhileJobStillRunning) {
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<bool> started{false};
+  std::thread submitter([&] {
+    pool.run(1, [&](std::size_t) {
+      started.store(true);
+      while (!release.load()) std::this_thread::yield();
+    });
+  });
+  while (!started.load()) std::this_thread::yield();
+  // The single task spins until released, so a short deadline expires.
+  EXPECT_FALSE(pool.shutdown(std::chrono::milliseconds(20)));
+  release.store(true);
+  submitter.join();
+  // A later, patient shutdown completes the join.
+  EXPECT_TRUE(pool.shutdown(std::chrono::milliseconds(5000)));
+}
+
+TEST(ThreadPoolShutdown, NestedRegionsOfInFlightJobStillRunDuringDrain) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_runs{0};
+  std::atomic<bool> stop_issued{false};
+  std::atomic<bool> started{false};
+  std::thread submitter([&] {
+    pool.run(2, [&](std::size_t) {
+      started.store(true);
+      while (!stop_issued.load()) std::this_thread::yield();
+      // After request_stop, a task of the in-flight job may still open
+      // nested parallel regions; only *new* top-level jobs are refused.
+      pool.run(4, [&](std::size_t) { inner_runs.fetch_add(1); });
+    });
+  });
+  while (!started.load()) std::this_thread::yield();
+  pool.request_stop();
+  stop_issued.store(true);
+  submitter.join();
+  EXPECT_EQ(inner_runs.load(), 8);
+  EXPECT_TRUE(pool.shutdown(std::chrono::milliseconds(1000)));
+}
+
 TEST(Parallel, SetNumThreadsControlsPoolWidth) {
   set_num_threads(3);
   EXPECT_EQ(num_threads(), 3u);
