@@ -7,12 +7,22 @@
 //   rumorctl plan [opts]                   optimized countermeasure CSV
 //   rumorctl fit --cascade FILE [opts]     estimate parameters from data
 //   rumorctl graph-pack --edges IN --out F convert a graph to binary CSR
+//     --compress 1 [--shard-mb M] [--keep-order 1]  write a sharded
+//                     delta-varint GRAPHCSZ container instead (node ids
+//                     relabeled into degree-sorted order unless kept)
+//   rumorctl graph-gen-ba --out F          stream a Barabási–Albert
+//     [--nodes N] [--ba-m M]               graph straight to compressed
+//     [--graph-seed S] [--shard-mb M]      shards (no in-memory CSR;
+//                                          scales to 100M+ edges)
 //
 // Serving (docs/serving.md):
 //   rumorctl serve [opts]                  run the rumord daemon
 //     --socket PATH | --host H --port P    listen address [127.0.0.1:7464]
 //     --workers N --queue-depth N          scheduler sizing [2 / 64]
 //     --cache-capacity N --job-root DIR    graph cache + job dirs
+//     --cache-budget-mb M                  graph-cache resident-byte
+//                                          budget (0 = entries only)
+//     --cache-min-entries N                byte-budget eviction floor
 //   rumorctl submit --type {simulate|plan|sweep} [--spec JSON]
 //     [--spec-file F] [--priority N] [--timeout-ms T] [--wait 1]
 //   rumorctl status --id N                 one job snapshot (JSON)
@@ -82,7 +92,10 @@
 #include "graph/io.hpp"
 #include "io/container.hpp"
 #include "kern/kern.hpp"
+#include "graph/reorder.hpp"
 #include "io/graph_binary.hpp"
+#include "io/graph_compressed.hpp"
+#include "io/graph_stream.hpp"
 #include "obs/export.hpp"
 #include "obs/heartbeat.hpp"
 #include "obs/trace.hpp"
@@ -384,11 +397,60 @@ int cmd_graph_pack(const Args& args) {
   const auto output = args.text("out");
   util::require(input.has_value() && output.has_value(),
                 "graph-pack: --edges IN and --out OUT are required");
-  const graph::Graph g =
+  graph::Graph g =
       io::load_graph_any(*input, args.number("directed", 0.0) != 0.0);
+  if (args.number("compress", 0.0) != 0.0) {
+    // Delta-varint neighbor lists compress best over the degree-sorted
+    // canonical order (hubs first => dense low ids where the fan-out
+    // is); --keep-order 1 preserves the input labeling instead.
+    const bool reorder = args.number("keep-order", 0.0) == 0.0;
+    if (reorder) {
+      g = graph::apply_node_order(g, graph::degree_sorted_order(g));
+    }
+    io::CompressOptions options;
+    options.target_shard_bytes =
+        static_cast<std::uint64_t>(
+            std::max(1.0, args.number("shard-mb", 256.0))) << 20;
+    io::save_graph_compressed(g, *output, options);
+    std::fprintf(stderr,
+                 "compressed %zu nodes / %zu arcs into %s (%s)\n",
+                 g.num_nodes(), g.num_arcs(), output->c_str(),
+                 reorder ? "degree-sorted node order"
+                         : "input node order kept");
+    return 0;
+  }
   io::save_graph(g, *output);
   std::fprintf(stderr, "packed %zu nodes / %zu arcs into %s\n",
                g.num_nodes(), g.num_arcs(), output->c_str());
+  return 0;
+}
+
+int cmd_graph_gen_ba(const Args& args) {
+  const auto output = args.text("out");
+  util::require(output.has_value(), "graph-gen-ba: --out OUT is required");
+  io::StreamBaOptions options;
+  options.num_nodes =
+      static_cast<std::size_t>(args.number("nodes", 1000000.0));
+  options.edges_per_node =
+      static_cast<std::size_t>(args.number("ba-m", 3.0));
+  options.seed = static_cast<std::uint64_t>(args.number("graph-seed", 7.0));
+  options.target_shard_bytes =
+      static_cast<std::uint64_t>(
+          std::max(1.0, args.number("shard-mb", 256.0))) << 20;
+  const io::StreamBaResult result =
+      io::generate_ba_compressed(*output, options);
+  std::fprintf(stderr,
+               "generated BA(n=%zu, m=%zu) -> %s: %llu edges, "
+               "%llu arcs, max degree %llu, %zu shards, %llu bytes "
+               "(%.2f bytes/edge)\n",
+               options.num_nodes, options.edges_per_node, output->c_str(),
+               static_cast<unsigned long long>(result.num_edges),
+               static_cast<unsigned long long>(result.num_arcs),
+               static_cast<unsigned long long>(result.max_degree),
+               static_cast<std::size_t>(result.shard_count),
+               static_cast<unsigned long long>(result.file_bytes),
+               static_cast<double>(result.file_bytes) /
+                   static_cast<double>(result.num_edges));
   return 0;
 }
 
@@ -512,6 +574,12 @@ int cmd_serve(const Args& args) {
       static_cast<std::size_t>(args.number("queue-depth", 64.0));
   options.scheduler.cache_capacity = std::max<std::size_t>(
       1, static_cast<std::size_t>(args.number("cache-capacity", 4.0)));
+  // --cache-budget-mb 0 keeps the entry-count bound alone.
+  options.scheduler.cache_budget_bytes =
+      static_cast<std::uint64_t>(
+          std::max(0.0, args.number("cache-budget-mb", 0.0))) << 20;
+  options.scheduler.cache_min_entries = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.number("cache-min-entries", 1.0)));
   options.scheduler.job_root =
       args.text("job-root").value_or("rumord-jobs");
 
@@ -594,7 +662,8 @@ int usage() {
   std::printf(
       "rumorctl — rumor propagation dynamics & optimized countermeasures\n"
       "usage: rumorctl {stats|threshold|spectrum|simulate|plan|fit|"
-      "graph-pack|serve|submit|status|cancel|shutdown} [--opt value]\n"
+      "graph-pack|graph-gen-ba|serve|submit|status|cancel|shutdown} "
+      "[--opt value]\n"
       "see the header of examples/rumorctl.cpp for the full option list\n");
   return 0;
 }
@@ -611,6 +680,7 @@ int dispatch(const Args& args) {
   if (args.command == "plan") return cmd_plan(args);
   if (args.command == "fit") return cmd_fit(args);
   if (args.command == "graph-pack") return cmd_graph_pack(args);
+  if (args.command == "graph-gen-ba") return cmd_graph_gen_ba(args);
   if (args.command == "serve") return cmd_serve(args);
   if (args.command == "submit") return cmd_submit(args);
   if (args.command == "status") return cmd_status(args);

@@ -1,0 +1,91 @@
+// Storage-free Barabási–Albert edge resolver (Batagelj–Brandes copy
+// model) — the piece that lets io::generate_ba_compressed emit a
+// 100M+-edge graph in two streaming passes without ever materializing
+// an edge list.
+//
+// Classic BA keeps a length-2E endpoint array M and samples targets
+// uniformly from it (uniform-over-endpoints == degree-proportional).
+// The copy-model observation: M[2e] is the closed-form attachment
+// source of edge e, and M[2e+1] is edge e's target — so instead of
+// storing M, a draw r ∈ [0, 2e) resolves as "source of edge r/2" (r
+// even) or "target of edge r/2" (r odd, recurse). With every draw
+// keyed by a CounterRng on (seed, edge, attempt), target_of(e) is a
+// pure function: both generator passes — and any later auditor —
+// re-resolve identical endpoints with no shared state.
+//
+// Graph shape: undirected; seeded with a clique on m+1 nodes (matching
+// graph::barabasi_albert); each later node attaches m edges. Self-loops
+// are rejected by replaying with the next attempt key; parallel edges
+// are kept (multigraph variant — collapsing them would need the very
+// edge set we avoid storing, and their density vanishes as n grows).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "graph/graph.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace rumor::graph {
+
+class BaEdgeResolver {
+ public:
+  BaEdgeResolver(std::size_t num_nodes, std::size_t edges_per_node,
+                 std::uint64_t seed)
+      : num_nodes_(num_nodes), m_(edges_per_node), seed_(seed) {
+    util::require(m_ >= 1, "ba_stream: need m >= 1");
+    util::require(num_nodes_ > m_, "ba_stream: need more nodes than m");
+    clique_edges_ = m_ * (m_ + 1) / 2;
+  }
+
+  std::uint64_t num_nodes() const { return num_nodes_; }
+  std::uint64_t edges_per_node() const { return m_; }
+  /// Clique edges plus m per attached node.
+  std::uint64_t num_edges() const {
+    return clique_edges_ + (num_nodes_ - m_ - 1) * m_;
+  }
+  std::uint64_t num_arcs() const { return 2 * num_edges(); }
+
+  /// The attachment endpoint of edge e — closed form, no randomness.
+  /// Clique edges enumerate (v, w) for v in [1, m], w < v, in the same
+  /// order graph::barabasi_albert seeds its clique; edge e >= that
+  /// block belongs to node m + 1 + (e - clique) / m.
+  NodeId source_of(std::uint64_t e) const {
+    if (e < clique_edges_) return clique_pair(e).first;
+    return static_cast<NodeId>(m_ + 1 + (e - clique_edges_) / m_);
+  }
+
+  /// The sampled endpoint of edge e: a pure function of (seed, e).
+  NodeId target_of(std::uint64_t e) const {
+    if (e < clique_edges_) return clique_pair(e).second;
+    const NodeId src = source_of(e);
+    for (std::uint64_t attempt = 0;; ++attempt) {
+      util::CounterRng rng(
+          util::hash_mix(util::hash_mix(seed_, e), attempt));
+      const std::uint64_t r = rng.uniform_below(2 * e);
+      // Endpoint array identity: M[r] for even r is a source, for odd
+      // r a target — recursion always lands on a strictly earlier edge.
+      const NodeId candidate =
+          (r & 1) ? target_of(r >> 1) : source_of(r >> 1);
+      if (candidate != src) return candidate;
+    }
+  }
+
+ private:
+  /// Invert e -> (v, w), w < v over the clique's row-major enumeration:
+  /// row v is preceded by v(v-1)/2 edges.
+  std::pair<NodeId, NodeId> clique_pair(std::uint64_t e) const {
+    std::uint64_t v = 1;
+    while ((v + 1) * v / 2 <= e) ++v;  // m is small; linear scan is fine
+    return {static_cast<NodeId>(v),
+            static_cast<NodeId>(e - v * (v - 1) / 2)};
+  }
+
+  std::uint64_t num_nodes_;
+  std::uint64_t m_;
+  std::uint64_t seed_;
+  std::uint64_t clique_edges_;
+};
+
+}  // namespace rumor::graph

@@ -1,0 +1,279 @@
+#include "graph/compressed.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "io/varint.hpp"  // header-only codec primitives (no link dep)
+#include "kern/kern.hpp"
+#include "util/error.hpp"
+
+namespace rumor::graph {
+
+namespace {
+constexpr std::uint64_t kPageSize = 4096;
+}
+
+CompressedGraph::CompressedGraph(Parts parts)
+    : num_nodes_(parts.num_nodes),
+      num_arcs_(parts.num_arcs),
+      max_degree_(parts.max_degree),
+      directed_(parts.directed),
+      shards_(std::move(parts.shards)),
+      in_degree_(parts.in_degree),
+      storage_(std::move(parts.keepalive)),
+      origin_(std::move(parts.origin)),
+      ops_(&kern::ops()) {
+  auto fail = [&](const std::string& why) -> void {
+    throw util::IoError("compressed graph " + origin_ + ": " + why);
+  };
+  if (num_nodes_ == 0 && !shards_.empty()) fail("shards on an empty graph");
+  if (num_nodes_ > 0 && shards_.empty()) fail("no shards");
+  boundaries_.reserve(shards_.size() + 1);
+  boundaries_.push_back(0);
+  std::uint64_t expect_begin = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const CompressedShardView& sh = shards_[s];
+    if (sh.node_begin != expect_begin || sh.node_end <= sh.node_begin) {
+      fail("shard " + std::to_string(s) + " breaks contiguous node coverage");
+    }
+    const std::uint64_t nodes = sh.node_end - sh.node_begin;
+    if (sh.offsets.size() != nodes + 1) {
+      fail("shard " + std::to_string(s) + " offset table has " +
+           std::to_string(sh.offsets.size()) + " entries, expected " +
+           std::to_string(nodes + 1));
+    }
+    if (sh.offsets.front() != 0 ||
+        sh.offsets.back() != sh.blob.size() ||
+        !std::is_sorted(sh.offsets.begin(), sh.offsets.end())) {
+      fail("shard " + std::to_string(s) + " offset table is not a monotone "
+           "cover of its blob");
+    }
+    expect_begin = sh.node_end;
+    boundaries_.push_back(sh.node_end);
+    total_bytes_ += sh.offsets.size_bytes() + sh.blob.size();
+  }
+  if (expect_begin != num_nodes_) {
+    fail("shards cover " + std::to_string(expect_begin) + " nodes, graph has " +
+         std::to_string(num_nodes_));
+  }
+  if (directed_) {
+    if (in_degree_.size() != num_nodes_) {
+      fail("directed graph needs one in-degree per node");
+    }
+    total_bytes_ += in_degree_.size_bytes();
+  } else if (!in_degree_.empty()) {
+    fail("undirected graph carries an in-degree table");
+  }
+  if (max_degree_ > num_nodes_) fail("max degree exceeds the node count");
+  if (!shards_.empty()) {
+    shard_state_ = std::make_unique<ShardState[]>(shards_.size());
+  }
+}
+
+std::size_t CompressedGraph::shard_of(NodeId v) const {
+  const auto it =
+      std::upper_bound(boundaries_.begin() + 1, boundaries_.end() - 1,
+                       static_cast<std::uint64_t>(v));
+  return static_cast<std::size_t>(it - (boundaries_.begin() + 1));
+}
+
+void CompressedGraph::touch(std::size_t shard) const {
+  if (budget_bytes_ == 0) return;
+  ShardState& st = shard_state_[shard];
+  const std::uint64_t now = clock_.load(std::memory_order_relaxed);
+  // Write-once-per-tick: the loads keep the cache line shared across
+  // the chunk workers; only the first touch after a clock advance (or
+  // a drop) writes it.
+  if (st.last_touch.load(std::memory_order_relaxed) != now) {
+    st.last_touch.store(now, std::memory_order_relaxed);
+  }
+  if (!st.resident.load(std::memory_order_relaxed)) {
+    st.resident.store(true, std::memory_order_relaxed);
+  }
+}
+
+std::size_t CompressedGraph::out_degree(NodeId v) const {
+  const std::size_t s = shard_of(v);
+  const CompressedShardView& sh = shards_[s];
+  const std::size_t local = v - sh.node_begin;
+  const std::uint32_t begin = sh.offsets[local];
+  const std::uint32_t end = sh.offsets[local + 1];
+  std::uint64_t word = 0;
+  const std::size_t len =
+      io::varint::get_uvarint(sh.blob.data() + begin, end - begin, word);
+  const std::uint64_t deg = word >> 1;  // low bit is the codec flag
+  if (len == 0 || deg > max_degree_) {
+    throw util::IoError("compressed graph " + origin_ + ": node " +
+                        std::to_string(v) + " has a corrupt degree prefix");
+  }
+  return static_cast<std::size_t>(deg);
+}
+
+std::size_t CompressedGraph::in_degree(NodeId v) const {
+  return directed_ ? in_degree_[v] : out_degree(v);
+}
+
+double CompressedGraph::average_degree() const {
+  if (num_nodes_ == 0) return 0.0;
+  std::uint64_t total = 0;
+  for (std::uint64_t v = 0; v < num_nodes_; ++v) {
+    total += degree(static_cast<NodeId>(v));
+  }
+  return static_cast<double>(total) / static_cast<double>(num_nodes_);
+}
+
+std::size_t CompressedGraph::decode_neighbors(NodeId v,
+                                              NeighborScratch& scratch) const {
+  const std::size_t s = shard_of(v);
+  const CompressedShardView& sh = shards_[s];
+  const std::size_t local = v - sh.node_begin;
+  const std::uint32_t begin = sh.offsets[local];
+  const std::uint32_t end = sh.offsets[local + 1];
+  const std::uint8_t* p = sh.blob.data() + begin;
+  const std::size_t avail = end - begin;
+  std::uint64_t word = 0;
+  const std::size_t prefix = io::varint::get_uvarint(p, avail, word);
+  auto corrupt = [&]() -> void {
+    throw util::IoError("compressed graph " + origin_ + ": node " +
+                        std::to_string(v) + " has a corrupt neighbor list");
+  };
+  const std::uint64_t deg = word >> 1;
+  if (prefix == 0 || deg > max_degree_) corrupt();
+  if (scratch.ids.size() < max_degree_) scratch.ids.resize(max_degree_);
+  // Low prefix bit selects the list codec: 0 = zigzag LEB128 through
+  // the dispatched SIMD block decoder, 1 = a Golomb–Rice block.
+  const std::size_t used =
+      (word & 1)
+          ? io::varint::rice_decode_deltas(
+                p + prefix, avail - prefix, 0,
+                static_cast<std::uint32_t>(num_nodes_), scratch.ids.data(),
+                static_cast<std::size_t>(deg))
+          : ops_->varint_decode_deltas(
+                p + prefix, avail - prefix, 0,
+                static_cast<std::uint32_t>(num_nodes_), scratch.ids.data(),
+                static_cast<std::size_t>(deg));
+  // Byte-exact coverage: the list must consume its offset range fully,
+  // so trailing garbage is as loud a failure as truncation.
+  if ((used == 0 && deg != 0) || prefix + used != avail) corrupt();
+  touch(s);
+  return static_cast<std::size_t>(deg);
+}
+
+std::uint64_t CompressedGraph::validate_full() const {
+  NeighborScratch scratch;
+  std::uint64_t arcs = 0;
+  std::uint64_t bytes = 0;
+  for (const CompressedShardView& sh : shards_) {
+    for (std::uint64_t v = sh.node_begin; v < sh.node_end; ++v) {
+      arcs += decode_neighbors(static_cast<NodeId>(v), scratch);
+    }
+    bytes += sh.blob.size();
+  }
+  if (arcs != num_arcs_) {
+    throw util::IoError("compressed graph " + origin_ + ": lists decode to " +
+                        std::to_string(arcs) + " arcs, header says " +
+                        std::to_string(num_arcs_));
+  }
+  if (directed_) {
+    std::uint64_t indeg = 0;
+    for (const std::uint32_t d : in_degree_) indeg += d;
+    if (indeg != num_arcs_) {
+      throw util::IoError("compressed graph " + origin_ +
+                          ": in-degrees sum to " + std::to_string(indeg) +
+                          ", expected the arc count " +
+                          std::to_string(num_arcs_));
+    }
+  }
+  return bytes;
+}
+
+Graph CompressedGraph::decompress() const {
+  const std::size_t n = num_nodes_;
+  std::vector<std::size_t> offsets(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    offsets[v + 1] = offsets[v] + out_degree(static_cast<NodeId>(v));
+  }
+  std::vector<NodeId> targets(offsets[n]);
+  NeighborScratch scratch;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t count =
+        decode_neighbors(static_cast<NodeId>(v), scratch);
+    std::copy_n(scratch.ids.begin(), count, targets.begin() + offsets[v]);
+  }
+  std::vector<std::uint32_t> indeg(n);
+  if (directed_) {
+    std::copy(in_degree_.begin(), in_degree_.end(), indeg.begin());
+  } else {
+    for (std::size_t v = 0; v < n; ++v) {
+      indeg[v] = static_cast<std::uint32_t>(offsets[v + 1] - offsets[v]);
+    }
+  }
+  return Graph::from_csr(offsets, targets, indeg, directed_);
+}
+
+std::uint64_t CompressedGraph::resident_estimate() const {
+  // Only the blobs alias the mmap'd file; the offset tables are heap
+  // RAM the sweep can never reclaim, so they are not counted here.
+  std::uint64_t resident = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shard_state_[s].resident.load(std::memory_order_relaxed)) {
+      resident += shards_[s].blob.size();
+    }
+  }
+  return resident;
+}
+
+std::uint64_t CompressedGraph::enforce_budget() const {
+  if (budget_bytes_ == 0 || shards_.empty()) return 0;
+  clock_.fetch_add(1, std::memory_order_relaxed);
+  // Member scratch, reserved once: the sweep runs between warm
+  // simulation steps, which are contractually allocation-free.
+  std::vector<Candidate>& resident = sweep_scratch_;
+  resident.clear();
+  resident.reserve(shards_.size());
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!shard_state_[s].resident.load(std::memory_order_relaxed)) continue;
+    const std::uint64_t bytes = shards_[s].blob.size();
+    resident.push_back(
+        {shard_state_[s].last_touch.load(std::memory_order_relaxed), bytes,
+         s});
+    total += bytes;
+  }
+  if (total <= budget_bytes_) return 0;
+  std::sort(resident.begin(), resident.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.last_touch != b.last_touch
+                         ? a.last_touch < b.last_touch
+                         : a.index < b.index;
+            });
+  std::uint64_t dropped = 0;
+  for (const Candidate& c : resident) {
+    if (total <= budget_bytes_) break;
+    const CompressedShardView& sh = shards_[c.index];
+    // Advise out the blob's whole-page interior only: the blob aliases
+    // the mmap'd container, but the offset table is loader-owned heap
+    // memory that MADV_DONTNEED would silently zero.
+    const auto* lo = reinterpret_cast<const std::byte*>(sh.blob.data());
+    const std::byte* hi =
+        reinterpret_cast<const std::byte*>(sh.blob.data()) + sh.blob.size();
+    auto begin = reinterpret_cast<std::uintptr_t>(lo);
+    auto end = reinterpret_cast<std::uintptr_t>(hi);
+    begin = (begin + kPageSize - 1) & ~(kPageSize - 1);
+    end &= ~(kPageSize - 1);
+    if (begin < end) {
+      ::madvise(reinterpret_cast<void*>(begin),
+                static_cast<std::size_t>(end - begin), MADV_DONTNEED);
+    }
+    shard_state_[c.index].resident.store(false, std::memory_order_relaxed);
+    shards_dropped_.fetch_add(1, std::memory_order_relaxed);
+    total -= c.bytes;
+    dropped += c.bytes;
+  }
+  return dropped;
+}
+
+}  // namespace rumor::graph

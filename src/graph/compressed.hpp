@@ -1,0 +1,194 @@
+// Compressed, sharded CSR adjacency — the 100M+-edge representation.
+//
+// The packed CSR (graph.hpp) spends 8 bytes per node on offsets and 4
+// bytes per arc on targets; at 10^8+ edges the targets array alone
+// outgrows the page cache budget of a shared box. This view stores the
+// adjacency as delta-varint neighbor lists (io/varint.hpp) grouped
+// into contiguous node-range shards:
+//
+//   shard s owns nodes [boundary[s], boundary[s+1]):
+//     offsets  (node_count + 1) × u32 local byte offsets into blob —
+//              rebuilt in RAM by the loader from the on-disk
+//              record-length varints (the file stores ~1 byte/node,
+//              not 4)
+//     blob     per node: uvarint(degree << 1 | codec), then the list
+//              as deltas chained from 0 — zigzag LEB128 varints
+//              (codec 0) or a Golomb–Rice block (codec 1), whichever
+//              the writer found smaller; the stored neighbor order is
+//              preserved exactly
+//
+// Under the degree-sorted canonical layout (reorder.hpp) most deltas
+// are single bytes, so scale-free graphs land well under half the
+// packed bytes/edge. Decoding goes through the kern dispatch table
+// (scalar/AVX2) into a per-thread NeighborScratch: the frontier engine
+// streams neighbor lists without ever materializing the full CSR.
+//
+// Out-of-core: the blobs alias an mmap'd container (keepalive), so a
+// graph larger than memory pages in on demand. set_resident_budget()
+// arms an LRU sweep over shards — enforce_budget() (called between
+// simulation steps, never concurrently with decodes) advises the
+// kernel to drop the coldest shards' blob pages until the estimate
+// fits. Only blob bytes count toward the budget: the offset tables
+// are loader-owned heap memory and always stay resident.
+// On NUMA boxes the shard-contiguous layout means first-touch
+// placement puts each shard's pages on the socket whose threads decode
+// it; there is no explicit pinning (plain partitioning otherwise).
+//
+// Thread safety: decode_neighbors is const and safe to call from many
+// threads (each with its own scratch); the touch tracking is relaxed
+// atomics. enforce_budget()/set_resident_budget() must not run
+// concurrently with decodes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rumor::kern {
+struct Ops;
+}
+
+namespace rumor::graph {
+
+/// One shard's read-only views into the backing storage.
+struct CompressedShardView {
+  std::uint64_t node_begin = 0;
+  std::uint64_t node_end = 0;  ///< exclusive
+  /// node_end - node_begin + 1 entries; points at loader-owned RAM
+  /// (kept alive by Parts::keepalive), not at the mapped file.
+  std::span<const std::uint32_t> offsets;
+  std::span<const std::uint8_t> blob;
+};
+
+/// Per-thread decode target. Sized to the graph's max degree on first
+/// use and reused for every subsequent list.
+struct NeighborScratch {
+  std::vector<NodeId> ids;
+};
+
+class CompressedGraph {
+ public:
+  /// Everything the loader (io/graph_binary) assembles from a GRAPHCSZ
+  /// container. Spans must stay valid while `keepalive` is held.
+  struct Parts {
+    std::uint64_t num_nodes = 0;
+    std::uint64_t num_arcs = 0;
+    std::uint64_t max_degree = 0;
+    bool directed = false;
+    std::vector<CompressedShardView> shards;
+    std::span<const std::uint32_t> in_degree;  ///< directed only
+    std::shared_ptr<const void> keepalive;
+    std::string origin = "<memory>";
+  };
+
+  /// Validates the structural invariants (contiguous shard coverage,
+  /// monotone offset tables ending at their blob size, in-degree
+  /// presence matching directedness) and throws util::IoError naming
+  /// `origin` on violation. Cheap — O(nodes) integer checks, no list
+  /// decodes; call validate_full() for the deep sweep.
+  explicit CompressedGraph(Parts parts);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_arcs() const { return num_arcs_; }
+  std::size_t num_edges() const {
+    return directed_ ? num_arcs_ : num_arcs_ / 2;
+  }
+  bool directed() const { return directed_; }
+  std::size_t max_degree() const { return max_degree_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  const std::string& origin() const { return origin_; }
+
+  std::size_t out_degree(NodeId v) const;  ///< one varint decode
+  std::size_t in_degree(NodeId v) const;
+  /// Total degree, mirroring Graph::degree: out for undirected,
+  /// in + out for directed.
+  std::size_t degree(NodeId v) const {
+    return directed_ ? out_degree(v) + in_degree_[v] : out_degree(v);
+  }
+
+  /// Mean of degree(v) over all nodes (one pass of prefix decodes).
+  double average_degree() const;
+
+  /// Decode v's neighbor list into `scratch` in stored order; returns
+  /// the count (the list is scratch.ids[0 .. count)). Throws
+  /// util::IoError on a malformed blob — validate_full() at load time
+  /// makes that unreachable for on-disk corruption.
+  std::size_t decode_neighbors(NodeId v, NeighborScratch& scratch) const;
+
+  /// Decode every list once, verifying byte-exact coverage, target
+  /// bounds, the arc count, and (directed) the in-degree sum. Returns
+  /// the total blob bytes decoded — the figure the bench divides by
+  /// wall time for decode GB/s.
+  std::uint64_t validate_full() const;
+
+  /// Materialize a packed CSR Graph (owned storage) — the generic
+  /// consumers' path (io::load_graph_any, analysis commands).
+  Graph decompress() const;
+
+  // ---- out-of-core residency ---------------------------------------
+
+  /// Arm the LRU page sweep: enforce_budget() will advise cold shards
+  /// out until the resident estimate is at most `bytes`. 0 disarms.
+  /// Call before stepping begins, never concurrently with decodes.
+  void set_resident_budget(std::uint64_t bytes) { budget_bytes_ = bytes; }
+  std::uint64_t resident_budget() const { return budget_bytes_; }
+
+  /// Advance the LRU clock and drop the coldest shards' blob pages
+  /// (madvise(MADV_DONTNEED) on the mmap'd blob spans) until the
+  /// resident estimate fits the budget. No-op when disarmed or under
+  /// budget. Serial only — call between steps. Returns bytes advised
+  /// out.
+  std::uint64_t enforce_budget() const;
+
+  /// Sum of blob bytes of shards touched since they were last dropped
+  /// — the out-of-core sweep's working-set estimate. Offset tables are
+  /// unreclaimable heap RAM and excluded.
+  std::uint64_t resident_estimate() const;
+
+  /// Total payload bytes (offset tables + blobs + in-degrees): what
+  /// the serve cache charges against its byte budget.
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Cumulative shards dropped by enforce_budget (diagnostics).
+  std::uint64_t shards_dropped() const {
+    return shards_dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct ShardState {
+    std::atomic<std::uint64_t> last_touch{0};
+    std::atomic<bool> resident{true};
+  };
+  struct Candidate {
+    std::uint64_t last_touch;
+    std::uint64_t bytes;
+    std::size_t index;
+  };
+
+  std::size_t shard_of(NodeId v) const;
+  void touch(std::size_t shard) const;
+
+  std::uint64_t num_nodes_ = 0;
+  std::uint64_t num_arcs_ = 0;
+  std::uint64_t max_degree_ = 0;
+  bool directed_ = false;
+  std::vector<CompressedShardView> shards_;
+  std::vector<std::uint64_t> boundaries_;  // shard_count + 1
+  std::span<const std::uint32_t> in_degree_;
+  std::shared_ptr<const void> storage_;
+  std::string origin_;
+  const kern::Ops* ops_;  // dispatched kernel table, resolved once
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t budget_bytes_ = 0;
+  std::unique_ptr<ShardState[]> shard_state_;
+  mutable std::atomic<std::uint64_t> clock_{1};
+  mutable std::atomic<std::uint64_t> shards_dropped_{0};
+  mutable std::vector<Candidate> sweep_scratch_;  ///< serial-only use
+};
+
+}  // namespace rumor::graph

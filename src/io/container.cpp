@@ -118,6 +118,127 @@ void ContainerWriter::write_file(const std::string& path) const {
           .count());
 }
 
+StreamingContainerWriter::StreamingContainerWriter(std::string path,
+                                                   std::string kind,
+                                                   std::size_t max_sections)
+    : path_(std::move(path)),
+      tmp_path_(path_ + ".tmp"),
+      kind_(std::move(kind)),
+      max_sections_(max_sections) {
+  util::require(!kind_.empty() && kind_.size() <= kKindSize,
+                "StreamingContainerWriter: kind must be 1.." +
+                    std::to_string(kKindSize) + " chars");
+  util::require(max_sections_ >= 1,
+                "StreamingContainerWriter: max_sections must be >= 1");
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw util::IoError("StreamingContainerWriter: cannot create " +
+                        tmp_path_);
+  }
+  // Reserve the header plus a table slot per possible section; payloads
+  // stream in after this region, and finish() seeks back to fill it.
+  const std::size_t reserved =
+      aligned(kHeaderSize + max_sections_ * kTableEntrySize);
+  const std::vector<std::byte> zeros(reserved, std::byte{0});
+  if (std::fwrite(zeros.data(), 1, zeros.size(), file_) != zeros.size()) {
+    std::fclose(file_);
+    file_ = nullptr;
+    std::remove(tmp_path_.c_str());
+    throw util::IoError("StreamingContainerWriter: write failed for " +
+                        tmp_path_);
+  }
+  cursor_ = reserved;
+}
+
+StreamingContainerWriter::~StreamingContainerWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+  if (!finished_) std::remove(tmp_path_.c_str());
+}
+
+void StreamingContainerWriter::add_section(std::string name,
+                                           std::span<const std::byte> payload) {
+  util::require(!finished_, "StreamingContainerWriter: already finished");
+  util::require(!name.empty() && name.size() <= kNameSize,
+                "StreamingContainerWriter: section name must be 1.." +
+                    std::to_string(kNameSize) + " chars");
+  util::require(sections_.size() < max_sections_,
+                "StreamingContainerWriter: more than " +
+                    std::to_string(max_sections_) + " sections");
+  for (const SectionInfo& existing : sections_) {
+    util::require(existing.name != name,
+                  "StreamingContainerWriter: duplicate section '" + name +
+                      "'");
+  }
+  const std::size_t padding = aligned(cursor_) - cursor_;
+  if (padding != 0) {
+    const std::byte zeros[kAlignment] = {};
+    if (std::fwrite(zeros, 1, padding, file_) != padding) {
+      throw util::IoError("StreamingContainerWriter: write failed for " +
+                          tmp_path_);
+    }
+    cursor_ += padding;
+  }
+  SectionInfo info;
+  info.name = std::move(name);
+  info.offset = cursor_;
+  info.size = payload.size();
+  info.crc = crc32(payload);
+  if (!payload.empty() &&
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
+    throw util::IoError("StreamingContainerWriter: write failed for " +
+                        tmp_path_);
+  }
+  cursor_ += payload.size();
+  sections_.push_back(std::move(info));
+}
+
+void StreamingContainerWriter::finish() {
+  util::require(!finished_, "StreamingContainerWriter: already finished");
+  ByteWriter table;
+  for (const SectionInfo& info : sections_) {
+    put_fixed_string(table, info.name, kNameSize);
+    table.u64(info.offset);
+    table.u64(info.size);
+    table.u32(info.crc);
+    table.u32(0);  // reserved
+  }
+  ByteWriter head;
+  head.bytes(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(kMagic), sizeof(kMagic)));
+  head.u64(kByteOrderMarker);
+  head.u32(kFormatVersion);
+  head.u32(static_cast<std::uint32_t>(sections_.size()));
+  put_fixed_string(head, kind_, kKindSize);
+  head.u32(crc32(table.buffer()));
+  head.u32(0);  // reserved
+  head.bytes(table.buffer());
+
+  bool ok = std::fseek(file_, 0, SEEK_SET) == 0;
+  ok = ok && std::fwrite(head.buffer().data(), 1, head.buffer().size(),
+                         file_) == head.buffer().size();
+  ok = ok && std::fflush(file_) == 0;
+  std::fclose(file_);
+  file_ = nullptr;
+  if (!ok) {
+    std::remove(tmp_path_.c_str());
+    throw util::IoError("StreamingContainerWriter: write failed for " +
+                        tmp_path_);
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    throw util::IoError("StreamingContainerWriter: cannot rename " +
+                        tmp_path_ + " to " + path_);
+  }
+  finished_ = true;
+  static obs::Counter* const files =
+      &obs::metrics().counter("io.files_written");
+  static obs::Counter* const written =
+      &obs::metrics().counter("io.bytes_written");
+  files->add();
+  written->add(cursor_);
+}
+
 std::shared_ptr<ContainerReader> ContainerReader::open(const std::string& path,
                                                        bool map) {
   auto file = std::make_shared<MappedFile>(map ? MappedFile::open(path)

@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <span>
 #include <string>
@@ -63,6 +64,58 @@ class ContainerWriter {
  private:
   std::string kind_;
   std::vector<std::pair<std::string, std::vector<std::byte>>> sections_;
+};
+
+/// Write a container to disk section by section, without ever holding
+/// more than one payload in memory — the writer behind artifacts too
+/// large to assemble in RAM (the streaming BA generator emits 100M+
+/// edge graphs shard by shard through this).
+///
+/// Layout trick: the section count is unknown until finish(), so the
+/// constructor reserves table space for `max_sections` entries and
+/// streams payloads after it; finish() seeks back and writes the
+/// header + table for the sections actually added. Unused table slots
+/// become padding before the first payload, which the parser already
+/// tolerates (it validates offsets, not contiguity).
+///
+/// Crash safety matches ContainerWriter: everything goes to
+/// `path + ".tmp"` and finish() renames it over `path`. Destroying an
+/// unfinished writer removes the temporary.
+class StreamingContainerWriter {
+ public:
+  StreamingContainerWriter(std::string path, std::string kind,
+                           std::size_t max_sections);
+  ~StreamingContainerWriter();
+
+  StreamingContainerWriter(const StreamingContainerWriter&) = delete;
+  StreamingContainerWriter& operator=(const StreamingContainerWriter&) =
+      delete;
+
+  /// Stream one section to disk (CRC computed on the fly). Same name
+  /// rules as ContainerWriter; throws util::IoError on a short write
+  /// and util::InvalidArgument past `max_sections`.
+  void add_section(std::string name, std::span<const std::byte> payload);
+  void add_section(std::string name, const ByteWriter& writer) {
+    add_section(std::move(name), writer.buffer());
+  }
+
+  std::size_t section_count() const { return sections_.size(); }
+  std::uint64_t bytes_written() const { return cursor_; }
+
+  /// Write the header + section table, flush, and atomically rename
+  /// the temporary over the target path. No further sections may be
+  /// added afterwards.
+  void finish();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::string kind_;
+  std::size_t max_sections_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t cursor_ = 0;  ///< next write offset in the file
+  std::vector<SectionInfo> sections_;
+  bool finished_ = false;
 };
 
 /// Read-side view of a container. Created through the shared_ptr

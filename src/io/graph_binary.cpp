@@ -4,6 +4,7 @@
 
 #include "graph/io.hpp"
 #include "io/container.hpp"
+#include "io/graph_compressed.hpp"
 #include "util/error.hpp"
 
 namespace rumor::io {
@@ -75,7 +76,15 @@ graph::Graph load_graph(const std::string& path, GraphLoad mode) {
 }
 
 graph::Graph load_graph_any(const std::string& path, bool directed) {
-  if (is_container_file(path)) return load_graph(path);
+  if (is_container_file(path)) {
+    // A compressed container decompresses to the identical packed CSR
+    // (same node order, same neighbor order), so every load_graph_any
+    // consumer sees one representation regardless of the file format.
+    if (is_compressed_graph_file(path)) {
+      return load_compressed_graph(path)->decompress();
+    }
+    return load_graph(path);
+  }
   return graph::read_edge_list_file(path, directed);
 }
 

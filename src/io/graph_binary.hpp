@@ -34,9 +34,11 @@ enum class GraphLoad {
 graph::Graph load_graph(const std::string& path,
                         GraphLoad mode = GraphLoad::kMapped);
 
-/// Load a graph from either format: a GRAPHCSR container (detected by
-/// magic; `directed` ignored — the file records it) or a text edge list
-/// parsed with graph::read_edge_list_file(path, directed).
+/// Load a graph from any supported format: a GRAPHCSR container, a
+/// GRAPHCSZ compressed container (decompressed to the identical packed
+/// CSR; both detected by magic + kind, `directed` ignored — the file
+/// records it), or a text edge list parsed with
+/// graph::read_edge_list_file(path, directed).
 graph::Graph load_graph_any(const std::string& path, bool directed);
 
 }  // namespace rumor::io

@@ -1,0 +1,225 @@
+#include "io/graph_compressed.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "io/container.hpp"
+#include "io/serde.hpp"
+#include "util/error.hpp"
+
+namespace rumor::io {
+
+namespace {
+
+// Local byte offsets are u32, so one shard's blob must stay below 4 GiB
+// no matter what target_shard_bytes asks for.
+constexpr std::uint64_t kMaxShardBlobBytes = 0xFFFFFFFFull;
+
+// What keeps a loaded CompressedGraph's spans alive: the mmap'd
+// container (blobs point into it) plus the per-shard offset tables the
+// loader rebuilds in RAM from the on-disk record-length varints.
+struct CompressedKeepalive {
+  std::shared_ptr<ContainerReader> reader;
+  std::vector<std::vector<std::uint32_t>> offsets;
+};
+
+}  // namespace
+
+std::string shard_section_name(std::size_t shard) {
+  if (shard > 99999) {
+    throw util::InvalidArgument("compressed graph shard index " +
+                                std::to_string(shard) +
+                                " does not fit the zg.shard.NNNNN name");
+  }
+  char name[24];
+  std::snprintf(name, sizeof(name), "zg.shard.%05zu", shard);
+  return name;
+}
+
+void write_compressed_meta(StreamingContainerWriter& writer,
+                           std::uint64_t num_nodes, std::uint64_t num_arcs,
+                           std::uint64_t max_degree, bool directed,
+                           const std::vector<std::uint64_t>& boundaries) {
+  ByteWriter meta;
+  meta.u64(num_nodes);
+  meta.u64(num_arcs);
+  meta.u64(max_degree);
+  meta.u32(static_cast<std::uint32_t>(boundaries.size() - 1));
+  meta.u8(directed ? 1 : 0);
+  writer.add_section("zg.meta", meta);
+
+  ByteWriter manifest;
+  for (const std::uint64_t b : boundaries) manifest.u64(b);
+  writer.add_section("zg.manifest", manifest);
+}
+
+void save_graph_compressed(const graph::Graph& g, const std::string& path,
+                           const CompressOptions& options) {
+  const std::size_t n = g.num_nodes();
+  const std::uint64_t target =
+      std::max<std::uint64_t>(options.target_shard_bytes, 1);
+
+  // Sizing pass: exact encoded bytes per node decide the shard cuts, so
+  // the emit pass below never has to split retroactively.
+  std::vector<std::uint64_t> boundaries;
+  boundaries.push_back(0);
+  std::uint64_t max_out_degree = 0;
+  {
+    std::uint64_t blob_bytes = 0;
+    std::uint64_t table_bytes = 0;
+    std::uint64_t shard_nodes = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto list = g.neighbors(static_cast<graph::NodeId>(v));
+      max_out_degree = std::max<std::uint64_t>(max_out_degree, list.size());
+      const std::uint64_t rec = node_record_bytes(list);
+      const std::uint64_t next_total =
+          blob_bytes + rec + table_bytes + uvarint_bytes(rec);
+      if (shard_nodes > 0 && (blob_bytes + rec > kMaxShardBlobBytes ||
+                              next_total > target)) {
+        boundaries.push_back(v);
+        blob_bytes = 0;
+        table_bytes = 0;
+        shard_nodes = 0;
+      }
+      if (rec > kMaxShardBlobBytes) {
+        throw util::IoError("save_graph_compressed " + path + ": node " +
+                            std::to_string(v) +
+                            " encodes past the 4 GiB shard limit");
+      }
+      blob_bytes += rec;
+      table_bytes += uvarint_bytes(rec);
+      ++shard_nodes;
+    }
+    boundaries.push_back(n);
+    if (n == 0) boundaries.resize(1);  // empty graph: zero shards
+  }
+  const std::size_t shard_count = boundaries.size() - 1;
+
+  StreamingContainerWriter writer(path, kCompressedGraphKind,
+                                  shard_count + 3);
+  write_compressed_meta(writer, n, g.num_arcs(), max_out_degree,
+                        g.directed(), boundaries);
+  if (g.directed()) {
+    ByteWriter indeg;
+    for (std::size_t v = 0; v < n; ++v) {
+      indeg.u32(
+          static_cast<std::uint32_t>(g.in_degree(static_cast<graph::NodeId>(v))));
+    }
+    writer.add_section("zg.indeg", indeg);
+  }
+
+  std::vector<std::uint8_t> table;
+  std::vector<std::uint8_t> blob;
+  std::vector<std::byte> payload;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::uint64_t begin = boundaries[s];
+    const std::uint64_t end = boundaries[s + 1];
+    table.clear();
+    blob.clear();
+    for (std::uint64_t v = begin; v < end; ++v) {
+      const std::size_t before = blob.size();
+      append_node_record(g.neighbors(static_cast<graph::NodeId>(v)), blob);
+      varint::put_uvarint(table, blob.size() - before);
+    }
+    payload.resize(table.size() + blob.size());
+    std::memcpy(payload.data(), table.data(), table.size());
+    std::memcpy(payload.data() + table.size(), blob.data(), blob.size());
+    writer.add_section(shard_section_name(s), payload);
+  }
+  writer.finish();
+}
+
+std::shared_ptr<graph::CompressedGraph> load_compressed_graph(
+    const std::string& path, bool deep_validate) {
+  std::shared_ptr<ContainerReader> rd = ContainerReader::open(path);
+  rd->require_kind(kCompressedGraphKind);
+
+  ByteReader meta = rd->reader("zg.meta");
+  graph::CompressedGraph::Parts parts;
+  parts.num_nodes = meta.u64();
+  parts.num_arcs = meta.u64();
+  parts.max_degree = meta.u64();
+  const std::uint32_t shard_count = meta.u32();
+  parts.directed = meta.u8() != 0;
+  meta.expect_end();
+
+  ByteReader manifest = rd->reader("zg.manifest");
+  const std::span<const std::uint64_t> boundaries =
+      manifest.view<std::uint64_t>(static_cast<std::size_t>(shard_count) + 1);
+  manifest.expect_end();
+  if (boundaries.front() != 0 || boundaries.back() != parts.num_nodes ||
+      !std::is_sorted(boundaries.begin(), boundaries.end())) {
+    throw util::IoError("compressed graph " + path +
+                        ": zg.manifest is not a monotone cover of the nodes");
+  }
+
+  if (parts.directed) {
+    ByteReader indeg = rd->reader("zg.indeg");
+    parts.in_degree = indeg.view<std::uint32_t>(
+        static_cast<std::size_t>(parts.num_nodes));
+    indeg.expect_end();
+  }
+
+  auto bundle = std::make_shared<CompressedKeepalive>();
+  bundle->reader = rd;
+  bundle->offsets.reserve(shard_count);
+  parts.shards.reserve(shard_count);
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    ByteReader sec = rd->reader(shard_section_name(s));
+    graph::CompressedShardView view;
+    view.node_begin = boundaries[s];
+    view.node_end = boundaries[s + 1];
+    const std::size_t nodes =
+        static_cast<std::size_t>(view.node_end - view.node_begin);
+    const std::span<const std::uint8_t> payload =
+        sec.view<std::uint8_t>(sec.remaining());
+    // The payload is self-describing: `nodes` record-length uvarints,
+    // then the records back to back. Prefix-sum the lengths into an
+    // owned u32 offset table so random access stays O(1).
+    std::vector<std::uint32_t> offs;
+    offs.reserve(nodes + 1);
+    offs.push_back(0);
+    std::size_t pos = 0;
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < nodes; ++i) {
+      std::uint64_t len = 0;
+      const std::size_t used =
+          varint::get_uvarint(payload.data() + pos, payload.size() - pos, len);
+      if (used == 0) {
+        throw util::IoError("compressed graph " + path + ": shard " +
+                            std::to_string(s) +
+                            " record-length table is truncated");
+      }
+      pos += used;
+      total += len;
+      if (total > kMaxShardBlobBytes) {
+        throw util::IoError("compressed graph " + path + ": shard " +
+                            std::to_string(s) +
+                            " record lengths overrun the 4 GiB shard limit");
+      }
+      offs.push_back(static_cast<std::uint32_t>(total));
+    }
+    view.offsets = bundle->offsets.emplace_back(std::move(offs));
+    view.blob = payload.subspan(pos);
+    parts.shards.push_back(view);
+  }
+
+  parts.keepalive = bundle;
+  parts.origin = path;
+  auto zg = std::make_shared<graph::CompressedGraph>(std::move(parts));
+  if (deep_validate) zg->validate_full();
+  return zg;
+}
+
+bool is_compressed_graph_file(const std::string& path) {
+  if (!is_container_file(path)) return false;
+  try {
+    return ContainerReader::open(path)->kind() == kCompressedGraphKind;
+  } catch (const util::IoError&) {
+    return false;
+  }
+}
+
+}  // namespace rumor::io

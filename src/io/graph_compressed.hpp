@@ -1,0 +1,171 @@
+// Compressed sharded CSR graph format ("GRAPHCSZ" containers).
+//
+// Sections (docs/serialization.md has the full layout):
+//   zg.meta         num_nodes u64 · num_arcs u64 · max_degree u64 ·
+//                   shard_count u32 · directed u8
+//   zg.manifest     (shard_count + 1) × u64 node boundaries; shard s
+//                   owns nodes [b[s], b[s+1])
+//   zg.indeg        num_nodes × u32 in-degrees (directed graphs only)
+//   zg.shard.NNNNN  one per shard: nodes × uvarint record lengths,
+//                   then the list blob — per node a uvarint
+//                   (degree << 1 | codec), then the list as deltas
+//                   chained from 0, neighbor order preserved exactly.
+//                   codec 0: zigzag LEB128 varints (io/varint.hpp,
+//                   SIMD block decode); codec 1: a Golomb–Rice block
+//                   (parameter byte + bit-packed codes). The writer
+//                   picks whichever is smaller per list. The loader
+//                   prefix-sums the lengths into (nodes+1) × u32
+//                   offsets held in RAM, so files pay ~1 byte per
+//                   node for random access instead of 4.
+//
+// Compression wants small deltas: canonicalize with
+// graph::degree_sorted_order + apply_node_order (hubs get small ids,
+// lists sort ascending) before saving — `rumorctl graph-pack
+// --compress` does, and the streaming BA generator (io/graph_stream)
+// emits that layout natively. save_graph_compressed itself preserves
+// the graph verbatim so compressed↔packed round trips are exact.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/compressed.hpp"
+#include "graph/graph.hpp"
+#include "io/varint.hpp"
+
+namespace rumor::io {
+
+class StreamingContainerWriter;
+
+inline constexpr char kCompressedGraphKind[] = "GRAPHCSZ";
+
+struct CompressOptions {
+  /// Split shards so length table + blob stay near this size (u32
+  /// local offsets cap a shard's blob at 4 GiB; the default keeps the
+  /// out-of-core sweep's drop granularity useful).
+  std::uint64_t target_shard_bytes = 256ull << 20;
+};
+
+/// Write `g` as a GRAPHCSZ container (atomic tmp-then-rename).
+/// Neighbor lists are stored in `g`'s exact order, so a decompressed
+/// copy is structurally identical — including the CSR gather order the
+/// simulators' bit-identity depends on.
+void save_graph_compressed(const graph::Graph& g, const std::string& path,
+                           const CompressOptions& options = {});
+
+/// Open a GRAPHCSZ container as a streaming CompressedGraph over the
+/// mmap'd file. With `deep_validate` (default) every neighbor list is
+/// decoded once up front, so later decodes — including inside parallel
+/// simulation steps — cannot hit corrupt data. Throws util::IoError on
+/// any corruption, naming the file and section.
+std::shared_ptr<graph::CompressedGraph> load_compressed_graph(
+    const std::string& path, bool deep_validate = true);
+
+/// True if `path` is a rumor container of kind GRAPHCSZ.
+bool is_compressed_graph_file(const std::string& path);
+
+// ---- building blocks shared with the streaming generator ------------
+
+/// Encoded length of one LEB128 varint.
+inline std::size_t uvarint_bytes(std::uint64_t x) {
+  return 1 + (static_cast<std::size_t>(std::bit_width(x | 1)) - 1) / 7;
+}
+
+/// The per-list codec decision both writers and the size pass share.
+/// payload_bytes excludes the degree prefix.
+struct ListEncoding {
+  bool rice = false;    ///< false: zigzag LEB128; true: Golomb–Rice
+  bool sorted = false;  ///< Rice only: plain gaps instead of zigzag
+  unsigned k = 0;       ///< Rice parameter
+  std::size_t payload_bytes = 0;
+};
+
+/// Cost both codecs and pick the smaller (varint on ties — it keeps
+/// the SIMD block decoder in play). The Rice parameter is chosen by
+/// exact bit cost around k ≈ log2(mean delta), which is optimal to
+/// within a rounding bit for the geometric-ish gap distributions the
+/// degree-sorted layout produces.
+inline ListEncoding choose_list_encoding(
+    std::span<const std::uint32_t> list) {
+  ListEncoding enc;
+  std::size_t varint_cost = 0;
+  std::uint64_t zig_sum = 0;
+  bool sorted = true;
+  std::int64_t prev = 0;
+  for (const std::uint32_t v : list) {
+    const std::int64_t d = static_cast<std::int64_t>(v) - prev;
+    if (d < 0) sorted = false;
+    const std::uint64_t z = varint::zigzag(d);
+    varint_cost += uvarint_bytes(z);
+    zig_sum += z;
+    prev = v;
+  }
+  enc.payload_bytes = varint_cost;
+  if (list.empty()) return enc;
+  enc.sorted = sorted;
+  // Sorted lists store the plain gap — half the zigzag value, one
+  // fewer bit per neighbor.
+  const std::uint64_t mean = (sorted ? zig_sum / 2 : zig_sum) / list.size();
+  const unsigned mid =
+      static_cast<unsigned>(std::bit_width(mean | 1)) - 1;
+  std::uint64_t best_bits = ~0ull;
+  for (unsigned k = mid > 0 ? mid - 1 : 0; k <= mid + 1; ++k) {
+    std::uint64_t bits = 0;
+    std::int64_t p = 0;
+    for (const std::uint32_t v : list) {
+      const std::int64_t d = static_cast<std::int64_t>(v) - p;
+      const std::uint64_t z =
+          sorted ? static_cast<std::uint64_t>(d) : varint::zigzag(d);
+      bits += varint::rice_bits(z, k);
+      p = v;
+    }
+    if (bits < best_bits) {
+      best_bits = bits;
+      enc.k = k;
+    }
+  }
+  const std::size_t rice_cost =
+      1 + static_cast<std::size_t>((best_bits + 7) / 8);
+  if (rice_cost < varint_cost) {
+    enc.rice = true;
+    enc.payload_bytes = rice_cost;
+  }
+  return enc;
+}
+
+/// Encoded bytes of one node record (degree prefix + chosen payload).
+inline std::size_t node_record_bytes(std::span<const std::uint32_t> list) {
+  const ListEncoding enc = choose_list_encoding(list);
+  return uvarint_bytes(list.size() << 1 | (enc.rice ? 1 : 0)) +
+         enc.payload_bytes;
+}
+
+/// Append one node record to a shard blob. Byte-for-byte consistent
+/// with node_record_bytes — both defer to choose_list_encoding.
+inline void append_node_record(std::span<const std::uint32_t> list,
+                               std::vector<std::uint8_t>& blob) {
+  const ListEncoding enc = choose_list_encoding(list);
+  varint::put_uvarint(blob, list.size() << 1 | (enc.rice ? 1ull : 0ull));
+  if (enc.rice) {
+    varint::encode_rice(list, 0, enc.k, enc.sorted, blob);
+  } else {
+    varint::encode_deltas(list, 0, blob);
+  }
+}
+
+/// "zg.shard.NNNNN" (shard index must fit 5 digits).
+std::string shard_section_name(std::size_t shard);
+
+/// Stream the zg.meta + zg.manifest sections (the writers of shard
+/// payloads — save_graph_compressed and the BA generator — share this
+/// so the two paths cannot drift).
+void write_compressed_meta(StreamingContainerWriter& writer,
+                           std::uint64_t num_nodes, std::uint64_t num_arcs,
+                           std::uint64_t max_degree, bool directed,
+                           const std::vector<std::uint64_t>& boundaries);
+
+}  // namespace rumor::io

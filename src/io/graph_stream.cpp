@@ -1,0 +1,249 @@
+#include "io/graph_stream.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "graph/ba_stream.hpp"
+#include "io/container.hpp"
+#include "io/graph_compressed.hpp"
+#include "util/error.hpp"
+
+namespace rumor::io {
+
+namespace {
+
+constexpr std::uint64_t kMaxShardBlobBytes = 0xFFFFFFFFull;
+
+/// One spill temp file of (node, neighbor) u32 pairs, with a small
+/// write-combining buffer so pass 2 is not 2×arcs tiny fwrites. The
+/// destructor closes and unlinks — success and error paths both clean
+/// up.
+class SpillFile {
+ public:
+  explicit SpillFile(std::string path) : path_(std::move(path)) {
+    file_ = std::fopen(path_.c_str(), "wb+");
+    if (file_ == nullptr) {
+      throw util::IoError("generate_ba_compressed: cannot open spill file " +
+                          path_);
+    }
+    buffer_.reserve(kBufferPairs * 2);
+  }
+  ~SpillFile() {
+    if (file_ != nullptr) std::fclose(file_);
+    std::remove(path_.c_str());
+  }
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  void put(std::uint32_t node, std::uint32_t neighbor) {
+    buffer_.push_back(node);
+    buffer_.push_back(neighbor);
+    if (buffer_.size() >= kBufferPairs * 2) flush();
+  }
+
+  /// Flush, rewind, and hand the FILE* over for reading back.
+  std::FILE* reader() {
+    flush();
+    std::rewind(file_);
+    return file_;
+  }
+
+ private:
+  static constexpr std::size_t kBufferPairs = 1 << 16;
+
+  void flush() {
+    if (buffer_.empty()) return;
+    const std::size_t wrote = std::fwrite(
+        buffer_.data(), sizeof(std::uint32_t), buffer_.size(), file_);
+    if (wrote != buffer_.size()) {
+      throw util::IoError("generate_ba_compressed: short write to " + path_);
+    }
+    buffer_.clear();
+  }
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<std::uint32_t> buffer_;
+};
+
+}  // namespace
+
+StreamBaResult generate_ba_compressed(const std::string& path,
+                                      const StreamBaOptions& options) {
+  const graph::BaEdgeResolver ba(options.num_nodes, options.edges_per_node,
+                                 options.seed);
+  const std::uint64_t n = ba.num_nodes();
+  const std::uint64_t m = ba.edges_per_node();
+  const std::uint64_t num_edges = ba.num_edges();
+
+  // Pass 1: degrees. The clique contributes m per seed node; every
+  // attachment edge contributes one endpoint each to its source and its
+  // re-resolved target.
+  std::vector<std::uint32_t> degree(n, 0);
+  for (std::uint64_t v = 0; v <= m; ++v) {
+    degree[v] = static_cast<std::uint32_t>(m);
+  }
+  const std::uint64_t clique_edges = m * (m + 1) / 2;
+  for (std::uint64_t e = clique_edges; e < num_edges; ++e) {
+    ++degree[ba.source_of(e)];
+    ++degree[ba.target_of(e)];
+  }
+
+  // Canonical relabeling: descending degree, ties by ascending old id —
+  // the exact degree_sorted_order convention, computed from the degree
+  // array alone.
+  std::vector<std::uint32_t> old_of_new(n);
+  std::iota(old_of_new.begin(), old_of_new.end(), 0u);
+  std::sort(old_of_new.begin(), old_of_new.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return degree[a] != degree[b] ? degree[a] > degree[b] : a < b;
+            });
+  std::vector<std::uint32_t> new_of_old(n);
+  std::vector<std::uint32_t> new_degree(n);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    new_of_old[old_of_new[v]] = static_cast<std::uint32_t>(v);
+    new_degree[v] = degree[old_of_new[v]];
+  }
+  const std::uint64_t max_degree = n > 0 ? new_degree[0] : 0;
+
+  // Shard boundaries from the worst-case encoded size (5-byte varints),
+  // so the real blobs can never overrun their u32 offsets.
+  const std::uint64_t target =
+      std::max<std::uint64_t>(options.target_shard_bytes, 1);
+  std::vector<std::uint64_t> boundaries;
+  boundaries.push_back(0);
+  {
+    std::uint64_t blob_bound = 0;
+    std::uint64_t table_bound = 0;
+    std::uint64_t shard_nodes = 0;
+    for (std::uint64_t v = 0; v < n; ++v) {
+      // Worst case is the varint codec (Rice is only ever chosen when
+      // smaller); the degree prefix carries the codec flag in its low
+      // bit, hence 2·deg + 1.
+      const std::uint64_t rec =
+          uvarint_bytes(2 * new_degree[v] + 1) +
+          static_cast<std::uint64_t>(new_degree[v]) * varint::kMaxBytesPerValue;
+      // The real record is never longer than `rec`, so its length
+      // varint is never longer than uvarint_bytes(rec) either.
+      const std::uint64_t next_total =
+          blob_bound + rec + table_bound + uvarint_bytes(rec);
+      if (shard_nodes > 0 &&
+          (blob_bound + rec > kMaxShardBlobBytes || next_total > target)) {
+        boundaries.push_back(v);
+        blob_bound = 0;
+        table_bound = 0;
+        shard_nodes = 0;
+      }
+      blob_bound += rec;
+      table_bound += uvarint_bytes(rec);
+      ++shard_nodes;
+    }
+    boundaries.push_back(n);
+  }
+  const std::size_t shard_count = boundaries.size() - 1;
+
+  auto shard_of = [&](std::uint32_t v) -> std::size_t {
+    const auto it = std::upper_bound(boundaries.begin() + 1,
+                                     boundaries.end() - 1,
+                                     static_cast<std::uint64_t>(v));
+    return static_cast<std::size_t>(it - (boundaries.begin() + 1));
+  };
+
+  // Pass 2a: re-resolve every edge and spill both relabeled arcs to the
+  // owning shards' temp files.
+  std::vector<std::unique_ptr<SpillFile>> spill;
+  spill.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), ".spill.%05zu", s);
+    spill.push_back(std::make_unique<SpillFile>(path + suffix));
+  }
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    const std::uint32_t u = new_of_old[ba.source_of(e)];
+    const std::uint32_t w = new_of_old[ba.target_of(e)];
+    spill[shard_of(u)]->put(u, w);
+    spill[shard_of(w)]->put(w, u);
+  }
+
+  // Pass 2b: per shard, counting-sort the spilled arcs into a local
+  // CSR, sort each list ascending (canonical), encode, stream out.
+  StreamingContainerWriter writer(path, kCompressedGraphKind,
+                                  shard_count + 3);
+  write_compressed_meta(writer, n, ba.num_arcs(), max_degree,
+                        /*directed=*/false, boundaries);
+
+  std::vector<std::uint64_t> local_offsets;
+  std::vector<std::uint32_t> local_targets;
+  std::vector<std::uint32_t> cursor;
+  std::vector<std::uint32_t> chunk(2 << 16);
+  std::vector<std::uint8_t> table;
+  std::vector<std::uint8_t> blob;
+  std::vector<std::byte> payload;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::uint64_t begin = boundaries[s];
+    const std::uint64_t end = boundaries[s + 1];
+    const std::size_t nodes = static_cast<std::size_t>(end - begin);
+    local_offsets.assign(nodes + 1, 0);
+    for (std::size_t i = 0; i < nodes; ++i) {
+      local_offsets[i + 1] = local_offsets[i] + new_degree[begin + i];
+    }
+    local_targets.resize(local_offsets[nodes]);
+    cursor.assign(nodes, 0);
+
+    std::FILE* in = spill[s]->reader();
+    std::size_t got = 0;
+    std::uint64_t arcs_seen = 0;
+    while ((got = std::fread(chunk.data(), sizeof(std::uint32_t),
+                             chunk.size(), in)) > 0) {
+      if (got % 2 != 0) {
+        throw util::IoError("generate_ba_compressed: torn spill record in "
+                            "shard " + std::to_string(s));
+      }
+      for (std::size_t i = 0; i < got; i += 2) {
+        const std::size_t local = chunk[i] - begin;
+        local_targets[local_offsets[local] + cursor[local]++] = chunk[i + 1];
+        ++arcs_seen;
+      }
+    }
+    if (arcs_seen != local_offsets[nodes]) {
+      throw util::IoError("generate_ba_compressed: shard " +
+                          std::to_string(s) + " spilled " +
+                          std::to_string(arcs_seen) + " arcs, degrees say " +
+                          std::to_string(local_offsets[nodes]));
+    }
+    spill[s].reset();  // close + unlink as soon as the shard is in memory
+
+    table.clear();
+    blob.clear();
+    for (std::size_t i = 0; i < nodes; ++i) {
+      std::uint32_t* first = local_targets.data() + local_offsets[i];
+      std::uint32_t* last = local_targets.data() + local_offsets[i + 1];
+      std::sort(first, last);
+      const std::size_t before = blob.size();
+      append_node_record({first, static_cast<std::size_t>(last - first)},
+                         blob);
+      varint::put_uvarint(table, blob.size() - before);
+    }
+    payload.resize(table.size() + blob.size());
+    std::memcpy(payload.data(), table.data(), table.size());
+    std::memcpy(payload.data() + table.size(), blob.data(), blob.size());
+    writer.add_section(shard_section_name(s), payload);
+  }
+  const std::uint64_t file_bytes = writer.bytes_written();
+  writer.finish();
+
+  StreamBaResult result;
+  result.num_nodes = n;
+  result.num_edges = num_edges;
+  result.num_arcs = ba.num_arcs();
+  result.max_degree = max_degree;
+  result.shard_count = static_cast<std::uint32_t>(shard_count);
+  result.file_bytes = file_bytes;
+  return result;
+}
+
+}  // namespace rumor::io

@@ -1,0 +1,50 @@
+// Streaming graph generation: Barabási–Albert straight to a GRAPHCSZ
+// container on disk, shard by shard, without ever holding the edge list
+// or full CSR in memory.
+//
+// Pipeline (two passes over the storage-free graph::BaEdgeResolver):
+//   pass 1   count degrees (one u32 per node resident), derive the
+//            degree-sorted canonical relabeling and shard boundaries
+//   pass 2   re-resolve every edge, spill its two relabeled arcs to
+//            per-shard temp files (path + ".spill.NNNNN"), then per
+//            shard: counting-sort the arcs, sort each neighbor list
+//            ascending, delta-varint encode, stream the section out
+//
+// The output is byte-for-byte the file `rumorctl graph-pack --compress`
+// would produce from the same graph in canonical order, so everything
+// downstream (loader, simulators, bench) treats generated and packed
+// graphs identically. Peak memory is O(num_nodes) id maps plus one
+// shard's arcs — the reason a 100M-edge graph fits a laptop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rumor::io {
+
+struct StreamBaOptions {
+  std::uint64_t num_nodes = 0;
+  std::uint64_t edges_per_node = 0;  ///< m; clique seed is m+1 nodes
+  std::uint64_t seed = 1;
+  /// Shard sizing uses the worst-case 5-byte varint bound, so real
+  /// shards land well under this; lower it to get more (finer-grained)
+  /// shards for the out-of-core sweep.
+  std::uint64_t target_shard_bytes = 256ull << 20;
+};
+
+struct StreamBaResult {
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t num_arcs = 0;
+  std::uint64_t max_degree = 0;
+  std::uint32_t shard_count = 0;
+  std::uint64_t file_bytes = 0;  ///< finished container size
+};
+
+/// Generate and write the graph; atomic tmp-then-rename like every
+/// container writer. Spill temporaries live next to `path` and are
+/// removed on success and on error.
+StreamBaResult generate_ba_compressed(const std::string& path,
+                                      const StreamBaOptions& options);
+
+}  // namespace rumor::io

@@ -1,0 +1,229 @@
+// Delta-varint codec for compressed neighbor lists (GRAPHCSZ).
+//
+// A neighbor list is stored as zigzag-encoded deltas in LEB128 base-128
+// varints: value_i = value_{i-1} + unzigzag(varint_i), with value_{-1}
+// an explicit base (0 for the graph format). Zigzag keeps arbitrary
+// list orders encodable (deltas may be negative), while sorted lists —
+// what the degree-sorted canonical layout produces — give small
+// positive deltas that fit one or two bytes each.
+//
+// Node ids are 32-bit, so a delta lies in (-2^32, 2^32): 33 bits after
+// zigzag, hence at most 5 LEB128 bytes per value (5 × 7 = 35 bits). A
+// 6th continuation byte is malformed by definition.
+//
+// The hot block decoder lives in the kern dispatch table
+// (kern::Ops::varint_decode_deltas, scalar/AVX2 backends); this header
+// owns the encode side plus the small helpers shared by writers and
+// validators. tests/test_io_varint.cpp cross-checks every backend's
+// decoder against this encoder over property sweeps.
+//
+// Second codec: Golomb–Rice. LEB128 rounds every delta up to whole
+// 7-bit groups, which wastes 4+ bits per value once sorted-neighbor
+// gaps reach the 19–25 bit range of 10^8-edge graphs — enough to hold
+// the compressed format near 65% of packed when the entropy allows
+// ~55%. A Rice block stores one parameter byte (bit 7: the deltas are
+// plain non-negative gaps rather than zigzag; bits 0–5: k) and then
+// each value as a unary quotient (q one-bits, a zero stop) followed by
+// k low bits, packed LSB-first. Writers pick per list whichever codec
+// is smaller (choose_list_encoding in io/graph_compressed.hpp).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rumor::io::varint {
+
+/// LEB128 bytes that can legally encode one zigzagged 33-bit delta.
+inline constexpr std::size_t kMaxBytesPerValue = 5;
+
+inline std::uint64_t zigzag(std::int64_t d) {
+  return (static_cast<std::uint64_t>(d) << 1) ^
+         static_cast<std::uint64_t>(d >> 63);
+}
+
+inline std::int64_t unzigzag(std::uint64_t z) {
+  return static_cast<std::int64_t>(z >> 1) ^
+         -static_cast<std::int64_t>(z & 1);
+}
+
+inline void put_uvarint(std::vector<std::uint8_t>& out, std::uint64_t x) {
+  while (x >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>((x & 0x7F) | 0x80));
+    x >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(x));
+}
+
+/// Append the delta-varint encoding of `values` (chained from `base`).
+inline void encode_deltas(std::span<const std::uint32_t> values,
+                          std::uint32_t base,
+                          std::vector<std::uint8_t>& out) {
+  std::int64_t prev = base;
+  for (const std::uint32_t v : values) {
+    put_uvarint(out, zigzag(static_cast<std::int64_t>(v) - prev));
+    prev = v;
+  }
+}
+
+/// Decode one unsigned varint from [src, src+avail). Returns the bytes
+/// consumed, or 0 when truncated or longer than kMaxBytesPerValue.
+inline std::size_t get_uvarint(const std::uint8_t* src, std::size_t avail,
+                               std::uint64_t& value) {
+  std::uint64_t z = 0;
+  std::size_t pos = 0;
+  unsigned shift = 0;
+  for (;;) {
+    if (pos >= avail || pos >= kMaxBytesPerValue) return 0;
+    const std::uint8_t b = src[pos++];
+    z |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  value = z;
+  return pos;
+}
+
+// ---- Golomb–Rice blocks ---------------------------------------------
+
+/// Largest Rice parameter a decoder accepts. Encoded values are 33-bit
+/// zigzags, so a valid k never exceeds 33; the margin is defensive.
+inline constexpr unsigned kMaxRiceK = 40;
+
+/// LSB-first bit packer appending to a byte vector. The final partial
+/// byte is zero-padded by flush().
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+  /// Append the low `n` bits of `bits` (n <= 56; higher bits must be 0).
+  void push(std::uint64_t bits, unsigned n) {
+    acc_ |= bits << fill_;
+    fill_ += n;
+    while (fill_ >= 8) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+      acc_ >>= 8;
+      fill_ -= 8;
+    }
+  }
+  /// Append q one-bits and a zero stop bit (the unary quotient).
+  void push_unary(std::uint64_t q) {
+    while (q >= 32) {
+      push(0xFFFFFFFFull, 32);
+      q -= 32;
+    }
+    push((1ull << q) - 1, static_cast<unsigned>(q) + 1);
+  }
+  void flush() {
+    if (fill_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+      acc_ = 0;
+      fill_ = 0;
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  std::uint64_t acc_ = 0;
+  unsigned fill_ = 0;
+};
+
+/// Bits one Rice code of parameter k spends on value z.
+inline std::uint64_t rice_bits(std::uint64_t z, unsigned k) {
+  return (z >> k) + 1 + k;
+}
+
+/// Append one Rice block: parameter byte, then `values` coded with
+/// parameter `k` as deltas chained from `base` — plain gaps when
+/// `sorted` (caller guarantees non-decreasing order), zigzag otherwise.
+inline void encode_rice(std::span<const std::uint32_t> values,
+                        std::uint32_t base, unsigned k, bool sorted,
+                        std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>((sorted ? 0x80u : 0u) | k));
+  BitWriter bw(out);
+  const std::uint64_t mask = k == 0 ? 0 : (1ull << k) - 1;
+  std::int64_t prev = base;
+  for (const std::uint32_t v : values) {
+    const std::int64_t d = static_cast<std::int64_t>(v) - prev;
+    const std::uint64_t z = sorted ? static_cast<std::uint64_t>(d) : zigzag(d);
+    bw.push_unary(z >> k);
+    bw.push(z & mask, k);
+    prev = v;
+  }
+  bw.flush();
+}
+
+/// Decode `count` Rice-coded deltas from [src, src+avail) — the exact
+/// inverse of encode_rice, beginning at the parameter byte. Mirrors
+/// the kern varint decoder's contract: returns the bytes consumed, or
+/// 0 when the stream is malformed — truncated before `count` values, a
+/// parameter beyond kMaxRiceK, a quotient overrunning the 33-bit
+/// zigzag range, or any decoded value outside [0, limit). The bounds
+/// are enforced before anything is trusted, so a corrupt blob can
+/// never index out of range.
+inline std::size_t rice_decode_deltas(const std::uint8_t* src,
+                                      std::size_t avail, std::uint32_t base,
+                                      std::uint32_t limit, std::uint32_t* out,
+                                      std::size_t count) {
+  if (avail < 1) return 0;
+  const std::uint8_t header = src[0];
+  const bool sorted = (header & 0x80) != 0;
+  const unsigned k = header & 0x7F;
+  if (k > kMaxRiceK) return 0;
+  const std::uint8_t* p = src + 1;
+  const std::size_t nbytes = avail - 1;
+  // 64-bit LSB-first window over the payload bytes.
+  std::uint64_t buf = 0;
+  unsigned have = 0;
+  std::size_t byte = 0;
+  const std::uint64_t max_q = 0x1FFFFFFFFull >> k;  // keeps z inside 33 bits
+  std::int64_t prev = base;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t q = 0;
+    for (;;) {
+      while (have <= 56 && byte < nbytes) {
+        buf |= static_cast<std::uint64_t>(p[byte++]) << have;
+        have += 8;
+      }
+      if (have == 0) return 0;  // truncated inside a quotient
+      // Bits above `have` are garbage for countr_one — force them to
+      // one so an all-ones *window* reads as ones == have (the shift
+      // is guarded: have can legitimately reach 64).
+      const std::uint64_t masked =
+          have >= 64 ? buf : (buf | (~0ull << have));
+      const unsigned ones =
+          static_cast<unsigned>(std::countr_one(masked));
+      if (ones >= have) {  // every buffered bit is a one — keep going
+        q += have;
+        buf = 0;
+        have = 0;
+        if (q > max_q) return 0;
+        continue;
+      }
+      q += ones;
+      const unsigned consumed = ones + 1;  // can be 64 when have is
+      buf = consumed >= 64 ? 0 : buf >> consumed;
+      have -= consumed;
+      if (q > max_q) return 0;
+      break;
+    }
+    while (have < k) {
+      if (byte >= nbytes) return 0;  // truncated inside a remainder
+      buf |= static_cast<std::uint64_t>(p[byte++]) << have;
+      have += 8;
+    }
+    const std::uint64_t rem = k == 0 ? 0 : buf & ((1ull << k) - 1);
+    buf >>= k;
+    have -= k;
+    const std::uint64_t z = (q << k) | rem;
+    prev += sorted ? static_cast<std::int64_t>(z)
+                   : unzigzag(z);
+    if (prev < 0 || prev >= static_cast<std::int64_t>(limit)) return 0;
+    out[i] = static_cast<std::uint32_t>(prev);
+  }
+  const std::size_t bits_read = byte * 8 - have;
+  return 1 + ((bits_read + 7) >> 3);
+}
+
+}  // namespace rumor::io::varint

@@ -138,6 +138,19 @@ struct Ops {
   /// masked off.
   void (*census2)(const std::uint64_t* words, std::size_t nnodes,
                   std::uint64_t out[2]);
+  /// Decode `count` zigzag-delta LEB128 varints (io/varint.hpp encodes
+  /// them): out[i] = out[i-1] + unzigzag(varint_i), chained from `base`.
+  /// Returns the bytes consumed from src, or 0 when the stream is
+  /// malformed — truncated before `count` values, a varint longer than
+  /// 5 bytes, or any decoded value outside [0, limit). The bounds are
+  /// enforced before anything is trusted, so a corrupt blob can never
+  /// index out of range. Bit-exact across backends (integer kernel);
+  /// the AVX2 path batches runs of single-byte varints, the common case
+  /// for degree-sorted adjacency.
+  std::size_t (*varint_decode_deltas)(const std::uint8_t* src,
+                                      std::size_t avail, std::uint32_t base,
+                                      std::uint32_t limit, std::uint32_t* out,
+                                      std::size_t count);
 };
 
 /// Scratch requirement of the fused RK4 kernels: five 2n-double stage

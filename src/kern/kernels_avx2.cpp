@@ -12,6 +12,7 @@
 
 #include "kern/kern.hpp"
 #include "kern/scalar_impl.hpp"
+#include "kern/varint_simd.hpp"
 
 namespace rumor::kern {
 
@@ -425,6 +426,7 @@ const Ops& avx2_ops() {
       accumulate,
       accumulate_sq,
       census2,
+      simd::varint_decode_deltas_avx2,
   };
   return table;
 }

@@ -10,6 +10,7 @@
 #include "kern/kern.hpp"
 #include "kern/scalar_impl.hpp"
 #include "kern/tables.hpp"
+#include "kern/varint_simd.hpp"
 
 namespace rumor::kern {
 
@@ -434,6 +435,7 @@ const Ops& avx512_ops() {
       accumulate,
       accumulate_sq,
       census2,
+      simd::varint_decode_deltas_avx2,
   };
   return table;
 }

@@ -59,6 +59,7 @@ const Ops& scalar_ops() {
       accumulate,
       accumulate_sq,
       scalar::census2,
+      scalar::varint_decode_deltas,
   };
   return table;
 }

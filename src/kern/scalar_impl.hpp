@@ -253,4 +253,34 @@ inline void census2(const std::uint64_t* words, std::size_t nnodes,
   out[1] = recovered;
 }
 
+/// Reference decoder for zigzag-delta LEB128 varints — the contract
+/// every SIMD backend must match bit for bit (integer kernel). See
+/// Ops::varint_decode_deltas in kern.hpp for the semantics.
+inline std::size_t varint_decode_deltas(const std::uint8_t* src,
+                                        std::size_t avail, std::uint32_t base,
+                                        std::uint32_t limit, std::uint32_t* out,
+                                        std::size_t count) {
+  constexpr std::size_t kMaxBytes = 5;  // 35 bits >= the 33-bit zigzag range
+  std::size_t pos = 0;
+  std::int64_t prev = base;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t z = 0;
+    std::size_t len = 0;
+    unsigned shift = 0;
+    for (;;) {
+      if (pos >= avail || len >= kMaxBytes) return 0;
+      const std::uint8_t b = src[pos++];
+      ++len;
+      z |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+    }
+    prev += (static_cast<std::int64_t>(z >> 1) ^
+             -static_cast<std::int64_t>(z & 1));
+    if (prev < 0 || prev >= static_cast<std::int64_t>(limit)) return 0;
+    out[i] = static_cast<std::uint32_t>(prev);
+  }
+  return pos;
+}
+
 }  // namespace rumor::kern::scalar

@@ -5,7 +5,9 @@
 #include <algorithm>
 #include <exception>
 
+#include "graph/compressed.hpp"
 #include "io/graph_binary.hpp"
+#include "io/graph_compressed.hpp"
 #include "serve/metrics.hpp"
 #include "util/error.hpp"
 
@@ -30,12 +32,51 @@ FileIdentity stat_identity(const std::string& path) {
   return id;
 }
 
+/// Load whichever representation the file calls for. Undirected
+/// GRAPHCSZ stays compressed — runners step it directly; everything
+/// else (edge lists, GRAPHCSR, directed GRAPHCSZ) lands as packed CSR.
+CachedGraph load_any_representation(const std::string& path, bool directed,
+                                    const FileIdentity& id) {
+  CachedGraph value;
+  value.path = path;
+  value.directed = directed;
+  value.mtime_ns = id.mtime_ns;
+  value.size_bytes = id.size_bytes;
+  if (io::is_compressed_graph_file(path)) {
+    auto zg = io::load_compressed_graph(path);
+    if (!zg->directed()) {
+      value.compressed = std::move(zg);
+      return value;
+    }
+    // Directed exposure needs a reverse CSR the compressed form does
+    // not carry; materialize once at admission instead of per job.
+    value.packed = std::make_shared<const graph::Graph>(zg->decompress());
+    return value;
+  }
+  value.packed = std::make_shared<const graph::Graph>(
+      io::load_graph_any(path, directed));
+  return value;
+}
+
 }  // namespace
 
+const graph::Graph& CachedGraph::graph() const {
+  util::require(packed != nullptr,
+                "CachedGraph: '" + path +
+                    "' is resident in compressed form; branch on "
+                    "is_compressed() before asking for packed CSR");
+  return *packed;
+}
+
 std::uint64_t CachedGraph::resident_bytes() const {
+  if (compressed != nullptr) {
+    // Upper bound: an armed resident budget may have paged shards
+    // out, but the cache plans for the full mapping.
+    return compressed->total_bytes();
+  }
   // offsets: (n+1) u64, targets: arcs u32, in-degrees: n u32.
-  const std::uint64_t n = graph.num_nodes();
-  const std::uint64_t a = graph.num_arcs();
+  const std::uint64_t n = packed->num_nodes();
+  const std::uint64_t a = packed->num_arcs();
   return (n + 1) * 8 + a * 4 + n * 4;
 }
 
@@ -53,8 +94,19 @@ struct GraphCache::Entry {
   std::uint64_t lru_tick = 0;
 };
 
-GraphCache::GraphCache(std::size_t capacity) : capacity_(capacity) {
+GraphCache::GraphCache(std::size_t capacity)
+    : GraphCache(Options{capacity, 0, 1}) {
   util::require(capacity >= 1, "GraphCache: capacity must be >= 1");
+}
+
+GraphCache::GraphCache(const Options& options) : options_(options) {
+  util::require(options_.min_entries >= 1,
+                "GraphCache: min_entries must be >= 1");
+  util::require(options_.max_entries == 0 ||
+                    options_.max_entries >= options_.min_entries,
+                "GraphCache: max_entries must be 0 or >= min_entries");
+  serve_metrics().cache_budget_bytes.set(
+      static_cast<double>(options_.resident_budget_bytes));
 }
 
 GraphCache::~GraphCache() = default;
@@ -101,9 +153,8 @@ std::shared_ptr<const CachedGraph> GraphCache::get(const std::string& path,
   std::exception_ptr error;
   try {
     const FileIdentity id = stat_identity(path);
-    value = std::make_shared<CachedGraph>(CachedGraph{
-        io::load_graph_any(path, directed), path, directed, id.mtime_ns,
-        id.size_bytes});
+    value = std::make_shared<const CachedGraph>(
+        load_any_representation(path, directed, id));
   } catch (...) {
     error = std::current_exception();
   }
@@ -123,12 +174,39 @@ std::shared_ptr<const CachedGraph> GraphCache::get(const std::string& path,
   return value;
 }
 
+std::uint64_t GraphCache::resident_bytes_locked(
+    std::size_t* ready_count) const {
+  std::uint64_t resident = 0;
+  std::size_t ready = 0;
+  for (const auto& [key, entry] : entries_) {
+    const auto& state = entry.load;
+    if (!state->done || state->error) continue;
+    ++ready;
+    resident += state->value->resident_bytes();
+  }
+  if (ready_count != nullptr) *ready_count = ready;
+  return resident;
+}
+
 void GraphCache::evict_excess_locked() {
-  while (entries_.size() > capacity_) {
+  for (;;) {
+    std::size_t ready = 0;
+    const std::uint64_t resident = resident_bytes_locked(&ready);
+    const bool over_entries =
+        options_.max_entries > 0 && entries_.size() > options_.max_entries;
+    // The byte sweep respects the min-entries floor: when one graph
+    // alone exceeds the budget, keeping it resident beats reloading
+    // it for every job that names it.
+    const bool over_budget = options_.resident_budget_bytes > 0 &&
+                             resident > options_.resident_budget_bytes &&
+                             ready > options_.min_entries;
+    if (!over_entries && !over_budget) return;
+
     auto victim = entries_.end();
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
       const auto& state = it->second.load;
       if (!state->done) continue;               // never evict a load in flight
+      if (state->error) continue;
       if (state->value.use_count() > 1) continue;  // pinned by a job
       if (victim == entries_.end() ||
           it->second.lru_tick < victim->second.lru_tick) {
@@ -156,6 +234,8 @@ void GraphCache::update_gauges_locked() {
   serve_metrics().cache_entries.set(static_cast<double>(ready));
   serve_metrics().cache_resident_bytes.set(static_cast<double>(resident));
   serve_metrics().cache_pinned_bytes.set(static_cast<double>(pinned));
+  serve_metrics().cache_budget_bytes.set(
+      static_cast<double>(options_.resident_budget_bytes));
 }
 
 std::size_t GraphCache::size() const {
@@ -165,6 +245,11 @@ std::size_t GraphCache::size() const {
     if (entry.load->done && !entry.load->error) ++ready;
   }
   return ready;
+}
+
+std::uint64_t GraphCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_locked(nullptr);
 }
 
 void GraphCache::clear() {

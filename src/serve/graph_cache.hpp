@@ -7,9 +7,25 @@
 // cache's own reference, so a graph stays resident (and its mmap
 // stays mapped) for as long as any running job holds the pin. The LRU
 // sweep skips entries that are currently pinned; the cache may
-// therefore temporarily exceed its capacity when every entry is in
+// therefore temporarily exceed its budget when every entry is in
 // use, which is the correct behavior for a cache that must never yank
 // a graph out from under a job.
+//
+// Budgeting is by resident BYTES, not entry count: four Digg-scale
+// graphs and four BA-100M graphs are not the same working set. The
+// sweep evicts least-recently-touched unpinned entries until the
+// estimated footprint fits `resident_budget_bytes`, but never below
+// `min_entries` resident graphs — a single graph larger than the
+// budget must still be cacheable or the daemon would thrash reloading
+// it on every job. An optional `max_entries` bound is kept for
+// back-compat with entry-count configs (the one-argument constructor).
+//
+// GRAPHCSZ files are admitted in compressed form: the cache keeps the
+// CompressedGraph (delta-varint shards, ~3-5x smaller than unpacked
+// CSR) and runners step it directly, so a byte budget stretches over
+// proportionally more graphs. Directed compressed files are the one
+// exception — the agent engines need a reverse CSR for directed
+// exposure, so those decompress on admission.
 //
 // Concurrent gets for the same key coalesce onto one load: the first
 // caller loads (outside the lock), the rest wait on a condition
@@ -30,40 +46,71 @@
 
 #include "graph/graph.hpp"
 
+namespace rumor::graph {
+class CompressedGraph;
+}  // namespace rumor::graph
+
 namespace rumor::serve {
 
 /// A resident graph plus the file identity it was loaded from.
+/// Exactly one of `packed` / `compressed` is set: packed CSR for text
+/// edge lists and GRAPHCSR containers, the streaming compressed form
+/// for undirected GRAPHCSZ containers.
 struct CachedGraph {
-  graph::Graph graph;
+  std::shared_ptr<const graph::Graph> packed;
+  std::shared_ptr<const graph::CompressedGraph> compressed;
   std::string path;
   bool directed = false;
   std::uint64_t mtime_ns = 0;   ///< st_mtim at load time
   std::uint64_t size_bytes = 0; ///< st_size at load time
 
-  /// Approximate resident footprint of the CSR arrays (offsets,
-  /// targets, in-degrees) — what the cache gauges report.
+  bool is_compressed() const { return compressed != nullptr; }
+
+  /// The packed CSR. Throws util::InvalidArgument when this entry is
+  /// compressed-resident — branch on is_compressed() first.
+  const graph::Graph& graph() const;
+
+  /// Approximate resident footprint — CSR arrays (offsets, targets,
+  /// in-degrees) for packed entries, total section bytes for
+  /// compressed ones — what the cache budget and gauges count.
   std::uint64_t resident_bytes() const;
 };
 
 class GraphCache {
  public:
-  /// `capacity` is the soft entry bound the LRU sweep enforces
-  /// (pinned entries are never evicted, so it can be exceeded).
+  struct Options {
+    /// Soft entry bound; 0 = unbounded (budget alone governs).
+    std::size_t max_entries = 0;
+    /// Soft resident-byte bound the LRU sweep enforces; 0 = unbounded.
+    std::uint64_t resident_budget_bytes = 0;
+    /// The byte sweep never evicts below this many resident entries,
+    /// so one over-budget graph stays cached instead of thrashing.
+    std::size_t min_entries = 1;
+  };
+
+  /// Back-compat entry-count construction: `capacity` entries, no
+  /// byte budget.
   explicit GraphCache(std::size_t capacity);
+  explicit GraphCache(const Options& options);
   ~GraphCache();  // out of line: Entry is incomplete here
 
   /// Return a pin on the graph at `path`, loading it on a miss (text
-  /// edge list or GRAPHCSR container — io::load_graph_any). Throws
-  /// util::IoError when the file is missing or malformed; a failed
-  /// load is not cached. Thread-safe.
+  /// edge list, GRAPHCSR container, or compressed GRAPHCSZ container).
+  /// Throws util::IoError when the file is missing or malformed; a
+  /// failed load is not cached. Thread-safe.
   std::shared_ptr<const CachedGraph> get(const std::string& path,
                                          bool directed);
 
   /// Entries currently resident (loads in flight excluded).
   std::size_t size() const;
 
+  /// Estimated bytes held by resident entries.
+  std::uint64_t resident_bytes() const;
+
   /// Drop every unpinned entry (counts as evictions).
   void clear();
+
+  const Options& options() const { return options_; }
 
  private:
   struct LoadState;
@@ -72,8 +119,9 @@ class GraphCache {
 
   void evict_excess_locked();
   void update_gauges_locked();
+  std::uint64_t resident_bytes_locked(std::size_t* ready_count) const;
 
-  const std::size_t capacity_;
+  const Options options_;
   mutable std::mutex mutex_;
   std::condition_variable ready_cv_;
   std::map<Key, Entry> entries_;

@@ -27,6 +27,7 @@ ServeMetrics& serve_metrics() {
         r.gauge("serve.cache.entries"),
         r.gauge("serve.cache.resident_bytes"),
         r.gauge("serve.cache.pinned_bytes"),
+        r.gauge("serve.cache.budget_bytes"),
         r.counter("serve.requests"),
         r.counter("serve.http.requests"),
         r.counter("serve.protocol_errors"),

@@ -29,6 +29,7 @@ struct ServeMetrics {
   obs::Gauge& cache_entries;
   obs::Gauge& cache_resident_bytes;
   obs::Gauge& cache_pinned_bytes;
+  obs::Gauge& cache_budget_bytes;  ///< configured byte budget (0 = unbounded)
 
   // protocol
   obs::Counter& requests;

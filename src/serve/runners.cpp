@@ -2,11 +2,15 @@
 
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <span>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "control/fbsweep.hpp"
+#include "graph/compressed.hpp"
+#include "graph/degree.hpp"
 #include "core/profile.hpp"
 #include "core/schedule.hpp"
 #include "core/sir_model.hpp"
@@ -53,6 +57,35 @@ sim::AgentParams parse_agent_params(const io::JsonValue& spec) {
   return params;
 }
 
+/// Build a simulation on whichever representation the cache holds —
+/// compressed entries are stepped in place, never decompressed.
+sim::AgentSimulation make_simulation(const CachedGraph& cached,
+                                     const sim::AgentParams& params,
+                                     std::uint64_t seed) {
+  if (cached.is_compressed()) {
+    return sim::AgentSimulation(*cached.compressed, params, seed);
+  }
+  return sim::AgentSimulation(cached.graph(), params, seed);
+}
+
+/// Degree-group profile for the ODE planner. Compressed entries build
+/// the histogram from per-node varint degree decodes (one pass, no
+/// CSR materialization).
+core::NetworkProfile profile_of(const CachedGraph& cached) {
+  if (!cached.is_compressed()) {
+    return core::NetworkProfile::from_graph(cached.graph());
+  }
+  const graph::CompressedGraph& zg = *cached.compressed;
+  std::map<std::size_t, std::size_t> counts;
+  for (std::size_t v = 0; v < zg.num_nodes(); ++v) {
+    ++counts[zg.degree(static_cast<graph::NodeId>(v))];
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> pairs(counts.begin(),
+                                                         counts.end());
+  return core::NetworkProfile::from_histogram(
+      graph::DegreeHistogram::from_counts(std::move(pairs)));
+}
+
 /// CRC of the per-node compartment bytes: a resume-invariant
 /// fingerprint of the microscopic end state.
 std::uint32_t state_crc(const sim::AgentSimulation& simulation,
@@ -76,7 +109,7 @@ RunOutcome run_simulate(Job& job, GraphCache& cache) {
   const double t_end = spec.number_or("t_end", 30.0);
   util::require(t_end > 0.0, "job spec: t_end must be positive");
 
-  sim::AgentSimulation simulation(pin->graph, params, seed);
+  sim::AgentSimulation simulation = make_simulation(*pin, params, seed);
   const std::string checkpoint_path = job.dir + "/sim.agentsim";
   if (std::filesystem::exists(checkpoint_path)) {
     // Resuming after a preemption: the checkpoint restores step count,
@@ -121,8 +154,7 @@ RunOutcome run_plan(Job& job, GraphCache& cache) {
       cache.get(require_graph_path(spec), spec.bool_or("directed", false));
   const auto groups =
       static_cast<std::size_t>(spec.number_or("groups", 10.0));
-  const core::NetworkProfile profile =
-      core::NetworkProfile::from_graph(pin->graph).coarsened(groups);
+  const core::NetworkProfile profile = profile_of(*pin).coarsened(groups);
 
   core::ModelParams params;
   params.alpha = spec.number_or("alpha", 0.05);
@@ -241,7 +273,8 @@ RunOutcome run_sweep(Job& job, GraphCache& cache) {
       return {RunOutcome::kInterrupted, {}};
     };
     if (!job.keep_going()) return yield_now();
-    sim::AgentSimulation simulation(pin->graph, params, seed0 + s);
+    sim::AgentSimulation simulation =
+        make_simulation(*pin, params, seed0 + s);
     simulation.seed_random_infections(infected);
     bool interrupted = false;
     simulation.run_until(t_end, [&job] { return job.keep_going(); },

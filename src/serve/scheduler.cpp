@@ -50,7 +50,9 @@ bool Scheduler::JobOrder::operator()(const std::shared_ptr<Job>& a,
 
 Scheduler::Scheduler(Options options)
     : options_(std::move(options)),
-      cache_(options_.cache_capacity),
+      cache_(GraphCache::Options{options_.cache_capacity,
+                                 options_.cache_budget_bytes,
+                                 options_.cache_min_entries}),
       pool_(options_.workers) {
   util::require(options_.workers >= 1, "Scheduler: need at least one worker");
   util::require(!options_.job_root.empty(), "Scheduler: job_root is required");

@@ -54,6 +54,11 @@ class Scheduler {
     std::size_t workers = 2;
     std::size_t max_queue_depth = 64;
     std::size_t cache_capacity = 4;
+    /// Graph-cache resident-byte budget; 0 disables byte budgeting
+    /// and the entry-count bound alone governs.
+    std::uint64_t cache_budget_bytes = 0;
+    /// Byte-budget eviction never drops below this many entries.
+    std::size_t cache_min_entries = 1;
     /// Per-job working directories live under here (created on
     /// demand, removed when the job reaches a terminal state).
     std::string job_root = "rumord-jobs";

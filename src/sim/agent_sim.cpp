@@ -51,6 +51,12 @@ static_assert(kStepGrain % PackedCompartments::kNodesPerWord == 0,
 
 // Sentinel for "node not in this list" in the position indices.
 constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
+
+// Per-thread decode target for compressed-graph neighbor lists. One
+// scratch per OS thread (not per simulation): decode_neighbors resizes
+// it to whatever graph is being decoded, and the returned span is only
+// used before the same thread's next decode.
+thread_local graph::NeighborScratch t_decode_scratch;
 }  // namespace
 
 void AgentParams::validate() const {
@@ -64,13 +70,59 @@ void AgentParams::validate() const {
 
 AgentSimulation::AgentSimulation(const graph::Graph& g, AgentParams params,
                                  std::uint64_t seed)
-    : graph_(g),
-      params_(params),
-      ops_(&kern::ops()),
-      rng_(seed),
-      seed_(seed) {
+    : graph_(&g), params_(params), ops_(&kern::ops()), rng_(seed) {
+  init_common(seed);
+  if (graph_->directed()) {
+    // Reverse CSR: the hazard gather needs "who exposes v", i.e. the
+    // in-neighbors, which the (out-)CSR graph does not list directly.
+    const std::size_t n = num_nodes();
+    exposure_offsets_.assign(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      exposure_offsets_[v + 1] =
+          exposure_offsets_[v] +
+          graph_->in_degree(static_cast<graph::NodeId>(v));
+    }
+    exposure_sources_.resize(exposure_offsets_[n]);
+    std::vector<std::size_t> cursor(exposure_offsets_.begin(),
+                                    exposure_offsets_.end() - 1);
+    for (std::size_t u = 0; u < n; ++u) {
+      for (const graph::NodeId v :
+           graph_->neighbors(static_cast<graph::NodeId>(u))) {
+        exposure_sources_[cursor[v]++] = static_cast<graph::NodeId>(u);
+      }
+    }
+  }
+}
+
+AgentSimulation::AgentSimulation(const graph::CompressedGraph& zg,
+                                 AgentParams params, std::uint64_t seed)
+    : zgraph_(&zg), params_(params), ops_(&kern::ops()), rng_(seed) {
+  util::require(!zg.directed(),
+                "AgentSimulation: compressed graphs must be undirected — "
+                "the directed reverse-CSR build would materialize exactly "
+                "the array this path exists to avoid");
+  init_common(seed);
+}
+
+const graph::Graph& AgentSimulation::graph() const {
+  util::require(graph_ != nullptr,
+                "AgentSimulation::graph: simulation runs on a compressed "
+                "graph — use num_arcs()/directed()/compressed_graph()");
+  return *graph_;
+}
+
+std::span<const graph::NodeId> AgentSimulation::neighbors_of(
+    graph::NodeId v) const {
+  if (graph_ != nullptr) return graph_->neighbors(v);
+  const std::size_t count = zgraph_->decode_neighbors(v, t_decode_scratch);
+  return {t_decode_scratch.ids.data(), count};
+}
+
+void AgentSimulation::init_common(std::uint64_t seed) {
+  seed_ = seed;
   params_.validate();
-  const std::size_t n = g.num_nodes();
+  const std::size_t n =
+      graph_ != nullptr ? graph_->num_nodes() : zgraph_->num_nodes();
   util::require(n > 0, "AgentSimulation: empty graph");
   state_.assign(n, Compartment::kSusceptible);
   lambda_over_k_.resize(n);
@@ -78,8 +130,10 @@ AgentSimulation::AgentSimulation(const graph::Graph& g, AgentParams params,
   infected_weight_.assign(n, 0.0);
   susceptible_count_ = n;
   std::map<std::size_t, std::size_t> degree_counts;
+  std::vector<std::uint32_t> degrees(n);
   for (std::size_t v = 0; v < n; ++v) {
-    const std::size_t degree = graph_.degree(static_cast<graph::NodeId>(v));
+    const std::size_t degree = node_degree(v);
+    degrees[v] = static_cast<std::uint32_t>(degree);
     const auto k = static_cast<double>(degree);
     if (k > 0.0) {
       lambda_over_k_[v] = params_.lambda(k) / k;
@@ -100,27 +154,7 @@ AgentSimulation::AgentSimulation(const graph::Graph& g, AgentParams params,
   }
   group_of_.resize(n);
   for (std::size_t v = 0; v < n; ++v) {
-    group_of_[v] =
-        group_index[graph_.degree(static_cast<graph::NodeId>(v))];
-  }
-  if (graph_.directed()) {
-    // Reverse CSR: the hazard gather needs "who exposes v", i.e. the
-    // in-neighbors, which the (out-)CSR graph does not list directly.
-    exposure_offsets_.assign(n + 1, 0);
-    for (std::size_t v = 0; v < n; ++v) {
-      exposure_offsets_[v + 1] =
-          exposure_offsets_[v] +
-          graph_.in_degree(static_cast<graph::NodeId>(v));
-    }
-    exposure_sources_.resize(exposure_offsets_[n]);
-    std::vector<std::size_t> cursor(exposure_offsets_.begin(),
-                                    exposure_offsets_.end() - 1);
-    for (std::size_t u = 0; u < n; ++u) {
-      for (const graph::NodeId v :
-           graph_.neighbors(static_cast<graph::NodeId>(u))) {
-        exposure_sources_[cursor[v]++] = static_cast<graph::NodeId>(u);
-      }
-    }
+    group_of_[v] = group_index[degrees[v]];
   }
   // Every per-step buffer is sized once here so warm steps never touch
   // the allocator (pinned by tests/test_perf_alloc.cpp). A full sweep
@@ -205,18 +239,15 @@ void AgentSimulation::set_control_schedule(
   control_ = std::move(schedule);
 }
 
-double AgentSimulation::gather_hazard(std::size_t v) const {
-  // The one definition of a node's exposure: a fixed summation scheme
-  // over the full CSR source list. Both engines call exactly this —
-  // the same kernel of the same backend — which is what makes them
-  // bit-identical: non-infected sources contribute a true 0.0, and
-  // adding 0.0 anywhere in a sum of non-negative IEEE doubles does not
-  // perturb it, so the result is a pure function of the infected
-  // weights in CSR order under whichever lane split the backend uses.
-  const auto sources = exposure_sources(v);
-  return ops_->gather_sum(infected_weight_.data(), sources.data(),
-                          sources.size());
-}
+// gather_over (agent_sim.hpp) is the one definition of a node's
+// exposure: a fixed summation scheme over the full CSR source list.
+// Both engines call exactly this — the same kernel of the same backend
+// — which is what makes them bit-identical: non-infected sources
+// contribute a true 0.0, and adding 0.0 anywhere in a sum of
+// non-negative IEEE doubles does not perturb it, so the result is a
+// pure function of the infected weights in CSR order under whichever
+// lane split the backend uses. Compressed graphs decode the identical
+// stored order, so the same argument covers both representations.
 
 void AgentSimulation::step() {
   const obs::TraceSpan span("sim.step");
@@ -243,6 +274,12 @@ void AgentSimulation::step() {
   }
   ++step_count_;
   time_ += dt;
+  if (zgraph_ != nullptr) {
+    // Out-of-core sweep: all of this step's parallel decodes are done,
+    // so it is safe to advise the coldest shards' pages out. Touch
+    // tracking during the step decided which shards are cold.
+    zgraph_->enforce_budget();
+  }
   SimMetrics& m = sim_metrics();
   m.steps.add();
   m.edges_scanned.add(edges_scanned_ - edges_before);
@@ -283,8 +320,12 @@ void AgentSimulation::step_dense(double p_immunize, double p_block,
                 next = Compartment::kRecovered;
                 --d.susceptible;
               } else {
-                const double hazard = gather_hazard(v);
-                edges += exposure_sources(v).size();
+                // One fetch serves both the gather and the edge count —
+                // on compressed graphs a fetch is a varint decode, so
+                // calling exposure_sources twice would double the work.
+                const auto sources = exposure_sources(v);
+                edges += sources.size();
+                const double hazard = gather_over(sources);
                 if (hazard > 0.0) {
                   const double rate = lambda_over_k_[v] * hazard;
                   if (draw.bernoulli(1.0 - std::exp(-rate * dt))) {
@@ -359,8 +400,9 @@ void AgentSimulation::step_frontier(double p_immunize, double p_block,
                   out.push_back({static_cast<graph::NodeId>(v),
                                  Compartment::kRecovered});
                 } else if (exposure_count_[v] > 0) {
-                  const double hazard = gather_hazard(v);
-                  edges += exposure_sources(v).size();
+                  const auto sources = exposure_sources(v);
+                  edges += sources.size();
+                  const double hazard = gather_over(sources);
                   if (hazard > 0.0) {
                     const double rate = lambda_over_k_[v] * hazard;
                     if (draw.bernoulli(1.0 - std::exp(-rate * dt))) {
@@ -404,8 +446,9 @@ void AgentSimulation::step_frontier(double p_immunize, double p_block,
           std::uint64_t edges = 0;
           for (std::size_t at = lo; at < hi; ++at) {
             const graph::NodeId v = active_list_[at];
-            const double hazard = gather_hazard(v);
-            edges += exposure_sources(v).size();
+            const auto sources = exposure_sources(v);
+            edges += sources.size();
+            const double hazard = gather_over(sources);
             if (hazard > 0.0) {
               util::CounterRng draw(util::hash_mix(step_key, v));
               const double rate = lambda_over_k_[v] * hazard;
@@ -482,7 +525,7 @@ void AgentSimulation::scatter_infectiousness(graph::NodeId u,
   // u's out-neighbors are exactly the nodes whose exposure list
   // contains u (for undirected graphs, neighbors == exposure sources).
   const double w = omega_over_k_[u];
-  const auto targets = graph_.neighbors(u);
+  const auto targets = neighbors_of(u);
   for (const graph::NodeId t : targets) {
     std::uint32_t& count = exposure_count_[t];
     if (became_infectious) {
@@ -669,7 +712,7 @@ double AgentSimulation::infected_density_for_degree(std::size_t k) const {
   std::size_t with_degree = 0;
   std::size_t infected = 0;
   for (std::size_t v = 0; v < num_nodes(); ++v) {
-    if (graph_.degree(static_cast<graph::NodeId>(v)) != k) continue;
+    if (group_degrees_[group_of_[v]] != k) continue;
     ++with_degree;
     if (state_.get(v) == Compartment::kInfected) ++infected;
   }
@@ -682,8 +725,10 @@ double AgentSimulation::theta_estimate() const {
   double sum = 0.0;
   double degree_total = 0.0;
   for (std::size_t v = 0; v < num_nodes(); ++v) {
-    const auto k = static_cast<double>(
-        graph_.degree(static_cast<graph::NodeId>(v)));
+    // Degrees come from the cached group table, not the graph — one
+    // code path for both representations, no decode on the compressed
+    // one.
+    const auto k = static_cast<double>(group_degrees_[group_of_[v]]);
     degree_total += k;
     if (state_.get(v) == Compartment::kInfected && k > 0.0) {
       sum += params_.omega(k);

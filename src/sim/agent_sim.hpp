@@ -65,6 +65,7 @@
 
 #include "core/params.hpp"
 #include "core/schedule.hpp"
+#include "graph/compressed.hpp"
 #include "graph/graph.hpp"
 #include "kern/kern.hpp"
 #include "sim/compartments.hpp"
@@ -127,10 +128,35 @@ class AgentSimulation {
   AgentSimulation(const graph::Graph& g, AgentParams params,
                   std::uint64_t seed);
 
+  /// Run directly on a compressed, sharded graph: neighbor lists are
+  /// decoded block-wise into per-thread scratch during hazard gathers
+  /// and scatters, so the packed CSR is never materialized — the
+  /// 100M+-edge out-of-core path. Undirected graphs only (the directed
+  /// reverse-CSR build would defeat the point of not materializing).
+  /// Trajectories are bit-identical to a simulation on the
+  /// decompress()'d graph: decoding reproduces the stored CSR neighbor
+  /// order exactly, so every gather sums the same weights in the same
+  /// order. If the graph has a resident budget armed
+  /// (set_resident_budget), step() calls enforce_budget() after each
+  /// step's parallel work completes.
+  AgentSimulation(const graph::CompressedGraph& zg, AgentParams params,
+                  std::uint64_t seed);
+
   std::size_t num_nodes() const { return state_.size(); }
   double time() const { return time_; }
   Compartment state(graph::NodeId v) const { return state_.get(v); }
-  const graph::Graph& graph() const { return graph_; }
+  /// The packed graph — throws unless this simulation was built from
+  /// one. Representation-agnostic callers should prefer num_arcs() /
+  /// directed() below.
+  const graph::Graph& graph() const;
+  /// Non-null when running on a compressed graph.
+  const graph::CompressedGraph* compressed_graph() const { return zgraph_; }
+  std::size_t num_arcs() const {
+    return graph_ != nullptr ? graph_->num_arcs() : zgraph_->num_arcs();
+  }
+  bool directed() const {
+    return graph_ != nullptr ? graph_->directed() : zgraph_->directed();
+  }
   const AgentParams& params() const { return params_; }
   AgentEngine engine() const { return params_.engine; }
   std::uint64_t step_count() const { return step_count_; }
@@ -242,23 +268,48 @@ class AgentSimulation {
     std::int64_t ever = 0;
   };
 
+  /// Shared constructor body: everything derived from per-node degrees
+  /// and the representation-independent buffers.
+  void init_common(std::uint64_t seed);
+
+  /// v's degree under either representation (compressed graphs here are
+  /// always undirected, so out-degree is the degree).
+  std::size_t node_degree(std::size_t v) const {
+    return graph_ != nullptr
+               ? graph_->degree(static_cast<graph::NodeId>(v))
+               : zgraph_->out_degree(static_cast<graph::NodeId>(v));
+  }
+
+  /// v's out-neighbors. Packed: a CSR span. Compressed: decoded into
+  /// this thread's scratch — the span stays valid until the calling
+  /// thread's next decode, so use it before touching another list.
+  std::span<const graph::NodeId> neighbors_of(graph::NodeId v) const;
+
   /// Nodes whose infection exposes v: in-neighbors on a directed graph
   /// (infection flows along out-edges), plain neighbors otherwise.
   std::span<const graph::NodeId> exposure_sources(std::size_t v) const {
-    if (!graph_.directed()) {
-      return graph_.neighbors(static_cast<graph::NodeId>(v));
+    if (graph_ != nullptr && graph_->directed()) {
+      return {exposure_sources_.data() + exposure_offsets_[v],
+              exposure_offsets_[v + 1] - exposure_offsets_[v]};
     }
-    return {exposure_sources_.data() + exposure_offsets_[v],
-            exposure_offsets_[v + 1] - exposure_offsets_[v]};
+    return neighbors_of(static_cast<graph::NodeId>(v));
   }
 
   void step_dense(double p_immunize, double p_block, std::uint64_t step_key);
   void step_frontier(double p_immunize, double p_block,
                      std::uint64_t step_key);
 
-  /// Fixed-CSR-order exposure gather — the one definition of a node's
-  /// infection hazard, shared verbatim by both engines.
-  double gather_hazard(std::size_t v) const;
+  /// Fixed-CSR-order exposure sum over an already-fetched source list —
+  /// the one definition of a node's infection hazard, shared verbatim
+  /// by both engines and both graph representations.
+  double gather_over(std::span<const graph::NodeId> sources) const {
+    return ops_->gather_sum(infected_weight_.data(), sources.data(),
+                            sources.size());
+  }
+
+  double gather_hazard(std::size_t v) const {
+    return gather_over(exposure_sources(v));
+  }
 
   /// Flip v to `to`, maintaining counters, the infected-weight table
   /// and (frontier engine) the exposure counts / hazard sums / active
@@ -279,7 +330,10 @@ class AgentSimulation {
 
   bool frontier() const { return params_.engine == AgentEngine::kFrontier; }
 
-  const graph::Graph& graph_;
+  // Exactly one of the two is set; every access goes through the
+  // representation-agnostic helpers above.
+  const graph::Graph* graph_ = nullptr;
+  const graph::CompressedGraph* zgraph_ = nullptr;
   AgentParams params_;
   const kern::Ops* ops_;  // dispatched kernel table, resolved once
   std::shared_ptr<const core::ControlSchedule> control_;

@@ -11,9 +11,13 @@ void append_agent_checkpoint(io::ContainerWriter& writer,
   const AgentCheckpoint c = simulation.checkpoint();
 
   io::ByteWriter meta;
+  // The representation-agnostic accessors keep the graph fingerprint
+  // (nodes, arcs, directedness) identical whether the simulation runs
+  // on a packed or a compressed graph — which is what lets a checkpoint
+  // written against one format resume against the other.
   meta.u64(simulation.num_nodes());
-  meta.u64(simulation.graph().num_arcs());
-  meta.u8(simulation.graph().directed() ? 1 : 0);
+  meta.u64(simulation.num_arcs());
+  meta.u8(simulation.directed() ? 1 : 0);
   meta.f64(simulation.params().dt);
   meta.u64(c.seed);
   meta.u64(c.step_count);
@@ -64,12 +68,12 @@ void restore_agent_checkpoint(const io::ContainerReader& reader,
   meta.expect_end();
 
   if (num_nodes != simulation.num_nodes() ||
-      num_arcs != simulation.graph().num_arcs() ||
-      directed != simulation.graph().directed()) {
+      num_arcs != simulation.num_arcs() ||
+      directed != simulation.directed()) {
     fail("was written for a different graph (" + std::to_string(num_nodes) +
          " nodes / " + std::to_string(num_arcs) + " arcs, simulation has " +
          std::to_string(simulation.num_nodes()) + " / " +
-         std::to_string(simulation.graph().num_arcs()) + ")");
+         std::to_string(simulation.num_arcs()) + ")");
   }
   if (std::memcmp(&dt, &simulation.params().dt, sizeof(double)) != 0) {
     fail("was written with dt = " + std::to_string(dt) +

@@ -65,6 +65,24 @@ class CounterRng {
     return uniform() < p;
   }
 
+  /// Uniform integer in [0, bound), bound > 0 — Lemire's rejection
+  /// method, so the result is unbiased and a pure function of the
+  /// stream key (the streaming BA generator replays these draws to
+  /// re-resolve edge endpoints without storing them).
+  std::uint64_t uniform_below(std::uint64_t bound) {
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
  private:
   std::uint64_t state_;
 };

@@ -1,0 +1,316 @@
+// The delta-varint codec under GRAPHCSZ neighbor lists: encoder/decoder
+// round trips swept over the degree-distribution shapes real graphs
+// produce (sorted canonical lists, unsorted lists, hub-length lists,
+// boundary ids), exact agreement between every compiled SIMD decode
+// backend and the scalar reference, and the malformed-input contract —
+// truncation, overlong encodings, and out-of-range targets all return 0
+// (the loader turns that into a typed util::IoError) rather than
+// decoding garbage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "io/varint.hpp"
+#include "kern/kern.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace rumor;
+
+std::vector<const kern::Ops*> all_backends() {
+  std::vector<const kern::Ops*> out{&kern::ops(kern::Backend::kScalar)};
+  for (kern::Backend b : {kern::Backend::kAvx2, kern::Backend::kAvx512}) {
+    if (kern::compiled(b) && kern::cpu_supports(b)) {
+      out.push_back(&kern::ops(b));
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode(const std::vector<std::uint32_t>& values,
+                                 std::uint32_t base) {
+  std::vector<std::uint8_t> bytes;
+  io::varint::encode_deltas(values, base, bytes);
+  return bytes;
+}
+
+void expect_decodes(const std::vector<std::uint32_t>& values,
+                    std::uint32_t base, std::uint32_t limit) {
+  const std::vector<std::uint8_t> bytes = encode(values, base);
+  for (const kern::Ops* ops : all_backends()) {
+    std::vector<std::uint32_t> out(values.size() + 1, 0xDEADBEEFu);
+    const std::size_t used = ops->varint_decode_deltas(
+        bytes.data(), bytes.size(), base, limit, out.data(), values.size());
+    ASSERT_EQ(used, bytes.size())
+        << "backend=" << kern::to_string(ops->backend)
+        << " count=" << values.size();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      ASSERT_EQ(out[i], values[i])
+          << "backend=" << kern::to_string(ops->backend) << " i=" << i;
+    }
+    EXPECT_EQ(out[values.size()], 0xDEADBEEFu) << "decoder wrote past count";
+  }
+}
+
+TEST(IoVarint, ZigzagRoundTripsBoundaryDeltas) {
+  for (const std::int64_t d :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+        std::int64_t{0x7FFFFFFF}, -std::int64_t{0x80000000LL},
+        std::int64_t{0xFFFFFFFFLL}, -std::int64_t{0xFFFFFFFFLL}}) {
+    EXPECT_EQ(io::varint::unzigzag(io::varint::zigzag(d)), d) << d;
+  }
+}
+
+TEST(IoVarint, UvarintRoundTripsAndRejectsTruncation) {
+  std::vector<std::uint8_t> bytes;
+  const std::uint64_t cases[] = {0, 1, 127, 128, 16383, 16384,
+                                 (1ull << 35) - 1};
+  for (const std::uint64_t x : cases) {
+    bytes.clear();
+    io::varint::put_uvarint(bytes, x);
+    ASSERT_LE(bytes.size(), io::varint::kMaxBytesPerValue) << x;
+    std::uint64_t back = 0;
+    EXPECT_EQ(io::varint::get_uvarint(bytes.data(), bytes.size(), back),
+              bytes.size())
+        << x;
+    EXPECT_EQ(back, x);
+    // Every strict prefix is truncated.
+    for (std::size_t avail = 0; avail + 1 < bytes.size(); ++avail) {
+      EXPECT_EQ(io::varint::get_uvarint(bytes.data(), avail, back), 0u);
+    }
+  }
+}
+
+TEST(IoVarint, DecodesDegreeDistributionSweep) {
+  util::Xoshiro256 rng(20260809);
+  const std::uint32_t n = 1u << 20;  // the "graph" the lists index into
+  // Degrees covering the SIMD block decoder's regimes: empty, below one
+  // 8-lane block, exact blocks, blocks + tail, and hub-length lists.
+  const std::size_t degrees[] = {0, 1, 3, 7, 8, 9, 16, 17, 64, 1000, 5000};
+  for (const std::size_t degree : degrees) {
+    // Sorted canonical list (small positive deltas).
+    std::vector<std::uint32_t> sorted(degree);
+    std::uint32_t cur = 0;
+    for (auto& v : sorted) {
+      cur += 1 + static_cast<std::uint32_t>(rng.uniform_index(50));
+      v = cur % n;
+    }
+    std::sort(sorted.begin(), sorted.end());
+    expect_decodes(sorted, 0, n);
+
+    // Unsorted list (negative deltas exercise zigzag).
+    std::vector<std::uint32_t> unsorted(degree);
+    for (auto& v : unsorted) {
+      v = static_cast<std::uint32_t>(rng.uniform_index(n));
+    }
+    expect_decodes(unsorted, 0, n);
+  }
+}
+
+TEST(IoVarint, DecodesExtremeIdsNearLimit) {
+  // Ids at the very top of the u32 range force multi-byte varints and
+  // (on AVX2) the wraparound-guard scalar fallback.
+  const std::uint32_t limit = std::numeric_limits<std::uint32_t>::max();
+  const std::vector<std::uint32_t> values = {
+      0, limit - 1, 5, limit - 2, limit - 1, 0, 1, limit - 1, 7, 8, 9};
+  expect_decodes(values, 0, limit);
+}
+
+TEST(IoVarint, RejectsOutOfRangeTargets) {
+  const std::vector<std::uint32_t> values = {10, 20, 99, 30};
+  const std::vector<std::uint8_t> bytes = encode(values, 0);
+  for (const kern::Ops* ops : all_backends()) {
+    std::vector<std::uint32_t> out(values.size());
+    // limit = 99 makes the third value (== limit) out of range.
+    EXPECT_EQ(ops->varint_decode_deltas(bytes.data(), bytes.size(), 0, 99,
+                                        out.data(), values.size()),
+              0u)
+        << kern::to_string(ops->backend);
+  }
+}
+
+TEST(IoVarint, RejectsNegativeRunningValue) {
+  // A delta that drags the running value below zero must fail even
+  // though the bytes are well-formed varints.
+  std::vector<std::uint8_t> bytes;
+  io::varint::put_uvarint(bytes, io::varint::zigzag(-5));
+  for (const kern::Ops* ops : all_backends()) {
+    std::uint32_t out = 0;
+    EXPECT_EQ(ops->varint_decode_deltas(bytes.data(), bytes.size(), 2, 100,
+                                        &out, 1),
+              0u)
+        << kern::to_string(ops->backend);
+  }
+}
+
+TEST(IoVarint, RejectsTruncatedAndOverlongStreams) {
+  const std::vector<std::uint32_t> values = {1, 100, 10000, 1000000, 7};
+  const std::vector<std::uint8_t> bytes = encode(values, 0);
+  for (const kern::Ops* ops : all_backends()) {
+    std::vector<std::uint32_t> out(values.size());
+    for (std::size_t avail = 0; avail < bytes.size(); ++avail) {
+      EXPECT_EQ(ops->varint_decode_deltas(bytes.data(), avail, 0, 1u << 21,
+                                          out.data(), values.size()),
+                0u)
+          << kern::to_string(ops->backend) << " avail=" << avail;
+    }
+    // Six continuation bytes: longer than any legal 33-bit delta.
+    const std::uint8_t overlong[] = {0x80, 0x80, 0x80, 0x80, 0x80, 0x01};
+    EXPECT_EQ(ops->varint_decode_deltas(overlong, sizeof(overlong), 0,
+                                        1u << 21, out.data(), 1),
+              0u)
+        << kern::to_string(ops->backend);
+  }
+}
+
+std::vector<std::uint8_t> encode_rice(const std::vector<std::uint32_t>& values,
+                                      std::uint32_t base, unsigned k,
+                                      bool sorted) {
+  std::vector<std::uint8_t> bytes;
+  io::varint::encode_rice(values, base, k, sorted, bytes);
+  return bytes;
+}
+
+TEST(IoVarint, RiceRoundTripsSortedAndUnsortedSweep) {
+  util::Xoshiro256 rng(20260810);
+  const std::uint32_t n = 1u << 26;
+  // Gap scales from dense canonical lists to the ~2^24 gaps of sparse
+  // 100M-edge graphs, each swept over the Rice parameters the encoder
+  // would pick nearby.
+  auto round_trip = [&](const std::vector<std::uint32_t>& values, unsigned k,
+                        bool sorted_flag) {
+    const auto bytes = encode_rice(values, 0, k, sorted_flag);
+    std::vector<std::uint32_t> out(values.size() + 1, 0xDEADBEEFu);
+    const std::size_t used = io::varint::rice_decode_deltas(
+        bytes.data(), bytes.size(), 0, n, out.data(), values.size());
+    ASSERT_EQ(used, bytes.size())
+        << "k=" << k << " degree=" << values.size();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      ASSERT_EQ(out[i], values[i]) << "k=" << k << " i=" << i;
+    }
+    EXPECT_EQ(out[values.size()], 0xDEADBEEFu) << "decoder wrote past count";
+  };
+  for (const std::uint32_t gap_scale : {2u, 60u, 4000u, 1u << 22}) {
+    for (const std::size_t degree : {1, 2, 7, 33, 500}) {
+      std::vector<std::uint32_t> sorted(degree);
+      std::uint32_t cur = 0;
+      for (auto& v : sorted) {
+        cur += static_cast<std::uint32_t>(rng.uniform_index(gap_scale));
+        v = std::min(cur, n - 1);  // multi-edges (gap 0) stay legal
+      }
+      // Parameters straddling the gap scale: below-optimal (long unary
+      // runs), near-optimal, above-optimal (wasted remainder bits).
+      const unsigned mid = static_cast<unsigned>(std::bit_width(gap_scale));
+      for (unsigned k : {mid > 2 ? mid - 2 : 0u, mid, mid + 3}) {
+        round_trip(sorted, k, /*sorted_flag=*/true);
+      }
+    }
+  }
+  // Unsorted lists: zigzag deltas span ±n, so sensible parameters sit
+  // near the id width.
+  for (const std::size_t degree : {1, 2, 7, 33, 500}) {
+    std::vector<std::uint32_t> unsorted(degree);
+    for (auto& v : unsorted) {
+      v = static_cast<std::uint32_t>(rng.uniform_index(n));
+    }
+    for (unsigned k : {24u, 26u, 29u}) {
+      round_trip(unsorted, k, /*sorted_flag=*/false);
+    }
+  }
+}
+
+TEST(IoVarint, RiceRejectsTruncatedStreams) {
+  const std::vector<std::uint32_t> values = {3, 3, 40, 1000, 65536, 70000};
+  for (unsigned k : {0u, 4u, 13u}) {
+    const auto bytes = encode_rice(values, 0, k, /*sorted=*/true);
+    std::vector<std::uint32_t> out(values.size());
+    for (std::size_t avail = 0; avail < bytes.size(); ++avail) {
+      EXPECT_EQ(io::varint::rice_decode_deltas(bytes.data(), avail, 0,
+                                               1u << 20, out.data(),
+                                               values.size()),
+                0u)
+          << "k=" << k << " avail=" << avail;
+    }
+  }
+}
+
+TEST(IoVarint, RiceRejectsOutOfRangeAndBadParameter) {
+  const std::vector<std::uint32_t> values = {10, 20, 99, 130};
+  const auto bytes = encode_rice(values, 0, 3, /*sorted=*/true);
+  std::vector<std::uint32_t> out(values.size());
+  // limit = 99 makes the third value (== limit) out of range.
+  EXPECT_EQ(io::varint::rice_decode_deltas(bytes.data(), bytes.size(), 0, 99,
+                                           out.data(), values.size()),
+            0u);
+  // A parameter byte beyond kMaxRiceK is malformed on its face.
+  std::vector<std::uint8_t> bad = bytes;
+  bad[0] = io::varint::kMaxRiceK + 1;
+  EXPECT_EQ(io::varint::rice_decode_deltas(bad.data(), bad.size(), 0,
+                                           1u << 20, out.data(),
+                                           values.size()),
+            0u);
+  // All-ones payload: the unary quotient overruns the 33-bit range
+  // before any value decodes.
+  std::vector<std::uint8_t> ones(1 << 10, 0xFF);
+  ones[0] = 0x80;  // sorted, k = 0
+  EXPECT_EQ(io::varint::rice_decode_deltas(ones.data(), ones.size(), 0,
+                                           1u << 20, out.data(), 1),
+            0u);
+}
+
+TEST(IoVarint, RiceSortedBeatsVarintOnLargeGaps) {
+  // The reason the codec exists: a 20-bit gap costs 3 LEB128 bytes but
+  // ~k+2 ≈ 22 bits of Rice — the XL acceptance gate rides on this.
+  util::Xoshiro256 rng(31337);
+  std::vector<std::uint32_t> values(256);
+  std::uint32_t cur = 0;
+  for (auto& v : values) {
+    cur += 1u << 19 | static_cast<std::uint32_t>(rng.uniform_index(1u << 19));
+    v = cur;
+  }
+  std::vector<std::uint8_t> leb;
+  io::varint::encode_deltas(values, 0, leb);
+  const auto rice = encode_rice(values, 0, 19, /*sorted=*/true);
+  EXPECT_LT(rice.size(), leb.size());
+  std::vector<std::uint32_t> out(values.size());
+  ASSERT_EQ(io::varint::rice_decode_deltas(rice.data(), rice.size(), 0,
+                                           0xFFFFFFFFu, out.data(),
+                                           values.size()),
+            rice.size());
+  EXPECT_EQ(out, values);
+}
+
+TEST(IoVarint, BackendsAgreeByteForByteOnRandomLists) {
+  util::Xoshiro256 rng(777);
+  const auto backends = all_backends();
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t degree = rng.uniform_index(40);
+    const std::uint32_t n = 2 + static_cast<std::uint32_t>(
+                                    rng.uniform_index(1u << 24));
+    std::vector<std::uint32_t> values(degree);
+    for (auto& v : values) {
+      v = static_cast<std::uint32_t>(rng.uniform_index(n));
+    }
+    const std::vector<std::uint8_t> bytes = encode(values, 0);
+    std::vector<std::uint32_t> reference(degree);
+    const std::size_t ref_used =
+        backends[0]->varint_decode_deltas(bytes.data(), bytes.size(), 0, n,
+                                          reference.data(), degree);
+    ASSERT_EQ(ref_used, bytes.size());
+    for (std::size_t b = 1; b < backends.size(); ++b) {
+      std::vector<std::uint32_t> got(degree);
+      ASSERT_EQ(backends[b]->varint_decode_deltas(bytes.data(), bytes.size(),
+                                                  0, n, got.data(), degree),
+                ref_used)
+          << kern::to_string(backends[b]->backend);
+      EXPECT_EQ(got, reference) << kern::to_string(backends[b]->backend);
+    }
+  }
+}
+
+}  // namespace

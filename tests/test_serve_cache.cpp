@@ -12,8 +12,11 @@
 #include <thread>
 #include <vector>
 
+#include "graph/compressed.hpp"
 #include "graph/generators.hpp"
+#include "graph/reorder.hpp"
 #include "io/graph_binary.hpp"
+#include "io/graph_compressed.hpp"
 #include "serve/graph_cache.hpp"
 #include "serve/metrics.hpp"
 #include "util/error.hpp"
@@ -48,6 +51,19 @@ class ServeCacheTest : public ::testing::Test {
     return path;
   }
 
+  /// Same generator, written as a compressed GRAPHCSZ container.
+  std::string make_compressed_graph(const std::string& name,
+                                    std::size_t nodes,
+                                    std::uint64_t seed = 7) {
+    util::Xoshiro256 rng(seed);
+    const auto g = graph::barabasi_albert(nodes, 2, rng);
+    const auto canonical =
+        graph::apply_node_order(g, graph::degree_sorted_order(g));
+    const std::string path = (root_ / name).string();
+    io::save_graph_compressed(canonical, path);
+    return path;
+  }
+
   // Counter deltas against the process-global registry.
   struct CounterBase {
     std::uint64_t hits, misses, evictions;
@@ -68,7 +84,7 @@ TEST_F(ServeCacheTest, MissThenHitSharesOneValue) {
   const auto first = cache.get(path, false);
   const auto second = cache.get(path, false);
   EXPECT_EQ(first.get(), second.get());
-  EXPECT_EQ(first->graph.num_nodes(), 120u);
+  EXPECT_EQ(first->graph().num_nodes(), 120u);
   EXPECT_EQ(serve_metrics().cache_misses.value(), base.misses + 1);
   EXPECT_EQ(serve_metrics().cache_hits.value(), base.hits + 1);
   EXPECT_EQ(cache.size(), 1u);
@@ -142,19 +158,19 @@ TEST_F(ServeCacheTest, DetectsFileReplacedOnDisk) {
   GraphCache cache(4);
   const std::string path = make_graph("a.bin", 80);
   const auto before = cache.get(path, false);
-  EXPECT_EQ(before->graph.num_nodes(), 80u);
+  EXPECT_EQ(before->graph().num_nodes(), 80u);
 
   // Re-pack a different graph at the same path (different size, so the
   // (mtime, size) identity changes even on coarse-mtime filesystems).
   make_graph("a.bin", 200, /*seed=*/9);
   const CounterBase base = snapshot();
   const auto after = cache.get(path, false);
-  EXPECT_EQ(after->graph.num_nodes(), 200u);
+  EXPECT_EQ(after->graph().num_nodes(), 200u);
   EXPECT_EQ(serve_metrics().cache_evictions.value(), base.evictions + 1);
   EXPECT_EQ(serve_metrics().cache_misses.value(), base.misses + 1);
   // The old pin stays valid: invalidation dropped the cache's
   // reference, not the mapping.
-  EXPECT_EQ(before->graph.num_nodes(), 80u);
+  EXPECT_EQ(before->graph().num_nodes(), 80u);
 }
 
 TEST_F(ServeCacheTest, FailedLoadsAreNotCached) {
@@ -164,7 +180,7 @@ TEST_F(ServeCacheTest, FailedLoadsAreNotCached) {
   EXPECT_EQ(cache.size(), 0u);
   // The key is not poisoned: once the file exists the load succeeds.
   make_graph("missing.bin", 40);
-  EXPECT_EQ(cache.get(path, false)->graph.num_nodes(), 40u);
+  EXPECT_EQ(cache.get(path, false)->graph().num_nodes(), 40u);
 }
 
 TEST_F(ServeCacheTest, ConcurrentColdGetsCountOneMissRestHits) {
@@ -197,6 +213,66 @@ TEST_F(ServeCacheTest, ConcurrentColdGetsCountOneMissRestHits) {
   }
 }
 
+TEST_F(ServeCacheTest, ByteBudgetEvictsLruUntilResidentFits) {
+  // Size the budget from a probe load so the test tracks the real
+  // footprint formula instead of hard-coding it.
+  const std::string probe = make_graph("probe.bin", 200);
+  std::uint64_t one_graph = 0;
+  {
+    GraphCache sizer(4);
+    one_graph = sizer.get(probe, false)->resident_bytes();
+  }
+  ASSERT_GT(one_graph, 0u);
+
+  GraphCache::Options options;
+  options.resident_budget_bytes = 2 * one_graph + one_graph / 2;  // fits 2
+  GraphCache cache(options);
+  const std::string a = make_graph("a.bin", 200, 1);
+  const std::string b = make_graph("b.bin", 200, 2);
+  const std::string c = make_graph("c.bin", 200, 3);
+  const CounterBase base = snapshot();
+  (void)cache.get(a, false);
+  (void)cache.get(b, false);
+  (void)cache.get(a, false);  // touch a: b is the LRU entry
+  (void)cache.get(c, false);  // over budget -> evict b
+  EXPECT_EQ(serve_metrics().cache_evictions.value(), base.evictions + 1);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_LE(cache.resident_bytes(), options.resident_budget_bytes);
+  (void)cache.get(a, false);  // survived
+  EXPECT_EQ(serve_metrics().cache_hits.value(), base.hits + 2);
+  (void)cache.get(b, false);  // evicted: a fresh miss
+  EXPECT_EQ(serve_metrics().cache_misses.value(), base.misses + 4);
+}
+
+TEST_F(ServeCacheTest, MinEntriesFloorKeepsAnOverBudgetGraphResident) {
+  GraphCache::Options options;
+  options.resident_budget_bytes = 1;  // smaller than any real graph
+  GraphCache cache(options);
+  const std::string path = make_graph("huge.bin", 300);
+  const CounterBase base = snapshot();
+  (void)cache.get(path, false);
+  // One graph over budget: the floor keeps it instead of thrashing.
+  EXPECT_EQ(cache.size(), 1u);
+  (void)cache.get(path, false);
+  EXPECT_EQ(serve_metrics().cache_hits.value(), base.hits + 1);
+  EXPECT_EQ(serve_metrics().cache_misses.value(), base.misses + 1);
+}
+
+TEST_F(ServeCacheTest, CompressedFilesAreAdmittedWithoutDecompression) {
+  GraphCache cache(4);
+  const std::string zpath = make_compressed_graph("a.zg", 400);
+  const auto pin = cache.get(zpath, false);
+  ASSERT_TRUE(pin->is_compressed());
+  EXPECT_THROW((void)pin->graph(), util::InvalidArgument);
+  EXPECT_EQ(pin->compressed->num_nodes(), 400u);
+  // The budget charges the compressed footprint, which beats the
+  // packed CSR estimate for the same graph.
+  const std::string packed = make_graph("a.bin", 400);
+  const auto packed_pin = cache.get(packed, false);
+  EXPECT_LT(pin->resident_bytes(), packed_pin->resident_bytes());
+  EXPECT_EQ(pin->resident_bytes(), pin->compressed->total_bytes());
+}
+
 TEST_F(ServeCacheTest, ConcurrentGetsAndEvictionsStayConsistent) {
   GraphCache cache(2);  // smaller than the working set: constant churn
   constexpr int kKeys = 4;
@@ -217,7 +293,7 @@ TEST_F(ServeCacheTest, ConcurrentGetsAndEvictionsStayConsistent) {
       for (int i = 0; i < kIters; ++i) {
         const int k = (t * 7 + i * 3) % kKeys;
         const auto pin = cache.get(paths[static_cast<std::size_t>(k)], false);
-        if (pin->graph.num_nodes() != nodes[static_cast<std::size_t>(k)]) {
+        if (pin->graph().num_nodes() != nodes[static_cast<std::size_t>(k)]) {
           failed.store(true);
         }
       }
