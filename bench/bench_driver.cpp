@@ -6,8 +6,9 @@
 // and fails the build on a >25% regression against the committed
 // baselines (bench/baseline/BENCH_pr3.json, BENCH_pr4.json).
 //
-//   bench_driver [--suite control|agents|kernels|graphs] [--out PATH]
-//                [--baseline PATH] [--repeat N] [--xl]
+//   bench_driver [--suite control|agents|kernels|graphs|batch]
+//                [--out PATH] [--baseline PATH] [--repeat N] [--xl]
+//                [--list-suites]
 //
 // Suite "control" (default; report BENCH_pr5.json):
 //   trajectory_interp  cursor-based Trajectory interpolation, ns/query
@@ -52,11 +53,25 @@
 // under --baseline the BA-1M compressed steps_per_sec may not regress
 // >25% (optimized builds).
 //
+// Suite "batch" (report BENCH_pr9.json): the lane-per-problem batched
+// solver (control/batch_sweep.hpp) against the sequential driver on
+// the same eight problems — fbsm_small's configuration (n = 10,
+// tf = 20), cost weights varied per lane so the lanes genuinely
+// diverge in iteration count. Both sides run on one thread (the eight
+// problems fill exactly one SIMD chunk); reported per algorithm:
+// sequential and batched solves/sec and the speedup. Gates: per-lane
+// results must match the sequential solves (bitwise under the scalar
+// backend, tolerance under SIMD — see the batched-kernel determinism
+// policy in kern.hpp; any build), the FBSM speedup must be ≥4x
+// (optimized builds), and under --baseline the batched FBSM
+// solves/sec may not regress >25%.
+//
 // Every report embeds the active kernel backend, the CPU's SIMD
 // feature set, and the compiler under "build" (schema rumor-bench/3),
-// so perf trajectories across machines and build flavors stay
-// attributable. Comparing a -march=native build against a portable
-// baseline (or vice versa) prints a warning.
+// plus the process peak RSS (getrusage ru_maxrss) measured after the
+// suite ran, so perf trajectories across machines and build flavors
+// stay attributable. Comparing a -march=native build against a
+// portable baseline (or vice versa) prints a warning.
 //
 // Allocation counting comes from the rumor_alloc_count link-in (global
 // operator new/delete replacement); RHS evaluations from the steppers'
@@ -73,7 +88,12 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "bench/common.hpp"
+#include "control/batch_sweep.hpp"
 #include "control/mpc.hpp"
 #include "graph/compressed.hpp"
 #include "graph/generators.hpp"
@@ -127,7 +147,27 @@ struct CaseResult {
   // Graph-format suite fields.
   double bytes_per_edge = -1.0;
   double compressed_ratio = -1.0;  ///< compressed bytes / packed bytes
+  // Batch-solver suite fields.
+  double solves_per_sec = -1.0;
+  double speedup_vs_sequential = -1.0;
 };
+
+/// Peak resident set size of this process in bytes (0 when the
+/// platform offers no getrusage). Linux reports ru_maxrss in KiB,
+/// macOS in bytes.
+std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
 
 control::SweepOptions small_solve_options() {
   // Must stay in lockstep with perf_control's BM_FullSolveSmall: this
@@ -267,7 +307,8 @@ std::string to_json(const std::vector<CaseResult>& cases, bool optimized) {
        << ",\"kernel_backend\":\"" << kern::to_string(kern::backend())
        << "\",\"cpu_features\":\"" << kern::cpu_features()
        << "\",\"compiler\":\"" << __VERSION__
-       << "\",\"native\":" << (native_build() ? "true" : "false") << "},";
+       << "\",\"native\":" << (native_build() ? "true" : "false") << "},"
+       << "\"peak_rss_bytes\":" << peak_rss_bytes() << ",";
   if (!optimized) {
     json << "\"warning\":\"UNOPTIMIZED BUILD - timings are not "
             "meaningful\",";
@@ -309,6 +350,12 @@ std::string to_json(const std::vector<CaseResult>& cases, bool optimized) {
     }
     if (r.compressed_ratio >= 0.0) {
       json << ",\"compressed_ratio\":" << r.compressed_ratio;
+    }
+    if (r.solves_per_sec >= 0.0) {
+      json << ",\"solves_per_sec\":" << r.solves_per_sec;
+    }
+    if (r.speedup_vs_sequential >= 0.0) {
+      json << ",\"speedup_vs_sequential\":" << r.speedup_vs_sequential;
     }
     json << "}";
   }
@@ -1074,6 +1121,223 @@ int run_graphs_suite(const std::string& out_path,
   return 0;
 }
 
+// ---- batched-solver suite -------------------------------------------
+
+/// fbsm_small's eight problems with per-lane cost weights: the lanes
+/// converge after different iteration counts, so the batch exercises
+/// the active-mask retirement path rather than eight clones.
+std::vector<control::BatchProblem> batch_problems(
+    const core::SirNetworkModel& model, const ode::State& y0) {
+  constexpr std::size_t kProblems = 8;
+  std::vector<control::BatchProblem> problems(kProblems);
+  for (std::size_t p = 0; p < kProblems; ++p) {
+    problems[p].params = model.params();
+    problems[p].cost = bench::fig4_cost();
+    problems[p].cost.c2 *= 1.0 + 0.1 * static_cast<double>(p);
+    problems[p].y0 = y0;
+  }
+  return problems;
+}
+
+/// Bitwise under the scalar backend (the documented per-lane
+/// equivalence), tolerance under SIMD (sequential reductions
+/// reassociate where the batched ones do not — kern.hpp).
+bool batch_lane_matches(const control::SweepResult& sequential,
+                        const control::SweepResult& batched,
+                        const char* algorithm, std::size_t lane) {
+  const bool scalar = kern::backend() == kern::Backend::kScalar;
+  const auto controls_match = [&](const std::vector<double>& a,
+                                  const std::vector<double>& b) {
+    if (a.size() != b.size()) return false;
+    if (scalar) {
+      return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+    }
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      if (std::abs(a[k] - b[k]) > 1e-6) return false;
+    }
+    return true;
+  };
+  const double total_a = sequential.cost.total();
+  const double total_b = batched.cost.total();
+  const bool cost_match =
+      scalar ? std::memcmp(&total_a, &total_b, sizeof(double)) == 0
+             : std::abs(total_a - total_b) <=
+                   1e-6 * std::max(std::abs(total_a), 1.0);
+  if (controls_match(sequential.epsilon1, batched.epsilon1) &&
+      controls_match(sequential.epsilon2, batched.epsilon2) && cost_match &&
+      (!scalar || sequential.iterations == batched.iterations)) {
+    return true;
+  }
+  std::fprintf(stderr,
+               "bench_driver: FAIL — %s lane %zu diverged from its "
+               "sequential solve (J %.17g vs %.17g, iterations %zu vs "
+               "%zu, %s backend)\n",
+               algorithm, lane, total_a, total_b, sequential.iterations,
+               batched.iterations, kern::to_string(kern::backend()));
+  return false;
+}
+
+int run_batch_suite(const std::string& out_path,
+                    const std::string& baseline_path, bool optimized,
+                    std::size_t repeat) {
+  const auto model = bench::fig4_model(10);
+  const double tf = 20.0;
+  const auto y0 = model.initial_state(0.01);
+  const auto problems = batch_problems(model, y0);
+
+  std::vector<CaseResult> cases;
+  bool equivalent = true;
+  double fbsm_speedup = 0.0;
+
+  for (const auto algorithm : {control::SweepAlgorithm::kForwardBackward,
+                               control::SweepAlgorithm::kProjectedGradient}) {
+    const bool fbsm =
+        algorithm == control::SweepAlgorithm::kForwardBackward;
+    auto options = small_solve_options();
+    options.algorithm = algorithm;
+
+    // Sequential reference: the same problems one after another on
+    // this thread — per-solve SIMD still applies, only the lane-level
+    // batching is absent. One untimed pass of each side first (warm
+    // allocators, not cold starts), then the timed reps INTERLEAVE the
+    // two sides so a noisy-neighbor burst hits both: the speedup gate
+    // uses the median of per-rep ratios, which pairing makes robust,
+    // while the reported wall/solves-per-sec numbers are best-of-N
+    // (the kernel suite's policy: this box's noise is one-sided).
+    std::vector<control::SweepResult> sequential(problems.size());
+    sequential[0] =
+        control::solve_optimal_control(model, y0, tf, problems[0].cost,
+                                       options);
+    control::solve_optimal_control_batch(model.profile(), problems, tf,
+                                         options, /*lanes=*/8);
+    std::vector<control::BatchSolveReport> batched;
+    std::vector<double> seq_samples, batch_samples, ratios;
+    const std::size_t reps = std::max<std::size_t>(repeat, 5);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      auto start = Clock::now();
+      for (std::size_t p = 0; p < problems.size(); ++p) {
+        sequential[p] = control::solve_optimal_control(
+            model, y0, tf, problems[p].cost, options);
+      }
+      seq_samples.push_back(ms_since(start));
+
+      // Eight problems fill exactly one SIMD chunk, so the parallel
+      // chunk loop degenerates to this thread too.
+      start = Clock::now();
+      batched = control::solve_optimal_control_batch(
+          model.profile(), problems, tf, options, /*lanes=*/8);
+      batch_samples.push_back(ms_since(start));
+      ratios.push_back(seq_samples.back() / batch_samples.back());
+    }
+    const double seq_ms =
+        *std::min_element(seq_samples.begin(), seq_samples.end());
+    const double batch_ms =
+        *std::min_element(batch_samples.begin(), batch_samples.end());
+    std::sort(ratios.begin(), ratios.end());
+    const double speedup = ratios[ratios.size() / 2];
+
+    const double solves = static_cast<double>(problems.size());
+    CaseResult seq_case;
+    seq_case.name = fbsm ? "batch_seq_fbsm" : "batch_seq_pg";
+    seq_case.wall_ms = seq_ms;
+    seq_case.solves_per_sec = solves / (seq_ms * 1e-3);
+    cases.push_back(seq_case);
+
+    CaseResult batch_case;
+    batch_case.name = fbsm ? "batch_fbsm" : "batch_pg";
+    batch_case.wall_ms = batch_ms;
+    batch_case.solves_per_sec = solves / (batch_ms * 1e-3);
+    batch_case.speedup_vs_sequential = speedup;
+    cases.push_back(batch_case);
+    if (fbsm) fbsm_speedup = speedup;
+
+    for (std::size_t p = 0; p < problems.size(); ++p) {
+      if (batched[p].failed) {
+        std::fprintf(stderr, "bench_driver: FAIL — %s lane %zu failed: %s\n",
+                     fbsm ? "FBSM" : "PG", p, batched[p].error.c_str());
+        equivalent = false;
+        continue;
+      }
+      equivalent &= batch_lane_matches(sequential[p], batched[p].result,
+                                       fbsm ? "FBSM" : "PG", p);
+    }
+  }
+
+  const std::string report = to_json(cases, optimized);
+  std::fputs(report.c_str(), stdout);
+  {
+    std::ofstream file(out_path);
+    if (!file) {
+      std::fprintf(stderr, "bench_driver: cannot write %s\n",
+                   out_path.c_str());
+      return 2;
+    }
+    file << report;
+  }
+
+  if (!equivalent) return 1;  // correctness gates hold in any build
+  if (!optimized) {
+    std::fprintf(stderr,
+                 "bench_driver: batch speedup/baseline gates skipped "
+                 "(unoptimized build)\n");
+    return 0;
+  }
+  if (kern::backend() == kern::Backend::kScalar) {
+    // The scalar leg exists for the bitwise-equivalence check above;
+    // cross-lane vectorization is what the 4x floor measures.
+    std::fprintf(stderr,
+                 "bench_driver: batch speedup/baseline gates skipped "
+                 "(scalar backend)\n");
+    return 0;
+  }
+
+  std::printf("batch_fbsm: %.2fx sequential (acceptance floor 4x)\n",
+              fbsm_speedup);
+  if (fbsm_speedup < 4.0) {
+    std::fprintf(stderr,
+                 "bench_driver: FAIL — batched FBSM is only %.2fx the "
+                 "sequential driver at B=8 (acceptance floor 4x)\n",
+                 fbsm_speedup);
+    return 1;
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream file(baseline_path);
+    if (!file) {
+      std::fprintf(stderr, "bench_driver: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    const std::string baseline = buffer.str();
+    warn_native_mismatch(baseline);
+    const double base =
+        extract_case_field(baseline, "batch_fbsm", "solves_per_sec");
+    double current = 0.0;
+    for (const auto& r : cases) {
+      if (r.name == "batch_fbsm") current = r.solves_per_sec;
+    }
+    if (base <= 0.0) {
+      std::fprintf(stderr,
+                   "bench_driver: baseline compare skipped (batch_fbsm "
+                   "solves_per_sec missing)\n");
+      return 0;
+    }
+    const double ratio = current / base;
+    std::printf("batch_fbsm: %.1f solves/s vs baseline %.1f (%.2fx)\n",
+                current, base, ratio);
+    if (ratio < 0.75) {
+      std::fprintf(stderr,
+                   "bench_driver: FAIL — batch_fbsm regressed %.0f%% "
+                   "below the committed baseline (limit 25%%)\n",
+                   (1.0 - ratio) * 100.0);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1096,18 +1360,33 @@ int main(int argc, char** argv) {
       repeat = static_cast<std::size_t>(std::strtoull(argv[++a], nullptr, 10));
     } else if (arg == "--xl") {
       xl = true;  // graphs suite: add the BA-100M out-of-core case
+    } else if (arg == "--list-suites") {
+      std::printf(
+          "control  solver hot paths: interpolation, costate RHS, FBSM/"
+          "PG/MPC solves (default; report BENCH_pr5.json)\n"
+          "agents   dense vs frontier agent engines on BA graphs "
+          "(report BENCH_pr4.json)\n"
+          "kernels  src/kern dispatch-table microbench per backend "
+          "(report BENCH_pr6.json)\n"
+          "graphs   packed CSR vs compressed GRAPHCSZ formats; --xl "
+          "adds BA-100M (report BENCH_pr8.json)\n"
+          "batch    lane-per-problem batched solver vs sequential "
+          "(report BENCH_pr9.json)\n");
+      return 0;
     } else {
       std::fprintf(stderr,
                    "usage: bench_driver [--suite control|agents|kernels|"
-                   "graphs] [--out PATH] [--baseline PATH] [--repeat N] "
-                   "[--xl]\n");
+                   "graphs|batch] [--out PATH] [--baseline PATH] "
+                   "[--repeat N] [--xl] [--list-suites]\n");
       return 2;
     }
   }
   if (repeat == 0) repeat = 1;
   if (suite != "control" && suite != "agents" && suite != "kernels" &&
-      suite != "graphs") {
-    std::fprintf(stderr, "bench_driver: unknown suite '%s'\n",
+      suite != "graphs" && suite != "batch") {
+    std::fprintf(stderr,
+                 "bench_driver: unknown suite '%s' (--list-suites "
+                 "prints the available ones)\n",
                  suite.c_str());
     return 2;
   }
@@ -1115,6 +1394,7 @@ int main(int argc, char** argv) {
     out_path = suite == "agents"    ? "BENCH_pr4.json"
                : suite == "kernels" ? "BENCH_pr6.json"
                : suite == "graphs"  ? "BENCH_pr8.json"
+               : suite == "batch"   ? "BENCH_pr9.json"
                                     : "BENCH_pr5.json";
   }
 
@@ -1128,6 +1408,9 @@ int main(int argc, char** argv) {
   }
   if (suite == "graphs") {
     return run_graphs_suite(out_path, baseline_path, optimized, xl);
+  }
+  if (suite == "batch") {
+    return run_batch_suite(out_path, baseline_path, optimized, repeat);
   }
 
   const auto model = bench::fig4_model(10);

@@ -2,9 +2,12 @@
 //
 // The paper validates its model against Digg2009 cascades. This bench
 // runs the full loop on synthetic data: hidden true parameters generate
-// a noisy observed cascade; least-squares fitting (core/fitting.hpp)
-// recovers (λ scale, ε1, ε2); the table reports recovery error across
-// observation-noise levels.
+// a noisy observed cascade; multi-start least-squares fitting
+// (core/fitting.hpp) recovers (λ scale, ε1, ε2); the table reports
+// recovery error across observation-noise levels. The multi-start
+// screen — 12 jittered candidates per noise level — runs as one
+// batched lane-per-problem simulation before the Nelder–Mead
+// refinements.
 #include <cstdio>
 #include <iostream>
 
@@ -32,7 +35,7 @@ int main() {
               true_e1, true_e2);
 
   util::TablePrinter table({"obs noise", "lambda scale", "eps1", "eps2",
-                            "RSS", "evals"});
+                            "RSS", "screen RSS", "evals"});
   table.set_precision(4);
   bool all_close = true;
   for (const double noise : {0.0, 0.02, 0.05, 0.10}) {
@@ -45,17 +48,22 @@ int main() {
 
     core::ModelParams guess = truth;
     guess.lambda = truth.lambda.with_scale(1.3);
-    core::FitSpec spec;
-    spec.max_evaluations = 2500;
-    const auto fit = core::fit_to_cascade(
+    core::MultistartSpec ms;
+    ms.starts = 12;
+    ms.refine_top = 2;
+    ms.seed = 7;
+    ms.fit.max_evaluations = 2500;
+    const auto outcome = core::fit_to_cascade_multistart(
         profile, guess, 0.08, 0.3, {cascade.t, cascade.infected_density},
-        spec);
+        ms);
+    const auto& fit = outcome.best;
     table.add_text_row(
         {util::format_significant(noise, 3),
          util::format_significant(fit.params.lambda.scale(), 4),
          util::format_significant(fit.epsilon1, 4),
          util::format_significant(fit.epsilon2, 4),
          util::format_significant(fit.rss, 3),
+         util::format_significant(outcome.screening_best_rss, 3),
          std::to_string(fit.evaluations)});
     if (std::abs(fit.epsilon1 - true_e1) > 0.5 * true_e1 ||
         std::abs(fit.epsilon2 - true_e2) > 0.5 * true_e2) {

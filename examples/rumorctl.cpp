@@ -5,6 +5,12 @@
 //   rumorctl spectrum [opts]               eigenvalues at the equilibrium
 //   rumorctl simulate [opts]               CSV time series to stdout
 //   rumorctl plan [opts]                   optimized countermeasure CSV
+//   rumorctl plan-sweep [opts]             budget frontier CSV: optimize
+//     [--budget-min B] [--budget-max B]    once per budget cap on both
+//     [--budgets N]                        rates ([0.1, 0.7] × 7), all
+//     [--terminal-weight W]                caps as lanes of one batched
+//                                          FBSM solve (W on Σ I(tf) [50];
+//                                          see docs/performance.md)
 //   rumorctl fit --cascade FILE [opts]     estimate parameters from data
 //   rumorctl graph-pack --edges IN --out F convert a graph to binary CSR
 //     --compress 1 [--shard-mb M] [--keep-order 1]  write a sharded
@@ -81,6 +87,7 @@
 #include <string>
 #include <vector>
 
+#include "control/batch_sweep.hpp"
 #include "control/fbsweep.hpp"
 #include "core/equilibrium.hpp"
 #include "core/fitting.hpp"
@@ -105,6 +112,7 @@
 #include "sim/checkpoint.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/math.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 #include "util/random.hpp"
@@ -526,6 +534,73 @@ int cmd_plan(const Args& args) {
   return 0;
 }
 
+// Budget frontier: optimize the schedule once per budget level (the
+// box cap on both rates), all levels solved as lanes of ONE batched
+// FBSM call. The CSV maps out how much outcome each extra unit of
+// allowed countermeasure intensity buys.
+int cmd_plan_sweep(const Args& args) {
+  const auto profile = load_profile(args).coarsened(
+      static_cast<std::size_t>(args.number("groups", 20.0)));
+  auto params = load_params(args);
+  params.alpha = args.number("alpha", 0.05);
+  const core::SirNetworkModel model(profile, params,
+                                    core::make_constant_control(0.0, 0.0));
+  const double tf = args.number("tf", 60.0);
+  const auto y0 = model.initial_state(args.number("i0", 0.2));
+
+  control::CostParams cost;
+  cost.c1 = args.number("c1", 5.0);
+  cost.c2 = args.number("c2", 10.0);
+  cost.terminal_weight = args.number("terminal-weight", 50.0);
+  control::SweepOptions sweep;
+  sweep.grid_points = static_cast<std::size_t>(tf * 5.0) + 1;
+  sweep.substeps = 20;
+  sweep.max_iterations =
+      static_cast<std::size_t>(args.number("max-iterations", 800.0));
+  sweep.j_tolerance = 1e-6;
+
+  const double lo = args.number("budget-min", 0.1);
+  const double hi = args.number("budget-max", 0.7);
+  const auto count = std::max<std::size_t>(
+      2, static_cast<std::size_t>(args.number("budgets", 7.0)));
+  util::require(lo > 0.0 && hi >= lo,
+                "plan-sweep: need 0 < --budget-min <= --budget-max");
+  const std::vector<double> budgets = util::linspace(lo, hi, count);
+
+  std::vector<control::BatchProblem> problems(count);
+  for (std::size_t b = 0; b < count; ++b) {
+    problems[b].params = params;
+    problems[b].cost = cost;
+    problems[b].y0 = y0;
+    problems[b].epsilon1_max = budgets[b];
+    problems[b].epsilon2_max = budgets[b];
+  }
+  const auto reports =
+      control::solve_optimal_control_batch(profile, problems, tf, sweep);
+
+  util::CsvWriter csv({"budget", "converged", "iterations", "cost_running",
+                       "cost_total", "terminal_infected", "peak_eps1",
+                       "peak_eps2"});
+  for (std::size_t b = 0; b < count; ++b) {
+    const auto& rep = reports[b];
+    if (rep.failed) {
+      std::fprintf(stderr, "plan-sweep: budget %.4f failed: %s\n",
+                   budgets[b], rep.error.c_str());
+      continue;
+    }
+    const control::SweepResult& r = rep.result;
+    const auto peak = [](const std::vector<double>& v) {
+      return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+    };
+    csv.add_row({budgets[b], r.converged ? 1.0 : 0.0,
+                 static_cast<double>(r.iterations), r.cost.running,
+                 r.cost.total(), model.total_infected(r.state.back_state()),
+                 peak(r.epsilon1), peak(r.epsilon2)});
+  }
+  csv.write(std::cout);
+  return 0;
+}
+
 int cmd_fit(const Args& args) {
   const auto cascade_file = args.text("cascade");
   util::require(cascade_file.has_value(),
@@ -661,8 +736,8 @@ int cmd_shutdown(const Args& args) {
 int usage() {
   std::printf(
       "rumorctl — rumor propagation dynamics & optimized countermeasures\n"
-      "usage: rumorctl {stats|threshold|spectrum|simulate|plan|fit|"
-      "graph-pack|graph-gen-ba|serve|submit|status|cancel|shutdown} "
+      "usage: rumorctl {stats|threshold|spectrum|simulate|plan|plan-sweep|"
+      "fit|graph-pack|graph-gen-ba|serve|submit|status|cancel|shutdown} "
       "[--opt value]\n"
       "see the header of examples/rumorctl.cpp for the full option list\n");
   return 0;
@@ -678,6 +753,7 @@ int dispatch(const Args& args) {
   if (args.command == "spectrum") return cmd_spectrum(args);
   if (args.command == "simulate") return cmd_simulate(args);
   if (args.command == "plan") return cmd_plan(args);
+  if (args.command == "plan-sweep") return cmd_plan_sweep(args);
   if (args.command == "fit") return cmd_fit(args);
   if (args.command == "graph-pack") return cmd_graph_pack(args);
   if (args.command == "graph-gen-ba") return cmd_graph_gen_ba(args);

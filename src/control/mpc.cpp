@@ -171,7 +171,9 @@ std::optional<MpcLoopState> load_mpc_checkpoint(
 MpcResult run_loop(const core::SirNetworkModel& model, const ode::State& y0,
                    double tf, const CostParams& cost,
                    const MpcOptions& options,
-                   const Disturbance& disturbance, bool replan) {
+                   const Disturbance& disturbance, bool replan,
+                   std::shared_ptr<const core::ControlSchedule> preset =
+                       nullptr) {
   cost.validate();
   util::require(tf > 0.0, "run_mpc: tf must be positive");
   util::require(options.replan_interval > 0.0,
@@ -201,9 +203,13 @@ MpcResult run_loop(const core::SirNetworkModel& model, const ode::State& y0,
 
   std::shared_ptr<const core::ControlSchedule> policy;
   if (!replan) {
-    const auto plan =
-        solve_optimal_control(model, y0, tf, cost, options.sweep);
-    policy = plan.control;  // already on the global clock (t0 = 0)
+    if (preset) {
+      policy = std::move(preset);  // caller-supplied, global clock
+    } else {
+      const auto plan =
+          solve_optimal_control(model, y0, tf, cost, options.sweep);
+      policy = plan.control;  // already on the global clock (t0 = 0)
+    }
   }
 
   const double eps = 1e-9 * options.replan_interval;
@@ -298,6 +304,20 @@ MpcResult run_open_loop(const core::SirNetworkModel& model,
                         const Disturbance& disturbance) {
   return run_loop(model, y0, tf, cost, options, disturbance,
                   /*replan=*/false);
+}
+
+MpcResult run_open_loop(const core::SirNetworkModel& model,
+                        const ode::State& y0, double tf,
+                        const CostParams& cost, const MpcOptions& options,
+                        std::shared_ptr<const core::ControlSchedule> policy,
+                        const Disturbance& disturbance) {
+  util::require(policy != nullptr,
+                "run_open_loop: precomputed policy must be non-null");
+  util::require(options.checkpoint_path.empty(),
+                "run_open_loop: checkpointing is unsupported with a "
+                "precomputed policy (a resumed run could not re-derive it)");
+  return run_loop(model, y0, tf, cost, options, disturbance,
+                  /*replan=*/false, std::move(policy));
 }
 
 }  // namespace rumor::control

@@ -71,4 +71,16 @@ MpcResult run_open_loop(const core::SirNetworkModel& model,
                         const CostParams& cost, const MpcOptions& options,
                         const Disturbance& disturbance = nullptr);
 
+/// Open-loop rollout under a policy computed elsewhere — e.g. one lane
+/// of solve_optimal_control_batch, which plans a whole scenario grid in
+/// one SIMD multi-solve. Skips the internal t = 0 solve and applies
+/// `policy` (already on the global clock) to the disturbed plant.
+/// `options.sweep` is unused; `options.checkpoint_path` must be empty
+/// (a resumed run could not re-derive an externally supplied policy).
+MpcResult run_open_loop(const core::SirNetworkModel& model,
+                        const ode::State& y0, double tf,
+                        const CostParams& cost, const MpcOptions& options,
+                        std::shared_ptr<const core::ControlSchedule> policy,
+                        const Disturbance& disturbance = nullptr);
+
 }  // namespace rumor::control

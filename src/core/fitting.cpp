@@ -1,11 +1,16 @@
 #include "core/fitting.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <random>
 
+#include "core/batch_sim.hpp"
 #include "core/simulation.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 #include "util/optimize.hpp"
+#include "util/parallel.hpp"
 
 namespace rumor::core {
 
@@ -101,6 +106,109 @@ FitResult fit_to_cascade(const NetworkProfile& profile,
   result.rss = outcome.value;
   result.evaluations = outcome.evaluations;
   result.converged = outcome.converged;
+  return result;
+}
+
+MultistartResult fit_to_cascade_multistart(
+    const NetworkProfile& profile, const ModelParams& guess,
+    double epsilon1_guess, double epsilon2_guess,
+    const CascadeObservations& observations, const MultistartSpec& spec) {
+  validate_observations(observations);
+  util::require(epsilon1_guess > 0.0 && epsilon2_guess > 0.0,
+                "fit_to_cascade_multistart: control guesses must be positive");
+  util::require(spec.starts >= 1,
+                "fit_to_cascade_multistart: need at least one start");
+  util::require(spec.refine_top >= 1,
+                "fit_to_cascade_multistart: need at least one refinement");
+  util::require(spec.log_spread >= 0.0,
+                "fit_to_cascade_multistart: jitter spread must be >= 0");
+  util::require(spec.fit.fit_lambda_scale || spec.fit.fit_epsilon1 ||
+                    spec.fit.fit_epsilon2,
+                "fit_to_cascade_multistart: nothing to fit");
+  guess.validate();
+
+  // Candidate grid: start 0 is the caller's guess; the rest jitter
+  // each active parameter by exp(U(-spread, spread)).
+  struct Start {
+    ModelParams params;
+    double e1, e2;
+  };
+  std::vector<Start> starts;
+  starts.reserve(spec.starts);
+  starts.push_back({guess, epsilon1_guess, epsilon2_guess});
+  std::mt19937_64 rng(spec.seed);
+  std::uniform_real_distribution<double> jitter(-spec.log_spread,
+                                                spec.log_spread);
+  for (std::size_t k = 1; k < spec.starts; ++k) {
+    Start s{guess, epsilon1_guess, epsilon2_guess};
+    if (spec.fit.fit_lambda_scale) {
+      s.params.lambda =
+          guess.lambda.with_scale(guess.lambda.scale() * std::exp(jitter(rng)));
+    }
+    if (spec.fit.fit_epsilon1) s.e1 = epsilon1_guess * std::exp(jitter(rng));
+    if (spec.fit.fit_epsilon2) s.e2 = epsilon2_guess * std::exp(jitter(rng));
+    starts.push_back(std::move(s));
+  }
+
+  // Screen every candidate with one batched lane-per-problem sweep —
+  // the same fixed-step RK4 grid cascade_rss integrates, so a lane's
+  // screening RSS equals its cascade_rss bit for bit under the scalar
+  // kernel backend.
+  std::vector<BatchLaneSpec> lanes(starts.size());
+  {
+    const SirNetworkModel reference(
+        profile, guess, make_constant_control(epsilon1_guess, epsilon2_guess));
+    const ode::State y0 =
+        reference.initial_state(spec.fit.initial_fraction);
+    for (std::size_t k = 0; k < starts.size(); ++k) {
+      lanes[k].params = starts[k].params;
+      lanes[k].epsilon1 = starts[k].e1;
+      lanes[k].epsilon2 = starts[k].e2;
+      lanes[k].y0 = y0;
+    }
+  }
+  SimulationOptions options;
+  options.t0 = observations.t.front();
+  options.t1 = observations.t.back();
+  options.dt = spec.fit.simulation_dt;
+  const auto simulations = run_simulation_batch(profile, lanes, options);
+
+  std::vector<double> rss(starts.size(), 0.0);
+  for (std::size_t k = 0; k < starts.size(); ++k) {
+    for (std::size_t i = 0; i < observations.t.size(); ++i) {
+      const double predicted = util::interp_linear(
+          simulations[k].trajectory.times(), simulations[k].infected_density,
+          observations.t[i]);
+      const double residual = predicted - observations.infected_density[i];
+      rss[k] += residual * residual;
+    }
+  }
+
+  std::vector<std::size_t> order(starts.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return rss[a] < rss[b] || (rss[a] == rss[b] && a < b);
+  });
+
+  // Refine the best few concurrently; each Nelder–Mead run is
+  // independent and deterministic.
+  const std::size_t refinements = std::min(spec.refine_top, starts.size());
+  std::vector<FitResult> fits(refinements);
+  util::parallel_for(std::size_t{0}, refinements, /*grain=*/1,
+                     [&](std::size_t r) {
+                       const Start& s = starts[order[r]];
+                       fits[r] = fit_to_cascade(profile, s.params, s.e1, s.e2,
+                                                observations, spec.fit);
+                     });
+
+  MultistartResult result;
+  result.screened = starts.size();
+  result.refined = refinements;
+  result.screening_best_rss = rss[order[0]];
+  result.best = fits[0];
+  for (std::size_t r = 1; r < refinements; ++r) {
+    if (fits[r].rss < result.best.rss) result.best = fits[r];
+  }
   return result;
 }
 

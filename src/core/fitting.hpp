@@ -9,6 +9,7 @@
 // predict and plan countermeasures with the calibrated model.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/profile.hpp"
@@ -56,5 +57,33 @@ double cascade_rss(const NetworkProfile& profile, const ModelParams& params,
                    double epsilon1, double epsilon2,
                    const CascadeObservations& observations,
                    const FitSpec& spec = {});
+
+/// Multi-start settings: `starts` candidates (the guess itself plus
+/// log-space jittered copies) are screened by RSS in one batched
+/// lane-per-problem simulation (core/batch_sim.hpp), then the
+/// `refine_top` best seed independent Nelder–Mead refinements and the
+/// lowest-RSS refinement wins. Deterministic for a fixed seed.
+struct MultistartSpec {
+  std::size_t starts = 16;     ///< candidates incl. the caller's guess
+  std::size_t refine_top = 3;  ///< Nelder–Mead runs from the best starts
+  double log_spread = 0.5;     ///< uniform jitter half-width (log space)
+  std::uint64_t seed = 1;
+  FitSpec fit;                 ///< shared per-candidate settings
+};
+
+struct MultistartResult {
+  FitResult best;                   ///< winner after refinement
+  std::size_t screened = 0;         ///< candidates in the batched screen
+  std::size_t refined = 0;          ///< Nelder–Mead refinements run
+  double screening_best_rss = 0.0;  ///< best RSS before refinement
+};
+
+/// Multi-start least-squares fit around (guess, epsilon1_guess,
+/// epsilon2_guess). Screening requires fixed-step RK4 (the batch
+/// kernels' method), i.e. the default FitSpec simulation settings.
+MultistartResult fit_to_cascade_multistart(
+    const NetworkProfile& profile, const ModelParams& guess,
+    double epsilon1_guess, double epsilon2_guess,
+    const CascadeObservations& observations, const MultistartSpec& spec = {});
 
 }  // namespace rumor::core

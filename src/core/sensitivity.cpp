@@ -1,7 +1,9 @@
 #include "core/sensitivity.hpp"
 
 #include <cmath>
+#include <utility>
 
+#include "core/batch_sim.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -121,11 +123,92 @@ std::vector<ElasticityRow> elasticity_table(
     double epsilon1, double epsilon2, double initial_infected,
     const TrajectoryFunctional& functional,
     const ElasticityOptions& options) {
-  // One independent (base, up, down) simulation triple per knob: run
-  // the knobs concurrently, writing disjoint rows of a pre-sized table.
   const Knob knobs[] = {Knob::kAlpha, Knob::kEpsilon1, Knob::kEpsilon2,
                         Knob::kLambdaScale};
   std::vector<ElasticityRow> rows(std::size(knobs));
+
+  // The table needs one shared base run plus an up/down pair per knob:
+  // nine independent problems over one profile and one grid — exactly
+  // the lane-per-problem batch shape. For fixed-step RK4 (the batch
+  // kernels' method) run all nine as one SIMD multi-solve; every other
+  // integrator keeps the per-knob concurrent path below. Per lane the
+  // batch reproduces the sequential run under the scalar backend bit
+  // for bit, so the table is unchanged up to the SIMD backends' usual
+  // reduction-order ULPs.
+  if (!options.simulation.adaptive &&
+      options.simulation.method == IntegrationMethod::kRk4) {
+    util::require(options.relative_step > 0.0 && options.relative_step < 1.0,
+                  "trajectory_elasticity: step must be in (0,1)");
+    const double h = options.relative_step;
+    const auto lane_for = [&](Knob knob, double factor) {
+      BatchLaneSpec spec;
+      spec.params = params;
+      spec.epsilon1 = epsilon1;
+      spec.epsilon2 = epsilon2;
+      switch (knob) {
+        case Knob::kAlpha:
+          spec.params.alpha = params.alpha * factor;
+          break;
+        case Knob::kEpsilon1:
+          spec.epsilon1 = epsilon1 * factor;
+          break;
+        case Knob::kEpsilon2:
+          spec.epsilon2 = epsilon2 * factor;
+          break;
+        case Knob::kLambdaScale:
+          spec.params.lambda =
+              params.lambda.with_scale(params.lambda.scale() * factor);
+          break;
+      }
+      return spec;
+    };
+
+    std::vector<BatchLaneSpec> specs;
+    specs.reserve(1 + 2 * std::size(knobs));
+    BatchLaneSpec base;  // lane 0 is the unperturbed base point
+    base.params = params;
+    base.epsilon1 = epsilon1;
+    base.epsilon2 = epsilon2;
+    specs.push_back(std::move(base));
+    for (const Knob knob : knobs) {
+      specs.push_back(lane_for(knob, 1.0 + h));
+      specs.push_back(lane_for(knob, 1.0 - h));
+    }
+    // The initial state depends only on the profile, so one vector
+    // serves every lane.
+    {
+      const SirNetworkModel base_model(
+          profile, params, make_constant_control(epsilon1, epsilon2));
+      const ode::State y0 = base_model.initial_state(initial_infected);
+      for (BatchLaneSpec& spec : specs) spec.y0 = y0;
+    }
+    const std::vector<SimulationResult> results =
+        run_simulation_batch(profile, specs, options.simulation);
+
+    std::vector<double> values(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const SirNetworkModel model(
+          profile, specs[i].params,
+          make_constant_control(specs[i].epsilon1, specs[i].epsilon2));
+      values[i] = functional(model, results[i]);
+    }
+    util::require(values[0] > 0.0,
+                  "trajectory_elasticity: functional must be positive at "
+                  "the base point for a log-elasticity");
+    for (std::size_t i = 0; i < std::size(knobs); ++i) {
+      const double up = values[1 + 2 * i];
+      const double down = values[2 + 2 * i];
+      util::require(up > 0.0 && down > 0.0,
+                    "trajectory_elasticity: functional vanished at a "
+                    "perturbed point");
+      rows[i] = {knobs[i], (std::log(up) - std::log(down)) /
+                               (std::log(1.0 + h) - std::log(1.0 - h))};
+    }
+    return rows;
+  }
+
+  // One independent (base, up, down) simulation triple per knob: run
+  // the knobs concurrently, writing disjoint rows of a pre-sized table.
   util::parallel_for(std::size_t{0}, std::size(knobs), /*grain=*/1,
                      [&](std::size_t i) {
                        rows[i] = {knobs[i],

@@ -167,6 +167,14 @@ const Ops& resolve_and_publish() {
 
 }  // namespace detail
 
+std::size_t preferred_batch_lanes() {
+  // 8 doubles fill one zmm on AVX-512 and two ymm on AVX2; the scalar
+  // backend keeps the same count so batch shapes (and therefore
+  // results, which are lane-count-invariant anyway) look identical
+  // under RUMOR_KERNEL=scalar.
+  return 8;
+}
+
 std::string cpu_features() {
   std::string out;
 #if defined(__x86_64__) || defined(_M_X64)

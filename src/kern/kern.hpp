@@ -27,6 +27,13 @@
 //     left-to-right order by rounding only. Cross-backend equality is
 //     therefore tolerance-based (ULP-scale), while any single backend
 //     remains exactly deterministic run to run.
+//   * Batched lane-per-problem kernels (batch_*) are the exception to
+//     the reduction rule: they vectorize ACROSS problems (one SIMD
+//     lane per problem) and iterate components sequentially within
+//     each lane, so every per-lane reduction keeps the scalar
+//     left-to-right order. Batched results are bit-identical across
+//     ALL backends, and each lane is bit-identical to the scalar
+//     backend's sequential one-problem solve.
 //
 // This seam is deliberately C-shaped (raw pointers + lengths, no
 // templates in the ABI) so a future CUDA path can sit behind the same
@@ -151,6 +158,66 @@ struct Ops {
                                       std::size_t avail, std::uint32_t base,
                                       std::uint32_t limit, std::uint32_t* out,
                                       std::size_t count);
+
+  // --- batched lane-per-problem kernels ------------------------------
+  // `lanes` independent problems interleaved SoA: a[j*lanes + l] is
+  // component j of problem l. SIMD vectorizes across lanes; per lane
+  // every reduction keeps the scalar left-to-right order, so batched
+  // results are bit-identical across ALL backends (policy note above).
+  // Shared-per-batch values (mean_k, h, the time grid) are plain
+  // scalars; per-problem values are length-`lanes` arrays; stage
+  // control arrays (e1/e2/theta of the RK4 steps) are stage-major
+  // 3×lanes.
+  /// out[l] = Σ_j a[j·lanes+l] b[j·lanes+l].
+  void (*batch_dot)(const double* a, const double* b, std::size_t n,
+                    std::size_t lanes, double* out);
+  /// Per-lane trapezoid over a SHARED strictly-increasing grid t[0..n):
+  /// out[l] = Σ_i 0.5 (t_i − t_{i−1})(y[i·lanes+l] + y[(i−1)·lanes+l]).
+  void (*batch_trapezoid)(const double* t, const double* y, std::size_t n,
+                          std::size_t lanes, double* out);
+  /// The four optimal-control contractions per lane; out is 4×lanes,
+  /// component-major: out[q·lanes+l] = {ΣψS, ΣS², ΣφI, ΣI²}[q] of lane l.
+  void (*batch_knot4)(const double* s, const double* i, const double* psi,
+                      const double* phi, std::size_t n, std::size_t lanes,
+                      double* out);
+  /// Batched System (1) RHS. theta_out (length lanes) receives Θ per
+  /// lane; may be null.
+  void (*batch_sir_rhs)(const double* s, const double* i, const double* lambda,
+                        const double* phi, std::size_t n, std::size_t lanes,
+                        double mean_k, const double* alpha, const double* e1,
+                        const double* e2, double* ds, double* di,
+                        double* theta_out);
+  /// Batched costate RHS; c1e1/c2e2/e1/e2/theta are per-lane arrays.
+  void (*batch_costate_rhs)(const double* s, const double* i,
+                            const double* psi, const double* phic,
+                            const double* lambda, const double* phi_over_k,
+                            std::size_t n, std::size_t lanes,
+                            const double* c1e1, const double* c2e2,
+                            const double* e1, const double* e2,
+                            const double* theta, bool diagonal, double* dpsi,
+                            double* dphi);
+  /// Batched fused RK4 step: y = [S, I] lane-interleaved (2n·lanes),
+  /// e1/e2 stage-major 3×lanes, alpha per lane. `scratch` must hold
+  /// batch_scratch_doubles(n, lanes) entries. Writes y_next (2n·lanes),
+  /// which must not alias y.
+  void (*batch_sir_rk4_step)(const double* y, std::size_t n, std::size_t lanes,
+                             double mean_k, const double* alpha,
+                             const double* e1, const double* e2,
+                             const double* lambda, const double* phi, double h,
+                             double* y_next, double* scratch);
+  /// Batched reversed-clock costate step; c1/c2 per lane, theta/e1/e2
+  /// stage-major 3×lanes. `scratch` must hold
+  /// batch_scratch_doubles(n, lanes) entries. Writes w_next (2n·lanes),
+  /// which must not alias w.
+  void (*batch_costate_rk4_step)(const double* w, std::size_t n,
+                                 std::size_t lanes, const double* y0,
+                                 const double* ymid, const double* y1,
+                                 const double* lambda,
+                                 const double* phi_over_k, const double* theta,
+                                 const double* e1, const double* e2,
+                                 const double* c1, const double* c2, double h,
+                                 bool diagonal, double* w_next,
+                                 double* scratch);
 };
 
 /// Scratch requirement of the fused RK4 kernels: five 2n-double stage
@@ -163,6 +230,26 @@ struct Ops {
 constexpr std::size_t fused_scratch_doubles(std::size_t n) {
   return 10 * n + 96;
 }
+
+/// Scratch requirement of the BATCHED fused RK4 kernels: five
+/// 2n·lanes-double stage buffers, two length-`lanes` per-stage control
+/// coefficient arrays (the costate step's c1e1/c2e2), plus slack for
+/// the SIMD backends to realign the base to 64 bytes. With the base
+/// 64-byte aligned and `lanes` a multiple of the vector width, every
+/// stage-buffer vector access covers exactly one prior vector store —
+/// the lane-interleaved layout needs no per-half padding.
+constexpr std::size_t batch_scratch_doubles(std::size_t n,
+                                            std::size_t lanes) {
+  return (10 * n + 2) * lanes + 16;
+}
+
+/// The lane count the resolved backend fills one (or two) vector
+/// registers with: 8 on every x86 backend (one zmm of doubles on
+/// AVX-512, two ymm on AVX2, and a cache-friendly unroll for scalar).
+/// Callers may batch at any lane count — SIMD kernels vectorize the
+/// main lanes and delegate the remainder to the scalar bodies — but
+/// multiples of this value keep every vector fully fed.
+std::size_t preferred_batch_lanes();
 
 /// True when the backend's code was compiled into this binary (CMake
 /// probes the compiler for -mavx2 / -mavx512f; non-x86 builds carry

@@ -7,6 +7,7 @@
 // F+DQ+BW+VL.
 #include <immintrin.h>
 
+#include "kern/batch_impl.hpp"
 #include "kern/kern.hpp"
 #include "kern/scalar_impl.hpp"
 #include "kern/tables.hpp"
@@ -414,6 +415,229 @@ void census2(const std::uint64_t* words, std::size_t nnodes,
                          _mm512_reduce_add_epi64(recovered));
 }
 
+// --- batched lane-per-problem kernels -------------------------------
+// One zmm holds the same component of 8 adjacent problems; the
+// component loop runs sequentially, so every lane accumulates in the
+// scalar left-to-right order — bit-identical to the scalar backend
+// (kern.hpp policy). Unlike the one-problem model kernels above, there
+// is NO kSmallN forwarding: the vectors are filled by lanes, not
+// groups, so small n never strands vector width. Remainder lanes
+// (lanes % 8) delegate to the batchref bodies.
+
+void batch_dot(const double* a, const double* b, std::size_t n,
+               std::size_t lanes, double* out) {
+  const std::size_t main = lanes - lanes % kLanes;
+  for (std::size_t l = 0; l < main; l += kLanes) {
+    __m512d acc = _mm512_setzero_pd();
+    for (std::size_t j = 0; j < n; ++j) {
+      acc = _mm512_add_pd(
+          acc, _mm512_mul_pd(_mm512_loadu_pd(a + j * lanes + l),
+                             _mm512_loadu_pd(b + j * lanes + l)));
+    }
+    _mm512_storeu_pd(out + l, acc);
+  }
+  batchref::dot(a, b, n, lanes, main, lanes, out);
+}
+
+void batch_trapezoid(const double* t, const double* y, std::size_t n,
+                     std::size_t lanes, double* out) {
+  const std::size_t main = lanes - lanes % kLanes;
+  for (std::size_t l = 0; l < main; l += kLanes) {
+    __m512d acc = _mm512_setzero_pd();
+    for (std::size_t i = 1; i < n; ++i) {
+      const double dt = t[i] - t[i - 1];
+      const __m512d ys =
+          _mm512_add_pd(_mm512_loadu_pd(y + i * lanes + l),
+                        _mm512_loadu_pd(y + (i - 1) * lanes + l));
+      acc = _mm512_add_pd(acc, _mm512_mul_pd(_mm512_set1_pd(0.5 * dt), ys));
+    }
+    _mm512_storeu_pd(out + l, acc);
+  }
+  batchref::trapezoid(t, y, n, lanes, main, lanes, out);
+}
+
+void batch_knot4(const double* s, const double* i, const double* psi,
+                 const double* phi, std::size_t n, std::size_t lanes,
+                 double* out) {
+  const std::size_t main = lanes - lanes % kLanes;
+  for (std::size_t l = 0; l < main; l += kLanes) {
+    __m512d psi_s = _mm512_setzero_pd(), s2 = _mm512_setzero_pd();
+    __m512d phi_i = _mm512_setzero_pd(), i2 = _mm512_setzero_pd();
+    for (std::size_t j = 0; j < n; ++j) {
+      const __m512d sv = _mm512_loadu_pd(s + j * lanes + l);
+      const __m512d iv = _mm512_loadu_pd(i + j * lanes + l);
+      psi_s = _mm512_add_pd(
+          psi_s, _mm512_mul_pd(_mm512_loadu_pd(psi + j * lanes + l), sv));
+      s2 = _mm512_add_pd(s2, _mm512_mul_pd(sv, sv));
+      phi_i = _mm512_add_pd(
+          phi_i, _mm512_mul_pd(_mm512_loadu_pd(phi + j * lanes + l), iv));
+      i2 = _mm512_add_pd(i2, _mm512_mul_pd(iv, iv));
+    }
+    _mm512_storeu_pd(out + 0 * lanes + l, psi_s);
+    _mm512_storeu_pd(out + 1 * lanes + l, s2);
+    _mm512_storeu_pd(out + 2 * lanes + l, phi_i);
+    _mm512_storeu_pd(out + 3 * lanes + l, i2);
+  }
+  batchref::knot4(s, i, psi, phi, n, lanes, main, lanes, out);
+}
+
+void batch_sir_rhs(const double* s, const double* i, const double* lambda,
+                   const double* phi, std::size_t n, std::size_t lanes,
+                   double mean_k, const double* alpha, const double* e1,
+                   const double* e2, double* ds, double* di,
+                   double* theta_out) {
+  const std::size_t main = lanes - lanes % kLanes;
+  const __m512d mk = _mm512_set1_pd(mean_k);
+  for (std::size_t l = 0; l < main; l += kLanes) {
+    __m512d th = _mm512_setzero_pd();
+    for (std::size_t j = 0; j < n; ++j) {
+      th = _mm512_add_pd(
+          th, _mm512_mul_pd(_mm512_loadu_pd(phi + j * lanes + l),
+                            _mm512_loadu_pd(i + j * lanes + l)));
+    }
+    th = _mm512_div_pd(th, mk);
+    const __m512d al = _mm512_loadu_pd(alpha + l);
+    const __m512d e1v = _mm512_loadu_pd(e1 + l);
+    const __m512d e2v = _mm512_loadu_pd(e2 + l);
+    for (std::size_t j = 0; j < n; ++j) {
+      const __m512d sv = _mm512_loadu_pd(s + j * lanes + l);
+      const __m512d iv = _mm512_loadu_pd(i + j * lanes + l);
+      const __m512d infection = _mm512_mul_pd(
+          _mm512_mul_pd(_mm512_loadu_pd(lambda + j * lanes + l), sv), th);
+      _mm512_storeu_pd(ds + j * lanes + l,
+                       _mm512_sub_pd(_mm512_sub_pd(al, infection),
+                                     _mm512_mul_pd(e1v, sv)));
+      _mm512_storeu_pd(di + j * lanes + l,
+                       _mm512_sub_pd(infection, _mm512_mul_pd(e2v, iv)));
+    }
+    if (theta_out != nullptr) _mm512_storeu_pd(theta_out + l, th);
+  }
+  batchref::sir_rhs(s, i, lambda, phi, n, lanes, main, lanes, mean_k, alpha,
+                    e1, e2, ds, di, theta_out);
+}
+
+void batch_costate_rhs(const double* s, const double* i, const double* psi,
+                       const double* phic, const double* lambda,
+                       const double* phi_over_k, std::size_t n,
+                       std::size_t lanes, const double* c1e1,
+                       const double* c2e2, const double* e1, const double* e2,
+                       const double* theta, bool diagonal, double* dpsi,
+                       double* dphi) {
+  const std::size_t main = lanes - lanes % kLanes;
+  for (std::size_t l = 0; l < main; l += kLanes) {
+    __m512d cpl = _mm512_setzero_pd();
+    if (!diagonal) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const __m512d diff =
+            _mm512_sub_pd(_mm512_loadu_pd(psi + j * lanes + l),
+                          _mm512_loadu_pd(phic + j * lanes + l));
+        cpl = _mm512_add_pd(
+            cpl,
+            _mm512_mul_pd(
+                _mm512_mul_pd(diff, _mm512_loadu_pd(lambda + j * lanes + l)),
+                _mm512_loadu_pd(s + j * lanes + l)));
+      }
+    }
+    const __m512d thv = _mm512_loadu_pd(theta + l);
+    const __m512d e1v = _mm512_loadu_pd(e1 + l);
+    const __m512d e2v = _mm512_loadu_pd(e2 + l);
+    const __m512d c1v = _mm512_loadu_pd(c1e1 + l);
+    const __m512d c2v = _mm512_loadu_pd(c2e2 + l);
+    for (std::size_t j = 0; j < n; ++j) {
+      const __m512d sv = _mm512_loadu_pd(s + j * lanes + l);
+      const __m512d iv = _mm512_loadu_pd(i + j * lanes + l);
+      const __m512d psiv = _mm512_loadu_pd(psi + j * lanes + l);
+      const __m512d phv = _mm512_loadu_pd(phic + j * lanes + l);
+      const __m512d lv = _mm512_loadu_pd(lambda + j * lanes + l);
+      const __m512d dpsi_dt = _mm512_sub_pd(
+          _mm512_add_pd(
+              _mm512_mul_pd(c1v, sv),
+              _mm512_mul_pd(psiv,
+                            _mm512_add_pd(_mm512_mul_pd(lv, thv), e1v))),
+          _mm512_mul_pd(_mm512_mul_pd(phv, lv), thv));
+      const __m512d group_coupling =
+          diagonal ? _mm512_mul_pd(
+                         _mm512_mul_pd(_mm512_sub_pd(psiv, phv), lv), sv)
+                   : cpl;
+      const __m512d dphi_dt = _mm512_add_pd(
+          _mm512_add_pd(
+              _mm512_mul_pd(c2v, iv),
+              _mm512_mul_pd(_mm512_loadu_pd(phi_over_k + j * lanes + l),
+                            group_coupling)),
+          _mm512_mul_pd(phv, e2v));
+      _mm512_storeu_pd(dpsi + j * lanes + l, negate(dpsi_dt));
+      _mm512_storeu_pd(dphi + j * lanes + l, negate(dphi_dt));
+    }
+  }
+  batchref::costate_rhs(s, i, psi, phic, lambda, phi_over_k, n, lanes, main,
+                        lanes, c1e1, c2e2, e1, e2, theta, diagonal, dpsi,
+                        dphi);
+}
+
+/// Batched fused RK4 step — same structure as the AVX2 TU: stage RHS
+/// calls are the TU-local batched kernels, combines are the TU-local
+/// elementwise kernels over the flattened 2n·lanes arrays.
+void batch_sir_rk4_step(const double* y, std::size_t n, std::size_t lanes,
+                        double mean_k, const double* alpha, const double* e1,
+                        const double* e2, const double* lambda,
+                        const double* phi, double h, double* y_next,
+                        double* scratch) {
+  const std::size_t dim = 2 * n * lanes;
+  const std::size_t half = n * lanes;
+  double* base = fused_base(scratch);
+  double* k1 = base;
+  double* k2 = base + dim;
+  double* k3 = base + 2 * dim;
+  double* k4 = base + 3 * dim;
+  double* tmp = base + 4 * dim;
+  batch_sir_rhs(y, y + half, lambda, phi, n, lanes, mean_k, alpha, e1, e2, k1,
+                k1 + half, nullptr);
+  axpy_out(y, k1, 0.5 * h, tmp, dim);
+  batch_sir_rhs(tmp, tmp + half, lambda, phi, n, lanes, mean_k, alpha,
+                e1 + lanes, e2 + lanes, k2, k2 + half, nullptr);
+  axpy_out(y, k2, 0.5 * h, tmp, dim);
+  batch_sir_rhs(tmp, tmp + half, lambda, phi, n, lanes, mean_k, alpha,
+                e1 + lanes, e2 + lanes, k3, k3 + half, nullptr);
+  axpy_out(y, k3, h, tmp, dim);
+  batch_sir_rhs(tmp, tmp + half, lambda, phi, n, lanes, mean_k, alpha,
+                e1 + 2 * lanes, e2 + 2 * lanes, k4, k4 + half, nullptr);
+  rk4_combine(y, k1, k2, k3, k4, h / 6.0, y_next, dim);
+}
+
+void batch_costate_rk4_step(const double* w, std::size_t n, std::size_t lanes,
+                            const double* y0, const double* ymid,
+                            const double* y1, const double* lambda,
+                            const double* phi_over_k, const double* theta,
+                            const double* e1, const double* e2,
+                            const double* c1, const double* c2, double h,
+                            bool diagonal, double* w_next, double* scratch) {
+  const std::size_t dim = 2 * n * lanes;
+  const std::size_t half = n * lanes;
+  double* base = fused_base(scratch);
+  double* k1 = base;
+  double* k2 = base + dim;
+  double* k3 = base + 2 * dim;
+  double* k4 = base + 3 * dim;
+  double* tmp = base + 4 * dim;
+  double* c1e1 = base + 5 * dim;
+  double* c2e2 = c1e1 + lanes;
+  const auto stage = [&](const double* ws, const double* y, std::size_t s,
+                         double* k) {
+    batchref::costate_stage_coeffs(c1, c2, e1, e2, lanes, s, c1e1, c2e2);
+    batch_costate_rhs(y, y + half, ws, ws + half, lambda, phi_over_k, n,
+                      lanes, c1e1, c2e2, e1 + s * lanes, e2 + s * lanes,
+                      theta + s * lanes, diagonal, k, k + half);
+  };
+  stage(w, y0, 0, k1);
+  axpy_out(w, k1, 0.5 * h, tmp, dim);
+  stage(tmp, ymid, 1, k2);
+  axpy_out(w, k2, 0.5 * h, tmp, dim);
+  stage(tmp, ymid, 1, k3);
+  axpy_out(w, k3, h, tmp, dim);
+  stage(tmp, y1, 2, k4);
+  rk4_combine(w, k1, k2, k3, k4, h / 6.0, w_next, dim);
+}
+
 }  // namespace
 
 const Ops& avx512_ops() {
@@ -436,6 +660,13 @@ const Ops& avx512_ops() {
       accumulate_sq,
       census2,
       simd::varint_decode_deltas_avx2,
+      batch_dot,
+      batch_trapezoid,
+      batch_knot4,
+      batch_sir_rhs,
+      batch_costate_rhs,
+      batch_sir_rk4_step,
+      batch_costate_rk4_step,
   };
   return table;
 }

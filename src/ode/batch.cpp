@@ -1,0 +1,22 @@
+#include "ode/batch.hpp"
+
+#include <cstring>
+
+#include "kern/kern.hpp"
+
+namespace rumor::ode {
+
+void BatchTrajectory::sample_at(const Segment& seg, double t,
+                                double* out) const {
+  const std::size_t flat = dim_ * lanes_;
+  if (seg.lo == seg.hi) {
+    std::memcpy(out, sample(seg.lo), flat * sizeof(double));
+    return;
+  }
+  const double t_lo = times_[seg.lo];
+  const double t_hi = times_[seg.hi];
+  const double w = (t - t_lo) / (t_hi - t_lo);
+  kern::ops().lerp(sample(seg.lo), sample(seg.hi), w, out, flat);
+}
+
+}  // namespace rumor::ode

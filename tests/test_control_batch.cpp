@@ -1,0 +1,249 @@
+// Per-lane divergence tests for the batched optimal-control solver.
+//
+// The contract under test (batch_sweep.hpp): lane l of a batched solve
+// reproduces the sequential solve of problem l — bit for bit under the
+// scalar kernel backend, to ULP-scale tolerance under SIMD (whose
+// sequential reductions reassociate where the batched ones do not) —
+// even when the lanes converge at different iterations, retire from
+// the Armijo search at different backtrack depths, or fail outright.
+// Lane independence is checked at its strongest: a batch of B problems
+// must equal B single-lane batches bitwise on EVERY backend, because
+// the batched kernels never mix lanes.
+#include "control/batch_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "control/fbsweep.hpp"
+#include "kern/kern.hpp"
+
+namespace rumor::control {
+namespace {
+
+core::NetworkProfile small_profile() {
+  return core::NetworkProfile::from_pmf({1.0, 3.0, 8.0}, {0.6, 0.3, 0.1});
+}
+
+core::ModelParams small_params() {
+  core::ModelParams params;
+  params.alpha = 0.05;
+  params.lambda = core::Acceptance::linear(1.0);
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  return params;
+}
+
+SweepOptions fast_options() {
+  SweepOptions options;
+  options.grid_points = 61;
+  options.substeps = 4;
+  options.max_iterations = 300;
+  options.j_tolerance = 1e-6;
+  return options;
+}
+
+// Problems whose cost weights differ enough that the lanes converge at
+// different FBSM iterations (and accept at different PG backtracks).
+std::vector<BatchProblem> divergent_problems(std::size_t count) {
+  const auto profile = small_profile();
+  const auto params = small_params();
+  const core::SirNetworkModel model(profile, params,
+                                    core::make_constant_control(0.0, 0.0));
+  const ode::State y0 = model.initial_state(0.02);
+  std::vector<BatchProblem> problems(count);
+  for (std::size_t p = 0; p < count; ++p) {
+    problems[p].params = params;
+    problems[p].cost.c1 = 5.0;
+    problems[p].cost.c2 = 10.0 * (1.0 + 0.25 * static_cast<double>(p));
+    problems[p].cost.terminal_weight = 1.0 + static_cast<double>(p % 3);
+    problems[p].y0 = y0;
+  }
+  return problems;
+}
+
+bool bitwise_equal(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+// A batch lane against the sequential driver on the same problem:
+// bitwise under the scalar backend, ULP-scale tolerance under SIMD.
+void expect_matches_sequential(const BatchSolveReport& rep,
+                               const SweepResult& seq, std::size_t lane) {
+  ASSERT_FALSE(rep.failed) << "lane " << lane << ": " << rep.error;
+  const SweepResult& got = rep.result;
+  EXPECT_EQ(got.iterations, seq.iterations) << "lane " << lane;
+  EXPECT_EQ(got.converged, seq.converged) << "lane " << lane;
+  if (kern::backend() == kern::Backend::kScalar) {
+    EXPECT_TRUE(bitwise_equal(got.epsilon1, seq.epsilon1))
+        << "lane " << lane << " epsilon1 not bitwise equal (scalar backend)";
+    EXPECT_TRUE(bitwise_equal(got.epsilon2, seq.epsilon2))
+        << "lane " << lane << " epsilon2 not bitwise equal (scalar backend)";
+    EXPECT_EQ(got.cost.total(), seq.cost.total()) << "lane " << lane;
+  } else {
+    ASSERT_EQ(got.epsilon1.size(), seq.epsilon1.size());
+    for (std::size_t k = 0; k < seq.epsilon1.size(); ++k) {
+      EXPECT_NEAR(got.epsilon1[k], seq.epsilon1[k], 1e-6)
+          << "lane " << lane << " knot " << k;
+      EXPECT_NEAR(got.epsilon2[k], seq.epsilon2[k], 1e-6)
+          << "lane " << lane << " knot " << k;
+    }
+    EXPECT_NEAR(got.cost.total(), seq.cost.total(),
+                1e-6 * std::max(1.0, std::abs(seq.cost.total())))
+        << "lane " << lane;
+  }
+}
+
+void expect_lane_equals_single_lane_batch(const SweepAlgorithm algorithm) {
+  const auto profile = small_profile();
+  const auto problems = divergent_problems(5);
+  SweepOptions options = fast_options();
+  options.algorithm = algorithm;
+  const double tf = 30.0;
+
+  const auto batched =
+      solve_optimal_control_batch(profile, problems, tf, options);
+  ASSERT_EQ(batched.size(), problems.size());
+  for (std::size_t p = 0; p < problems.size(); ++p) {
+    const std::vector<BatchProblem> one(1, problems[p]);
+    const auto single =
+        solve_optimal_control_batch(profile, one, tf, options);
+    ASSERT_FALSE(batched[p].failed) << batched[p].error;
+    ASSERT_FALSE(single[0].failed) << single[0].error;
+    // Bitwise on ANY backend: the batched kernels never mix lanes, so
+    // lane width cannot change a lane's arithmetic.
+    EXPECT_TRUE(bitwise_equal(batched[p].result.epsilon1,
+                              single[0].result.epsilon1))
+        << "lane " << p << " epsilon1 depends on batch width";
+    EXPECT_TRUE(bitwise_equal(batched[p].result.epsilon2,
+                              single[0].result.epsilon2))
+        << "lane " << p << " epsilon2 depends on batch width";
+    EXPECT_EQ(batched[p].result.cost.total(), single[0].result.cost.total())
+        << "lane " << p;
+    EXPECT_EQ(batched[p].result.iterations, single[0].result.iterations)
+        << "lane " << p;
+    EXPECT_EQ(batched[p].result.converged, single[0].result.converged)
+        << "lane " << p;
+  }
+}
+
+TEST(ControlBatch, FbsmLanesDivergeAndMatchSequential) {
+  const auto profile = small_profile();
+  const auto problems = divergent_problems(6);
+  const SweepOptions options = fast_options();
+  const double tf = 30.0;
+
+  const auto batched =
+      solve_optimal_control_batch(profile, problems, tf, options);
+  ASSERT_EQ(batched.size(), problems.size());
+
+  // The cost spread must actually exercise per-lane retirement: at
+  // least two distinct convergence iteration counts.
+  std::set<std::size_t> iteration_counts;
+  for (const auto& rep : batched) {
+    ASSERT_FALSE(rep.failed) << rep.error;
+    EXPECT_TRUE(rep.result.converged);
+    iteration_counts.insert(rep.result.iterations);
+  }
+  EXPECT_GE(iteration_counts.size(), 2u)
+      << "test problems converged in lockstep; widen the cost spread";
+
+  for (std::size_t p = 0; p < problems.size(); ++p) {
+    const core::SirNetworkModel model(profile, problems[p].params,
+                                      core::make_constant_control(0.0, 0.0));
+    const auto seq = solve_optimal_control(model, problems[p].y0, tf,
+                                           problems[p].cost, options);
+    expect_matches_sequential(batched[p], seq, p);
+  }
+}
+
+TEST(ControlBatch, PgLanesDivergeAndMatchSequential) {
+  const auto profile = small_profile();
+  const auto problems = divergent_problems(4);
+  SweepOptions options = fast_options();
+  options.algorithm = SweepAlgorithm::kProjectedGradient;
+  const double tf = 30.0;
+
+  const auto batched =
+      solve_optimal_control_batch(profile, problems, tf, options);
+  ASSERT_EQ(batched.size(), problems.size());
+  for (std::size_t p = 0; p < problems.size(); ++p) {
+    const core::SirNetworkModel model(profile, problems[p].params,
+                                      core::make_constant_control(0.0, 0.0));
+    const auto seq = solve_optimal_control(model, problems[p].y0, tf,
+                                           problems[p].cost, options);
+    expect_matches_sequential(batched[p], seq, p);
+  }
+}
+
+TEST(ControlBatch, FbsmLaneIndependentOfBatchWidth) {
+  expect_lane_equals_single_lane_batch(SweepAlgorithm::kForwardBackward);
+}
+
+TEST(ControlBatch, PgLaneIndependentOfBatchWidth) {
+  expect_lane_equals_single_lane_batch(SweepAlgorithm::kProjectedGradient);
+}
+
+TEST(ControlBatch, PerLaneBoxOverridesBindPerLane) {
+  const auto profile = small_profile();
+  auto problems = divergent_problems(3);
+  for (auto& p : problems) p.cost.terminal_weight = 50.0;
+  problems[0].epsilon2_max = 0.05;  // tight budget: the cap must bind
+  problems[1].epsilon2_max = 0.30;
+  // problems[2] keeps the shared options box (0.7).
+  const auto batched =
+      solve_optimal_control_batch(profile, problems, 30.0, fast_options());
+  const auto peak = [](const std::vector<double>& v) {
+    double m = 0.0;
+    for (double x : v) m = std::max(m, x);
+    return m;
+  };
+  ASSERT_FALSE(batched[0].failed) << batched[0].error;
+  ASSERT_FALSE(batched[1].failed) << batched[1].error;
+  ASSERT_FALSE(batched[2].failed) << batched[2].error;
+  EXPECT_LE(peak(batched[0].result.epsilon2), 0.05 + 1e-12);
+  EXPECT_LE(peak(batched[1].result.epsilon2), 0.30 + 1e-12);
+  EXPECT_GT(peak(batched[0].result.epsilon2), 0.05 - 1e-6)
+      << "the tight cap should bind under heavy terminal weight";
+  EXPECT_GT(peak(batched[2].result.epsilon2),
+            peak(batched[1].result.epsilon2))
+      << "looser budgets should buy more blocking effort";
+}
+
+TEST(ControlBatch, FailedLaneDoesNotPerturbOthers) {
+  const auto profile = small_profile();
+  auto problems = divergent_problems(3);
+  problems[1].y0[0] = std::numeric_limits<double>::quiet_NaN();
+  const double tf = 30.0;
+  const SweepOptions options = fast_options();
+
+  const auto batched =
+      solve_optimal_control_batch(profile, problems, tf, options);
+  EXPECT_TRUE(batched[1].failed);
+  EXPECT_FALSE(batched[1].error.empty());
+
+  // The surviving lanes must be byte-for-byte what they are with the
+  // poisoned lane absent.
+  for (std::size_t p : {std::size_t{0}, std::size_t{2}}) {
+    const std::vector<BatchProblem> one(1, problems[p]);
+    const auto single = solve_optimal_control_batch(profile, one, tf, options);
+    ASSERT_FALSE(batched[p].failed) << batched[p].error;
+    ASSERT_FALSE(single[0].failed) << single[0].error;
+    EXPECT_TRUE(bitwise_equal(batched[p].result.epsilon1,
+                              single[0].result.epsilon1));
+    EXPECT_TRUE(bitwise_equal(batched[p].result.epsilon2,
+                              single[0].result.epsilon2));
+    EXPECT_EQ(batched[p].result.cost.total(), single[0].result.cost.total());
+  }
+}
+
+}  // namespace
+}  // namespace rumor::control

@@ -415,6 +415,274 @@ TEST(KernDispatch, PublishedTablesAreComplete) {
   }
 }
 
+// ---- batched lane-per-problem kernels ------------------------------
+//
+// Two properties, checked literally from the determinism policy:
+// (a) every batch_* kernel is bit-identical across ALL backends (SIMD
+//     vectorizes across lanes; per lane the reduction order is the
+//     scalar left-to-right order, so there is nothing to reassociate);
+// (b) each lane of a batched call, deinterleaved, is bit-identical to
+//     the SCALAR backend's sequential one-problem kernel on that
+//     lane's data — the property the batched solver's "lane l equals
+//     the sequential solve" guarantee rests on.
+
+// Deterministic interleaved problem set: every per-group array is
+// n×lanes SoA (a[j*lanes+l]), per-lane arrays length lanes, stage
+// arrays 3×lanes stage-major.
+struct BatchData {
+  BatchData(std::size_t n, std::size_t lanes, util::Xoshiro256& rng)
+      : s(n * lanes),
+        i(n * lanes),
+        psi(n * lanes),
+        phic(n * lanes),
+        lambda(n * lanes),
+        phi(n * lanes),
+        phi_over_k(n * lanes),
+        t(n),
+        alpha(lanes),
+        e1(lanes),
+        e2(lanes),
+        c1(lanes),
+        c2(lanes),
+        c1e1(lanes),
+        c2e2(lanes),
+        theta(lanes),
+        e1s(3 * lanes),
+        e2s(3 * lanes),
+        thetas(3 * lanes) {
+    const auto fill = [&](std::vector<double>& v, double lo, double hi) {
+      for (auto& x : v) x = lo + (hi - lo) * rng.uniform();
+    };
+    fill(s, 0.05, 0.95);
+    fill(i, 0.01, 0.5);
+    fill(psi, -1.0, 1.0);
+    fill(phic, -1.0, 1.0);
+    fill(lambda, 0.1, 2.0);
+    fill(phi, 0.2, 1.0);
+    fill(phi_over_k, 0.01, 0.2);
+    for (std::size_t j = 0; j < n; ++j) t[j] = 0.3 * static_cast<double>(j);
+    fill(alpha, 0.01, 0.1);
+    fill(e1, 0.0, 0.7);
+    fill(e2, 0.0, 0.7);
+    fill(c1, 1.0, 8.0);
+    fill(c2, 1.0, 12.0);
+    fill(theta, 0.05, 0.6);
+    fill(e1s, 0.0, 0.7);
+    fill(e2s, 0.0, 0.7);
+    fill(thetas, 0.05, 0.6);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      c1e1[l] = -2.0 * c1[l] * e1[l] * e1[l];
+      c2e2[l] = -2.0 * c2[l] * e2[l] * e2[l];
+    }
+  }
+  std::vector<double> s, i, psi, phic, lambda, phi, phi_over_k, t;
+  std::vector<double> alpha, e1, e2, c1, c2, c1e1, c2e2, theta;
+  std::vector<double> e1s, e2s, thetas;  // stage-major 3×lanes
+};
+
+// Run every batched kernel once under `ops` and collect the outputs.
+struct BatchOut {
+  BatchOut(const kern::Ops& ops, const BatchData& d, std::size_t n,
+           std::size_t lanes, bool diagonal)
+      : dot(lanes),
+        trap(lanes),
+        knot4(4 * lanes),
+        ds(n * lanes),
+        di(n * lanes),
+        th(lanes),
+        dpsi(n * lanes),
+        dphi(n * lanes),
+        y_next(2 * n * lanes),
+        w_next(2 * n * lanes) {
+    std::vector<double> scratch(kern::batch_scratch_doubles(n, lanes));
+    ops.batch_dot(d.s.data(), d.i.data(), n, lanes, dot.data());
+    ops.batch_trapezoid(d.t.data(), d.s.data(), n, lanes, trap.data());
+    ops.batch_knot4(d.s.data(), d.i.data(), d.psi.data(), d.phic.data(), n,
+                    lanes, knot4.data());
+    ops.batch_sir_rhs(d.s.data(), d.i.data(), d.lambda.data(), d.phi.data(),
+                      n, lanes, 6.5, d.alpha.data(), d.e1.data(), d.e2.data(),
+                      ds.data(), di.data(), th.data());
+    ops.batch_costate_rhs(d.s.data(), d.i.data(), d.psi.data(),
+                          d.phic.data(), d.lambda.data(), d.phi_over_k.data(),
+                          n, lanes, d.c1e1.data(), d.c2e2.data(), d.e1.data(),
+                          d.e2.data(), d.theta.data(), diagonal, dpsi.data(),
+                          dphi.data());
+    // [S | I] lane-interleaved halves for the fused steps.
+    std::vector<double> y(2 * n * lanes), w(2 * n * lanes);
+    std::copy(d.s.begin(), d.s.end(), y.begin());
+    std::copy(d.i.begin(), d.i.end(), y.begin() + n * lanes);
+    std::copy(d.psi.begin(), d.psi.end(), w.begin());
+    std::copy(d.phic.begin(), d.phic.end(), w.begin() + n * lanes);
+    ops.batch_sir_rk4_step(y.data(), n, lanes, 6.5, d.alpha.data(),
+                           d.e1s.data(), d.e2s.data(), d.lambda.data(),
+                           d.phi.data(), 0.05, y_next.data(), scratch.data());
+    // Forward states at the three stage times: reuse y for all three
+    // (the kernel treats them as independent inputs).
+    ops.batch_costate_rk4_step(w.data(), n, lanes, y.data(), y.data(),
+                               y.data(), d.lambda.data(), d.phi_over_k.data(),
+                               d.thetas.data(), d.e1s.data(), d.e2s.data(),
+                               d.c1.data(), d.c2.data(), 0.05, diagonal,
+                               w_next.data(), scratch.data());
+  }
+  std::vector<double> dot, trap, knot4, ds, di, th, dpsi, dphi, y_next,
+      w_next;
+};
+
+TEST(KernBatch, CrossBackendBitIdentical) {
+  const auto& scalar = kern::ops(kern::Backend::kScalar);
+  for (const kern::Ops* simd : simd_backends()) {
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                          std::size_t{10}, std::size_t{17}}) {
+      for (std::size_t lanes :
+           {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{5},
+            std::size_t{8}, std::size_t{11}}) {
+        for (bool diagonal : {false, true}) {
+          util::Xoshiro256 rng(n * 131 + lanes * 7 + (diagonal ? 1 : 0));
+          const BatchData d(n, lanes, rng);
+          const BatchOut want(scalar, d, n, lanes, diagonal);
+          const BatchOut got(*simd, d, n, lanes, diagonal);
+          const auto check = [&](const std::vector<double>& g,
+                                 const std::vector<double>& w,
+                                 const char* what) {
+            ASSERT_EQ(g.size(), w.size());
+            for (std::size_t x = 0; x < g.size(); ++x) {
+              ASSERT_EQ(g[x], w[x])
+                  << what << " diverges from scalar at flat index " << x
+                  << " n=" << n << " lanes=" << lanes
+                  << " diagonal=" << diagonal
+                  << " backend=" << kern::to_string(simd->backend);
+            }
+          };
+          check(got.dot, want.dot, "batch_dot");
+          check(got.trap, want.trap, "batch_trapezoid");
+          check(got.knot4, want.knot4, "batch_knot4");
+          check(got.ds, want.ds, "batch_sir_rhs.ds");
+          check(got.di, want.di, "batch_sir_rhs.di");
+          check(got.th, want.th, "batch_sir_rhs.theta");
+          check(got.dpsi, want.dpsi, "batch_costate_rhs.dpsi");
+          check(got.dphi, want.dphi, "batch_costate_rhs.dphi");
+          check(got.y_next, want.y_next, "batch_sir_rk4_step");
+          check(got.w_next, want.w_next, "batch_costate_rk4_step");
+        }
+      }
+    }
+  }
+}
+
+TEST(KernBatch, LaneMatchesSequentialScalarKernels) {
+  const auto& scalar = kern::ops(kern::Backend::kScalar);
+  std::vector<const kern::Ops*> backends = {&scalar};
+  for (const kern::Ops* simd : simd_backends()) backends.push_back(simd);
+  for (const kern::Ops* ops : backends) {
+    for (std::size_t n : {std::size_t{1}, std::size_t{4}, std::size_t{10},
+                          std::size_t{23}}) {
+      for (std::size_t lanes :
+           {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+        for (bool diagonal : {false, true}) {
+          util::Xoshiro256 rng(n * 977 + lanes * 13 + (diagonal ? 1 : 0));
+          const BatchData d(n, lanes, rng);
+          const BatchOut got(*ops, d, n, lanes, diagonal);
+
+          // Deinterleave one lane of an n×lanes array.
+          const auto lane = [&](const std::vector<double>& v, std::size_t l) {
+            std::vector<double> out(n);
+            for (std::size_t j = 0; j < n; ++j) out[j] = v[j * lanes + l];
+            return out;
+          };
+          for (std::size_t l = 0; l < lanes; ++l) {
+            const auto s = lane(d.s, l), i = lane(d.i, l),
+                       psi = lane(d.psi, l), phic = lane(d.phic, l),
+                       lam = lane(d.lambda, l), phi = lane(d.phi, l),
+                       pok = lane(d.phi_over_k, l);
+            const char* b = kern::to_string(ops->backend);
+
+            ASSERT_EQ(got.dot[l], scalar.dot(s.data(), i.data(), n))
+                << "batch_dot lane " << l << " n=" << n << " lanes=" << lanes
+                << " backend=" << b;
+            ASSERT_EQ(got.trap[l],
+                      scalar.trapezoid(d.t.data(), s.data(), n))
+                << "batch_trapezoid lane " << l << " backend=" << b;
+            double k4[4];
+            scalar.knot4(s.data(), i.data(), psi.data(), phic.data(), n, k4);
+            for (std::size_t q = 0; q < 4; ++q) {
+              ASSERT_EQ(got.knot4[q * lanes + l], k4[q])
+                  << "batch_knot4 lane " << l << " component " << q
+                  << " backend=" << b;
+            }
+
+            std::vector<double> ds(n), di(n);
+            const double th =
+                scalar.sir_rhs(s.data(), i.data(), lam.data(), phi.data(), n,
+                               6.5, d.alpha[l], d.e1[l], d.e2[l], ds.data(),
+                               di.data());
+            ASSERT_EQ(got.th[l], th) << "theta lane " << l << " backend=" << b;
+            for (std::size_t j = 0; j < n; ++j) {
+              ASSERT_EQ(got.ds[j * lanes + l], ds[j])
+                  << "batch_sir_rhs.ds lane " << l << " j=" << j
+                  << " backend=" << b;
+              ASSERT_EQ(got.di[j * lanes + l], di[j])
+                  << "batch_sir_rhs.di lane " << l << " j=" << j
+                  << " backend=" << b;
+            }
+
+            std::vector<double> dpsi(n), dphi(n);
+            scalar.costate_rhs(s.data(), i.data(), psi.data(), phic.data(),
+                               lam.data(), pok.data(), n, d.c1e1[l],
+                               d.c2e2[l], d.e1[l], d.e2[l], d.theta[l],
+                               diagonal, dpsi.data(), dphi.data());
+            for (std::size_t j = 0; j < n; ++j) {
+              ASSERT_EQ(got.dpsi[j * lanes + l], dpsi[j])
+                  << "batch_costate_rhs.dpsi lane " << l << " j=" << j
+                  << " diagonal=" << diagonal << " backend=" << b;
+              ASSERT_EQ(got.dphi[j * lanes + l], dphi[j])
+                  << "batch_costate_rhs.dphi lane " << l << " j=" << j
+                  << " diagonal=" << diagonal << " backend=" << b;
+            }
+
+            // Fused steps: sequential layout is [S(n) | I(n)] /
+            // [ψ(n) | φ(n)], stage controls are 3-vectors.
+            std::vector<double> y(2 * n), w(2 * n), y_next(2 * n),
+                w_next(2 * n),
+                scratch(kern::fused_scratch_doubles(n));
+            std::copy(s.begin(), s.end(), y.begin());
+            std::copy(i.begin(), i.end(), y.begin() + n);
+            std::copy(psi.begin(), psi.end(), w.begin());
+            std::copy(phic.begin(), phic.end(), w.begin() + n);
+            const double e1st[3] = {d.e1s[0 * lanes + l],
+                                    d.e1s[1 * lanes + l],
+                                    d.e1s[2 * lanes + l]};
+            const double e2st[3] = {d.e2s[0 * lanes + l],
+                                    d.e2s[1 * lanes + l],
+                                    d.e2s[2 * lanes + l]};
+            const double thst[3] = {d.thetas[0 * lanes + l],
+                                    d.thetas[1 * lanes + l],
+                                    d.thetas[2 * lanes + l]};
+            scalar.sir_rk4_step(y.data(), n, 6.5, d.alpha[l], e1st, e2st,
+                                lam.data(), phi.data(), 0.05, y_next.data(),
+                                scratch.data());
+            scalar.costate_rk4_step(w.data(), n, y.data(), y.data(),
+                                    y.data(), lam.data(), pok.data(), thst,
+                                    e1st, e2st, d.c1[l], d.c2[l], 0.05,
+                                    diagonal, w_next.data(), scratch.data());
+            for (std::size_t j = 0; j < 2 * n; ++j) {
+              // Batch halves are n·lanes wide; sequential halves n wide.
+              const std::size_t half = j < n ? 0 : 1;
+              const std::size_t jj = j - half * n;
+              const std::size_t flat = half * n * lanes + jj * lanes + l;
+              ASSERT_EQ(got.y_next[flat], y_next[j])
+                  << "batch_sir_rk4_step lane " << l << " j=" << j
+                  << " backend=" << b;
+              ASSERT_EQ(got.w_next[flat], w_next[j])
+                  << "batch_costate_rk4_step lane " << l << " j=" << j
+                  << " diagonal=" << diagonal << " backend=" << b;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(KernDispatch, ZeroLengthIsValidEverywhere) {
   for (kern::Backend b :
        {kern::Backend::kScalar, kern::Backend::kAvx2,
