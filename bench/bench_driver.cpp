@@ -6,7 +6,7 @@
 // and fails the build on a >25% regression against the committed
 // baselines (bench/baseline/BENCH_pr3.json, BENCH_pr4.json).
 //
-//   bench_driver [--suite control|agents|kernels|graphs|batch]
+//   bench_driver [--suite control|agents|kernels|graphs|batch|stream]
 //                [--out PATH] [--baseline PATH] [--repeat N] [--xl]
 //                [--list-suites]
 //
@@ -66,6 +66,21 @@
 // (optimized builds), and under --baseline the batched FBSM
 // solves/sec may not regress >25%.
 //
+// Suite "stream" (report BENCH_pr10.json): the online streaming
+// control loop (src/stream) on a scripted growth+churn+drift scenario.
+// The closed-loop case ingests the full event log end to end and
+// reports events/sec (best-of-N), the deadline-miss rate, and the
+// realized objective; companion cases report p50/p99 wall ms per
+// refit and per replan from the engine's diagnostic buffers. Gates:
+// the decision CRC must be identical across every timed rep (replay
+// determinism, any build), the generous-budget run must have zero
+// deadline misses and the one-iteration run must miss yet still emit
+// every tick row (budget semantics, any build — the iteration budget
+// is deterministic), the closed loop must realize a lower objective
+// than the open-loop baseline on the same log (any build), and under
+// --baseline the closed-loop events/sec may not regress >25%
+// (optimized builds).
+//
 // Every report embeds the active kernel backend, the CPU's SIMD
 // feature set, and the compiler under "build" (schema rumor-bench/3),
 // plus the process peak RSS (getrusage ru_maxrss) measured after the
@@ -84,6 +99,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -106,6 +122,8 @@
 #include "obs/metrics.hpp"
 #include "ode/integrate.hpp"
 #include "sim/agent_sim.hpp"
+#include "stream/engine.hpp"
+#include "stream/scenario.hpp"
 #include "util/alloc_count.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
@@ -150,6 +168,12 @@ struct CaseResult {
   // Batch-solver suite fields.
   double solves_per_sec = -1.0;
   double speedup_vs_sequential = -1.0;
+  // Stream-suite fields.
+  double events_per_sec = -1.0;
+  double p50_ms = -1.0;
+  double p99_ms = -1.0;
+  double miss_rate = -1.0;
+  double objective = -1.0;
 };
 
 /// Peak resident set size of this process in bytes (0 when the
@@ -357,6 +381,13 @@ std::string to_json(const std::vector<CaseResult>& cases, bool optimized) {
     if (r.speedup_vs_sequential >= 0.0) {
       json << ",\"speedup_vs_sequential\":" << r.speedup_vs_sequential;
     }
+    if (r.events_per_sec >= 0.0) {
+      json << ",\"events_per_sec\":" << r.events_per_sec;
+    }
+    if (r.p50_ms >= 0.0) json << ",\"p50_ms\":" << r.p50_ms;
+    if (r.p99_ms >= 0.0) json << ",\"p99_ms\":" << r.p99_ms;
+    if (r.miss_rate >= 0.0) json << ",\"miss_rate\":" << r.miss_rate;
+    if (r.objective >= 0.0) json << ",\"objective\":" << r.objective;
     json << "}";
   }
   json << "]";
@@ -1338,6 +1369,219 @@ int run_batch_suite(const std::string& out_path,
   return 0;
 }
 
+// ---- streaming control-loop suite -----------------------------------
+
+/// Linear-interpolated percentile of a sample buffer (p in [0, 1]).
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return -1.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  return samples[lo] + (rank - static_cast<double>(lo)) *
+                           (samples[hi] - samples[lo]);
+}
+
+/// The scripted bench scenario: growth + churn throughout, a rumor
+/// seeded early, and the true λ doubling after the open-loop plan is
+/// locked in — the same shape the closed-vs-open integration test
+/// pins, scaled up so the ingest timing means something.
+stream::ScenarioSpec stream_scenario() {
+  stream::ScenarioSpec spec;
+  spec.num_nodes = 2000;
+  spec.initial_nodes = 500;
+  spec.ticks = 120;
+  spec.grow_per_tick = 4;
+  spec.churn_per_tick = 2;
+  spec.seed_tick = 10;
+  spec.seed_count = 10;
+  spec.drift_tick = 40;
+  spec.drift_lambda_scale = 2.0;
+  spec.seed = 29;
+  return spec;
+}
+
+stream::StreamConfig stream_config(std::size_t nodes) {
+  stream::StreamConfig config;
+  config.num_nodes = nodes;
+  config.planner.budget_iterations = 60;
+  config.planner.cost.terminal_weight = 50.0;
+  return config;
+}
+
+CaseResult summarize_stream_run(const char* name,
+                                const stream::StreamEngine& engine,
+                                double wall_ms, std::size_t events) {
+  CaseResult r;
+  r.name = name;
+  if (wall_ms >= 0.0) {
+    r.wall_ms = wall_ms;
+    r.events_per_sec = static_cast<double>(events) / (wall_ms * 1e-3);
+  }
+  r.iterations = static_cast<std::int64_t>(engine.plans());
+  const double attempts =
+      static_cast<double>(engine.plans() + engine.deadline_misses());
+  r.miss_rate = attempts > 0.0
+                    ? static_cast<double>(engine.deadline_misses()) / attempts
+                    : 0.0;
+  r.objective = engine.realized_objective();
+  return r;
+}
+
+int run_stream_suite(const std::string& out_path,
+                     const std::string& baseline_path, bool optimized,
+                     std::size_t repeat) {
+  const stream::ScenarioSpec spec = stream_scenario();
+  const std::vector<stream::Event> events = stream::make_scenario(spec);
+  std::vector<CaseResult> cases;
+
+  // Closed loop, timed: ingest the full log end to end. Best-of-N for
+  // the throughput number (this box's noise is one-sided); the
+  // decision trace must be identical on every rep — that IS the replay
+  // determinism contract, so a CRC flip here is a hard failure.
+  std::unique_ptr<stream::StreamEngine> closed_run;
+  double closed_ms = 1e100;
+  for (std::size_t rep = 0; rep < std::max<std::size_t>(repeat, 3); ++rep) {
+    auto engine =
+        std::make_unique<stream::StreamEngine>(stream_config(spec.num_nodes));
+    const auto start = Clock::now();
+    for (const stream::Event& event : events) engine->apply(event);
+    closed_ms = std::min(closed_ms, ms_since(start));
+    if (closed_run != nullptr &&
+        (engine->decision_crc() != closed_run->decision_crc() ||
+         engine->state_crc() != closed_run->state_crc())) {
+      std::fprintf(stderr,
+                   "bench_driver: FAIL — replaying the same event log "
+                   "changed the decision trace (crc %u vs %u)\n",
+                   engine->decision_crc(), closed_run->decision_crc());
+      return 1;
+    }
+    closed_run = std::move(engine);
+  }
+  cases.push_back(summarize_stream_run("stream_closed", *closed_run,
+                                       closed_ms, events.size()));
+
+  {
+    CaseResult refit;
+    refit.name = "stream_refit";
+    refit.iterations =
+        static_cast<std::int64_t>(closed_run->refit_ms().size());
+    refit.p50_ms = percentile(closed_run->refit_ms(), 0.50);
+    refit.p99_ms = percentile(closed_run->refit_ms(), 0.99);
+    cases.push_back(refit);
+    CaseResult plan;
+    plan.name = "stream_plan";
+    plan.iterations = static_cast<std::int64_t>(closed_run->plan_ms().size());
+    plan.p50_ms = percentile(closed_run->plan_ms(), 0.50);
+    plan.p99_ms = percentile(closed_run->plan_ms(), 0.99);
+    cases.push_back(plan);
+  }
+
+  // Open loop on the same log: plans once, never adapts to the drift.
+  stream::StreamConfig open_config = stream_config(spec.num_nodes);
+  open_config.open_loop = true;
+  stream::StreamEngine open_run(open_config);
+  for (const stream::Event& event : events) open_run.apply(event);
+  cases.push_back(
+      summarize_stream_run("stream_open", open_run, -1.0, events.size()));
+
+  // One-iteration budget: every replan attempt is cut off, yet the
+  // loop must keep emitting a row per tick (previous tail keeps
+  // driving — never blocks on the optimizer).
+  stream::StreamConfig starved_config = stream_config(spec.num_nodes);
+  starved_config.planner.budget_iterations = 1;
+  stream::StreamEngine starved(starved_config);
+  for (const stream::Event& event : events) starved.apply(event);
+  cases.push_back(
+      summarize_stream_run("stream_tight_budget", starved, -1.0,
+                           events.size()));
+
+  const std::string report = to_json(cases, optimized);
+  std::fputs(report.c_str(), stdout);
+  {
+    std::ofstream file(out_path);
+    if (!file) {
+      std::fprintf(stderr, "bench_driver: cannot write %s\n",
+                   out_path.c_str());
+      return 2;
+    }
+    file << report;
+  }
+
+  // Budget semantics are deterministic (the iteration budget is
+  // poll-counted, not wall-clock), so these gates hold in any build.
+  if (closed_run->deadline_misses() != 0) {
+    std::fprintf(stderr,
+                 "bench_driver: FAIL — generous-budget closed loop "
+                 "missed %llu deadlines (expected 0)\n",
+                 static_cast<unsigned long long>(
+                     closed_run->deadline_misses()));
+    return 1;
+  }
+  if (starved.deadline_misses() == 0 ||
+      starved.decisions().size() != static_cast<std::size_t>(spec.ticks)) {
+    std::fprintf(stderr,
+                 "bench_driver: FAIL — one-iteration budget produced "
+                 "%llu misses over %zu rows (expected misses > 0 and "
+                 "one row per tick)\n",
+                 static_cast<unsigned long long>(starved.deadline_misses()),
+                 starved.decisions().size());
+    return 1;
+  }
+  const double closed_objective = closed_run->realized_objective();
+  const double open_objective = open_run.realized_objective();
+  std::printf("stream_closed: %.4g realized objective vs %.4g open-loop "
+              "(%llu plans, %.0f events/s)\n",
+              closed_objective, open_objective,
+              static_cast<unsigned long long>(closed_run->plans()),
+              cases[0].events_per_sec);
+  if (closed_objective >= open_objective) {
+    std::fprintf(stderr,
+                 "bench_driver: FAIL — closed loop realized %.6g but "
+                 "the open-loop baseline realized %.6g on the same "
+                 "drift scenario (closed must win)\n",
+                 closed_objective, open_objective);
+    return 1;
+  }
+
+  if (!optimized) {
+    std::fprintf(stderr,
+                 "bench_driver: stream baseline gate skipped "
+                 "(unoptimized build)\n");
+    return 0;
+  }
+  if (!baseline_path.empty()) {
+    std::ifstream file(baseline_path);
+    if (!file) {
+      std::fprintf(stderr, "bench_driver: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    warn_native_mismatch(buffer.str());
+    const double base = extract_case_field(buffer.str(), "stream_closed",
+                                           "events_per_sec");
+    if (base <= 0.0) {
+      std::fprintf(stderr,
+                   "bench_driver: baseline compare skipped "
+                   "(stream_closed events_per_sec missing)\n");
+      return 0;
+    }
+    const double ratio = cases[0].events_per_sec / base;
+    std::printf("stream_closed: %.0f events/s vs baseline %.0f (%.2fx)\n",
+                cases[0].events_per_sec, base, ratio);
+    if (ratio < 0.75) {
+      std::fprintf(stderr,
+                   "bench_driver: FAIL — stream_closed regressed %.0f%% "
+                   "below the committed baseline (limit 25%%)\n",
+                   (1.0 - ratio) * 100.0);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1371,19 +1615,22 @@ int main(int argc, char** argv) {
           "graphs   packed CSR vs compressed GRAPHCSZ formats; --xl "
           "adds BA-100M (report BENCH_pr8.json)\n"
           "batch    lane-per-problem batched solver vs sequential "
-          "(report BENCH_pr9.json)\n");
+          "(report BENCH_pr9.json)\n"
+          "stream   online streaming control loop: ingest throughput, "
+          "refit/replan latency, closed vs open (report "
+          "BENCH_pr10.json)\n");
       return 0;
     } else {
       std::fprintf(stderr,
                    "usage: bench_driver [--suite control|agents|kernels|"
-                   "graphs|batch] [--out PATH] [--baseline PATH] "
+                   "graphs|batch|stream] [--out PATH] [--baseline PATH] "
                    "[--repeat N] [--xl] [--list-suites]\n");
       return 2;
     }
   }
   if (repeat == 0) repeat = 1;
   if (suite != "control" && suite != "agents" && suite != "kernels" &&
-      suite != "graphs" && suite != "batch") {
+      suite != "graphs" && suite != "batch" && suite != "stream") {
     std::fprintf(stderr,
                  "bench_driver: unknown suite '%s' (--list-suites "
                  "prints the available ones)\n",
@@ -1395,6 +1642,7 @@ int main(int argc, char** argv) {
                : suite == "kernels" ? "BENCH_pr6.json"
                : suite == "graphs"  ? "BENCH_pr8.json"
                : suite == "batch"   ? "BENCH_pr9.json"
+               : suite == "stream"  ? "BENCH_pr10.json"
                                     : "BENCH_pr5.json";
   }
 
@@ -1411,6 +1659,9 @@ int main(int argc, char** argv) {
   }
   if (suite == "batch") {
     return run_batch_suite(out_path, baseline_path, optimized, repeat);
+  }
+  if (suite == "stream") {
+    return run_stream_suite(out_path, baseline_path, optimized, repeat);
   }
 
   const auto model = bench::fig4_model(10);

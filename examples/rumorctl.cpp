@@ -20,6 +20,34 @@
 //     [--nodes N] [--ba-m M]               graph straight to compressed
 //     [--graph-seed S] [--shard-mb M]      shards (no in-memory CSR;
 //                                          scales to 100M+ edges)
+//   rumorctl --version                     git describe, build type,
+//                                          compiler, kernel backend
+//
+// Streaming (docs/streaming.md):
+//   rumorctl stream --nodes N              run the online control loop
+//     [--events F]                         over an event log (stdin when
+//                                          omitted; JSON lines or binary,
+//                                          auto-detected); decision-trace
+//                                          CSV to stdout or --trace F,
+//                                          summary with decision/state
+//                                          CRCs to stderr
+//     [--replan-every K] [--refit-every K] cadences in ticks [5 / 5]
+//     [--budget-iterations N]              deterministic per-replan
+//                                          solver budget (0 = none)
+//     [--budget-ms MS]                     wall-clock budget (live ops;
+//                                          non-deterministic)
+//     [--open-loop 1]                      plan once, never replan (the
+//                                          baseline arm)
+//     [--checkpoint F [--resume 1]]        save/resume a STREAMCK
+//                                          checkpoint; a resumed run's
+//                                          trace is bit-identical
+//     [--max-events N]                     stop early after N events
+//                                          (kill-and-resume stand-in)
+//     [--horizon T] [--groups N] [--window N] estimator/planner sizing
+//   rumorctl stream-gen --out F            write a scripted scenario log
+//     [--format jsonl|binary] [--nodes N]  (growth + churn + mid-stream
+//     [--ticks N] [--seed-tick K]          rumor seeding + λ drift; pure
+//     [--drift-tick K] [--scenario-seed S] function of the spec)
 //
 // Serving (docs/serving.md):
 //   rumorctl serve [opts]                  run the rumord daemon
@@ -110,6 +138,10 @@
 #include "serve/server.hpp"
 #include "sim/agent_sim.hpp"
 #include "sim/checkpoint.hpp"
+#include "stream/engine.hpp"
+#include "stream/event.hpp"
+#include "stream/scenario.hpp"
+#include "util/build_info.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
@@ -733,12 +765,157 @@ int cmd_shutdown(const Args& args) {
   return 0;
 }
 
+// ---- streaming (docs/streaming.md) -----------------------------------
+
+stream::StreamConfig stream_config_from(const Args& args) {
+  stream::StreamConfig config;
+  config.num_nodes = static_cast<std::size_t>(args.number("nodes", 0.0));
+  util::require(config.num_nodes >= 1, "stream: --nodes N is required");
+  config.directed = args.number("directed", 0.0) != 0.0;
+  config.dt = args.number("dt", 0.1);
+  config.seed = static_cast<std::uint64_t>(args.number("seed", 1.0));
+  const std::string engine = args.text("engine").value_or("frontier");
+  util::require(engine == "frontier" || engine == "dense",
+                "stream: --engine must be frontier or dense");
+  config.engine = engine == "dense" ? sim::AgentEngine::kDense
+                                    : sim::AgentEngine::kFrontier;
+  config.lambda_scale = args.number("lambda-scale", 1.0);
+  config.alpha = args.number("alpha", 0.05);
+  config.replan_every =
+      static_cast<std::size_t>(args.number("replan-every", 5.0));
+  config.refit_every =
+      static_cast<std::size_t>(args.number("refit-every", 5.0));
+  config.open_loop = args.number("open-loop", 0.0) != 0.0;
+  config.estimator.window =
+      static_cast<std::size_t>(args.number("window", 48.0));
+  config.estimator.min_observations = static_cast<std::size_t>(
+      args.number("min-observations", 6.0));
+  config.planner.groups =
+      static_cast<std::size_t>(args.number("groups", 8.0));
+  config.planner.horizon = args.number("horizon", 10.0);
+  config.planner.grid_points =
+      static_cast<std::size_t>(args.number("grid-points", 41.0));
+  config.planner.max_iterations =
+      static_cast<std::size_t>(args.number("max-iterations", 80.0));
+  config.planner.budget_iterations = static_cast<std::uint64_t>(
+      args.number("budget-iterations", 0.0));
+  config.planner.budget_ms = args.number("budget-ms", 0.0);
+  config.planner.cost.c1 = args.number("c1", 5.0);
+  config.planner.cost.c2 = args.number("c2", 10.0);
+  config.planner.cost.terminal_weight = args.number("terminal-weight", 50.0);
+  return config;
+}
+
+int cmd_stream(const Args& args) {
+  stream::StreamEngine engine(stream_config_from(args));
+
+  const auto checkpoint = args.text("checkpoint");
+  if (checkpoint && std::filesystem::exists(*checkpoint) &&
+      args.number("resume", 1.0) != 0.0) {
+    engine.restore_checkpoint(*checkpoint);
+    std::fprintf(stderr, "resumed from %s at tick %llu (%llu events)\n",
+                 checkpoint->c_str(),
+                 static_cast<unsigned long long>(engine.tick_count()),
+                 static_cast<unsigned long long>(engine.events_ingested()));
+  }
+
+  // Feed from --events FILE or stdin. A resumed run skips the events
+  // the checkpoint already ingested — the cursor is events_ingested().
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (const auto events = args.text("events")) {
+    file.open(*events, std::ios::binary);
+    util::require(file.is_open(), "stream: cannot open " + *events);
+    in = &file;
+  }
+  stream::EventLogReader reader(*in);
+  const std::uint64_t skip = engine.events_ingested();
+  const std::uint64_t max_events = static_cast<std::uint64_t>(
+      args.number("max-events", 0.0));  // crash stand-in for resume tests
+  stream::Event event;
+  while (reader.next(event)) {
+    if (reader.read() <= skip) continue;
+    engine.apply(event);
+    if (max_events != 0 && engine.events_ingested() >= max_events) break;
+  }
+
+  if (checkpoint) engine.save_checkpoint(*checkpoint);
+
+  std::ofstream trace_file;
+  std::ostream* trace = &std::cout;
+  if (const auto path = args.text("trace")) {
+    trace_file.open(*path);
+    util::require(trace_file.is_open(), "stream: cannot open " + *path);
+    trace = &trace_file;
+  }
+  *trace << stream::decision_csv_header() << "\n";
+  for (const stream::DecisionRow& row : engine.decisions()) {
+    *trace << stream::decision_csv_row(row) << "\n";
+  }
+
+  const stream::Estimate& estimate = engine.estimate();
+  std::fprintf(stderr,
+               "stream: events=%llu ticks=%llu decision_crc=%u "
+               "state_crc=%u plans=%llu deadline_misses=%llu "
+               "lambda_hat=%.6f realized_objective=%.6f\n",
+               static_cast<unsigned long long>(engine.events_ingested()),
+               static_cast<unsigned long long>(engine.tick_count()),
+               engine.decision_crc(), engine.state_crc(),
+               static_cast<unsigned long long>(engine.plans()),
+               static_cast<unsigned long long>(engine.deadline_misses()),
+               estimate.valid ? estimate.lambda_scale : 0.0,
+               engine.realized_objective());
+  return 0;
+}
+
+int cmd_stream_gen(const Args& args) {
+  stream::ScenarioSpec spec;
+  spec.num_nodes = static_cast<std::size_t>(args.number("nodes", 400.0));
+  spec.seed = static_cast<std::uint64_t>(args.number("scenario-seed", 7.0));
+  spec.attach_edges =
+      static_cast<std::size_t>(args.number("attach-edges", 3.0));
+  spec.initial_nodes =
+      static_cast<std::size_t>(args.number("initial-nodes", 100.0));
+  spec.ticks = static_cast<std::size_t>(args.number("ticks", 120.0));
+  spec.grow_per_tick =
+      static_cast<std::size_t>(args.number("grow-per-tick", 2.0));
+  spec.churn_per_tick =
+      static_cast<std::size_t>(args.number("churn-per-tick", 1.0));
+  spec.seed_tick = static_cast<std::size_t>(args.number("seed-tick", 10.0));
+  spec.seed_count = static_cast<std::size_t>(args.number("seed-count", 5.0));
+  spec.observe_every =
+      static_cast<std::size_t>(args.number("observe-every", 1.0));
+  spec.drift_tick =
+      static_cast<std::size_t>(args.number("drift-tick", 60.0));
+  spec.drift_lambda_scale = args.number("drift-lambda-scale", 1.6);
+
+  const std::vector<stream::Event> events = stream::make_scenario(spec);
+  const std::string format = args.text("format").value_or("jsonl");
+  util::require(format == "jsonl" || format == "binary",
+                "stream-gen: --format must be jsonl or binary");
+  const auto out = args.text("out");
+  util::require(out.has_value(), "stream-gen: --out FILE is required");
+  stream::save_event_log(events, *out,
+                         format == "binary"
+                             ? stream::EventLogWriter::Format::kBinary
+                             : stream::EventLogWriter::Format::kJsonLines);
+  std::fprintf(stderr, "stream-gen: wrote %zu events to %s (%s)\n",
+               events.size(), out->c_str(), format.c_str());
+  return 0;
+}
+
+int cmd_version() {
+  std::printf("rumorctl %s\n", util::version_line().c_str());
+  std::printf("kernel backend: %s\n", kern::to_string(kern::backend()));
+  return 0;
+}
+
 int usage() {
   std::printf(
       "rumorctl — rumor propagation dynamics & optimized countermeasures\n"
       "usage: rumorctl {stats|threshold|spectrum|simulate|plan|plan-sweep|"
-      "fit|graph-pack|graph-gen-ba|serve|submit|status|cancel|shutdown} "
-      "[--opt value]\n"
+      "fit|graph-pack|graph-gen-ba|stream|stream-gen|serve|submit|status|"
+      "cancel|shutdown|--version} [--opt value]\n"
       "see the header of examples/rumorctl.cpp for the full option list\n");
   return 0;
 }
@@ -757,6 +934,11 @@ int dispatch(const Args& args) {
   if (args.command == "fit") return cmd_fit(args);
   if (args.command == "graph-pack") return cmd_graph_pack(args);
   if (args.command == "graph-gen-ba") return cmd_graph_gen_ba(args);
+  if (args.command == "stream") return cmd_stream(args);
+  if (args.command == "stream-gen") return cmd_stream_gen(args);
+  if (args.command == "version" || args.command == "--version") {
+    return cmd_version();
+  }
   if (args.command == "serve") return cmd_serve(args);
   if (args.command == "submit") return cmd_submit(args);
   if (args.command == "status") return cmd_status(args);

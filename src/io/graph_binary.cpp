@@ -80,10 +80,16 @@ graph::Graph load_graph_any(const std::string& path, bool directed) {
     // A compressed container decompresses to the identical packed CSR
     // (same node order, same neighbor order), so every load_graph_any
     // consumer sees one representation regardless of the file format.
-    if (is_compressed_graph_file(path)) {
+    const std::string kind = ContainerReader::open(path)->kind();
+    if (kind == kCompressedGraphKind) {
       return load_compressed_graph(path)->decompress();
     }
-    return load_graph(path);
+    if (kind == kGraphKind) return load_graph(path);
+    // Some other container (a checkpoint, a sweep artifact, ...) —
+    // name its kind so the user can tell which file they pointed at.
+    throw util::IoError("container " + path + ": kind \"" + kind +
+                        "\" is not a graph (expected \"" + kGraphKind +
+                        "\" or \"" + kCompressedGraphKind + "\")");
   }
   return graph::read_edge_list_file(path, directed);
 }

@@ -27,7 +27,7 @@
 
 namespace rumor::serve {
 
-enum class JobType : std::uint8_t { kSimulate, kPlan, kSweep };
+enum class JobType : std::uint8_t { kSimulate, kPlan, kSweep, kStream };
 
 enum class JobState : std::uint8_t {
   kQueued,

@@ -17,6 +17,8 @@
 #include "io/crc32.hpp"
 #include "sim/agent_sim.hpp"
 #include "sim/checkpoint.hpp"
+#include "stream/engine.hpp"
+#include "stream/event.hpp"
 #include "util/error.hpp"
 #include "util/file.hpp"
 
@@ -297,6 +299,99 @@ RunOutcome run_sweep(Job& job, GraphCache& cache) {
   return {RunOutcome::kCompleted, std::move(result)};
 }
 
+// ---- stream ---------------------------------------------------------
+
+stream::StreamConfig parse_stream_config(const io::JsonValue& spec) {
+  stream::StreamConfig config;
+  const io::JsonValue* nodes = spec.find("num_nodes");
+  util::require(nodes != nullptr && nodes->is_number(),
+                "job spec: 'num_nodes' (number) is required for stream");
+  config.num_nodes = static_cast<std::size_t>(nodes->as_number());
+  config.directed = spec.bool_or("directed", false);
+  config.dt = spec.number_or("dt", 0.1);
+  config.seed = spec.u64_or("seed", 1);
+  config.engine = parse_engine(spec);
+  config.lambda_scale = spec.number_or("lambda_scale", 1.0);
+  config.alpha = spec.number_or("alpha", 0.05);
+  config.replan_every =
+      static_cast<std::size_t>(spec.number_or("replan_every", 5.0));
+  config.refit_every =
+      static_cast<std::size_t>(spec.number_or("refit_every", 5.0));
+  config.open_loop = spec.bool_or("open_loop", false);
+  config.estimator.window =
+      static_cast<std::size_t>(spec.number_or("window", 48.0));
+  config.estimator.min_observations = static_cast<std::size_t>(
+      spec.number_or("min_observations", 6.0));
+  config.planner.groups =
+      static_cast<std::size_t>(spec.number_or("groups", 8.0));
+  config.planner.horizon = spec.number_or("horizon", 10.0);
+  config.planner.grid_points =
+      static_cast<std::size_t>(spec.number_or("grid_points", 41.0));
+  config.planner.substeps =
+      static_cast<std::size_t>(spec.number_or("substeps", 2.0));
+  config.planner.max_iterations =
+      static_cast<std::size_t>(spec.number_or("max_iterations", 80.0));
+  config.planner.budget_iterations = spec.u64_or("budget_iterations", 0);
+  config.planner.budget_ms = spec.number_or("budget_ms", 0.0);
+  config.planner.cost.c1 = spec.number_or("c1", 5.0);
+  config.planner.cost.c2 = spec.number_or("c2", 10.0);
+  config.planner.cost.terminal_weight =
+      spec.number_or("terminal_weight", 50.0);
+  config.validate();
+  return config;
+}
+
+RunOutcome run_stream(Job& job) {
+  const io::JsonValue& spec = require_spec(job);
+  const io::JsonValue* events_path = spec.find("events");
+  util::require(events_path != nullptr && events_path->is_string(),
+                "job spec: 'events' (event log path) is required");
+  const std::vector<stream::Event> events =
+      stream::load_event_log(events_path->as_string());
+
+  stream::StreamEngine engine(parse_stream_config(spec));
+  const std::string checkpoint_path = job.dir + "/stream.streamck";
+  if (std::filesystem::exists(checkpoint_path)) {
+    // Resuming after a preemption: the checkpoint carries the event
+    // cursor (events_ingested), so the replay continues exactly where
+    // the interrupted run stopped.
+    engine.restore_checkpoint(checkpoint_path);
+  }
+
+  for (std::uint64_t e = engine.events_ingested(); e < events.size(); ++e) {
+    if (!job.keep_going()) {
+      if (job.directive.load(std::memory_order_relaxed) ==
+          Directive::kYield) {
+        engine.save_checkpoint(checkpoint_path);
+      }
+      return {RunOutcome::kInterrupted, {}};
+    }
+    engine.apply(events[e]);
+  }
+
+  // Persist the decision trace next to the job for later retrieval.
+  std::string csv = stream::decision_csv_header() + "\n";
+  for (const stream::DecisionRow& row : engine.decisions()) {
+    csv += stream::decision_csv_row(row) + "\n";
+  }
+  util::write_file_atomic(job.dir + "/decisions.csv", csv);
+
+  io::JsonValue result = io::JsonValue::make_object();
+  result.set("events", static_cast<double>(engine.events_ingested()));
+  result.set("ticks", static_cast<double>(engine.tick_count()));
+  result.set("decision_crc", static_cast<double>(engine.decision_crc()));
+  result.set("state_crc", static_cast<double>(engine.state_crc()));
+  result.set("plans", static_cast<double>(engine.plans()));
+  result.set("deadline_misses",
+             static_cast<double>(engine.deadline_misses()));
+  result.set("lambda_hat", engine.estimate().valid
+                               ? engine.estimate().lambda_scale
+                               : 0.0);
+  result.set("realized_objective", engine.realized_objective());
+  result.set("infected", static_cast<double>(engine.census().infected));
+  return {RunOutcome::kCompleted, std::move(result)};
+}
+
 }  // namespace
 
 RunOutcome run_job(Job& job, GraphCache& cache) {
@@ -304,6 +399,7 @@ RunOutcome run_job(Job& job, GraphCache& cache) {
     case JobType::kSimulate: return run_simulate(job, cache);
     case JobType::kPlan: return run_plan(job, cache);
     case JobType::kSweep: return run_sweep(job, cache);
+    case JobType::kStream: return run_stream(job);
   }
   throw util::InvalidArgument("run_job: unknown job type");
 }

@@ -23,6 +23,7 @@ const char* to_string(JobType type) {
     case JobType::kSimulate: return "simulate";
     case JobType::kPlan: return "plan";
     case JobType::kSweep: return "sweep";
+    case JobType::kStream: return "stream";
   }
   return "unknown";
 }

@@ -4,8 +4,10 @@
 
 #include <algorithm>
 
+#include "kern/kern.hpp"
 #include "obs/export.hpp"
 #include "serve/metrics.hpp"
+#include "util/build_info.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -227,11 +229,13 @@ io::JsonValue Server::handle_request(const io::JsonValue& request) {
       type = JobType::kPlan;
     } else if (type_name == "sweep") {
       type = JobType::kSweep;
+    } else if (type_name == "stream") {
+      type = JobType::kStream;
     } else {
       serve_metrics().protocol_errors.add();
       return error_response(
           kErrBadRequest,
-          "submit: type must be simulate | plan | sweep");
+          "submit: type must be simulate | plan | sweep | stream");
     }
     io::JsonValue spec = io::JsonValue::make_object();
     if (const io::JsonValue* given = request.find("spec")) spec = *given;
@@ -279,6 +283,16 @@ io::JsonValue Server::handle_request(const io::JsonValue& request) {
     io::JsonValue response = ok_response();
     response.set("prometheus",
                  obs::to_prometheus(obs::metrics().snapshot()));
+    return response;
+  }
+  if (op == "version") {
+    const util::BuildInfo& info = util::build_info();
+    io::JsonValue response = ok_response();
+    response.set("version", info.git_describe);
+    response.set("build_type", info.build_type);
+    response.set("compiler", info.compiler);
+    response.set("kernel_backend",
+                 std::string(kern::to_string(kern::backend())));
     return response;
   }
   if (op == "shutdown") {

@@ -1,0 +1,237 @@
+// On-disk form of a streaming run ("STREAMCK" containers) — the
+// preempt/resume path for `serve` stream jobs and `rumorctl stream
+// --checkpoint`.
+//
+// Sections:
+//   stream.meta       config guard (nodes/directed/dt/seed/engine) +
+//                     the engine's scalar state (tick/event counters,
+//                     trace CRC accumulator, realized-cost integrals,
+//                     the current *true* λ scale)
+//   stream.graph      the canonical edge list of the LiveGraph
+//   agent.*           the simulation checkpoint, via sim/checkpoint.hpp
+//                     (appended against the synced topology)
+//   stream.estimator  raw observation window + current estimate
+//   stream.planner    active schedule knots + plan/miss counters
+//   stream.decisions  every decision row so far (the resumed engine
+//                     re-exposes the full trace, so a resumed run's
+//                     output is byte-comparable with an uninterrupted
+//                     one)
+//
+// save_checkpoint syncs pending topology first; the rebuild is
+// decision-invariant (engine.hpp), so checkpoint timing never shows in
+// the trace. restore_checkpoint validates the guard fields against the
+// engine's config and the rebuilt graph before touching any state —
+// a checkpoint from a different stream fails with util::IoError, it
+// never half-restores.
+#include <utility>
+
+#include "io/container.hpp"
+#include "sim/checkpoint.hpp"
+#include "stream/engine.hpp"
+#include "util/error.hpp"
+
+namespace rumor::stream {
+
+namespace {
+
+void append_row(io::ByteWriter& writer, const DecisionRow& row) {
+  writer.u64(row.tick);
+  writer.f64(row.t);
+  writer.f64(row.eps1);
+  writer.f64(row.eps2);
+  writer.u8(row.refit ? 1 : 0);
+  writer.u8(row.replanned ? 1 : 0);
+  writer.u8(row.deadline_miss ? 1 : 0);
+  writer.f64(row.lambda_hat);
+  writer.f64(row.lambda_stddev);
+  writer.f64(row.prevalence);
+  writer.f64(row.predicted_objective);
+  writer.f64(row.realized_running);
+  writer.f64(row.regret);
+}
+
+DecisionRow take_row(io::ByteReader& reader) {
+  DecisionRow row;
+  row.tick = reader.u64();
+  row.t = reader.f64();
+  row.eps1 = reader.f64();
+  row.eps2 = reader.f64();
+  row.refit = reader.u8() != 0;
+  row.replanned = reader.u8() != 0;
+  row.deadline_miss = reader.u8() != 0;
+  row.lambda_hat = reader.f64();
+  row.lambda_stddev = reader.f64();
+  row.prevalence = reader.f64();
+  row.predicted_objective = reader.f64();
+  row.realized_running = reader.f64();
+  row.regret = reader.f64();
+  return row;
+}
+
+void guard(bool ok, const std::string& what, const std::string& path) {
+  if (!ok) {
+    throw util::IoError("stream checkpoint " + path +
+                        ": configuration mismatch (" + what + ")");
+  }
+}
+
+}  // namespace
+
+void StreamEngine::save_checkpoint(const std::string& path) {
+  // Fold pending topology/param deltas in first so the agent sections
+  // are written against the graph the restore will rebuild.
+  sync_sim();
+
+  io::ContainerWriter writer(kStreamCheckpointKind);
+
+  io::ByteWriter meta;
+  meta.u64(config_.num_nodes);
+  meta.u8(config_.directed ? 1 : 0);
+  meta.f64(config_.dt);
+  meta.u64(config_.seed);
+  meta.u8(static_cast<std::uint8_t>(config_.engine));
+  meta.u8(config_.open_loop ? 1 : 0);
+  meta.u64(config_.replan_every);
+  meta.u64(config_.refit_every);
+  meta.u64(tick_count_);
+  meta.u64(events_);
+  meta.u64(pending_since_tick_);
+  meta.u32(crc_);
+  meta.f64(lambda_scale_true_);
+  meta.f64(realized_running_);
+  meta.f64(segment_realized_);
+  meta.f64(predicted_segment_);
+  meta.u8(have_segment_ ? 1 : 0);
+  meta.f64(last_regret_);
+  meta.u8(planned_once_ ? 1 : 0);
+  meta.f64(last_predicted_objective_);
+  writer.add_section("stream.meta", std::move(meta));
+
+  io::ByteWriter edges;
+  const auto edge_list = live_.edges();
+  edges.u64(edge_list.size());
+  for (const auto& [u, v] : edge_list) {
+    edges.u32(u);
+    edges.u32(v);
+  }
+  writer.add_section("stream.graph", std::move(edges));
+
+  sim::append_agent_checkpoint(writer, *sim_);
+
+  io::ByteWriter est;
+  est.vec(estimator_.raw_times());
+  est.vec(estimator_.raw_values());
+  const Estimate& estimate = estimator_.estimate();
+  est.u8(estimate.valid ? 1 : 0);
+  est.f64(estimate.lambda_scale);
+  est.f64(estimate.stddev);
+  est.f64(estimate.rss);
+  est.u64(estimate.observations);
+  est.u64(estimate.refits);
+  writer.add_section("stream.estimator", std::move(est));
+
+  io::ByteWriter plan;
+  const RollingPlanner::Snapshot snapshot = planner_.snapshot();
+  plan.u8(snapshot.has_schedule ? 1 : 0);
+  plan.vec(snapshot.grid);
+  plan.vec(snapshot.epsilon1);
+  plan.vec(snapshot.epsilon2);
+  plan.u64(snapshot.plans);
+  plan.u64(snapshot.misses);
+  writer.add_section("stream.planner", std::move(plan));
+
+  io::ByteWriter trace;
+  trace.u64(decisions_.size());
+  for (const DecisionRow& row : decisions_) append_row(trace, row);
+  writer.add_section("stream.decisions", std::move(trace));
+
+  writer.write_file(path);
+}
+
+void StreamEngine::restore_checkpoint(const std::string& path) {
+  const auto container = io::ContainerReader::open(path);
+  container->require_kind(kStreamCheckpointKind);
+
+  io::ByteReader meta = container->reader("stream.meta");
+  guard(meta.u64() == config_.num_nodes, "num_nodes", path);
+  guard((meta.u8() != 0) == config_.directed, "directed", path);
+  guard(meta.f64() == config_.dt, "dt", path);
+  guard(meta.u64() == config_.seed, "seed", path);
+  guard(meta.u8() == static_cast<std::uint8_t>(config_.engine), "engine",
+        path);
+  guard((meta.u8() != 0) == config_.open_loop, "open_loop", path);
+  guard(meta.u64() == config_.replan_every, "replan_every", path);
+  guard(meta.u64() == config_.refit_every, "refit_every", path);
+  tick_count_ = meta.u64();
+  events_ = meta.u64();
+  pending_since_tick_ = meta.u64();
+  crc_ = meta.u32();
+  lambda_scale_true_ = meta.f64();
+  realized_running_ = meta.f64();
+  segment_realized_ = meta.f64();
+  predicted_segment_ = meta.f64();
+  have_segment_ = meta.u8() != 0;
+  last_regret_ = meta.f64();
+  planned_once_ = meta.u8() != 0;
+  last_predicted_objective_ = meta.f64();
+  meta.expect_end();
+
+  io::ByteReader edges = container->reader("stream.graph");
+  const std::uint64_t edge_count = edges.u64();
+  LiveGraph live(config_.num_nodes, config_.directed);
+  for (std::uint64_t e = 0; e < edge_count; ++e) {
+    const graph::NodeId u = edges.u32();
+    const graph::NodeId v = edges.u32();
+    if (!live.add_edge(u, v)) {
+      throw util::IoError("stream checkpoint " + path +
+                          ": duplicate edge in stream.graph");
+    }
+  }
+  edges.expect_end();
+  live_ = std::move(live);
+
+  io::ByteReader plan = container->reader("stream.planner");
+  RollingPlanner::Snapshot snapshot;
+  snapshot.has_schedule = plan.u8() != 0;
+  snapshot.grid = plan.vec<double>();
+  snapshot.epsilon1 = plan.vec<double>();
+  snapshot.epsilon2 = plan.vec<double>();
+  snapshot.plans = plan.u64();
+  snapshot.misses = plan.u64();
+  plan.expect_end();
+  planner_.restore(snapshot);
+
+  // Rebuild the frozen graph + simulation against the restored edge
+  // set, then lay the agent checkpoint over it (validates node/arc
+  // counts and dt against this rebuilt topology).
+  csr_ = std::make_unique<graph::Graph>(live_.build_csr());
+  sim_ = std::make_unique<sim::AgentSimulation>(*csr_, agent_params(),
+                                                config_.seed);
+  sim::restore_agent_checkpoint(*container, *sim_);
+  sim_->set_control_schedule(planner_.schedule());
+  topo_dirty_ = params_dirty_ = false;
+
+  io::ByteReader est = container->reader("stream.estimator");
+  std::vector<double> times = est.vec<double>();
+  std::vector<double> values = est.vec<double>();
+  Estimate estimate;
+  estimate.valid = est.u8() != 0;
+  estimate.lambda_scale = est.f64();
+  estimate.stddev = est.f64();
+  estimate.rss = est.f64();
+  estimate.observations = est.u64();
+  estimate.refits = est.u64();
+  est.expect_end();
+  estimator_.restore(std::move(times), std::move(values), estimate);
+
+  io::ByteReader trace = container->reader("stream.decisions");
+  const std::uint64_t rows = trace.u64();
+  decisions_.clear();
+  decisions_.reserve(rows);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    decisions_.push_back(take_row(trace));
+  }
+  trace.expect_end();
+}
+
+}  // namespace rumor::stream

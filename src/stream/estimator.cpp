@@ -1,0 +1,176 @@
+#include "stream/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace rumor::stream {
+
+namespace {
+
+// Controls passed to the fitter must be strictly positive (the fitter
+// works in log space even for frozen parameters).
+constexpr double kEpsilonFloor = 1e-3;
+
+double clamp(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+}  // namespace
+
+void EstimatorOptions::validate() const {
+  util::require(window >= 3, "EstimatorOptions: window must be >= 3");
+  util::require(min_observations >= 3,
+                "EstimatorOptions: min_observations must be >= 3");
+  util::require(starts >= 1 && refine_top >= 1,
+                "EstimatorOptions: need at least one start and refinement");
+  util::require(simulation_dt > 0.0,
+                "EstimatorOptions: simulation_dt must be positive");
+}
+
+OnlineEstimator::OnlineEstimator(EstimatorOptions options)
+    : options_(options) {
+  options_.validate();
+}
+
+void OnlineEstimator::observe(double t, double value) {
+  util::require(std::isfinite(t) && std::isfinite(value),
+                "OnlineEstimator: observation must be finite");
+  times_.push_back(t);
+  values_.push_back(clamp(value, 0.0, 1.0));
+  // Bound the raw buffer too: 4× the canonical window is plenty to
+  // absorb duplicates/reorderings without unbounded growth on an
+  // infinite stream.
+  const std::size_t cap = options_.window * 4;
+  if (times_.size() > cap) {
+    times_.erase(times_.begin(), times_.end() - cap);
+    values_.erase(values_.begin(), values_.end() - cap);
+  }
+}
+
+core::CascadeObservations OnlineEstimator::canonical() const {
+  // Stable sort by time keeps arrival order within a duplicated
+  // timestamp, so "last arrival wins" below is well defined.
+  std::vector<std::size_t> order(times_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return times_[a] < times_[b];
+                   });
+  core::CascadeObservations obs;
+  obs.t.reserve(order.size());
+  obs.infected_density.reserve(order.size());
+  for (const std::size_t i : order) {
+    if (!obs.t.empty() && times_[i] == obs.t.back()) {
+      obs.infected_density.back() = values_[i];  // last wins
+      continue;
+    }
+    obs.t.push_back(times_[i]);
+    obs.infected_density.push_back(values_[i]);
+  }
+  if (obs.t.size() > options_.window) {
+    const std::size_t drop = obs.t.size() - options_.window;
+    obs.t.erase(obs.t.begin(), obs.t.begin() + drop);
+    obs.infected_density.erase(obs.infected_density.begin(),
+                               obs.infected_density.begin() + drop);
+  }
+  return obs;
+}
+
+std::size_t OnlineEstimator::canonical_size() const {
+  return canonical().t.size();
+}
+
+bool OnlineEstimator::refit(const core::NetworkProfile& profile,
+                            const core::ModelParams& guess, double epsilon1,
+                            double epsilon2) {
+  const core::CascadeObservations obs = canonical();
+  if (obs.t.size() < std::max<std::size_t>(3, options_.min_observations)) {
+    return false;
+  }
+  // A window shorter than a couple of integration steps carries no
+  // dynamics to fit against (all residuals hit one simulated sample).
+  if (obs.t.back() - obs.t.front() < 2.0 * options_.simulation_dt) {
+    return false;
+  }
+
+  core::ModelParams warm = guess;
+  if (estimate_.valid) {
+    warm.lambda = guess.lambda.with_scale(estimate_.lambda_scale);
+  }
+  const double e1 = std::max(epsilon1, kEpsilonFloor);
+  const double e2 = std::max(epsilon2, kEpsilonFloor);
+
+  core::MultistartSpec spec;
+  spec.starts = options_.starts;
+  spec.refine_top = options_.refine_top;
+  spec.log_spread = options_.log_spread;
+  spec.seed = options_.seed;
+  spec.fit.fit_lambda_scale = true;
+  spec.fit.fit_epsilon1 = false;
+  spec.fit.fit_epsilon2 = false;
+  spec.fit.simulation_dt = options_.simulation_dt;
+  spec.fit.max_evaluations = options_.max_evaluations;
+  // The window starts mid-epidemic: anchor the candidate trajectories
+  // at the first observed prevalence instead of the batch default.
+  spec.fit.initial_fraction =
+      clamp(obs.infected_density.front(), 1e-5, 0.95);
+
+  core::MultistartResult fit;
+  try {
+    fit = core::fit_to_cascade_multistart(profile, warm, e1, e2, obs, spec);
+  } catch (const std::exception&) {
+    // Degenerate windows (e.g. identically-zero prevalence) can defeat
+    // the optimizer; keep the previous estimate.
+    return false;
+  }
+  const double scale = fit.best.params.lambda.scale();
+  if (!std::isfinite(scale) || scale <= 0.0) return false;
+
+  // Curvature-based 1σ: second difference of RSS in log-scale space at
+  // the optimum, residual variance σ² = RSS/(n − 1), Var(log s) =
+  // 2σ²/∂²RSS. Delta method maps back to the scale itself.
+  double stddev = 0.0;
+  const std::size_t n = obs.t.size();
+  if (n > 1) {
+    const double h = 0.05;
+    const auto rss_at = [&](double s) {
+      core::ModelParams p = warm;
+      p.lambda = warm.lambda.with_scale(s);
+      return core::cascade_rss(profile, p, e1, e2, obs, spec.fit);
+    };
+    const double r0 = fit.best.rss;
+    const double rp = rss_at(scale * std::exp(h));
+    const double rm = rss_at(scale * std::exp(-h));
+    const double d2 = (rp - 2.0 * r0 + rm) / (h * h);
+    if (std::isfinite(d2) && d2 > 0.0) {
+      const double sigma2 = r0 / static_cast<double>(n - 1);
+      const double var_log = 2.0 * sigma2 / d2;
+      if (std::isfinite(var_log) && var_log >= 0.0) {
+        stddev = std::min(scale * std::sqrt(var_log), scale * 10.0);
+      }
+    }
+  }
+
+  estimate_.valid = true;
+  estimate_.lambda_scale = scale;
+  estimate_.stddev = stddev;
+  estimate_.rss = fit.best.rss;
+  estimate_.observations = n;
+  ++estimate_.refits;
+  return true;
+}
+
+void OnlineEstimator::restore(std::vector<double> times,
+                              std::vector<double> values,
+                              Estimate estimate) {
+  util::require(times.size() == values.size(),
+                "OnlineEstimator: time/value size mismatch");
+  times_ = std::move(times);
+  values_ = std::move(values);
+  estimate_ = estimate;
+}
+
+}  // namespace rumor::stream

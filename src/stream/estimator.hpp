@@ -1,0 +1,107 @@
+// Online state estimator: a windowed recursive refit of the acceptance
+// scale λ over the live prevalence trace (ROADMAP item 5, middle leg).
+//
+// The batch fitter (core/fitting.hpp) demands a clean cascade: at least
+// three strictly-increasing observation times. A live feed delivers
+// anything but — duplicated timestamps (two sensors reporting the same
+// instant), out-of-order arrivals, and windows shorter than the
+// transient. observe() therefore only buffers; refit() canonicalizes
+// the rolling window first (stable sort by time, last-wins merge of
+// duplicate timestamps, trim to the newest `window` points) and refuses
+// to fit a window that is still degenerate after cleaning, leaving the
+// previous estimate in place rather than poisoning it.
+//
+// Each refit is warm-started from the previous estimate and screened
+// through fit_to_cascade_multistart's batched lane-per-problem sweep
+// (PR 9), so the recursive chain tracks drifting true parameters
+// without re-exploring the whole parameter space every window. The
+// returned Estimate carries a curvature-based 1σ uncertainty: the
+// second difference of the RSS surface at the optimum (in log-scale
+// space), scaled by the residual variance — a Gauss–Newton style
+// covariance for the single fitted parameter.
+//
+// Determinism: everything here is a pure function of the observation
+// window and the options (fixed multistart seed, no wall-clock reads),
+// so replayed logs refit to bit-identical estimates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fitting.hpp"
+#include "core/params.hpp"
+#include "core/profile.hpp"
+
+namespace rumor::stream {
+
+struct EstimatorOptions {
+  /// Newest observations kept after canonicalization.
+  std::size_t window = 48;
+  /// Minimum canonical observations before a fit is attempted (>= 3,
+  /// the batch fitter's own floor).
+  std::size_t min_observations = 6;
+  /// Multistart screen breadth around the warm start (see
+  /// core::MultistartSpec).
+  std::size_t starts = 6;
+  std::size_t refine_top = 1;
+  double log_spread = 0.4;
+  std::uint64_t seed = 97;
+  /// Per-candidate integration step and Nelder–Mead budget.
+  double simulation_dt = 0.05;
+  std::size_t max_evaluations = 120;
+
+  void validate() const;
+};
+
+/// The maintained (λ̂, σ) pair plus fit diagnostics.
+struct Estimate {
+  bool valid = false;
+  double lambda_scale = 1.0;
+  double stddev = 0.0;  ///< 1σ on lambda_scale; 0 when not computable
+  double rss = 0.0;
+  std::size_t observations = 0;  ///< canonical points behind the fit
+  std::uint64_t refits = 0;      ///< successful fits so far
+};
+
+class OnlineEstimator {
+ public:
+  explicit OnlineEstimator(EstimatorOptions options);
+
+  /// Buffer one prevalence measurement (population infected density at
+  /// time t). Accepts duplicates and out-of-order times.
+  void observe(double t, double value);
+
+  /// Canonical observation count the next refit would see.
+  std::size_t canonical_size() const;
+  bool ready() const { return canonical_size() >= options_.min_observations; }
+
+  /// Refit λ̂ against `profile` under (approximately) constant applied
+  /// controls. `guess` supplies α/ω and the warm-start λ scale is the
+  /// previous estimate (or guess.lambda on the first fit). Returns true
+  /// when the window produced a new valid estimate; false leaves the
+  /// previous estimate untouched.
+  bool refit(const core::NetworkProfile& profile,
+             const core::ModelParams& guess, double epsilon1,
+             double epsilon2);
+
+  const Estimate& estimate() const { return estimate_; }
+  const EstimatorOptions& options() const { return options_; }
+
+  // --- checkpoint access (stream/checkpoint.cpp) ---------------------
+  const std::vector<double>& raw_times() const { return times_; }
+  const std::vector<double>& raw_values() const { return values_; }
+  void restore(std::vector<double> times, std::vector<double> values,
+               Estimate estimate);
+
+ private:
+  /// The cleaned window: sorted, duplicate times merged last-wins,
+  /// trimmed to the newest `window` points.
+  core::CascadeObservations canonical() const;
+
+  EstimatorOptions options_;
+  std::vector<double> times_;   ///< raw arrival order
+  std::vector<double> values_;
+  Estimate estimate_;
+};
+
+}  // namespace rumor::stream

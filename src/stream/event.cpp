@@ -1,0 +1,331 @@
+#include "stream/event.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "io/json.hpp"
+#include "util/error.hpp"
+
+namespace rumor::stream {
+
+namespace {
+
+constexpr std::uint8_t kMaxKind = static_cast<std::uint8_t>(
+    EventKind::kSetParams);
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void put_f64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint32_t take_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  if (!in.read(reinterpret_cast<char*>(&v), sizeof v)) {
+    throw util::IoError("event log: truncated binary record");
+  }
+  return v;
+}
+
+double take_f64(std::istream& in) {
+  double v = 0.0;
+  if (!in.read(reinterpret_cast<char*>(&v), sizeof v)) {
+    throw util::IoError("event log: truncated binary record");
+  }
+  return v;
+}
+
+bool take_flag(std::istream& in) {
+  const int byte = in.get();
+  if (byte == std::char_traits<char>::eof()) {
+    throw util::IoError("event log: truncated binary record");
+  }
+  return byte != 0;
+}
+
+graph::NodeId node_field(const io::JsonValue& doc, const char* key) {
+  const io::JsonValue* field = doc.find(key);
+  if (field == nullptr || !field->is_number()) {
+    throw util::IoError(std::string("event: missing node field '") + key +
+                        "'");
+  }
+  const double value = field->as_number();
+  if (value < 0.0 || value != static_cast<double>(
+                                  static_cast<graph::NodeId>(value))) {
+    throw util::IoError(std::string("event: node field '") + key +
+                        "' is not a valid node id");
+  }
+  return static_cast<graph::NodeId>(value);
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kEdgeAdd: return "edge_add";
+    case EventKind::kEdgeDel: return "edge_del";
+    case EventKind::kSeedInfect: return "seed_infect";
+    case EventKind::kObservePrevalence: return "observe_prevalence";
+    case EventKind::kTick: return "tick";
+    case EventKind::kSetParams: return "set_params";
+  }
+  return "?";
+}
+
+bool Event::operator==(const Event& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case EventKind::kEdgeAdd:
+    case EventKind::kEdgeDel:
+      return u == other.u && v == other.v;
+    case EventKind::kSeedInfect:
+      return nodes == other.nodes;
+    case EventKind::kObservePrevalence:
+      return has_t == other.has_t && has_value == other.has_value &&
+             (!has_t || t == other.t) && (!has_value || value == other.value);
+    case EventKind::kTick:
+      return count == other.count;
+    case EventKind::kSetParams:
+      return lambda_scale == other.lambda_scale;
+  }
+  return false;
+}
+
+Event parse_event_json(std::string_view line) {
+  const io::JsonValue doc = io::JsonValue::parse(line);
+  if (!doc.is_object()) {
+    throw util::IoError("event: each line must be a JSON object");
+  }
+  const std::string ev = doc.string_or("ev", "");
+  Event event;
+  if (ev == "edge_add" || ev == "edge_del") {
+    event.kind = ev == "edge_add" ? EventKind::kEdgeAdd : EventKind::kEdgeDel;
+    event.u = node_field(doc, "u");
+    event.v = node_field(doc, "v");
+  } else if (ev == "seed_infect") {
+    event.kind = EventKind::kSeedInfect;
+    const io::JsonValue* nodes = doc.find("nodes");
+    if (nodes == nullptr || !nodes->is_array()) {
+      throw util::IoError("event: seed_infect requires a 'nodes' array");
+    }
+    event.nodes.reserve(nodes->as_array().size());
+    for (const io::JsonValue& entry : nodes->as_array()) {
+      if (!entry.is_number() || entry.as_number() < 0.0) {
+        throw util::IoError("event: seed_infect nodes must be node ids");
+      }
+      event.nodes.push_back(static_cast<graph::NodeId>(entry.as_number()));
+    }
+  } else if (ev == "observe_prevalence") {
+    event.kind = EventKind::kObservePrevalence;
+    if (const io::JsonValue* t = doc.find("t")) {
+      event.has_t = true;
+      event.t = t->as_number();
+    }
+    if (const io::JsonValue* value = doc.find("value")) {
+      event.has_value = true;
+      event.value = value->as_number();
+      if (event.value < 0.0 || event.value > 1.0) {
+        throw util::IoError(
+            "event: observe_prevalence value must be in [0, 1]");
+      }
+    }
+  } else if (ev == "tick") {
+    event.kind = EventKind::kTick;
+    const double count = doc.number_or("count", 1.0);
+    if (count < 1.0 || count > 1e9 ||
+        count != static_cast<double>(static_cast<std::uint32_t>(count))) {
+      throw util::IoError("event: tick count must be a positive integer");
+    }
+    event.count = static_cast<std::uint32_t>(count);
+  } else if (ev == "set_params") {
+    event.kind = EventKind::kSetParams;
+    event.lambda_scale = doc.number_or("lambda_scale", 1.0);
+    if (!(event.lambda_scale > 0.0)) {
+      throw util::IoError("event: set_params lambda_scale must be positive");
+    }
+  } else {
+    throw util::IoError("event: unknown kind '" + ev + "'");
+  }
+  return event;
+}
+
+std::string event_to_json(const Event& event) {
+  io::JsonValue doc = io::JsonValue::make_object();
+  doc.set("ev", to_string(event.kind));
+  switch (event.kind) {
+    case EventKind::kEdgeAdd:
+    case EventKind::kEdgeDel:
+      doc.set("u", static_cast<double>(event.u));
+      doc.set("v", static_cast<double>(event.v));
+      break;
+    case EventKind::kSeedInfect: {
+      io::JsonValue nodes = io::JsonValue::make_array();
+      for (const graph::NodeId node : event.nodes) {
+        nodes.push_back(static_cast<double>(node));
+      }
+      doc.set("nodes", std::move(nodes));
+      break;
+    }
+    case EventKind::kObservePrevalence:
+      if (event.has_t) doc.set("t", event.t);
+      if (event.has_value) doc.set("value", event.value);
+      break;
+    case EventKind::kTick:
+      if (event.count != 1) doc.set("count", static_cast<double>(event.count));
+      break;
+    case EventKind::kSetParams:
+      doc.set("lambda_scale", event.lambda_scale);
+      break;
+  }
+  return doc.dump();
+}
+
+EventLogWriter::EventLogWriter(std::ostream& out, Format format)
+    : out_(out), format_(format) {
+  if (format_ == Format::kBinary) {
+    out_.write(kEventLogMagic, sizeof kEventLogMagic);
+  }
+}
+
+void EventLogWriter::write(const Event& event) {
+  ++written_;
+  if (format_ == Format::kJsonLines) {
+    out_ << event_to_json(event) << '\n';
+    return;
+  }
+  out_.put(static_cast<char>(event.kind));
+  switch (event.kind) {
+    case EventKind::kEdgeAdd:
+    case EventKind::kEdgeDel:
+      put_u32(out_, event.u);
+      put_u32(out_, event.v);
+      break;
+    case EventKind::kSeedInfect:
+      put_u32(out_, static_cast<std::uint32_t>(event.nodes.size()));
+      for (const graph::NodeId node : event.nodes) put_u32(out_, node);
+      break;
+    case EventKind::kObservePrevalence:
+      out_.put(event.has_t ? 1 : 0);
+      put_f64(out_, event.t);
+      out_.put(event.has_value ? 1 : 0);
+      put_f64(out_, event.value);
+      break;
+    case EventKind::kTick:
+      put_u32(out_, event.count);
+      break;
+    case EventKind::kSetParams:
+      put_f64(out_, event.lambda_scale);
+      break;
+  }
+  if (!out_) throw util::IoError("event log: write failed");
+}
+
+EventLogReader::EventLogReader(std::istream& in) : in_(in) {
+  char head[sizeof kEventLogMagic];
+  in_.read(head, sizeof head);
+  const auto got = static_cast<std::size_t>(in_.gcount());
+  if (got == sizeof head &&
+      std::memcmp(head, kEventLogMagic, sizeof head) == 0) {
+    binary_ = true;
+  } else {
+    // Not a binary log: the sniffed bytes are the start of the text.
+    carry_.assign(head, got);
+    in_.clear(in_.rdstate() & ~std::ios::failbit);
+  }
+}
+
+bool EventLogReader::next(Event& event) {
+  if (binary_) {
+    const int kind_byte = in_.get();
+    if (kind_byte == std::char_traits<char>::eof()) return false;
+    if (kind_byte < 0 || kind_byte > kMaxKind) {
+      throw util::IoError("event log: unknown binary event kind " +
+                          std::to_string(kind_byte));
+    }
+    event = Event{};
+    event.kind = static_cast<EventKind>(kind_byte);
+    switch (event.kind) {
+      case EventKind::kEdgeAdd:
+      case EventKind::kEdgeDel:
+        event.u = take_u32(in_);
+        event.v = take_u32(in_);
+        break;
+      case EventKind::kSeedInfect: {
+        const std::uint32_t count = take_u32(in_);
+        event.nodes.resize(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          event.nodes[i] = take_u32(in_);
+        }
+        break;
+      }
+      case EventKind::kObservePrevalence:
+        event.has_t = take_flag(in_);
+        event.t = take_f64(in_);
+        event.has_value = take_flag(in_);
+        event.value = take_f64(in_);
+        break;
+      case EventKind::kTick:
+        event.count = take_u32(in_);
+        break;
+      case EventKind::kSetParams:
+        event.lambda_scale = take_f64(in_);
+        break;
+    }
+    ++read_;
+    return true;
+  }
+
+  // Text mode: assemble lines from the carried sniff bytes + the stream.
+  for (;;) {
+    std::string line;
+    const std::size_t newline = carry_.find('\n');
+    if (newline != std::string::npos) {
+      line = carry_.substr(0, newline);
+      carry_.erase(0, newline + 1);
+    } else if (in_) {
+      std::string rest;
+      if (std::getline(in_, rest)) {
+        line = carry_ + rest;
+        carry_.clear();
+      } else {
+        line.swap(carry_);
+      }
+    } else {
+      line.swap(carry_);
+    }
+    if (line.empty() || line.find_first_not_of(" \t\r") == std::string::npos) {
+      if (carry_.empty() && !in_) return false;
+      if (line.empty() && carry_.empty() && in_.eof()) return false;
+      continue;
+    }
+    event = parse_event_json(line);
+    ++read_;
+    return true;
+  }
+}
+
+std::vector<Event> load_event_log(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::IoError("event log: cannot open " + path);
+  EventLogReader reader(in);
+  std::vector<Event> events;
+  Event event;
+  while (reader.next(event)) events.push_back(std::move(event));
+  return events;
+}
+
+void save_event_log(const std::vector<Event>& events, const std::string& path,
+                    EventLogWriter::Format format) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw util::IoError("event log: cannot create " + path);
+  EventLogWriter writer(out, format);
+  for (const Event& event : events) writer.write(event);
+  out.flush();
+  if (!out) throw util::IoError("event log: write failed for " + path);
+}
+
+}  // namespace rumor::stream

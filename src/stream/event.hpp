@@ -1,0 +1,129 @@
+// Streaming event model: the five mutations a live rumor run ingests
+// (docs/streaming.md), in two interchangeable log encodings.
+//
+//   edge_add / edge_del      topology deltas, batched per tick
+//   seed_infect              infect explicit nodes mid-stream
+//   observe_prevalence       a prevalence measurement for the estimator
+//   tick                     advance the simulation by `count` dt steps
+//   set_params               drift the *true* dynamics (λ scale)
+//
+// Encodings:
+//
+//  * line JSON — one object per line, {"ev":"edge_add","u":3,"v":9}.
+//    Human-writable, diffable, the `rumorctl stream` stdin format.
+//  * binary — 8-byte magic "RUMEVTL1" then tightly packed records
+//    (u8 kind + fixed-width payload). ~10× smaller and faster for
+//    recorded logs replayed by benches and the daemon.
+//
+// EventLogReader auto-detects the encoding from the first 8 bytes, so
+// every consumer accepts either. Both encodings round-trip losslessly:
+// replaying a recorded log reproduces the original event sequence
+// exactly, which is the foundation of the replay-determinism guarantee.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rumor::stream {
+
+inline constexpr char kEventLogMagic[8] = {'R', 'U', 'M', 'E',
+                                           'V', 'T', 'L', '1'};
+
+enum class EventKind : std::uint8_t {
+  kEdgeAdd = 0,
+  kEdgeDel = 1,
+  kSeedInfect = 2,
+  kObservePrevalence = 3,
+  kTick = 4,
+  kSetParams = 5,
+};
+
+const char* to_string(EventKind kind);
+
+/// One ingested mutation. Only the fields of the active kind are
+/// meaningful (see the per-kind comments).
+struct Event {
+  EventKind kind = EventKind::kTick;
+
+  // edge_add / edge_del
+  graph::NodeId u = 0;
+  graph::NodeId v = 0;
+
+  // seed_infect
+  std::vector<graph::NodeId> nodes;
+
+  // observe_prevalence: measurement time and value. `has_t` /
+  // `has_value` false means "self-observe": the engine substitutes the
+  // current simulation time / its own census prevalence.
+  bool has_t = false;
+  bool has_value = false;
+  double t = 0.0;
+  double value = 0.0;
+
+  // tick: number of dt steps to advance (>= 1).
+  std::uint32_t count = 1;
+
+  // set_params: new multiplicative scale on the acceptance rate λ(k).
+  double lambda_scale = 1.0;
+
+  bool operator==(const Event& other) const;
+};
+
+/// Parse one line-JSON event. Throws util::IoError on malformed input
+/// (unknown "ev", missing fields, wrong types) naming the offender.
+Event parse_event_json(std::string_view line);
+
+/// The line-JSON form (no trailing newline). parse_event_json inverts
+/// this exactly.
+std::string event_to_json(const Event& event);
+
+/// Sequential writer for either encoding. The binary form emits the
+/// magic on construction; JSON emits one object per line.
+class EventLogWriter {
+ public:
+  enum class Format { kJsonLines, kBinary };
+
+  EventLogWriter(std::ostream& out, Format format);
+  void write(const Event& event);
+  std::uint64_t written() const { return written_; }
+
+ private:
+  std::ostream& out_;
+  Format format_;
+  std::uint64_t written_ = 0;
+};
+
+/// Sequential reader over either encoding; the format is sniffed from
+/// the first 8 bytes (binary logs start with the magic; a JSON log
+/// cannot). Works on non-seekable streams (pipes, stdin).
+class EventLogReader {
+ public:
+  explicit EventLogReader(std::istream& in);
+
+  /// Read the next event. Returns false at a clean end of stream;
+  /// throws util::IoError on a malformed or truncated record.
+  bool next(Event& event);
+
+  bool binary() const { return binary_; }
+  std::uint64_t read() const { return read_; }
+
+ private:
+  std::istream& in_;
+  std::string carry_;  ///< sniffed bytes not part of a binary magic
+  bool binary_ = false;
+  std::uint64_t read_ = 0;
+};
+
+/// Load an entire event log file (either encoding).
+std::vector<Event> load_event_log(const std::string& path);
+
+/// Write `events` to `path` in the given encoding.
+void save_event_log(const std::vector<Event>& events, const std::string& path,
+                    EventLogWriter::Format format);
+
+}  // namespace rumor::stream

@@ -1,0 +1,96 @@
+#include "stream/live_graph.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rumor::stream {
+
+LiveGraph::LiveGraph(std::size_t num_nodes, bool directed)
+    : directed_(directed), adjacency_(num_nodes), in_degree_(num_nodes, 0) {
+  util::require(num_nodes >= 1, "LiveGraph: need at least one node");
+}
+
+void LiveGraph::check_nodes(graph::NodeId u, graph::NodeId v) const {
+  util::require(u < adjacency_.size() && v < adjacency_.size(),
+                "LiveGraph: node id out of range");
+  util::require(u != v, "LiveGraph: self-loops are not allowed");
+}
+
+bool LiveGraph::insert_sorted(std::vector<graph::NodeId>& list,
+                              graph::NodeId v) {
+  const auto it = std::lower_bound(list.begin(), list.end(), v);
+  if (it != list.end() && *it == v) return false;
+  list.insert(it, v);
+  return true;
+}
+
+bool LiveGraph::erase_sorted(std::vector<graph::NodeId>& list,
+                             graph::NodeId v) {
+  const auto it = std::lower_bound(list.begin(), list.end(), v);
+  if (it == list.end() || *it != v) return false;
+  list.erase(it);
+  return true;
+}
+
+bool LiveGraph::add_edge(graph::NodeId u, graph::NodeId v) {
+  check_nodes(u, v);
+  if (!insert_sorted(adjacency_[u], v)) return false;
+  ++in_degree_[v];
+  if (!directed_) {
+    insert_sorted(adjacency_[v], u);
+    ++in_degree_[u];
+  }
+  ++num_edges_;
+  return true;
+}
+
+bool LiveGraph::remove_edge(graph::NodeId u, graph::NodeId v) {
+  check_nodes(u, v);
+  if (!erase_sorted(adjacency_[u], v)) return false;
+  --in_degree_[v];
+  if (!directed_) {
+    erase_sorted(adjacency_[v], u);
+    --in_degree_[u];
+  }
+  --num_edges_;
+  return true;
+}
+
+bool LiveGraph::has_edge(graph::NodeId u, graph::NodeId v) const {
+  util::require(u < adjacency_.size() && v < adjacency_.size(),
+                "LiveGraph: node id out of range");
+  const auto& list = adjacency_[u];
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+graph::Graph LiveGraph::build_csr() const {
+  const std::size_t n = adjacency_.size();
+  std::vector<std::size_t> offsets(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    offsets[v + 1] = offsets[v] + adjacency_[v].size();
+  }
+  std::vector<graph::NodeId> targets;
+  targets.reserve(offsets[n]);
+  for (std::size_t v = 0; v < n; ++v) {
+    targets.insert(targets.end(), adjacency_[v].begin(), adjacency_[v].end());
+  }
+  // from_csr with a null keepalive copies into owned storage, so the
+  // frozen graph is independent of later LiveGraph mutations.
+  return graph::Graph::from_csr(offsets, targets, in_degree_, directed_,
+                                nullptr);
+}
+
+std::vector<std::pair<graph::NodeId, graph::NodeId>> LiveGraph::edges() const {
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> out;
+  out.reserve(num_edges_);
+  for (graph::NodeId u = 0; u < adjacency_.size(); ++u) {
+    for (const graph::NodeId v : adjacency_[u]) {
+      if (!directed_ && v < u) continue;  // emit each undirected edge once
+      out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace rumor::stream

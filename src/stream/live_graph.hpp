@@ -1,0 +1,71 @@
+// Mutable adjacency over a fixed node universe, feeding the immutable
+// CSR engine.
+//
+// The agent simulation wants a frozen graph::Graph (flat CSR, spans,
+// precomputed degrees); a stream mutates topology continuously. This
+// class is the adapter: edges live in per-node sorted vectors so
+// add/remove are O(degree) and the edge set has one canonical form, and
+// build_csr() freezes the current set into a Graph whose neighbor lists
+// are exactly the sorted vectors — byte-for-byte reproducible from the
+// same edge set regardless of the insertion/removal order that produced
+// it. That canonicalization is what makes checkpointed streams resume
+// bit-identically: the resumed run rebuilds the same CSR the
+// uninterrupted run was stepping.
+//
+// The engine batches: events mutate the LiveGraph immediately (cheap),
+// but the CSR + simulation rebuild is deferred to the next tick via the
+// dirty flag (docs/streaming.md describes the rebuild protocol).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rumor::stream {
+
+class LiveGraph {
+ public:
+  /// The node universe [0, num_nodes) is fixed for the stream lifetime
+  /// (events address nodes by id; growing the universe mid-stream would
+  /// re-key the per-node RNG streams).
+  LiveGraph(std::size_t num_nodes, bool directed);
+
+  std::size_t num_nodes() const { return adjacency_.size(); }
+  bool directed() const { return directed_; }
+  /// Logical edges currently present.
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Insert u→v (both directions when undirected). Returns false for a
+  /// duplicate (already present — a no-op). Throws util::InvalidArgument
+  /// on self-loops or out-of-range ids: a malformed event must fail
+  /// loudly, not silently skew a replay.
+  bool add_edge(graph::NodeId u, graph::NodeId v);
+
+  /// Remove u→v. Returns false when the edge is absent (a no-op).
+  bool remove_edge(graph::NodeId u, graph::NodeId v);
+
+  bool has_edge(graph::NodeId u, graph::NodeId v) const;
+
+  /// Freeze the current edge set into an immutable CSR graph (owned
+  /// storage, sorted neighbor lists — the canonical form).
+  graph::Graph build_csr() const;
+
+  /// The canonical edge list (u < v for undirected; insertion-order
+  /// independent) — the checkpoint serialization form.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges() const;
+
+ private:
+  void check_nodes(graph::NodeId u, graph::NodeId v) const;
+  static bool insert_sorted(std::vector<graph::NodeId>& list,
+                            graph::NodeId v);
+  static bool erase_sorted(std::vector<graph::NodeId>& list, graph::NodeId v);
+
+  bool directed_;
+  std::size_t num_edges_ = 0;
+  std::vector<std::vector<graph::NodeId>> adjacency_;  ///< out-neighbors
+  std::vector<std::uint32_t> in_degree_;
+};
+
+}  // namespace rumor::stream

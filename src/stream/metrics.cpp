@@ -1,0 +1,38 @@
+#include "stream/metrics.hpp"
+
+namespace rumor::stream {
+
+StreamMetrics& stream_metrics() {
+  // Leaked on purpose: handles are process-lifetime (obs/metrics.hpp).
+  static StreamMetrics* instance = [] {
+    obs::Registry& registry = obs::metrics();
+    const std::vector<double> ms_bounds = {0.1, 0.25, 0.5, 1,   2.5, 5,
+                                           10,  25,   50,  100, 250, 500,
+                                           1000, 2500, 5000};
+    const std::vector<double> lag_bounds = {0, 1,  2,   5,   10,  25,
+                                            50, 100, 250, 1000, 10000};
+    return new StreamMetrics{
+        registry.counter("stream.events_ingested"),
+        registry.counter("stream.edge_adds"),
+        registry.counter("stream.edge_dels"),
+        registry.counter("stream.seeds"),
+        registry.counter("stream.observations"),
+        registry.counter("stream.ticks"),
+        registry.counter("stream.rebuilds"),
+        registry.histogram("stream.ingest_lag_events", lag_bounds),
+        registry.counter("stream.refits"),
+        registry.counter("stream.refit_failures"),
+        registry.histogram("stream.refit_ms", ms_bounds),
+        registry.gauge("stream.lambda_hat"),
+        registry.gauge("stream.lambda_hat_stddev"),
+        registry.counter("stream.replans"),
+        registry.counter("stream.deadline_miss"),
+        registry.histogram("stream.plan_ms", ms_bounds),
+        registry.gauge("stream.plan_objective"),
+        registry.gauge("stream.plan_regret"),
+    };
+  }();
+  return *instance;
+}
+
+}  // namespace rumor::stream

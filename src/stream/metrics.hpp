@@ -1,0 +1,41 @@
+// stream.* metric handles, resolved once against the global registry
+// (same pattern as serve/metrics.hpp: registration locks, recording
+// never does). Everything measured here is *observability only* — no
+// value recorded through these handles ever feeds back into a decision,
+// which is why wall-clock timings can live here while the decision
+// trace stays bitwise-deterministic (docs/streaming.md).
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace rumor::stream {
+
+struct StreamMetrics {
+  // ingestion
+  obs::Counter& events_ingested;
+  obs::Counter& edge_adds;
+  obs::Counter& edge_dels;
+  obs::Counter& seeds;
+  obs::Counter& observations;
+  obs::Counter& ticks;
+  obs::Counter& rebuilds;          ///< sim rebuilds after topology/param deltas
+  obs::Histogram& ingest_lag_events;  ///< events buffered ahead of each tick
+
+  // estimator
+  obs::Counter& refits;
+  obs::Counter& refit_failures;    ///< windows too degenerate to fit
+  obs::Histogram& refit_ms;
+  obs::Gauge& lambda_hat;
+  obs::Gauge& lambda_hat_stddev;
+
+  // planner
+  obs::Counter& replans;
+  obs::Counter& deadline_miss;     ///< budget hit; previous plan tail kept
+  obs::Histogram& plan_ms;
+  obs::Gauge& plan_objective;      ///< predicted J of the active plan
+  obs::Gauge& plan_regret;         ///< realized − predicted segment cost
+};
+
+StreamMetrics& stream_metrics();
+
+}  // namespace rumor::stream

@@ -1,0 +1,202 @@
+#include "stream/planner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "control/objective.hpp"
+#include "core/sir_model.hpp"
+#include "util/error.hpp"
+
+namespace rumor::stream {
+
+void PlannerOptions::validate() const {
+  util::require(groups >= 1, "PlannerOptions: groups must be >= 1");
+  util::require(horizon > 0.0, "PlannerOptions: horizon must be positive");
+  util::require(grid_points >= 2,
+                "PlannerOptions: grid_points must be >= 2");
+  util::require(max_iterations >= 1,
+                "PlannerOptions: max_iterations must be >= 1");
+  util::require(epsilon1_max > 0.0 && epsilon2_max > 0.0,
+                "PlannerOptions: control bounds must be positive");
+  util::require(budget_ms >= 0.0, "PlannerOptions: budget_ms must be >= 0");
+  cost.validate();
+}
+
+CoarseState coarsen_state(
+    const core::NetworkProfile& profile,
+    const sim::AgentSimulation::GroupDensities& densities,
+    std::size_t max_groups) {
+  const std::size_t n = profile.num_groups();
+  util::require(n >= 1, "coarsen_state: empty profile");
+
+  // Align the simulation's distinct-degree groups with the profile's:
+  // the profile drops degree-0 nodes (they cannot participate in the
+  // annealed dynamics), the census does not.
+  std::vector<double> s_full(n, 0.0), i_full(n, 0.0);
+  {
+    std::size_t j = 0;
+    for (std::size_t g = 0; g < densities.degrees.size(); ++g) {
+      if (densities.degrees[g] == 0) continue;
+      util::require(j < n && static_cast<double>(densities.degrees[g]) ==
+                                 profile.degree(j),
+                    "coarsen_state: profile/census degree mismatch");
+      s_full[j] = densities.susceptible[g];
+      i_full[j] = densities.infected[g];
+      ++j;
+    }
+    util::require(j == n, "coarsen_state: profile/census group mismatch");
+  }
+
+  // Partition the n distinct-degree groups into m contiguous buckets of
+  // roughly equal probability mass (the coarsened() scheme), leaving at
+  // least one group per remaining bucket.
+  const std::size_t m = std::min(max_groups, n);
+  std::vector<double> degree(m, 0.0), mass(m, 0.0), s(m, 0.0), i(m, 0.0);
+  double acc = 0.0;
+  std::size_t b = 0;
+  for (std::size_t g = 0; g < n; ++g) {
+    const double p = profile.probability(g);
+    degree[b] += p * profile.degree(g);
+    mass[b] += p;
+    s[b] += p * s_full[g];
+    i[b] += p * i_full[g];
+    acc += p;
+    const bool mass_full = acc * static_cast<double>(m) >=
+                           static_cast<double>(b + 1);
+    const bool must_advance = (n - g - 1) == (m - b - 1);
+    if (b + 1 < m && (mass_full || must_advance)) ++b;
+  }
+
+  std::vector<double> y0(2 * m, 0.0);
+  for (std::size_t k = 0; k < m; ++k) {
+    util::require(mass[k] > 0.0, "coarsen_state: empty coarse bucket");
+    degree[k] /= mass[k];
+    y0[k] = s[k] / mass[k];
+    y0[m + k] = i[k] / mass[k];
+  }
+  return CoarseState{core::NetworkProfile::from_pmf(std::move(degree),
+                                                    std::move(mass)),
+                     std::move(y0)};
+}
+
+RollingPlanner::RollingPlanner(PlannerOptions options) : options_(options) {
+  options_.validate();
+}
+
+PlanOutcome RollingPlanner::replan(
+    const core::NetworkProfile& profile,
+    const sim::AgentSimulation::GroupDensities& densities,
+    const core::ModelParams& params, double t_now, double segment) {
+  PlanOutcome outcome;
+  outcome.attempted = true;
+
+  const CoarseState coarse = coarsen_state(profile, densities,
+                                           options_.groups);
+  const core::SirNetworkModel model(coarse.profile, params,
+                                    core::make_constant_control(0.0, 0.0));
+
+  control::SweepOptions sweep;
+  sweep.algorithm = options_.algorithm;
+  sweep.grid_points = options_.grid_points;
+  sweep.substeps = options_.substeps;
+  sweep.epsilon1_max = options_.epsilon1_max;
+  sweep.epsilon2_max = options_.epsilon2_max;
+  sweep.max_iterations = options_.max_iterations;
+  // Warm-start the sweep from the tail of the active plan, so a
+  // replan under slowly drifting parameters converges in a handful of
+  // iterations instead of restarting from zero controls.
+  if (schedule_ != nullptr) {
+    const core::Epsilons tail = schedule_->epsilons(t_now);
+    sweep.initial_guess = 0.5 * (tail.epsilon1 + tail.epsilon2);
+  }
+
+  // Budget hook: polled once per iteration before the iteration's work,
+  // so a wall-clock overrun is bounded by one iteration's cost.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double, std::milli>(options_.budget_ms);
+  std::uint64_t polls = 0;
+  const std::uint64_t iteration_budget = options_.budget_iterations;
+  const double budget_ms = options_.budget_ms;
+  sweep.keep_going = [deadline, iteration_budget, budget_ms,
+                      &polls]() mutable {
+    ++polls;
+    if (iteration_budget > 0 && polls > iteration_budget) return false;
+    if (budget_ms > 0.0 && std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    return true;
+  };
+
+  const control::SweepResult result = control::solve_optimal_control(
+      model, coarse.y0, options_.horizon, options_.cost, sweep);
+  outcome.iterations = result.iterations;
+
+  if (result.interrupted) {
+    // Budget cutoff: keep the previous plan's tail (degradation policy
+    // in the header comment).
+    outcome.deadline_miss = true;
+    ++misses_;
+    return outcome;
+  }
+
+  // Shift the optimized local-time schedule to global time and publish.
+  std::vector<double> grid = result.grid;
+  for (double& t : grid) t += t_now;
+  schedule_ = std::make_shared<const core::PiecewiseLinearControl>(
+      std::move(grid), result.epsilon1, result.epsilon2);
+  ++plans_;
+  outcome.replanned = true;
+  outcome.predicted_objective = result.cost.total();
+
+  // Predicted running cost over the upcoming segment [0, segment] of
+  // the plan, trapezoid over the recorded forward samples — compared
+  // against the realized segment cost at the next replan.
+  const double seg = std::min(std::max(segment, 0.0), options_.horizon);
+  double predicted = 0.0;
+  const ode::Trajectory& traj = result.state;
+  const std::size_t groups = coarse.profile.num_groups();
+  double prev_t = 0.0, prev_f = 0.0;
+  bool have_prev = false;
+  for (std::size_t k = 0; k < traj.size(); ++k) {
+    const double t = traj.times()[k];
+    if (t > seg) break;
+    const core::Epsilons eps = result.control->epsilons(t);
+    const double f = control::running_cost(options_.cost, traj.state(k),
+                                           groups, eps.epsilon1,
+                                           eps.epsilon2);
+    if (have_prev) predicted += 0.5 * (prev_f + f) * (t - prev_t);
+    prev_t = t;
+    prev_f = f;
+    have_prev = true;
+  }
+  outcome.predicted_segment_cost = predicted;
+  return outcome;
+}
+
+RollingPlanner::Snapshot RollingPlanner::snapshot() const {
+  Snapshot snap;
+  snap.plans = plans_;
+  snap.misses = misses_;
+  if (schedule_ != nullptr) {
+    snap.has_schedule = true;
+    snap.grid = schedule_->grid();
+    snap.epsilon1 = schedule_->epsilon1_values();
+    snap.epsilon2 = schedule_->epsilon2_values();
+  }
+  return snap;
+}
+
+void RollingPlanner::restore(const Snapshot& snapshot) {
+  plans_ = snapshot.plans;
+  misses_ = snapshot.misses;
+  if (snapshot.has_schedule) {
+    schedule_ = std::make_shared<const core::PiecewiseLinearControl>(
+        snapshot.grid, snapshot.epsilon1, snapshot.epsilon2);
+  } else {
+    schedule_ = nullptr;
+  }
+}
+
+}  // namespace rumor::stream

@@ -1,0 +1,136 @@
+// Rolling MPC planner under a per-decision budget (ROADMAP item 5,
+// third leg).
+//
+// Every replan solves the paper's optimal-countermeasure problem
+// (control/fbsweep.hpp) on a receding horizon, anchored at the *live*
+// microscopic state: the agent simulation's per-degree-group densities
+// are aggregated onto a coarse planning profile (probability-mass
+// bucketing, the same scheme NetworkProfile::coarsened uses) and the
+// resulting [S_i, I_i] vector seeds the forward sweep. The optimized
+// schedule is shifted to global time and published into the simulation
+// as a PiecewiseLinearControl.
+//
+// Budget semantics (the latency contract of docs/streaming.md):
+//
+//  * budget_iterations — a deterministic cap counted through the
+//    solver's keep_going poll. Replayable bit-for-bit; what the tests
+//    and recorded benches use.
+//  * budget_ms — a wall-clock deadline polled by the same hook. Since
+//    keep_going is checked once per iteration *before* the iteration's
+//    work, an overrun can exceed the deadline by at most one FBSM
+//    iteration. Wall time is inherently non-deterministic, so decision
+//    traces produced under budget_ms are only statistically
+//    reproducible (the live-ops mode; see docs/streaming.md).
+//
+// Degradation policy: a budget cutoff (either kind) counts a deadline
+// miss and the new partial iterate is DISCARDED — the previously
+// published plan's tail keeps driving the simulation. A stale-but-
+// converged plan beats a fresh half-iterated one, and the ingest path
+// never blocks on the solver.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "control/fbsweep.hpp"
+#include "core/params.hpp"
+#include "core/profile.hpp"
+#include "core/schedule.hpp"
+#include "sim/agent_sim.hpp"
+
+namespace rumor::stream {
+
+struct PlannerOptions {
+  /// Coarse planning groups (the live distinct-degree profile is
+  /// bucketed down to at most this many).
+  std::size_t groups = 8;
+  /// Receding horizon length (simulation time units).
+  double horizon = 10.0;
+  std::size_t grid_points = 41;
+  std::size_t substeps = 2;
+  std::size_t max_iterations = 80;
+  double epsilon1_max = 0.7;
+  double epsilon2_max = 0.7;
+  control::CostParams cost;
+  control::SweepAlgorithm algorithm =
+      control::SweepAlgorithm::kForwardBackward;
+  /// Deterministic per-decision budget: solver iterations allowed per
+  /// replan (0 = no iteration budget).
+  std::uint64_t budget_iterations = 0;
+  /// Wall-clock per-decision budget in milliseconds (0 = none).
+  /// Non-deterministic by nature — see the header comment.
+  double budget_ms = 0.0;
+
+  void validate() const;
+};
+
+/// What one replan attempt did.
+struct PlanOutcome {
+  bool attempted = false;
+  bool replanned = false;      ///< a new schedule was published
+  bool deadline_miss = false;  ///< budget cutoff; previous tail kept
+  std::size_t iterations = 0;
+  double predicted_objective = 0.0;  ///< J of the adopted plan (if any)
+  /// Predicted running cost over the next `segment` time units of the
+  /// adopted plan — the yardstick the realized segment cost is compared
+  /// against for the regret metric.
+  double predicted_segment_cost = 0.0;
+};
+
+class RollingPlanner {
+ public:
+  explicit RollingPlanner(PlannerOptions options);
+
+  /// Solve on [t_now, t_now + horizon] from the live group densities.
+  /// `profile` must be the full distinct-degree profile of the current
+  /// graph (NetworkProfile::from_graph), aligned with `densities`.
+  /// `segment` is the time until the next scheduled replan (for the
+  /// predicted-segment bookkeeping). On a budget cutoff the previously
+  /// published schedule is retained.
+  PlanOutcome replan(const core::NetworkProfile& profile,
+                     const sim::AgentSimulation::GroupDensities& densities,
+                     const core::ModelParams& params, double t_now,
+                     double segment);
+
+  /// The active global-time schedule; null until the first successful
+  /// plan.
+  std::shared_ptr<const core::ControlSchedule> schedule() const {
+    return schedule_;
+  }
+
+  const PlannerOptions& options() const { return options_; }
+  std::uint64_t plans() const { return plans_; }
+  std::uint64_t misses() const { return misses_; }
+
+  // --- checkpoint access (stream/checkpoint.cpp) ---------------------
+  struct Snapshot {
+    bool has_schedule = false;
+    std::vector<double> grid;  ///< global time knots
+    std::vector<double> epsilon1;
+    std::vector<double> epsilon2;
+    std::uint64_t plans = 0;
+    std::uint64_t misses = 0;
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snapshot);
+
+ private:
+  PlannerOptions options_;
+  std::shared_ptr<const core::PiecewiseLinearControl> schedule_;
+  std::uint64_t plans_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// The coarse planning view of a live microscopic state: distinct-degree
+/// groups bucketed by probability mass into at most `max_groups` coarse
+/// groups (probability-weighted mean degree and densities per bucket).
+/// Exposed for tests and the realized-cost bookkeeping in the engine.
+struct CoarseState {
+  core::NetworkProfile profile;
+  ode::State y0;  ///< [S_1..S_m, I_1..I_m]
+};
+CoarseState coarsen_state(const core::NetworkProfile& profile,
+                          const sim::AgentSimulation::GroupDensities& densities,
+                          std::size_t max_groups);
+
+}  // namespace rumor::stream

@@ -1,0 +1,154 @@
+#include "stream/scenario.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace rumor::stream {
+
+void ScenarioSpec::validate() const {
+  util::require(num_nodes >= 4, "ScenarioSpec: num_nodes must be >= 4");
+  util::require(attach_edges >= 1,
+                "ScenarioSpec: attach_edges must be >= 1");
+  util::require(initial_nodes >= attach_edges + 1 &&
+                    initial_nodes <= num_nodes,
+                "ScenarioSpec: initial_nodes must be in "
+                "[attach_edges + 1, num_nodes]");
+  util::require(ticks >= 1, "ScenarioSpec: ticks must be >= 1");
+  util::require(seed_tick < ticks, "ScenarioSpec: seed_tick must precede "
+                                   "the end of the script");
+  util::require(seed_count >= 1, "ScenarioSpec: seed_count must be >= 1");
+  util::require(observe_every >= 1,
+                "ScenarioSpec: observe_every must be >= 1");
+  util::require(drift_tick == 0 || drift_lambda_scale > 0.0,
+                "ScenarioSpec: drift_lambda_scale must be positive");
+}
+
+namespace {
+
+/// Book-keeping for preferential attachment: `stubs` holds one entry per
+/// edge endpoint, so sampling it uniformly samples nodes ∝ degree.
+struct Growth {
+  std::vector<Event> events;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  std::vector<graph::NodeId> stubs;
+  std::size_t active = 0;  ///< nodes [0, active) are wired in
+
+  void add_edge(graph::NodeId u, graph::NodeId v) {
+    Event ev;
+    ev.kind = EventKind::kEdgeAdd;
+    ev.u = u;
+    ev.v = v;
+    events.push_back(ev);
+    edges.emplace_back(u, v);
+    stubs.push_back(u);
+    stubs.push_back(v);
+  }
+
+  /// Attach node `active` to `m` distinct degree-proportional targets.
+  void attach(std::size_t m, util::Xoshiro256& rng) {
+    const graph::NodeId u = static_cast<graph::NodeId>(active);
+    std::vector<graph::NodeId> picked;
+    // Bounded retry: with m << active distinct targets always exist.
+    while (picked.size() < m) {
+      const graph::NodeId v = stubs.empty()
+                                  ? static_cast<graph::NodeId>(
+                                        rng.uniform_index(active))
+                                  : stubs[rng.uniform_index(stubs.size())];
+      if (v == u ||
+          std::find(picked.begin(), picked.end(), v) != picked.end()) {
+        continue;
+      }
+      picked.push_back(v);
+    }
+    for (const graph::NodeId v : picked) add_edge(u, v);
+    ++active;
+  }
+
+  void churn(util::Xoshiro256& rng) {
+    if (edges.empty()) return;
+    const std::size_t at = rng.uniform_index(edges.size());
+    const auto [u, v] = edges[at];
+    Event ev;
+    ev.kind = EventKind::kEdgeDel;
+    ev.u = u;
+    ev.v = v;
+    events.push_back(ev);
+    edges[at] = edges.back();
+    edges.pop_back();
+    // The stale stub entries just skew sampling slightly toward
+    // recently deleted endpoints; acceptable for a scenario script.
+  }
+};
+
+}  // namespace
+
+std::vector<Event> make_scenario(const ScenarioSpec& spec) {
+  spec.validate();
+  util::Xoshiro256 rng(spec.seed);
+  Growth g;
+
+  // Bootstrap: a small clique seed, then preferential attachment up to
+  // initial_nodes before the stream's first tick.
+  const std::size_t clique = std::min<std::size_t>(spec.attach_edges + 1,
+                                                   spec.initial_nodes);
+  for (std::size_t u = 0; u < clique; ++u) {
+    for (std::size_t v = u + 1; v < clique; ++v) {
+      g.add_edge(static_cast<graph::NodeId>(u),
+                 static_cast<graph::NodeId>(v));
+    }
+  }
+  g.active = clique;
+  while (g.active < spec.initial_nodes) g.attach(spec.attach_edges, rng);
+
+  for (std::size_t tick = 0; tick < spec.ticks; ++tick) {
+    // Growth + churn between ticks.
+    for (std::size_t k = 0; k < spec.grow_per_tick; ++k) {
+      if (g.active < spec.num_nodes) g.attach(spec.attach_edges, rng);
+    }
+    for (std::size_t k = 0; k < spec.churn_per_tick; ++k) g.churn(rng);
+
+    if (tick == spec.seed_tick) {
+      Event ev;
+      ev.kind = EventKind::kSeedInfect;
+      // Seed among the earliest (highest-degree) nodes so the cascade
+      // reliably takes off.
+      std::vector<graph::NodeId> seeds;
+      while (seeds.size() < std::min(spec.seed_count, g.active)) {
+        const graph::NodeId v = static_cast<graph::NodeId>(
+            rng.uniform_index(std::max<std::size_t>(g.active / 4, 1)));
+        if (std::find(seeds.begin(), seeds.end(), v) == seeds.end()) {
+          seeds.push_back(v);
+        }
+      }
+      ev.nodes = std::move(seeds);
+      g.events.push_back(ev);
+    }
+
+    if (spec.drift_tick != 0 && tick == spec.drift_tick) {
+      Event ev;
+      ev.kind = EventKind::kSetParams;
+      ev.lambda_scale = spec.drift_lambda_scale;
+      g.events.push_back(ev);
+    }
+
+    if (tick >= spec.seed_tick && (tick - spec.seed_tick) %
+                                          spec.observe_every ==
+                                      0) {
+      Event ev;  // self-observe: engine fills t and census prevalence
+      ev.kind = EventKind::kObservePrevalence;
+      g.events.push_back(ev);
+    }
+
+    Event ev;
+    ev.kind = EventKind::kTick;
+    ev.count = 1;
+    g.events.push_back(ev);
+  }
+
+  return std::move(g.events);
+}
+
+}  // namespace rumor::stream

@@ -1,0 +1,52 @@
+// Scripted streaming scenarios: a deterministic event-log generator
+// shared by `rumorctl stream-gen`, the stream bench suite, and the
+// closed-vs-open integration tests.
+//
+// The script models the situation the streaming loop exists for: a
+// social graph that keeps growing (preferential attachment plus edge
+// churn) while a rumor is seeded mid-stream and the true acceptance
+// scale drifts away from whatever was calibrated offline. A fixed seed
+// yields a fixed event sequence — the closed- and open-loop arms of a
+// comparison replay the *same* log, so any objective gap is due to the
+// controller, not the scenario.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/event.hpp"
+
+namespace rumor::stream {
+
+struct ScenarioSpec {
+  std::size_t num_nodes = 400;
+  std::uint64_t seed = 7;
+  /// Edges attached per newly activated node (preferential attachment).
+  std::size_t attach_edges = 3;
+  /// Nodes wired into the graph before the first tick.
+  std::size_t initial_nodes = 100;
+  /// Total ticks in the script.
+  std::size_t ticks = 120;
+  /// Newly activated nodes per tick (graph growth rate); activation
+  /// stops once the node universe is exhausted.
+  std::size_t grow_per_tick = 2;
+  /// Random existing edges deleted per tick (churn), at most.
+  std::size_t churn_per_tick = 1;
+  /// Tick at which the rumor is seeded (mid-stream, after the graph has
+  /// some shape but before it is fully grown).
+  std::size_t seed_tick = 10;
+  std::size_t seed_count = 5;
+  /// Self-observed prevalence every this many ticks, from seed_tick on.
+  std::size_t observe_every = 1;
+  /// Tick at which the true acceptance scale drifts, and its new value
+  /// (0 disables the drift).
+  std::size_t drift_tick = 60;
+  double drift_lambda_scale = 1.6;
+
+  void validate() const;
+};
+
+/// Generate the scripted event sequence. Pure function of `spec`.
+std::vector<Event> make_scenario(const ScenarioSpec& spec);
+
+}  // namespace rumor::stream

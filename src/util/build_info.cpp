@@ -1,0 +1,27 @@
+#include "util/build_info.hpp"
+
+#ifndef RUMOR_GIT_DESCRIBE
+#define RUMOR_GIT_DESCRIBE "unknown"
+#endif
+#ifndef RUMOR_BUILD_TYPE
+#define RUMOR_BUILD_TYPE "unknown"
+#endif
+#ifndef RUMOR_COMPILER
+#define RUMOR_COMPILER "unknown"
+#endif
+
+namespace rumor::util {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{RUMOR_GIT_DESCRIBE, RUMOR_BUILD_TYPE,
+                              RUMOR_COMPILER};
+  return info;
+}
+
+std::string version_line() {
+  const BuildInfo& info = build_info();
+  return info.git_describe + " (" + info.build_type + ", " + info.compiler +
+         ")";
+}
+
+}  // namespace rumor::util

@@ -1,0 +1,29 @@
+// Build provenance for `rumorctl --version` and the daemon's `version`
+// op: which commit, which build type, which compiler produced this
+// binary. The values are baked in at configure time (see
+// src/util/CMakeLists.txt); a build from an exported tarball reports
+// "unknown" for the git describe rather than failing.
+//
+// The runtime-dispatched kernel backend is deliberately NOT part of
+// this struct — it is a property of the machine the binary lands on,
+// not of the build. Callers append kern::backend() themselves (util
+// cannot depend on kern).
+#pragma once
+
+#include <string>
+
+namespace rumor::util {
+
+struct BuildInfo {
+  std::string git_describe;  ///< `git describe --tags --always --dirty`
+  std::string build_type;    ///< CMAKE_BUILD_TYPE
+  std::string compiler;      ///< "<id> <version>", e.g. "GNU 12.2.0"
+};
+
+const BuildInfo& build_info();
+
+/// "<describe> (<build_type>, <compiler>)" — the one-line form shared
+/// by the CLI and the daemon.
+std::string version_line();
+
+}  // namespace rumor::util

@@ -147,6 +147,100 @@ TEST(Fitting, ValidatesInputs) {
                util::InvalidArgument);
 }
 
+// --- live-feed shaped inputs (duplicated / non-monotone / truncated) —
+// the raw material stream::OnlineEstimator canonicalizes before calling
+// into this layer. The batch fitter itself must REJECT the dirty forms
+// loudly (never fit garbage silently) and still work on clean-but-short
+// truncated windows.
+
+TEST(Fitting, RejectsDuplicatedTimestamps) {
+  const auto profile = small_profile();
+  const auto params = true_params();
+  CascadeObservations duplicated;
+  duplicated.t = {0.0, 1.0, 1.0, 2.0};
+  duplicated.infected_density = {0.01, 0.02, 0.021, 0.04};
+  EXPECT_THROW(fit_to_cascade(profile, params, 0.1, 0.1, duplicated),
+               util::InvalidArgument);
+  EXPECT_THROW(
+      fit_to_cascade_multistart(profile, params, 0.1, 0.1, duplicated),
+      util::InvalidArgument);
+}
+
+TEST(Fitting, RejectsNonMonotoneTimes) {
+  const auto profile = small_profile();
+  const auto params = true_params();
+  CascadeObservations shuffled;
+  shuffled.t = {0.0, 2.0, 1.0, 3.0};
+  shuffled.infected_density = {0.01, 0.04, 0.02, 0.05};
+  EXPECT_THROW(fit_to_cascade(profile, params, 0.1, 0.1, shuffled),
+               util::InvalidArgument);
+  EXPECT_THROW(
+      fit_to_cascade_multistart(profile, params, 0.1, 0.1, shuffled),
+      util::InvalidArgument);
+}
+
+TEST(Fitting, TruncatedEarlyWindowStillRecoversLambda) {
+  // Only the first fifth of the transient is observed — the shape the
+  // online estimator sees right after a rumor is seeded. λ governs the
+  // early growth rate, so a λ-only fit should still land close.
+  const auto profile = small_profile();
+  const auto params = true_params();
+  data::TraceOptions trace;
+  trace.noise = 0.0;
+  trace.t_end = 50.0;
+  const auto cascade =
+      data::generate_cascade(profile, params, 0.05, 0.2, trace);
+  CascadeObservations truncated = to_observations(cascade);
+  const std::size_t keep = truncated.t.size() / 5;
+  ASSERT_GE(keep, 3u);
+  truncated.t.resize(keep);
+  truncated.infected_density.resize(keep);
+
+  ModelParams guess = params;
+  guess.lambda = params.lambda.with_scale(1.5);
+  FitSpec spec;
+  spec.fit_epsilon1 = false;
+  spec.fit_epsilon2 = false;
+  spec.simulation_dt = trace.dt;
+  const auto fit =
+      fit_to_cascade(profile, guess, 0.05, 0.2, truncated, spec);
+  EXPECT_NEAR(fit.params.lambda.scale(), 0.8, 0.08);
+}
+
+TEST(Fitting, MultistartRecoversLambdaFromNoisyTruncatedWindow) {
+  // The streaming shape end to end: a short noisy window, a warm start
+  // that is badly off, multistart screening — λ̂ must come back near
+  // the truth, deterministically for a fixed seed.
+  const auto profile = small_profile();
+  const auto params = true_params();
+  data::TraceOptions trace;
+  trace.noise = 0.03;
+  trace.t_end = 15.0;
+  trace.seed = 11;
+  const auto cascade =
+      data::generate_cascade(profile, params, 0.05, 0.2, trace);
+
+  ModelParams guess = params;
+  guess.lambda = params.lambda.with_scale(2.0);
+  MultistartSpec spec;
+  spec.starts = 8;
+  spec.refine_top = 2;
+  spec.seed = 5;
+  spec.fit.fit_epsilon1 = false;
+  spec.fit.fit_epsilon2 = false;
+  spec.fit.simulation_dt = trace.dt;
+  const auto obs = to_observations(cascade);
+  const auto a =
+      fit_to_cascade_multistart(profile, guess, 0.05, 0.2, obs, spec);
+  EXPECT_NEAR(a.best.params.lambda.scale(), 0.8, 0.2);
+
+  const auto b =
+      fit_to_cascade_multistart(profile, guess, 0.05, 0.2, obs, spec);
+  EXPECT_DOUBLE_EQ(a.best.params.lambda.scale(),
+                   b.best.params.lambda.scale());
+  EXPECT_DOUBLE_EQ(a.best.rss, b.best.rss);
+}
+
 TEST(GenerateCascade, NoiseZeroIsDeterministic) {
   const auto profile = small_profile();
   const auto params = true_params();

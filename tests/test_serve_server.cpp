@@ -21,6 +21,8 @@
 #include "serve/client.hpp"
 #include "serve/metrics.hpp"
 #include "serve/server.hpp"
+#include "stream/event.hpp"
+#include "stream/scenario.hpp"
 #include "util/random.hpp"
 #include "util/socket.hpp"
 
@@ -276,6 +278,75 @@ TEST_F(ServeServerTest, ProtocolErrorsUseDocumentedCodes) {
   EXPECT_NE(response.find("prometheus")->as_string().find(
                 "rumor_serve_requests_total"),
             std::string::npos);
+}
+
+TEST_F(ServeServerTest, VersionOpReportsBuildProvenance) {
+  start_server(/*workers=*/1);
+  Client c = client();
+  io::JsonValue version = io::JsonValue::make_object();
+  version.set("op", "version");
+  const io::JsonValue response = c.request(version);
+  ASSERT_TRUE(response.find("ok")->as_bool());
+  EXPECT_FALSE(response.find("version")->as_string().empty());
+  EXPECT_FALSE(response.find("build_type")->as_string().empty());
+  EXPECT_FALSE(response.find("compiler")->as_string().empty());
+  const std::string backend = response.find("kernel_backend")->as_string();
+  EXPECT_TRUE(backend == "scalar" || backend == "avx2" ||
+              backend == "avx512")
+      << backend;
+}
+
+TEST_F(ServeServerTest, StreamJobRunsResumesAndMatchesUninterrupted) {
+  start_server(/*workers=*/1);
+  Client c = client();
+
+  // Write a small scripted scenario next to the test root.
+  stream::ScenarioSpec scenario;
+  scenario.num_nodes = 120;
+  scenario.initial_nodes = 40;
+  scenario.ticks = 30;
+  scenario.seed_tick = 5;
+  scenario.drift_tick = 15;
+  const std::string events_path = (root_ / "events.bin").string();
+  stream::save_event_log(stream::make_scenario(scenario), events_path,
+                         stream::EventLogWriter::Format::kBinary);
+
+  io::JsonValue spec = io::JsonValue::make_object();
+  spec.set("events", events_path);
+  spec.set("num_nodes", 120);
+  spec.set("budget_iterations", 40);
+  spec.set("max_iterations", 60);
+  spec.set("groups", 6);
+  spec.set("horizon", 6.0);
+
+  const std::uint64_t clean_id = c.submit("stream", spec);
+  const io::JsonValue clean = c.wait(clean_id, 180000ms);
+  ASSERT_EQ(clean.find("state")->as_string(), "done") << clean.dump();
+  const io::JsonValue* result = clean.find("result");
+  EXPECT_EQ(result->number_or("ticks", -1.0), 30.0);
+  EXPECT_GT(result->number_or("plans", -1.0), 0.0);
+
+  // Preempt a second identical run, then let it resume: the decision
+  // and state CRCs must match the uninterrupted run's exactly.
+  const std::uint64_t victim_id = c.submit("stream", spec);
+  const auto poll_deadline = std::chrono::steady_clock::now() + 30s;
+  while (c.status(victim_id).find("state")->as_string() != "running") {
+    ASSERT_LT(std::chrono::steady_clock::now(), poll_deadline);
+    std::this_thread::sleep_for(1ms);
+  }
+  io::JsonValue intruder_spec = spec_with_graph();
+  intruder_spec.set("t_end", 1.0);
+  const std::uint64_t intruder_id =
+      c.submit("simulate", std::move(intruder_spec), /*priority=*/10);
+  (void)c.wait(intruder_id, 60000ms);
+  const io::JsonValue victim = c.wait(victim_id, 180000ms);
+  ASSERT_EQ(victim.find("state")->as_string(), "done") << victim.dump();
+  EXPECT_EQ(victim.find("result")->number_or("decision_crc", -1.0),
+            clean.find("result")->number_or("decision_crc", -2.0));
+  EXPECT_EQ(victim.find("result")->number_or("state_crc", -1.0),
+            clean.find("result")->number_or("state_crc", -2.0));
+  EXPECT_EQ(victim.find("result")->number_or("realized_objective", -1.0),
+            clean.find("result")->number_or("realized_objective", -2.0));
 }
 
 TEST_F(ServeServerTest, MalformedJsonLineGetsBadRequestResponse) {

@@ -1,0 +1,210 @@
+#include "stream/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/trace.hpp"
+#include "stream/planner.hpp"
+#include "util/error.hpp"
+
+namespace rumor::stream {
+namespace {
+
+core::NetworkProfile small_profile() {
+  return core::NetworkProfile::from_pmf({1.0, 3.0, 8.0, 20.0},
+                                        {0.55, 0.3, 0.1, 0.05});
+}
+
+core::ModelParams true_params() {
+  core::ModelParams params;
+  params.alpha = 0.03;
+  params.lambda = core::Acceptance::linear(0.8);
+  params.omega = core::Infectivity::saturating(0.5, 0.5);
+  return params;
+}
+
+EstimatorOptions quick_options() {
+  EstimatorOptions options;
+  options.window = 40;
+  options.min_observations = 6;
+  options.starts = 6;
+  options.max_evaluations = 200;
+  return options;
+}
+
+TEST(OnlineEstimator, RefusesDegenerateWindows) {
+  OnlineEstimator estimator(quick_options());
+  const auto profile = small_profile();
+  EXPECT_FALSE(estimator.ready());
+  // Too few points.
+  estimator.observe(0.0, 0.01);
+  estimator.observe(1.0, 0.02);
+  EXPECT_FALSE(estimator.refit(profile, true_params(), 0.05, 0.2));
+  EXPECT_FALSE(estimator.estimate().valid);
+  // Enough raw points, but all duplicated timestamps collapse to one.
+  for (int i = 0; i < 10; ++i) estimator.observe(2.0, 0.03);
+  EXPECT_FALSE(estimator.refit(profile, true_params(), 0.05, 0.2));
+  EXPECT_FALSE(estimator.estimate().valid);
+}
+
+TEST(OnlineEstimator, CanonicalizesDuplicatesAndOutOfOrderArrivals) {
+  OnlineEstimator estimator(quick_options());
+  // Deliver a clean series shuffled and with a duplicated timestamp;
+  // canonical_size must count distinct times only.
+  estimator.observe(2.0, 0.03);
+  estimator.observe(0.0, 0.01);
+  estimator.observe(1.0, 0.02);
+  estimator.observe(1.0, 0.021);  // last-wins duplicate
+  estimator.observe(3.0, 0.04);
+  EXPECT_EQ(estimator.canonical_size(), 4u);
+}
+
+TEST(OnlineEstimator, RecoversLambdaAndTracksDrift) {
+  const auto profile = small_profile();
+  const auto params = true_params();
+  data::TraceOptions trace;
+  trace.noise = 0.01;
+  trace.t_end = 15.0;
+  trace.seed = 3;
+  const auto cascade =
+      data::generate_cascade(profile, params, 0.05, 0.2, trace);
+
+  OnlineEstimator estimator(quick_options());
+  // Feed out of order in pairs to exercise canonicalization on the
+  // real path.
+  for (std::size_t i = 0; i + 1 < cascade.t.size(); i += 2) {
+    estimator.observe(cascade.t[i + 1], cascade.infected_density[i + 1]);
+    estimator.observe(cascade.t[i], cascade.infected_density[i]);
+  }
+  core::ModelParams guess = params;
+  guess.lambda = params.lambda.with_scale(1.5);  // warm start well off
+  ASSERT_TRUE(estimator.refit(profile, guess, 0.05, 0.2));
+  const Estimate first = estimator.estimate();
+  EXPECT_TRUE(first.valid);
+  EXPECT_NEAR(first.lambda_scale, 0.8, 0.2);
+  EXPECT_GT(first.stddev, 0.0);
+
+  // Drift: newer observations generated at a higher λ displace the old
+  // window; the recursive warm-started refit must follow.
+  core::ModelParams drifted = params;
+  drifted.lambda = params.lambda.with_scale(1.4);
+  data::TraceOptions after;
+  after.noise = 0.01;
+  after.t_end = 30.0;
+  after.seed = 4;
+  const auto cascade2 =
+      data::generate_cascade(profile, drifted, 0.05, 0.2, after);
+  for (std::size_t i = 0; i < cascade2.t.size(); ++i) {
+    estimator.observe(cascade2.t[i] + 100.0, cascade2.infected_density[i]);
+  }
+  ASSERT_TRUE(estimator.refit(profile, guess, 0.05, 0.2));
+  const Estimate second = estimator.estimate();
+  EXPECT_GT(second.lambda_scale, first.lambda_scale);
+  EXPECT_NEAR(second.lambda_scale, 1.4, 0.35);
+  EXPECT_EQ(second.refits, 2u);
+}
+
+TEST(OnlineEstimator, RefitIsDeterministic) {
+  const auto profile = small_profile();
+  const auto params = true_params();
+  data::TraceOptions trace;
+  trace.noise = 0.02;
+  trace.t_end = 12.0;
+  trace.seed = 9;
+  const auto cascade =
+      data::generate_cascade(profile, params, 0.05, 0.2, trace);
+
+  const auto run = [&] {
+    OnlineEstimator estimator(quick_options());
+    for (std::size_t i = 0; i < cascade.t.size(); ++i) {
+      estimator.observe(cascade.t[i], cascade.infected_density[i]);
+    }
+    EXPECT_TRUE(estimator.refit(profile, params, 0.05, 0.2));
+    return estimator.estimate();
+  };
+  const Estimate a = run();
+  const Estimate b = run();
+  EXPECT_DOUBLE_EQ(a.lambda_scale, b.lambda_scale);
+  EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
+  EXPECT_DOUBLE_EQ(a.rss, b.rss);
+}
+
+TEST(OnlineEstimator, RestoreReproducesWindowAndEstimate) {
+  OnlineEstimator original(quick_options());
+  for (int i = 0; i < 12; ++i) {
+    original.observe(0.5 * i, 0.01 * (i + 1));
+  }
+  Estimate estimate;
+  estimate.valid = true;
+  estimate.lambda_scale = 0.9;
+  estimate.stddev = 0.05;
+  estimate.refits = 3;
+
+  OnlineEstimator restored(quick_options());
+  restored.restore(original.raw_times(), original.raw_values(), estimate);
+  EXPECT_EQ(restored.canonical_size(), original.canonical_size());
+  EXPECT_EQ(restored.raw_times(), original.raw_times());
+  EXPECT_DOUBLE_EQ(restored.estimate().lambda_scale, 0.9);
+  EXPECT_EQ(restored.estimate().refits, 3u);
+}
+
+// --- coarsen_state ----------------------------------------------------
+
+TEST(CoarsenState, PreservesMassWeightedDensities) {
+  // Synthetic 5-group census against a matching profile, coarsened to 2.
+  const core::NetworkProfile profile = core::NetworkProfile::from_pmf(
+      {1.0, 2.0, 4.0, 8.0, 16.0}, {0.4, 0.3, 0.15, 0.1, 0.05});
+  sim::AgentSimulation::GroupDensities gd;
+  gd.degrees = {1, 2, 4, 8, 16};
+  gd.susceptible = {0.9, 0.8, 0.7, 0.6, 0.5};
+  gd.infected = {0.05, 0.1, 0.2, 0.3, 0.4};
+
+  const CoarseState coarse = coarsen_state(profile, gd, 2);
+  ASSERT_EQ(coarse.profile.num_groups(), 2u);
+  ASSERT_EQ(coarse.y0.size(), 4u);
+  // Bucket probabilities sum to 1 and densities stay within the convex
+  // hull of their constituents.
+  EXPECT_NEAR(coarse.profile.probability(0) + coarse.profile.probability(1),
+              1.0, 1e-12);
+  EXPECT_GT(coarse.y0[0], 0.7);  // S of the low-degree bucket
+  EXPECT_LT(coarse.y0[1], 0.7);  // S of the high-degree bucket
+  EXPECT_LT(coarse.y0[2], coarse.y0[3]);  // I grows with degree
+  // Total infected mass is conserved by the bucketing.
+  double fine = 0.0;
+  for (std::size_t g = 0; g < gd.degrees.size(); ++g) {
+    fine += profile.probability(g) * gd.infected[g];
+  }
+  const double coarse_mass =
+      coarse.profile.probability(0) * coarse.y0[2] +
+      coarse.profile.probability(1) * coarse.y0[3];
+  EXPECT_NEAR(coarse_mass, fine, 1e-12);
+}
+
+TEST(CoarsenState, MoreGroupsThanDistinctDegreesIsIdentity) {
+  const core::NetworkProfile profile =
+      core::NetworkProfile::from_pmf({2.0, 5.0}, {0.7, 0.3});
+  sim::AgentSimulation::GroupDensities gd;
+  gd.degrees = {0, 2, 5};  // census keeps the degree-0 group
+  gd.susceptible = {1.0, 0.8, 0.6};
+  gd.infected = {0.0, 0.15, 0.35};
+  const CoarseState coarse = coarsen_state(profile, gd, 8);
+  ASSERT_EQ(coarse.profile.num_groups(), 2u);
+  EXPECT_DOUBLE_EQ(coarse.y0[0], 0.8);
+  EXPECT_DOUBLE_EQ(coarse.y0[1], 0.6);
+  EXPECT_DOUBLE_EQ(coarse.y0[2], 0.15);
+  EXPECT_DOUBLE_EQ(coarse.y0[3], 0.35);
+}
+
+TEST(CoarsenState, RejectsMismatchedCensus) {
+  const core::NetworkProfile profile =
+      core::NetworkProfile::from_pmf({2.0, 5.0}, {0.7, 0.3});
+  sim::AgentSimulation::GroupDensities gd;
+  gd.degrees = {3, 5};  // degree 3 not in the profile
+  gd.susceptible = {0.8, 0.6};
+  gd.infected = {0.1, 0.2};
+  EXPECT_THROW(coarsen_state(profile, gd, 2), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rumor::stream
